@@ -1,0 +1,49 @@
+//! Figure 2 — "Two configurations of an IP delivery executable".
+//!
+//! Benchmarks assembling the passive and licensed executables and
+//! loading them into a fresh applet host, printing the configuration
+//! comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_core::{AppletHost, CapabilitySet, IpExecutable};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let passive = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::passive());
+    let licensed = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::licensed());
+    println!("\n=== Figure 2 reproduction: two executable configurations ===");
+    println!("{passive}");
+    println!("{licensed}");
+    println!(
+        "passive: {} caps, {} kB | licensed: {} caps, {} kB",
+        passive.capabilities().len(),
+        passive.download_size().div_ceil(1024),
+        licensed.capabilities().len(),
+        licensed.download_size().div_ceil(1024),
+    );
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("assemble_passive_executable", |b| {
+        b.iter(|| {
+            let exe = IpExecutable::new("kcm", "byu", CapabilitySet::passive());
+            black_box(exe.download_size())
+        })
+    });
+    group.bench_function("assemble_licensed_executable", |b| {
+        b.iter(|| {
+            let exe = IpExecutable::new("kcm", "byu", CapabilitySet::licensed());
+            black_box(exe.download_size())
+        })
+    });
+    group.bench_function("cold_host_load_licensed", |b| {
+        let exe = IpExecutable::new("kcm", "byu", CapabilitySet::licensed());
+        b.iter(|| {
+            let mut host = AppletHost::new();
+            black_box(host.load(&exe))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

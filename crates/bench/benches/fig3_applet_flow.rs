@@ -1,0 +1,54 @@
+//! Figures 1 & 3 — the interactive applet flow: build, estimate, view,
+//! simulate, netlist. Benchmarks each button of the KCM applet, since
+//! in-browser responsiveness is the paper's usability argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_bench::{paper_kcm, paper_kcm_circuit};
+use ipd_core::{AppletHost, AppletSession, CapabilitySet, IpExecutable};
+use ipd_hdl::Circuit;
+use ipd_netlist::NetlistFormat;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_applet");
+
+    group.bench_function("build_button", |b| {
+        b.iter(|| black_box(Circuit::from_generator(&paper_kcm()).expect("build")))
+    });
+
+    let circuit = paper_kcm_circuit();
+    group.bench_function("estimate_panel", |b| {
+        b.iter(|| {
+            let area = ipd_estimate::estimate_area(&circuit).expect("area");
+            let timing = ipd_estimate::estimate_timing(&circuit).expect("timing");
+            black_box((area.total.luts, timing.critical_path_ns))
+        })
+    });
+    group.bench_function("schematic_view", |b| {
+        b.iter(|| black_box(ipd_viewer::schematic_text(&circuit, circuit.root())))
+    });
+    group.bench_function("layout_view", |b| {
+        b.iter(|| black_box(ipd_viewer::layout_grid(&circuit).expect("layout")))
+    });
+    group.bench_function("netlist_button_edif", |b| {
+        b.iter(|| black_box(ipd_netlist::edif_string(&circuit).expect("edif")))
+    });
+
+    group.bench_function("full_session_end_to_end", |b| {
+        let exe = IpExecutable::new("kcm", "byu", CapabilitySet::licensed());
+        let host = AppletHost::new();
+        b.iter(|| {
+            let mut session = AppletSession::new(&exe, &host, Box::new(paper_kcm()));
+            session.build().expect("build");
+            session.set_i64("multiplicand", -56).expect("set");
+            session.cycle(2).expect("cycle");
+            let product = session.peek("product").expect("peek");
+            let netlist = session.netlist(NetlistFormat::Edif).expect("netlist");
+            black_box((product, netlist.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

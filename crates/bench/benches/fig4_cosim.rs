@@ -1,0 +1,102 @@
+//! Figure 4 — black-box co-simulation, and the applet-local versus
+//! remote-simulation comparison behind the paper's latency claim.
+//!
+//! Measures (a) the protocol cost in-process, (b) real localhost TCP
+//! round trips, and (c) prints the modeled RTT sweep once (the full
+//! sweep with real injected latency lives in `repro --fig4`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_bench::{fig4_rtts, fig4_scenario, paper_kcm_circuit};
+use ipd_cosim::{
+    measure_local_event_cost, Approach, BlackBoxClient, BlackBoxServer, InProcTransport,
+    LocalSimModel, SimModel,
+};
+use ipd_hdl::LogicVec;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let circuit = paper_kcm_circuit();
+
+    // Print the modeled sweep once.
+    let local_cost = measure_local_event_cost(&circuit, 2_000).expect("measure");
+    println!("\n=== Figure 4 reproduction: simulation architectures vs RTT ===");
+    println!("local event cost: {local_cost:?}");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "rtt", "applet cyc/s", "web-cad cyc/s", "javacad cyc/s"
+    );
+    for rtt in fig4_rtts() {
+        let s = fig4_scenario(rtt, local_cost);
+        println!(
+            "{:>6}ms {:>16.1} {:>16.1} {:>16.1}",
+            rtt.as_millis(),
+            s.throughput(Approach::AppletLocal),
+            s.throughput(Approach::WebCadRemote),
+            s.throughput(Approach::JavaCadRmi),
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_cosim");
+    group.bench_function("local_simulator_event", |b| {
+        let mut model = LocalSimModel::new(&circuit).expect("model");
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & 0xFF;
+            model.set("multiplicand", LogicVec::from_u64(x, 8)).expect("set");
+            model.cycle(1).expect("cycle");
+            black_box(model.get("product").expect("get"))
+        })
+    });
+    group.bench_function("in_proc_protocol_event", |b| {
+        let model = LocalSimModel::new(&circuit).expect("model");
+        let mut client = BlackBoxClient::over(InProcTransport::new(model));
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & 0xFF;
+            client.set("multiplicand", LogicVec::from_u64(x, 8)).expect("set");
+            client.cycle(1).expect("cycle");
+            black_box(client.get("product").expect("get"))
+        })
+    });
+    group.bench_function("tcp_loopback_event", |b| {
+        let mut host = ipd_core::AppletHost::new();
+        host.grant_network_permission();
+        let server = BlackBoxServer::bind(&host).expect("bind");
+        let addr = server.addr();
+        let _thread = server.spawn(LocalSimModel::new(&circuit).expect("model"));
+        let mut client = BlackBoxClient::connect(addr).expect("connect");
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & 0xFF;
+            client.set("multiplicand", LogicVec::from_u64(x, 8)).expect("set");
+            client.cycle(1).expect("cycle");
+            black_box(client.get("product").expect("get"))
+        })
+    });
+    group.finish();
+
+    // One spot check with genuinely injected latency (small, so the
+    // bench stays fast): the applet approach must beat it.
+    let model = LocalSimModel::new(&circuit).expect("model");
+    let mut slow = BlackBoxClient::over(ipd_cosim::LatencyTransport::new(
+        InProcTransport::new(model),
+        Duration::from_millis(2),
+    ));
+    let start = std::time::Instant::now();
+    for i in 0..20u64 {
+        slow.set("multiplicand", LogicVec::from_u64(i & 0xFF, 8)).expect("set");
+        slow.cycle(1).expect("cycle");
+        let _ = slow.get("product").expect("get");
+    }
+    let remote_60_events = start.elapsed();
+    println!(
+        "spot check: 60 events over a 2 ms-RTT link took {remote_60_events:?} \
+         (applet-local equivalent: {:?})",
+        local_cost * 60
+    );
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! X1 — the KCM quality evaluation from the authors' FPL 2001 paper
+//! (their reference [9]), which supplies the numbers the applet's
+//! estimate panel displays: constant-coefficient multipliers beat
+//! general multipliers in area and delay, with the margin growing
+//! with width.
+//!
+//! Benchmarks generator elaboration time and prints the area/timing
+//! comparison table once (also available via `repro --kcm`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipd_bench::{baseline_multiplier, full_width_kcm, kcm_quality_widths, quality_constant};
+use ipd_estimate::{estimate_area, estimate_timing};
+use ipd_hdl::Circuit;
+use std::hint::black_box;
+
+fn bench_kcm_quality(c: &mut Criterion) {
+    println!("\n=== KCM vs array multiplier (shape target: ~2x area advantage) ===");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
+        "width", "kcm LUTs", "mult LUTs", "ratio", "kcm ns", "mult ns", "ratio"
+    );
+    for width in kcm_quality_widths() {
+        let kcm = Circuit::from_generator(&full_width_kcm(
+            quality_constant(width),
+            width,
+            false,
+        ))
+        .expect("kcm");
+        let mult = Circuit::from_generator(&baseline_multiplier(width)).expect("mult");
+        let (ka, ma) = (
+            estimate_area(&kcm).expect("kcm area"),
+            estimate_area(&mult).expect("mult area"),
+        );
+        let (kt, mt) = (
+            estimate_timing(&kcm).expect("kcm timing"),
+            estimate_timing(&mult).expect("mult timing"),
+        );
+        // Count carries as half a LUT-equivalent (they pack beside
+        // LUTs in the slice) for a fair total.
+        let k_cost = f64::from(ka.total.luts) + f64::from(ka.total.carries) * 0.5;
+        let m_cost = f64::from(ma.total.luts) + f64::from(ma.total.carries) * 0.5;
+        println!(
+            "{width:>5} {k_cost:>10.1} {m_cost:>10.1} {:>8.2} | {:>10.2} {:>10.2} {:>8.2}",
+            m_cost / k_cost,
+            kt.critical_path_ns,
+            mt.critical_path_ns,
+            mt.critical_path_ns / kt.critical_path_ns,
+        );
+    }
+
+    let mut group = c.benchmark_group("kcm_quality_elaboration");
+    for width in [8u32, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("kcm", width), &width, |b, &w| {
+            b.iter(|| {
+                black_box(
+                    Circuit::from_generator(&full_width_kcm(quality_constant(w), w, false))
+                        .expect("kcm"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("array_mult", width), &width, |b, &w| {
+            b.iter(|| black_box(Circuit::from_generator(&baseline_multiplier(w)).expect("mult")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcm_quality);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! X2 — simulator scalability: cycles per second across circuit sizes,
+//! supporting the paper's claim that in-browser simulation of
+//! realistic IP is practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipd_bench::sim_workloads;
+use ipd_sim::Simulator;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for (name, circuit) in sim_workloads() {
+        let prims = circuit.primitive_count();
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(
+            BenchmarkId::new("cycles_x100", format!("{name}_{prims}prims")),
+            &circuit,
+            |b, circuit| {
+                let mut sim = Simulator::new(circuit).expect("compile");
+                // Drive the first data input if present.
+                let input = sim
+                    .ports()
+                    .into_iter()
+                    .find(|(n, d, _)| {
+                        *d == ipd_hdl::PortDir::Input && n != "clk"
+                    })
+                    .map(|(n, _, w)| (n, w));
+                if let Some((name, width)) = &input {
+                    sim.set(name, ipd_hdl::LogicVec::from_u64(1, *width as usize))
+                        .expect("set");
+                }
+                b.iter(|| {
+                    sim.cycle(100).expect("cycle");
+                    black_box(sim.cycle_count())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut compile = c.benchmark_group("sim_compile");
+    for (name, circuit) in sim_workloads() {
+        compile.bench_with_input(BenchmarkId::from_parameter(&name), &circuit, |b, circuit| {
+            b.iter(|| black_box(Simulator::new(circuit).expect("compile")))
+        });
+    }
+    compile.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 1 — "JAR Files Used By Constant Multiplier Applet".
+//!
+//! Measures bundle construction/compression cost and prints the
+//! reproduced size table once. Run `repro --table1` for the standalone
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_pack::BundleSet;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the reproduced table once, alongside the paper's numbers.
+    let set = BundleSet::jhdl_applet_set();
+    println!("\n=== Table 1 reproduction (paper: 346/293/140/16 kB, total 795 kB) ===");
+    println!("{set}");
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("build_applet_bundle_set", |b| {
+        b.iter(|| black_box(BundleSet::jhdl_applet_set()))
+    });
+    group.bench_function("pack_all_bundles", |b| {
+        let set = BundleSet::jhdl_applet_set();
+        b.iter(|| {
+            let total: usize = set
+                .bundles()
+                .iter()
+                .map(|bundle| bundle.archive().to_bytes().len())
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("unpack_base_bundle", |b| {
+        let set = BundleSet::jhdl_applet_set();
+        let bytes = set.get("JHDLBase").expect("base").archive().to_bytes();
+        b.iter(|| black_box(ipd_pack::Archive::from_bytes(&bytes).expect("parse")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

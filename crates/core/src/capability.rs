@@ -1,0 +1,290 @@
+//! Capabilities: what an IP delivery executable lets a customer do.
+//!
+//! The paper's central idea is that a vendor composes the applet from
+//! JHDL tools "on a customer by customer basis", trading customer
+//! *visibility* against vendor *protection* (its §3.2 and Figure 2).
+//! A [`CapabilitySet`] is that composition, and every operation of an
+//! applet session is gated on one [`Capability`].
+
+use std::fmt;
+
+/// One grantable applet function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// Set generator parameters and build instances (the programmatic
+    /// circuit generator interface).
+    Configure,
+    /// Obtain area and timing estimates.
+    Estimate,
+    /// Browse the circuit structure and hierarchy (schematic viewer).
+    StructuralView,
+    /// View the relative placement footprint (layout viewer).
+    LayoutView,
+    /// Run the embedded simulator on the generated circuit.
+    Simulate,
+    /// Record and view waveforms.
+    WaveformView,
+    /// Inspect memory contents during simulation.
+    MemoryView,
+    /// Generate netlists (EDIF/VHDL/Verilog) — actually taking the IP.
+    Netlist,
+    /// Expose the port-level simulation interface over a socket for
+    /// system co-simulation (paper §4.2).
+    BlackBoxExport,
+}
+
+impl Capability {
+    /// Every capability, in display order.
+    #[must_use]
+    pub fn all() -> [Capability; 9] {
+        [
+            Capability::Configure,
+            Capability::Estimate,
+            Capability::StructuralView,
+            Capability::LayoutView,
+            Capability::Simulate,
+            Capability::WaveformView,
+            Capability::MemoryView,
+            Capability::Netlist,
+            Capability::BlackBoxExport,
+        ]
+    }
+
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Capability::Configure => "configure",
+            Capability::Estimate => "estimate",
+            Capability::StructuralView => "structural-view",
+            Capability::LayoutView => "layout-view",
+            Capability::Simulate => "simulate",
+            Capability::WaveformView => "waveform-view",
+            Capability::MemoryView => "memory-view",
+            Capability::Netlist => "netlist",
+            Capability::BlackBoxExport => "black-box-export",
+        })
+    }
+}
+
+/// A set of granted capabilities.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::{Capability, CapabilitySet};
+///
+/// let passive = CapabilitySet::passive();
+/// assert!(passive.allows(Capability::Estimate));
+/// assert!(!passive.allows(Capability::Netlist));
+/// let licensed = CapabilitySet::licensed();
+/// assert!(licensed.is_superset_of(&passive));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CapabilitySet(u16);
+
+impl CapabilitySet {
+    /// The empty set.
+    #[must_use]
+    pub fn none() -> Self {
+        CapabilitySet(0)
+    }
+
+    /// A set from individual capabilities.
+    #[must_use]
+    pub fn of(caps: &[Capability]) -> Self {
+        let mut set = CapabilitySet(0);
+        for &c in caps {
+            set.0 |= c.bit();
+        }
+        set
+    }
+
+    /// The *passive customer* configuration of the paper's Figure 2
+    /// (left): the generator interface plus the circuit estimator.
+    #[must_use]
+    pub fn passive() -> Self {
+        CapabilitySet::of(&[Capability::Configure, Capability::Estimate])
+    }
+
+    /// The *evaluation* configuration: everything except taking the
+    /// netlist — structure, layout, simulation and waveforms are
+    /// visible, but the IP cannot leave the applet.
+    #[must_use]
+    pub fn evaluation() -> Self {
+        CapabilitySet::of(&[
+            Capability::Configure,
+            Capability::Estimate,
+            Capability::StructuralView,
+            Capability::LayoutView,
+            Capability::Simulate,
+            Capability::WaveformView,
+            Capability::MemoryView,
+        ])
+    }
+
+    /// The *licensed customer* configuration of the paper's Figure 2
+    /// (right): every capability including netlist generation.
+    #[must_use]
+    pub fn licensed() -> Self {
+        CapabilitySet::of(&Capability::all())
+    }
+
+    /// The *black-box* configuration of the paper's §4.2: parameters
+    /// may be chosen and the simulator driven (locally or over a
+    /// socket), but no structure, layout or netlist is exposed.
+    #[must_use]
+    pub fn black_box() -> Self {
+        CapabilitySet::of(&[
+            Capability::Configure,
+            Capability::Estimate,
+            Capability::Simulate,
+            Capability::BlackBoxExport,
+        ])
+    }
+
+    /// Whether a capability is granted.
+    #[must_use]
+    pub fn allows(&self, cap: Capability) -> bool {
+        self.0 & cap.bit() != 0
+    }
+
+    /// Adds a capability, returning the extended set.
+    #[must_use]
+    pub fn with(mut self, cap: Capability) -> Self {
+        self.0 |= cap.bit();
+        self
+    }
+
+    /// Removes a capability, returning the reduced set.
+    #[must_use]
+    pub fn without(mut self, cap: Capability) -> Self {
+        self.0 &= !cap.bit();
+        self
+    }
+
+    /// Whether every capability of `other` is also granted here.
+    #[must_use]
+    pub fn is_superset_of(&self, other: &CapabilitySet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Number of granted capabilities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` when nothing is granted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over granted capabilities in display order.
+    pub fn iter(&self) -> impl Iterator<Item = Capability> + '_ {
+        Capability::all().into_iter().filter(|c| self.allows(*c))
+    }
+
+    /// Canonical wire encoding for license signing.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Decodes a wire encoding (unknown bits are dropped).
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        let mask: u16 = Capability::all().iter().map(|c| c.bit()).sum();
+        CapabilitySet(bits & mask)
+    }
+}
+
+impl fmt::Display for CapabilitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        let names: Vec<String> = self.iter().map(|c| c.to_string()).collect();
+        f.write_str(&names.join(", "))
+    }
+}
+
+impl FromIterator<Capability> for CapabilitySet {
+    fn from_iter<I: IntoIterator<Item = Capability>>(iter: I) -> Self {
+        let mut set = CapabilitySet::none();
+        for c in iter {
+            set = set.with(c);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_visibility() {
+        let passive = CapabilitySet::passive();
+        let evaluation = CapabilitySet::evaluation();
+        let licensed = CapabilitySet::licensed();
+        assert!(evaluation.is_superset_of(&passive));
+        assert!(licensed.is_superset_of(&evaluation));
+        assert!(!passive.is_superset_of(&evaluation));
+        assert!(passive.len() < evaluation.len());
+        assert!(evaluation.len() < licensed.len());
+    }
+
+    #[test]
+    fn black_box_hides_structure() {
+        let bb = CapabilitySet::black_box();
+        assert!(bb.allows(Capability::Simulate));
+        assert!(bb.allows(Capability::BlackBoxExport));
+        assert!(!bb.allows(Capability::StructuralView));
+        assert!(!bb.allows(Capability::Netlist));
+    }
+
+    #[test]
+    fn with_without() {
+        let set = CapabilitySet::none().with(Capability::Simulate);
+        assert!(set.allows(Capability::Simulate));
+        assert!(set.without(Capability::Simulate).is_empty());
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for set in [
+            CapabilitySet::passive(),
+            CapabilitySet::evaluation(),
+            CapabilitySet::licensed(),
+            CapabilitySet::black_box(),
+        ] {
+            assert_eq!(CapabilitySet::from_bits(set.to_bits()), set);
+        }
+        // Unknown high bits are dropped.
+        assert_eq!(
+            CapabilitySet::from_bits(0xFFFF),
+            CapabilitySet::licensed()
+        );
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let text = CapabilitySet::passive().to_string();
+        assert!(text.contains("configure"));
+        assert!(text.contains("estimate"));
+        assert_eq!(CapabilitySet::none().to_string(), "(none)");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let set: CapabilitySet =
+            [Capability::Simulate, Capability::Netlist].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

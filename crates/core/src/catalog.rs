@@ -1,0 +1,217 @@
+//! Multi-IP catalogs — the paper's future-work item "developing
+//! applets that deliver more than one IP module".
+//!
+//! A vendor groups several module generators into one [`IpCatalog`];
+//! a catalog applet lists them and opens a capability-gated
+//! [`AppletSession`] for whichever module the customer selects.
+
+use std::fmt;
+
+use ipd_hdl::Generator;
+
+use crate::deliver::IpExecutable;
+use crate::error::CoreError;
+use crate::host::AppletHost;
+use crate::session::AppletSession;
+
+/// A factory producing fresh generator instances (each session gets
+/// its own, so parameter experiments are independent).
+pub type GeneratorFactory = Box<dyn Fn() -> Box<dyn Generator> + Send + Sync>;
+
+/// One catalog listing.
+pub struct CatalogEntry {
+    name: String,
+    description: String,
+    factory: GeneratorFactory,
+}
+
+impl fmt::Debug for CatalogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CatalogEntry")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+impl CatalogEntry {
+    /// Module name shown in the catalog page.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+/// A vendor's multi-module IP catalog.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::{AppletHost, CapabilitySet, IpCatalog, IpExecutable};
+/// use ipd_modgen::{KcmMultiplier, RippleAdder};
+///
+/// # fn main() -> Result<(), ipd_core::CoreError> {
+/// let mut catalog = IpCatalog::new("byu-arith");
+/// catalog.add("kcm8", "8-bit constant multiplier", || {
+///     Box::new(KcmMultiplier::new(-56, 8, 12).signed(true))
+/// });
+/// catalog.add("add16", "16-bit carry-chain adder", || {
+///     Box::new(RippleAdder::new(16).with_cout())
+/// });
+///
+/// let exe = IpExecutable::new("byu-arith", "byu", CapabilitySet::evaluation());
+/// let host = AppletHost::new();
+/// let mut session = catalog.open("add16", &exe, &host)?;
+/// session.build()?;
+/// assert!(session.schematic()?.contains("muxcy"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct IpCatalog {
+    name: String,
+    entries: Vec<CatalogEntry>,
+}
+
+impl IpCatalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        IpCatalog {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The catalog name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a module under a unique name.
+    pub fn add<F>(&mut self, name: impl Into<String>, description: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn Generator> + Send + Sync + 'static,
+    {
+        self.entries.push(CatalogEntry {
+            name: name.into(),
+            description: description.into(),
+            factory: Box::new(factory),
+        });
+    }
+
+    /// The listings, in registration order.
+    #[must_use]
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// Renders the catalog page.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = format!("IP catalog: {}\n", self.name);
+        for entry in &self.entries {
+            out.push_str(&format!("  {:<12} {}\n", entry.name, entry.description));
+        }
+        out
+    }
+
+    /// Opens a session for one module under an executable's capability
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownModule`] when no entry has the
+    /// requested name.
+    pub fn open(
+        &self,
+        module: &str,
+        executable: &IpExecutable,
+        host: &AppletHost,
+    ) -> Result<AppletSession, CoreError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == module)
+            .ok_or_else(|| CoreError::UnknownModule {
+                module: module.to_owned(),
+            })?;
+        Ok(AppletSession::new(executable, host, (entry.factory)()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::CapabilitySet;
+    use ipd_modgen::{Counter, CountDirection, KcmMultiplier};
+
+    fn catalog() -> IpCatalog {
+        let mut c = IpCatalog::new("byu-lib");
+        c.add("kcm", "constant multiplier", || {
+            Box::new(KcmMultiplier::new(7, 4, 7))
+        });
+        c.add("counter", "8-bit up counter", || {
+            Box::new(Counter::new(8, CountDirection::Up))
+        });
+        c
+    }
+
+    #[test]
+    fn listing_shows_all_modules() {
+        let c = catalog();
+        let text = c.listing();
+        assert!(text.contains("kcm"));
+        assert!(text.contains("counter"));
+        assert_eq!(c.entries().len(), 2);
+        assert_eq!(c.entries()[0].name(), "kcm");
+        assert!(!c.entries()[1].description().is_empty());
+    }
+
+    #[test]
+    fn open_builds_independent_sessions() {
+        let c = catalog();
+        let exe = IpExecutable::new("byu-lib", "byu", CapabilitySet::evaluation());
+        let host = AppletHost::new();
+        let mut s1 = c.open("kcm", &exe, &host).unwrap();
+        let mut s2 = c.open("counter", &exe, &host).unwrap();
+        s1.build().unwrap();
+        s2.build().unwrap();
+        s1.set_u64("multiplicand", 3).unwrap();
+        assert_eq!(s1.peek("product").unwrap().to_u64(), Some(21));
+        s2.set_u64("rst", 1).unwrap();
+        s2.set_u64("ce", 1).unwrap();
+        s2.cycle(1).unwrap();
+        s2.set_u64("rst", 0).unwrap();
+        s2.cycle(3).unwrap();
+        assert_eq!(s2.peek("q").unwrap().to_u64(), Some(3));
+    }
+
+    #[test]
+    fn unknown_module_rejected() {
+        let c = catalog();
+        let exe = IpExecutable::new("byu-lib", "byu", CapabilitySet::evaluation());
+        let host = AppletHost::new();
+        assert!(matches!(
+            c.open("nope", &exe, &host),
+            Err(CoreError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn capability_gating_applies_per_catalog_session() {
+        let c = catalog();
+        let exe = IpExecutable::new("byu-lib", "byu", CapabilitySet::passive());
+        let host = AppletHost::new();
+        let mut s = c.open("kcm", &exe, &host).unwrap();
+        s.build().unwrap();
+        assert!(s.schematic().is_err());
+    }
+}

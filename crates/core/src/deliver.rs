@@ -1,0 +1,374 @@
+//! IP delivery executables and the vendor-side applet server.
+//!
+//! An [`IpExecutable`] is the paper's "custom executable … customized
+//! to the needs of both the customer and vendor" (its Figure 2): a
+//! capability set plus the code bundles those capabilities require.
+//! The [`AppletServer`] is the vendor web server that picks the right
+//! executable per user profile and meters access.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ipd_pack::BundleSet;
+
+use crate::capability::{Capability, CapabilitySet};
+use crate::error::CoreError;
+use crate::license::{License, LicenseAuthority};
+
+/// A deliverable IP evaluation executable: the applet a customer
+/// downloads.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::{CapabilitySet, IpExecutable};
+///
+/// let passive = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::passive());
+/// let licensed = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::licensed());
+/// // More capability ⇒ more code to download (the Figure 2 trade-off).
+/// assert!(licensed.download_size() > passive.download_size());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpExecutable {
+    product: String,
+    vendor: String,
+    capabilities: CapabilitySet,
+}
+
+impl IpExecutable {
+    /// A new executable configuration.
+    #[must_use]
+    pub fn new(
+        product: impl Into<String>,
+        vendor: impl Into<String>,
+        capabilities: CapabilitySet,
+    ) -> Self {
+        IpExecutable {
+            product: product.into(),
+            vendor: vendor.into(),
+            capabilities,
+        }
+    }
+
+    /// Product identifier.
+    #[must_use]
+    pub fn product(&self) -> &str {
+        &self.product
+    }
+
+    /// Vendor identifier.
+    #[must_use]
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// The capability set compiled into this executable.
+    #[must_use]
+    pub fn capabilities(&self) -> CapabilitySet {
+        self.capabilities
+    }
+
+    /// The bundle names this executable needs — the paper's "only
+    /// those Jar files required by the applet code".
+    #[must_use]
+    pub fn required_bundles(&self) -> Vec<&'static str> {
+        let mut names = vec!["JHDLBase", "Virtex", "Applet"];
+        if self.capabilities.allows(Capability::Estimate) {
+            names.push("Estimator");
+        }
+        if self.capabilities.allows(Capability::StructuralView)
+            || self.capabilities.allows(Capability::LayoutView)
+            || self.capabilities.allows(Capability::WaveformView)
+        {
+            names.push("Viewer");
+        }
+        if self.capabilities.allows(Capability::Netlist) {
+            names.push("Netlist");
+        }
+        names
+    }
+
+    /// The actual bundle set to ship.
+    #[must_use]
+    pub fn bundle_set(&self) -> BundleSet {
+        BundleSet::full_set().subset(&self.required_bundles())
+    }
+
+    /// Total download size in bytes (compressed bundles).
+    #[must_use]
+    pub fn download_size(&self) -> usize {
+        self.bundle_set().total_packed()
+    }
+}
+
+impl fmt::Display for IpExecutable {
+    /// Renders the Figure 2 style configuration box.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "+-- IP delivery executable: {} ({})", self.product, self.vendor)?;
+        writeln!(f, "|   module generator + circuit data structure")?;
+        for cap in self.capabilities.iter() {
+            writeln!(f, "|   [x] {cap}")?;
+        }
+        for cap in Capability::all() {
+            if !self.capabilities.allows(cap) {
+                writeln!(f, "|   [ ] {cap} (withheld)")?;
+            }
+        }
+        let set = self.bundle_set();
+        writeln!(
+            f,
+            "|   download: {} bundle(s), {} kB",
+            set.bundles().len(),
+            self.download_size().div_ceil(1024)
+        )?;
+        writeln!(f, "+--")
+    }
+}
+
+/// One access record — the metering trail (the paper cites hardware
+/// metering \[6\] as a complementary protection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Customer id that accessed the server.
+    pub customer: String,
+    /// Day of access (vendor epoch days).
+    pub day: u32,
+    /// What was served, or why it was refused.
+    pub outcome: String,
+}
+
+/// The vendor's applet web server: verifies profiles and serves
+/// per-customer executables.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::{AppletServer, Capability, CapabilitySet};
+///
+/// # fn main() -> Result<(), ipd_core::CoreError> {
+/// let mut server = AppletServer::new("byu", b"vendor-key".to_vec());
+/// server.enroll("acme", "virtex-kcm", CapabilitySet::passive(), 0, 365);
+/// let applet = server.serve("acme", 100)?;
+/// assert!(!applet.capabilities().allows(Capability::Netlist));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AppletServer {
+    vendor: String,
+    authority: LicenseAuthority,
+    profiles: HashMap<String, License>,
+    audit: Vec<AuditRecord>,
+}
+
+impl AppletServer {
+    /// A server for one vendor with a signing key.
+    #[must_use]
+    pub fn new(vendor: impl Into<String>, key: Vec<u8>) -> Self {
+        AppletServer {
+            vendor: vendor.into(),
+            authority: LicenseAuthority::new(key),
+            profiles: HashMap::new(),
+            audit: Vec::new(),
+        }
+    }
+
+    /// The vendor's license authority (for issuing out-of-band
+    /// licenses).
+    #[must_use]
+    pub fn authority(&self) -> &LicenseAuthority {
+        &self.authority
+    }
+
+    /// Issues and registers a license for a customer profile.
+    pub fn enroll(
+        &mut self,
+        customer: &str,
+        product: &str,
+        capabilities: CapabilitySet,
+        issued_day: u32,
+        expiry_day: u32,
+    ) -> License {
+        let license =
+            self.authority
+                .issue(customer, product, capabilities, issued_day, expiry_day);
+        self.profiles.insert(customer.to_owned(), license.clone());
+        license
+    }
+
+    /// Serves the executable matching a customer's license — "the web
+    /// server can provide an executable applet customized to the needs
+    /// or license of the user" (paper §1.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown customers and invalid or expired licenses;
+    /// refusals are audited too.
+    pub fn serve(&mut self, customer: &str, today: u32) -> Result<IpExecutable, CoreError> {
+        let Some(license) = self.profiles.get(customer).cloned() else {
+            self.audit.push(AuditRecord {
+                customer: customer.to_owned(),
+                day: today,
+                outcome: "refused: unknown customer".to_owned(),
+            });
+            return Err(CoreError::UnknownCustomer {
+                customer: customer.to_owned(),
+            });
+        };
+        if let Err(e) = self.authority.verify(&license, today) {
+            self.audit.push(AuditRecord {
+                customer: customer.to_owned(),
+                day: today,
+                outcome: format!("refused: {e}"),
+            });
+            return Err(e);
+        }
+        let executable = IpExecutable::new(
+            license.product(),
+            self.vendor.clone(),
+            license.capabilities(),
+        );
+        self.audit.push(AuditRecord {
+            customer: customer.to_owned(),
+            day: today,
+            outcome: format!(
+                "served {} with [{}]",
+                license.product(),
+                license.capabilities()
+            ),
+        });
+        Ok(executable)
+    }
+
+    /// Serves the executable's bundles *sealed* to the customer's
+    /// license key (the paper's §4.3 "class encryption"): each bundle
+    /// is encrypted and authenticated so an intercepted download or a
+    /// shared proxy cache yields nothing without the license.
+    ///
+    /// Returns `(bundle name, sealed bytes)` pairs; unseal with
+    /// [`crate::unseal`] under [`crate::bundle_key`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AppletServer::serve`].
+    pub fn serve_sealed(
+        &mut self,
+        customer: &str,
+        today: u32,
+        vendor_key: &[u8],
+    ) -> Result<Vec<(String, Vec<u8>)>, CoreError> {
+        let executable = self.serve(customer, today)?;
+        let license = self
+            .profiles
+            .get(customer)
+            .cloned()
+            .expect("serve succeeded, profile exists");
+        let key = crate::seal::bundle_key(vendor_key, &license);
+        let mut out = Vec::new();
+        for (nonce, bundle) in executable.bundle_set().bundles().iter().enumerate() {
+            let plain = bundle.archive().to_bytes();
+            out.push((
+                bundle.name().to_owned(),
+                crate::seal::seal(&plain, &key, nonce as u64),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// The full access log.
+    #[must_use]
+    pub fn audit_log(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+
+    /// How many times a customer was served (metering).
+    #[must_use]
+    pub fn access_count(&self, customer: &str) -> usize {
+        self.audit
+            .iter()
+            .filter(|r| r.customer == customer && r.outcome.starts_with("served"))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_and_licensed_configurations_differ() {
+        let passive = IpExecutable::new("kcm", "byu", CapabilitySet::passive());
+        let licensed = IpExecutable::new("kcm", "byu", CapabilitySet::licensed());
+        let pb = passive.required_bundles();
+        let lb = licensed.required_bundles();
+        assert!(!pb.contains(&"Viewer"), "passive ships no viewers");
+        assert!(!pb.contains(&"Netlist"));
+        assert!(lb.contains(&"Viewer"));
+        assert!(lb.contains(&"Netlist"));
+        assert!(licensed.download_size() > passive.download_size());
+    }
+
+    #[test]
+    fn black_box_configuration_ships_no_viewer() {
+        let bb = IpExecutable::new("kcm", "byu", CapabilitySet::black_box());
+        assert!(!bb.required_bundles().contains(&"Viewer"));
+        assert!(!bb.required_bundles().contains(&"Netlist"));
+    }
+
+    #[test]
+    fn display_shows_granted_and_withheld() {
+        let exe = IpExecutable::new("kcm", "byu", CapabilitySet::passive());
+        let text = exe.to_string();
+        assert!(text.contains("[x] configure"));
+        assert!(text.contains("[ ] netlist (withheld)"));
+    }
+
+    #[test]
+    fn server_serves_per_profile() {
+        let mut server = AppletServer::new("byu", b"key".to_vec());
+        server.enroll("passive-co", "kcm", CapabilitySet::passive(), 0, 365);
+        server.enroll("licensed-co", "kcm", CapabilitySet::licensed(), 0, 365);
+        let p = server.serve("passive-co", 10).unwrap();
+        let l = server.serve("licensed-co", 10).unwrap();
+        assert!(l.capabilities().is_superset_of(&p.capabilities()));
+        assert_ne!(p.capabilities(), l.capabilities());
+    }
+
+    #[test]
+    fn sealed_delivery_binds_to_the_customer() {
+        let vendor_key = b"vendor-key".to_vec();
+        let mut server = AppletServer::new("byu", vendor_key.clone());
+        let acme = server.enroll("acme", "kcm", CapabilitySet::passive(), 0, 365);
+        let bolt = server.enroll("bolt", "kcm", CapabilitySet::passive(), 0, 365);
+        let sealed = server.serve_sealed("acme", 10, &vendor_key).unwrap();
+        assert!(!sealed.is_empty());
+        let acme_key = crate::seal::bundle_key(&vendor_key, &acme);
+        let bolt_key = crate::seal::bundle_key(&vendor_key, &bolt);
+        for (name, bytes) in &sealed {
+            let plain = crate::seal::unseal(bytes, &acme_key)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            // The plaintext is a valid archive container.
+            ipd_pack::Archive::from_bytes(&plain).expect("archive");
+            // The other customer's key fails authentication.
+            assert!(crate::seal::unseal(bytes, &bolt_key).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_and_expired_customers_refused_and_audited() {
+        let mut server = AppletServer::new("byu", b"key".to_vec());
+        server.enroll("acme", "kcm", CapabilitySet::passive(), 0, 30);
+        assert!(matches!(
+            server.serve("nobody", 10),
+            Err(CoreError::UnknownCustomer { .. })
+        ));
+        assert!(matches!(
+            server.serve("acme", 31),
+            Err(CoreError::LicenseExpired { .. })
+        ));
+        assert_eq!(server.audit_log().len(), 2);
+        assert_eq!(server.access_count("acme"), 0);
+        server.serve("acme", 20).unwrap();
+        assert_eq!(server.access_count("acme"), 1);
+    }
+}

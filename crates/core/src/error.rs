@@ -1,0 +1,133 @@
+//! Errors of the IP delivery layer.
+
+use std::fmt;
+
+use crate::capability::Capability;
+
+/// Errors raised by applet sessions, hosts, licensing and protection.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The executable's capability set does not grant the operation —
+    /// the vendor chose not to expose it to this customer.
+    CapabilityDenied {
+        /// The capability the operation requires.
+        capability: Capability,
+    },
+    /// A license failed signature verification.
+    LicenseInvalid {
+        /// Why verification failed.
+        reason: String,
+    },
+    /// A license is past its expiry day.
+    LicenseExpired {
+        /// Expiry day (days since epoch).
+        expiry_day: u32,
+        /// The day verification ran.
+        today: u32,
+    },
+    /// The applet host's resource sandbox rejected the operation.
+    ResourceLimit {
+        /// Which limit was hit.
+        limit: &'static str,
+        /// The configured maximum.
+        max: u64,
+        /// The requested amount.
+        requested: u64,
+    },
+    /// A network connection was attempted without user permission
+    /// (the applet security model of the paper's §4.2 footnote).
+    NetworkDenied,
+    /// No circuit has been built yet in this session.
+    NotBuilt,
+    /// The requested customer profile is unknown to the vendor server.
+    UnknownCustomer {
+        /// The customer id.
+        customer: String,
+    },
+    /// The requested module is not in the IP catalog.
+    UnknownModule {
+        /// The module name.
+        module: String,
+    },
+    /// An underlying circuit error.
+    Hdl(ipd_hdl::HdlError),
+    /// An underlying simulation error.
+    Sim(ipd_sim::SimError),
+    /// An underlying netlisting error.
+    Netlist(ipd_netlist::NetlistError),
+    /// An underlying estimation error.
+    Estimate(ipd_estimate::EstimateError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::CapabilityDenied { capability } => {
+                write!(f, "operation requires the {capability} capability, which this executable does not grant")
+            }
+            CoreError::LicenseInvalid { reason } => write!(f, "invalid license: {reason}"),
+            CoreError::LicenseExpired { expiry_day, today } => {
+                write!(f, "license expired on day {expiry_day} (today is day {today})")
+            }
+            CoreError::ResourceLimit {
+                limit,
+                max,
+                requested,
+            } => write!(
+                f,
+                "sandbox limit {limit} exceeded: requested {requested}, maximum {max}"
+            ),
+            CoreError::NetworkDenied => {
+                write!(f, "network access requires explicit user permission")
+            }
+            CoreError::NotBuilt => write!(f, "no circuit instance built yet"),
+            CoreError::UnknownCustomer { customer } => {
+                write!(f, "no profile for customer {customer}")
+            }
+            CoreError::UnknownModule { module } => {
+                write!(f, "no catalog module named {module}")
+            }
+            CoreError::Hdl(e) => write!(f, "circuit error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::Estimate(e) => write!(f, "estimate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Hdl(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Estimate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ipd_hdl::HdlError> for CoreError {
+    fn from(e: ipd_hdl::HdlError) -> Self {
+        CoreError::Hdl(e)
+    }
+}
+
+impl From<ipd_sim::SimError> for CoreError {
+    fn from(e: ipd_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<ipd_netlist::NetlistError> for CoreError {
+    fn from(e: ipd_netlist::NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+impl From<ipd_estimate::EstimateError> for CoreError {
+    fn from(e: ipd_estimate::EstimateError) -> Self {
+        CoreError::Estimate(e)
+    }
+}

@@ -1,0 +1,176 @@
+//! The applet host: the browser-side sandbox an applet runs in.
+//!
+//! Java applets run inside the browser's security model: limited
+//! resources, no network connections without explicit user permission
+//! (the paper's §4.2 footnote), and cached downloads. [`AppletHost`]
+//! reproduces those rules for applet sessions.
+
+use std::collections::HashSet;
+
+use crate::deliver::IpExecutable;
+use crate::error::CoreError;
+
+/// Sandbox resource limits for one applet host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum cells a built circuit may contain.
+    pub max_cells: u64,
+    /// Maximum simulated cycles per `cycle` call.
+    pub max_cycles_per_call: u64,
+    /// Maximum bytes of netlist text returned to the page.
+    pub max_netlist_bytes: u64,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits {
+            max_cells: 2_000_000,
+            max_cycles_per_call: 1_000_000,
+            max_netlist_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The browser-side environment that downloads and hosts applets.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::{AppletHost, CapabilitySet, IpExecutable};
+///
+/// let mut host = AppletHost::new();
+/// let exe = IpExecutable::new("kcm", "byu", CapabilitySet::passive());
+/// let first = host.load(&exe);
+/// let again = host.load(&exe);
+/// assert!(first > 0);
+/// assert_eq!(again, 0, "bundles are cached like a browser cache");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AppletHost {
+    limits: ResourceLimits,
+    network_permission: bool,
+    cached_bundles: HashSet<String>,
+    bytes_downloaded: usize,
+}
+
+impl AppletHost {
+    /// A host with default limits and no network permission.
+    #[must_use]
+    pub fn new() -> Self {
+        AppletHost {
+            limits: ResourceLimits::default(),
+            ..AppletHost::default()
+        }
+    }
+
+    /// A host with explicit limits.
+    #[must_use]
+    pub fn with_limits(limits: ResourceLimits) -> Self {
+        AppletHost {
+            limits,
+            ..AppletHost::default()
+        }
+    }
+
+    /// The sandbox limits.
+    #[must_use]
+    pub fn limits(&self) -> ResourceLimits {
+        self.limits
+    }
+
+    /// The user grants network permission (required before any
+    /// black-box socket export, per the default applet security model).
+    pub fn grant_network_permission(&mut self) {
+        self.network_permission = true;
+    }
+
+    /// Whether network connections are allowed.
+    #[must_use]
+    pub fn network_allowed(&self) -> bool {
+        self.network_permission
+    }
+
+    /// Checks network permission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NetworkDenied`] when the user has not
+    /// granted permission.
+    pub fn check_network(&self) -> Result<(), CoreError> {
+        if self.network_permission {
+            Ok(())
+        } else {
+            Err(CoreError::NetworkDenied)
+        }
+    }
+
+    /// "Downloads" the executable's bundles, returning the bytes
+    /// fetched this time. Already-cached bundles are free — revisiting
+    /// a page re-uses them, matching the paper's §4.4 discussion.
+    pub fn load(&mut self, executable: &IpExecutable) -> usize {
+        let mut fetched = 0usize;
+        for bundle in executable.bundle_set().bundles() {
+            if self.cached_bundles.insert(bundle.name().to_owned()) {
+                fetched += bundle.packed_size();
+            }
+        }
+        self.bytes_downloaded += fetched;
+        fetched
+    }
+
+    /// Total bytes fetched over this host's lifetime.
+    #[must_use]
+    pub fn bytes_downloaded(&self) -> usize {
+        self.bytes_downloaded
+    }
+
+    /// Names of cached bundles.
+    #[must_use]
+    pub fn cached(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.cached_bundles.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::CapabilitySet;
+
+    #[test]
+    fn network_permission_gate() {
+        let mut host = AppletHost::new();
+        assert!(matches!(host.check_network(), Err(CoreError::NetworkDenied)));
+        host.grant_network_permission();
+        host.check_network().expect("granted");
+        assert!(host.network_allowed());
+    }
+
+    #[test]
+    fn upgrade_only_downloads_the_delta() {
+        let mut host = AppletHost::new();
+        let passive = IpExecutable::new("kcm", "byu", CapabilitySet::passive());
+        let licensed = IpExecutable::new("kcm", "byu", CapabilitySet::licensed());
+        let first = host.load(&passive);
+        let upgrade = host.load(&licensed);
+        assert!(upgrade > 0, "licensed needs extra bundles");
+        assert!(
+            upgrade < first + licensed.download_size() - passive.download_size() + 1,
+            "shared bundles come from cache"
+        );
+        assert_eq!(host.bytes_downloaded(), first + upgrade);
+        assert!(host.cached().contains(&"Viewer"));
+    }
+
+    #[test]
+    fn custom_limits() {
+        let limits = ResourceLimits {
+            max_cells: 10,
+            max_cycles_per_call: 5,
+            max_netlist_bytes: 100,
+        };
+        let host = AppletHost::with_limits(limits);
+        assert_eq!(host.limits().max_cells, 10);
+    }
+}

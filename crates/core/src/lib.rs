@@ -1,0 +1,82 @@
+//! # ipd-core — capability-gated FPGA IP evaluation and delivery
+//!
+//! The primary contribution of *IP Delivery for FPGAs Using Applets and
+//! JHDL* (Wirthlin & McMurtrey, DAC 2002): vendors deliver FPGA IP as
+//! web executables whose functionality — simulation, structural and
+//! layout viewing, estimation, netlist generation — is composed per
+//! customer, balancing customer *visibility* against vendor
+//! *protection*.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! - [`Capability`] / [`CapabilitySet`] — the visibility knobs of §3.2,
+//!   with the Figure 2 presets ([`CapabilitySet::passive`],
+//!   [`CapabilitySet::licensed`]) plus [`CapabilitySet::black_box`]
+//!   for §4.2.
+//! - [`License`] / [`LicenseAuthority`] — signed capability grants
+//!   (HMAC-SHA-256; [`sha256`] and [`hmac_sha256`] are in-repo).
+//! - [`AppletServer`] — the vendor web server that serves a
+//!   per-profile [`IpExecutable`] and meters access.
+//! - [`IpExecutable`] — an executable configuration: capabilities plus
+//!   the code bundles they require (the Table 1 partitioning).
+//! - [`AppletHost`] — the browser sandbox: bundle cache, resource
+//!   limits, and the explicit network-permission gate of §4.2.
+//! - [`AppletSession`] — the Figure 3 interaction surface: *build*,
+//!   browse, *cycle*/*reset*, *netlist*; every operation capability
+//!   checked.
+//! - [`obfuscate`] / [`embed_watermark`] / [`verify_watermark`] — the
+//!   §4.3 protection measures.
+//!
+//! # Example
+//!
+//! ```
+//! use ipd_core::{
+//!     AppletHost, AppletServer, AppletSession, Capability, CapabilitySet,
+//! };
+//! use ipd_modgen::KcmMultiplier;
+//!
+//! # fn main() -> Result<(), ipd_core::CoreError> {
+//! // Vendor side: enroll a passive evaluator and serve their applet.
+//! let mut server = AppletServer::new("byu", b"vendor-key".to_vec());
+//! server.enroll("acme", "virtex-kcm", CapabilitySet::passive(), 0, 365);
+//! let executable = server.serve("acme", 30)?;
+//!
+//! // Customer side: run the applet in the browser sandbox.
+//! let mut host = AppletHost::new();
+//! host.load(&executable);
+//! let kcm = KcmMultiplier::new(-56, 8, 12).signed(true);
+//! let mut session = AppletSession::new(&executable, &host, Box::new(kcm));
+//! session.build()?;
+//! let area = session.estimate_area()?;        // allowed: estimation
+//! assert!(area.total.luts > 0);
+//! assert!(session.netlist(ipd_netlist::NetlistFormat::Edif).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod capability;
+mod catalog;
+mod deliver;
+mod error;
+mod host;
+mod license;
+mod page;
+mod protect;
+mod seal;
+mod session;
+mod sha;
+
+pub use capability::{Capability, CapabilitySet};
+pub use catalog::{CatalogEntry, GeneratorFactory, IpCatalog};
+pub use deliver::{AppletServer, AuditRecord, IpExecutable};
+pub use error::CoreError;
+pub use host::{AppletHost, ResourceLimits};
+pub use license::{License, LicenseAuthority};
+pub use page::applet_page;
+pub use protect::{embed_watermark, obfuscate, verify_watermark};
+pub use seal::{bundle_key, seal, unseal};
+pub use session::AppletSession;
+pub use sha::{hmac_sha256, sha256, to_hex};

@@ -1,0 +1,201 @@
+//! The applet web page: a self-contained HTML rendering of an
+//! evaluation session.
+//!
+//! "A potential user may evaluate a given FPGA circuit by accessing a
+//! web page and interacting with the applet" (paper §1). This renderer
+//! produces that page for a built session — title bar, parameter
+//! table, and one panel per *granted* capability (estimates, SVG
+//! schematic, layout, waveforms). Withheld capabilities simply do not
+//! appear, making the Figure 2 visibility dial literally visible.
+
+use std::fmt::Write as _;
+
+use crate::error::CoreError;
+use crate::session::AppletSession;
+
+/// Renders the session as a static HTML page.
+///
+/// Panels are included only for capabilities the executable grants;
+/// the function itself never fails on a denied capability — denial
+/// just omits the panel, like the vendor's build of the applet would.
+///
+/// # Errors
+///
+/// Fails when no circuit has been built yet, or on underlying
+/// estimator/viewer errors for *granted* panels.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::{applet_page, AppletHost, AppletSession, CapabilitySet, IpExecutable};
+/// use ipd_modgen::KcmMultiplier;
+///
+/// # fn main() -> Result<(), ipd_core::CoreError> {
+/// let exe = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::evaluation());
+/// let host = AppletHost::new();
+/// let kcm = KcmMultiplier::new(-56, 8, 12).signed(true);
+/// let mut session = AppletSession::new(&exe, &host, Box::new(kcm));
+/// session.build()?;
+/// let page = applet_page(&mut session)?;
+/// assert!(page.contains("<svg"));           // schematic granted
+/// assert!(!page.contains("netlist-panel")); // netlist withheld
+/// # Ok(())
+/// # }
+/// ```
+pub fn applet_page(session: &mut AppletSession) -> Result<String, CoreError> {
+    if !session.is_built() {
+        return Err(CoreError::NotBuilt);
+    }
+    let exe = session.executable().clone();
+    let mut html = String::new();
+    let _ = writeln!(html, "<!DOCTYPE html>");
+    let _ = writeln!(html, "<html><head><meta charset=\"utf-8\">");
+    let _ = writeln!(
+        html,
+        "<title>{} — IP evaluation ({})</title>",
+        escape(exe.product()),
+        escape(exe.vendor())
+    );
+    html.push_str(
+        "<style>body{font-family:monospace;margin:2em}pre{background:#f4f4f4;\
+         padding:1em;overflow:auto}h2{border-bottom:1px solid #999}</style>\n",
+    );
+    let _ = writeln!(html, "</head><body>");
+    let _ = writeln!(
+        html,
+        "<h1>{} <small>({})</small></h1>",
+        escape(&session.generator_name()),
+        escape(exe.vendor())
+    );
+
+    // Interface table — always visible.
+    html.push_str("<h2>Interface</h2>\n<table border=\"1\" cellpadding=\"4\">\n");
+    html.push_str("<tr><th>port</th><th>dir</th><th>width</th></tr>\n");
+    for port in session.interface() {
+        let _ = writeln!(
+            html,
+            "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+            escape(&port.name),
+            port.dir,
+            port.width
+        );
+    }
+    html.push_str("</table>\n");
+
+    // Capability summary.
+    let _ = writeln!(
+        html,
+        "<p>granted: <b>{}</b></p>",
+        escape(&exe.capabilities().to_string())
+    );
+
+    // Estimate panel.
+    if let Ok(area) = session.estimate_area() {
+        html.push_str("<h2 id=\"estimate-panel\">Estimates</h2>\n<pre>");
+        let _ = write!(html, "{}", escape(&area.to_string()));
+        if let Ok(timing) = session.estimate_timing() {
+            let _ = write!(html, "{}", escape(&timing.to_string()));
+        }
+        if let Ok(fit) = session.device_fit(None) {
+            let _ = write!(html, "{}", escape(&fit));
+        }
+        html.push_str("</pre>\n");
+    }
+
+    // Schematic panel (SVG inline).
+    if let Ok(svg) = session.schematic_svg() {
+        html.push_str("<h2 id=\"schematic-panel\">Schematic</h2>\n");
+        html.push_str(&svg);
+    }
+
+    // Layout panel.
+    if let Ok(layout) = session.layout() {
+        html.push_str("<h2 id=\"layout-panel\">Layout</h2>\n<pre>");
+        html.push_str(&escape(&layout));
+        html.push_str("</pre>\n");
+    }
+
+    // Waveform panel (whatever has been recorded so far).
+    if let Ok(waves) = session.waveforms() {
+        html.push_str("<h2 id=\"waveform-panel\">Waveforms</h2>\n<pre>");
+        html.push_str(&escape(&waves));
+        html.push_str("</pre>\n");
+    }
+
+    // Netlist panel (licensed only): the scrollable text window of
+    // Figure 3.
+    if let Ok(edif) = session.netlist(ipd_netlist::NetlistFormat::Edif) {
+        html.push_str("<h2 id=\"netlist-panel\">Netlist (EDIF)</h2>\n<pre>");
+        html.push_str(&escape(&edif));
+        html.push_str("</pre>\n");
+    }
+
+    let _ = writeln!(html, "</body></html>");
+    Ok(html)
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::CapabilitySet;
+    use crate::deliver::IpExecutable;
+    use crate::host::AppletHost;
+    use ipd_modgen::KcmMultiplier;
+
+    fn page_for(caps: CapabilitySet) -> String {
+        let exe = IpExecutable::new("kcm", "byu", caps);
+        let host = AppletHost::new();
+        let kcm = KcmMultiplier::new(-56, 8, 12).signed(true);
+        let mut session = AppletSession::new(&exe, &host, Box::new(kcm));
+        session.build().unwrap();
+        if caps.allows(crate::Capability::WaveformView) {
+            session.record("product").unwrap();
+        }
+        applet_page(&mut session).unwrap()
+    }
+
+    #[test]
+    fn licensed_page_has_every_panel() {
+        let page = page_for(CapabilitySet::licensed());
+        for panel in [
+            "estimate-panel",
+            "schematic-panel",
+            "layout-panel",
+            "waveform-panel",
+            "netlist-panel",
+        ] {
+            assert!(page.contains(panel), "missing {panel}");
+        }
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("<svg"));
+        assert!(page.contains("(edif"), "netlist text embedded");
+    }
+
+    #[test]
+    fn passive_page_has_only_estimates() {
+        let page = page_for(CapabilitySet::passive());
+        assert!(page.contains("estimate-panel"));
+        for hidden in ["schematic-panel", "layout-panel", "netlist-panel", "waveform-panel"] {
+            assert!(!page.contains(hidden), "leaked {hidden}");
+        }
+        assert!(page.contains("Interface"), "interface always shown");
+    }
+
+    #[test]
+    fn unbuilt_session_is_an_error() {
+        let exe = IpExecutable::new("kcm", "byu", CapabilitySet::licensed());
+        let host = AppletHost::new();
+        let kcm = KcmMultiplier::new(5, 4, 7);
+        let mut session = AppletSession::new(&exe, &host, Box::new(kcm));
+        assert!(matches!(
+            applet_page(&mut session),
+            Err(CoreError::NotBuilt)
+        ));
+    }
+}

@@ -1,0 +1,301 @@
+//! IP protection passes: obfuscation and watermarking.
+//!
+//! The paper (§4.3) lists class-file obfuscation and watermarking [7]
+//! as measures a vendor adds when shipping IP in applet form. Here the
+//! corresponding circuit-level passes are:
+//!
+//! - [`obfuscate`] — rebuilds the circuit as a flat, generically-named
+//!   netlist: hierarchy, instance names, wire names and properties all
+//!   disappear; only the primary interface and the logic remain (with
+//!   absolute placement preserved so timing is unaffected).
+//! - [`embed_watermark`] / [`verify_watermark`] — hides a keyed
+//!   customer fingerprint in ROM primitive contents. The mark is
+//!   function-neutral, survives obfuscation (primitive `INIT`s are
+//!   preserved) and netlist regeneration, and identifies the customer
+//!   a leaked netlist was delivered to.
+
+use ipd_hdl::{
+    CellKind, Circuit, FlatKind, FlatNetlist, LogicVec, PortDir, PortSpec, Signal,
+};
+use ipd_techlib::LogicCtx;
+
+use crate::error::CoreError;
+use crate::sha::hmac_sha256;
+
+/// Rebuilds a circuit as a flat netlist with meaningless names.
+///
+/// The result is functionally identical (same ports, same logic, same
+/// placement) but exposes no hierarchy, no generator names and no
+/// properties — what a customer of a protected executable would see if
+/// they reverse-engineered the delivered instance.
+///
+/// # Errors
+///
+/// Propagates flattening and reconstruction errors.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_core::obfuscate;
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::KcmMultiplier;
+///
+/// # fn main() -> Result<(), ipd_core::CoreError> {
+/// let kcm = KcmMultiplier::new(-56, 8, 12).signed(true);
+/// let clear = Circuit::from_generator(&kcm)?;
+/// let hidden = obfuscate(&clear)?;
+/// assert_eq!(hidden.depth(), 2); // ports + primitives, nothing else
+/// # Ok(())
+/// # }
+/// ```
+pub fn obfuscate(circuit: &Circuit) -> Result<Circuit, CoreError> {
+    let flat = FlatNetlist::build(circuit)?;
+    let mut out = Circuit::new("ip");
+    let mut ctx = out.root_ctx();
+    // Primary interface is preserved verbatim (the customer integrates
+    // against it).
+    let mut port_wires = Vec::new();
+    for port in flat.ports() {
+        let wire = ctx.add_port(PortSpec::new(
+            port.name.clone(),
+            port.dir,
+            port.nets.len() as u32,
+        ))?;
+        port_wires.push(wire);
+    }
+    // One anonymous wire per net.
+    let mut net_wires = Vec::with_capacity(flat.net_count());
+    for k in 0..flat.net_count() {
+        net_wires.push(ctx.wire(&format!("n{k}"), 1));
+    }
+    // Port glue through buffers, so port nets and internal nets stay
+    // single-driver.
+    for (port, &wire) in flat.ports().iter().zip(&port_wires) {
+        for (bit, net) in port.nets.iter().enumerate() {
+            let pbit = Signal::bit_of(wire, bit as u32);
+            let nbit: Signal = net_wires[net.index()].into();
+            match port.dir {
+                PortDir::Input => {
+                    ctx.buffer(pbit, nbit)?;
+                }
+                PortDir::Output => {
+                    ctx.buffer(nbit, pbit)?;
+                }
+                PortDir::Inout => {}
+            }
+        }
+    }
+    // Leaves with generic names; absolute placement preserved.
+    for (k, leaf) in flat.leaves().iter().enumerate() {
+        let ports: Vec<PortSpec> = leaf
+            .conns
+            .iter()
+            .map(|c| PortSpec::new(c.port.clone(), c.dir, c.nets.len() as u32))
+            .collect();
+        let conns: Vec<(String, Signal)> = leaf
+            .conns
+            .iter()
+            .map(|c| {
+                let sig = Signal::concat(
+                    c.nets
+                        .iter()
+                        .map(|n| Signal::from(net_wires[n.index()])),
+                );
+                (c.port.clone(), sig)
+            })
+            .collect();
+        let conn_refs: Vec<(&str, Signal)> = conns
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.clone()))
+            .collect();
+        let cell = match &leaf.kind {
+            FlatKind::Primitive(prim) => {
+                ctx.leaf(prim.clone(), ports, &format!("u{k}"), &conn_refs)?
+            }
+            FlatKind::BlackBox(_) => {
+                ctx.black_box("bb", ports, &format!("u{k}"), &conn_refs)?
+            }
+        };
+        if let Some(loc) = leaf.loc {
+            ctx.set_rloc(cell, loc);
+        }
+    }
+    Ok(out)
+}
+
+/// Derives the four 16-bit ROM words that fingerprint a customer.
+fn watermark_words(customer: &str, product: &str, key: &[u8]) -> [u16; 4] {
+    let mac = hmac_sha256(key, format!("wm|{customer}|{product}").as_bytes());
+    [
+        u16::from_be_bytes([mac[0], mac[1]]),
+        u16::from_be_bytes([mac[2], mac[3]]),
+        u16::from_be_bytes([mac[4], mac[5]]),
+        u16::from_be_bytes([mac[6], mac[7]]),
+    ]
+}
+
+/// Embeds a keyed customer watermark into a circuit.
+///
+/// Four `ROM16X1` primitives with constant addresses are added; their
+/// `INIT` contents carry an HMAC of the customer and product ids. The
+/// extra logic never affects the IP's outputs.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn embed_watermark(
+    circuit: &mut Circuit,
+    customer: &str,
+    product: &str,
+    key: &[u8],
+) -> Result<(), CoreError> {
+    let words = watermark_words(customer, product, key);
+    let mut ctx = circuit.root_ctx();
+    let addr = ctx.wire("wm_addr", 4);
+    ctx.constant(addr, &LogicVec::zeros(4))?;
+    let taps = ctx.wire("wm", 4);
+    for (k, &word) in words.iter().enumerate() {
+        ctx.rom16x1(word, addr, Signal::bit_of(taps, k as u32))?;
+    }
+    Ok(())
+}
+
+/// Checks whether a circuit carries the watermark of a given customer.
+///
+/// Works on the original, on an [`obfuscate`]d rebuild, and on a
+/// circuit reconstructed from a regenerated netlist, because only
+/// primitive kinds and `INIT` contents are consulted.
+#[must_use]
+pub fn verify_watermark(circuit: &Circuit, customer: &str, product: &str, key: &[u8]) -> bool {
+    let words = watermark_words(customer, product, key);
+    let mut found = [false; 4];
+    for id in circuit.cell_ids() {
+        if let CellKind::Primitive(p) = circuit.cell(id).kind() {
+            if p.name == "rom16x1" {
+                if let Some(init) = p.init {
+                    for (k, &w) in words.iter().enumerate() {
+                        if init == u64::from(w) {
+                            found[k] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    found.iter().all(|&f| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_modgen::KcmMultiplier;
+    use ipd_sim::Simulator;
+
+    fn kcm_circuit() -> Circuit {
+        Circuit::from_generator(&KcmMultiplier::new(-56, 8, 12).signed(true)).unwrap()
+    }
+
+    #[test]
+    fn obfuscation_preserves_function() {
+        let clear = kcm_circuit();
+        let hidden = obfuscate(&clear).unwrap();
+        let mut s1 = Simulator::new(&clear).unwrap();
+        let mut s2 = Simulator::new(&hidden).unwrap();
+        for x in [-128i64, -1, 0, 5, 127] {
+            s1.set_i64("multiplicand", x).unwrap();
+            s2.set_i64("multiplicand", x).unwrap();
+            assert_eq!(
+                s1.peek("product").unwrap(),
+                s2.peek("product").unwrap(),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn obfuscation_hides_structure() {
+        let clear = kcm_circuit();
+        let hidden = obfuscate(&clear).unwrap();
+        assert!(clear.depth() > 2, "original is hierarchical");
+        assert_eq!(hidden.depth(), 2, "obfuscated is flat");
+        // No original names survive.
+        for id in hidden.cell_ids() {
+            let name = hidden.cell(id).name().to_owned();
+            assert!(
+                !name.contains("kcm") && !name.contains("pp") && !name.contains("sum"),
+                "leaked name {name}"
+            );
+            assert!(hidden.cell(id).properties().is_empty(), "properties stripped");
+        }
+    }
+
+    #[test]
+    fn obfuscation_preserves_interface_and_placement() {
+        let clear = kcm_circuit();
+        let hidden = obfuscate(&clear).unwrap();
+        let ports: Vec<_> = hidden
+            .cell(hidden.root())
+            .ports()
+            .iter()
+            .map(|p| p.spec.name.clone())
+            .collect();
+        assert_eq!(ports, ["multiplicand", "product"]);
+        let placed = |c: &Circuit| {
+            c.cell_ids()
+                .filter(|&id| c.cell(id).is_primitive() && c.absolute_rloc(id).is_some())
+                .count()
+        };
+        assert_eq!(placed(&hidden), placed(&clear));
+    }
+
+    #[test]
+    fn pipelined_circuit_survives_obfuscation() {
+        let kcm = KcmMultiplier::new(77, 8, 15).pipelined(true);
+        let clear = Circuit::from_generator(&kcm).unwrap();
+        let hidden = obfuscate(&clear).unwrap();
+        let mut sim = Simulator::new(&hidden).unwrap();
+        sim.set_u64("multiplicand", 9).unwrap();
+        sim.cycle(u64::from(kcm.latency())).unwrap();
+        assert_eq!(sim.peek("product").unwrap().to_u64(), Some(77 * 9));
+    }
+
+    #[test]
+    fn watermark_embeds_and_verifies() {
+        let mut circuit = kcm_circuit();
+        embed_watermark(&mut circuit, "acme", "kcm", b"key").unwrap();
+        assert!(verify_watermark(&circuit, "acme", "kcm", b"key"));
+        assert!(!verify_watermark(&circuit, "other", "kcm", b"key"));
+        assert!(!verify_watermark(&circuit, "acme", "kcm", b"wrong-key"));
+        assert!(!verify_watermark(&kcm_circuit(), "acme", "kcm", b"key"));
+    }
+
+    #[test]
+    fn watermark_is_function_neutral() {
+        let clear = kcm_circuit();
+        let mut marked = kcm_circuit();
+        embed_watermark(&mut marked, "acme", "kcm", b"key").unwrap();
+        let mut s1 = Simulator::new(&clear).unwrap();
+        let mut s2 = Simulator::new(&marked).unwrap();
+        for x in [-77i64, 0, 33] {
+            s1.set_i64("multiplicand", x).unwrap();
+            s2.set_i64("multiplicand", x).unwrap();
+            assert_eq!(s1.peek("product").unwrap(), s2.peek("product").unwrap());
+        }
+    }
+
+    #[test]
+    fn watermark_survives_obfuscation() {
+        let mut circuit = kcm_circuit();
+        embed_watermark(&mut circuit, "acme", "kcm", b"key").unwrap();
+        let hidden = obfuscate(&circuit).unwrap();
+        assert!(verify_watermark(&hidden, "acme", "kcm", b"key"));
+        assert!(!verify_watermark(&hidden, "mallory", "kcm", b"key"));
+    }
+
+    #[test]
+    fn distinct_customers_get_distinct_marks() {
+        let a = watermark_words("acme", "kcm", b"key");
+        let b = watermark_words("bolt", "kcm", b"key");
+        assert_ne!(a, b);
+    }
+}

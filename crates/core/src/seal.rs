@@ -1,0 +1,150 @@
+//! Sealed bundle delivery — the paper's "class encryption" measure
+//! (§4.3): bundles are encrypted to a per-customer key so that an
+//! intercepted download (or a shared cache) yields nothing without the
+//! license.
+//!
+//! The cipher is a keystream built from HMAC-SHA-256 in counter mode
+//! with an authentication tag over the ciphertext
+//! (encrypt-then-MAC) — implemented in-repo like the rest of the
+//! crypto substrate.
+
+use crate::error::CoreError;
+use crate::license::License;
+use crate::sha::hmac_sha256;
+
+/// Derives the per-customer bundle key from the vendor key and a
+/// license (customer + product bound).
+#[must_use]
+pub fn bundle_key(vendor_key: &[u8], license: &License) -> [u8; 32] {
+    hmac_sha256(
+        vendor_key,
+        format!("bundle-key|{}|{}", license.customer(), license.product()).as_bytes(),
+    )
+}
+
+/// Encrypts and authenticates a bundle payload.
+///
+/// Layout: `nonce (8) || ciphertext || tag (32)`.
+#[must_use]
+pub fn seal(plain: &[u8], key: &[u8; 32], nonce: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + plain.len() + 32);
+    out.extend_from_slice(&nonce.to_le_bytes());
+    let mut cipher = plain.to_vec();
+    apply_keystream(&mut cipher, key, nonce);
+    out.extend_from_slice(&cipher);
+    let tag = hmac_sha256(key, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verifies and decrypts a sealed payload.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LicenseInvalid`] when the container is
+/// malformed or the authentication tag does not match (wrong customer
+/// key or tampering).
+pub fn unseal(sealed: &[u8], key: &[u8; 32]) -> Result<Vec<u8>, CoreError> {
+    if sealed.len() < 8 + 32 {
+        return Err(CoreError::LicenseInvalid {
+            reason: "sealed bundle too short".to_owned(),
+        });
+    }
+    let (body, tag) = sealed.split_at(sealed.len() - 32);
+    let expected = hmac_sha256(key, body);
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return Err(CoreError::LicenseInvalid {
+            reason: "sealed bundle authentication failed".to_owned(),
+        });
+    }
+    let nonce = u64::from_le_bytes(body[..8].try_into().expect("length checked"));
+    let mut plain = body[8..].to_vec();
+    apply_keystream(&mut plain, key, nonce);
+    Ok(plain)
+}
+
+/// XORs the HMAC-counter keystream over a buffer (symmetric for
+/// encrypt and decrypt).
+fn apply_keystream(data: &mut [u8], key: &[u8; 32], nonce: u64) {
+    let mut counter = 0u64;
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let mut block_input = [0u8; 16];
+        block_input[..8].copy_from_slice(&nonce.to_le_bytes());
+        block_input[8..].copy_from_slice(&counter.to_le_bytes());
+        let block = hmac_sha256(key, &block_input);
+        for (i, b) in block.iter().enumerate() {
+            if offset + i >= data.len() {
+                break;
+            }
+            data[offset + i] ^= b;
+        }
+        offset += 32;
+        counter += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::CapabilitySet;
+    use crate::license::LicenseAuthority;
+
+    fn key() -> [u8; 32] {
+        let authority = LicenseAuthority::new(b"vendor".to_vec());
+        let license = authority.issue("acme", "kcm", CapabilitySet::passive(), 0, 10);
+        bundle_key(b"vendor", &license)
+    }
+
+    #[test]
+    fn seal_round_trips() {
+        let key = key();
+        for size in [0usize, 1, 31, 32, 33, 1000] {
+            let plain: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let sealed = seal(&plain, &key, 7);
+            assert_eq!(unseal(&sealed, &key).expect("unseal"), plain, "size {size}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sealed = seal(b"secret bundle bytes", &key(), 1);
+        let other = [9u8; 32];
+        assert!(matches!(
+            unseal(&sealed, &other),
+            Err(CoreError::LicenseInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn tampering_rejected() {
+        let key = key();
+        let mut sealed = seal(b"secret bundle bytes", &key, 1);
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 1;
+        assert!(unseal(&sealed, &key).is_err());
+        assert!(unseal(&sealed[..10], &key).is_err());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_by_nonce() {
+        let key = key();
+        let plain = b"the same plaintext".to_vec();
+        let a = seal(&plain, &key, 1);
+        let b = seal(&plain, &key, 2);
+        assert_ne!(&a[8..8 + plain.len()], plain.as_slice());
+        assert_ne!(a[8..], b[8..], "nonce varies the keystream");
+    }
+
+    #[test]
+    fn per_customer_keys_differ() {
+        let authority = LicenseAuthority::new(b"vendor".to_vec());
+        let a = authority.issue("acme", "kcm", CapabilitySet::passive(), 0, 10);
+        let b = authority.issue("bolt", "kcm", CapabilitySet::passive(), 0, 10);
+        assert_ne!(bundle_key(b"vendor", &a), bundle_key(b"vendor", &b));
+    }
+}

@@ -1,0 +1,310 @@
+//! Transports and the black-box client.
+//!
+//! A [`BlackBoxClient`] speaks the co-simulation protocol over a
+//! [`Transport`]. Three transports cover the paper's design space:
+//!
+//! - [`TcpTransport`] — a real socket to a black-box applet server
+//!   (the paper's Figure 4).
+//! - [`InProcTransport`] — the protocol run in-process (zero network),
+//!   for tests and for measuring pure protocol overhead.
+//! - [`LatencyTransport`] — wraps any transport and injects a
+//!   configurable round-trip time, modelling the WAN that the
+//!   Web-CAD [2] and JavaCAD [1] remote-simulation architectures pay
+//!   *per event* — the cost the applet approach avoids.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ipd_hdl::{LogicVec, PortDir};
+
+use crate::error::CosimError;
+use crate::model::SimModel;
+use crate::protocol::{read_frame, write_frame, Message};
+use crate::server::handle;
+
+/// A request/response channel carrying protocol messages.
+pub trait Transport {
+    /// Sends a request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel failures.
+    fn request(&mut self, message: &Message) -> Result<Message, CosimError>;
+
+    /// Number of round trips performed so far.
+    fn round_trips(&self) -> u64;
+}
+
+/// A real TCP connection to a [`BlackBoxServer`](crate::BlackBoxServer).
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    round_trips: u64,
+}
+
+impl TcpTransport {
+    /// Connects to a server address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> Result<Self, CosimError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            round_trips: 0,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, message: &Message) -> Result<Message, CosimError> {
+        write_frame(&mut self.writer, message)?;
+        self.round_trips += 1;
+        read_frame(&mut self.reader)
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+}
+
+/// The protocol served in-process against a local model: encode,
+/// decode, handle — everything but the wire.
+pub struct InProcTransport<M: SimModel> {
+    model: M,
+    round_trips: u64,
+}
+
+impl<M: SimModel> std::fmt::Debug for InProcTransport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport")
+            .field("round_trips", &self.round_trips)
+            .finish()
+    }
+}
+
+impl<M: SimModel> InProcTransport<M> {
+    /// Wraps a local model.
+    #[must_use]
+    pub fn new(model: M) -> Self {
+        InProcTransport {
+            model,
+            round_trips: 0,
+        }
+    }
+}
+
+impl<M: SimModel> Transport for InProcTransport<M> {
+    fn request(&mut self, message: &Message) -> Result<Message, CosimError> {
+        // Encode and decode for fidelity with the wire protocol.
+        let bytes = message.encode();
+        let decoded = Message::decode(&bytes)?;
+        self.round_trips += 1;
+        let response = handle(&mut self.model, &decoded);
+        Message::decode(&response.encode())
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+}
+
+/// Injects a fixed round-trip delay on every request — the WAN model
+/// for the remote-simulation baselines.
+#[derive(Debug)]
+pub struct LatencyTransport<T: Transport> {
+    inner: T,
+    rtt: Duration,
+}
+
+impl<T: Transport> LatencyTransport<T> {
+    /// Wraps a transport with a per-request round-trip time.
+    #[must_use]
+    pub fn new(inner: T, rtt: Duration) -> Self {
+        LatencyTransport { inner, rtt }
+    }
+
+    /// The injected round-trip time.
+    #[must_use]
+    pub fn rtt(&self) -> Duration {
+        self.rtt
+    }
+}
+
+impl<T: Transport> Transport for LatencyTransport<T> {
+    fn request(&mut self, message: &Message) -> Result<Message, CosimError> {
+        if !self.rtt.is_zero() {
+            std::thread::sleep(self.rtt);
+        }
+        self.inner.request(message)
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.inner.round_trips()
+    }
+}
+
+/// A client driving a remote (or wrapped) black-box model. Implements
+/// [`SimModel`], so a [`SystemSimulator`](crate::SystemSimulator) can
+/// mix remote applets with local circuits.
+#[derive(Debug)]
+pub struct BlackBoxClient<T: Transport> {
+    transport: T,
+}
+
+impl BlackBoxClient<TcpTransport> {
+    /// Connects to a black-box applet server over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> Result<Self, CosimError> {
+        Ok(BlackBoxClient {
+            transport: TcpTransport::connect(addr)?,
+        })
+    }
+}
+
+impl<T: Transport> BlackBoxClient<T> {
+    /// A client over an arbitrary transport.
+    #[must_use]
+    pub fn over(transport: T) -> Self {
+        BlackBoxClient { transport }
+    }
+
+    /// Round trips performed so far (the remote-simulation cost
+    /// driver).
+    #[must_use]
+    pub fn round_trips(&self) -> u64 {
+        self.transport.round_trips()
+    }
+
+    /// Ends the session politely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn close(&mut self) -> Result<(), CosimError> {
+        self.transport.request(&Message::Bye)?;
+        Ok(())
+    }
+
+    fn expect_ok(&mut self, message: &Message) -> Result<(), CosimError> {
+        match self.transport.request(message)? {
+            Message::Ok => Ok(()),
+            Message::Error { message } => Err(CosimError::Remote { message }),
+            other => Err(CosimError::Protocol {
+                reason: format!("expected Ok, got {other:?}"),
+            }),
+        }
+    }
+}
+
+impl<T: Transport> SimModel for BlackBoxClient<T> {
+    fn interface(&mut self) -> Result<Vec<(String, PortDir, u32)>, CosimError> {
+        match self.transport.request(&Message::GetInterface)? {
+            Message::Interface(ports) => Ok(ports),
+            Message::Error { message } => Err(CosimError::Remote { message }),
+            other => Err(CosimError::Protocol {
+                reason: format!("expected Interface, got {other:?}"),
+            }),
+        }
+    }
+
+    fn set(&mut self, port: &str, value: LogicVec) -> Result<(), CosimError> {
+        self.expect_ok(&Message::SetInput {
+            port: port.to_owned(),
+            value,
+        })
+    }
+
+    fn cycle(&mut self, n: u32) -> Result<(), CosimError> {
+        self.expect_ok(&Message::Cycle { n })
+    }
+
+    fn reset(&mut self) -> Result<(), CosimError> {
+        self.expect_ok(&Message::Reset)
+    }
+
+    fn get(&mut self, port: &str) -> Result<LogicVec, CosimError> {
+        match self.transport.request(&Message::GetOutput {
+            port: port.to_owned(),
+        })? {
+            Message::Value { value, .. } => Ok(value),
+            Message::Error { message } => Err(CosimError::Remote { message }),
+            other => Err(CosimError::Protocol {
+                reason: format!("expected Value, got {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LocalSimModel;
+    use crate::server::BlackBoxServer;
+    use ipd_core::AppletHost;
+    use ipd_hdl::{Circuit, PortSpec};
+    use ipd_techlib::LogicCtx;
+
+    fn inverter() -> Circuit {
+        let mut c = Circuit::new("inv");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.inv(a, y).unwrap();
+        c
+    }
+
+    #[test]
+    fn in_proc_client_round_trip() {
+        let model = LocalSimModel::new(&inverter()).unwrap();
+        let mut client = BlackBoxClient::over(InProcTransport::new(model));
+        let ports = client.interface().unwrap();
+        assert_eq!(ports.len(), 2);
+        client.set("a", LogicVec::from_u64(0, 1)).unwrap();
+        assert_eq!(client.get("y").unwrap().to_u64(), Some(1));
+        assert!(client.round_trips() >= 3);
+        assert!(matches!(
+            client.get("bogus"),
+            Err(CosimError::Remote { .. })
+        ));
+    }
+
+    #[test]
+    fn tcp_client_against_real_server() {
+        let mut host = AppletHost::new();
+        host.grant_network_permission();
+        let server = BlackBoxServer::bind(&host).unwrap();
+        let addr = server.addr();
+        let model = LocalSimModel::new(&inverter()).unwrap();
+        let handle = server.spawn(model);
+        let mut client = BlackBoxClient::connect(addr).unwrap();
+        client.set("a", LogicVec::from_u64(1, 1)).unwrap();
+        assert_eq!(client.get("y").unwrap().to_u64(), Some(0));
+        client.reset().unwrap();
+        client.cycle(1).unwrap();
+        client.close().unwrap();
+        handle.join().expect("no panic").expect("server ok");
+    }
+
+    #[test]
+    fn latency_transport_delays() {
+        let model = LocalSimModel::new(&inverter()).unwrap();
+        let transport = LatencyTransport::new(
+            InProcTransport::new(model),
+            Duration::from_millis(5),
+        );
+        let mut client = BlackBoxClient::over(transport);
+        let start = std::time::Instant::now();
+        client.set("a", LogicVec::from_u64(1, 1)).unwrap();
+        let _ = client.get("y").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10), "2 RTTs injected");
+    }
+}

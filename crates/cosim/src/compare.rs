@@ -1,0 +1,248 @@
+//! Quantifying the paper's delivery-architecture claim (Figure 4 and
+//! §1.2/§4.2 discussion).
+//!
+//! The paper argues that delivering a simulation *executable* (applet)
+//! beats the Web-CAD [2] / JavaCAD [1] remote-simulation architectures
+//! because "simulating the IP directly on the user's machine will
+//! result in increased simulation speed by avoiding the relatively
+//! long latency associated with a network". This module models the
+//! three architectures over a common scenario so the trade-off — a
+//! one-time download versus a per-event network tax — can be swept and
+//! plotted.
+
+use std::time::Duration;
+
+use ipd_hdl::Circuit;
+
+use crate::error::CosimError;
+use crate::model::{LocalSimModel, SimModel};
+
+/// How the IP's simulation reaches the customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// The paper's approach: download the applet once, simulate
+    /// locally.
+    AppletLocal,
+    /// Web-CAD style: simulation stays at the vendor; the customer
+    /// exchanges one batched event message per clock cycle.
+    WebCadRemote,
+    /// JavaCAD style: remote method invocation — one round trip per
+    /// port event (every set and every get).
+    JavaCadRmi,
+}
+
+impl std::fmt::Display for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Approach::AppletLocal => "applet-local",
+            Approach::WebCadRemote => "web-cad-remote",
+            Approach::JavaCadRmi => "javacad-rmi",
+        })
+    }
+}
+
+/// A co-simulation scenario to cost out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryScenario {
+    /// Clock cycles the customer wants to simulate.
+    pub cycles: u64,
+    /// Port events (input sets + output reads) per cycle.
+    pub events_per_cycle: u64,
+    /// Applet code size (compressed bundles) in bytes.
+    pub download_bytes: u64,
+    /// Customer link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Network round-trip time to the vendor.
+    pub rtt: Duration,
+    /// Measured local cost of one simulation event.
+    pub local_event_cost: Duration,
+}
+
+impl DeliveryScenario {
+    /// Total evaluation time under an approach.
+    #[must_use]
+    pub fn total_time(&self, approach: Approach) -> Duration {
+        let events = self.cycles * self.events_per_cycle;
+        let compute = self.local_event_cost * events as u32;
+        match approach {
+            Approach::AppletLocal => {
+                let download =
+                    Duration::from_secs_f64(self.download_bytes as f64 / self.bandwidth_bytes_per_s);
+                download + compute
+            }
+            Approach::WebCadRemote => {
+                // One batched round trip per cycle; the vendor's server
+                // does the same compute.
+                self.rtt * self.cycles as u32 + compute
+            }
+            Approach::JavaCadRmi => {
+                // One round trip per event.
+                self.rtt * events as u32 + compute
+            }
+        }
+    }
+
+    /// Steady-state throughput in cycles per second.
+    #[must_use]
+    pub fn throughput(&self, approach: Approach) -> f64 {
+        let per_cycle = match approach {
+            Approach::AppletLocal => {
+                self.local_event_cost.as_secs_f64() * self.events_per_cycle as f64
+            }
+            Approach::WebCadRemote => {
+                self.rtt.as_secs_f64()
+                    + self.local_event_cost.as_secs_f64() * self.events_per_cycle as f64
+            }
+            Approach::JavaCadRmi => {
+                (self.rtt.as_secs_f64() + self.local_event_cost.as_secs_f64())
+                    * self.events_per_cycle as f64
+            }
+        };
+        if per_cycle <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / per_cycle
+        }
+    }
+
+    /// The number of cycles after which the applet download has paid
+    /// for itself against an approach, or `None` if the remote
+    /// approach never loses (zero-latency network).
+    #[must_use]
+    pub fn crossover_cycles(&self, against: Approach) -> Option<u64> {
+        let download =
+            self.download_bytes as f64 / self.bandwidth_bytes_per_s;
+        let saved_per_cycle = match against {
+            Approach::AppletLocal => return None,
+            Approach::WebCadRemote => self.rtt.as_secs_f64(),
+            Approach::JavaCadRmi => {
+                self.rtt.as_secs_f64() * self.events_per_cycle as f64
+            }
+        };
+        if saved_per_cycle <= 0.0 {
+            return None;
+        }
+        Some((download / saved_per_cycle).ceil() as u64)
+    }
+}
+
+/// Measures the real local cost of one simulation event (a set, a
+/// cycle, a get) on a compiled circuit — the `local_event_cost` input
+/// to a [`DeliveryScenario`].
+///
+/// # Errors
+///
+/// Propagates simulator compile failures.
+pub fn measure_local_event_cost(circuit: &Circuit, samples: u32) -> Result<Duration, CosimError> {
+    let mut model = LocalSimModel::new(circuit)?;
+    let ports = model.interface()?;
+    let input = ports
+        .iter()
+        .find(|(n, d, _)| *d == ipd_hdl::PortDir::Input && n != "clk")
+        .map(|(n, _, w)| (n.clone(), *w))
+        .ok_or_else(|| CosimError::Wiring {
+            reason: "circuit has no data input".to_owned(),
+        })?;
+    let output = ports
+        .iter()
+        .find(|(_, d, _)| *d == ipd_hdl::PortDir::Output)
+        .map(|(n, _, _)| n.clone())
+        .ok_or_else(|| CosimError::Wiring {
+            reason: "circuit has no output".to_owned(),
+        })?;
+    let start = std::time::Instant::now();
+    for i in 0..samples {
+        model.set(
+            &input.0,
+            ipd_hdl::LogicVec::from_u64(u64::from(i), input.1 as usize),
+        )?;
+        model.cycle(1)?;
+        let _ = model.get(&output)?;
+    }
+    // Three events per iteration: set, cycle, get.
+    Ok(start.elapsed() / (samples * 3).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(rtt_ms: u64) -> DeliveryScenario {
+        DeliveryScenario {
+            cycles: 10_000,
+            events_per_cycle: 3,
+            download_bytes: 795 * 1024, // the paper's Table 1 total
+            bandwidth_bytes_per_s: 128.0 * 1024.0, // a 2002-era 1 Mb/s link
+            rtt: Duration::from_millis(rtt_ms),
+            local_event_cost: Duration::from_micros(5),
+        }
+    }
+
+    #[test]
+    fn applet_throughput_is_rtt_independent() {
+        let slow = scenario(50);
+        let fast = scenario(1);
+        assert_eq!(
+            slow.throughput(Approach::AppletLocal),
+            fast.throughput(Approach::AppletLocal)
+        );
+    }
+
+    #[test]
+    fn remote_throughput_degrades_with_rtt() {
+        let slow = scenario(50);
+        let fast = scenario(1);
+        assert!(
+            slow.throughput(Approach::WebCadRemote)
+                < fast.throughput(Approach::WebCadRemote)
+        );
+        assert!(
+            slow.throughput(Approach::JavaCadRmi)
+                < slow.throughput(Approach::WebCadRemote),
+            "per-event RMI is the slowest"
+        );
+    }
+
+    #[test]
+    fn applet_wins_at_wan_latency() {
+        let s = scenario(20);
+        let applet = s.total_time(Approach::AppletLocal);
+        let webcad = s.total_time(Approach::WebCadRemote);
+        let rmi = s.total_time(Approach::JavaCadRmi);
+        assert!(applet < webcad, "{applet:?} vs {webcad:?}");
+        assert!(webcad < rmi);
+    }
+
+    #[test]
+    fn crossover_is_finite_and_small_for_wan() {
+        let s = scenario(20);
+        let cross = s.crossover_cycles(Approach::WebCadRemote).unwrap();
+        // Download ~6.2 s, saving 20 ms per cycle → ~311 cycles.
+        assert!(cross > 100 && cross < 1000, "crossover {cross}");
+        let rmi_cross = s.crossover_cycles(Approach::JavaCadRmi).unwrap();
+        assert!(rmi_cross < cross, "RMI pays more per cycle");
+        assert!(s.crossover_cycles(Approach::AppletLocal).is_none());
+    }
+
+    #[test]
+    fn zero_rtt_never_crosses() {
+        let s = scenario(0);
+        assert!(s.crossover_cycles(Approach::WebCadRemote).is_none());
+    }
+
+    #[test]
+    fn measured_event_cost_is_positive() {
+        use ipd_techlib::LogicCtx;
+        let mut c = Circuit::new("inv");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(ipd_hdl::PortSpec::input("a", 4)).unwrap();
+        let y = ctx.add_port(ipd_hdl::PortSpec::output("y", 4)).unwrap();
+        for b in 0..4 {
+            ctx.inv(ipd_hdl::Signal::bit_of(a, b), ipd_hdl::Signal::bit_of(y, b))
+                .unwrap();
+        }
+        let cost = measure_local_event_cost(&c, 100).unwrap();
+        assert!(cost > Duration::ZERO);
+        assert!(cost < Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,79 @@
+//! Co-simulation errors.
+
+use std::fmt;
+
+/// Errors raised by the co-simulation protocol, clients and servers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CosimError {
+    /// Malformed protocol bytes.
+    Protocol {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Socket or pipe failure.
+    Io(std::io::Error),
+    /// The remote side reported an error.
+    Remote {
+        /// The remote error message.
+        message: String,
+    },
+    /// An operation referenced an unknown model or port.
+    UnknownPort {
+        /// The port name.
+        port: String,
+    },
+    /// The underlying simulation failed.
+    Sim(ipd_sim::SimError),
+    /// The delivery layer refused the operation (capability or
+    /// network permission).
+    Core(ipd_core::CoreError),
+    /// A system-simulation wiring error.
+    Wiring {
+        /// Description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            CosimError::Io(e) => write!(f, "i/o error: {e}"),
+            CosimError::Remote { message } => write!(f, "remote error: {message}"),
+            CosimError::UnknownPort { port } => write!(f, "unknown port {port}"),
+            CosimError::Sim(e) => write!(f, "simulation error: {e}"),
+            CosimError::Core(e) => write!(f, "delivery error: {e}"),
+            CosimError::Wiring { reason } => write!(f, "wiring error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CosimError::Io(e) => Some(e),
+            CosimError::Sim(e) => Some(e),
+            CosimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CosimError {
+    fn from(e: std::io::Error) -> Self {
+        CosimError::Io(e)
+    }
+}
+
+impl From<ipd_sim::SimError> for CosimError {
+    fn from(e: ipd_sim::SimError) -> Self {
+        CosimError::Sim(e)
+    }
+}
+
+impl From<ipd_core::CoreError> for CosimError {
+    fn from(e: ipd_core::CoreError) -> Self {
+        CosimError::Core(e)
+    }
+}

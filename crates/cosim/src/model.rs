@@ -1,0 +1,251 @@
+//! The port-level simulation-model abstraction.
+//!
+//! A black-box applet exposes *only* this interface: drive inputs,
+//! cycle, read outputs. Local circuits, remote applets and behavioral
+//! stand-ins all implement it, so a system simulation can mix them
+//! freely (the paper's Figure 4).
+
+use ipd_hdl::{Circuit, LogicVec, PortDir};
+use ipd_sim::Simulator;
+
+use crate::error::CosimError;
+
+/// A port-level simulation model.
+pub trait SimModel {
+    /// The model's port interface: `(name, dir, width)`.
+    fn interface(&mut self) -> Result<Vec<(String, PortDir, u32)>, CosimError>;
+
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ports or transport failures.
+    fn set(&mut self, port: &str, value: LogicVec) -> Result<(), CosimError>;
+
+    /// Advances the model by `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation or transport failures.
+    fn cycle(&mut self, n: u32) -> Result<(), CosimError>;
+
+    /// Resets the model to power-on state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation or transport failures.
+    fn reset(&mut self) -> Result<(), CosimError>;
+
+    /// Reads a port's current value.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ports or transport failures.
+    fn get(&mut self, port: &str) -> Result<LogicVec, CosimError>;
+}
+
+impl std::fmt::Debug for dyn SimModel + Send {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<sim model>")
+    }
+}
+
+/// A model backed by a local [`Simulator`] — the applet-local case the
+/// paper advocates (no network between events).
+#[derive(Debug, Clone)]
+pub struct LocalSimModel {
+    simulator: Simulator,
+}
+
+impl LocalSimModel {
+    /// Compiles a circuit into a local model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator compile errors.
+    pub fn new(circuit: &Circuit) -> Result<Self, CosimError> {
+        Ok(LocalSimModel {
+            simulator: Simulator::new(circuit)?,
+        })
+    }
+
+    /// Wraps an existing simulator.
+    #[must_use]
+    pub fn from_simulator(simulator: Simulator) -> Self {
+        LocalSimModel { simulator }
+    }
+
+    /// Access to the underlying simulator (e.g. for waveforms).
+    #[must_use]
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.simulator
+    }
+}
+
+impl SimModel for LocalSimModel {
+    fn interface(&mut self) -> Result<Vec<(String, PortDir, u32)>, CosimError> {
+        Ok(self.simulator.ports())
+    }
+
+    fn set(&mut self, port: &str, value: LogicVec) -> Result<(), CosimError> {
+        self.simulator.set(port, value)?;
+        Ok(())
+    }
+
+    fn cycle(&mut self, n: u32) -> Result<(), CosimError> {
+        self.simulator.cycle(u64::from(n))?;
+        Ok(())
+    }
+
+    fn reset(&mut self) -> Result<(), CosimError> {
+        self.simulator.reset();
+        Ok(())
+    }
+
+    fn get(&mut self, port: &str) -> Result<LogicVec, CosimError> {
+        Ok(self.simulator.peek(port)?)
+    }
+}
+
+/// A behavioral stand-in defined by a closure over its input history —
+/// the "behavioral models of non-FPGA circuitry" JHDL supports (§2.3).
+pub struct BehavioralModel<F>
+where
+    F: FnMut(&[(String, LogicVec)]) -> Vec<(String, LogicVec)>,
+{
+    ports: Vec<(String, PortDir, u32)>,
+    inputs: Vec<(String, LogicVec)>,
+    outputs: Vec<(String, LogicVec)>,
+    step: F,
+}
+
+impl<F> std::fmt::Debug for BehavioralModel<F>
+where
+    F: FnMut(&[(String, LogicVec)]) -> Vec<(String, LogicVec)>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BehavioralModel")
+            .field("ports", &self.ports.len())
+            .finish()
+    }
+}
+
+impl<F> BehavioralModel<F>
+where
+    F: FnMut(&[(String, LogicVec)]) -> Vec<(String, LogicVec)>,
+{
+    /// A behavioral model with the given interface; `step` maps the
+    /// current inputs to the next outputs, called once per cycle.
+    #[must_use]
+    pub fn new(ports: Vec<(String, PortDir, u32)>, step: F) -> Self {
+        let inputs = ports
+            .iter()
+            .filter(|(_, d, _)| *d == PortDir::Input)
+            .map(|(n, _, w)| (n.clone(), LogicVec::unknown(*w as usize)))
+            .collect();
+        let outputs = ports
+            .iter()
+            .filter(|(_, d, _)| *d == PortDir::Output)
+            .map(|(n, _, w)| (n.clone(), LogicVec::unknown(*w as usize)))
+            .collect();
+        BehavioralModel {
+            ports,
+            inputs,
+            outputs,
+            step,
+        }
+    }
+}
+
+impl<F> SimModel for BehavioralModel<F>
+where
+    F: FnMut(&[(String, LogicVec)]) -> Vec<(String, LogicVec)>,
+{
+    fn interface(&mut self) -> Result<Vec<(String, PortDir, u32)>, CosimError> {
+        Ok(self.ports.clone())
+    }
+
+    fn set(&mut self, port: &str, value: LogicVec) -> Result<(), CosimError> {
+        match self.inputs.iter_mut().find(|(n, _)| n == port) {
+            Some(slot) => {
+                slot.1 = value;
+                Ok(())
+            }
+            None => Err(CosimError::UnknownPort {
+                port: port.to_owned(),
+            }),
+        }
+    }
+
+    fn cycle(&mut self, n: u32) -> Result<(), CosimError> {
+        for _ in 0..n {
+            let next = (self.step)(&self.inputs);
+            for (name, value) in next {
+                if let Some(slot) = self.outputs.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) -> Result<(), CosimError> {
+        for (_, v) in &mut self.outputs {
+            *v = LogicVec::unknown(v.width());
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, port: &str) -> Result<LogicVec, CosimError> {
+        if let Some((_, v)) = self.outputs.iter().find(|(n, _)| n == port) {
+            return Ok(v.clone());
+        }
+        if let Some((_, v)) = self.inputs.iter().find(|(n, _)| n == port) {
+            return Ok(v.clone());
+        }
+        Err(CosimError::UnknownPort {
+            port: port.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::PortSpec;
+    use ipd_techlib::LogicCtx;
+
+    #[test]
+    fn local_model_wraps_simulator() {
+        let mut c = Circuit::new("inv");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.inv(a, y).unwrap();
+        let mut model = LocalSimModel::new(&c).unwrap();
+        assert_eq!(model.interface().unwrap().len(), 2);
+        model.set("a", LogicVec::from_u64(1, 1)).unwrap();
+        assert_eq!(model.get("y").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn behavioral_model_steps() {
+        let mut counter = 0u64;
+        let mut model = BehavioralModel::new(
+            vec![
+                ("en".into(), PortDir::Input, 1),
+                ("count".into(), PortDir::Output, 8),
+            ],
+            move |inputs| {
+                let en = inputs[0].1.to_u64().unwrap_or(0);
+                counter += en;
+                vec![("count".into(), LogicVec::from_u64(counter, 8))]
+            },
+        );
+        model.set("en", LogicVec::from_u64(1, 1)).unwrap();
+        model.cycle(3).unwrap();
+        assert_eq!(model.get("count").unwrap().to_u64(), Some(3));
+        assert!(model.set("nope", LogicVec::zeros(1)).is_err());
+        assert!(model.get("nope").is_err());
+    }
+}

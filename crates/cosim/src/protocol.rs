@@ -1,0 +1,375 @@
+//! The black-box co-simulation wire protocol.
+//!
+//! The paper (§4.2) exchanges "simulation events … over network sockets
+//! and a custom communication protocol" between applets and the
+//! customer's system simulator. This module defines that protocol:
+//! length-prefixed frames carrying tagged messages.
+
+use std::io::{Read, Write};
+
+use ipd_hdl::{Logic, LogicVec, PortDir};
+
+use crate::error::CosimError;
+
+/// Maximum accepted frame size (a sanity bound against corruption).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Client greeting; the server answers with [`Message::Interface`].
+    Hello,
+    /// Queries the model's port interface.
+    GetInterface,
+    /// The model's interface: `(name, dir, width)` per port.
+    Interface(Vec<(String, PortDir, u32)>),
+    /// Drives an input port.
+    SetInput {
+        /// Port name.
+        port: String,
+        /// Value to drive.
+        value: LogicVec,
+    },
+    /// Advances the model's clock.
+    Cycle {
+        /// Number of cycles.
+        n: u32,
+    },
+    /// Resets the model to power-on state.
+    Reset,
+    /// Reads a port's current value.
+    GetOutput {
+        /// Port name.
+        port: String,
+    },
+    /// A port value (response to [`Message::GetOutput`]).
+    Value {
+        /// Port name.
+        port: String,
+        /// Current value.
+        value: LogicVec,
+    },
+    /// Generic success acknowledgement.
+    Ok,
+    /// Error report.
+    Error {
+        /// Human-readable message.
+        message: String,
+    },
+    /// Ends the session.
+    Bye,
+}
+
+impl Message {
+    /// Encodes the message body (without framing).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello => out.push(0),
+            Message::GetInterface => out.push(1),
+            Message::Interface(ports) => {
+                out.push(2);
+                out.extend_from_slice(&(ports.len() as u16).to_le_bytes());
+                for (name, dir, width) in ports {
+                    put_str(&mut out, name);
+                    out.push(match dir {
+                        PortDir::Input => 0,
+                        PortDir::Output => 1,
+                        PortDir::Inout => 2,
+                    });
+                    out.extend_from_slice(&width.to_le_bytes());
+                }
+            }
+            Message::SetInput { port, value } => {
+                out.push(3);
+                put_str(&mut out, port);
+                put_vec(&mut out, value);
+            }
+            Message::Cycle { n } => {
+                out.push(4);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Message::Reset => out.push(5),
+            Message::GetOutput { port } => {
+                out.push(6);
+                put_str(&mut out, port);
+            }
+            Message::Value { port, value } => {
+                out.push(7);
+                put_str(&mut out, port);
+                put_vec(&mut out, value);
+            }
+            Message::Ok => out.push(8),
+            Message::Error { message } => {
+                out.push(9);
+                put_str(&mut out, message);
+            }
+            Message::Bye => out.push(10),
+        }
+        out
+    }
+
+    /// Decodes a message body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Protocol`] for unknown tags or truncated
+    /// fields.
+    pub fn decode(bytes: &[u8]) -> Result<Message, CosimError> {
+        let mut r = Cursor { bytes, pos: 0 };
+        let tag = r.u8()?;
+        let msg = match tag {
+            0 => Message::Hello,
+            1 => Message::GetInterface,
+            2 => {
+                let count = r.u16()? as usize;
+                let mut ports = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = r.string()?;
+                    let dir = match r.u8()? {
+                        0 => PortDir::Input,
+                        1 => PortDir::Output,
+                        2 => PortDir::Inout,
+                        other => {
+                            return Err(CosimError::Protocol {
+                                reason: format!("bad direction {other}"),
+                            })
+                        }
+                    };
+                    let width = r.u32()?;
+                    ports.push((name, dir, width));
+                }
+                Message::Interface(ports)
+            }
+            3 => Message::SetInput {
+                port: r.string()?,
+                value: r.logic_vec()?,
+            },
+            4 => Message::Cycle { n: r.u32()? },
+            5 => Message::Reset,
+            6 => Message::GetOutput { port: r.string()? },
+            7 => Message::Value {
+                port: r.string()?,
+                value: r.logic_vec()?,
+            },
+            8 => Message::Ok,
+            9 => Message::Error {
+                message: r.string()?,
+            },
+            10 => Message::Bye,
+            other => {
+                return Err(CosimError::Protocol {
+                    reason: format!("unknown message tag {other}"),
+                })
+            }
+        };
+        if r.pos != bytes.len() {
+            return Err(CosimError::Protocol {
+                reason: "trailing bytes in message".to_owned(),
+            });
+        }
+        Ok(msg)
+    }
+}
+
+/// Writes one length-prefixed frame. A mut reference can be passed as
+/// the writer.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_frame<W: Write>(mut writer: W, message: &Message) -> Result<(), CosimError> {
+    let body = message.encode();
+    writer.write_all(&(body.len() as u32).to_le_bytes())?;
+    writer.write_all(&body)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. A mut reference can be passed as
+/// the reader.
+///
+/// # Errors
+///
+/// Fails on I/O errors, oversized frames or malformed bodies.
+pub fn read_frame<R: Read>(mut reader: R) -> Result<Message, CosimError> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(CosimError::Protocol {
+            reason: format!("frame of {len} bytes exceeds limit"),
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    Message::decode(&body)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec(out: &mut Vec<u8>, v: &LogicVec) {
+    out.extend_from_slice(&(v.width() as u16).to_le_bytes());
+    // Two bits per logic value, packed four per byte.
+    let mut byte = 0u8;
+    for (i, bit) in v.iter().enumerate() {
+        let code = match bit {
+            Logic::Zero => 0u8,
+            Logic::One => 1,
+            Logic::X => 2,
+            Logic::Z => 3,
+        };
+        byte |= code << ((i % 4) * 2);
+        if i % 4 == 3 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !v.width().is_multiple_of(4) {
+        out.push(byte);
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CosimError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CosimError::Protocol {
+                reason: "truncated message".to_owned(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CosimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CosimError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CosimError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn string(&mut self) -> Result<String, CosimError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CosimError::Protocol {
+            reason: "string is not UTF-8".to_owned(),
+        })
+    }
+
+    fn logic_vec(&mut self) -> Result<LogicVec, CosimError> {
+        let width = self.u16()? as usize;
+        let bytes = self.take(width.div_ceil(4))?;
+        let mut bits = Vec::with_capacity(width);
+        for i in 0..width {
+            let code = (bytes[i / 4] >> ((i % 4) * 2)) & 0b11;
+            bits.push(match code {
+                0 => Logic::Zero,
+                1 => Logic::One,
+                2 => Logic::X,
+                _ => Logic::Z,
+            });
+        }
+        Ok(LogicVec::from_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Message::Hello);
+        round_trip(Message::GetInterface);
+        round_trip(Message::Interface(vec![
+            ("clk".into(), PortDir::Input, 1),
+            ("x".into(), PortDir::Input, 8),
+            ("y".into(), PortDir::Output, 17),
+        ]));
+        round_trip(Message::SetInput {
+            port: "x".into(),
+            value: LogicVec::from_i64(-56, 8),
+        });
+        round_trip(Message::Cycle { n: 1000 });
+        round_trip(Message::Reset);
+        round_trip(Message::GetOutput { port: "y".into() });
+        round_trip(Message::Value {
+            port: "y".into(),
+            value: LogicVec::unknown(5),
+        });
+        round_trip(Message::Ok);
+        round_trip(Message::Error {
+            message: "no such port".into(),
+        });
+        round_trip(Message::Bye);
+    }
+
+    #[test]
+    fn four_state_values_survive() {
+        let mut v = LogicVec::from_u64(0b1010, 4);
+        v.set_bit(1, Logic::X);
+        v.set_bit(2, Logic::Z);
+        round_trip(Message::Value {
+            port: "p".into(),
+            value: v,
+        });
+    }
+
+    #[test]
+    fn framing_round_trip_over_a_pipe() {
+        let mut buf = Vec::new();
+        let msg = Message::SetInput {
+            port: "multiplicand".into(),
+            value: LogicVec::from_u64(42, 8),
+        };
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &Message::Bye).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), msg);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Message::Bye);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[200]).is_err());
+        assert!(Message::decode(&[3, 5, 0]).is_err()); // truncated string
+        // Trailing junk.
+        let mut bytes = Message::Ok.encode();
+        bytes.push(7);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(std::io::Cursor::new(buf)),
+            Err(CosimError::Protocol { .. })
+        ));
+    }
+}

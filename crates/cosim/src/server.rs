@@ -1,0 +1,177 @@
+//! The black-box applet server: exposes a protected circuit's
+//! port-level simulation over a socket.
+//!
+//! This is the applet side of the paper's Figure 4. Creating a server
+//! requires the applet host's *network permission* — "establishing
+//! network connections … violates the default applet security model
+//! and requires explicit permission from the user" (§4.2, footnote 1).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use ipd_core::AppletHost;
+
+use crate::error::CosimError;
+use crate::model::SimModel;
+use crate::protocol::{read_frame, write_frame, Message};
+
+/// A socket server wrapping one port-level simulation model.
+#[derive(Debug)]
+pub struct BlackBoxServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl BlackBoxServer {
+    /// Binds a server on a loopback port, after checking the applet
+    /// host's network permission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Core`] when the user has not granted
+    /// network permission, or an I/O error when binding fails.
+    pub fn bind(host: &AppletHost) -> Result<Self, CosimError> {
+        host.check_network()?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        Ok(BlackBoxServer { listener, addr })
+    }
+
+    /// The bound address clients connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves exactly one client session on the current thread,
+    /// consuming the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/transport failures. A client `Bye` (or
+    /// disconnect) ends the session normally.
+    pub fn serve_one<M: SimModel>(self, mut model: M) -> Result<(), CosimError> {
+        let (stream, _) = self.listener.accept()?;
+        serve_stream(stream, &mut model)
+    }
+
+    /// Spawns a thread serving one client session.
+    #[must_use]
+    pub fn spawn<M: SimModel + Send + 'static>(
+        self,
+        model: M,
+    ) -> JoinHandle<Result<(), CosimError>> {
+        std::thread::spawn(move || self.serve_one(model))
+    }
+}
+
+/// Runs the protocol loop over one connection.
+fn serve_stream<M: SimModel>(stream: TcpStream, model: &mut M) -> Result<(), CosimError> {
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let request = match read_frame(&mut reader) {
+            Ok(msg) => msg,
+            // Disconnect ends the session.
+            Err(CosimError::Io(_)) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let response = handle(model, &request);
+        let stop = matches!(request, Message::Bye);
+        write_frame(&mut writer, &response)?;
+        if stop {
+            return Ok(());
+        }
+    }
+}
+
+/// Computes the response to one request; model errors become
+/// [`Message::Error`] so the session survives bad requests.
+pub(crate) fn handle<M: SimModel>(model: &mut M, request: &Message) -> Message {
+    let outcome = match request {
+        Message::Hello | Message::GetInterface => {
+            model.interface().map(Message::Interface)
+        }
+        Message::SetInput { port, value } => {
+            model.set(port, value.clone()).map(|()| Message::Ok)
+        }
+        Message::Cycle { n } => model.cycle(*n).map(|()| Message::Ok),
+        Message::Reset => model.reset().map(|()| Message::Ok),
+        Message::GetOutput { port } => model.get(port).map(|value| Message::Value {
+            port: port.clone(),
+            value,
+        }),
+        Message::Bye => Ok(Message::Ok),
+        other => Err(CosimError::Protocol {
+            reason: format!("unexpected client message {other:?}"),
+        }),
+    };
+    match outcome {
+        Ok(msg) => msg,
+        Err(e) => Message::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LocalSimModel;
+    use ipd_hdl::{Circuit, LogicVec, PortSpec};
+    use ipd_techlib::LogicCtx;
+
+    fn inverter_model() -> LocalSimModel {
+        let mut c = Circuit::new("inv");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.inv(a, y).unwrap();
+        LocalSimModel::new(&c).unwrap()
+    }
+
+    #[test]
+    fn binding_requires_network_permission() {
+        let host = AppletHost::new();
+        assert!(matches!(
+            BlackBoxServer::bind(&host),
+            Err(CosimError::Core(_))
+        ));
+        let mut host = AppletHost::new();
+        host.grant_network_permission();
+        BlackBoxServer::bind(&host).expect("bind with permission");
+    }
+
+    #[test]
+    fn handle_translates_errors_to_messages() {
+        let mut model = inverter_model();
+        let resp = handle(
+            &mut model,
+            &Message::GetOutput { port: "zzz".into() },
+        );
+        assert!(matches!(resp, Message::Error { .. }));
+        let resp = handle(
+            &mut model,
+            &Message::SetInput {
+                port: "a".into(),
+                value: LogicVec::from_u64(1, 1),
+            },
+        );
+        assert_eq!(resp, Message::Ok);
+        let resp = handle(&mut model, &Message::GetOutput { port: "y".into() });
+        assert_eq!(
+            resp,
+            Message::Value {
+                port: "y".into(),
+                value: LogicVec::from_u64(0, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn unexpected_messages_are_protocol_errors() {
+        let mut model = inverter_model();
+        let resp = handle(&mut model, &Message::Ok);
+        assert!(matches!(resp, Message::Error { .. }));
+    }
+}

@@ -1,0 +1,107 @@
+//! Protocol robustness: arbitrary bytes never panic the decoder, and
+//! arbitrary well-formed messages always round-trip — the properties a
+//! network-facing applet server needs against hostile clients.
+
+use proptest::prelude::*;
+
+use ipd_cosim::{read_frame, write_frame, Message};
+use ipd_hdl::{Logic, LogicVec, PortDir};
+
+fn logic_vec_strategy() -> impl Strategy<Value = LogicVec> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Logic::Zero),
+            Just(Logic::One),
+            Just(Logic::X),
+            Just(Logic::Z)
+        ],
+        0..64,
+    )
+    .prop_map(LogicVec::from_bits)
+}
+
+fn port_dir_strategy() -> impl Strategy<Value = PortDir> {
+    prop_oneof![
+        Just(PortDir::Input),
+        Just(PortDir::Output),
+        Just(PortDir::Inout)
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    let name = "[a-z][a-z0-9_]{0,15}";
+    prop_oneof![
+        Just(Message::Hello),
+        Just(Message::GetInterface),
+        proptest::collection::vec((name, port_dir_strategy(), 1u32..64), 0..8)
+            .prop_map(|ports| Message::Interface(
+                ports.into_iter().collect()
+            )),
+        (name, logic_vec_strategy())
+            .prop_map(|(port, value)| Message::SetInput { port, value }),
+        (0u32..1_000_000).prop_map(|n| Message::Cycle { n }),
+        Just(Message::Reset),
+        name.prop_map(|port| Message::GetOutput { port }),
+        (name, logic_vec_strategy())
+            .prop_map(|(port, value)| Message::Value { port, value }),
+        Just(Message::Ok),
+        "[ -~]{0,64}".prop_map(|message| Message::Error { message }),
+        Just(Message::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes must decode to Ok or Err — never panic.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Arbitrary frames (length prefix + garbage) never panic the
+    /// frame reader either.
+    #[test]
+    fn read_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = read_frame(std::io::Cursor::new(bytes));
+    }
+
+    /// Every well-formed message round-trips through encode/decode.
+    #[test]
+    fn messages_round_trip(msg in message_strategy()) {
+        let bytes = msg.encode();
+        prop_assert_eq!(Message::decode(&bytes).expect("decode"), msg);
+    }
+
+    /// Every well-formed message round-trips through the framing layer.
+    #[test]
+    fn frames_round_trip(msgs in proptest::collection::vec(message_strategy(), 1..8)) {
+        let mut buf = Vec::new();
+        for msg in &msgs {
+            write_frame(&mut buf, msg).expect("write");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in &msgs {
+            prop_assert_eq!(&read_frame(&mut cursor).expect("read"), msg);
+        }
+    }
+
+    /// Truncating a valid encoding anywhere must produce an error, not
+    /// a silently different message.
+    #[test]
+    fn truncation_is_detected(msg in message_strategy(), cut in any::<prop::sample::Index>()) {
+        let bytes = msg.encode();
+        if bytes.len() > 1 {
+            let cut = 1 + cut.index(bytes.len() - 1);
+            if cut < bytes.len() {
+                match Message::decode(&bytes[..cut]) {
+                    Err(_) => {}
+                    Ok(decoded) => prop_assert_ne!(
+                        decoded, msg,
+                        "truncated decode must not equal the original"
+                    ),
+                }
+            }
+        }
+    }
+}

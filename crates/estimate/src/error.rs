@@ -1,0 +1,52 @@
+//! Estimation errors.
+
+use std::fmt;
+
+/// Errors raised while estimating area or timing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// The circuit failed to flatten.
+    Hdl(ipd_hdl::HdlError),
+    /// A primitive could not be interpreted by the technology library.
+    Tech(ipd_techlib::TechError),
+    /// Timing analysis requires an acyclic combinational network.
+    CombinationalLoop {
+        /// A net on the cycle.
+        net: String,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::Hdl(e) => write!(f, "circuit error: {e}"),
+            EstimateError::Tech(e) => write!(f, "technology error: {e}"),
+            EstimateError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimateError::Hdl(e) => Some(e),
+            EstimateError::Tech(e) => Some(e),
+            EstimateError::CombinationalLoop { .. } => None,
+        }
+    }
+}
+
+impl From<ipd_hdl::HdlError> for EstimateError {
+    fn from(e: ipd_hdl::HdlError) -> Self {
+        EstimateError::Hdl(e)
+    }
+}
+
+impl From<ipd_techlib::TechError> for EstimateError {
+    fn from(e: ipd_techlib::TechError) -> Self {
+        EstimateError::Tech(e)
+    }
+}

@@ -1,0 +1,456 @@
+//! Static timing estimation: longest combinational path under the
+//! technology delay model, placement-aware.
+
+use std::fmt;
+
+use ipd_hdl::{Circuit, FlatKind, FlatNetlist, NetId, PortDir, Rloc};
+use ipd_techlib::{DelayModel, PrimClass, PrimKind};
+
+use crate::error::EstimateError;
+
+/// The timing estimate an IP evaluation executable displays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst register-to-register / pin-to-pin delay in nanoseconds.
+    pub critical_path_ns: f64,
+    /// Maximum clock frequency implied by the critical path.
+    pub fmax_mhz: f64,
+    /// Logic levels (LUT-class primitives) on the critical path.
+    pub levels: usize,
+    /// Net names along the critical path, source to endpoint.
+    pub path: Vec<String>,
+    /// Fraction of leaves carrying absolute placement, 0–1. Placed
+    /// macros get tighter routing estimates — the benefit the paper's
+    /// layout view sells.
+    pub placed_fraction: f64,
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "timing: {:.2} ns critical path ({:.1} MHz), {} logic level(s), {:.0}% placed",
+            self.critical_path_ns,
+            self.fmax_mhz,
+            self.levels,
+            self.placed_fraction * 100.0
+        )?;
+        if !self.path.is_empty() {
+            writeln!(f, "  worst path: {}", self.path.join(" -> "))?;
+        }
+        Ok(())
+    }
+}
+
+struct TimingNode {
+    kind: PrimKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+    loc: Option<Rloc>,
+}
+
+/// Estimates the critical path of a circuit using the default Virtex
+/// delay model.
+///
+/// # Errors
+///
+/// Fails on flattening errors, unknown primitives, or combinational
+/// loops.
+pub fn estimate_timing(circuit: &Circuit) -> Result<TimingReport, EstimateError> {
+    estimate_timing_with(circuit, &DelayModel::virtex())
+}
+
+/// Estimates the critical path with an explicit delay model.
+///
+/// # Errors
+///
+/// As for [`estimate_timing`].
+pub fn estimate_timing_with(
+    circuit: &Circuit,
+    model: &DelayModel,
+) -> Result<TimingReport, EstimateError> {
+    let flat = FlatNetlist::build(circuit)?;
+    estimate_timing_flat(&flat, model)
+}
+
+/// Estimates timing from an already-flattened design.
+///
+/// # Errors
+///
+/// As for [`estimate_timing`].
+pub fn estimate_timing_flat(
+    flat: &FlatNetlist,
+    model: &DelayModel,
+) -> Result<TimingReport, EstimateError> {
+    let net_count = flat.net_count();
+    let mut arrival = vec![0.0f64; net_count];
+    let mut level = vec![0usize; net_count];
+    let mut pred: Vec<Option<NetId>> = vec![None; net_count];
+    let mut driver_loc: Vec<Option<Rloc>> = vec![None; net_count];
+    let mut fanout = vec![0usize; net_count];
+    for (net, readers) in flat.readers().iter().enumerate() {
+        fanout[net] = readers.len();
+    }
+
+    let mut nodes: Vec<TimingNode> = Vec::new();
+    // Endpoints: (arrival net, extra delay, sink loc, label).
+    let mut endpoints: Vec<(NetId, f64, Option<Rloc>, String)> = Vec::new();
+    let mut placed = 0usize;
+    let mut total_leaves = 0usize;
+
+    for leaf in flat.leaves() {
+        total_leaves += 1;
+        if leaf.loc.is_some() {
+            placed += 1;
+        }
+        match &leaf.kind {
+            FlatKind::BlackBox(_) => {
+                // Unknown internals: outputs launch at t=0; inputs are
+                // endpoints with no setup assumption.
+                for conn in &leaf.conns {
+                    match conn.dir {
+                        PortDir::Input => {
+                            for &n in &conn.nets {
+                                endpoints.push((n, 0.0, leaf.loc, leaf.path.clone()));
+                            }
+                        }
+                        _ => {
+                            for &n in &conn.nets {
+                                driver_loc[n.index()] = leaf.loc;
+                            }
+                        }
+                    }
+                }
+            }
+            FlatKind::Primitive(p) => {
+                let kind = PrimKind::from_primitive(p)?;
+                match kind.class() {
+                    PrimClass::Comb | PrimClass::Rom16 => {
+                        let mut inputs = Vec::new();
+                        let mut output = None;
+                        for conn in &leaf.conns {
+                            match conn.dir {
+                                PortDir::Input => inputs.extend(conn.nets.iter().copied()),
+                                _ => output = conn.nets.first().copied(),
+                            }
+                        }
+                        if let Some(output) = output {
+                            driver_loc[output.index()] = leaf.loc;
+                            nodes.push(TimingNode {
+                                kind,
+                                inputs,
+                                output,
+                                loc: leaf.loc,
+                            });
+                        }
+                    }
+                    PrimClass::Const(_) => {
+                        for conn in &leaf.conns {
+                            if conn.dir != PortDir::Input {
+                                for &n in &conn.nets {
+                                    driver_loc[n.index()] = leaf.loc;
+                                }
+                            }
+                        }
+                    }
+                    PrimClass::Ff { .. } => {
+                        for conn in &leaf.conns {
+                            match (conn.port.as_str(), conn.dir) {
+                                ("c", _) => {}
+                                (_, PortDir::Input) => {
+                                    for &n in &conn.nets {
+                                        endpoints.push((
+                                            n,
+                                            model.setup_ns,
+                                            leaf.loc,
+                                            leaf.path.clone(),
+                                        ));
+                                    }
+                                }
+                                (_, _) => {
+                                    for &n in &conn.nets {
+                                        arrival[n.index()] = model.clk_to_q_ns;
+                                        driver_loc[n.index()] = leaf.loc;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    PrimClass::Srl16 | PrimClass::Ram16 => {
+                        // Write side: endpoints. Read side: an async
+                        // LUT-read node from the address to the output.
+                        let mut addr = Vec::new();
+                        let mut out_net = None;
+                        for conn in &leaf.conns {
+                            match (conn.port.as_str(), conn.dir) {
+                                ("c", _) => {}
+                                ("a", _) => addr = conn.nets.clone(),
+                                (_, PortDir::Input) => {
+                                    for &n in &conn.nets {
+                                        endpoints.push((
+                                            n,
+                                            model.setup_ns,
+                                            leaf.loc,
+                                            leaf.path.clone(),
+                                        ));
+                                    }
+                                }
+                                (_, _) => out_net = conn.nets.first().copied(),
+                            }
+                        }
+                        if let Some(output) = out_net {
+                            driver_loc[output.index()] = leaf.loc;
+                            // State launches at clk-to-q; the address
+                            // path goes through the node below.
+                            arrival[output.index()] = model.clk_to_q_ns;
+                            nodes.push(TimingNode {
+                                kind,
+                                inputs: addr,
+                                output,
+                                loc: leaf.loc,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Primary outputs are endpoints; primary inputs launch at t=0.
+    for port in flat.ports() {
+        if port.dir == PortDir::Output {
+            for &n in &port.nets {
+                endpoints.push((n, 0.0, None, format!("output {}", port.name)));
+            }
+        }
+    }
+
+    // Topological order over nodes.
+    let order = topo_order(&nodes, net_count).map_err(|net| {
+        EstimateError::CombinationalLoop {
+            net: flat.nets()[net.index()].name.clone(),
+        }
+    })?;
+
+    for &i in &order {
+        let node = &nodes[i];
+        let mut best = 0.0f64;
+        let mut best_pred = None;
+        let mut best_level = 0usize;
+        for &input in &node.inputs {
+            let net_delay = match (driver_loc[input.index()], node.loc) {
+                (Some(from), Some(to)) => {
+                    model.net_delay_placed(from, to, fanout[input.index()])
+                }
+                _ => model.net_delay_unplaced(fanout[input.index()]),
+            };
+            let t = arrival[input.index()] + net_delay;
+            if t > best {
+                best = t;
+                best_pred = Some(input);
+                best_level = level[input.index()];
+            }
+        }
+        let out = node.output.index();
+        let t = best + model.prim_delay(&node.kind);
+        if t > arrival[out] {
+            arrival[out] = t;
+            pred[out] = best_pred;
+            let is_lut_level = !matches!(
+                node.kind,
+                PrimKind::Muxcy | PrimKind::Xorcy | PrimKind::MultAnd | PrimKind::Buf
+            );
+            level[out] = best_level + usize::from(is_lut_level);
+        }
+    }
+
+    // Find the worst endpoint.
+    let mut critical = 0.0f64;
+    let mut worst_net: Option<NetId> = None;
+    for (net, extra, sink_loc, _label) in &endpoints {
+        let net_delay = match (driver_loc[net.index()], *sink_loc) {
+            (Some(from), Some(to)) => model.net_delay_placed(from, to, fanout[net.index()]),
+            _ => model.net_delay_unplaced(fanout[net.index()]),
+        };
+        let t = arrival[net.index()] + net_delay + extra;
+        if t > critical {
+            critical = t;
+            worst_net = Some(*net);
+        }
+    }
+
+    // Reconstruct the worst path.
+    let mut path = Vec::new();
+    let mut levels = 0usize;
+    if let Some(mut net) = worst_net {
+        levels = level[net.index()];
+        loop {
+            path.push(flat.nets()[net.index()].name.clone());
+            match pred[net.index()] {
+                Some(p) => net = p,
+                None => break,
+            }
+        }
+        path.reverse();
+    }
+
+    let placed_fraction = if total_leaves == 0 {
+        0.0
+    } else {
+        placed as f64 / total_leaves as f64
+    };
+
+    Ok(TimingReport {
+        critical_path_ns: critical,
+        fmax_mhz: model.to_mhz(critical),
+        levels,
+        path,
+        placed_fraction,
+    })
+}
+
+/// Kahn topological sort over timing nodes; `Err(net)` names a net on a
+/// combinational cycle.
+fn topo_order(nodes: &[TimingNode], net_count: usize) -> Result<Vec<usize>, NetId> {
+    let mut producer: Vec<Option<usize>> = vec![None; net_count];
+    for (i, n) in nodes.iter().enumerate() {
+        producer[n.output.index()] = Some(i);
+    }
+    let mut indeg = vec![0usize; nodes.len()];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        for input in &n.inputs {
+            if let Some(p) = producer[input.index()] {
+                if p != i {
+                    indeg[i] += 1;
+                    consumers[p].push(i);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &c in &consumers[i] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let mut emitted = vec![false; nodes.len()];
+        for &i in &order {
+            emitted[i] = true;
+        }
+        let cyclic = (0..nodes.len()).find(|i| !emitted[*i]).expect("cycle exists");
+        return Err(nodes[cyclic].output);
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::{PortSpec, Rloc, Signal};
+    use ipd_techlib::LogicCtx;
+
+    /// A chain of `n` inverters between an FF and an FF.
+    fn inv_chain(n: usize, placed: bool) -> Circuit {
+        let mut c = Circuit::new("chain");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+        let d = ctx.add_port(PortSpec::input("d", 1)).unwrap();
+        let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+        let mut cur = ctx.wire("s0", 1);
+        let first = ctx.fd(clk, d, cur).unwrap();
+        if placed {
+            ctx.set_rloc(first, Rloc::new(0, 0));
+        }
+        for i in 0..n {
+            let next = ctx.wire(&format!("s{}", i + 1), 1);
+            let inv = ctx.inv(cur, next).unwrap();
+            if placed {
+                ctx.set_rloc(inv, Rloc::new(0, i as i32 + 1));
+            }
+            cur = next;
+        }
+        let last = ctx.fd(clk, cur, q).unwrap();
+        if placed {
+            ctx.set_rloc(last, Rloc::new(0, n as i32 + 1));
+        }
+        c
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let short = estimate_timing(&inv_chain(2, false)).expect("timing");
+        let long = estimate_timing(&inv_chain(8, false)).expect("timing");
+        assert!(long.critical_path_ns > short.critical_path_ns);
+        assert!(long.fmax_mhz < short.fmax_mhz);
+        assert_eq!(long.levels, 8);
+    }
+
+    #[test]
+    fn placement_tightens_estimate() {
+        let unplaced = estimate_timing(&inv_chain(6, false)).expect("timing");
+        let placed = estimate_timing(&inv_chain(6, true)).expect("timing");
+        assert!(placed.critical_path_ns < unplaced.critical_path_ns);
+        assert!(placed.placed_fraction > 0.99);
+        assert_eq!(unplaced.placed_fraction, 0.0);
+    }
+
+    #[test]
+    fn path_is_reported() {
+        let report = estimate_timing(&inv_chain(3, false)).expect("timing");
+        assert!(!report.path.is_empty());
+        assert!(report.to_string().contains("worst path"));
+    }
+
+    #[test]
+    fn combinational_loop_is_an_error() {
+        let mut c = Circuit::new("loop");
+        let mut ctx = c.root_ctx();
+        let a = ctx.wire("a", 1);
+        let b = ctx.wire("b", 1);
+        ctx.inv(a, b).unwrap();
+        ctx.inv(b, a).unwrap();
+        assert!(matches!(
+            estimate_timing(&c),
+            Err(EstimateError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn carry_chain_beats_lut_chain() {
+        // n-bit carry chain: muxcy chain, vs n-LUT chain.
+        let n = 16;
+        let mut carry = Circuit::new("carry");
+        {
+            let mut ctx = carry.root_ctx();
+            let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+            let s = ctx.add_port(PortSpec::input("s", n)).unwrap();
+            let d = ctx.add_port(PortSpec::input("d", n)).unwrap();
+            let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+            let mut ci = ctx.wire("c0", 1);
+            ctx.fd(clk, Signal::bit_of(s, 0), ci).unwrap();
+            for i in 0..n {
+                let co = ctx.wire(&format!("c{}", i + 1), 1);
+                ctx.muxcy(ci, Signal::bit_of(d, i), Signal::bit_of(s, i), co)
+                    .unwrap();
+                ci = co;
+            }
+            ctx.fd(clk, ci, q).unwrap();
+        }
+        let lut = inv_chain(n as usize, false);
+        let carry_t = estimate_timing(&carry).expect("timing").critical_path_ns;
+        let lut_t = estimate_timing(&lut).expect("timing").critical_path_ns;
+        assert!(carry_t < lut_t, "carry {carry_t} vs lut {lut_t}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Cells, ports, primitives, properties and placement attributes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::wire::Signal;
+use crate::CellId;
+
+/// Direction of a cell port, seen from inside the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortDir {
+    /// Driven from outside the cell.
+    Input,
+    /// Driven by the cell.
+    Output,
+    /// Bidirectional (rare in FPGA fabric logic; used by pads).
+    Inout,
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        })
+    }
+}
+
+/// Declaration of one port in a cell or generator interface.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{PortDir, PortSpec};
+///
+/// let spec = PortSpec::input("multiplicand", 8);
+/// assert_eq!(spec.name, "multiplicand");
+/// assert_eq!(spec.dir, PortDir::Input);
+/// assert_eq!(spec.width, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortSpec {
+    /// Port name, unique within the interface.
+    pub name: String,
+    /// Direction seen from inside the cell.
+    pub dir: PortDir,
+    /// Width in bits (must be at least 1).
+    pub width: u32,
+}
+
+impl PortSpec {
+    /// Declares a new port.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dir: PortDir, width: u32) -> Self {
+        PortSpec {
+            name: name.into(),
+            dir,
+            width,
+        }
+    }
+
+    /// Declares an input port.
+    #[must_use]
+    pub fn input(name: impl Into<String>, width: u32) -> Self {
+        PortSpec::new(name, PortDir::Input, width)
+    }
+
+    /// Declares an output port.
+    #[must_use]
+    pub fn output(name: impl Into<String>, width: u32) -> Self {
+        PortSpec::new(name, PortDir::Output, width)
+    }
+
+    /// Declares a bidirectional port.
+    #[must_use]
+    pub fn inout(name: impl Into<String>, width: u32) -> Self {
+        PortSpec::new(name, PortDir::Inout, width)
+    }
+}
+
+/// A port instance on a cell: its declaration plus its connections.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// The declared interface of this port.
+    pub spec: PortSpec,
+    /// The signal bound in the *parent* scope, if any.
+    pub outer: Option<Signal>,
+    /// The wire representing this port *inside* the cell
+    /// (composite cells only; primitives have no internals).
+    pub inner: Option<crate::WireId>,
+}
+
+/// Technology-library primitive reference.
+///
+/// The circuit data structure is technology independent: a primitive is
+/// identified by its library and cell name plus an optional `INIT` value
+/// (LUT contents, flip-flop init, ROM contents). The technology library
+/// crate interprets these names and provides behavioral, area and delay
+/// models — exactly how JHDL keeps one circuit structure across multiple
+/// FPGA technology libraries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Primitive {
+    /// Library name, e.g. `"virtex"`.
+    pub library: String,
+    /// Primitive cell name, e.g. `"lut4"` or `"fdce"`.
+    pub name: String,
+    /// Optional initialization contents (LUT truth table, ROM word, …).
+    pub init: Option<u64>,
+}
+
+impl Primitive {
+    /// A primitive with no `INIT` value.
+    #[must_use]
+    pub fn new(library: impl Into<String>, name: impl Into<String>) -> Self {
+        Primitive {
+            library: library.into(),
+            name: name.into(),
+            init: None,
+        }
+    }
+
+    /// A primitive carrying an `INIT` value.
+    #[must_use]
+    pub fn with_init(
+        library: impl Into<String>,
+        name: impl Into<String>,
+        init: u64,
+    ) -> Self {
+        Primitive {
+            library: library.into(),
+            name: name.into(),
+            init: Some(init),
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.init {
+            Some(init) => write!(f, "{}:{} (INIT={init:#x})", self.library, self.name),
+            None => write!(f, "{}:{}", self.library, self.name),
+        }
+    }
+}
+
+/// What a cell *is*: a hierarchy level, a library primitive, or an
+/// opaque protected block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellKind {
+    /// A hierarchical cell containing children and wires.
+    Composite,
+    /// A technology-library leaf.
+    Primitive(Primitive),
+    /// An interface-only cell whose internals are deliberately hidden —
+    /// the "black box" of the paper's protected-IP delivery mode.
+    BlackBox,
+}
+
+impl CellKind {
+    /// Returns the primitive reference for primitive cells.
+    #[must_use]
+    pub fn as_primitive(&self) -> Option<&Primitive> {
+        match self {
+            CellKind::Primitive(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// `true` for hierarchical cells.
+    #[must_use]
+    pub fn is_composite(&self) -> bool {
+        matches!(self, CellKind::Composite)
+    }
+}
+
+/// Value of a user property attached to a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyValue {
+    /// Free-form text.
+    Text(String),
+    /// Integer value.
+    Int(i64),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl fmt::Display for PropertyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyValue::Text(s) => f.write_str(s),
+            PropertyValue::Int(v) => write!(f, "{v}"),
+            PropertyValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for PropertyValue {
+    fn from(s: &str) -> Self {
+        PropertyValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for PropertyValue {
+    fn from(s: String) -> Self {
+        PropertyValue::Text(s)
+    }
+}
+
+impl From<i64> for PropertyValue {
+    fn from(v: i64) -> Self {
+        PropertyValue::Int(v)
+    }
+}
+
+impl From<bool> for PropertyValue {
+    fn from(v: bool) -> Self {
+        PropertyValue::Bool(v)
+    }
+}
+
+/// Relative placement attribute, equivalent to a Xilinx `RLOC`.
+///
+/// Placement is hierarchical: a cell's location is relative to its
+/// parent's origin, and absolute locations are accumulated while
+/// flattening. Module generators use relative placement to produce the
+/// compact, fast layouts the paper's estimator and layout viewer display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Rloc {
+    /// Row offset (CLB rows, increasing downward).
+    pub row: i32,
+    /// Column offset (CLB columns, increasing rightward).
+    pub col: i32,
+}
+
+impl Rloc {
+    /// A placement at the given row/column offset.
+    #[must_use]
+    pub fn new(row: i32, col: i32) -> Self {
+        Rloc { row, col }
+    }
+
+    /// Component-wise translation.
+    #[must_use]
+    pub fn offset(self, other: Rloc) -> Rloc {
+        Rloc {
+            row: self.row + other.row,
+            col: self.col + other.col,
+        }
+    }
+}
+
+impl fmt::Display for Rloc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}C{}", self.row, self.col)
+    }
+}
+
+/// One node of the circuit hierarchy.
+///
+/// Cells are stored in the [`Circuit`](crate::Circuit) arena and referred
+/// to by [`CellId`]. Direct field access is intentionally read-only from
+/// outside the crate; mutation happens through
+/// [`CellCtx`](crate::CellCtx) so invariants hold.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) type_name: String,
+    pub(crate) parent: Option<CellId>,
+    pub(crate) children: Vec<CellId>,
+    pub(crate) kind: CellKind,
+    pub(crate) ports: Vec<Port>,
+    pub(crate) properties: BTreeMap<String, PropertyValue>,
+    pub(crate) rloc: Option<Rloc>,
+}
+
+impl Cell {
+    /// Instance name, unique among siblings.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Definition (type) name, e.g. `"full_adder"` or `"kcm_w8"`.
+    #[must_use]
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// Parent cell, `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<CellId> {
+        self.parent
+    }
+
+    /// Child cells in instantiation order.
+    #[must_use]
+    pub fn children(&self) -> &[CellId] {
+        &self.children
+    }
+
+    /// The cell's kind.
+    #[must_use]
+    pub fn kind(&self) -> &CellKind {
+        &self.kind
+    }
+
+    /// The cell's ports in declaration order.
+    #[must_use]
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    #[must_use]
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.spec.name == name)
+    }
+
+    /// User properties in sorted order.
+    #[must_use]
+    pub fn properties(&self) -> &BTreeMap<String, PropertyValue> {
+        &self.properties
+    }
+
+    /// Relative placement attribute, if placed.
+    #[must_use]
+    pub fn rloc(&self) -> Option<Rloc> {
+        self.rloc
+    }
+
+    /// `true` when this cell is a technology primitive.
+    #[must_use]
+    pub fn is_primitive(&self) -> bool {
+        matches!(self.kind, CellKind::Primitive(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_spec_constructors() {
+        let i = PortSpec::input("a", 4);
+        let o = PortSpec::output("y", 1);
+        let b = PortSpec::inout("pad", 2);
+        assert_eq!(i.dir, PortDir::Input);
+        assert_eq!(o.dir, PortDir::Output);
+        assert_eq!(b.dir, PortDir::Inout);
+        assert_eq!(format!("{} {} {}", i.dir, o.dir, b.dir), "input output inout");
+    }
+
+    #[test]
+    fn primitive_display() {
+        let p = Primitive::with_init("virtex", "lut4", 0x6996);
+        assert_eq!(p.to_string(), "virtex:lut4 (INIT=0x6996)");
+        let q = Primitive::new("virtex", "fdce");
+        assert_eq!(q.to_string(), "virtex:fdce");
+    }
+
+    #[test]
+    fn rloc_offsets_compose() {
+        let a = Rloc::new(1, 2);
+        let b = Rloc::new(3, -1);
+        assert_eq!(a.offset(b), Rloc::new(4, 1));
+        assert_eq!(a.to_string(), "R1C2");
+    }
+
+    #[test]
+    fn property_conversions() {
+        assert_eq!(PropertyValue::from("x"), PropertyValue::Text("x".into()));
+        assert_eq!(PropertyValue::from(7i64), PropertyValue::Int(7));
+        assert_eq!(PropertyValue::from(true), PropertyValue::Bool(true));
+        assert_eq!(PropertyValue::from(7i64).to_string(), "7");
+    }
+}

@@ -1,0 +1,135 @@
+//! Error type shared by all circuit-construction operations.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating or flattening circuits.
+///
+/// Construction in this crate mirrors JHDL: a generator *executes* and the
+/// circuit appears as a side effect, so most mistakes (width mismatches,
+/// unknown ports, out-of-scope wires) are caught at the call that makes
+/// them rather than at a later elaboration step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdlError {
+    /// A port binding's signal width differs from the declared port width.
+    WidthMismatch {
+        /// Context: `cell.port` being bound.
+        port: String,
+        /// Declared width of the port.
+        expected: u32,
+        /// Width of the signal supplied.
+        found: u32,
+    },
+    /// A named port does not exist on the cell or generator interface.
+    UnknownPort {
+        /// The cell or generator type name.
+        cell: String,
+        /// The port name that was requested.
+        port: String,
+    },
+    /// A required input port was left unbound when instancing a cell.
+    UnboundInput {
+        /// The instance name.
+        cell: String,
+        /// The unbound input port.
+        port: String,
+    },
+    /// A wire used in a binding does not belong to the instantiating scope.
+    WireOutOfScope {
+        /// The wire's name.
+        wire: String,
+        /// The scope cell in which the binding was attempted.
+        scope: String,
+    },
+    /// A bit-slice range was outside the wire's width.
+    SliceOutOfRange {
+        /// The wire's name.
+        wire: String,
+        /// Wire width.
+        width: u32,
+        /// Requested high bit.
+        hi: u32,
+        /// Requested low bit.
+        lo: u32,
+    },
+    /// A name collided and automatic uniquification was disabled.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+        /// What kind of object collided ("port", "wire", "instance").
+        kind: &'static str,
+    },
+    /// A generator was asked to build an invalid configuration.
+    InvalidParameter {
+        /// The generator type name.
+        generator: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An identifier referred to a cell or wire not present in the circuit.
+    StaleId {
+        /// Description of the identifier kind.
+        kind: &'static str,
+    },
+    /// More than one driver was found for a net during validation.
+    MultipleDrivers {
+        /// Hierarchical name of the affected net.
+        net: String,
+    },
+    /// A combinational cycle was detected.
+    CombinationalLoop {
+        /// A net on the cycle, for diagnostics.
+        net: String,
+    },
+}
+
+impl fmt::Display for HdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdlError::WidthMismatch {
+                port,
+                expected,
+                found,
+            } => write!(
+                f,
+                "width mismatch on port {port}: expected {expected} bits, found {found}"
+            ),
+            HdlError::UnknownPort { cell, port } => {
+                write!(f, "cell {cell} has no port named {port}")
+            }
+            HdlError::UnboundInput { cell, port } => {
+                write!(f, "input port {port} of instance {cell} is unbound")
+            }
+            HdlError::WireOutOfScope { wire, scope } => {
+                write!(f, "wire {wire} does not belong to scope {scope}")
+            }
+            HdlError::SliceOutOfRange {
+                wire,
+                width,
+                hi,
+                lo,
+            } => write!(
+                f,
+                "slice [{hi}:{lo}] out of range for wire {wire} of width {width}"
+            ),
+            HdlError::DuplicateName { name, kind } => {
+                write!(f, "duplicate {kind} name {name}")
+            }
+            HdlError::InvalidParameter { generator, reason } => {
+                write!(f, "invalid parameter for generator {generator}: {reason}")
+            }
+            HdlError::StaleId { kind } => write!(f, "stale {kind} identifier"),
+            HdlError::MultipleDrivers { net } => {
+                write!(f, "net {net} has multiple drivers")
+            }
+            HdlError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net {net}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdlError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = HdlError> = std::result::Result<T, E>;

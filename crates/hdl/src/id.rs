@@ -1,0 +1,78 @@
+//! Arena identifiers for cells, wires and flattened nets.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Builds an id from a raw arena index.
+            ///
+            /// Intended for internal and test use; ids are normally
+            /// obtained from the structure that owns the arena.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("arena index overflow"))
+            }
+
+            /// The raw arena index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`Cell`](crate::Cell) within a [`Circuit`](crate::Circuit).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifier of a [`Wire`](crate::Wire) within a [`Circuit`](crate::Circuit).
+    WireId,
+    "w"
+);
+define_id!(
+    /// Identifier of a single-bit net in a [`FlatNetlist`](crate::FlatNetlist).
+    NetId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_format() {
+        let c = CellId::from_index(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c}"), "c3");
+        assert_eq!(format!("{c:?}"), "c3");
+        let n = NetId::from_index(0);
+        assert_eq!(n.to_string(), "n0");
+        let w = WireId::from_index(9);
+        assert_eq!(w.to_string(), "w9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+}

@@ -1,0 +1,135 @@
+//! Circuit statistics: primitive histograms and hierarchy summaries.
+//!
+//! The paper's applets display a characterization of the generated IP —
+//! these statistics are the raw material for that display and for the
+//! estimator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::circuit::Circuit;
+use crate::CellId;
+
+/// Aggregate statistics of a circuit or subtree.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{Circuit, CircuitStats};
+///
+/// let circuit = Circuit::new("empty");
+/// let stats = CircuitStats::of(&circuit);
+/// assert_eq!(stats.primitive_total(), 0);
+/// assert_eq!(stats.cell_count, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Count of every primitive, keyed by `library:name`.
+    pub primitives: BTreeMap<String, usize>,
+    /// Total cells, including composite hierarchy levels.
+    pub cell_count: usize,
+    /// Composite (hierarchy) cells.
+    pub composite_count: usize,
+    /// Black-box cells.
+    pub black_box_count: usize,
+    /// Wires in all scopes.
+    pub wire_count: usize,
+    /// Maximum hierarchy depth (root = 1).
+    pub depth: usize,
+}
+
+impl CircuitStats {
+    /// Gathers statistics for the whole circuit.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        Self::of_subtree(circuit, circuit.root())
+    }
+
+    /// Gathers statistics for the subtree rooted at `cell`.
+    #[must_use]
+    pub fn of_subtree(circuit: &Circuit, cell: CellId) -> Self {
+        let mut stats = CircuitStats {
+            wire_count: circuit.wire_count(),
+            depth: circuit.depth(),
+            ..CircuitStats::default()
+        };
+        for id in circuit.descendants(cell) {
+            stats.cell_count += 1;
+            match circuit.cell(id).kind() {
+                CellKind::Primitive(p) => {
+                    *stats
+                        .primitives
+                        .entry(format!("{}:{}", p.library, p.name))
+                        .or_insert(0) += 1;
+                }
+                CellKind::Composite => stats.composite_count += 1,
+                CellKind::BlackBox => stats.black_box_count += 1,
+            }
+        }
+        stats
+    }
+
+    /// Total number of primitive instances.
+    #[must_use]
+    pub fn primitive_total(&self) -> usize {
+        self.primitives.values().sum()
+    }
+
+    /// Count of one primitive kind (`library:name`).
+    #[must_use]
+    pub fn count_of(&self, qualified_name: &str) -> usize {
+        self.primitives.get(qualified_name).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells: {} ({} composite, {} primitive, {} black box), wires: {}, depth: {}",
+            self.cell_count,
+            self.composite_count,
+            self.primitive_total(),
+            self.black_box_count,
+            self.wire_count,
+            self.depth
+        )?;
+        for (name, count) in &self.primitives {
+            writeln!(f, "  {name:<24} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{PortSpec, Primitive};
+
+    #[test]
+    fn counts_by_kind() {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let i = ctx.wire("i", 1);
+        let ports = vec![PortSpec::input("i", 1), PortSpec::output("o", 1)];
+        ctx.leaf(Primitive::new("virtex", "buf"), ports.clone(), "b0", &[("i", i.into())])
+            .unwrap();
+        ctx.leaf(Primitive::new("virtex", "buf"), ports.clone(), "b1", &[("i", i.into())])
+            .unwrap();
+        ctx.leaf(Primitive::new("virtex", "inv"), ports.clone(), "n0", &[("i", i.into())])
+            .unwrap();
+        ctx.black_box("secret", vec![PortSpec::input("i", 1)], "bb", &[("i", i.into())])
+            .unwrap();
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.count_of("virtex:buf"), 2);
+        assert_eq!(stats.count_of("virtex:inv"), 1);
+        assert_eq!(stats.count_of("virtex:nope"), 0);
+        assert_eq!(stats.primitive_total(), 3);
+        assert_eq!(stats.black_box_count, 1);
+        assert_eq!(stats.composite_count, 1); // the root
+        assert_eq!(stats.cell_count, 5);
+        let text = stats.to_string();
+        assert!(text.contains("virtex:buf"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Design-rule checks over the flattened design.
+//!
+//! IP evaluation in the browser only makes sense if the delivered
+//! circuit is structurally sound, so the delivery executable runs these
+//! checks after generation: single-driver rule, undriven reads, and
+//! placement overlap.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cell::{PortDir, Rloc};
+use crate::circuit::Circuit;
+use crate::error::Result;
+use crate::flatten::FlatNetlist;
+
+/// Severity of a rule violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; the design still simulates and netlists.
+    Warning,
+    /// The design is structurally ill-formed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A single design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// How serious the problem is.
+    pub severity: Severity,
+    /// Short rule identifier, e.g. `"multiple-drivers"`.
+    pub rule: &'static str,
+    /// Human-readable description naming the offending object.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.severity, self.rule, self.message)
+    }
+}
+
+/// The result of running all design-rule checks.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// All recorded violations, errors first.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` when no error-severity violations exist.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self
+            .violations
+            .iter()
+            .any(|v| v.severity == Severity::Error)
+    }
+
+    /// Count of error-severity violations.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Count of warning-severity violations.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warning)
+            .count()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return writeln!(f, "design rules: clean");
+        }
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        writeln!(
+            f,
+            "design rules: {} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+/// Runs every design rule on a circuit.
+///
+/// # Errors
+///
+/// Propagates flattening failures; rule violations are *reported*, not
+/// returned as errors.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{validate, Circuit};
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let circuit = Circuit::new("empty");
+/// let report = validate(&circuit)?;
+/// assert!(report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate(circuit: &Circuit) -> Result<ValidationReport> {
+    let flat = FlatNetlist::build(circuit)?;
+    Ok(validate_flat(&flat))
+}
+
+/// Runs every design rule on an already-flattened design.
+#[must_use]
+pub fn validate_flat(flat: &FlatNetlist) -> ValidationReport {
+    let mut violations = Vec::new();
+    check_drivers(flat, &mut violations);
+    check_placement_overlap(flat, &mut violations);
+    violations.sort_by_key(|v| std::cmp::Reverse(v.severity));
+    ValidationReport { violations }
+}
+
+fn check_drivers(flat: &FlatNetlist, out: &mut Vec<Violation>) {
+    let drivers = flat.drivers();
+    let readers = flat.readers();
+    // Primary inputs count as drivers; primary outputs as readers.
+    let mut primary_driven = vec![false; flat.net_count()];
+    let mut primary_read = vec![false; flat.net_count()];
+    for port in flat.ports() {
+        for &net in &port.nets {
+            match port.dir {
+                PortDir::Input => primary_driven[net.index()] = true,
+                PortDir::Output => primary_read[net.index()] = true,
+                PortDir::Inout => {
+                    primary_driven[net.index()] = true;
+                    primary_read[net.index()] = true;
+                }
+            }
+        }
+    }
+    for (i, net) in flat.nets().iter().enumerate() {
+        let drive_count = drivers[i].len() + usize::from(primary_driven[i]);
+        let read_count = readers[i].len() + usize::from(primary_read[i]);
+        if drive_count > 1 {
+            out.push(Violation {
+                severity: Severity::Error,
+                rule: "multiple-drivers",
+                message: format!("net {} has {drive_count} drivers", net.name),
+            });
+        }
+        if drive_count == 0 && read_count > 0 {
+            out.push(Violation {
+                severity: Severity::Warning,
+                rule: "undriven-net",
+                message: format!("net {} is read but never driven", net.name),
+            });
+        }
+        if drive_count == 1 && read_count == 0 && !net.name.ends_with(']') {
+            // Whole dangling nets are usually intentional (e.g. unused
+            // carry out), so only warn.
+            out.push(Violation {
+                severity: Severity::Warning,
+                rule: "unused-net",
+                message: format!("net {} is driven but never read", net.name),
+            });
+        }
+    }
+}
+
+fn check_placement_overlap(flat: &FlatNetlist, out: &mut Vec<Violation>) {
+    let mut seen: HashMap<Rloc, &str> = HashMap::new();
+    for leaf in flat.leaves() {
+        let Some(loc) = leaf.loc else { continue };
+        // A slice site legitimately hosts a LUT, carry mux, carry xor
+        // and flip-flop; more than four leaves at one location suggests
+        // a generator placement bug.
+        match seen.insert(loc, leaf.path.as_str()) {
+            None => {}
+            Some(first) => {
+                let count = flat
+                    .leaves()
+                    .iter()
+                    .filter(|l| l.loc == Some(loc))
+                    .count();
+                if count > 4 {
+                    out.push(Violation {
+                        severity: Severity::Warning,
+                        rule: "placement-overlap",
+                        message: format!(
+                            "{count} leaves at {loc} (first two: {first}, {})",
+                            leaf.path
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{PortSpec, Primitive};
+    use crate::circuit::Circuit;
+
+    fn buf_ports() -> Vec<PortSpec> {
+        vec![PortSpec::input("i", 1), PortSpec::output("o", 1)]
+    }
+
+    fn buf() -> Primitive {
+        Primitive::new("virtex", "buf")
+    }
+
+    #[test]
+    fn clean_design_passes() {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.leaf(buf(), buf_ports(), "b0", &[("i", a.into()), ("o", y.into())])
+            .unwrap();
+        let report = validate(&c).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.warning_count(), 0);
+    }
+
+    #[test]
+    fn multiple_drivers_flagged() {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.leaf(buf(), buf_ports(), "b0", &[("i", a.into()), ("o", y.into())])
+            .unwrap();
+        ctx.leaf(buf(), buf_ports(), "b1", &[("i", a.into()), ("o", y.into())])
+            .unwrap();
+        let report = validate(&c).unwrap();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.rule == "multiple-drivers"));
+    }
+
+    #[test]
+    fn undriven_read_warns() {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let floating = ctx.wire("floating", 1);
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.leaf(
+            buf(),
+            buf_ports(),
+            "b0",
+            &[("i", floating.into()), ("o", y.into())],
+        )
+        .unwrap();
+        let report = validate(&c).unwrap();
+        assert!(report.is_clean()); // warning only
+        assert!(report.violations().iter().any(|v| v.rule == "undriven-net"));
+    }
+
+    #[test]
+    fn severity_display() {
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+}

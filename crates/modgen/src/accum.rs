@@ -1,0 +1,127 @@
+//! Accumulator module generator.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::add::RippleAdder;
+use crate::place_column;
+
+/// A clocked accumulator: `acc <= rst ? 0 : ce ? acc + d : acc`.
+///
+/// Ports: `clk`, `ce`, `rst` (synchronous), `d` (`width` bits),
+/// `q` (`width` bits, the accumulator value, wrapping).
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::Accumulator;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let circuit = Circuit::from_generator(&Accumulator::new(12))?;
+/// assert!(ipd_hdl::validate(&circuit)?.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accumulator {
+    width: u32,
+}
+
+impl Accumulator {
+    /// An accumulator of the given width.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        Accumulator { width }
+    }
+}
+
+impl Generator for Accumulator {
+    fn type_name(&self) -> String {
+        format!("accum_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("ce", 1),
+            PortSpec::input("rst", 1),
+            PortSpec::input("d", self.width),
+            PortSpec::output("q", self.width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 || self.width > 64 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 1..=64".to_owned(),
+            });
+        }
+        let clk = ctx.port("clk")?;
+        let ce = ctx.port("ce")?;
+        let rst = ctx.port("rst")?;
+        let d = ctx.port("d")?;
+        let q = ctx.port("q")?;
+        let sum = ctx.wire("sum", self.width);
+        ctx.instantiate(
+            &RippleAdder::new(self.width),
+            "adder",
+            &[("a", q.into()), ("b", d.into()), ("s", sum.into())],
+        )?;
+        for bit in 0..self.width {
+            let ff = ctx.fdre(
+                clk,
+                ce,
+                rst,
+                Signal::bit_of(sum, bit),
+                Signal::bit_of(q, bit),
+            )?;
+            place_column(ctx, ff, bit);
+        }
+        ctx.set_property("generator", "accumulator");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn accumulates_and_wraps() {
+        let circuit = Circuit::from_generator(&Accumulator::new(8)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("rst", 1).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.set_u64("d", 0).unwrap();
+        sim.cycle(1).unwrap();
+        sim.set_u64("rst", 0).unwrap();
+        sim.set_u64("d", 100).unwrap();
+        sim.cycle(3).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(300 % 256));
+    }
+
+    #[test]
+    fn ce_pauses_accumulation() {
+        let circuit = Circuit::from_generator(&Accumulator::new(8)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("rst", 1).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.set_u64("d", 5).unwrap();
+        sim.cycle(1).unwrap();
+        sim.set_u64("rst", 0).unwrap();
+        sim.cycle(2).unwrap();
+        sim.set_u64("ce", 0).unwrap();
+        sim.cycle(10).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(10));
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        assert!(Circuit::from_generator(&Accumulator::new(0)).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared machinery for summing shifted partial values exactly.
+//!
+//! Both the constant-coefficient multiplier and the array multiplier
+//! reduce a set of *partial values* — bit vectors with a known numeric
+//! range and a power-of-two shift — into a single result. Addition is
+//! performed at exactly the width the value range requires, low bits
+//! below a shift difference pass through without logic, and operands
+//! are sign- or zero-extended by wiring (free in LUT fabric).
+
+use ipd_hdl::{CellCtx, Result, Signal, WireId};
+use ipd_techlib::LogicCtx;
+
+use crate::add::RippleAdder;
+
+/// A partial numeric value under reduction.
+///
+/// `bits` holds one single-bit signal per bit, LSB first; the numeric
+/// value lies in `[lo, hi]` and is scaled by `2^shift` relative to the
+/// final result.
+#[derive(Debug, Clone)]
+pub(crate) struct PartialValue {
+    pub bits: Vec<Signal>,
+    pub lo: i128,
+    pub hi: i128,
+    pub shift: u32,
+}
+
+impl PartialValue {
+    pub(crate) fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    pub(crate) fn is_signed(&self) -> bool {
+        self.lo < 0
+    }
+
+    /// The `k`-th bit with implicit extension: sign bit repetition for
+    /// signed values, the shared zero for unsigned.
+    pub(crate) fn bit(&self, k: u32, zero: &Signal) -> Signal {
+        match self.bits.get(k as usize) {
+            Some(sig) => sig.clone(),
+            None => {
+                if self.is_signed() {
+                    self.bits.last().cloned().unwrap_or_else(|| zero.clone())
+                } else {
+                    zero.clone()
+                }
+            }
+        }
+    }
+}
+
+/// Minimum two's-complement (or unsigned) width holding every value in
+/// `[lo, hi]`.
+pub(crate) fn width_for(lo: i128, hi: i128) -> u32 {
+    debug_assert!(lo <= hi);
+    if lo >= 0 {
+        // Unsigned: bits for hi, at least 1.
+        (128 - hi.leading_zeros()).max(1)
+    } else {
+        // Signed: need -2^(w-1) <= lo and hi <= 2^(w-1)-1.
+        let mut w = 1;
+        while !(-(1i128 << (w - 1)) <= lo && hi < (1i128 << (w - 1))) {
+            w += 1;
+        }
+        w
+    }
+}
+
+/// Creates a wire of `width` bits and returns per-bit signals into it.
+pub(crate) fn wire_bits(ctx: &mut CellCtx<'_>, name: &str, width: u32) -> (WireId, Vec<Signal>) {
+    let w = ctx.wire(name, width);
+    let bits = (0..width).map(|b| Signal::bit_of(w, b)).collect();
+    (w, bits)
+}
+
+/// Adds two partial values into a fresh result value.
+///
+/// Bits of the lower-shifted operand below the shift difference are
+/// buffered straight through; the remainder goes through a carry-chain
+/// [`RippleAdder`] at exactly the width the combined range requires.
+pub(crate) fn combine(
+    ctx: &mut CellCtx<'_>,
+    a: PartialValue,
+    b: PartialValue,
+    zero: &Signal,
+    label: &str,
+) -> Result<PartialValue> {
+    let (a, b) = if a.shift <= b.shift { (a, b) } else { (b, a) };
+    let d = b.shift - a.shift;
+    let lo = a.lo + (b.lo << d);
+    let hi = a.hi + (b.hi << d);
+    let rw = width_for(lo, hi);
+    let (result, bits) = wire_bits(ctx, label, rw);
+    // Pass-through of the low bits.
+    let pass = d.min(rw);
+    for k in 0..pass {
+        let src = a.bit(k, zero);
+        ctx.buffer(src, Signal::bit_of(result, k))?;
+    }
+    // Carry-chain addition of the overlap.
+    if rw > d {
+        let aw = rw - d;
+        let in_a = Signal::concat((0..aw).map(|k| a.bit(d + k, zero)));
+        let in_b = Signal::concat((0..aw).map(|k| b.bit(k, zero)));
+        let sum = Signal::slice_of(result, rw - 1, d);
+        let adder = RippleAdder::new(aw);
+        ctx.instantiate(
+            &adder,
+            &format!("{label}_add"),
+            &[("a", in_a), ("b", in_b), ("s", sum)],
+        )?;
+    }
+    Ok(PartialValue {
+        bits,
+        lo,
+        hi,
+        shift: a.shift,
+    })
+}
+
+/// Registers every bit of a partial value behind `clk` (one pipeline
+/// stage), preserving its numeric interpretation.
+pub(crate) fn register(
+    ctx: &mut CellCtx<'_>,
+    value: PartialValue,
+    clk: WireId,
+    label: &str,
+) -> Result<PartialValue> {
+    let (reg, bits) = wire_bits(ctx, label, value.width());
+    for (k, src) in value.bits.iter().enumerate() {
+        ctx.fd(clk, src.clone(), Signal::bit_of(reg, k as u32))?;
+    }
+    Ok(PartialValue {
+        bits,
+        lo: value.lo,
+        hi: value.hi,
+        shift: value.shift,
+    })
+}
+
+/// Reduces partial values to one with a balanced pairwise tree,
+/// optionally inserting a register stage after every level.
+pub(crate) fn reduce_tree(
+    ctx: &mut CellCtx<'_>,
+    mut values: Vec<PartialValue>,
+    zero: &Signal,
+    clk: Option<WireId>,
+    label: &str,
+) -> Result<PartialValue> {
+    assert!(!values.is_empty(), "reduce_tree needs at least one value");
+    let mut level = 0usize;
+    while values.len() > 1 {
+        let mut next = Vec::with_capacity(values.len().div_ceil(2));
+        let mut iter = values.into_iter();
+        let mut pair_index = 0usize;
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let combined = combine(
+                        ctx,
+                        a,
+                        b,
+                        zero,
+                        &format!("{label}_l{level}_{pair_index}"),
+                    )?;
+                    next.push(combined);
+                }
+                None => next.push(a),
+            }
+            pair_index += 1;
+        }
+        if let Some(clk) = clk {
+            let mut registered = Vec::with_capacity(next.len());
+            for (i, v) in next.into_iter().enumerate() {
+                registered.push(register(
+                    ctx,
+                    v,
+                    clk,
+                    &format!("{label}_r{level}_{i}"),
+                )?);
+            }
+            next = registered;
+        }
+        values = next;
+        level += 1;
+    }
+    Ok(values.into_iter().next().expect("one value remains"))
+}
+
+/// Number of tree levels [`reduce_tree`] uses for `n` values (and thus
+/// pipeline stages it inserts when clocked).
+pub(crate) fn tree_levels(n: usize) -> u32 {
+    let mut levels = 0u32;
+    let mut count = n.max(1);
+    while count > 1 {
+        count = count.div_ceil(2);
+        levels += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_for_ranges() {
+        assert_eq!(width_for(0, 0), 1);
+        assert_eq!(width_for(0, 1), 1);
+        assert_eq!(width_for(0, 255), 8);
+        assert_eq!(width_for(0, 256), 9);
+        assert_eq!(width_for(-1, 0), 1); // one signed bit holds {-1, 0}
+        assert_eq!(width_for(-128, 127), 8);
+        assert_eq!(width_for(-129, 127), 9);
+        assert_eq!(width_for(-7112, 7168), 14);
+    }
+
+    #[test]
+    fn tree_levels_counts() {
+        assert_eq!(tree_levels(1), 0);
+        assert_eq!(tree_levels(2), 1);
+        assert_eq!(tree_levels(3), 2);
+        assert_eq!(tree_levels(4), 2);
+        assert_eq!(tree_levels(5), 3);
+        assert_eq!(tree_levels(8), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Carry-chain comparators.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::place_column;
+
+/// Comparison predicate computed by a [`Comparator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `a == b`.
+    Eq,
+    /// `a != b`.
+    Ne,
+    /// Unsigned `a < b`.
+    Lt,
+    /// Unsigned `a >= b`.
+    Ge,
+}
+
+/// A comparator mapped onto the carry chain: equality uses the chain as
+/// a wide AND of per-bit XNORs; magnitude uses a borrow chain.
+///
+/// Ports: `a`, `b` (`width` bits), `o` (1 bit).
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::{Comparator, CompareOp};
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let cmp = Comparator::new(8, CompareOp::Lt);
+/// let circuit = Circuit::from_generator(&cmp)?;
+/// assert!(ipd_hdl::validate(&circuit)?.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparator {
+    width: u32,
+    op: CompareOp,
+}
+
+impl Comparator {
+    /// A comparator of the given width and predicate.
+    #[must_use]
+    pub fn new(width: u32, op: CompareOp) -> Self {
+        Comparator { width, op }
+    }
+}
+
+impl Generator for Comparator {
+    fn type_name(&self) -> String {
+        format!(
+            "cmp_w{}_{}",
+            self.width,
+            match self.op {
+                CompareOp::Eq => "eq",
+                CompareOp::Ne => "ne",
+                CompareOp::Lt => "lt",
+                CompareOp::Ge => "ge",
+            }
+        )
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("a", self.width),
+            PortSpec::input("b", self.width),
+            PortSpec::output("o", 1),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 || self.width > 64 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 1..=64".to_owned(),
+            });
+        }
+        let a = ctx.port("a")?;
+        let b = ctx.port("b")?;
+        let o = ctx.port("o")?;
+        match self.op {
+            CompareOp::Eq | CompareOp::Ne => {
+                // Chain of MUXCYs: carry stays 1 while bits are equal.
+                let seed = ctx.wire("c0", 1);
+                ctx.vcc(seed)?;
+                let zero = ctx.wire("zero", 1);
+                ctx.gnd(zero)?;
+                let mut ci: Signal = seed.into();
+                for bit in 0..self.width {
+                    let eq = ctx.wire(&format!("eq{bit}"), 1);
+                    // XNOR: equal bits.
+                    let l = ctx.lut(
+                        0b1001,
+                        &[Signal::bit_of(a, bit), Signal::bit_of(b, bit)],
+                        eq,
+                    )?;
+                    place_column(ctx, l, bit);
+                    let co = ctx.wire(&format!("c{}", bit + 1), 1);
+                    let m = ctx.muxcy(ci, zero, eq, co)?;
+                    place_column(ctx, m, bit);
+                    ci = co.into();
+                }
+                match self.op {
+                    CompareOp::Eq => ctx.buffer(ci, o)?,
+                    _ => ctx.inv(ci, o)?,
+                };
+            }
+            CompareOp::Lt | CompareOp::Ge => {
+                // a - b borrow chain: carry out of a + !b + 1 is 1 when
+                // a >= b (no borrow).
+                let seed = ctx.wire("c0", 1);
+                ctx.vcc(seed)?;
+                let mut ci: Signal = seed.into();
+                for bit in 0..self.width {
+                    let ab = Signal::bit_of(a, bit);
+                    let half = ctx.wire(&format!("p{bit}"), 1);
+                    // a XNOR b.
+                    let l = ctx.lut(0b1001, &[ab.clone(), Signal::bit_of(b, bit)], half)?;
+                    place_column(ctx, l, bit);
+                    let co = ctx.wire(&format!("c{}", bit + 1), 1);
+                    let m = ctx.muxcy(ci, ab, half, co)?;
+                    place_column(ctx, m, bit);
+                    ci = co.into();
+                }
+                match self.op {
+                    CompareOp::Ge => ctx.buffer(ci, o)?,
+                    _ => ctx.inv(ci, o)?,
+                };
+            }
+        }
+        ctx.set_property("generator", "comparator");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    fn truth(op: CompareOp, a: u64, b: u64) -> u64 {
+        u64::from(match op {
+            CompareOp::Eq => a == b,
+            CompareOp::Ne => a != b,
+            CompareOp::Lt => a < b,
+            CompareOp::Ge => a >= b,
+        })
+    }
+
+    #[test]
+    fn exhaustive_4bit_all_ops() {
+        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Ge] {
+            let circuit = Circuit::from_generator(&Comparator::new(4, op)).unwrap();
+            let mut sim = Simulator::new(&circuit).unwrap();
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    sim.set_u64("a", a).unwrap();
+                    sim.set_u64("b", b).unwrap();
+                    assert_eq!(
+                        sim.peek("o").unwrap().to_u64(),
+                        Some(truth(op, a, b)),
+                        "{op:?} {a} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_comparator() {
+        let circuit = Circuit::from_generator(&Comparator::new(16, CompareOp::Lt)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("a", 30000).unwrap();
+        sim.set_u64("b", 30001).unwrap();
+        assert_eq!(sim.peek("o").unwrap().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(Circuit::from_generator(&Comparator::new(0, CompareOp::Eq)).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Loadable up/down counter on the carry chain.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::place_column;
+
+/// Counting direction for a [`Counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CountDirection {
+    /// Increment each enabled cycle.
+    Up,
+    /// Decrement each enabled cycle.
+    Down,
+}
+
+/// A synchronous counter with clock-enable and optional parallel load.
+///
+/// Ports: `clk`, `ce`, `rst` (synchronous, counts from 0 after), and
+/// when loadable `load` + `d`; output `q`.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::{CountDirection, Counter};
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let counter = Counter::new(8, CountDirection::Up).loadable();
+/// let circuit = Circuit::from_generator(&counter)?;
+/// assert!(circuit.primitive_count() > 24);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    width: u32,
+    direction: CountDirection,
+    loadable: bool,
+}
+
+impl Counter {
+    /// A counter of the given width and direction.
+    #[must_use]
+    pub fn new(width: u32, direction: CountDirection) -> Self {
+        Counter {
+            width,
+            direction,
+            loadable: false,
+        }
+    }
+
+    /// Adds a parallel-load port pair (`load`, `d`).
+    #[must_use]
+    pub fn loadable(mut self) -> Self {
+        self.loadable = true;
+        self
+    }
+}
+
+impl Generator for Counter {
+    fn type_name(&self) -> String {
+        format!(
+            "counter_w{}_{}{}",
+            self.width,
+            match self.direction {
+                CountDirection::Up => "up",
+                CountDirection::Down => "down",
+            },
+            if self.loadable { "_load" } else { "" }
+        )
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        let mut ports = vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("ce", 1),
+            PortSpec::input("rst", 1),
+            PortSpec::output("q", self.width),
+        ];
+        if self.loadable {
+            ports.insert(3, PortSpec::input("load", 1));
+            ports.insert(4, PortSpec::input("d", self.width));
+        }
+        ports
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 || self.width > 64 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 1..=64".to_owned(),
+            });
+        }
+        let clk = ctx.port("clk")?;
+        let ce = ctx.port("ce")?;
+        let rst = ctx.port("rst")?;
+        let q = ctx.port("q")?;
+        // Increment/decrement on the carry chain:
+        //   up:   next = q + 1  (half = !q_i, di = q_i, carry-in = 1)
+        //   down: next = q - 1  (q + all-ones: half = !q_i via xnor 1)
+        // Implemented as q + (+-1) with a chain seeded by VCC (up) and
+        // a chain computing q + 0xFF..F (down) — equivalently a chain
+        // seeded by GND with propagate = !q_i and generate = 1.
+        let next = ctx.wire("next", self.width);
+        let seed = ctx.wire("c0", 1);
+        match self.direction {
+            CountDirection::Up => ctx.vcc(seed)?,
+            CountDirection::Down => ctx.gnd(seed)?,
+        };
+        let mut ci: Signal = seed.into();
+        for bit in 0..self.width {
+            let qb = Signal::bit_of(q, bit);
+            // For +1 the addend bit is 0: half-sum = q, carry
+            // propagates while q = 1. For −1 (adding all-ones) the
+            // addend bit is 1: half-sum = !q, carry generated when
+            // q = 1 (di = 1).
+            let di_is_one = matches!(self.direction, CountDirection::Down);
+            let half = ctx.wire(&format!("h{bit}"), 1);
+            match self.direction {
+                // half = q (lut1 identity: init bit0=0, bit1=1 → 0b10)
+                CountDirection::Up => ctx.lut(0b10, std::slice::from_ref(&qb), half)?,
+                // half = !q (lut1 inverter: 0b01)
+                CountDirection::Down => ctx.lut(0b01, std::slice::from_ref(&qb), half)?,
+            };
+            let co = ctx.wire(&format!("c{}", bit + 1), 1);
+            // Full-adder carry: cout = (q&b) | (ci & (q^b)).
+            // up (b=0): cout = ci & q → di = 0, select = half = q.
+            // down (b=1): cout = q | (ci & !q) → di = 1, select = !q.
+            let di = ctx.wire(&format!("di{bit}"), 1);
+            if di_is_one {
+                ctx.vcc(di)?;
+            } else {
+                ctx.gnd(di)?;
+            }
+            let m = ctx.muxcy(ci.clone(), di, half, co)?;
+            place_column(ctx, m, bit);
+            let x = ctx.xorcy(ci, half, Signal::bit_of(next, bit))?;
+            place_column(ctx, x, bit);
+            ci = co.into();
+        }
+        // State: q' = rst ? 0 : load ? d : ce ? next : q, via FDRE +
+        // input muxing. FDRE gives sync reset and CE directly.
+        for bit in 0..self.width {
+            let d_in: Signal = if self.loadable {
+                let load = ctx.port("load")?;
+                let d = ctx.port("d")?;
+                let muxed = ctx.wire(&format!("din{bit}"), 1);
+                ctx.mux2(
+                    Signal::bit_of(next, bit),
+                    Signal::bit_of(d, bit),
+                    load,
+                    muxed,
+                )?;
+                muxed.into()
+            } else {
+                Signal::bit_of(next, bit)
+            };
+            // CE must also fire on load.
+            let en: Signal = if self.loadable {
+                let load = ctx.port("load")?;
+                let en = ctx.wire(&format!("en{bit}"), 1);
+                ctx.or2(ce, load, en)?;
+                en.into()
+            } else {
+                ce.into()
+            };
+            let ff = ctx.fdre(clk, en, rst, d_in, Signal::bit_of(q, bit))?;
+            place_column(ctx, ff, bit);
+        }
+        ctx.set_property("generator", "counter");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    fn make(dir: CountDirection, loadable: bool) -> Simulator {
+        let mut counter = Counter::new(4, dir);
+        if loadable {
+            counter = counter.loadable();
+        }
+        let circuit = Circuit::from_generator(&counter).unwrap();
+        Simulator::new(&circuit).unwrap()
+    }
+
+    #[test]
+    fn counts_up_and_wraps() {
+        let mut sim = make(CountDirection::Up, false);
+        sim.set_u64("ce", 1).unwrap();
+        sim.set_u64("rst", 1).unwrap();
+        sim.cycle(1).unwrap();
+        sim.set_u64("rst", 0).unwrap();
+        for expect in [1u64, 2, 3, 4, 5] {
+            sim.cycle(1).unwrap();
+            assert_eq!(sim.peek("q").unwrap().to_u64(), Some(expect));
+        }
+        sim.cycle(15 - 5 + 1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(0), "wraps at 16");
+    }
+
+    #[test]
+    fn counts_down() {
+        let mut sim = make(CountDirection::Down, false);
+        sim.set_u64("ce", 1).unwrap();
+        sim.set_u64("rst", 1).unwrap();
+        sim.cycle(1).unwrap();
+        sim.set_u64("rst", 0).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(15), "0 - 1 wraps");
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(14));
+    }
+
+    #[test]
+    fn clock_enable_holds() {
+        let mut sim = make(CountDirection::Up, false);
+        sim.set_u64("rst", 1).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.cycle(1).unwrap();
+        sim.set_u64("rst", 0).unwrap();
+        sim.cycle(2).unwrap();
+        sim.set_u64("ce", 0).unwrap();
+        sim.cycle(5).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(2), "held");
+    }
+
+    #[test]
+    fn parallel_load() {
+        let mut sim = make(CountDirection::Up, true);
+        sim.set_u64("rst", 0).unwrap();
+        sim.set_u64("ce", 0).unwrap();
+        sim.set_u64("load", 1).unwrap();
+        sim.set_u64("d", 9).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(9));
+        sim.set_u64("load", 0).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(10));
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(Circuit::from_generator(&Counter::new(0, CountDirection::Up)).is_err());
+        assert!(Circuit::from_generator(&Counter::new(65, CountDirection::Up)).is_err());
+    }
+}

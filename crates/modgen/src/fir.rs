@@ -1,0 +1,276 @@
+//! A transposed-form FIR filter built from KCM multipliers — the
+//! "more complicated IP" the paper's future-work section promises to
+//! deliver through applets.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::bitsum::{combine, register, width_for, PartialValue};
+use crate::kcm::KcmMultiplier;
+
+/// A transposed-form FIR filter: one constant-coefficient multiplier
+/// per tap, with the accumulation chain registered every tap (fully
+/// pipelined by construction, one sample per clock).
+///
+/// Ports: `clk`, `x` (signed input, `input_width` bits), `y` (signed
+/// output, [`FirFilter::output_width`] bits).
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::FirFilter;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let fir = FirFilter::new(vec![-2, 5, 9, 5, -2], 8)?;
+/// let circuit = Circuit::from_generator(&fir)?;
+/// assert!(circuit.primitive_count() > 100);
+/// assert_eq!(fir.latency(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirFilter {
+    coefficients: Vec<i64>,
+    input_width: u32,
+}
+
+impl FirFilter {
+    /// A filter with the given coefficients over a signed input of
+    /// `input_width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty coefficient lists, more than 64 taps, input widths
+    /// outside 2..=24 and coefficients beyond ±2^24.
+    pub fn new(coefficients: Vec<i64>, input_width: u32) -> Result<Self> {
+        if coefficients.is_empty() || coefficients.len() > 64 {
+            return Err(HdlError::InvalidParameter {
+                generator: "fir".to_owned(),
+                reason: "1..=64 coefficients required".to_owned(),
+            });
+        }
+        if !(2..=24).contains(&input_width) {
+            return Err(HdlError::InvalidParameter {
+                generator: "fir".to_owned(),
+                reason: "input width must be 2..=24".to_owned(),
+            });
+        }
+        if coefficients.iter().any(|c| c.abs() > 1 << 24) {
+            return Err(HdlError::InvalidParameter {
+                generator: "fir".to_owned(),
+                reason: "coefficients must fit 24 bits".to_owned(),
+            });
+        }
+        Ok(FirFilter {
+            coefficients,
+            input_width,
+        })
+    }
+
+    /// The filter coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &[i64] {
+        &self.coefficients
+    }
+
+    /// Input width in bits.
+    #[must_use]
+    pub fn input_width(&self) -> u32 {
+        self.input_width
+    }
+
+    /// Number of taps.
+    #[must_use]
+    pub fn taps(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Pipeline latency in cycles (one per tap).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.coefficients.len() as u32
+    }
+
+    /// The exact output range of the accumulation.
+    fn output_range(&self) -> (i128, i128) {
+        let x_lo = -(1i128 << (self.input_width - 1));
+        let x_hi = (1i128 << (self.input_width - 1)) - 1;
+        let mut lo = 0i128;
+        let mut hi = 0i128;
+        for &c in &self.coefficients {
+            let (a, b) = (i128::from(c) * x_lo, i128::from(c) * x_hi);
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        (lo, hi)
+    }
+
+    /// The output width implied by the coefficients and input width.
+    #[must_use]
+    pub fn output_width(&self) -> u32 {
+        let (lo, hi) = self.output_range();
+        width_for(lo, hi)
+    }
+
+    /// Software reference model: runs the same transposed-form
+    /// recurrence the hardware implements, returning `y[n]` for each
+    /// input sample (including pipeline fill).
+    #[must_use]
+    pub fn reference(&self, samples: &[i64]) -> Vec<i128> {
+        let taps = self.taps();
+        let mut acc = vec![0i128; taps + 1]; // acc[taps] is constant 0
+        let mut out = Vec::with_capacity(samples.len());
+        for &x in samples {
+            out.push(acc[0]);
+            let mut next = vec![0i128; taps + 1];
+            for k in 0..taps {
+                next[k] = i128::from(self.coefficients[k]) * i128::from(x) + acc[k + 1];
+            }
+            acc = next;
+        }
+        out
+    }
+}
+
+impl Generator for FirFilter {
+    fn type_name(&self) -> String {
+        format!("fir_t{}_w{}", self.coefficients.len(), self.input_width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("x", self.input_width),
+            PortSpec::output("y", self.output_width()),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        let clk = ctx.port("clk")?;
+        let x = ctx.port("x")?;
+        let y = ctx.port("y")?;
+        let zero_wire = ctx.wire("zero", 1);
+        ctx.gnd(zero_wire)?;
+        let zero: Signal = zero_wire.into();
+
+        let x_lo = -(1i128 << (self.input_width - 1));
+        let x_hi = (1i128 << (self.input_width - 1)) - 1;
+
+        // Products for every tap (combinational KCMs sharing x).
+        let mut products = Vec::new();
+        for (k, &c) in self.coefficients.iter().enumerate() {
+            let kcm = KcmMultiplier::new(
+                c,
+                self.input_width,
+                KcmMultiplier::new(c, self.input_width, 1)
+                    .signed(true)
+                    .full_product_width(),
+            )
+            .signed(true);
+            let w = kcm.product_width();
+            let p = ctx.wire(&format!("p{k}"), w);
+            ctx.instantiate(
+                &kcm,
+                &format!("kcm{k}"),
+                &[("multiplicand", x.into()), ("product", p.into())],
+            )?;
+            let (a, b) = (i128::from(c) * x_lo, i128::from(c) * x_hi);
+            products.push(PartialValue {
+                bits: (0..w).map(|i| Signal::bit_of(p, i)).collect(),
+                lo: a.min(b),
+                hi: a.max(b),
+                shift: 0,
+            });
+        }
+
+        // Transposed accumulation chain, last tap first.
+        let mut acc: Option<PartialValue> = None;
+        for (k, p) in products.into_iter().enumerate().rev() {
+            let summed = match acc {
+                None => p,
+                Some(prev) => combine(ctx, p, prev, &zero, &format!("sum{k}"))?,
+            };
+            acc = Some(register(ctx, summed, clk, &format!("acc{k}"))?);
+        }
+        let acc = acc.expect("at least one tap");
+
+        let out_w = self.output_width();
+        for bit in 0..out_w {
+            ctx.buffer(acc.bit(bit, &zero), Signal::bit_of(y, bit))?;
+        }
+        ctx.set_property("generator", "fir_filter");
+        ctx.set_property("taps", self.coefficients.len() as i64);
+        ctx.set_property("input_width", i64::from(self.input_width));
+        ctx.set_property("output_width", i64::from(out_w));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn impulse_response_is_coefficients() {
+        let coeffs = vec![3i64, -7, 12, 5];
+        let fir = FirFilter::new(coeffs.clone(), 6).unwrap();
+        let circuit = Circuit::from_generator(&fir).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        // Impulse of amplitude 1 then zeros.
+        let mut samples = vec![1i64];
+        samples.extend(std::iter::repeat_n(0, coeffs.len() + 2));
+        let expect = fir.reference(&samples);
+        for (n, &x) in samples.iter().enumerate() {
+            let got = sim.peek("y").unwrap().to_i64().unwrap();
+            assert_eq!(i128::from(got), expect[n], "sample {n}");
+            sim.set_i64("x", x).unwrap();
+            sim.cycle(1).unwrap();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_signal() {
+        let coeffs = vec![-2i64, 5, 9, 5, -2];
+        let fir = FirFilter::new(coeffs, 8).unwrap();
+        let circuit = Circuit::from_generator(&fir).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        // A deterministic pseudo-random signal.
+        let samples: Vec<i64> = (0..40)
+            .map(|i| (((i * 37 + 11) % 256) as i64) - 128)
+            .collect();
+        let expect = fir.reference(&samples);
+        for (n, &x) in samples.iter().enumerate() {
+            let got = sim.peek("y").unwrap().to_i64().unwrap();
+            assert_eq!(i128::from(got), expect[n], "sample {n}");
+            sim.set_i64("x", x).unwrap();
+            sim.cycle(1).unwrap();
+        }
+    }
+
+    #[test]
+    fn output_width_covers_worst_case() {
+        let fir = FirFilter::new(vec![127, 127, 127], 8).unwrap();
+        // Worst case: 3 * 127 * 128 = 48768 → needs 17 signed bits.
+        assert_eq!(fir.output_width(), 17);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(FirFilter::new(vec![], 8).is_err());
+        assert!(FirFilter::new(vec![1; 65], 8).is_err());
+        assert!(FirFilter::new(vec![1], 1).is_err());
+        assert!(FirFilter::new(vec![1], 25).is_err());
+        assert!(FirFilter::new(vec![1 << 25], 8).is_err());
+    }
+
+    #[test]
+    fn design_rules_clean() {
+        let fir = FirFilter::new(vec![1, -1], 4).unwrap();
+        let circuit = Circuit::from_generator(&fir).unwrap();
+        let report = ipd_hdl::validate(&circuit).unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Gray-code counter and population-count generators.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::add::RippleAdder;
+use crate::counter::{CountDirection, Counter};
+
+/// A Gray-code counter: a binary [`Counter`] core with a
+/// binary-to-Gray output stage (`gray = bin ^ (bin >> 1)`), so exactly
+/// one output bit changes per enabled clock — the classic
+/// clock-domain-crossing counter.
+///
+/// Ports: `clk`, `ce`, `rst`, `q` (`width` bits, Gray coded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayCounter {
+    width: u32,
+}
+
+impl GrayCounter {
+    /// A Gray counter of the given width.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        GrayCounter { width }
+    }
+
+    /// Software reference: the Gray output after `n` enabled clocks
+    /// from reset.
+    #[must_use]
+    pub fn reference(&self, n: u64) -> u64 {
+        let mask = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let bin = n & mask;
+        bin ^ (bin >> 1)
+    }
+}
+
+impl Generator for GrayCounter {
+    fn type_name(&self) -> String {
+        format!("gray_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("ce", 1),
+            PortSpec::input("rst", 1),
+            PortSpec::output("q", self.width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width < 2 || self.width > 48 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 2..=48".to_owned(),
+            });
+        }
+        let clk = ctx.port("clk")?;
+        let ce = ctx.port("ce")?;
+        let rst = ctx.port("rst")?;
+        let q = ctx.port("q")?;
+        let bin = ctx.wire("bin", self.width);
+        ctx.instantiate(
+            &Counter::new(self.width, CountDirection::Up),
+            "core",
+            &[
+                ("clk", clk.into()),
+                ("ce", ce.into()),
+                ("rst", rst.into()),
+                ("q", bin.into()),
+            ],
+        )?;
+        // gray[i] = bin[i] ^ bin[i+1]; top bit passes through.
+        for b in 0..self.width - 1 {
+            ctx.xor2(
+                Signal::bit_of(bin, b),
+                Signal::bit_of(bin, b + 1),
+                Signal::bit_of(q, b),
+            )?;
+        }
+        ctx.buffer(
+            Signal::bit_of(bin, self.width - 1),
+            Signal::bit_of(q, self.width - 1),
+        )?;
+        ctx.set_property("generator", "gray_counter");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+/// A population counter (`o = number of set bits in d`), built as a
+/// LUT compressor tree feeding carry-chain adders.
+///
+/// Ports: `d` (`width` bits), `o` (`ceil(log2(width+1))` bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PopCount {
+    width: u32,
+}
+
+impl PopCount {
+    /// A popcount over `width` input bits.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        PopCount { width }
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn output_width(&self) -> u32 {
+        let mut w = 1;
+        while (1u64 << w) <= u64::from(self.width) {
+            w += 1;
+        }
+        w
+    }
+}
+
+impl Generator for PopCount {
+    fn type_name(&self) -> String {
+        format!("popcount_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("d", self.width),
+            PortSpec::output("o", self.output_width()),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 || self.width > 128 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 1..=128".to_owned(),
+            });
+        }
+        let d = ctx.port("d")?;
+        let o = ctx.port("o")?;
+        let zero = ctx.wire("zero", 1);
+        ctx.gnd(zero)?;
+        // Stage 1: LUT3 compressors produce 2-bit counts of 3-bit
+        // groups. Represent intermediate sums as little bit-vectors
+        // and reduce with adders.
+        let mut sums: Vec<Vec<Signal>> = Vec::new();
+        let bits: Vec<Signal> = (0..self.width).map(|b| Signal::bit_of(d, b)).collect();
+        for (g, chunk) in bits.chunks(3).enumerate() {
+            let n = chunk.len() as u32;
+            let lo = ctx.wire(&format!("c{g}_0"), 1);
+            let hi = ctx.wire(&format!("c{g}_1"), 1);
+            let mut lo_init = 0u16;
+            let mut hi_init = 0u16;
+            for pattern in 0..(1u32 << n) {
+                let count = pattern.count_ones();
+                if count & 1 == 1 {
+                    lo_init |= 1 << pattern;
+                }
+                if count & 2 == 2 {
+                    hi_init |= 1 << pattern;
+                }
+            }
+            ctx.lut(lo_init, chunk, lo)?;
+            ctx.lut(hi_init, chunk, hi)?;
+            sums.push(vec![lo.into(), hi.into()]);
+        }
+        // Adder tree over the 2-bit (growing) partial counts.
+        let out_w = self.output_width();
+        while sums.len() > 1 {
+            let mut next = Vec::with_capacity(sums.len().div_ceil(2));
+            let mut iter = sums.into_iter();
+            let mut pair = 0usize;
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    None => next.push(a),
+                    Some(b) => {
+                        let w = (a.len().max(b.len()) as u32 + 1).min(out_w);
+                        let result = ctx.wire(&format!("s{pair}_{w}"), w);
+                        let pad = |v: &[Signal], w: u32, zero: &Signal| {
+                            Signal::concat((0..w).map(|k| {
+                                v.get(k as usize).cloned().unwrap_or_else(|| zero.clone())
+                            }))
+                        };
+                        let za: Signal = zero.into();
+                        ctx.instantiate(
+                            &RippleAdder::new(w),
+                            &format!("add{pair}"),
+                            &[
+                                ("a", pad(&a, w, &za)),
+                                ("b", pad(&b, w, &za)),
+                                ("s", result.into()),
+                            ],
+                        )?;
+                        next.push((0..w).map(|k| Signal::bit_of(result, k)).collect());
+                    }
+                }
+                pair += 1;
+            }
+            sums = next;
+        }
+        let total = sums.remove(0);
+        for b in 0..out_w {
+            let src = total
+                .get(b as usize)
+                .cloned()
+                .unwrap_or_else(|| zero.into());
+            ctx.buffer(src, Signal::bit_of(o, b))?;
+        }
+        ctx.set_property("generator", "popcount");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn gray_counter_single_bit_changes() {
+        let gray = GrayCounter::new(4);
+        let circuit = Circuit::from_generator(&gray).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("rst", 1).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.cycle(1).unwrap();
+        sim.set_u64("rst", 0).unwrap();
+        let mut prev = sim.peek("q").unwrap().to_u64().unwrap();
+        for n in 1..=20u64 {
+            sim.cycle(1).unwrap();
+            let cur = sim.peek("q").unwrap().to_u64().unwrap();
+            assert_eq!(cur, gray.reference(n), "step {n}");
+            assert_eq!((cur ^ prev).count_ones(), 1, "one bit per step");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        for width in [1u32, 3, 4, 7, 8, 12] {
+            let pc = PopCount::new(width);
+            let circuit = Circuit::from_generator(&pc).unwrap();
+            let mut sim = Simulator::new(&circuit).unwrap();
+            let max = 1u64 << width;
+            for v in (0..max).step_by(5).chain([0, max - 1]) {
+                sim.set_u64("d", v).unwrap();
+                assert_eq!(
+                    sim.peek("o").unwrap().to_u64(),
+                    Some(u64::from(v.count_ones())),
+                    "width {width} value {v:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_output_widths() {
+        assert_eq!(PopCount::new(1).output_width(), 1);
+        assert_eq!(PopCount::new(3).output_width(), 2);
+        assert_eq!(PopCount::new(4).output_width(), 3);
+        assert_eq!(PopCount::new(7).output_width(), 3);
+        assert_eq!(PopCount::new(8).output_width(), 4);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Circuit::from_generator(&GrayCounter::new(1)).is_err());
+        assert!(Circuit::from_generator(&PopCount::new(0)).is_err());
+    }
+}

@@ -1,0 +1,529 @@
+//! The constant-coefficient multiplier (KCM) module generator.
+//!
+//! This is the paper's running example (its §3.1 and Figures 1/3) and
+//! the subject of the authors' FPL 2001 paper: an optimized, preplaced
+//! multiplier-by-a-constant built from *partial-product look-up tables*.
+//! The multiplicand is split into 4-bit digits; one LUT4 bank per digit
+//! stores `constant × digit` for all sixteen digit values; the shifted
+//! partial products are summed on carry chains, exactly as wide as
+//! their numeric range requires.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::bitsum::{
+    reduce_tree, register, tree_levels, width_for, wire_bits, PartialValue,
+};
+
+/// Maximum multiplicand width accepted by the generator.
+pub const KCM_MAX_INPUT_WIDTH: u32 = 32;
+/// Maximum constant magnitude bits accepted by the generator.
+pub const KCM_MAX_CONSTANT_BITS: u32 = 32;
+
+/// A constant-coefficient multiplier: `product = constant × multiplicand`.
+///
+/// Mirrors the JHDL constructor from the paper:
+///
+/// ```java
+/// public VirtexKCMMultiplier(Node parent, Wire multiplicand,
+///     Wire product, boolean signed_mode, boolean pipelined_mode,
+///     int constant);
+/// ```
+///
+/// Ports: `multiplicand` (input), `product` (output), and `clk` when
+/// pipelined. When `product_width` is less than the full result width,
+/// the *top* `product_width` bits are delivered, as in the paper's
+/// 8×8→12 example.
+///
+/// # Examples
+///
+/// The paper's running example — an 8-bit multiplicand, 12-bit product,
+/// signed, pipelined, constant −56:
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::KcmMultiplier;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let kcm = KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true);
+/// let circuit = Circuit::from_generator(&kcm)?;
+/// assert!(circuit.primitive_count() > 20);
+/// assert_eq!(kcm.latency(), 2); // LUT stage + one adder level
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KcmMultiplier {
+    constant: i64,
+    input_width: u32,
+    product_width: u32,
+    signed: bool,
+    pipelined: bool,
+}
+
+impl KcmMultiplier {
+    /// A multiplier by `constant` with the given multiplicand and
+    /// product widths. Unsigned and combinational by default.
+    #[must_use]
+    pub fn new(constant: i64, input_width: u32, product_width: u32) -> Self {
+        KcmMultiplier {
+            constant,
+            input_width,
+            product_width,
+            signed: false,
+            pipelined: false,
+        }
+    }
+
+    /// Selects signed (two's complement) multiplicand interpretation.
+    /// Negative constants require signed mode.
+    #[must_use]
+    pub fn signed(mut self, signed: bool) -> Self {
+        self.signed = signed;
+        self
+    }
+
+    /// Inserts pipeline registers after the partial-product tables and
+    /// after every adder-tree level; adds a `clk` port.
+    #[must_use]
+    pub fn pipelined(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
+    }
+
+    /// The constant coefficient.
+    #[must_use]
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Multiplicand width in bits.
+    #[must_use]
+    pub fn input_width(&self) -> u32 {
+        self.input_width
+    }
+
+    /// Product width in bits.
+    #[must_use]
+    pub fn product_width(&self) -> u32 {
+        self.product_width
+    }
+
+    /// Whether the multiplicand is interpreted as two's complement.
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Whether pipeline registers are inserted.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Pipeline latency in clock cycles (0 when combinational).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        if !self.pipelined {
+            return 0;
+        }
+        1 + tree_levels(self.digit_count())
+    }
+
+    /// Number of 4-bit digits the multiplicand splits into.
+    #[must_use]
+    pub fn digit_count(&self) -> usize {
+        (self.input_width as usize).div_ceil(4)
+    }
+
+    /// The full (untruncated) product width for these parameters.
+    #[must_use]
+    pub fn full_product_width(&self) -> u32 {
+        let (lo, hi) = self.product_range();
+        width_for(lo, hi)
+    }
+
+    /// The exact numeric range of `constant × multiplicand`.
+    fn product_range(&self) -> (i128, i128) {
+        let k = i128::from(self.constant);
+        let (x_lo, x_hi) = if self.signed {
+            (
+                -(1i128 << (self.input_width - 1)),
+                (1i128 << (self.input_width - 1)) - 1,
+            )
+        } else {
+            (0, (1i128 << self.input_width) - 1)
+        };
+        let a = k * x_lo;
+        let b = k * x_hi;
+        (a.min(b), a.max(b))
+    }
+
+    /// Reference product for a multiplicand value (used by testbenches
+    /// and the black-box simulation model): full-width product, then
+    /// the top `product_width` bits.
+    #[must_use]
+    pub fn reference_product(&self, x: i64) -> i64 {
+        let full = self.full_product_width();
+        let value = i128::from(self.constant) * i128::from(x);
+        let shifted = value >> (full.saturating_sub(self.product_width)).min(127);
+        // Truncate to product_width bits (two's complement wrap).
+        let mask = if self.product_width >= 128 {
+            -1i128
+        } else {
+            (1i128 << self.product_width) - 1
+        };
+        let raw = (shifted & mask) as i64;
+        // Sign-extend when the product range is signed.
+        let (lo, _) = self.product_range();
+        if lo < 0 && self.product_width < 64 {
+            let sign = 1i64 << (self.product_width - 1);
+            (raw ^ sign).wrapping_sub(sign)
+        } else {
+            raw
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let fail = |reason: String| {
+            Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason,
+            })
+        };
+        if self.input_width == 0 || self.input_width > KCM_MAX_INPUT_WIDTH {
+            return fail(format!(
+                "multiplicand width must be 1..={KCM_MAX_INPUT_WIDTH}, got {}",
+                self.input_width
+            ));
+        }
+        if self.product_width == 0 {
+            return fail("product width must be at least 1".to_owned());
+        }
+        if self.constant < 0 && !self.signed {
+            return fail("negative constants require signed mode".to_owned());
+        }
+        let kbits = 64 - self
+            .constant
+            .unsigned_abs()
+            .leading_zeros()
+            .min(63);
+        if kbits > KCM_MAX_CONSTANT_BITS {
+            return fail(format!(
+                "constant magnitude exceeds {KCM_MAX_CONSTANT_BITS} bits"
+            ));
+        }
+        if self.product_width > self.full_product_width() {
+            return fail(format!(
+                "product width {} exceeds full product width {}",
+                self.product_width,
+                self.full_product_width()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Digit descriptors: `(bit offset, digit width, signed)`.
+    fn digits(&self) -> Vec<(u32, u32, bool)> {
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < self.input_width {
+            let width = (self.input_width - offset).min(4);
+            let is_top = offset + width == self.input_width;
+            out.push((offset, width, self.signed && is_top));
+            offset += width;
+        }
+        out
+    }
+}
+
+impl Generator for KcmMultiplier {
+    fn type_name(&self) -> String {
+        format!(
+            "kcm_w{}_p{}_c{}{}{}",
+            self.input_width,
+            self.product_width,
+            self.constant,
+            if self.signed { "_s" } else { "_u" },
+            if self.pipelined { "_pipe" } else { "" },
+        )
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        let mut ports = vec![
+            PortSpec::input("multiplicand", self.input_width),
+            PortSpec::output("product", self.product_width),
+        ];
+        if self.pipelined {
+            ports.insert(0, PortSpec::input("clk", 1));
+        }
+        ports
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        self.validate()?;
+        let x = ctx.port("multiplicand")?;
+        let product = ctx.port("product")?;
+        let clk = if self.pipelined {
+            Some(ctx.port("clk")?)
+        } else {
+            None
+        };
+        let zero_wire = ctx.wire("zero", 1);
+        ctx.gnd(zero_wire)?;
+        let zero: Signal = zero_wire.into();
+
+        let k = i128::from(self.constant);
+        // Build one partial product per digit.
+        let mut partials = Vec::new();
+        for (digit_index, (offset, dwidth, dsigned)) in self.digits().into_iter().enumerate() {
+            // Numeric range of constant × digit.
+            let (d_lo, d_hi) = if dsigned {
+                (-(1i128 << (dwidth - 1)), (1i128 << (dwidth - 1)) - 1)
+            } else {
+                (0, (1i128 << dwidth) - 1)
+            };
+            let (v_a, v_b) = (k * d_lo, k * d_hi);
+            let (lo, hi) = (v_a.min(v_b), v_a.max(v_b));
+            let pp_width = width_for(lo, hi);
+            let (pp, bits) =
+                wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
+            // One LUT per product bit: truth table over digit values.
+            let inputs: Vec<Signal> = (0..dwidth)
+                .map(|i| Signal::bit_of(x, offset + i))
+                .collect();
+            for out_bit in 0..pp_width {
+                let mut init = 0u16;
+                for pattern in 0..(1u32 << dwidth) {
+                    let digit_value = if dsigned && (pattern >> (dwidth - 1)) & 1 == 1 {
+                        i128::from(pattern) - (1i128 << dwidth)
+                    } else {
+                        i128::from(pattern)
+                    };
+                    let value = k * digit_value;
+                    if (value >> out_bit) & 1 == 1 {
+                        init |= 1 << pattern;
+                    }
+                }
+                let lut = ctx.lut(init, &inputs, Signal::bit_of(pp, out_bit))?;
+                // Relative placement: digit banks in columns, bits in
+                // rows, two bits per slice row.
+                ctx.set_rloc(
+                    lut,
+                    ipd_hdl::Rloc::new((out_bit / 2) as i32, digit_index as i32),
+                );
+            }
+            let mut value = PartialValue {
+                bits,
+                lo,
+                hi,
+                shift: offset,
+            };
+            if let Some(clk) = clk {
+                value = register(ctx, value, clk, &format!("pp{digit_index}_reg"))?;
+            }
+            partials.push(value);
+        }
+
+        // Sum the shifted partial products.
+        let total = reduce_tree(ctx, partials, &zero, clk, "sum")?;
+        debug_assert_eq!(
+            total.width(),
+            self.full_product_width(),
+            "reduction width matches the analytic product width"
+        );
+
+        // Deliver the top product_width bits.
+        let full = total.width();
+        for bit in 0..self.product_width {
+            let src = total.bit(full - self.product_width + bit, &zero);
+            ctx.buffer(src, Signal::bit_of(product, bit))?;
+        }
+
+        ctx.set_property("generator", "kcm_multiplier");
+        ctx.set_property("constant", self.constant);
+        ctx.set_property("input_width", i64::from(self.input_width));
+        ctx.set_property("product_width", i64::from(self.product_width));
+        ctx.set_property("signed", self.signed);
+        ctx.set_property("pipelined", self.pipelined);
+        ctx.set_property("latency", i64::from(self.latency()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    fn check_all_inputs(kcm: &KcmMultiplier) {
+        let circuit = Circuit::from_generator(kcm).expect("build");
+        let mut sim = Simulator::new(&circuit).expect("compile");
+        let n = kcm.input_width();
+        let values: Vec<i64> = if kcm.is_signed() {
+            (-(1i64 << (n - 1))..(1i64 << (n - 1))).collect()
+        } else {
+            (0..(1i64 << n)).collect()
+        };
+        for x in values {
+            if kcm.is_signed() {
+                sim.set_i64("multiplicand", x).unwrap();
+            } else {
+                sim.set_u64("multiplicand", x as u64).unwrap();
+            }
+            if kcm.is_pipelined() {
+                sim.cycle(u64::from(kcm.latency())).unwrap();
+            }
+            let got = sim.peek("product").unwrap();
+            let expect = kcm.reference_product(x);
+            let got_val = if expect < 0 {
+                got.to_i64().unwrap()
+            } else {
+                got.to_u64().unwrap() as i64
+            };
+            assert_eq!(
+                got_val, expect,
+                "constant={} x={x} signed={} product={got}",
+                kcm.constant(),
+                kcm.is_signed()
+            );
+        }
+    }
+
+    #[test]
+    fn unsigned_small_exhaustive() {
+        for k in [0i64, 1, 3, 5, 7, 200, 255] {
+            let kcm = KcmMultiplier::new(k, 6, KcmMultiplier::new(k, 6, 1).full_product_width());
+            check_all_inputs(&kcm);
+        }
+    }
+
+    #[test]
+    fn signed_negative_constant_exhaustive() {
+        let kcm = KcmMultiplier::new(-56, 6, KcmMultiplier::new(-56, 6, 1).signed(true).full_product_width())
+            .signed(true);
+        check_all_inputs(&kcm);
+    }
+
+    #[test]
+    fn signed_positive_constant_exhaustive() {
+        let full = KcmMultiplier::new(11, 6, 1).signed(true).full_product_width();
+        check_all_inputs(&KcmMultiplier::new(11, 6, full).signed(true));
+    }
+
+    #[test]
+    fn paper_example_truncated_product() {
+        // 8-bit multiplicand, 12-bit product, constant -56, signed,
+        // pipelined — the paper's exact configuration.
+        let kcm = KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true);
+        let circuit = Circuit::from_generator(&kcm).expect("build");
+        let mut sim = Simulator::new(&circuit).expect("compile");
+        for x in [-128i64, -56, -1, 0, 1, 77, 127] {
+            sim.set_i64("multiplicand", x).unwrap();
+            sim.cycle(u64::from(kcm.latency())).unwrap();
+            let got = sim.peek("product").unwrap().to_i64().unwrap();
+            assert_eq!(got, kcm.reference_product(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_combinational_with_latency() {
+        let comb = KcmMultiplier::new(77, 8, 15);
+        let pipe = KcmMultiplier::new(77, 8, 15).pipelined(true);
+        assert_eq!(comb.full_product_width(), 15);
+        let c1 = Circuit::from_generator(&comb).unwrap();
+        let c2 = Circuit::from_generator(&pipe).unwrap();
+        let mut s1 = Simulator::new(&c1).unwrap();
+        let mut s2 = Simulator::new(&c2).unwrap();
+        for x in [0u64, 1, 17, 255, 128] {
+            s1.set_u64("multiplicand", x).unwrap();
+            s2.set_u64("multiplicand", x).unwrap();
+            s2.cycle(u64::from(pipe.latency())).unwrap();
+            assert_eq!(
+                s1.peek("product").unwrap(),
+                s2.peek("product").unwrap(),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_formula() {
+        assert_eq!(KcmMultiplier::new(5, 4, 7).latency(), 0);
+        assert_eq!(KcmMultiplier::new(5, 4, 7).pipelined(true).latency(), 1);
+        assert_eq!(KcmMultiplier::new(5, 8, 11).pipelined(true).latency(), 2);
+        assert_eq!(KcmMultiplier::new(5, 16, 19).pipelined(true).latency(), 3);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Circuit::from_generator(&KcmMultiplier::new(5, 0, 4)).is_err());
+        assert!(Circuit::from_generator(&KcmMultiplier::new(5, 4, 0)).is_err());
+        assert!(Circuit::from_generator(&KcmMultiplier::new(-5, 4, 4)).is_err());
+        assert!(Circuit::from_generator(&KcmMultiplier::new(5, 40, 4)).is_err());
+        // product width beyond the full width is rejected.
+        let full = KcmMultiplier::new(5, 4, 1).full_product_width();
+        assert!(Circuit::from_generator(&KcmMultiplier::new(5, 4, full + 1)).is_err());
+    }
+
+    #[test]
+    fn zero_constant_yields_zero() {
+        let kcm = KcmMultiplier::new(0, 8, 1);
+        let circuit = Circuit::from_generator(&kcm).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("multiplicand", 255).unwrap();
+        assert_eq!(sim.peek("product").unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn properties_record_parameters() {
+        let kcm = KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true);
+        let circuit = Circuit::from_generator(&kcm).unwrap();
+        let props = circuit.cell(circuit.root()).properties();
+        assert_eq!(
+            props.get("constant"),
+            Some(&ipd_hdl::PropertyValue::Int(-56))
+        );
+        assert_eq!(
+            props.get("pipelined"),
+            Some(&ipd_hdl::PropertyValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn validated_clean() {
+        let kcm = KcmMultiplier::new(-56, 8, 12).signed(true);
+        let circuit = Circuit::from_generator(&kcm).unwrap();
+        let report = ipd_hdl::validate(&circuit).unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+}
+
+#[cfg(test)]
+mod exhaustive_tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    /// The paper's exact instance, exhaustively over every 8-bit
+    /// multiplicand, in both pipelined and combinational form.
+    #[test]
+    fn paper_instance_exhaustive_8bit() {
+        for pipelined in [false, true] {
+            let kcm = KcmMultiplier::new(-56, 8, 12)
+                .signed(true)
+                .pipelined(pipelined);
+            let circuit = Circuit::from_generator(&kcm).expect("build");
+            let mut sim = Simulator::new(&circuit).expect("compile");
+            for x in -128i64..=127 {
+                sim.set_i64("multiplicand", x).expect("set");
+                if pipelined {
+                    sim.cycle(u64::from(kcm.latency())).expect("cycle");
+                }
+                let got = sim.peek("product").expect("peek").to_i64().expect("driven");
+                assert_eq!(got, kcm.reference_product(x), "pipelined={pipelined} x={x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Small combinational generators: decoder, parity tree, bus mux.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+/// A one-hot decoder: output bit `k` is high when `sel == k` (and
+/// `en = 1`).
+///
+/// Ports: `sel` (`sel_width` bits), `en` (1 bit), `o` (`2^sel_width`
+/// bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoder {
+    sel_width: u32,
+}
+
+impl Decoder {
+    /// A decoder over `sel_width` select bits (1..=4).
+    #[must_use]
+    pub fn new(sel_width: u32) -> Self {
+        Decoder { sel_width }
+    }
+}
+
+impl Generator for Decoder {
+    fn type_name(&self) -> String {
+        format!("decode_{}to{}", self.sel_width, 1u32 << self.sel_width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("sel", self.sel_width),
+            PortSpec::input("en", 1),
+            PortSpec::output("o", 1 << self.sel_width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.sel_width == 0 || self.sel_width > 4 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "sel width must be 1..=4".to_owned(),
+            });
+        }
+        let sel = ctx.port("sel")?;
+        let en = ctx.port("en")?;
+        let o = ctx.port("o")?;
+        let outputs = 1u32 << self.sel_width;
+        for k in 0..outputs {
+            // Decode via LUT: match sel == k, AND en when it fits;
+            // sel_width <= 3 lets en share the LUT, otherwise a
+            // separate AND gate.
+            if self.sel_width <= 3 {
+                let mut init = 0u16;
+                let en_bit = self.sel_width;
+                for pattern in 0..(1u32 << (self.sel_width + 1)) {
+                    let sel_val = pattern & ((1 << self.sel_width) - 1);
+                    let en_val = (pattern >> en_bit) & 1;
+                    if sel_val == k && en_val == 1 {
+                        init |= 1 << pattern;
+                    }
+                }
+                let mut inputs: Vec<Signal> = (0..self.sel_width)
+                    .map(|i| Signal::bit_of(sel, i))
+                    .collect();
+                inputs.push(en.into());
+                ctx.lut(init, &inputs, Signal::bit_of(o, k))?;
+            } else {
+                let mut init = 0u16;
+                for pattern in 0..16u32 {
+                    if pattern == k {
+                        init |= 1 << pattern;
+                    }
+                }
+                let inputs: Vec<Signal> = (0..4).map(|i| Signal::bit_of(sel, i)).collect();
+                let hit = ctx.wire(&format!("hit{k}"), 1);
+                ctx.lut(init, &inputs, hit)?;
+                ctx.and2(hit, en, Signal::bit_of(o, k))?;
+            }
+        }
+        ctx.set_property("generator", "decoder");
+        Ok(())
+    }
+}
+
+/// A balanced XOR tree computing the parity of a bus.
+///
+/// Ports: `d` (`width` bits), `p` (1 bit; even parity — high when an
+/// odd number of input bits are high).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityTree {
+    width: u32,
+}
+
+impl ParityTree {
+    /// A parity tree over `width` input bits.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        ParityTree { width }
+    }
+}
+
+impl Generator for ParityTree {
+    fn type_name(&self) -> String {
+        format!("parity_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![PortSpec::input("d", self.width), PortSpec::output("p", 1)]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 || self.width > 256 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 1..=256".to_owned(),
+            });
+        }
+        let d = ctx.port("d")?;
+        let p = ctx.port("p")?;
+        let mut layer: Vec<Signal> = (0..self.width).map(|b| Signal::bit_of(d, b)).collect();
+        let mut level = 0;
+        // Reduce four bits per LUT4 (XOR of up to 4 inputs: INIT with
+        // odd-popcount patterns set).
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+            for (i, chunk) in layer.chunks(4).enumerate() {
+                let out: Signal = if layer.len() <= 4 {
+                    p.into()
+                } else {
+                    ctx.wire(&format!("x{level}_{i}"), 1).into()
+                };
+                let n = chunk.len() as u32;
+                let mut init = 0u16;
+                for pattern in 0..(1u32 << n) {
+                    if pattern.count_ones() % 2 == 1 {
+                        init |= 1 << pattern;
+                    }
+                }
+                ctx.lut(init, chunk, out.clone())?;
+                next.push(out);
+            }
+            layer = next;
+            level += 1;
+        }
+        if self.width == 1 {
+            // Single bit: parity is the bit itself.
+            ctx.buffer(layer.remove(0), p)?;
+        }
+        ctx.set_property("generator", "parity_tree");
+        Ok(())
+    }
+}
+
+/// A word-wide 2:1 multiplexer: `o = sel ? b : a`.
+///
+/// Ports: `a`, `b` (`width` bits), `sel` (1 bit), `o` (`width` bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusMux {
+    width: u32,
+}
+
+impl BusMux {
+    /// A bus mux of the given width.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        BusMux { width }
+    }
+}
+
+impl Generator for BusMux {
+    fn type_name(&self) -> String {
+        format!("busmux_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("a", self.width),
+            PortSpec::input("b", self.width),
+            PortSpec::input("sel", 1),
+            PortSpec::output("o", self.width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be at least 1".to_owned(),
+            });
+        }
+        let a = ctx.port("a")?;
+        let b = ctx.port("b")?;
+        let sel = ctx.port("sel")?;
+        let o = ctx.port("o")?;
+        for bit in 0..self.width {
+            ctx.mux2(
+                Signal::bit_of(a, bit),
+                Signal::bit_of(b, bit),
+                sel,
+                Signal::bit_of(o, bit),
+            )?;
+        }
+        ctx.set_property("generator", "bus_mux");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn decoder_is_one_hot() {
+        for sel_width in 1..=4u32 {
+            let circuit = Circuit::from_generator(&Decoder::new(sel_width)).unwrap();
+            let mut sim = Simulator::new(&circuit).unwrap();
+            sim.set_u64("en", 1).unwrap();
+            for k in 0..(1u64 << sel_width) {
+                sim.set_u64("sel", k).unwrap();
+                let o = sim.peek("o").unwrap().to_u64().unwrap();
+                assert_eq!(o, 1 << k, "sel_width {sel_width}, sel {k}");
+            }
+            sim.set_u64("en", 0).unwrap();
+            sim.set_u64("sel", 0).unwrap();
+            assert_eq!(sim.peek("o").unwrap().to_u64(), Some(0), "disabled");
+        }
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        for width in [1u32, 2, 4, 5, 8, 13] {
+            let circuit = Circuit::from_generator(&ParityTree::new(width)).unwrap();
+            let mut sim = Simulator::new(&circuit).unwrap();
+            let max = 1u64 << width.min(12);
+            for v in (0..max).step_by(7).chain([0, max - 1]) {
+                sim.set_u64("d", v).unwrap();
+                assert_eq!(
+                    sim.peek("p").unwrap().to_u64(),
+                    Some(u64::from(v.count_ones() % 2)),
+                    "width {width}, v {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bus_mux_selects() {
+        let circuit = Circuit::from_generator(&BusMux::new(8)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("a", 0x12).unwrap();
+        sim.set_u64("b", 0xEF).unwrap();
+        sim.set_u64("sel", 0).unwrap();
+        assert_eq!(sim.peek("o").unwrap().to_u64(), Some(0x12));
+        sim.set_u64("sel", 1).unwrap();
+        assert_eq!(sim.peek("o").unwrap().to_u64(), Some(0xEF));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Circuit::from_generator(&Decoder::new(0)).is_err());
+        assert!(Circuit::from_generator(&Decoder::new(5)).is_err());
+        assert!(Circuit::from_generator(&ParityTree::new(0)).is_err());
+        assert!(Circuit::from_generator(&BusMux::new(0)).is_err());
+    }
+}

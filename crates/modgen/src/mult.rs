@@ -1,0 +1,205 @@
+//! A conventional array multiplier — the baseline the KCM is compared
+//! against (the authors' FPL 2001 evaluation).
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::bitsum::{reduce_tree, register, width_for, wire_bits, PartialValue};
+
+/// An unsigned array multiplier: `p = a × b`, built from `MULT_AND`
+/// partial-product rows summed on carry chains. The general-purpose
+/// structure a designer would use when the coefficient is *not*
+/// constant; the KCM's partial-product tables beat it precisely because
+/// they fold the constant into LUT contents.
+///
+/// Ports: `a` (n bits), `b` (m bits), `p` (n+m bits), plus `clk` when
+/// pipelined.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::ArrayMultiplier;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let mult = ArrayMultiplier::new(8, 8);
+/// let circuit = Circuit::from_generator(&mult)?;
+/// assert!(circuit.primitive_count() > 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayMultiplier {
+    a_width: u32,
+    b_width: u32,
+    pipelined: bool,
+}
+
+impl ArrayMultiplier {
+    /// An `a_width × b_width` unsigned multiplier.
+    #[must_use]
+    pub fn new(a_width: u32, b_width: u32) -> Self {
+        ArrayMultiplier {
+            a_width,
+            b_width,
+            pipelined: false,
+        }
+    }
+
+    /// Inserts pipeline registers after every adder-tree level.
+    #[must_use]
+    pub fn pipelined(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
+    }
+
+    /// Product width (`a_width + b_width`).
+    #[must_use]
+    pub fn product_width(&self) -> u32 {
+        self.a_width + self.b_width
+    }
+
+    /// Pipeline latency in clock cycles (0 when combinational).
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        if !self.pipelined {
+            return 0;
+        }
+        1 + crate::bitsum::tree_levels(self.b_width as usize)
+    }
+}
+
+impl Generator for ArrayMultiplier {
+    fn type_name(&self) -> String {
+        format!(
+            "mult_{}x{}{}",
+            self.a_width,
+            self.b_width,
+            if self.pipelined { "_pipe" } else { "" }
+        )
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        let mut ports = vec![
+            PortSpec::input("a", self.a_width),
+            PortSpec::input("b", self.b_width),
+            PortSpec::output("p", self.product_width()),
+        ];
+        if self.pipelined {
+            ports.insert(0, PortSpec::input("clk", 1));
+        }
+        ports
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.a_width == 0 || self.b_width == 0 || self.a_width > 32 || self.b_width > 32 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "operand widths must be 1..=32".to_owned(),
+            });
+        }
+        let a = ctx.port("a")?;
+        let b = ctx.port("b")?;
+        let p = ctx.port("p")?;
+        let clk = if self.pipelined {
+            Some(ctx.port("clk")?)
+        } else {
+            None
+        };
+        let zero_wire = ctx.wire("zero", 1);
+        ctx.gnd(zero_wire)?;
+        let zero: Signal = zero_wire.into();
+
+        let a_max = (1i128 << self.a_width) - 1;
+        // Row i: (a AND b_i) << i via MULT_AND gates.
+        let mut rows = Vec::new();
+        for i in 0..self.b_width {
+            let (row, bits) = wire_bits(ctx, &format!("row{i}"), self.a_width);
+            for j in 0..self.a_width {
+                let g = ctx.mult_and(
+                    Signal::bit_of(a, j),
+                    Signal::bit_of(b, i),
+                    Signal::bit_of(row, j),
+                )?;
+                ctx.set_rloc(g, ipd_hdl::Rloc::new((j / 2) as i32, i as i32));
+            }
+            let mut value = PartialValue {
+                bits,
+                lo: 0,
+                hi: a_max,
+                shift: i,
+            };
+            if let Some(clk) = clk {
+                value = register(ctx, value, clk, &format!("row{i}_reg"))?;
+            }
+            rows.push(value);
+        }
+        let total = reduce_tree(ctx, rows, &zero, clk, "acc")?;
+        // The exact range [0, a_max * b_max] may need fewer bits than
+        // n + m; extend with zeros to the declared product width.
+        let full = self.product_width();
+        debug_assert!(total.width() <= full);
+        debug_assert_eq!(
+            total.width(),
+            width_for(0, a_max * ((1i128 << self.b_width) - 1))
+        );
+        for bit in 0..full {
+            let src = total.bit(bit, &zero);
+            ctx.buffer(src, Signal::bit_of(p, bit))?;
+        }
+        ctx.set_property("generator", "array_multiplier");
+        ctx.set_property("a_width", i64::from(self.a_width));
+        ctx.set_property("b_width", i64::from(self.b_width));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn multiplies_exhaustively_4x4() {
+        let circuit = Circuit::from_generator(&ArrayMultiplier::new(4, 4)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                sim.set_u64("a", a).unwrap();
+                sim.set_u64("b", b).unwrap();
+                assert_eq!(sim.peek("p").unwrap().to_u64(), Some(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_widths() {
+        let circuit = Circuit::from_generator(&ArrayMultiplier::new(6, 3)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        for (a, b) in [(63u64, 7u64), (40, 5), (1, 1), (0, 7), (63, 0)] {
+            sim.set_u64("a", a).unwrap();
+            sim.set_u64("b", b).unwrap();
+            assert_eq!(sim.peek("p").unwrap().to_u64(), Some(a * b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_combinational() {
+        let pipe = ArrayMultiplier::new(5, 5).pipelined(true);
+        let circuit = Circuit::from_generator(&pipe).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        for (a, b) in [(31u64, 31u64), (17, 3), (0, 0)] {
+            sim.set_u64("a", a).unwrap();
+            sim.set_u64("b", b).unwrap();
+            sim.cycle(u64::from(pipe.latency())).unwrap();
+            assert_eq!(sim.peek("p").unwrap().to_u64(), Some(a * b), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(Circuit::from_generator(&ArrayMultiplier::new(0, 4)).is_err());
+        assert!(Circuit::from_generator(&ArrayMultiplier::new(4, 33)).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Register and shift-register module generators.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+use crate::place_column;
+
+/// A clocked register bank with optional clock-enable and asynchronous
+/// clear.
+///
+/// Ports: `clk`, `d`, `q`, plus `ce`/`clr` when enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    width: u32,
+    has_ce: bool,
+    has_clr: bool,
+}
+
+impl Register {
+    /// A register of the given width.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        Register {
+            width,
+            has_ce: false,
+            has_clr: false,
+        }
+    }
+
+    /// Adds a clock-enable port `ce`.
+    #[must_use]
+    pub fn with_ce(mut self) -> Self {
+        self.has_ce = true;
+        self
+    }
+
+    /// Adds an asynchronous clear port `clr`.
+    #[must_use]
+    pub fn with_clr(mut self) -> Self {
+        self.has_clr = true;
+        self
+    }
+}
+
+impl Generator for Register {
+    fn type_name(&self) -> String {
+        format!("reg_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        let mut ports = vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("d", self.width),
+            PortSpec::output("q", self.width),
+        ];
+        if self.has_ce {
+            ports.insert(2, PortSpec::input("ce", 1));
+        }
+        if self.has_clr {
+            ports.insert(2, PortSpec::input("clr", 1));
+        }
+        ports
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be at least 1".to_owned(),
+            });
+        }
+        let clk = ctx.port("clk")?;
+        let d = ctx.port("d")?;
+        let q = ctx.port("q")?;
+        for bit in 0..self.width {
+            let db = Signal::bit_of(d, bit);
+            let qb = Signal::bit_of(q, bit);
+            let ff = if self.has_ce || self.has_clr {
+                let ce: Signal = if self.has_ce {
+                    ctx.port("ce")?.into()
+                } else {
+                    let one = ctx.wire(&format!("ce1_{bit}"), 1);
+                    ctx.vcc(one)?;
+                    one.into()
+                };
+                let clr: Signal = if self.has_clr {
+                    ctx.port("clr")?.into()
+                } else {
+                    let zero = ctx.wire(&format!("clr0_{bit}"), 1);
+                    ctx.gnd(zero)?;
+                    zero.into()
+                };
+                ctx.fdce(clk, ce, clr, db, qb)?
+            } else {
+                ctx.fd(clk, db, qb)?
+            };
+            place_column(ctx, ff, bit);
+        }
+        ctx.set_property("generator", "register");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+/// A fixed-delay shift register mapped onto SRL16 primitives: `depth`
+/// cycles of delay for a `width`-bit bus, cascading SRL16s for depths
+/// beyond 16.
+///
+/// Ports: `clk`, `ce`, `d` (`width` bits), `q` (`width` bits).
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::ShiftRegister;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let sr = ShiftRegister::new(8, 20); // 8-bit bus delayed 20 cycles
+/// let circuit = Circuit::from_generator(&sr)?;
+/// // 20 cycles needs two SRL16s per bit.
+/// let stats = ipd_hdl::CircuitStats::of(&circuit);
+/// assert_eq!(stats.count_of("virtex:srl16"), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftRegister {
+    width: u32,
+    depth: u32,
+}
+
+impl ShiftRegister {
+    /// A `width`-bit shift register delaying `depth` cycles.
+    #[must_use]
+    pub fn new(width: u32, depth: u32) -> Self {
+        ShiftRegister { width, depth }
+    }
+
+    /// Delay in cycles.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+impl Generator for ShiftRegister {
+    fn type_name(&self) -> String {
+        format!("srl_w{}_d{}", self.width, self.depth)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("ce", 1),
+            PortSpec::input("d", self.width),
+            PortSpec::output("q", self.width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if self.width == 0 || self.depth == 0 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width and depth must be at least 1".to_owned(),
+            });
+        }
+        let clk = ctx.port("clk")?;
+        let ce = ctx.port("ce")?;
+        let d = ctx.port("d")?;
+        let q = ctx.port("q")?;
+        for bit in 0..self.width {
+            let mut cur: Signal = Signal::bit_of(d, bit);
+            let mut remaining = self.depth;
+            let mut stage = 0u32;
+            while remaining > 0 {
+                let taps = remaining.min(16);
+                let out: Signal = if remaining <= 16 {
+                    Signal::bit_of(q, bit)
+                } else {
+                    let w = ctx.wire(&format!("b{bit}_s{stage}"), 1);
+                    w.into()
+                };
+                // Address selects tap (delay = addr + 1).
+                let addr = ctx.wire(&format!("b{bit}_a{stage}"), 4);
+                ctx.constant(addr, &ipd_hdl::LogicVec::from_u64(u64::from(taps - 1), 4))?;
+                let srl = ctx.srl16(0, clk, ce, cur, addr, out.clone())?;
+                ctx.set_rloc(srl, ipd_hdl::Rloc::new((bit / 2) as i32, stage as i32));
+                cur = out;
+                remaining -= taps;
+                stage += 1;
+            }
+        }
+        ctx.set_property("generator", "shift_register");
+        ctx.set_property("width", i64::from(self.width));
+        ctx.set_property("depth", i64::from(self.depth));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn register_latches() {
+        let circuit = Circuit::from_generator(&Register::new(8)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("d", 0xAB).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(0xAB));
+    }
+
+    #[test]
+    fn register_ce_and_clr() {
+        let circuit =
+            Circuit::from_generator(&Register::new(4).with_ce().with_clr()).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("clr", 0).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.set_u64("d", 7).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(7));
+        sim.set_u64("ce", 0).unwrap();
+        sim.set_u64("d", 3).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(7), "held");
+        sim.set_u64("clr", 1).unwrap();
+        sim.cycle(1).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(0), "cleared");
+    }
+
+    #[test]
+    fn shift_register_delays_exactly() {
+        for depth in [1u32, 3, 16, 17, 20] {
+            let circuit =
+                Circuit::from_generator(&ShiftRegister::new(1, depth)).unwrap();
+            let mut sim = Simulator::new(&circuit).unwrap();
+            sim.set_u64("ce", 1).unwrap();
+            // Send a single 1 pulse.
+            sim.set_u64("d", 1).unwrap();
+            sim.cycle(1).unwrap();
+            sim.set_u64("d", 0).unwrap();
+            // The pulse emerges exactly `depth` cycles after entry; one
+            // cycle has elapsed, so it is visible after `depth - 1` more.
+            for early in 0..depth.saturating_sub(2) {
+                sim.cycle(1).unwrap();
+                assert_eq!(
+                    sim.peek("q").unwrap().to_u64(),
+                    Some(0),
+                    "depth {depth}: too early at step {early}"
+                );
+            }
+            if depth > 1 {
+                sim.cycle(1).unwrap();
+            }
+            assert_eq!(
+                sim.peek("q").unwrap().to_u64(),
+                Some(1),
+                "depth {depth}: pulse arrives"
+            );
+            sim.cycle(1).unwrap();
+            assert_eq!(
+                sim.peek("q").unwrap().to_u64(),
+                Some(0),
+                "depth {depth}: pulse passes"
+            );
+        }
+    }
+
+    #[test]
+    fn shift_register_bus() {
+        let circuit = Circuit::from_generator(&ShiftRegister::new(4, 2)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        sim.set_u64("d", 0x9).unwrap();
+        sim.cycle(2).unwrap();
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(0x9));
+    }
+
+    #[test]
+    fn rejects_zero_params() {
+        assert!(Circuit::from_generator(&Register::new(0)).is_err());
+        assert!(Circuit::from_generator(&ShiftRegister::new(0, 4)).is_err());
+        assert!(Circuit::from_generator(&ShiftRegister::new(4, 0)).is_err());
+    }
+}

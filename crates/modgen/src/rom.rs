@@ -1,0 +1,205 @@
+//! LUT-based ROM module generator.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+/// A combinational ROM built from `ROM16X1` primitives plus a `MUX2`
+/// tree for address widths beyond four bits.
+///
+/// Ports: `addr` (`addr_width` bits), `data` (`data_width` bits).
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::Rom;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let rom = Rom::new(5, 8, (0..32).map(|i| i * 3).collect())?;
+/// let circuit = Circuit::from_generator(&rom)?;
+/// assert!(circuit.primitive_count() > 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rom {
+    addr_width: u32,
+    data_width: u32,
+    words: Vec<u64>,
+}
+
+impl Rom {
+    /// A ROM holding `words` (padded with zeros to `2^addr_width`
+    /// entries).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero widths, address widths above 10, data widths above
+    /// 64, and word lists longer than the address space.
+    pub fn new(addr_width: u32, data_width: u32, words: Vec<u64>) -> Result<Self> {
+        if addr_width == 0 || addr_width > 10 || data_width == 0 || data_width > 64 {
+            return Err(HdlError::InvalidParameter {
+                generator: "rom".to_owned(),
+                reason: "addr_width must be 1..=10, data_width 1..=64".to_owned(),
+            });
+        }
+        if words.len() > (1usize << addr_width) {
+            return Err(HdlError::InvalidParameter {
+                generator: "rom".to_owned(),
+                reason: format!(
+                    "{} words exceed the {}-entry address space",
+                    words.len(),
+                    1usize << addr_width
+                ),
+            });
+        }
+        Ok(Rom {
+            addr_width,
+            data_width,
+            words,
+        })
+    }
+
+    /// The stored word at `addr` (0 beyond the initialized range).
+    #[must_use]
+    pub fn word(&self, addr: usize) -> u64 {
+        let mask = if self.data_width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.data_width) - 1
+        };
+        self.words.get(addr).copied().unwrap_or(0) & mask
+    }
+}
+
+impl Generator for Rom {
+    fn type_name(&self) -> String {
+        format!("rom_a{}_d{}", self.addr_width, self.data_width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("addr", self.addr_width),
+            PortSpec::output("data", self.data_width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        let addr = ctx.port("addr")?;
+        let data = ctx.port("data")?;
+        for bit in 0..self.data_width {
+            // Leaf ROMs over the low 4 address bits, muxed by the rest.
+            let low_width = self.addr_width.min(4);
+            let high_bits = self.addr_width - low_width;
+            let banks = 1u32 << high_bits;
+            let mut layer: Vec<Signal> = Vec::with_capacity(banks as usize);
+            for bank in 0..banks {
+                let mut init = 0u16;
+                for idx in 0..(1u32 << low_width) {
+                    let address = ((bank << low_width) | idx) as usize;
+                    if (self.word(address) >> bit) & 1 == 1 {
+                        init |= 1 << idx;
+                    }
+                }
+                let out = ctx.wire(&format!("b{bit}_bank{bank}"), 1);
+                if low_width == 4 {
+                    let a4 = Signal::slice_of(addr, 3, 0);
+                    ctx.rom16x1(init, a4, out)?;
+                } else {
+                    let inputs: Vec<Signal> =
+                        (0..low_width).map(|i| Signal::bit_of(addr, i)).collect();
+                    ctx.lut(init, &inputs, out)?;
+                }
+                layer.push(out.into());
+            }
+            // Mux tree over the high address bits.
+            for level in 0..high_bits {
+                let sel = Signal::bit_of(addr, low_width + level);
+                let mut next = Vec::with_capacity(layer.len() / 2);
+                for pair in layer.chunks(2) {
+                    let out: Signal = if layer.len() == 2 {
+                        Signal::bit_of(data, bit)
+                    } else {
+                        ctx.wire(&format!("b{bit}_m{level}_{}", next.len()), 1).into()
+                    };
+                    ctx.mux2(pair[0].clone(), pair[1].clone(), sel.clone(), out.clone())?;
+                    next.push(out);
+                }
+                layer = next;
+            }
+            if high_bits == 0 {
+                // Single bank drives the output directly through a buffer.
+                let src = layer.remove(0);
+                ctx.buffer(src, Signal::bit_of(data, bit))?;
+            }
+        }
+        ctx.set_property("generator", "rom");
+        ctx.set_property("addr_width", i64::from(self.addr_width));
+        ctx.set_property("data_width", i64::from(self.data_width));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn small_rom_reads_back() {
+        let words: Vec<u64> = vec![5, 9, 0xFF, 0x00, 0x3C];
+        let rom = Rom::new(3, 8, words.clone()).unwrap();
+        let circuit = Circuit::from_generator(&rom).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        for a in 0..8usize {
+            sim.set_u64("addr", a as u64).unwrap();
+            let expect = words.get(a).copied().unwrap_or(0);
+            assert_eq!(sim.peek("data").unwrap().to_u64(), Some(expect), "addr {a}");
+        }
+    }
+
+    #[test]
+    fn wide_address_uses_mux_tree() {
+        let words: Vec<u64> = (0..64).map(|i| (i * 7) % 256).collect();
+        let rom = Rom::new(6, 8, words.clone()).unwrap();
+        let circuit = Circuit::from_generator(&rom).unwrap();
+        let stats = ipd_hdl::CircuitStats::of(&circuit);
+        assert_eq!(stats.count_of("virtex:rom16x1"), 8 * 4);
+        assert!(stats.count_of("virtex:mux2") > 0);
+        let mut sim = Simulator::new(&circuit).unwrap();
+        for a in [0u64, 15, 16, 31, 32, 63] {
+            sim.set_u64("addr", a).unwrap();
+            assert_eq!(
+                sim.peek("data").unwrap().to_u64(),
+                Some(words[a as usize]),
+                "addr {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_16_entries_uses_rom16_directly() {
+        let words: Vec<u64> = (0..16).collect();
+        let rom = Rom::new(4, 4, words).unwrap();
+        let circuit = Circuit::from_generator(&rom).unwrap();
+        let stats = ipd_hdl::CircuitStats::of(&circuit);
+        assert_eq!(stats.count_of("virtex:rom16x1"), 4);
+        assert_eq!(stats.count_of("virtex:mux2"), 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Rom::new(0, 8, vec![]).is_err());
+        assert!(Rom::new(11, 8, vec![]).is_err());
+        assert!(Rom::new(4, 0, vec![]).is_err());
+        assert!(Rom::new(2, 8, vec![0; 5]).is_err());
+    }
+
+    #[test]
+    fn word_masks_to_data_width() {
+        let rom = Rom::new(2, 4, vec![0xFF]).unwrap();
+        assert_eq!(rom.word(0), 0xF);
+        assert_eq!(rom.word(3), 0);
+    }
+}

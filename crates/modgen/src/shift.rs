@@ -1,0 +1,363 @@
+//! Barrel shifter and LFSR generators.
+
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_techlib::LogicCtx;
+
+/// A logarithmic barrel shifter: `o = mode ? a >> sh : a << sh`
+/// (logical, zero fill), built from `log2(width)` mux layers.
+///
+/// Ports: `a` (`width`), `sh` (`ceil(log2 width)`), `right` (1),
+/// `o` (`width`).
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::BarrelShifter;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let circuit = Circuit::from_generator(&BarrelShifter::new(8))?;
+/// assert!(ipd_hdl::validate(&circuit)?.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrelShifter {
+    width: u32,
+}
+
+impl BarrelShifter {
+    /// A shifter over `width` bits (must be a power of two, 2..=64).
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        BarrelShifter { width }
+    }
+
+    /// Width of the shift-amount port.
+    #[must_use]
+    pub fn shift_width(&self) -> u32 {
+        self.width.trailing_zeros().max(1)
+    }
+}
+
+impl Generator for BarrelShifter {
+    fn type_name(&self) -> String {
+        format!("bshift_w{}", self.width)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("a", self.width),
+            PortSpec::input("sh", self.shift_width()),
+            PortSpec::input("right", 1),
+            PortSpec::output("o", self.width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if !self.width.is_power_of_two() || !(2..=64).contains(&self.width) {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be a power of two in 2..=64".to_owned(),
+            });
+        }
+        let a = ctx.port("a")?;
+        let sh = ctx.port("sh")?;
+        let right = ctx.port("right")?;
+        let o = ctx.port("o")?;
+        let zero = ctx.wire("zero", 1);
+        ctx.gnd(zero)?;
+        // A right shift of k is a left shift of (width - k) mod width;
+        // rather than conditionally negating the amount we build a
+        // *rotator* and mask the wrapped-in bits per direction.
+        //
+        // Simpler and still log-depth: two shift networks would double
+        // the area, so use the standard trick — conditionally reverse
+        // the input and output. reverse(a) >> k == reverse(a << k).
+        let mut current: Vec<Signal> = (0..self.width)
+            .map(|b| {
+                let w = ctx.wire(&format!("in{b}"), 1);
+                // in[b] = right ? a[width-1-b] : a[b]
+                ctx.mux2(
+                    Signal::bit_of(a, b),
+                    Signal::bit_of(a, self.width - 1 - b),
+                    right,
+                    w,
+                )?;
+                Ok(Signal::from(w))
+            })
+            .collect::<Result<_>>()?;
+        // Left-shift network over the conditionally-reversed word.
+        for stage in 0..self.shift_width() {
+            let amount = 1u32 << stage;
+            let sel = Signal::bit_of(sh, stage);
+            let mut next = Vec::with_capacity(self.width as usize);
+            for b in 0..self.width {
+                let w = ctx.wire(&format!("s{stage}_{b}"), 1);
+                let shifted: Signal = if b >= amount {
+                    current[(b - amount) as usize].clone()
+                } else {
+                    zero.into()
+                };
+                ctx.mux2(current[b as usize].clone(), shifted, sel.clone(), w)?;
+                next.push(w.into());
+            }
+            current = next;
+        }
+        // Conditionally reverse back into the output.
+        for b in 0..self.width {
+            ctx.mux2(
+                current[b as usize].clone(),
+                current[(self.width - 1 - b) as usize].clone(),
+                right,
+                Signal::bit_of(o, b),
+            )?;
+        }
+        ctx.set_property("generator", "barrel_shifter");
+        ctx.set_property("width", i64::from(self.width));
+        Ok(())
+    }
+}
+
+/// A Fibonacci linear-feedback shift register with a programmable tap
+/// mask, useful as a pseudo-random stimulus source inside delivered
+/// testbenches.
+///
+/// Ports: `clk`, `ce`, `q` (`width` bits). The register seeds to
+/// all-ones at power-up (never the all-zero lock-up state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u32,
+    taps: u64,
+}
+
+impl Lfsr {
+    /// An LFSR of `width` bits with feedback `taps` (bit `i` set means
+    /// stage `i` feeds the XOR).
+    #[must_use]
+    pub fn new(width: u32, taps: u64) -> Self {
+        Lfsr { width, taps }
+    }
+
+    /// A maximal-length configuration for common widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics for widths without a stored polynomial (supported: 3, 4,
+    /// 5, 7, 8, 15, 16).
+    #[must_use]
+    pub fn maximal(width: u32) -> Self {
+        let taps = match width {
+            3 => 0b110,
+            4 => 0b1100,
+            5 => 0b1_0100,
+            7 => 0b110_0000,
+            8 => 0b1011_1000,
+            15 => 0b110_0000_0000_0000,
+            16 => 0b1101_0000_0000_1000,
+            other => panic!("no stored maximal polynomial for width {other}"),
+        };
+        Lfsr { width, taps }
+    }
+
+    /// Software reference: the register state after `n` enabled clocks
+    /// from the all-ones seed.
+    #[must_use]
+    pub fn reference(&self, n: u64) -> u64 {
+        let mask = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut state = mask;
+        for _ in 0..n {
+            let fb = (state & self.taps).count_ones() as u64 & 1;
+            state = ((state << 1) | fb) & mask;
+        }
+        state
+    }
+}
+
+impl Generator for Lfsr {
+    fn type_name(&self) -> String {
+        format!("lfsr_w{}_t{:x}", self.width, self.taps)
+    }
+
+    fn ports(&self) -> Vec<PortSpec> {
+        vec![
+            PortSpec::input("clk", 1),
+            PortSpec::input("ce", 1),
+            PortSpec::output("q", self.width),
+        ]
+    }
+
+    fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
+        if !(2..=48).contains(&self.width) {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "width must be 2..=48".to_owned(),
+            });
+        }
+        let tap_mask = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        if self.taps & tap_mask == 0 {
+            return Err(HdlError::InvalidParameter {
+                generator: self.type_name(),
+                reason: "at least one feedback tap required".to_owned(),
+            });
+        }
+        let clk = ctx.port("clk")?;
+        let ce = ctx.port("ce")?;
+        let q = ctx.port("q")?;
+        // Feedback: XOR of tapped stages (balanced LUT tree).
+        let tapped: Vec<Signal> = (0..self.width)
+            .filter(|b| (self.taps >> b) & 1 == 1)
+            .map(|b| Signal::bit_of(q, b))
+            .collect();
+        let mut layer = tapped;
+        let mut level = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+            for (i, chunk) in layer.chunks(4).enumerate() {
+                let out = ctx.wire(&format!("fb{level}_{i}"), 1);
+                let n = chunk.len() as u32;
+                let mut init = 0u16;
+                for pattern in 0..(1u32 << n) {
+                    if pattern.count_ones() % 2 == 1 {
+                        init |= 1 << pattern;
+                    }
+                }
+                ctx.lut(init, chunk, out)?;
+                next.push(Signal::from(out));
+            }
+            layer = next;
+            level += 1;
+        }
+        let feedback = layer.remove(0);
+        // State registers: FD primitives power up to 0, so store the
+        // *complement* of the LFSR state and invert on the way out —
+        // the all-zero power-up then *is* the all-ones seed.
+        let inv_state = ctx.wire("inv_state", self.width);
+        let inv_next = ctx.wire("inv_next", self.width);
+        for b in 0..self.width {
+            // inv_next[b] = !next[b]; next = (state << 1) | fb.
+            let source: Signal = if b == 0 {
+                feedback.clone()
+            } else {
+                // state[b-1] = !inv_state[b-1]
+                Signal::bit_of(inv_state, b - 1)
+            };
+            if b == 0 {
+                // inv_next[0] = !fb
+                ctx.inv(source, Signal::bit_of(inv_next, b))?;
+            } else {
+                // already complemented, pass through
+                ctx.buffer(source, Signal::bit_of(inv_next, b))?;
+            }
+            // Hold when ce = 0.
+            let held = ctx.wire(&format!("hold{b}"), 1);
+            ctx.mux2(
+                Signal::bit_of(inv_state, b),
+                Signal::bit_of(inv_next, b),
+                ce,
+                held,
+            )?;
+            ctx.fd(clk, held, Signal::bit_of(inv_state, b))?;
+            ctx.inv(Signal::bit_of(inv_state, b), Signal::bit_of(q, b))?;
+        }
+        ctx.set_property("generator", "lfsr");
+        ctx.set_property("width", i64::from(self.width));
+        ctx.set_property("taps", self.taps as i64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+    use ipd_sim::Simulator;
+
+    #[test]
+    fn barrel_shifts_both_ways() {
+        let circuit = Circuit::from_generator(&BarrelShifter::new(8)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        for a in [0x01u64, 0x80, 0xA5, 0xFF] {
+            for sh in 0..8u64 {
+                sim.set_u64("a", a).unwrap();
+                sim.set_u64("sh", sh).unwrap();
+                sim.set_u64("right", 0).unwrap();
+                assert_eq!(
+                    sim.peek("o").unwrap().to_u64(),
+                    Some((a << sh) & 0xFF),
+                    "{a:#x} << {sh}"
+                );
+                sim.set_u64("right", 1).unwrap();
+                assert_eq!(
+                    sim.peek("o").unwrap().to_u64(),
+                    Some(a >> sh),
+                    "{a:#x} >> {sh}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_rejects_non_power_of_two() {
+        assert!(Circuit::from_generator(&BarrelShifter::new(6)).is_err());
+        assert!(Circuit::from_generator(&BarrelShifter::new(1)).is_err());
+    }
+
+    #[test]
+    fn lfsr_matches_reference() {
+        let lfsr = Lfsr::maximal(8);
+        let circuit = Circuit::from_generator(&lfsr).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        for n in 0..40u64 {
+            assert_eq!(
+                sim.peek("q").unwrap().to_u64(),
+                Some(lfsr.reference(n)),
+                "step {n}"
+            );
+            sim.cycle(1).unwrap();
+        }
+    }
+
+    #[test]
+    fn lfsr_is_maximal_length() {
+        let lfsr = Lfsr::maximal(4);
+        let circuit = Circuit::from_generator(&lfsr).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("ce", 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..15 {
+            let state = sim.peek("q").unwrap().to_u64().unwrap();
+            assert_ne!(state, 0, "never the lock-up state");
+            seen.insert(state);
+            sim.cycle(1).unwrap();
+        }
+        assert_eq!(seen.len(), 15, "visits every nonzero state");
+        // Period 15: back at the seed.
+        assert_eq!(sim.peek("q").unwrap().to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn lfsr_ce_holds() {
+        let circuit = Circuit::from_generator(&Lfsr::maximal(8)).unwrap();
+        let mut sim = Simulator::new(&circuit).unwrap();
+        sim.set_u64("ce", 0).unwrap();
+        let before = sim.peek("q").unwrap();
+        sim.cycle(5).unwrap();
+        assert_eq!(sim.peek("q").unwrap(), before);
+    }
+
+    #[test]
+    fn lfsr_validation() {
+        assert!(Circuit::from_generator(&Lfsr::new(1, 1)).is_err());
+        assert!(Circuit::from_generator(&Lfsr::new(8, 0)).is_err());
+    }
+}

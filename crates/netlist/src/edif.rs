@@ -1,0 +1,490 @@
+//! Hierarchical EDIF 2.0.0 netlist generation.
+//!
+//! EDIF is the primary interchange format of the paper's applets: the
+//! *Netlist* button generates EDIF text into a browsable window. Output
+//! is hierarchical — every composite cell becomes an EDIF `cell`
+//! definition in the `work` library, technology primitives and black
+//! boxes are declared in `external` libraries, and original JHDL names
+//! are preserved through EDIF `rename` constructs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write;
+
+use ipd_hdl::{CellId, CellKind, Circuit, PortDir, WireId};
+
+use crate::error::NetlistError;
+use crate::names::{Dialect, NameTable};
+
+/// Generates the EDIF netlist for a circuit as a `String`.
+///
+/// # Errors
+///
+/// Fails only on internal formatting errors; see [`write_edif`].
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{Circuit, PortSpec};
+/// use ipd_netlist::edif_string;
+/// use ipd_techlib::LogicCtx;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new("top");
+/// let mut ctx = circuit.root_ctx();
+/// let a = ctx.add_port(PortSpec::input("a", 1))?;
+/// let y = ctx.add_port(PortSpec::output("y", 1))?;
+/// ctx.inv(a, y)?;
+/// let edif = edif_string(&circuit)?;
+/// assert!(edif.starts_with("(edif"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn edif_string(circuit: &Circuit) -> Result<String, NetlistError> {
+    let mut buf = Vec::new();
+    write_edif(circuit, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("EDIF output is ASCII"))
+}
+
+/// Writes the EDIF netlist for a circuit.
+///
+/// A mut reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] on writer failure.
+pub fn write_edif<W: Write>(circuit: &Circuit, mut writer: W) -> Result<(), NetlistError> {
+    let text = Emitter::new(circuit).emit();
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+fn dir_keyword(dir: PortDir) -> &'static str {
+    match dir {
+        PortDir::Input => "INPUT",
+        PortDir::Output => "OUTPUT",
+        PortDir::Inout => "INOUT",
+    }
+}
+
+/// Expanded single-bit port name.
+fn bit_port_source(port: &str, bit: u32, width: u32) -> String {
+    if width == 1 {
+        port.to_owned()
+    } else {
+        format!("{port}[{bit}]")
+    }
+}
+
+struct Emitter<'a> {
+    circuit: &'a Circuit,
+    out: String,
+    indent: usize,
+    /// Per-cell map from expanded port source name to legal EDIF name.
+    port_names: HashMap<CellId, HashMap<String, String>>,
+    /// Def name per composite/leaf cell type.
+    def_names: HashMap<CellId, String>,
+    /// Wires grouped by owning scope.
+    wires_by_scope: Vec<Vec<WireId>>,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(circuit: &'a Circuit) -> Self {
+        let mut wires_by_scope = vec![Vec::new(); circuit.cell_count()];
+        for wid in circuit.wire_ids() {
+            wires_by_scope[circuit.wire(wid).scope().index()].push(wid);
+        }
+        Emitter {
+            circuit,
+            out: String::new(),
+            indent: 0,
+            port_names: HashMap::new(),
+            def_names: HashMap::new(),
+            wires_by_scope,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, text: &str) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, extra: &str) {
+        self.indent -= 1;
+        self.line(&format!("){extra}"));
+    }
+
+    /// `name` or `(rename legal "orig")`.
+    fn named(legal: &str, source: &str) -> String {
+        if legal == source {
+            legal.to_owned()
+        } else {
+            format!("(rename {legal} \"{source}\")")
+        }
+    }
+
+    fn emit(mut self) -> String {
+        let circuit = self.circuit;
+        // Assign port names for every cell and def names.
+        let mut def_table = NameTable::new(Dialect::Edif);
+        // Reserve primitive names first so leaf defs keep their
+        // canonical names.
+        let mut prim_defs: Vec<(String, CellId)> = Vec::new();
+        let mut bbox_defs: Vec<(String, CellId)> = Vec::new();
+        let mut seen_prims: HashMap<String, CellId> = HashMap::new();
+        let mut seen_bbox: HashMap<String, CellId> = HashMap::new();
+        for id in circuit.cell_ids() {
+            let cell = circuit.cell(id);
+            match cell.kind() {
+                CellKind::Primitive(p) => {
+                    let rep = *seen_prims.entry(p.name.clone()).or_insert(id);
+                    if rep == id {
+                        let legal = def_table.legalize(&p.name).to_owned();
+                        prim_defs.push((legal.clone(), id));
+                        self.def_names.insert(id, legal);
+                    } else {
+                        let legal = self.def_names[&rep].clone();
+                        self.def_names.insert(id, legal);
+                    }
+                }
+                CellKind::BlackBox => {
+                    let rep = *seen_bbox.entry(cell.type_name().to_owned()).or_insert(id);
+                    if rep == id {
+                        let legal = def_table.legalize(cell.type_name()).to_owned();
+                        bbox_defs.push((legal.clone(), id));
+                        self.def_names.insert(id, legal);
+                    } else {
+                        let legal = self.def_names[&rep].clone();
+                        self.def_names.insert(id, legal);
+                    }
+                }
+                CellKind::Composite => {
+                    let legal = def_table.legalize(cell.type_name()).to_owned();
+                    self.def_names.insert(id, legal);
+                }
+            }
+            // Port-bit names per cell.
+            let mut table = NameTable::new(Dialect::Edif);
+            let mut map = HashMap::new();
+            for port in cell.ports() {
+                for bit in 0..port.spec.width {
+                    let source = bit_port_source(&port.spec.name, bit, port.spec.width);
+                    let legal = table.legalize(&source).to_owned();
+                    map.insert(source, legal);
+                }
+            }
+            self.port_names.insert(id, map);
+        }
+        // Share port tables across identical prim/bbox defs: all
+        // instances of one primitive have the same interface, so the
+        // representative's table applies. (They were built identically
+        // above, so nothing to do.)
+
+        let top = def_table.legalize(circuit.name()).to_owned();
+        self.open(&format!("(edif {top}"));
+        self.line("(edifVersion 2 0 0)");
+        self.line("(edifLevel 0)");
+        self.line("(keywordMap (keywordLevel 0))");
+        self.line("(status (written (timeStamp 2002 6 10 0 0 0) (program \"ipd-netlist\")))");
+
+        // External technology library.
+        if !prim_defs.is_empty() {
+            self.open("(external virtex");
+            self.line("(edifLevel 0)");
+            self.line("(technology (numberDefinition))");
+            for (legal, rep) in &prim_defs {
+                self.emit_interface_only_cell(legal, *rep);
+            }
+            self.close("");
+        }
+        // External hidden library for protected black boxes.
+        if !bbox_defs.is_empty() {
+            self.open("(external hidden");
+            self.line("(edifLevel 0)");
+            self.line("(technology (numberDefinition))");
+            for (legal, rep) in &bbox_defs {
+                self.emit_interface_only_cell(legal, *rep);
+            }
+            self.close("");
+        }
+
+        // Work library: composite defs, children before parents.
+        self.open("(library work");
+        self.line("(edifLevel 0)");
+        self.line("(technology (numberDefinition))");
+        let mut order = Vec::new();
+        post_order(circuit, circuit.root(), &mut order);
+        for id in order {
+            if circuit.cell(id).kind().is_composite() {
+                self.emit_composite_cell(id);
+            }
+        }
+        self.close("");
+
+        let topdef = self.def_names[&circuit.root()].clone();
+        self.line(&format!(
+            "(design {top} (cellRef {topdef} (libraryRef work)))"
+        ));
+        self.close("");
+        self.out
+    }
+
+    fn emit_interface_only_cell(&mut self, legal: &str, rep: CellId) {
+        let cell = self.circuit.cell(rep);
+        self.open(&format!(
+            "(cell {}",
+            Self::named(legal, cell.type_name())
+        ));
+        self.line("(cellType GENERIC)");
+        self.open("(view netlist");
+        self.line("(viewType NETLIST)");
+        self.open("(interface");
+        for port in cell.ports() {
+            for bit in 0..port.spec.width {
+                let source = bit_port_source(&port.spec.name, bit, port.spec.width);
+                let pname = self.port_names[&rep][&source].clone();
+                self.line(&format!(
+                    "(port {} (direction {}))",
+                    Self::named(&pname, &source),
+                    dir_keyword(port.spec.dir)
+                ));
+            }
+        }
+        self.close(""); // interface
+        self.close(""); // view
+        self.close(""); // cell
+    }
+
+    fn emit_composite_cell(&mut self, id: CellId) {
+        let circuit = self.circuit;
+        let cell = circuit.cell(id);
+        let def = self.def_names[&id].clone();
+        self.open(&format!("(cell {}", Self::named(&def, cell.type_name())));
+        self.line("(cellType GENERIC)");
+        self.open("(view netlist");
+        self.line("(viewType NETLIST)");
+        // Interface.
+        self.open("(interface");
+        for port in cell.ports() {
+            for bit in 0..port.spec.width {
+                let source = bit_port_source(&port.spec.name, bit, port.spec.width);
+                let pname = self.port_names[&id][&source].clone();
+                self.line(&format!(
+                    "(port {} (direction {}))",
+                    Self::named(&pname, &source),
+                    dir_keyword(port.spec.dir)
+                ));
+            }
+        }
+        self.close("");
+        // Contents.
+        self.open("(contents");
+        let mut inst_table = NameTable::new(Dialect::Edif);
+        let mut inst_names: HashMap<CellId, String> = HashMap::new();
+        for &child in cell.children() {
+            let child_cell = circuit.cell(child);
+            let iname = inst_table.legalize(child_cell.name()).to_owned();
+            inst_names.insert(child, iname.clone());
+            let child_def = self.def_names[&child].clone();
+            let lib = match child_cell.kind() {
+                CellKind::Primitive(_) => "virtex",
+                CellKind::BlackBox => "hidden",
+                CellKind::Composite => "work",
+            };
+            let mut inst = format!(
+                "(instance {} (viewRef netlist (cellRef {child_def} (libraryRef {lib})))",
+                Self::named(&iname, child_cell.name())
+            );
+            if let CellKind::Primitive(p) = child_cell.kind() {
+                if let Some(init) = p.init {
+                    let _ = write!(inst, " (property INIT (string \"{init:X}\"))");
+                }
+            }
+            if let Some(rloc) = child_cell.rloc() {
+                let _ = write!(inst, " (property RLOC (string \"{rloc}\"))");
+            }
+            inst.push(')');
+            self.line(&inst);
+        }
+        // Connectivity: for every wire bit in this scope, collect the
+        // port references that join it.
+        let mut joins: HashMap<(WireId, u32), Vec<String>> = HashMap::new();
+        // The cell's own ports connect through their inner wires.
+        for port in cell.ports() {
+            let Some(inner) = port.inner else { continue };
+            for bit in 0..port.spec.width {
+                let source = bit_port_source(&port.spec.name, bit, port.spec.width);
+                let pname = self.port_names[&id][&source].clone();
+                joins
+                    .entry((inner, bit))
+                    .or_default()
+                    .push(format!("(portRef {pname})"));
+            }
+        }
+        // Child ports connect through their outer bindings.
+        for &child in cell.children() {
+            let child_cell = circuit.cell(child);
+            let iname = &inst_names[&child];
+            // Representative cell for the port-name table: prim/bbox
+            // instances share their representative's interface, which
+            // was built identically, so the child's own table works.
+            for port in child_cell.ports() {
+                let Some(outer) = port.outer.as_ref() else { continue };
+                for (k, (w, b)) in outer.bits().enumerate() {
+                    let source = bit_port_source(&port.spec.name, k as u32, port.spec.width);
+                    let pname = self.port_names[&child][&source].clone();
+                    joins
+                        .entry((w, b))
+                        .or_default()
+                        .push(format!("(portRef {pname} (instanceRef {iname}))"));
+                }
+            }
+        }
+        let mut net_table = NameTable::new(Dialect::Edif);
+        let scope_wires = self.wires_by_scope[id.index()].clone();
+        for wid in scope_wires {
+            let wire = circuit.wire(wid);
+            for bit in 0..wire.width() {
+                let Some(refs) = joins.get(&(wid, bit)) else { continue };
+                if refs.is_empty() {
+                    continue;
+                }
+                let source = if wire.width() == 1 {
+                    wire.name().to_owned()
+                } else {
+                    format!("{}[{bit}]", wire.name())
+                };
+                let nname = net_table.legalize(&source).to_owned();
+                self.line(&format!(
+                    "(net {} (joined {}))",
+                    Self::named(&nname, &source),
+                    refs.join(" ")
+                ));
+            }
+        }
+        self.close(""); // contents
+        self.close(""); // view
+        self.close(""); // cell
+    }
+}
+
+fn post_order(circuit: &Circuit, id: CellId, out: &mut Vec<CellId>) {
+    for &child in circuit.cell(id).children() {
+        post_order(circuit, child, out);
+    }
+    out.push(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexpr::SExpr;
+    use ipd_hdl::{FnGenerator, PortSpec, Signal};
+    use ipd_techlib::LogicCtx;
+
+    fn two_level() -> Circuit {
+        let inner = FnGenerator::new(
+            "stage",
+            vec![PortSpec::input("i", 2), PortSpec::output("o", 1)],
+            |ctx| {
+                let i = ctx.port("i")?;
+                let o = ctx.port("o")?;
+                ctx.and2(Signal::bit_of(i, 0), Signal::bit_of(i, 1), o)?;
+                Ok(())
+            },
+        );
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.instantiate(&inner, "u0", &[("i", a.into()), ("o", y.into())])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn edif_reparses() {
+        let edif = edif_string(&two_level()).expect("emit");
+        let tree = SExpr::parse(&edif).expect("parse generated EDIF");
+        assert_eq!(tree.head(), Some("edif"));
+    }
+
+    #[test]
+    fn edif_structure_matches_circuit() {
+        let c = two_level();
+        let edif = edif_string(&c).expect("emit");
+        let tree = SExpr::parse(&edif).expect("parse");
+        // One external prim def (and2) + two work defs (stage, top).
+        let cells = tree.find_all("cell");
+        assert_eq!(cells.len(), 3);
+        let instances = tree.find_all("instance");
+        assert_eq!(instances.len(), 2); // u0 in top, and2 in stage
+        // Primitive instance references virtex library.
+        let libs: Vec<_> = tree.find_all("libraryRef").iter().map(|l| l.items()[1].as_str().unwrap().to_owned()).collect();
+        assert!(libs.contains(&"virtex".to_owned()));
+        assert!(libs.contains(&"work".to_owned()));
+        // Design points at top.
+        let design = tree.find_all("design");
+        assert_eq!(design.len(), 1);
+    }
+
+    #[test]
+    fn multibit_ports_expand_with_rename() {
+        let edif = edif_string(&two_level()).expect("emit");
+        assert!(edif.contains("(rename a_0_ \"a[0]\")") || edif.contains("\"a[0]\""));
+        let tree = SExpr::parse(&edif).expect("parse");
+        let ports = tree.find_all("port");
+        // top: a[0], a[1], y ; stage: i[0], i[1], o ; and2: i0, i1, o
+        assert_eq!(ports.len(), 9);
+    }
+
+    #[test]
+    fn init_property_emitted() {
+        let mut c = Circuit::new("lut_top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.lut(0x2, &[a.into()], y).unwrap();
+        let edif = edif_string(&c).expect("emit");
+        assert!(edif.contains("(property INIT (string \"2\"))"), "{edif}");
+    }
+
+    #[test]
+    fn nets_join_parent_and_child_ports() {
+        let edif = edif_string(&two_level()).expect("emit");
+        let tree = SExpr::parse(&edif).expect("parse");
+        let nets = tree.find_all("net");
+        // stage def: i[0], i[1], o nets; top def: a[0], a[1], y nets.
+        assert_eq!(nets.len(), 6);
+        for net in nets {
+            let joined = net.child("joined").expect("joined");
+            assert!(!joined.items().is_empty());
+        }
+    }
+
+    #[test]
+    fn black_box_goes_to_hidden_library() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.black_box(
+            "secret_ip",
+            vec![PortSpec::input("i", 1), PortSpec::output("o", 1)],
+            "u0",
+            &[("i", a.into()), ("o", y.into())],
+        )
+        .unwrap();
+        let edif = edif_string(&c).expect("emit");
+        assert!(edif.contains("(external hidden"));
+        assert!(edif.contains("secret_ip"));
+    }
+}

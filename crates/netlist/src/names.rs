@@ -1,0 +1,245 @@
+//! Identifier legalization for the supported netlist dialects.
+//!
+//! Hierarchical JHDL-style names (`top/u0/t1[3]`) are not legal VHDL,
+//! Verilog or EDIF identifiers. A [`NameTable`] maps arbitrary source
+//! names to legal, *injective* (collision-free) identifiers per dialect.
+
+use std::collections::{HashMap, HashSet};
+
+/// Target netlist dialect for identifier legalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// EDIF 2.0.0 identifiers (alphanumeric + `_`, must not start with
+    /// a digit; originals preserved via `rename`).
+    Edif,
+    /// VHDL-93 basic identifiers (case-insensitive, no leading/trailing
+    /// `_`, no `__`, reserved words).
+    Vhdl,
+    /// Verilog-2001 simple identifiers.
+    Verilog,
+}
+
+const VHDL_KEYWORDS: &[&str] = &[
+    "abs", "access", "after", "alias", "all", "and", "architecture", "array",
+    "assert", "attribute", "begin", "block", "body", "buffer", "bus", "case",
+    "component", "configuration", "constant", "disconnect", "downto", "else",
+    "elsif", "end", "entity", "exit", "file", "for", "function", "generate",
+    "generic", "group", "guarded", "if", "impure", "in", "inertial", "inout",
+    "is", "label", "library", "linkage", "literal", "loop", "map", "mod",
+    "nand", "new", "next", "nor", "not", "null", "of", "on", "open", "or",
+    "others", "out", "package", "port", "postponed", "procedure", "process",
+    "pure", "range", "record", "register", "reject", "rem", "report",
+    "return", "rol", "ror", "select", "severity", "signal", "shared", "sla",
+    "sll", "sra", "srl", "subtype", "then", "to", "transport", "type",
+    "unaffected", "units", "until", "use", "variable", "wait", "when",
+    "while", "with", "xnor", "xor",
+];
+
+const VERILOG_KEYWORDS: &[&str] = &[
+    "always", "and", "assign", "begin", "buf", "bufif0", "bufif1", "case",
+    "casex", "casez", "cmos", "deassign", "default", "defparam", "disable",
+    "edge", "else", "end", "endcase", "endfunction", "endmodule",
+    "endprimitive", "endspecify", "endtable", "endtask", "event", "for",
+    "force", "forever", "fork", "function", "highz0", "highz1", "if",
+    "ifnone", "initial", "inout", "input", "integer", "join", "large",
+    "macromodule", "medium", "module", "nand", "negedge", "nmos", "nor",
+    "not", "notif0", "notif1", "or", "output", "parameter", "pmos",
+    "posedge", "primitive", "pull0", "pull1", "pulldown", "pullup", "rcmos",
+    "real", "realtime", "reg", "release", "repeat", "rnmos", "rpmos",
+    "rtran", "rtranif0", "rtranif1", "scalared", "signed", "small",
+    "specify", "specparam", "strong0", "strong1", "supply0", "supply1",
+    "table", "task", "time", "tran", "tranif0", "tranif1", "tri", "tri0",
+    "tri1", "triand", "trior", "trireg", "vectored", "wait", "wand", "weak0",
+    "weak1", "while", "wire", "wor", "xnor", "xor",
+];
+
+/// A per-output-file table mapping source names to unique legal
+/// identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_netlist::{Dialect, NameTable};
+///
+/// let mut table = NameTable::new(Dialect::Vhdl);
+/// let a = table.legalize("top/u0/t1[3]").to_owned();
+/// let b = table.legalize("top/u0/t1_3").to_owned();
+/// assert_ne!(a, b, "legalization is injective");
+/// assert_eq!(table.legalize("top/u0/t1[3]"), a, "stable per source name");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NameTable {
+    dialect: Dialect,
+    map: HashMap<String, String>,
+    used: HashSet<String>,
+}
+
+impl NameTable {
+    /// An empty table for one dialect.
+    #[must_use]
+    pub fn new(dialect: Dialect) -> Self {
+        NameTable {
+            dialect,
+            map: HashMap::new(),
+            used: HashSet::new(),
+        }
+    }
+
+    /// The table's dialect.
+    #[must_use]
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Returns the legal identifier for `source`, allocating one on
+    /// first use. The mapping is stable and injective for the lifetime
+    /// of the table.
+    pub fn legalize(&mut self, source: &str) -> &str {
+        if !self.map.contains_key(source) {
+            let base = sanitize(source, self.dialect);
+            let unique = self.uniquify(base);
+            self.used.insert(unique.clone());
+            self.map.insert(source.to_owned(), unique);
+        }
+        &self.map[source]
+    }
+
+    /// Looks up a previously legalized name.
+    #[must_use]
+    pub fn get(&self, source: &str) -> Option<&str> {
+        self.map.get(source).map(String::as_str)
+    }
+
+    fn uniquify(&self, base: String) -> String {
+        let key = |s: &str| match self.dialect {
+            Dialect::Vhdl => s.to_ascii_lowercase(),
+            _ => s.to_owned(),
+        };
+        if !self.used.contains(&key(&base)) {
+            return match self.dialect {
+                Dialect::Vhdl => key(&base),
+                _ => base,
+            };
+        }
+        let mut n = 2usize;
+        loop {
+            let candidate = format!("{base}_{n}");
+            if !self.used.contains(&key(&candidate)) {
+                return match self.dialect {
+                    Dialect::Vhdl => key(&candidate),
+                    _ => candidate,
+                };
+            }
+            n += 1;
+        }
+    }
+}
+
+fn sanitize(source: &str, dialect: Dialect) -> String {
+    let mut out = String::with_capacity(source.len());
+    for ch in source.chars() {
+        let legal = ch.is_ascii_alphanumeric()
+            || ch == '_'
+            || (dialect == Dialect::Verilog && ch == '$');
+        out.push(if legal { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('n');
+    }
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    match dialect {
+        Dialect::Vhdl => {
+            // No leading/trailing underscore, no double underscores,
+            // no reserved words (case-insensitive).
+            while out.starts_with('_') {
+                out.remove(0);
+            }
+            while out.ends_with('_') {
+                out.pop();
+            }
+            while out.contains("__") {
+                out = out.replace("__", "_");
+            }
+            if out.is_empty() {
+                out.push('n');
+            }
+            let lower = out.to_ascii_lowercase();
+            if VHDL_KEYWORDS.contains(&lower.as_str()) {
+                out = format!("{out}_i");
+            }
+            out
+        }
+        Dialect::Verilog => {
+            if out.starts_with('$') {
+                out.insert(0, 'n');
+            }
+            if VERILOG_KEYWORDS.contains(&out.as_str()) {
+                out = format!("{out}_i");
+            }
+            out
+        }
+        Dialect::Edif => out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_names_become_legal() {
+        let mut t = NameTable::new(Dialect::Vhdl);
+        let n = t.legalize("top/u0/bus[3]").to_owned();
+        assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        assert!(!n.starts_with(|c: char| c.is_ascii_digit()));
+        assert!(!n.contains("__"));
+        assert!(!n.ends_with('_'));
+    }
+
+    #[test]
+    fn keywords_are_avoided() {
+        let mut v = NameTable::new(Dialect::Vhdl);
+        assert_ne!(v.legalize("signal"), "signal");
+        let mut ver = NameTable::new(Dialect::Verilog);
+        assert_ne!(ver.legalize("module"), "module");
+        assert_ne!(ver.legalize("wire"), "wire");
+    }
+
+    #[test]
+    fn vhdl_case_insensitive_collisions() {
+        let mut t = NameTable::new(Dialect::Vhdl);
+        let a = t.legalize("Net").to_owned();
+        let b = t.legalize("net").to_owned();
+        assert_ne!(a.to_ascii_lowercase(), b.to_ascii_lowercase());
+    }
+
+    #[test]
+    fn leading_digit_handled() {
+        let mut t = NameTable::new(Dialect::Verilog);
+        let n = t.legalize("3state").to_owned();
+        assert!(n.starts_with('n'));
+    }
+
+    #[test]
+    fn injective_over_colliding_sources() {
+        let mut t = NameTable::new(Dialect::Edif);
+        let names = ["a[0]", "a_0", "a 0", "a/0"];
+        let mut legal: Vec<String> = names
+            .iter()
+            .map(|n| t.legalize(n).to_owned())
+            .collect();
+        legal.sort();
+        legal.dedup();
+        assert_eq!(legal.len(), names.len());
+    }
+
+    #[test]
+    fn empty_and_symbolic_sources() {
+        let mut t = NameTable::new(Dialect::Vhdl);
+        assert!(!t.legalize("").is_empty());
+        assert!(!t.legalize("___").is_empty());
+        assert!(!t.legalize("[]").is_empty());
+    }
+}

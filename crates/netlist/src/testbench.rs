@@ -1,0 +1,247 @@
+//! Verilog testbench generation — the bridge into a customer's
+//! conventional simulation flow.
+//!
+//! The paper integrates the JHDL black-box simulator with a Verilog
+//! simulation through a PLI wrapper (§4.2, ref [8]). This generator is
+//! the static counterpart: from a circuit and a set of recorded
+//! stimulus/response vectors it emits a self-checking Verilog
+//! testbench that replays the applet session inside the customer's own
+//! simulator, against the delivered structural netlist.
+
+use std::fmt::Write as _;
+
+use ipd_hdl::{Circuit, FlatNetlist, LogicVec, PortDir};
+
+use crate::error::NetlistError;
+use crate::names::{Dialect, NameTable};
+
+/// One recorded testbench vector: values to apply, values to expect.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestVector {
+    /// `(port, value)` pairs applied before the clock edge.
+    pub inputs: Vec<(String, LogicVec)>,
+    /// `(port, value)` pairs checked after settling.
+    pub expected: Vec<(String, LogicVec)>,
+}
+
+impl TestVector {
+    /// An empty vector.
+    #[must_use]
+    pub fn new() -> Self {
+        TestVector::default()
+    }
+
+    /// Adds an input assignment.
+    #[must_use]
+    pub fn set(mut self, port: impl Into<String>, value: LogicVec) -> Self {
+        self.inputs.push((port.into(), value));
+        self
+    }
+
+    /// Adds an expected output.
+    #[must_use]
+    pub fn expect(mut self, port: impl Into<String>, value: LogicVec) -> Self {
+        self.expected.push((port.into(), value));
+        self
+    }
+}
+
+/// Generates a self-checking Verilog testbench for a circuit.
+///
+/// The testbench declares the DUT's ports, instantiates the module the
+/// Verilog netlister emits for the same circuit, applies each vector
+/// on successive clock cycles, `$display`s mismatches and finishes
+/// with a pass/fail summary. `clock_port` names the clock input, if
+/// any.
+///
+/// # Errors
+///
+/// Propagates flattening failures.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{Circuit, LogicVec, PortSpec};
+/// use ipd_netlist::{testbench_verilog, TestVector};
+/// use ipd_techlib::LogicCtx;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new("dut");
+/// let mut ctx = circuit.root_ctx();
+/// let a = ctx.add_port(PortSpec::input("a", 1))?;
+/// let y = ctx.add_port(PortSpec::output("y", 1))?;
+/// ctx.inv(a, y)?;
+/// let vectors = vec![
+///     TestVector::new().set("a", LogicVec::from_u64(0, 1)).expect("y", LogicVec::from_u64(1, 1)),
+///     TestVector::new().set("a", LogicVec::from_u64(1, 1)).expect("y", LogicVec::from_u64(0, 1)),
+/// ];
+/// let tb = testbench_verilog(&circuit, &vectors, None)?;
+/// assert!(tb.contains("module dut_tb"));
+/// assert!(tb.contains("$finish"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn testbench_verilog(
+    circuit: &Circuit,
+    vectors: &[TestVector],
+    clock_port: Option<&str>,
+) -> Result<String, NetlistError> {
+    let flat = FlatNetlist::build(circuit)?;
+    let mut names = NameTable::new(Dialect::Verilog);
+    let dut = names.legalize(flat.design_name()).to_owned();
+    let mut out = String::new();
+    let _ = writeln!(out, "`timescale 1ns/1ps");
+    let _ = writeln!(out, "module {dut}_tb;");
+    // Port declarations.
+    let mut port_names = Vec::new();
+    for port in flat.ports() {
+        let pname = names.legalize(&port.name).to_owned();
+        let width = port.nets.len();
+        let range = if width == 1 {
+            String::new()
+        } else {
+            format!("[{}:0] ", width - 1)
+        };
+        match port.dir {
+            PortDir::Input => {
+                let _ = writeln!(out, "  reg {range}{pname};");
+            }
+            _ => {
+                let _ = writeln!(out, "  wire {range}{pname};");
+            }
+        }
+        port_names.push((port.name.clone(), pname, port.dir));
+    }
+    let _ = writeln!(out, "  integer errors = 0;");
+    // DUT instance.
+    let assoc: Vec<String> = port_names
+        .iter()
+        .map(|(_, p, _)| format!(".{p}({p})"))
+        .collect();
+    let _ = writeln!(out, "  {dut} dut ({});", assoc.join(", "));
+    // Clock.
+    let clock = clock_port.map(|c| {
+        port_names
+            .iter()
+            .find(|(orig, _, _)| orig == c)
+            .map_or_else(|| c.to_owned(), |(_, legal, _)| legal.clone())
+    });
+    if let Some(clock) = &clock {
+        let _ = writeln!(out, "  always #5 {clock} = ~{clock};");
+    }
+    // Stimulus.
+    let _ = writeln!(out, "  initial begin");
+    let _ = writeln!(out, "    $dumpfile(\"{dut}_tb.vcd\");");
+    let _ = writeln!(out, "    $dumpvars(0, {dut}_tb);");
+    if let Some(clock) = &clock {
+        let _ = writeln!(out, "    {clock} = 0;");
+    }
+    let lookup = |orig: &str| -> Option<&(String, String, PortDir)> {
+        port_names.iter().find(|(o, _, _)| o == orig)
+    };
+    for (i, vector) in vectors.iter().enumerate() {
+        let _ = writeln!(out, "    // vector {i}");
+        for (port, value) in &vector.inputs {
+            if let Some((_, legal, _)) = lookup(port) {
+                let _ = writeln!(
+                    out,
+                    "    {legal} = {}'b{value};",
+                    value.width()
+                );
+            }
+        }
+        // One clock period (or a settle delay for pure combinational).
+        let _ = writeln!(out, "    #10;");
+        for (port, value) in &vector.expected {
+            if let Some((_, legal, _)) = lookup(port) {
+                let _ = writeln!(
+                    out,
+                    "    if ({legal} !== {}'b{value}) begin",
+                    value.width()
+                );
+                let _ = writeln!(
+                    out,
+                    "      $display(\"FAIL vector {i}: {legal} = %b (expected {value})\", {legal});"
+                );
+                let _ = writeln!(out, "      errors = errors + 1;");
+                let _ = writeln!(out, "    end");
+            }
+        }
+    }
+    let _ = writeln!(out, "    if (errors == 0) $display(\"PASS: {} vectors\");", vectors.len());
+    let _ = writeln!(out, "    else $display(\"FAIL: %0d error(s)\", errors);");
+    let _ = writeln!(out, "    $finish;");
+    let _ = writeln!(out, "  end");
+    let _ = writeln!(out, "endmodule");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::PortSpec;
+    use ipd_techlib::LogicCtx;
+
+    fn dut() -> Circuit {
+        let mut c = Circuit::new("and_dut");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+        let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        let t = ctx.wire("t", 1);
+        ctx.and2(
+            ipd_hdl::Signal::bit_of(a, 0),
+            ipd_hdl::Signal::bit_of(a, 1),
+            t,
+        )
+        .unwrap();
+        ctx.fd(clk, t, y).unwrap();
+        c
+    }
+
+    #[test]
+    fn testbench_structure() {
+        let vectors = vec![
+            TestVector::new()
+                .set("a", LogicVec::from_u64(0b11, 2))
+                .expect("y", LogicVec::from_u64(1, 1)),
+            TestVector::new()
+                .set("a", LogicVec::from_u64(0b01, 2))
+                .expect("y", LogicVec::from_u64(0, 1)),
+        ];
+        let tb = testbench_verilog(&dut(), &vectors, Some("clk")).unwrap();
+        assert!(tb.contains("module and_dut_tb;"));
+        assert!(tb.contains("reg [1:0] a;"));
+        assert!(tb.contains("wire y;"));
+        assert!(tb.contains("and_dut dut (.clk(clk), .a(a), .y(y));"));
+        assert!(tb.contains("always #5 clk = ~clk;"));
+        assert!(tb.contains("a = 2'b11;"));
+        assert!(tb.contains("if (y !== 1'b1)"));
+        assert!(tb.contains("$dumpvars"));
+        assert!(tb.contains("$finish"));
+        // Balanced begin/end (lines that are exactly `end`).
+        let ends = tb.lines().filter(|l| l.trim() == "end").count();
+        assert_eq!(tb.matches("begin").count(), ends);
+    }
+
+    #[test]
+    fn combinational_testbench_has_no_clock() {
+        let mut c = Circuit::new("inv_dut");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.inv(a, y).unwrap();
+        let tb = testbench_verilog(&c, &[], None).unwrap();
+        assert!(!tb.contains("always #5"));
+        assert!(tb.contains("PASS: 0 vectors"));
+    }
+
+    #[test]
+    fn unknown_ports_are_skipped_silently() {
+        let vectors = vec![TestVector::new()
+            .set("missing", LogicVec::from_u64(1, 1))
+            .expect("also_missing", LogicVec::from_u64(1, 1))];
+        let tb = testbench_verilog(&dut(), &vectors, Some("clk")).unwrap();
+        assert!(!tb.contains("missing"));
+    }
+}

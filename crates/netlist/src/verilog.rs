@@ -1,0 +1,246 @@
+//! Flat structural Verilog-2001 netlist generation.
+//!
+//! The paper notes JHDL was gaining Verilog output alongside EDIF and
+//! VHDL; this writer completes that set. Output is a single flattened
+//! module instantiating technology primitives.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+
+use ipd_hdl::{Circuit, FlatKind, FlatNetlist, PortDir};
+
+use crate::error::NetlistError;
+use crate::names::{Dialect, NameTable};
+
+/// Generates flat structural Verilog for a circuit as a `String`.
+///
+/// # Errors
+///
+/// Propagates flattening errors.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{Circuit, PortSpec};
+/// use ipd_netlist::verilog_string;
+/// use ipd_techlib::LogicCtx;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new("top");
+/// let mut ctx = circuit.root_ctx();
+/// let a = ctx.add_port(PortSpec::input("a", 1))?;
+/// let y = ctx.add_port(PortSpec::output("y", 1))?;
+/// ctx.inv(a, y)?;
+/// let verilog = verilog_string(&circuit)?;
+/// assert!(verilog.contains("module top"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn verilog_string(circuit: &Circuit) -> Result<String, NetlistError> {
+    let flat = FlatNetlist::build(circuit)?;
+    Ok(emit(&flat))
+}
+
+/// Writes flat structural Verilog for a circuit.
+///
+/// A mut reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates flattening and I/O errors.
+pub fn write_verilog<W: Write>(circuit: &Circuit, mut writer: W) -> Result<(), NetlistError> {
+    let text = verilog_string(circuit)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Emits Verilog from an already-flattened design.
+#[must_use]
+pub fn verilog_from_flat(flat: &FlatNetlist) -> String {
+    emit(flat)
+}
+
+fn emit(flat: &FlatNetlist) -> String {
+    let mut names = NameTable::new(Dialect::Verilog);
+    let module = names.legalize(flat.design_name()).to_owned();
+    let mut out = String::new();
+
+    let mut port_names = Vec::new();
+    for port in flat.ports() {
+        port_names.push(names.legalize(&port.name).to_owned());
+    }
+    let _ = writeln!(out, "module {module} ({});", port_names.join(", "));
+    for (port, pname) in flat.ports().iter().zip(&port_names) {
+        let dir = match port.dir {
+            PortDir::Input => "input",
+            PortDir::Output => "output",
+            PortDir::Inout => "inout",
+        };
+        if port.nets.len() == 1 {
+            let _ = writeln!(out, "  {dir} {pname};");
+        } else {
+            let _ = writeln!(out, "  {dir} [{}:0] {pname};", port.nets.len() - 1);
+        }
+    }
+
+    // Net wires.
+    let mut net_names = Vec::with_capacity(flat.net_count());
+    for net in flat.nets() {
+        net_names.push(names.legalize(&net.name).to_owned());
+    }
+    for chunk in net_names.chunks(8) {
+        let _ = writeln!(out, "  wire {};", chunk.join(", "));
+    }
+
+    // Glue.
+    for (port, pname) in flat.ports().iter().zip(&port_names) {
+        for (bit, net) in port.nets.iter().enumerate() {
+            let sel = if port.nets.len() == 1 {
+                pname.clone()
+            } else {
+                format!("{pname}[{bit}]")
+            };
+            let net = &net_names[net.index()];
+            match port.dir {
+                PortDir::Input => {
+                    let _ = writeln!(out, "  assign {net} = {sel};");
+                }
+                PortDir::Output => {
+                    let _ = writeln!(out, "  assign {sel} = {net};");
+                }
+                PortDir::Inout => {}
+            }
+        }
+    }
+
+    // Instances.
+    let mut type_names: BTreeMap<String, String> = BTreeMap::new();
+    let mut inst_table = NameTable::new(Dialect::Verilog);
+    for leaf in flat.leaves() {
+        match &leaf.kind {
+            FlatKind::Primitive(p) if p.name == "gnd" => {
+                let o = &leaf.conn("o").expect("gnd output").nets[0];
+                let _ = writeln!(out, "  assign {} = 1'b0;", net_names[o.index()]);
+                continue;
+            }
+            FlatKind::Primitive(p) if p.name == "vcc" => {
+                let o = &leaf.conn("o").expect("vcc output").nets[0];
+                let _ = writeln!(out, "  assign {} = 1'b1;", net_names[o.index()]);
+                continue;
+            }
+            _ => {}
+        }
+        let (type_name, init) = match &leaf.kind {
+            FlatKind::Primitive(p) => (p.name.clone(), p.init),
+            FlatKind::BlackBox(name) => (name.clone(), None),
+        };
+        let tname = type_names
+            .entry(type_name.clone())
+            .or_insert_with(|| {
+                let mut t = NameTable::new(Dialect::Verilog);
+                t.legalize(&type_name).to_owned()
+            })
+            .clone();
+        let iname = inst_table.legalize(&leaf.path).to_owned();
+        let mut assoc = Vec::new();
+        for conn in &leaf.conns {
+            if conn.nets.len() == 1 {
+                assoc.push(format!(".{}({})", conn.port, net_names[conn.nets[0].index()]));
+            } else {
+                // Concatenation, MSB first.
+                let bits: Vec<&str> = conn
+                    .nets
+                    .iter()
+                    .rev()
+                    .map(|n| net_names[n.index()].as_str())
+                    .collect();
+                assoc.push(format!(".{}({{{}}})", conn.port, bits.join(", ")));
+            }
+        }
+        let param = match init {
+            Some(v) => format!(" #(.INIT(16'h{v:04X}))"),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  {tname}{param} {iname} ({});", assoc.join(", "));
+    }
+
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::PortSpec;
+    use ipd_techlib::LogicCtx;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.and2(
+            ipd_hdl::Signal::bit_of(a, 0),
+            ipd_hdl::Signal::bit_of(a, 1),
+            y,
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn module_structure() {
+        let text = verilog_string(&sample()).expect("emit");
+        assert!(text.contains("module top (a, y);"));
+        assert!(text.contains("input [1:0] a;"));
+        assert!(text.contains("output y;"));
+        assert!(text.contains("endmodule"));
+    }
+
+    #[test]
+    fn glue_and_instance() {
+        let text = verilog_string(&sample()).expect("emit");
+        assert!(text.contains("assign"));
+        assert!(text.contains("and2"));
+        assert!(text.contains(".i0("));
+        assert!(text.contains(".o("));
+    }
+
+    #[test]
+    fn init_becomes_parameter() {
+        let mut c = Circuit::new("lt");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.lut(0x2, &[a.into()], y).unwrap();
+        let text = verilog_string(&c).expect("emit");
+        assert!(text.contains("#(.INIT(16'h0002))"), "{text}");
+    }
+
+    #[test]
+    fn multibit_port_concatenation_is_msb_first() {
+        let mut c = Circuit::new("mt");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 4)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.rom16x1(0x0001, a, y).unwrap();
+        let text = verilog_string(&c).expect("emit");
+        // .a({a3, a2, a1, a0}) — MSB first means last listed is bit 0.
+        let pos3 = text.find("a_3").expect("bit 3 present");
+        let pos0 = text.rfind("a_0").expect("bit 0 present");
+        assert!(text.contains(".a({"));
+        assert!(pos3 < pos0, "MSB listed before LSB inside concat");
+    }
+
+    #[test]
+    fn constants_become_assigns() {
+        let mut c = Circuit::new("ct");
+        let mut ctx = c.root_ctx();
+        let y = ctx.add_port(PortSpec::output("y", 2)).unwrap();
+        ctx.constant(y, &ipd_hdl::LogicVec::from_u64(0b10, 2)).unwrap();
+        let text = verilog_string(&c).expect("emit");
+        assert!(text.contains("1'b0"));
+        assert!(text.contains("1'b1"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Flat structural VHDL-93 netlist generation.
+//!
+//! JHDL generated structural VHDL alongside EDIF; this writer emits a
+//! single flattened architecture (one component instance per technology
+//! primitive) which is the form most easily imported into a customer's
+//! conventional tool chain.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+
+use ipd_hdl::{Circuit, FlatKind, FlatNetlist, PortDir};
+
+use crate::error::NetlistError;
+use crate::names::{Dialect, NameTable};
+
+/// Generates flat structural VHDL for a circuit as a `String`.
+///
+/// # Errors
+///
+/// Propagates flattening errors.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::{Circuit, PortSpec};
+/// use ipd_netlist::vhdl_string;
+/// use ipd_techlib::LogicCtx;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new("top");
+/// let mut ctx = circuit.root_ctx();
+/// let a = ctx.add_port(PortSpec::input("a", 1))?;
+/// let y = ctx.add_port(PortSpec::output("y", 1))?;
+/// ctx.inv(a, y)?;
+/// let vhdl = vhdl_string(&circuit)?;
+/// assert!(vhdl.contains("entity top is"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn vhdl_string(circuit: &Circuit) -> Result<String, NetlistError> {
+    let flat = FlatNetlist::build(circuit)?;
+    Ok(emit(&flat))
+}
+
+/// Writes flat structural VHDL for a circuit.
+///
+/// A mut reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates flattening and I/O errors.
+pub fn write_vhdl<W: Write>(circuit: &Circuit, mut writer: W) -> Result<(), NetlistError> {
+    let text = vhdl_string(circuit)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Emits VHDL from an already-flattened design.
+#[must_use]
+pub fn vhdl_from_flat(flat: &FlatNetlist) -> String {
+    emit(flat)
+}
+
+/// `(has INIT generic, ports as (name, dir, width))` per component.
+type ComponentInterface = (bool, Vec<(String, PortDir, usize)>);
+
+fn emit(flat: &FlatNetlist) -> String {
+    let mut names = NameTable::new(Dialect::Vhdl);
+    let entity = names.legalize(flat.design_name()).to_owned();
+    let mut out = String::new();
+    out.push_str("library ieee;\nuse ieee.std_logic_1164.all;\n\n");
+
+    // Entity.
+    let _ = writeln!(out, "entity {entity} is");
+    out.push_str("  port (\n");
+    let mut port_names: Vec<String> = Vec::new();
+    for (i, port) in flat.ports().iter().enumerate() {
+        let pname = names.legalize(&port.name).to_owned();
+        port_names.push(pname.clone());
+        let dir = match port.dir {
+            PortDir::Input => "in",
+            PortDir::Output => "out",
+            PortDir::Inout => "inout",
+        };
+        let ty = if port.nets.len() == 1 {
+            "std_logic".to_owned()
+        } else {
+            format!("std_logic_vector({} downto 0)", port.nets.len() - 1)
+        };
+        let sep = if i + 1 == flat.ports().len() { "" } else { ";" };
+        let _ = writeln!(out, "    {pname} : {dir} {ty}{sep}");
+    }
+    out.push_str("  );\n");
+    let _ = writeln!(out, "end entity {entity};\n");
+
+    // Architecture.
+    let _ = writeln!(out, "architecture structural of {entity} is");
+
+    // Component declarations, one per distinct leaf type.
+    let mut components: BTreeMap<String, ComponentInterface> = BTreeMap::new();
+    for leaf in flat.leaves() {
+        let (type_name, has_init) = match &leaf.kind {
+            FlatKind::Primitive(p) => {
+                if p.name == "gnd" || p.name == "vcc" {
+                    continue; // emitted as constant assignments
+                }
+                (p.name.clone(), p.init.is_some())
+            }
+            FlatKind::BlackBox(name) => (name.clone(), false),
+        };
+        components.entry(type_name).or_insert_with(|| {
+            (
+                has_init,
+                leaf.conns
+                    .iter()
+                    .map(|c| (c.port.clone(), c.dir, c.nets.len()))
+                    .collect(),
+            )
+        });
+    }
+    let mut comp_names: BTreeMap<String, String> = BTreeMap::new();
+    for (type_name, (has_init, ports)) in &components {
+        let cname = names.legalize(type_name).to_owned();
+        comp_names.insert(type_name.clone(), cname.clone());
+        let _ = writeln!(out, "  component {cname}");
+        if *has_init {
+            out.push_str("    generic ( init : integer := 0 );\n");
+        }
+        out.push_str("    port (\n");
+        for (i, (pname, dir, width)) in ports.iter().enumerate() {
+            let dir = match dir {
+                PortDir::Input => "in",
+                PortDir::Output => "out",
+                PortDir::Inout => "inout",
+            };
+            let ty = if *width == 1 {
+                "std_logic".to_owned()
+            } else {
+                format!("std_logic_vector({} downto 0)", width - 1)
+            };
+            let sep = if i + 1 == ports.len() { "" } else { ";" };
+            let _ = writeln!(out, "      {pname} : {dir} {ty}{sep}");
+        }
+        out.push_str("    );\n");
+        let _ = writeln!(out, "  end component;");
+    }
+
+    // Net signals.
+    let mut net_names = Vec::with_capacity(flat.net_count());
+    for net in flat.nets() {
+        net_names.push(names.legalize(&net.name).to_owned());
+    }
+    if !net_names.is_empty() {
+        // Declare in ranks of 8 per line for readability.
+        for chunk in net_names.chunks(8) {
+            let _ = writeln!(out, "  signal {} : std_logic;", chunk.join(", "));
+        }
+    }
+
+    out.push_str("begin\n");
+
+    // Glue: entity ports to/from net signals.
+    for (port, pname) in flat.ports().iter().zip(&port_names) {
+        for (bit, net) in port.nets.iter().enumerate() {
+            let sel = if port.nets.len() == 1 {
+                pname.clone()
+            } else {
+                format!("{pname}({bit})")
+            };
+            let net = &net_names[net.index()];
+            match port.dir {
+                PortDir::Input => {
+                    let _ = writeln!(out, "  {net} <= {sel};");
+                }
+                PortDir::Output => {
+                    let _ = writeln!(out, "  {sel} <= {net};");
+                }
+                PortDir::Inout => {}
+            }
+        }
+    }
+
+    // Instances and constant drivers.
+    let mut inst_table = NameTable::new(Dialect::Vhdl);
+    for leaf in flat.leaves() {
+        match &leaf.kind {
+            FlatKind::Primitive(p) if p.name == "gnd" => {
+                let o = &leaf.conn("o").expect("gnd output").nets[0];
+                let _ = writeln!(out, "  {} <= '0';", net_names[o.index()]);
+                continue;
+            }
+            FlatKind::Primitive(p) if p.name == "vcc" => {
+                let o = &leaf.conn("o").expect("vcc output").nets[0];
+                let _ = writeln!(out, "  {} <= '1';", net_names[o.index()]);
+                continue;
+            }
+            _ => {}
+        }
+        let (type_name, init) = match &leaf.kind {
+            FlatKind::Primitive(p) => (p.name.clone(), p.init),
+            FlatKind::BlackBox(name) => (name.clone(), None),
+        };
+        let cname = &comp_names[&type_name];
+        let iname = inst_table.legalize(&leaf.path).to_owned();
+        let mut assoc = Vec::new();
+        for conn in &leaf.conns {
+            if conn.nets.len() == 1 {
+                assoc.push(format!(
+                    "{} => {}",
+                    conn.port,
+                    net_names[conn.nets[0].index()]
+                ));
+            } else {
+                for (bit, net) in conn.nets.iter().enumerate() {
+                    assoc.push(format!(
+                        "{}({bit}) => {}",
+                        conn.port,
+                        net_names[net.index()]
+                    ));
+                }
+            }
+        }
+        let generic = match init {
+            Some(v) => format!(" generic map ( init => {v} )"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  {iname} : {cname}{generic} port map ( {} );",
+            assoc.join(", ")
+        );
+    }
+
+    out.push_str("end architecture structural;\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::PortSpec;
+    use ipd_techlib::LogicCtx;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.and2(
+            ipd_hdl::Signal::bit_of(a, 0),
+            ipd_hdl::Signal::bit_of(a, 1),
+            y,
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn entity_and_architecture_present() {
+        let text = vhdl_string(&sample()).expect("emit");
+        assert!(text.contains("entity top is"));
+        assert!(text.contains("architecture structural of top is"));
+        assert!(text.contains("a : in std_logic_vector(1 downto 0)"));
+        assert!(text.contains("y : out std_logic"));
+        assert!(text.contains("component and2"));
+        assert!(text.contains("end architecture structural;"));
+    }
+
+    #[test]
+    fn glue_assignments_wire_ports() {
+        let text = vhdl_string(&sample()).expect("emit");
+        assert!(text.contains("<= a(0);"));
+        assert!(text.contains("<= a(1);"));
+        assert!(text.contains("y <= "));
+    }
+
+    #[test]
+    fn init_becomes_generic() {
+        let mut c = Circuit::new("lt");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.lut(0x1, &[a.into()], y).unwrap();
+        let text = vhdl_string(&c).expect("emit");
+        assert!(text.contains("generic ( init : integer := 0 )"));
+        assert!(text.contains("generic map ( init => 1 )"));
+    }
+
+    #[test]
+    fn constants_become_assignments() {
+        let mut c = Circuit::new("ct");
+        let mut ctx = c.root_ctx();
+        let y = ctx.add_port(PortSpec::output("y", 2)).unwrap();
+        ctx.constant(y, &ipd_hdl::LogicVec::from_u64(0b01, 2)).unwrap();
+        let text = vhdl_string(&c).expect("emit");
+        assert!(text.contains("<= '0';"));
+        assert!(text.contains("<= '1';"));
+        assert!(!text.contains("component gnd"));
+        assert!(!text.contains("component vcc"));
+    }
+
+    #[test]
+    fn multibit_prim_ports_use_subelement_association() {
+        let mut c = Circuit::new("mt");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 4)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.rom16x1(0xBEEF, a, y).unwrap();
+        let text = vhdl_string(&c).expect("emit");
+        assert!(text.contains("a(0) =>"));
+        assert!(text.contains("a(3) =>"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Packaging errors.
+
+use std::fmt;
+
+/// Errors raised while packing or unpacking archives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PackError {
+    /// A compressed stream or archive container was malformed.
+    CorruptStream {
+        /// Description of the corruption.
+        reason: String,
+    },
+    /// An entry failed its CRC check after decompression.
+    ChecksumMismatch {
+        /// The entry name.
+        entry: String,
+    },
+    /// A requested entry is not in the archive.
+    MissingEntry {
+        /// The entry name.
+        entry: String,
+    },
+    /// An entry name was duplicated.
+    DuplicateEntry {
+        /// The entry name.
+        entry: String,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::CorruptStream { reason } => write!(f, "corrupt stream: {reason}"),
+            PackError::ChecksumMismatch { entry } => {
+                write!(f, "checksum mismatch in entry {entry}")
+            }
+            PackError::MissingEntry { entry } => write!(f, "no entry named {entry}"),
+            PackError::DuplicateEntry { entry } => {
+                write!(f, "duplicate entry name {entry}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackError {}

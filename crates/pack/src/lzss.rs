@@ -1,0 +1,257 @@
+//! LZSS compression: the DEFLATE-style dictionary coder behind the
+//! bundle archives (Jar files use DEFLATE; LZSS exercises the same
+//! "download less code" behaviour with an implementation small enough
+//! to audit).
+//!
+//! Format: a stream of groups, each led by a flag byte whose bits
+//! (LSB first) select *literal* (1) or *match* (0) tokens. A literal is
+//! one byte; a match is two bytes encoding a 12-bit window offset and a
+//! 4-bit length (3–18 bytes). The stream is prefixed by the
+//! uncompressed length as a little-endian `u32`.
+
+use crate::error::PackError;
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+/// Candidate positions examined per 3-byte hash bucket.
+const MAX_CHAIN: usize = 64;
+
+/// Compresses a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_pack::{compress, decompress};
+///
+/// # fn main() -> Result<(), ipd_pack::PackError> {
+/// let data = b"abcabcabcabcabc".repeat(20);
+/// let packed = compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(decompress(&packed)?, data);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    let mut head: Vec<Vec<u32>> = vec![Vec::new(); 1 << 13];
+    let hash = |bytes: &[u8]| -> usize {
+        ((usize::from(bytes[0]) << 6) ^ (usize::from(bytes[1]) << 3) ^ usize::from(bytes[2]))
+            & ((1 << 13) - 1)
+    };
+    let mut pos = 0usize;
+    let mut tokens: Vec<Token> = Vec::new();
+    while pos < data.len() {
+        let mut best_len = 0usize;
+        let mut best_offset = 0usize;
+        if pos + MIN_MATCH <= data.len() {
+            let bucket = &head[hash(&data[pos..])];
+            for &cand in bucket.iter().rev().take(MAX_CHAIN) {
+                let cand = cand as usize;
+                if pos - cand > WINDOW {
+                    continue;
+                }
+                let limit = (data.len() - pos).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < limit && data[cand + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_offset = pos - cand;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                offset: best_offset as u16,
+                len: best_len as u8,
+            });
+            for p in pos..pos + best_len {
+                if p + MIN_MATCH <= data.len() {
+                    head[hash(&data[p..])].push(p as u32);
+                }
+            }
+            pos += best_len;
+        } else {
+            tokens.push(Token::Literal(data[pos]));
+            if pos + MIN_MATCH <= data.len() {
+                head[hash(&data[pos..])].push(pos as u32);
+            }
+            pos += 1;
+        }
+    }
+    // Serialize tokens in flag-byte groups of eight.
+    for group in tokens.chunks(8) {
+        let mut flags = 0u8;
+        for (i, token) in group.iter().enumerate() {
+            if matches!(token, Token::Literal(_)) {
+                flags |= 1 << i;
+            }
+        }
+        out.push(flags);
+        for token in group {
+            match token {
+                Token::Literal(b) => out.push(*b),
+                Token::Match { offset, len } => {
+                    let off = offset - 1; // 1..=4096 → 0..=4095
+                    let l = u16::from(len - MIN_MATCH as u8); // 0..=15
+                    let word = (off & 0x0FFF) | (l << 12);
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { offset: u16, len: u8 },
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`PackError::CorruptStream`] on truncated input, invalid
+/// match references or length mismatches.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, PackError> {
+    if data.len() < 4 {
+        return Err(PackError::CorruptStream {
+            reason: "missing length header".to_owned(),
+        });
+    }
+    let expected = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = 4usize;
+    while out.len() < expected {
+        let Some(&flags) = data.get(pos) else {
+            return Err(PackError::CorruptStream {
+                reason: "truncated flag byte".to_owned(),
+            });
+        };
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= expected {
+                break;
+            }
+            if (flags >> bit) & 1 == 1 {
+                let Some(&b) = data.get(pos) else {
+                    return Err(PackError::CorruptStream {
+                        reason: "truncated literal".to_owned(),
+                    });
+                };
+                out.push(b);
+                pos += 1;
+            } else {
+                let (Some(&lo), Some(&hi)) = (data.get(pos), data.get(pos + 1)) else {
+                    return Err(PackError::CorruptStream {
+                        reason: "truncated match token".to_owned(),
+                    });
+                };
+                pos += 2;
+                let word = u16::from_le_bytes([lo, hi]);
+                let offset = usize::from(word & 0x0FFF) + 1;
+                let len = usize::from(word >> 12) + MIN_MATCH;
+                if offset > out.len() {
+                    return Err(PackError::CorruptStream {
+                        reason: format!(
+                            "match offset {offset} exceeds output position {}",
+                            out.len()
+                        ),
+                    });
+                }
+                let start = out.len() - offset;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+        }
+    }
+    if out.len() != expected {
+        return Err(PackError::CorruptStream {
+            reason: format!("expected {expected} bytes, produced {}", out.len()),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed).expect("decompress");
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data = b"partial product lookup table ".repeat(100);
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 3, "{} vs {}", packed.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // A xorshift byte stream: effectively random.
+        let mut state = 0x1234_5678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state & 0xFF) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        // RLE-style runs rely on self-overlapping copies.
+        round_trip(&[7u8; 1000]);
+        round_trip(b"abababababababababababab");
+    }
+
+    #[test]
+    fn long_input_crossing_window() {
+        let mut data = Vec::new();
+        for i in 0..30_000usize {
+            data.push((i % 251) as u8);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[1, 0, 0]).is_err());
+        // Claim 100 bytes but provide nothing.
+        assert!(decompress(&100u32.to_le_bytes()).is_err());
+        // A match referencing before the start.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&10u32.to_le_bytes());
+        bad.push(0); // all-match flags
+        bad.extend_from_slice(&0u16.to_le_bytes()); // offset 1 at pos 0
+        assert!(decompress(&bad).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests over the archive container: arbitrary entry sets
+//! round-trip, and arbitrary byte corruption is detected.
+
+use proptest::prelude::*;
+
+use ipd_pack::{Archive, PackError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_archives_round_trip(
+        entries in proptest::collection::btree_map(
+            "[a-zA-Z0-9_/.]{1,32}",
+            proptest::collection::vec(any::<u8>(), 0..2048),
+            0..12,
+        ),
+        name in "[a-zA-Z]{1,16}",
+    ) {
+        let mut archive = Archive::new(name.clone());
+        for (entry_name, data) in &entries {
+            archive.add(entry_name.clone(), data.clone()).expect("unique names");
+        }
+        let bytes = archive.to_bytes();
+        let back = Archive::from_bytes(&bytes).expect("parse");
+        prop_assert_eq!(back.name(), name.as_str());
+        prop_assert_eq!(back.len(), entries.len());
+        for (entry_name, data) in &entries {
+            prop_assert_eq!(back.entry(entry_name).expect("present").data(), &data[..]);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Archive::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn any_corruption_of_payload_bytes_is_detected(
+        data in proptest::collection::vec(any::<u8>(), 64..512),
+        flip in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut archive = Archive::new("a");
+        archive.add("entry", data).expect("add");
+        let mut bytes = archive.to_bytes();
+        // Only corrupt past the fixed header (magic + version).
+        let start = 5;
+        let idx = start + flip.index(bytes.len() - start);
+        bytes[idx] ^= 1 << bit;
+        match Archive::from_bytes(&bytes) {
+            // Either detected...
+            Err(PackError::ChecksumMismatch { .. } | PackError::CorruptStream { .. } |
+                PackError::DuplicateEntry { .. } | PackError::MissingEntry { .. }) => {}
+            // ...or the flip only touched the archive/entry *name*
+            // fields, which CRC does not cover — contents must still
+            // be intact.
+            Ok(parsed) => {
+                prop_assert_eq!(parsed.len(), 1);
+                prop_assert_eq!(
+                    parsed.entries()[0].data(),
+                    archive.entries()[0].data()
+                );
+            }
+            Err(_) => {}
+        }
+    }
+}

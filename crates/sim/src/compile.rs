@@ -1,0 +1,406 @@
+//! Compilation of a flattened design into an executable simulation model.
+
+use std::collections::HashMap;
+
+use ipd_hdl::{FlatKind, FlatNetlist, Logic, NetId, PortDir};
+use ipd_techlib::{FfControl, PrimClass, PrimKind};
+
+use crate::error::SimError;
+
+/// How the value of one driven net is computed during combinational
+/// settling.
+#[derive(Debug, Clone)]
+pub(crate) enum EvalFunc {
+    /// A combinational primitive.
+    Prim(PrimKind),
+    /// Asynchronous read of a shift register's tap (`state[addr]`).
+    SrlRead {
+        /// Index into the state array.
+        state: usize,
+    },
+    /// Asynchronous read of a RAM word (`state[addr]`).
+    RamRead {
+        /// Index into the state array.
+        state: usize,
+    },
+}
+
+/// A node in the combinational evaluation network.
+#[derive(Debug, Clone)]
+pub(crate) struct EvalNode {
+    pub func: EvalFunc,
+    /// Input nets in the order `eval_comb` expects (address LSB-first
+    /// for memory reads).
+    pub inputs: Vec<NetId>,
+    pub output: NetId,
+}
+
+/// A state element updated on the clock edge.
+#[derive(Debug, Clone)]
+pub(crate) enum SeqUpdate {
+    Ff {
+        state: usize,
+        d: NetId,
+        ce: Option<NetId>,
+        control: Option<(FfControl, NetId)>,
+        init: Logic,
+        q: NetId,
+    },
+    Srl16 {
+        state: usize,
+        d: NetId,
+        ce: NetId,
+        init: u16,
+    },
+    Ram16 {
+        state: usize,
+        d: NetId,
+        we: NetId,
+        addr: [NetId; 4],
+        init: u16,
+    },
+}
+
+/// The compiled simulation model shared by the simulator.
+#[derive(Debug, Clone)]
+pub(crate) struct Compiled {
+    pub net_count: usize,
+    pub net_names: Vec<String>,
+    pub name_to_net: HashMap<String, NetId>,
+    /// Combinational nodes in topological order (levelized mode) or
+    /// arbitrary order (relaxation mode).
+    pub eval_order: Vec<EvalNode>,
+    pub levelized: bool,
+    pub seq: Vec<SeqUpdate>,
+    /// Paths of sequential/memory leaves, parallel to state indices.
+    pub state_paths: Vec<String>,
+    /// FF q nets for driving after commit, parallel to `seq`.
+    pub const_drives: Vec<(NetId, Logic)>,
+    /// Black-box output nets, driven to X.
+    pub black_box_outputs: Vec<NetId>,
+    pub ports: Vec<PortInfo>,
+    pub clock_nets: Vec<NetId>,
+}
+
+/// Primary-port metadata retained for the simulator API.
+#[derive(Debug, Clone)]
+pub(crate) struct PortInfo {
+    pub name: String,
+    pub dir: PortDir,
+    pub nets: Vec<NetId>,
+}
+
+/// Compiles a flattened design.
+///
+/// `clock_port` names the primary input treated as the global cycle
+/// clock; every sequential primitive must be clocked from it (directly
+/// via net connectivity — clock buffers forward the clock net).
+pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Compiled, SimError> {
+    let net_count = flat.net_count();
+    let net_names: Vec<String> = flat.nets().iter().map(|n| n.name.clone()).collect();
+    let mut name_to_net = HashMap::with_capacity(net_count);
+    for (i, name) in net_names.iter().enumerate() {
+        name_to_net.insert(name.clone(), NetId::from_index(i));
+    }
+
+    // Ports.
+    let mut ports = Vec::new();
+    for p in flat.ports() {
+        if p.dir == PortDir::Inout {
+            return Err(SimError::InoutUnsupported {
+                port: p.name.clone(),
+            });
+        }
+        ports.push(PortInfo {
+            name: p.name.clone(),
+            dir: p.dir,
+            nets: p.nets.clone(),
+        });
+    }
+
+    // Determine clock nets: the nets of the designated clock port plus
+    // anything reached through clock buffers (bufg/buf driven directly
+    // by a clock net).
+    let clock_name = clock_port.map(str::to_owned).or_else(|| {
+        ports
+            .iter()
+            .find(|p| {
+                p.dir == PortDir::Input && (p.name == "clk" || p.name == "c" || p.name == "clock")
+            })
+            .map(|p| p.name.clone())
+    });
+    let mut clock_net_set: Vec<bool> = vec![false; net_count];
+    let mut clock_nets = Vec::new();
+    if let Some(name) = &clock_name {
+        if let Some(p) = ports.iter().find(|p| &p.name == name) {
+            for &n in &p.nets {
+                if !clock_net_set[n.index()] {
+                    clock_net_set[n.index()] = true;
+                    clock_nets.push(n);
+                }
+            }
+        }
+    }
+
+    // Propagate clock through buffers until fixpoint.
+    loop {
+        let mut changed = false;
+        for leaf in flat.leaves() {
+            let FlatKind::Primitive(prim) = &leaf.kind else { continue };
+            if prim.name == "buf" || prim.name == "bufg" {
+                let (Some(i), Some(o)) = (leaf.conn("i"), leaf.conn("o")) else { continue };
+                let (i, o) = (i.nets[0], o.nets[0]);
+                if clock_net_set[i.index()] && !clock_net_set[o.index()] {
+                    clock_net_set[o.index()] = true;
+                    clock_nets.push(o);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build evaluation nodes and sequential updates.
+    let mut eval_nodes = Vec::new();
+    let mut seq = Vec::new();
+    let mut state_paths = Vec::new();
+    let mut const_drives = Vec::new();
+    let mut black_box_outputs = Vec::new();
+    let mut driver_count = vec![0u8; net_count];
+    for p in &ports {
+        if p.dir == PortDir::Input {
+            for &n in &p.nets {
+                driver_count[n.index()] = driver_count[n.index()].saturating_add(1);
+            }
+        }
+    }
+
+    let note_driver = |net: NetId, counts: &mut Vec<u8>| {
+        counts[net.index()] = counts[net.index()].saturating_add(1);
+    };
+
+    for leaf in flat.leaves() {
+        match &leaf.kind {
+            FlatKind::BlackBox(_) => {
+                for conn in &leaf.conns {
+                    if conn.dir != PortDir::Input {
+                        for &n in &conn.nets {
+                            black_box_outputs.push(n);
+                            note_driver(n, &mut driver_count);
+                        }
+                    }
+                }
+            }
+            FlatKind::Primitive(prim) => {
+                let kind = PrimKind::from_primitive(prim)?;
+                let conn1 = |name: &str| -> NetId {
+                    leaf.conn(name).expect("port exists").nets[0]
+                };
+                match kind.class() {
+                    PrimClass::Const(v) => {
+                        let o = conn1("o");
+                        const_drives.push((o, v));
+                        note_driver(o, &mut driver_count);
+                    }
+                    PrimClass::Comb | PrimClass::Rom16 => {
+                        // Gather inputs in port-declaration order.
+                        let mut inputs = Vec::new();
+                        let mut output = None;
+                        for spec in kind.ports() {
+                            let conn = leaf.conn(&spec.name).expect("port exists");
+                            match spec.dir {
+                                PortDir::Input => inputs.extend(conn.nets.iter().copied()),
+                                _ => output = Some(conn.nets[0]),
+                            }
+                        }
+                        let output = output.expect("comb prim has output");
+                        note_driver(output, &mut driver_count);
+                        eval_nodes.push(EvalNode {
+                            func: EvalFunc::Prim(kind),
+                            inputs,
+                            output,
+                        });
+                    }
+                    PrimClass::Ff { has_ce, control } => {
+                        let c = conn1("c");
+                        if !clock_net_set[c.index()] {
+                            return Err(SimError::UnsupportedClock {
+                                instance: leaf.path.clone(),
+                            });
+                        }
+                        let init = match kind {
+                            PrimKind::Ff { init, .. } => init,
+                            _ => Logic::Zero,
+                        };
+                        let q = conn1("q");
+                        note_driver(q, &mut driver_count);
+                        let state = state_paths.len();
+                        state_paths.push(leaf.path.clone());
+                        seq.push(SeqUpdate::Ff {
+                            state,
+                            d: conn1("d"),
+                            ce: has_ce.then(|| conn1("ce")),
+                            control: match control {
+                                FfControl::None => None,
+                                FfControl::AsyncClear => {
+                                    Some((FfControl::AsyncClear, conn1("clr")))
+                                }
+                                FfControl::SyncReset => {
+                                    Some((FfControl::SyncReset, conn1("r")))
+                                }
+                            },
+                            init,
+                            q,
+                        });
+                    }
+                    PrimClass::Srl16 => {
+                        let c = conn1("c");
+                        if !clock_net_set[c.index()] {
+                            return Err(SimError::UnsupportedClock {
+                                instance: leaf.path.clone(),
+                            });
+                        }
+                        let init = match kind {
+                            PrimKind::Srl16 { init } => init,
+                            _ => 0,
+                        };
+                        let addr = leaf.conn("a").expect("srl addr").nets.clone();
+                        let q = conn1("q");
+                        note_driver(q, &mut driver_count);
+                        let state = state_paths.len();
+                        state_paths.push(leaf.path.clone());
+                        seq.push(SeqUpdate::Srl16 {
+                            state,
+                            d: conn1("d"),
+                            ce: conn1("ce"),
+                            init,
+                        });
+                        eval_nodes.push(EvalNode {
+                            func: EvalFunc::SrlRead { state },
+                            inputs: addr,
+                            output: q,
+                        });
+                    }
+                    PrimClass::Ram16 => {
+                        let c = conn1("c");
+                        if !clock_net_set[c.index()] {
+                            return Err(SimError::UnsupportedClock {
+                                instance: leaf.path.clone(),
+                            });
+                        }
+                        let init = match kind {
+                            PrimKind::Ram16x1 { init } => init,
+                            _ => 0,
+                        };
+                        let addr_nets = leaf.conn("a").expect("ram addr").nets.clone();
+                        let addr = [addr_nets[0], addr_nets[1], addr_nets[2], addr_nets[3]];
+                        let o = conn1("o");
+                        note_driver(o, &mut driver_count);
+                        let state = state_paths.len();
+                        state_paths.push(leaf.path.clone());
+                        seq.push(SeqUpdate::Ram16 {
+                            state,
+                            d: conn1("d"),
+                            we: conn1("we"),
+                            addr,
+                            init,
+                        });
+                        eval_nodes.push(EvalNode {
+                            func: EvalFunc::RamRead { state },
+                            inputs: addr_nets,
+                            output: o,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Single-driver check.
+    for (i, &count) in driver_count.iter().enumerate() {
+        if count > 1 {
+            return Err(SimError::MultipleDrivers {
+                net: net_names[i].clone(),
+            });
+        }
+    }
+
+    // Levelize the evaluation network (Kahn's algorithm). Nodes whose
+    // inputs are only primary inputs, constants or state outputs are
+    // sources.
+    let (eval_order, levelized) = levelize(eval_nodes, net_count);
+
+    Ok(Compiled {
+        net_count,
+        net_names,
+        name_to_net,
+        eval_order,
+        levelized,
+        seq,
+        state_paths,
+        const_drives,
+        black_box_outputs,
+        ports,
+        clock_nets,
+    })
+}
+
+/// Topologically sorts evaluation nodes. Returns `(order, true)` when a
+/// full levelization exists; otherwise returns the nodes with the
+/// acyclic prefix sorted and `false` (relaxation required).
+fn levelize(nodes: Vec<EvalNode>, net_count: usize) -> (Vec<EvalNode>, bool) {
+    // Map: net -> producing node index.
+    let mut producer: Vec<Option<usize>> = vec![None; net_count];
+    for (i, n) in nodes.iter().enumerate() {
+        producer[n.output.index()] = Some(i);
+    }
+    // In-degree per node = number of inputs produced by other nodes.
+    let mut indeg = vec![0usize; nodes.len()];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        for input in &n.inputs {
+            if let Some(p) = producer[input.index()] {
+                if p != i {
+                    indeg[i] += 1;
+                    consumers[p].push(i);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    let mut emitted = vec![false; nodes.len()];
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        emitted[i] = true;
+        for &c in &consumers[i] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    let levelized = order.len() == nodes.len();
+    if !levelized {
+        // Append the cyclic remainder in original order; the simulator
+        // will iterate to a fixpoint.
+        for (i, seen) in emitted.iter().enumerate() {
+            if !seen {
+                order.push(i);
+            }
+        }
+    }
+    let mut by_index: Vec<Option<EvalNode>> = nodes.into_iter().map(Some).collect();
+    let ordered = order
+        .into_iter()
+        .map(|i| by_index[i].take().expect("each node emitted once"))
+        .collect();
+    (ordered, levelized)
+}

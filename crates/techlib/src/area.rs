@@ -1,0 +1,169 @@
+//! Per-primitive area costs and slice packing for the Virtex-like fabric.
+
+use std::ops::{Add, AddAssign};
+
+use crate::prim::PrimKind;
+
+/// Resource cost of a primitive or an aggregate of primitives.
+///
+/// Virtex organizes logic into *slices* of two 4-input LUTs and two
+/// flip-flops plus dedicated carry logic; a CLB holds two slices. The
+/// packing estimate below mirrors the numbers the paper's circuit
+/// estimator shows to evaluating customers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct AreaCost {
+    /// Function generators (LUTs), including LUT-mode RAM/ROM/SRL.
+    pub luts: u32,
+    /// Flip-flops/latches.
+    pub ffs: u32,
+    /// Carry-chain elements (MUXCY/XORCY/MULT_AND).
+    pub carries: u32,
+    /// I/O pad buffers.
+    pub pads: u32,
+}
+
+impl AreaCost {
+    /// A zero cost.
+    #[must_use]
+    pub fn zero() -> Self {
+        AreaCost::default()
+    }
+
+    /// Estimated slice usage: LUT pairs and FF pairs share slices; carry
+    /// elements ride along with their LUT.
+    #[must_use]
+    pub fn slices(&self) -> u32 {
+        let lut_slices = self.luts.div_ceil(2);
+        let ff_slices = self.ffs.div_ceil(2);
+        let carry_slices = self.carries.div_ceil(2);
+        lut_slices.max(ff_slices).max(carry_slices)
+    }
+
+    /// Estimated CLB usage (two slices per CLB).
+    #[must_use]
+    pub fn clbs(&self) -> u32 {
+        self.slices().div_ceil(2)
+    }
+}
+
+impl Add for AreaCost {
+    type Output = AreaCost;
+    fn add(self, rhs: AreaCost) -> AreaCost {
+        AreaCost {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            carries: self.carries + rhs.carries,
+            pads: self.pads + rhs.pads,
+        }
+    }
+}
+
+impl AddAssign for AreaCost {
+    fn add_assign(&mut self, rhs: AreaCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for AreaCost {
+    fn sum<I: Iterator<Item = AreaCost>>(iter: I) -> AreaCost {
+        iter.fold(AreaCost::zero(), Add::add)
+    }
+}
+
+/// The area cost of one primitive instance.
+#[must_use]
+pub fn area_of(kind: &PrimKind) -> AreaCost {
+    match kind {
+        // Simple gates map one-per-LUT; buffers are absorbed into
+        // routing, constants into unused inputs.
+        PrimKind::Inv
+        | PrimKind::And(_)
+        | PrimKind::Or(_)
+        | PrimKind::Nand(_)
+        | PrimKind::Nor(_)
+        | PrimKind::Xor(_)
+        | PrimKind::Xnor2
+        | PrimKind::Mux2
+        | PrimKind::Lut { .. }
+        | PrimKind::Rom16x1 { .. } => AreaCost {
+            luts: 1,
+            ..AreaCost::zero()
+        },
+        PrimKind::Srl16 { .. } | PrimKind::Ram16x1 { .. } => AreaCost {
+            luts: 1,
+            ..AreaCost::zero()
+        },
+        PrimKind::Muxcy | PrimKind::Xorcy | PrimKind::MultAnd => AreaCost {
+            carries: 1,
+            ..AreaCost::zero()
+        },
+        PrimKind::Ff { .. } => AreaCost {
+            ffs: 1,
+            ..AreaCost::zero()
+        },
+        PrimKind::Buf | PrimKind::Gnd | PrimKind::Vcc => AreaCost::zero(),
+        PrimKind::Ibuf | PrimKind::Obuf | PrimKind::Bufg => AreaCost {
+            pads: 1,
+            ..AreaCost::zero()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Logic;
+
+    #[test]
+    fn primitive_costs() {
+        assert_eq!(area_of(&PrimKind::And(2)).luts, 1);
+        assert_eq!(area_of(&PrimKind::Buf), AreaCost::zero());
+        assert_eq!(area_of(&PrimKind::Muxcy).carries, 1);
+        assert_eq!(
+            area_of(&PrimKind::Ff {
+                has_ce: true,
+                control: crate::prim::FfControl::AsyncClear,
+                init: Logic::Zero,
+            })
+            .ffs,
+            1
+        );
+        assert_eq!(area_of(&PrimKind::Ibuf).pads, 1);
+        assert_eq!(area_of(&PrimKind::Srl16 { init: 0 }).luts, 1);
+    }
+
+    #[test]
+    fn slice_packing() {
+        let a = AreaCost {
+            luts: 5,
+            ffs: 2,
+            carries: 0,
+            pads: 0,
+        };
+        assert_eq!(a.slices(), 3); // ceil(5/2)=3 dominates ceil(2/2)=1
+        assert_eq!(a.clbs(), 2);
+        let b = AreaCost {
+            luts: 0,
+            ffs: 7,
+            carries: 0,
+            pads: 0,
+        };
+        assert_eq!(b.slices(), 4);
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let total: AreaCost = [
+            area_of(&PrimKind::And(2)),
+            area_of(&PrimKind::Xor(2)),
+            area_of(&PrimKind::Muxcy),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total.luts, 2);
+        assert_eq!(total.carries, 1);
+        let mut acc = AreaCost::zero();
+        acc += total;
+        assert_eq!(acc, total);
+    }
+}

@@ -1,0 +1,800 @@
+//! Ergonomic construction helpers for the Virtex-like library.
+//!
+//! The [`LogicCtx`] extension trait gives [`CellCtx`] the same flavour
+//! JHDL's library gives Java code: `new and2(this, a, b, t1)` becomes
+//! `ctx.and2(a, b, t1)?`.
+
+use ipd_hdl::{CellCtx, CellId, LogicVec, Primitive, Result, Signal};
+
+use crate::prim::{FfControl, PrimKind, LIBRARY};
+
+fn place(
+    ctx: &mut CellCtx<'_>,
+    kind: PrimKind,
+    init: Option<u64>,
+    conns: &[(&str, Signal)],
+) -> Result<CellId> {
+    let name = kind.name();
+    let prim = match init {
+        Some(v) => Primitive::with_init(LIBRARY, name, v),
+        None => Primitive::new(LIBRARY, name),
+    };
+    ctx.leaf(prim, kind.ports(), name, conns)
+}
+
+/// Gate- and primitive-level construction methods for [`CellCtx`].
+///
+/// All arguments accept anything convertible into a [`Signal`] — a bare
+/// [`WireId`](ipd_hdl::WireId), a [`Slice`](ipd_hdl::Slice) or a built
+/// [`Signal`]. Each method creates one primitive instance and returns
+/// its cell id.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_techlib::LogicCtx;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let mut circuit = Circuit::new("demo");
+/// let mut ctx = circuit.root_ctx();
+/// let a = ctx.wire("a", 1);
+/// let b = ctx.wire("b", 1);
+/// let y = ctx.wire("y", 1);
+/// ctx.and2(a, b, y)?;
+/// assert_eq!(circuit.primitive_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub trait LogicCtx {
+    /// Inverter: `o = !i`.
+    ///
+    /// # Errors
+    /// Fails on binding errors (width, scope) as documented on
+    /// [`CellCtx::leaf`].
+    fn inv(&mut self, i: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId>;
+    /// Buffer: `o = i`.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn buffer(&mut self, i: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId>;
+    /// 2-input AND.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn and2(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 3-input AND.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn and3(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 4-input AND.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn and4(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        d: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 2-input OR.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn or2(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 3-input OR.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn or3(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 2-input XOR.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn xor2(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 3-input XOR.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn xor3(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 2:1 mux: `o = sel ? i1 : i0`.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn mux2(
+        &mut self,
+        i0: impl Into<Signal>,
+        i1: impl Into<Signal>,
+        sel: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// N-input LUT (1–4 inputs) with truth table `init`.
+    ///
+    /// `inputs` supplies the LUT inputs LSB-first.
+    ///
+    /// # Errors
+    /// Fails on binding errors or if `inputs` is empty or longer than 4.
+    fn lut(
+        &mut self,
+        init: u16,
+        inputs: &[Signal],
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// Carry-chain mux: `o = s ? ci : di`.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn muxcy(
+        &mut self,
+        ci: impl Into<Signal>,
+        di: impl Into<Signal>,
+        s: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// Carry-chain XOR: `o = ci ^ li`.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn xorcy(
+        &mut self,
+        ci: impl Into<Signal>,
+        li: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// Dedicated multiplier AND.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn mult_and(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// Plain D flip-flop.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn fd(
+        &mut self,
+        c: impl Into<Signal>,
+        d: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// D flip-flop with clock enable and asynchronous clear.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn fdce(
+        &mut self,
+        c: impl Into<Signal>,
+        ce: impl Into<Signal>,
+        clr: impl Into<Signal>,
+        d: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// D flip-flop with clock enable and synchronous reset.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn fdre(
+        &mut self,
+        c: impl Into<Signal>,
+        ce: impl Into<Signal>,
+        r: impl Into<Signal>,
+        d: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 16-bit shift-register LUT; `a` is the 4-bit tap address.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn srl16(
+        &mut self,
+        init: u16,
+        c: impl Into<Signal>,
+        ce: impl Into<Signal>,
+        d: impl Into<Signal>,
+        a: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 16×1 RAM with synchronous write, asynchronous read.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn ram16x1(
+        &mut self,
+        init: u16,
+        c: impl Into<Signal>,
+        we: impl Into<Signal>,
+        d: impl Into<Signal>,
+        a: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// 16×1 ROM.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn rom16x1(
+        &mut self,
+        init: u16,
+        a: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId>;
+    /// Constant 0 driver.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn gnd(&mut self, o: impl Into<Signal>) -> Result<CellId>;
+    /// Constant 1 driver.
+    ///
+    /// # Errors
+    /// See [`LogicCtx::inv`].
+    fn vcc(&mut self, o: impl Into<Signal>) -> Result<CellId>;
+    /// Drives every bit of `sig` with the corresponding bit of `value`
+    /// using `gnd`/`vcc` primitives.
+    ///
+    /// # Errors
+    /// Fails on width mismatch between `sig` and `value`, or on binding
+    /// errors.
+    fn constant(&mut self, sig: impl Into<Signal>, value: &LogicVec) -> Result<()>;
+}
+
+impl LogicCtx for CellCtx<'_> {
+    fn inv(&mut self, i: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId> {
+        place(self, PrimKind::Inv, None, &[("i", i.into()), ("o", o.into())])
+    }
+
+    fn buffer(&mut self, i: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId> {
+        place(self, PrimKind::Buf, None, &[("i", i.into()), ("o", o.into())])
+    }
+
+    fn and2(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::And(2),
+            None,
+            &[("i0", a.into()), ("i1", b.into()), ("o", o.into())],
+        )
+    }
+
+    fn and3(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::And(3),
+            None,
+            &[
+                ("i0", a.into()),
+                ("i1", b.into()),
+                ("i2", c.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn and4(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        d: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::And(4),
+            None,
+            &[
+                ("i0", a.into()),
+                ("i1", b.into()),
+                ("i2", c.into()),
+                ("i3", d.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn or2(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Or(2),
+            None,
+            &[("i0", a.into()), ("i1", b.into()), ("o", o.into())],
+        )
+    }
+
+    fn or3(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Or(3),
+            None,
+            &[
+                ("i0", a.into()),
+                ("i1", b.into()),
+                ("i2", c.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn xor2(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Xor(2),
+            None,
+            &[("i0", a.into()), ("i1", b.into()), ("o", o.into())],
+        )
+    }
+
+    fn xor3(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        c: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Xor(3),
+            None,
+            &[
+                ("i0", a.into()),
+                ("i1", b.into()),
+                ("i2", c.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn mux2(
+        &mut self,
+        i0: impl Into<Signal>,
+        i1: impl Into<Signal>,
+        sel: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Mux2,
+            None,
+            &[
+                ("i0", i0.into()),
+                ("i1", i1.into()),
+                ("sel", sel.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn lut(
+        &mut self,
+        init: u16,
+        inputs: &[Signal],
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        let n = inputs.len();
+        if n == 0 || n > 4 {
+            return Err(ipd_hdl::HdlError::InvalidParameter {
+                generator: "lut".to_owned(),
+                reason: format!("lut supports 1-4 inputs, got {n}"),
+            });
+        }
+        let kind = PrimKind::Lut {
+            inputs: n as u8,
+            init,
+        };
+        let mut conns: Vec<(String, Signal)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("i{i}"), s.clone()))
+            .collect();
+        conns.push(("o".to_owned(), o.into()));
+        let refs: Vec<(&str, Signal)> = conns
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.clone()))
+            .collect();
+        place(self, kind, Some(u64::from(init)), &refs)
+    }
+
+    fn muxcy(
+        &mut self,
+        ci: impl Into<Signal>,
+        di: impl Into<Signal>,
+        s: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Muxcy,
+            None,
+            &[
+                ("ci", ci.into()),
+                ("di", di.into()),
+                ("s", s.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn xorcy(
+        &mut self,
+        ci: impl Into<Signal>,
+        li: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Xorcy,
+            None,
+            &[("ci", ci.into()), ("li", li.into()), ("o", o.into())],
+        )
+    }
+
+    fn mult_and(
+        &mut self,
+        a: impl Into<Signal>,
+        b: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::MultAnd,
+            None,
+            &[("i0", a.into()), ("i1", b.into()), ("o", o.into())],
+        )
+    }
+
+    fn fd(
+        &mut self,
+        c: impl Into<Signal>,
+        d: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId> {
+        let kind = PrimKind::Ff {
+            has_ce: false,
+            control: FfControl::None,
+            init: ipd_hdl::Logic::Zero,
+        };
+        place(
+            self,
+            kind,
+            None,
+            &[("c", c.into()), ("d", d.into()), ("q", q.into())],
+        )
+    }
+
+    fn fdce(
+        &mut self,
+        c: impl Into<Signal>,
+        ce: impl Into<Signal>,
+        clr: impl Into<Signal>,
+        d: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId> {
+        let kind = PrimKind::Ff {
+            has_ce: true,
+            control: FfControl::AsyncClear,
+            init: ipd_hdl::Logic::Zero,
+        };
+        place(
+            self,
+            kind,
+            None,
+            &[
+                ("c", c.into()),
+                ("ce", ce.into()),
+                ("clr", clr.into()),
+                ("d", d.into()),
+                ("q", q.into()),
+            ],
+        )
+    }
+
+    fn fdre(
+        &mut self,
+        c: impl Into<Signal>,
+        ce: impl Into<Signal>,
+        r: impl Into<Signal>,
+        d: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId> {
+        let kind = PrimKind::Ff {
+            has_ce: true,
+            control: FfControl::SyncReset,
+            init: ipd_hdl::Logic::Zero,
+        };
+        place(
+            self,
+            kind,
+            None,
+            &[
+                ("c", c.into()),
+                ("ce", ce.into()),
+                ("r", r.into()),
+                ("d", d.into()),
+                ("q", q.into()),
+            ],
+        )
+    }
+
+    fn srl16(
+        &mut self,
+        init: u16,
+        c: impl Into<Signal>,
+        ce: impl Into<Signal>,
+        d: impl Into<Signal>,
+        a: impl Into<Signal>,
+        q: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Srl16 { init },
+            Some(u64::from(init)),
+            &[
+                ("c", c.into()),
+                ("ce", ce.into()),
+                ("d", d.into()),
+                ("a", a.into()),
+                ("q", q.into()),
+            ],
+        )
+    }
+
+    fn ram16x1(
+        &mut self,
+        init: u16,
+        c: impl Into<Signal>,
+        we: impl Into<Signal>,
+        d: impl Into<Signal>,
+        a: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Ram16x1 { init },
+            Some(u64::from(init)),
+            &[
+                ("c", c.into()),
+                ("we", we.into()),
+                ("d", d.into()),
+                ("a", a.into()),
+                ("o", o.into()),
+            ],
+        )
+    }
+
+    fn rom16x1(
+        &mut self,
+        init: u16,
+        a: impl Into<Signal>,
+        o: impl Into<Signal>,
+    ) -> Result<CellId> {
+        place(
+            self,
+            PrimKind::Rom16x1 { init },
+            Some(u64::from(init)),
+            &[("a", a.into()), ("o", o.into())],
+        )
+    }
+
+    fn gnd(&mut self, o: impl Into<Signal>) -> Result<CellId> {
+        place(self, PrimKind::Gnd, None, &[("o", o.into())])
+    }
+
+    fn vcc(&mut self, o: impl Into<Signal>) -> Result<CellId> {
+        place(self, PrimKind::Vcc, None, &[("o", o.into())])
+    }
+
+    fn constant(&mut self, sig: impl Into<Signal>, value: &LogicVec) -> Result<()> {
+        let sig = sig.into();
+        // Collect the bit selections first so widths can be checked by
+        // the individual gnd/vcc bindings.
+        let bits: Vec<Signal> = {
+            let mut v = Vec::new();
+            for seg in sig.segments() {
+                let hi = seg.hi;
+                // Whole-wire sentinel is resolved by the leaf binding;
+                // expand here only for explicit slices.
+                if hi == u32::MAX {
+                    v.push(Signal::from(seg.wire));
+                } else {
+                    for b in seg.lo..=hi {
+                        v.push(Signal::bit_of(seg.wire, b));
+                    }
+                }
+            }
+            v
+        };
+        // Expand whole wires into bits by probing the circuit.
+        let mut expanded = Vec::new();
+        for s in bits {
+            let seg = s.segments()[0];
+            if seg.hi == u32::MAX {
+                let width = self.circuit().wire(seg.wire).width();
+                for b in 0..width {
+                    expanded.push(Signal::bit_of(seg.wire, b));
+                }
+            } else {
+                expanded.push(s);
+            }
+        }
+        if expanded.len() != value.width() {
+            return Err(ipd_hdl::HdlError::WidthMismatch {
+                port: "constant".to_owned(),
+                expected: value.width() as u32,
+                found: expanded.len() as u32,
+            });
+        }
+        for (i, bit_sig) in expanded.into_iter().enumerate() {
+            match value.bit(i).to_bool() {
+                Some(true) => {
+                    self.vcc(bit_sig)?;
+                }
+                _ => {
+                    self.gnd(bit_sig)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::Circuit;
+
+    #[test]
+    fn gates_construct() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let a = ctx.wire("a", 1);
+        let b = ctx.wire("b", 1);
+        let s = ctx.wire("s", 1);
+        let o = [
+            ctx.wire("o0", 1),
+            ctx.wire("o1", 1),
+            ctx.wire("o2", 1),
+            ctx.wire("o3", 1),
+            ctx.wire("o4", 1),
+            ctx.wire("o5", 1),
+        ];
+        ctx.and2(a, b, o[0]).unwrap();
+        ctx.or2(a, b, o[1]).unwrap();
+        ctx.xor2(a, b, o[2]).unwrap();
+        ctx.inv(a, o[3]).unwrap();
+        ctx.mux2(a, b, s, o[4]).unwrap();
+        ctx.xor3(a, b, s, o[5]).unwrap();
+        assert_eq!(c.primitive_count(), 6);
+    }
+
+    #[test]
+    fn lut_validates_arity() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let a = ctx.wire("a", 1);
+        let o = ctx.wire("o", 1);
+        assert!(ctx.lut(0b10, &[a.into()], o).is_ok());
+        let o2 = ctx.wire("o2", 1);
+        assert!(ctx.lut(0, &[], o2).is_err());
+    }
+
+    #[test]
+    fn constant_drives_bus() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let bus = ctx.wire("bus", 4);
+        ctx.constant(bus, &LogicVec::from_u64(0b1010, 4)).unwrap();
+        // Two vcc, two gnd.
+        let stats = ipd_hdl::CircuitStats::of(&c);
+        assert_eq!(stats.count_of("virtex:vcc"), 2);
+        assert_eq!(stats.count_of("virtex:gnd"), 2);
+    }
+
+    #[test]
+    fn constant_width_checked() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let bus = ctx.wire("bus", 4);
+        let err = ctx.constant(bus, &LogicVec::from_u64(0, 3)).unwrap_err();
+        assert!(matches!(err, ipd_hdl::HdlError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn ff_family_constructs() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.wire("clk", 1);
+        let d = ctx.wire("d", 1);
+        let q = ctx.wire("q", 1);
+        let ce = ctx.wire("ce", 1);
+        let clr = ctx.wire("clr", 1);
+        let q2 = ctx.wire("q2", 1);
+        ctx.fd(clk, d, q).unwrap();
+        ctx.fdce(clk, ce, clr, d, q2).unwrap();
+        let stats = ipd_hdl::CircuitStats::of(&c);
+        assert_eq!(stats.count_of("virtex:fd"), 1);
+        assert_eq!(stats.count_of("virtex:fdce"), 1);
+    }
+
+    #[test]
+    fn memory_primitives_construct() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.wire("clk", 1);
+        let ce = ctx.wire("ce", 1);
+        let d = ctx.wire("d", 1);
+        let a = ctx.wire("a", 4);
+        let q = ctx.wire("q", 1);
+        let o = ctx.wire("o", 1);
+        ctx.srl16(0xFFFF, clk, ce, d, a, q).unwrap();
+        ctx.rom16x1(0x1234, a, o).unwrap();
+        let stats = ipd_hdl::CircuitStats::of(&c);
+        assert_eq!(stats.count_of("virtex:srl16"), 1);
+        assert_eq!(stats.count_of("virtex:rom16x1"), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The timing model: primitive delays and routing estimates.
+//!
+//! Numbers are modelled on a Virtex -6 speed grade. They are not vendor
+//! sign-off data — the reproduction only needs the *relative* shape
+//! (LUT ≫ carry, placed routing ≪ unplaced routing) that the paper's
+//! estimator exposes to customers.
+
+use ipd_hdl::Rloc;
+
+use crate::prim::{PrimClass, PrimKind};
+
+/// Nanosecond delay and timing parameters for the Virtex-like fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// LUT / gate propagation delay.
+    pub lut_ns: f64,
+    /// Carry-chain element delay.
+    pub carry_ns: f64,
+    /// Flip-flop clock-to-output delay.
+    pub clk_to_q_ns: f64,
+    /// Flip-flop setup time.
+    pub setup_ns: f64,
+    /// Fixed component of any net delay.
+    pub net_base_ns: f64,
+    /// Additional delay per CLB of Manhattan distance (placed nets).
+    pub net_per_clb_ns: f64,
+    /// Additional delay per fanout load.
+    pub net_per_fanout_ns: f64,
+    /// Penalty multiplier applied to unplaced nets (the router must
+    /// guess; placed macros are the paper's whole point).
+    pub unplaced_factor: f64,
+}
+
+impl DelayModel {
+    /// The default Virtex-like model.
+    #[must_use]
+    pub fn virtex() -> Self {
+        DelayModel {
+            lut_ns: 0.55,
+            carry_ns: 0.07,
+            clk_to_q_ns: 0.56,
+            setup_ns: 0.45,
+            net_base_ns: 0.35,
+            net_per_clb_ns: 0.12,
+            net_per_fanout_ns: 0.08,
+            unplaced_factor: 2.2,
+        }
+    }
+
+    /// Propagation delay through a primitive (input pin to output pin).
+    ///
+    /// Sequential elements return their clock-to-q delay; see
+    /// [`DelayModel::setup_ns`] for the input side.
+    #[must_use]
+    pub fn prim_delay(&self, kind: &PrimKind) -> f64 {
+        match kind.class() {
+            PrimClass::Comb | PrimClass::Rom16 => match kind {
+                PrimKind::Muxcy | PrimKind::Xorcy | PrimKind::MultAnd => self.carry_ns,
+                PrimKind::Buf | PrimKind::Gnd | PrimKind::Vcc => 0.0,
+                PrimKind::Ibuf | PrimKind::Obuf | PrimKind::Bufg => self.lut_ns,
+                _ => self.lut_ns,
+            },
+            PrimClass::Ff { .. } | PrimClass::Srl16 | PrimClass::Ram16 => self.clk_to_q_ns,
+            PrimClass::Const(_) => 0.0,
+        }
+    }
+
+    /// Routing delay between two placed locations with a given fanout.
+    #[must_use]
+    pub fn net_delay_placed(&self, from: Rloc, to: Rloc, fanout: usize) -> f64 {
+        let dist = (from.row - to.row).unsigned_abs() + (from.col - to.col).unsigned_abs();
+        self.net_base_ns
+            + self.net_per_clb_ns * f64::from(dist)
+            + self.net_per_fanout_ns * fanout.saturating_sub(1) as f64
+    }
+
+    /// Routing delay estimate when either endpoint is unplaced.
+    #[must_use]
+    pub fn net_delay_unplaced(&self, fanout: usize) -> f64 {
+        (self.net_base_ns + self.net_per_fanout_ns * fanout.saturating_sub(1) as f64)
+            * self.unplaced_factor
+    }
+
+    /// Converts a critical-path delay to a clock frequency in MHz.
+    #[must_use]
+    pub fn to_mhz(&self, critical_path_ns: f64) -> f64 {
+        if critical_path_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        1000.0 / critical_path_ns
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::virtex()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_is_faster_than_lut() {
+        let m = DelayModel::virtex();
+        assert!(m.prim_delay(&PrimKind::Muxcy) < m.prim_delay(&PrimKind::And(2)));
+        assert!(m.prim_delay(&PrimKind::Xorcy) < m.prim_delay(&PrimKind::Lut { inputs: 4, init: 0 }));
+    }
+
+    #[test]
+    fn placed_routing_scales_with_distance() {
+        let m = DelayModel::virtex();
+        let near = m.net_delay_placed(Rloc::new(0, 0), Rloc::new(0, 1), 1);
+        let far = m.net_delay_placed(Rloc::new(0, 0), Rloc::new(8, 8), 1);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn unplaced_penalty_applies() {
+        let m = DelayModel::virtex();
+        let placed = m.net_delay_placed(Rloc::new(0, 0), Rloc::new(0, 1), 2);
+        let unplaced = m.net_delay_unplaced(2);
+        assert!(unplaced > placed);
+    }
+
+    #[test]
+    fn fanout_adds_delay() {
+        let m = DelayModel::virtex();
+        assert!(m.net_delay_unplaced(8) > m.net_delay_unplaced(1));
+    }
+
+    #[test]
+    fn mhz_conversion() {
+        let m = DelayModel::virtex();
+        assert!((m.to_mhz(10.0) - 100.0).abs() < 1e-9);
+        assert!(m.to_mhz(0.0).is_infinite());
+    }
+}

@@ -1,0 +1,154 @@
+//! The Virtex device catalog: part sizes for fit checks and layout views.
+
+use std::fmt;
+
+use crate::area::AreaCost;
+
+/// One FPGA part of the Virtex-like family.
+///
+/// Geometry follows the original Virtex series: a CLB array of
+/// `rows × cols`, each CLB holding two slices of two 4-input LUTs and
+/// two flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Device {
+    /// Part name, e.g. `"xcv300"`.
+    pub name: &'static str,
+    /// CLB rows.
+    pub rows: u32,
+    /// CLB columns.
+    pub cols: u32,
+    /// User I/O pads.
+    pub io_pads: u32,
+}
+
+impl Device {
+    /// Total CLBs.
+    #[must_use]
+    pub fn clbs(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// Total slices (two per CLB).
+    #[must_use]
+    pub fn slices(&self) -> u32 {
+        self.clbs() * 2
+    }
+
+    /// Total 4-input LUTs (two per slice).
+    #[must_use]
+    pub fn luts(&self) -> u32 {
+        self.slices() * 2
+    }
+
+    /// Total flip-flops (two per slice).
+    #[must_use]
+    pub fn ffs(&self) -> u32 {
+        self.slices() * 2
+    }
+
+    /// Whether an area cost fits on this part.
+    #[must_use]
+    pub fn fits(&self, area: &AreaCost) -> bool {
+        area.luts <= self.luts()
+            && area.ffs <= self.ffs()
+            && area.slices() <= self.slices()
+            && area.pads <= self.io_pads
+    }
+
+    /// Utilization of the scarcest resource, in percent.
+    #[must_use]
+    pub fn utilization(&self, area: &AreaCost) -> f64 {
+        let lut = f64::from(area.luts) / f64::from(self.luts());
+        let ff = f64::from(area.ffs) / f64::from(self.ffs());
+        let slice = f64::from(area.slices()) / f64::from(self.slices());
+        lut.max(ff).max(slice) * 100.0
+    }
+
+    /// The full part catalog, smallest first.
+    #[must_use]
+    pub fn catalog() -> &'static [Device] {
+        &CATALOG
+    }
+
+    /// Looks up a part by name (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Device> {
+        CATALOG
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+            .copied()
+    }
+
+    /// The smallest catalog part that fits `area`.
+    #[must_use]
+    pub fn smallest_fitting(area: &AreaCost) -> Option<Device> {
+        CATALOG.iter().find(|d| d.fits(area)).copied()
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}x{} CLBs, {} LUTs, {} FFs, {} I/O)",
+            self.name,
+            self.rows,
+            self.cols,
+            self.luts(),
+            self.ffs(),
+            self.io_pads
+        )
+    }
+}
+
+/// Virtex part sizes (CLB geometry from the Virtex data sheet family).
+static CATALOG: [Device; 9] = [
+    Device { name: "xcv50", rows: 16, cols: 24, io_pads: 180 },
+    Device { name: "xcv100", rows: 20, cols: 30, io_pads: 180 },
+    Device { name: "xcv150", rows: 24, cols: 36, io_pads: 260 },
+    Device { name: "xcv200", rows: 28, cols: 42, io_pads: 284 },
+    Device { name: "xcv300", rows: 32, cols: 48, io_pads: 316 },
+    Device { name: "xcv400", rows: 40, cols: 60, io_pads: 404 },
+    Device { name: "xcv600", rows: 48, cols: 72, io_pads: 512 },
+    Device { name: "xcv800", rows: 56, cols: 84, io_pads: 512 },
+    Device { name: "xcv1000", rows: 64, cols: 96, io_pads: 512 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_by_size() {
+        let parts = Device::catalog();
+        for pair in parts.windows(2) {
+            assert!(pair[0].luts() < pair[1].luts());
+        }
+    }
+
+    #[test]
+    fn xcv50_geometry() {
+        let d = Device::by_name("XCV50").expect("part");
+        assert_eq!(d.clbs(), 384);
+        assert_eq!(d.slices(), 768);
+        assert_eq!(d.luts(), 1536);
+        assert_eq!(d.ffs(), 1536);
+    }
+
+    #[test]
+    fn fit_and_utilization() {
+        let d = Device::by_name("xcv50").unwrap();
+        let small = AreaCost { luts: 100, ffs: 50, carries: 10, pads: 8 };
+        assert!(d.fits(&small));
+        assert!(d.utilization(&small) > 0.0);
+        let big = AreaCost { luts: 10_000, ffs: 0, carries: 0, pads: 0 };
+        assert!(!d.fits(&big));
+        let chosen = Device::smallest_fitting(&big).expect("some part fits");
+        assert!(chosen.luts() >= 10_000);
+    }
+
+    #[test]
+    fn unknown_part_is_none() {
+        assert!(Device::by_name("xc4000").is_none());
+    }
+}

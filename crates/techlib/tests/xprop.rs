@@ -1,0 +1,148 @@
+//! The four-state correctness law for every combinational primitive:
+//! if an evaluation with `X`/`Z` inputs yields a *driven* value, then
+//! every boolean resolution of those unknowns must yield that same
+//! value; and if all inputs are driven, the result must match the
+//! primitive's boolean function. This validates both plain gates and
+//! the LUT cofactor analysis.
+
+use ipd_hdl::Logic;
+use ipd_techlib::PrimKind;
+
+/// All comb primitives with a fixed input arity for the sweep.
+fn comb_prims() -> Vec<(PrimKind, usize)> {
+    let mut prims = vec![
+        (PrimKind::Inv, 1),
+        (PrimKind::Buf, 1),
+        (PrimKind::And(2), 2),
+        (PrimKind::And(3), 3),
+        (PrimKind::And(4), 4),
+        (PrimKind::Or(2), 2),
+        (PrimKind::Or(3), 3),
+        (PrimKind::Or(4), 4),
+        (PrimKind::Nand(2), 2),
+        (PrimKind::Nand(3), 3),
+        (PrimKind::Nor(2), 2),
+        (PrimKind::Nor(3), 3),
+        (PrimKind::Xor(2), 2),
+        (PrimKind::Xor(3), 3),
+        (PrimKind::Xnor2, 2),
+        (PrimKind::Mux2, 3),
+        (PrimKind::Muxcy, 3),
+        (PrimKind::Xorcy, 2),
+        (PrimKind::MultAnd, 2),
+    ];
+    // A spread of LUT truth tables, including constants, parity and
+    // single-variable functions.
+    for init in [0x0000u16, 0xFFFF, 0x6996, 0xAAAA, 0xF0F0, 0x8000, 0x1EE1, 0x0001] {
+        prims.push((PrimKind::Lut { inputs: 4, init }, 4));
+        prims.push((
+            PrimKind::Lut {
+                inputs: 2,
+                init: init & 0xF,
+            },
+            2,
+        ));
+    }
+    prims.push((PrimKind::Rom16x1 { init: 0xBEEF }, 4));
+    prims
+}
+
+/// All 4^n input vectors over {0,1,X,Z}.
+fn four_state_vectors(n: usize) -> Vec<Vec<Logic>> {
+    let states = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+    let mut out = Vec::with_capacity(4usize.pow(n as u32));
+    for combo in 0..4usize.pow(n as u32) {
+        let mut v = Vec::with_capacity(n);
+        let mut c = combo;
+        for _ in 0..n {
+            v.push(states[c % 4]);
+            c /= 4;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// All boolean resolutions of a four-state vector.
+fn resolutions(v: &[Logic]) -> Vec<Vec<Logic>> {
+    let unknown: Vec<usize> = v
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_driven())
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = Vec::with_capacity(1 << unknown.len());
+    for combo in 0..(1usize << unknown.len()) {
+        let mut r = v.to_vec();
+        for (k, &idx) in unknown.iter().enumerate() {
+            r[idx] = Logic::from_bool((combo >> k) & 1 == 1);
+        }
+        out.push(r);
+    }
+    out
+}
+
+#[test]
+fn driven_results_are_sound_under_all_resolutions() {
+    for (prim, arity) in comb_prims() {
+        for vector in four_state_vectors(arity) {
+            let result = prim.eval_comb(&vector);
+            if !result.is_driven() {
+                continue;
+            }
+            for resolution in resolutions(&vector) {
+                let resolved = prim.eval_comb(&resolution);
+                assert_eq!(
+                    resolved, result,
+                    "{}: eval{vector:?} = {result:?} but resolution {resolution:?} gives {resolved:?}",
+                    prim.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn driven_inputs_always_give_driven_outputs() {
+    for (prim, arity) in comb_prims() {
+        for vector in four_state_vectors(arity) {
+            if vector.iter().all(|l| l.is_driven()) {
+                let result = prim.eval_comb(&vector);
+                assert!(
+                    result.is_driven(),
+                    "{}: fully driven {vector:?} gave {result:?}",
+                    prim.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lut_cofactor_analysis_is_maximally_precise() {
+    // For LUTs the analysis must return a driven value exactly when
+    // all resolutions agree — no missed opportunities either.
+    for init in [0x6996u16, 0xAAAA, 0x0000, 0xFFFF, 0x8001, 0x00FF] {
+        let prim = PrimKind::Lut { inputs: 4, init };
+        for vector in four_state_vectors(4) {
+            let result = prim.eval_comb(&vector);
+            let resolved: Vec<Logic> = resolutions(&vector)
+                .into_iter()
+                .map(|r| prim.eval_comb(&r))
+                .collect();
+            let first = resolved[0];
+            let all_agree = resolved.iter().all(|&r| r == first);
+            if all_agree {
+                assert_eq!(
+                    result, first,
+                    "INIT={init:#06x} {vector:?}: cofactors agree on {first:?} but eval says {result:?}"
+                );
+            } else {
+                assert!(
+                    !result.is_driven(),
+                    "INIT={init:#06x} {vector:?}: cofactors disagree but eval claims {result:?}"
+                );
+            }
+        }
+    }
+}

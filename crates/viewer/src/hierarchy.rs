@@ -1,0 +1,99 @@
+//! The hierarchy browser: a textual tree of the circuit structure.
+
+use ipd_hdl::{CellKind, Circuit, CellId};
+
+/// Renders the circuit hierarchy as an indented tree, the textual
+/// equivalent of JHDL's circuit hierarchy browser.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_viewer::hierarchy_tree;
+///
+/// let circuit = Circuit::new("top");
+/// let tree = hierarchy_tree(&circuit);
+/// assert!(tree.contains("top"));
+/// ```
+#[must_use]
+pub fn hierarchy_tree(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    render(circuit, circuit.root(), "", true, &mut out);
+    out
+}
+
+fn render(circuit: &Circuit, id: CellId, prefix: &str, is_last: bool, out: &mut String) {
+    let cell = circuit.cell(id);
+    let connector = if cell.parent().is_none() {
+        ""
+    } else if is_last {
+        "`-- "
+    } else {
+        "|-- "
+    };
+    let kind = match cell.kind() {
+        CellKind::Composite => {
+            let prims = circuit
+                .descendants(id)
+                .iter()
+                .filter(|&&d| circuit.cell(d).is_primitive())
+                .count();
+            format!("[{}] ({prims} primitives)", cell.type_name())
+        }
+        CellKind::Primitive(p) => format!("<{p}>"),
+        CellKind::BlackBox => format!("[black box: {}]", cell.type_name()),
+    };
+    let rloc = match cell.rloc() {
+        Some(r) => format!(" @{r}"),
+        None => String::new(),
+    };
+    out.push_str(&format!("{prefix}{connector}{} {kind}{rloc}\n", cell.name()));
+    let children = cell.children();
+    let child_prefix = if cell.parent().is_none() {
+        prefix.to_owned()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}|   ")
+    };
+    for (i, &child) in children.iter().enumerate() {
+        render(
+            circuit,
+            child,
+            &child_prefix,
+            i + 1 == children.len(),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::{FnGenerator, PortSpec, Primitive};
+
+    #[test]
+    fn tree_shows_all_levels() {
+        let inner = FnGenerator::new("leafy", vec![PortSpec::input("i", 1)], |ctx| {
+            let i = ctx.port("i")?;
+            ctx.leaf(
+                Primitive::new("virtex", "buf"),
+                vec![PortSpec::input("i", 1), PortSpec::output("o", 1)],
+                "b0",
+                &[("i", i.into())],
+            )?;
+            Ok(())
+        });
+        let mut c = ipd_hdl::Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let w = ctx.wire("w", 1);
+        ctx.instantiate(&inner, "u0", &[("i", w.into())]).unwrap();
+        ctx.instantiate(&inner, "u1", &[("i", w.into())]).unwrap();
+        let tree = hierarchy_tree(&c);
+        assert!(tree.contains("top"));
+        assert!(tree.contains("|-- u0"));
+        assert!(tree.contains("`-- u1"));
+        assert!(tree.contains("b0 <virtex:buf>"));
+        assert!(tree.contains("(1 primitives)"));
+    }
+}

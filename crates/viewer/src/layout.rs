@@ -1,0 +1,227 @@
+//! The layout viewer: CLB-grid occupancy from relative placement.
+//!
+//! "A view of the layout for pre-placed FPGA macros provides the user
+//! with feedback on the size, shape, and layout of a circuit module
+//! under review" (paper §3.2) — without exposing the underlying
+//! netlist.
+
+use std::collections::HashMap;
+
+use ipd_hdl::{Circuit, FlatNetlist, Rloc};
+use ipd_techlib::Device;
+
+/// A summary of a circuit's placed footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutSummary {
+    /// Placed leaf count.
+    pub placed: usize,
+    /// Unplaced leaf count.
+    pub unplaced: usize,
+    /// Bounding box (`row_min`, `col_min`, `row_max`, `col_max`), if
+    /// anything is placed.
+    pub bounds: Option<(i32, i32, i32, i32)>,
+}
+
+impl LayoutSummary {
+    /// Bounding-box height in rows (0 when nothing is placed).
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        match self.bounds {
+            Some((r0, _, r1, _)) => (r1 - r0 + 1).unsigned_abs(),
+            None => 0,
+        }
+    }
+
+    /// Bounding-box width in columns (0 when nothing is placed).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        match self.bounds {
+            Some((_, c0, _, c1)) => (c1 - c0 + 1).unsigned_abs(),
+            None => 0,
+        }
+    }
+}
+
+/// Computes the placement summary of a circuit.
+///
+/// # Errors
+///
+/// Propagates flattening errors.
+pub fn layout_summary(circuit: &Circuit) -> Result<LayoutSummary, ipd_hdl::HdlError> {
+    let flat = FlatNetlist::build(circuit)?;
+    let mut placed = 0usize;
+    let mut unplaced = 0usize;
+    let mut bounds: Option<(i32, i32, i32, i32)> = None;
+    for leaf in flat.leaves() {
+        match leaf.loc {
+            None => unplaced += 1,
+            Some(loc) => {
+                placed += 1;
+                bounds = Some(match bounds {
+                    None => (loc.row, loc.col, loc.row, loc.col),
+                    Some((r0, c0, r1, c1)) => (
+                        r0.min(loc.row),
+                        c0.min(loc.col),
+                        r1.max(loc.row),
+                        c1.max(loc.col),
+                    ),
+                });
+            }
+        }
+    }
+    Ok(LayoutSummary {
+        placed,
+        unplaced,
+        bounds,
+    })
+}
+
+/// Renders the placed leaves as an ASCII occupancy grid. Each character
+/// is one slice site: `.` empty, digits 1–9 for occupancy, `#` for ten
+/// or more.
+///
+/// # Errors
+///
+/// Propagates flattening errors.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_modgen::KcmMultiplier;
+/// use ipd_viewer::layout_grid;
+///
+/// # fn main() -> Result<(), ipd_hdl::HdlError> {
+/// let kcm = KcmMultiplier::new(-56, 8, 12).signed(true);
+/// let circuit = Circuit::from_generator(&kcm)?;
+/// let grid = layout_grid(&circuit)?;
+/// assert!(grid.contains('\n'));
+/// # Ok(())
+/// # }
+/// ```
+pub fn layout_grid(circuit: &Circuit) -> Result<String, ipd_hdl::HdlError> {
+    let flat = FlatNetlist::build(circuit)?;
+    let mut occupancy: HashMap<Rloc, usize> = HashMap::new();
+    for leaf in flat.leaves() {
+        if let Some(loc) = leaf.loc {
+            *occupancy.entry(loc).or_insert(0) += 1;
+        }
+    }
+    if occupancy.is_empty() {
+        return Ok("(no placed leaves)\n".to_owned());
+    }
+    let r0 = occupancy.keys().map(|l| l.row).min().expect("non-empty");
+    let r1 = occupancy.keys().map(|l| l.row).max().expect("non-empty");
+    let c0 = occupancy.keys().map(|l| l.col).min().expect("non-empty");
+    let c1 = occupancy.keys().map(|l| l.col).max().expect("non-empty");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "layout: rows {r0}..{r1}, cols {c0}..{c1} ({} placed sites)\n",
+        occupancy.len()
+    ));
+    for row in r0..=r1 {
+        out.push_str(&format!("{row:>4} |"));
+        for col in c0..=c1 {
+            let ch = match occupancy.get(&Rloc::new(row, col)) {
+                None => '.',
+                Some(&n) if n < 10 => char::from_digit(n as u32, 10).expect("digit"),
+                Some(_) => '#',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Checks the placed footprint against a device and renders a one-line
+/// verdict (the applet's "does it fit my part?" feedback).
+///
+/// # Errors
+///
+/// Propagates flattening errors.
+pub fn fit_report(circuit: &Circuit, device: &Device) -> Result<String, ipd_hdl::HdlError> {
+    let summary = layout_summary(circuit)?;
+    let verdict = match summary.bounds {
+        None => format!("no placed footprint; {} leaves float", summary.unplaced),
+        Some(_) => {
+            let h = summary.height();
+            let w = summary.width();
+            if h <= device.rows && w <= device.cols {
+                format!(
+                    "{}x{} footprint fits {} ({}x{} CLBs)",
+                    h, w, device.name, device.rows, device.cols
+                )
+            } else {
+                format!(
+                    "{}x{} footprint exceeds {} ({}x{} CLBs)",
+                    h, w, device.name, device.rows, device.cols
+                )
+            }
+        }
+    };
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::PortSpec;
+    use ipd_techlib::LogicCtx;
+
+    fn placed_pair() -> Circuit {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let i = ctx.add_port(PortSpec::input("i", 1)).unwrap();
+        let t = ctx.wire("t", 1);
+        let a = ctx.inv(i, t).unwrap();
+        ctx.set_rloc(a, Rloc::new(0, 0));
+        let u = ctx.wire("u", 1);
+        let b = ctx.inv(t, u).unwrap();
+        ctx.set_rloc(b, Rloc::new(2, 3));
+        c
+    }
+
+    #[test]
+    fn summary_and_bounds() {
+        let c = placed_pair();
+        let s = layout_summary(&c).unwrap();
+        assert_eq!(s.placed, 2);
+        assert_eq!(s.unplaced, 0);
+        assert_eq!(s.bounds, Some((0, 0, 2, 3)));
+        assert_eq!(s.height(), 3);
+        assert_eq!(s.width(), 4);
+    }
+
+    #[test]
+    fn grid_renders_occupancy() {
+        let c = placed_pair();
+        let grid = layout_grid(&c).unwrap();
+        assert!(grid.contains("rows 0..2"));
+        // Two placed sites in the grid body (after the row labels).
+        let body_ones: usize = grid
+            .lines()
+            .filter_map(|l| l.split_once('|'))
+            .map(|(_, body)| body.matches('1').count())
+            .sum();
+        assert_eq!(body_ones, 2);
+        assert!(grid.contains('.'));
+    }
+
+    #[test]
+    fn empty_placement_message() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let i = ctx.add_port(PortSpec::input("i", 1)).unwrap();
+        let t = ctx.wire("t", 1);
+        ctx.inv(i, t).unwrap();
+        assert!(layout_grid(&c).unwrap().contains("no placed leaves"));
+    }
+
+    #[test]
+    fn fit_verdicts() {
+        let c = placed_pair();
+        let dev = Device::by_name("xcv50").unwrap();
+        assert!(fit_report(&c, &dev).unwrap().contains("fits"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The schematic viewer: textual and SVG views of one hierarchy level.
+//!
+//! The paper's applet (its Figure 3) draws a schematic the customer can
+//! browse interactively. These renderers are the deterministic
+//! equivalents: [`schematic_text`] produces the netlist-style view of a
+//! cell's contents, [`schematic_svg`] a simple boxes-and-nets drawing.
+
+use std::fmt::Write as _;
+
+use ipd_hdl::{Cell, CellId, CellKind, Circuit, PortDir, Signal};
+
+/// Renders one hierarchy level as text: the cell's interface followed
+/// by its instances and their connections.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::Circuit;
+/// use ipd_viewer::schematic_text;
+///
+/// let circuit = Circuit::new("top");
+/// let text = schematic_text(&circuit, circuit.root());
+/// assert!(text.contains("cell top"));
+/// ```
+#[must_use]
+pub fn schematic_text(circuit: &Circuit, cell_id: CellId) -> String {
+    let cell = circuit.cell(cell_id);
+    let mut out = String::new();
+    let _ = writeln!(out, "cell {} [{}]", cell.name(), cell.type_name());
+    for port in cell.ports() {
+        let _ = writeln!(
+            out,
+            "  port {:<6} {} [{}]",
+            port.spec.name, port.spec.dir, port.spec.width
+        );
+    }
+    if !cell.children().is_empty() {
+        let _ = writeln!(out, "  contents:");
+    }
+    for &child in cell.children() {
+        let child_cell = circuit.cell(child);
+        let tag = match child_cell.kind() {
+            CellKind::Composite => format!("[{}]", child_cell.type_name()),
+            CellKind::Primitive(p) => format!("<{p}>"),
+            CellKind::BlackBox => format!("[black box: {}]", child_cell.type_name()),
+        };
+        let _ = writeln!(out, "    {} {tag}", child_cell.name());
+        for port in child_cell.ports() {
+            let binding = match port.outer.as_ref() {
+                Some(sig) => describe_signal(circuit, sig),
+                None => "(open)".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "      .{:<6} -> {binding}",
+                port.spec.name
+            );
+        }
+    }
+    out
+}
+
+/// Names a signal using wire names and bit ranges, e.g. `bus[3:0]` or
+/// `{hi, lo[2]}`.
+fn describe_signal(circuit: &Circuit, sig: &Signal) -> String {
+    let parts: Vec<String> = sig
+        .segments()
+        .iter()
+        .map(|seg| {
+            let wire = circuit.wire(seg.wire);
+            if seg.hi == u32::MAX || (seg.lo == 0 && seg.hi + 1 == wire.width()) {
+                wire.name().to_owned()
+            } else if seg.hi == seg.lo {
+                format!("{}[{}]", wire.name(), seg.lo)
+            } else {
+                format!("{}[{}:{}]", wire.name(), seg.hi, seg.lo)
+            }
+        })
+        .collect();
+    if parts.len() == 1 {
+        parts.into_iter().next().expect("one part")
+    } else {
+        // MSB-first concatenation display.
+        let mut rev = parts;
+        rev.reverse();
+        format!("{{{}}}", rev.join(", "))
+    }
+}
+
+/// Renders one hierarchy level as an SVG drawing: instance boxes in a
+/// grid with their ports listed, primary inputs on the left and
+/// outputs on the right.
+#[must_use]
+pub fn schematic_svg(circuit: &Circuit, cell_id: CellId) -> String {
+    let cell = circuit.cell(cell_id);
+    let children = cell.children();
+    let cols = (children.len() as f64).sqrt().ceil().max(1.0) as usize;
+    let box_w = 180;
+    let box_h = 90;
+    let gap = 40;
+    let rows = children.len().div_ceil(cols.max(1)).max(1);
+    let width = 120 + cols * (box_w + gap) + 120;
+    let height = 60 + rows * (box_h + gap);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">"
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"10\" y=\"20\" font-family=\"monospace\" font-size=\"14\">{}</text>",
+        xml_escape(&format!("{} [{}]", cell.name(), cell.type_name()))
+    );
+    // Primary ports along the edges.
+    for (i, port) in cell.ports().iter().enumerate() {
+        let y = 50 + i * 18;
+        let (x, anchor) = match port.spec.dir {
+            PortDir::Input => (10, "start"),
+            _ => (width - 10, "end"),
+        };
+        let _ = writeln!(
+            out,
+            "  <text x=\"{x}\" y=\"{y}\" text-anchor=\"{anchor}\" font-family=\"monospace\" \
+             font-size=\"11\">{}</text>",
+            xml_escape(&format!("{}[{}]", port.spec.name, port.spec.width))
+        );
+    }
+    for (i, &child) in children.iter().enumerate() {
+        let col = i % cols;
+        let row = i / cols;
+        let x = 120 + col * (box_w + gap);
+        let y = 40 + row * (box_h + gap);
+        let child_cell = circuit.cell(child);
+        let fill = match child_cell.kind() {
+            CellKind::Composite => "#dbe9ff",
+            CellKind::Primitive(_) => "#e8ffe8",
+            CellKind::BlackBox => "#444444",
+        };
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{x}\" y=\"{y}\" width=\"{box_w}\" height=\"{box_h}\" fill=\"{fill}\" \
+             stroke=\"black\"/>"
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-family=\"monospace\" \
+             font-size=\"12\">{}</text>",
+            x + box_w / 2,
+            y + 16,
+            xml_escape(child_cell.name())
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-family=\"monospace\" \
+             font-size=\"10\">{}</text>",
+            x + box_w / 2,
+            y + 32,
+            xml_escape(&type_label(child_cell))
+        );
+        for (pi, port) in child_cell.ports().iter().enumerate().take(4) {
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" font-family=\"monospace\" font-size=\"9\">{}</text>",
+                x + 6,
+                y + 48 + pi * 11,
+                xml_escape(&port.spec.name)
+            );
+        }
+        if child_cell.ports().len() > 4 {
+            let _ = writeln!(
+                out,
+                "  <text x=\"{}\" y=\"{}\" font-family=\"monospace\" font-size=\"9\">…</text>",
+                x + 6,
+                y + 48 + 4 * 11
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn type_label(cell: &Cell) -> String {
+    match cell.kind() {
+        CellKind::Composite => cell.type_name().to_owned(),
+        CellKind::Primitive(p) => p.name.clone(),
+        CellKind::BlackBox => "(protected)".to_owned(),
+    }
+}
+
+fn xml_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::PortSpec;
+    use ipd_techlib::LogicCtx;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("top");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.and2(
+            Signal::bit_of(a, 0),
+            Signal::bit_of(a, 1),
+            y,
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn text_view_lists_interface_and_contents() {
+        let c = sample();
+        let text = schematic_text(&c, c.root());
+        assert!(text.contains("cell top [top]"));
+        assert!(text.contains("port a"));
+        assert!(text.contains("input"));
+        assert!(text.contains("and2"));
+        assert!(text.contains(".i0"));
+        assert!(text.contains("a[0]"));
+        assert!(text.contains("-> y"));
+    }
+
+    #[test]
+    fn open_ports_marked() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let i = ctx.wire("i", 1);
+        // A leaf with an unbound output shows as open.
+        ctx.leaf(
+            ipd_hdl::Primitive::new("virtex", "buf"),
+            vec![PortSpec::input("i", 1), PortSpec::output("o", 1)],
+            "b0",
+            &[("i", i.into())],
+        )
+        .unwrap();
+        let text = schematic_text(&c, c.root());
+        assert!(text.contains("(open)"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let c = sample();
+        let svg = schematic_svg(&c, c.root());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1);
+        assert!(svg.contains("and2"));
+    }
+
+    #[test]
+    fn black_boxes_render_opaque() {
+        let mut c = Circuit::new("t");
+        let mut ctx = c.root_ctx();
+        let i = ctx.wire("i", 1);
+        ctx.black_box(
+            "secret",
+            vec![PortSpec::input("i", 1)],
+            "bb",
+            &[("i", i.into())],
+        )
+        .unwrap();
+        let svg = schematic_svg(&c, c.root());
+        assert!(svg.contains("#444444"));
+        assert!(svg.contains("(protected)"));
+        let text = schematic_text(&c, c.root());
+        assert!(text.contains("black box"));
+    }
+}

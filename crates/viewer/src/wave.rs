@@ -1,0 +1,126 @@
+//! The waveform viewer: ASCII rendering of recorded traces.
+
+use std::fmt::Write as _;
+
+use ipd_sim::Trace;
+
+/// Renders recorded traces as ASCII waveforms, the textual counterpart
+/// of the JHDL waveform viewer the applet embeds.
+///
+/// Single-bit signals draw as level lines (`_` low, `-` high, `x`/`z`
+/// unknowns); buses print their value per cycle, `.` marking repeats.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_hdl::LogicVec;
+/// use ipd_sim::Trace;
+/// use ipd_viewer::waveform_text;
+///
+/// let mut t = Trace::new("q", 1);
+/// t.push(LogicVec::from_u64(0, 1));
+/// t.push(LogicVec::from_u64(1, 1));
+/// let text = waveform_text(&[t]);
+/// assert!(text.contains("q"));
+/// ```
+#[must_use]
+pub fn waveform_text(traces: &[Trace]) -> String {
+    let mut out = String::new();
+    let max_len = traces.iter().map(Trace::len).max().unwrap_or(0);
+    let name_w = traces
+        .iter()
+        .map(|t| t.name().len())
+        .max()
+        .unwrap_or(4)
+        .max(5);
+    // Cycle ruler every 5 cycles.
+    let _ = write!(out, "{:>name_w$} ", "cycle");
+    for c in 0..max_len {
+        if c % 5 == 0 {
+            let label = format!("{c}");
+            let _ = write!(out, "{label:<5}");
+        }
+    }
+    out.push('\n');
+    for trace in traces {
+        if trace.width() == 1 {
+            let _ = write!(out, "{:>name_w$} ", trace.name());
+            for cycle in 0..max_len {
+                let ch = match trace.sample(cycle) {
+                    None => ' ',
+                    Some(v) => match v.bit(0) {
+                        ipd_hdl::Logic::Zero => '_',
+                        ipd_hdl::Logic::One => '-',
+                        ipd_hdl::Logic::X => 'x',
+                        ipd_hdl::Logic::Z => 'z',
+                    },
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        } else {
+            let _ = write!(out, "{:>name_w$} ", trace.name());
+            let mut prev: Option<String> = None;
+            for cycle in 0..max_len {
+                match trace.sample(cycle) {
+                    None => out.push(' '),
+                    Some(v) => {
+                        let text = match v.to_u64() {
+                            Some(u) => format!("{u:x}"),
+                            None => v.to_string(),
+                        };
+                        if prev.as_deref() == Some(&text) {
+                            out.push('.');
+                        } else {
+                            let _ = write!(out, "|{text}");
+                            prev = Some(text);
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::{Logic, LogicVec};
+
+    #[test]
+    fn scalar_waveform_levels() {
+        let mut t = Trace::new("clk_en", 1);
+        for v in [0u64, 0, 1, 1, 0] {
+            t.push(LogicVec::from_u64(v, 1));
+        }
+        t.push(LogicVec::from(Logic::X));
+        let text = waveform_text(&[t]);
+        assert!(text.contains("__--_x"));
+    }
+
+    #[test]
+    fn bus_waveform_values_and_repeats() {
+        let mut t = Trace::new("bus", 8);
+        for v in [5u64, 5, 9] {
+            t.push(LogicVec::from_u64(v, 8));
+        }
+        let text = waveform_text(&[t]);
+        assert!(text.contains("|5.|9"), "{text}");
+    }
+
+    #[test]
+    fn unknown_bus_prints_bits() {
+        let mut t = Trace::new("b", 2);
+        t.push(LogicVec::unknown(2));
+        let text = waveform_text(&[t]);
+        assert!(text.contains("XX"));
+    }
+
+    #[test]
+    fn empty_input_renders_header_only() {
+        let text = waveform_text(&[]);
+        assert!(text.contains("cycle"));
+    }
+}

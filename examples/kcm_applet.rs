@@ -1,0 +1,87 @@
+//! The constant-coefficient multiplier applet — the paper's Figures 1
+//! and 3 as a terminal session.
+//!
+//! A vendor server issues an evaluation applet; the customer builds the
+//! paper's exact instance (8-bit multiplicand, 12-bit product, signed,
+//! pipelined, constant −56), browses the schematic and layout, cycles
+//! the simulator, views waveforms, and — because this customer is
+//! licensed — presses the Netlist button.
+//!
+//! Run with: `cargo run --example kcm_applet`
+
+use ipd::core::{AppletHost, AppletServer, AppletSession, CapabilitySet};
+use ipd::modgen::KcmMultiplier;
+use ipd::netlist::NetlistFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- vendor side -------------------------------------------------
+    let mut server = AppletServer::new("byu", b"vendor-signing-key".to_vec());
+    server.enroll("acme", "virtex-kcm", CapabilitySet::licensed(), 0, 365);
+    let executable = server.serve("acme", 42)?;
+    println!("{executable}");
+
+    // ---- browser side ------------------------------------------------
+    let mut host = AppletHost::new();
+    let fetched = host.load(&executable);
+    println!(
+        "downloaded {} kB of bundles: {:?}\n",
+        fetched.div_ceil(1024),
+        host.cached()
+    );
+
+    // Parameter panel (Figure 1): the paper's running example.
+    let kcm = KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true);
+    println!("== parameter panel ==");
+    println!("  constant      : {}", kcm.constant());
+    println!("  input width   : {}", kcm.input_width());
+    println!("  product width : {}", kcm.product_width());
+    println!("  signed        : {}", kcm.is_signed());
+    println!("  pipelined     : {} (latency {})", kcm.is_pipelined(), kcm.latency());
+    let latency = kcm.latency();
+
+    let mut session = AppletSession::new(&executable, &host, Box::new(kcm));
+
+    // [build] button.
+    session.build()?;
+    println!("\n== build ==\n{} built", session.generator_name());
+
+    // Evaluation panel: area and timing estimates.
+    println!("\n== estimates ==");
+    print!("{}", session.estimate_area()?);
+    print!("{}", session.estimate_timing()?);
+
+    // Schematic browser (Figure 3).
+    println!("\n== schematic (top level) ==");
+    let schematic = session.schematic()?;
+    for line in schematic.lines().take(24) {
+        println!("{line}");
+    }
+
+    // Layout viewer.
+    println!("\n== layout ==");
+    print!("{}", session.layout()?);
+
+    // Simulator panel: Cycle / Reset buttons with waveforms.
+    println!("\n== simulation ==");
+    session.record("product")?;
+    for x in [-128i64, -56, -1, 0, 1, 77, 127] {
+        session.set_i64("multiplicand", x)?;
+        session.cycle(u64::from(latency))?;
+        let product = session.peek("product")?;
+        println!("  multiplicand={x:>5}  product={} ({:?})", product, product.to_i64());
+    }
+    println!("\n== waveform viewer ==");
+    print!("{}", session.waveforms()?);
+    session.reset()?;
+
+    // [netlist] button — licensed customers only.
+    println!("\n== netlist (EDIF) ==");
+    let edif = session.netlist(NetlistFormat::Edif)?;
+    println!("generated {} bytes of EDIF; first lines:", edif.len());
+    for line in edif.lines().take(6) {
+        println!("  {line}");
+    }
+
+    println!("\nvendor metering: acme accessed {} time(s)", server.access_count("acme"));
+    Ok(())
+}

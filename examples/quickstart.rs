@@ -1,0 +1,61 @@
+//! Quickstart: build the paper's full-adder listing by hand, validate
+//! it, simulate it, and netlist it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ipd::hdl::{Circuit, PortSpec};
+use ipd::netlist::edif_string;
+use ipd::sim::Simulator;
+use ipd::techlib::LogicCtx;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's §2 code fragment, in Rust: a full adder from gates.
+    //
+    //   co = a&b | a&ci | b&ci
+    //   s  = a ^ b ^ ci
+    let mut circuit = Circuit::new("full_adder");
+    let mut ctx = circuit.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1))?;
+    let b = ctx.add_port(PortSpec::input("b", 1))?;
+    let ci = ctx.add_port(PortSpec::input("ci", 1))?;
+    let s = ctx.add_port(PortSpec::output("s", 1))?;
+    let co = ctx.add_port(PortSpec::output("co", 1))?;
+
+    let t1 = ctx.wire("t1", 1);
+    let t2 = ctx.wire("t2", 1);
+    let t3 = ctx.wire("t3", 1);
+    ctx.and2(a, b, t1)?;
+    ctx.and2(a, ci, t2)?;
+    ctx.and2(b, ci, t3)?;
+    ctx.or3(t1, t2, t3, co)?; // co is carry out
+    ctx.xor3(a, b, ci, s)?; // s is output
+
+    // Design rules.
+    let report = ipd::hdl::validate(&circuit)?;
+    println!("{report}");
+
+    // Structure.
+    println!("{}", ipd::viewer::schematic_text(&circuit, circuit.root()));
+
+    // Exhaustive simulation.
+    let mut sim = Simulator::new(&circuit)?;
+    println!("a b ci | s co");
+    for value in 0..8u64 {
+        let (av, bv, cv) = (value & 1, (value >> 1) & 1, (value >> 2) & 1);
+        sim.set_u64("a", av)?;
+        sim.set_u64("b", bv)?;
+        sim.set_u64("ci", cv)?;
+        let sum = sim.peek("s")?.to_u64().expect("driven");
+        let carry = sim.peek("co")?.to_u64().expect("driven");
+        println!("{av} {bv} {cv}  | {sum} {carry}");
+        assert_eq!(sum + 2 * carry, av + bv + cv);
+    }
+
+    // Netlist (the applet's Netlist button).
+    let edif = edif_string(&circuit)?;
+    println!("\nEDIF netlist ({} bytes), first lines:", edif.len());
+    for line in edif.lines().take(8) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! End-to-end integration: the full vendor→browser→evaluation→delivery
+//! pipeline of the paper, across crates.
+
+use ipd::core::{
+    AppletHost, AppletServer, AppletSession, Capability, CapabilitySet, CoreError,
+    IpExecutable,
+};
+use ipd::modgen::KcmMultiplier;
+use ipd::netlist::{NetlistFormat, SExpr};
+
+fn paper_kcm() -> Box<KcmMultiplier> {
+    Box::new(KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true))
+}
+
+#[test]
+fn figure3_full_session() {
+    let mut server = AppletServer::new("byu", b"k".to_vec());
+    server.enroll("acme", "virtex-kcm", CapabilitySet::licensed(), 0, 100);
+    let exe = server.serve("acme", 1).expect("served");
+    let mut host = AppletHost::new();
+    assert!(host.load(&exe) > 0);
+
+    let mut session = AppletSession::new(&exe, &host, paper_kcm());
+    session.build().expect("build button");
+
+    // Estimates panel.
+    let area = session.estimate_area().expect("area");
+    assert!(area.total.luts >= 20, "KCM uses partial-product LUTs");
+    let timing = session.estimate_timing().expect("timing");
+    assert!(timing.fmax_mhz > 10.0 && timing.fmax_mhz < 1000.0);
+
+    // Structure panel.
+    let schematic = session.schematic().expect("schematic");
+    assert!(schematic.contains("port multiplicand"));
+    let hierarchy = session.hierarchy().expect("hierarchy");
+    assert!(hierarchy.contains("add_w"), "adder children visible");
+    let layout = session.layout().expect("layout");
+    assert!(layout.contains("layout: rows"));
+
+    // Simulation panel: cycle and reset.
+    session.record("product").expect("record");
+    session.set_i64("multiplicand", -56).expect("set");
+    session.cycle(2).expect("latency cycles");
+    let product = session.peek("product").expect("peek");
+    // (-56 × -56) = 3136; full width 14, 12-bit product = >> 2 = 784.
+    assert_eq!(product.to_i64(), Some(784));
+    session.reset().expect("reset button");
+    let waves = session.waveforms().expect("waveform viewer");
+    assert!(waves.contains("product"));
+
+    // Netlist button: EDIF that reparses.
+    let edif = session.netlist(NetlistFormat::Edif).expect("netlist");
+    let tree = SExpr::parse(&edif).expect("generated EDIF reparses");
+    assert_eq!(tree.head(), Some("edif"));
+    // Every netlist format generates.
+    for format in NetlistFormat::all() {
+        assert!(!session.netlist(format).expect("format").is_empty());
+    }
+}
+
+#[test]
+fn capability_matrix_is_enforced() {
+    let host = AppletHost::new();
+    struct Case {
+        caps: CapabilitySet,
+        schematic: bool,
+        simulate: bool,
+        netlist: bool,
+        layout: bool,
+    }
+    let cases = [
+        Case {
+            caps: CapabilitySet::passive(),
+            schematic: false,
+            simulate: false,
+            netlist: false,
+            layout: false,
+        },
+        Case {
+            caps: CapabilitySet::evaluation(),
+            schematic: true,
+            simulate: true,
+            netlist: false,
+            layout: true,
+        },
+        Case {
+            caps: CapabilitySet::licensed(),
+            schematic: true,
+            simulate: true,
+            netlist: true,
+            layout: true,
+        },
+        Case {
+            caps: CapabilitySet::black_box(),
+            schematic: false,
+            simulate: true,
+            netlist: false,
+            layout: false,
+        },
+    ];
+    for case in cases {
+        let exe = IpExecutable::new("kcm", "byu", case.caps);
+        let mut session = AppletSession::new(&exe, &host, paper_kcm());
+        session.build().expect("configure is granted in all cases");
+        assert_eq!(session.schematic().is_ok(), case.schematic, "{}", case.caps);
+        assert_eq!(session.layout().is_ok(), case.layout, "{}", case.caps);
+        assert_eq!(
+            session.set_i64("multiplicand", 1).is_ok(),
+            case.simulate,
+            "{}",
+            case.caps
+        );
+        assert_eq!(
+            session.netlist(NetlistFormat::Edif).is_ok(),
+            case.netlist,
+            "{}",
+            case.caps
+        );
+    }
+}
+
+#[test]
+fn denied_operations_never_leak_data() {
+    let exe = IpExecutable::new("kcm", "byu", CapabilitySet::passive());
+    let host = AppletHost::new();
+    let mut session = AppletSession::new(&exe, &host, paper_kcm());
+    session.build().unwrap();
+    // The error type carries no circuit content.
+    match session.netlist(NetlistFormat::Edif) {
+        Err(CoreError::CapabilityDenied { capability }) => {
+            assert_eq!(capability, Capability::Netlist);
+        }
+        other => panic!("expected denial, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_upgrade_changes_served_applet() {
+    let mut server = AppletServer::new("byu", b"k".to_vec());
+    server.enroll("acme", "kcm", CapabilitySet::passive(), 0, 100);
+    let before = server.serve("acme", 1).unwrap();
+    // The customer buys a license; the server-side profile changes and
+    // the *same URL* now serves a richer applet (the paper's central
+    // deployment advantage).
+    server.enroll("acme", "kcm", CapabilitySet::licensed(), 0, 100);
+    let after = server.serve("acme", 2).unwrap();
+    assert!(after.capabilities().is_superset_of(&before.capabilities()));
+    assert!(after.download_size() > before.download_size());
+    assert_eq!(server.access_count("acme"), 2);
+}
+
+#[test]
+fn applet_reconfiguration_rebuilds() {
+    // The "programmatic circuit generator interface": the customer
+    // tries several parameter sets in one applet visit.
+    let exe = IpExecutable::new("kcm", "byu", CapabilitySet::evaluation());
+    let host = AppletHost::new();
+    for (constant, width) in [(3i64, 4u32), (-77, 8), (1023, 10)] {
+        let full = KcmMultiplier::new(constant, width, 1)
+            .signed(true)
+            .full_product_width();
+        let kcm = KcmMultiplier::new(constant, width, full).signed(true);
+        let mut session = AppletSession::new(&exe, &host, Box::new(kcm));
+        session.build().expect("build");
+        let x = if width >= 3 { -3 } else { -1 };
+        session.set_i64("multiplicand", x).unwrap();
+        assert_eq!(
+            session.peek("product").unwrap().to_i64(),
+            Some(constant * x),
+            "constant {constant} width {width}"
+        );
+    }
+}

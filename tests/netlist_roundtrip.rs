@@ -1,0 +1,123 @@
+//! Netlist generation across the whole module-generator zoo: every
+//! generator's EDIF reparses, and VHDL/Verilog output is structurally
+//! sane.
+
+use ipd::hdl::{Circuit, Generator};
+use ipd::modgen::{
+    Accumulator, AddSub, ArrayMultiplier, BusMux, CompareOp, Comparator, CountDirection,
+    Counter, Decoder, FirFilter, KcmMultiplier, ParityTree, Register, RippleAdder, Rom,
+    ShiftRegister, Subtractor,
+};
+use ipd::netlist::{edif_string, verilog_string, vhdl_string, SExpr};
+
+fn zoo() -> Vec<Box<dyn Generator>> {
+    vec![
+        Box::new(RippleAdder::new(8).with_cin().with_cout()),
+        Box::new(Subtractor::new(6).with_cout()),
+        Box::new(AddSub::new(5)),
+        Box::new(Accumulator::new(8)),
+        Box::new(Comparator::new(8, CompareOp::Lt)),
+        Box::new(Counter::new(8, CountDirection::Up).loadable()),
+        Box::new(Register::new(8).with_ce().with_clr()),
+        Box::new(ShiftRegister::new(4, 20)),
+        Box::new(Decoder::new(3)),
+        Box::new(ParityTree::new(9)),
+        Box::new(BusMux::new(8)),
+        Box::new(Rom::new(6, 8, (0..64).map(|i| i * 3 % 256).collect()).expect("rom")),
+        Box::new(KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true)),
+        Box::new(ArrayMultiplier::new(6, 6)),
+        Box::new(FirFilter::new(vec![1, -2, 3], 6).expect("fir")),
+    ]
+}
+
+#[test]
+fn every_generator_produces_reparsable_edif() {
+    for generator in zoo() {
+        let circuit = Circuit::from_generator(generator.as_ref())
+            .unwrap_or_else(|e| panic!("{}: {e}", generator.type_name()));
+        let edif = edif_string(&circuit).expect("edif");
+        let tree = SExpr::parse(&edif)
+            .unwrap_or_else(|e| panic!("{}: {e}", generator.type_name()));
+        assert_eq!(tree.head(), Some("edif"), "{}", generator.type_name());
+        // The design section references the root definition.
+        assert_eq!(tree.find_all("design").len(), 1);
+        // Flat primitive count matches instances across all work cells.
+        let flat = ipd::hdl::FlatNetlist::build(&circuit).expect("flatten");
+        let composite_instances = circuit
+            .cell_ids()
+            .filter(|&id| {
+                circuit.cell(id).kind().is_composite() && circuit.cell(id).parent().is_some()
+            })
+            .count();
+        assert_eq!(
+            tree.find_all("instance").len(),
+            flat.leaves().len() + composite_instances,
+            "{}",
+            generator.type_name()
+        );
+    }
+}
+
+#[test]
+fn every_generator_produces_vhdl_and_verilog() {
+    for generator in zoo() {
+        let circuit = Circuit::from_generator(generator.as_ref()).expect("build");
+        let name = generator.type_name();
+        let vhdl = vhdl_string(&circuit).expect("vhdl");
+        assert!(vhdl.contains("entity"), "{name}");
+        assert!(vhdl.contains("architecture structural"), "{name}");
+        assert!(vhdl.contains("port map"), "{name}");
+        let verilog = verilog_string(&circuit).expect("verilog");
+        assert!(verilog.contains("module"), "{name}");
+        assert!(verilog.contains("endmodule"), "{name}");
+        // Balanced parens in VHDL port maps (cheap syntax sanity).
+        assert_eq!(
+            vhdl.matches('(').count(),
+            vhdl.matches(')').count(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn every_generator_passes_design_rules() {
+    for generator in zoo() {
+        let circuit = Circuit::from_generator(generator.as_ref()).expect("build");
+        let report = ipd::hdl::validate(&circuit).expect("validate");
+        assert!(
+            report.is_clean(),
+            "{}: {report}",
+            generator.type_name()
+        );
+    }
+}
+
+#[test]
+fn every_generator_estimates() {
+    for generator in zoo() {
+        let circuit = Circuit::from_generator(generator.as_ref()).expect("build");
+        let area = ipd::estimate::estimate_area(&circuit).expect("area");
+        assert!(
+            area.total.luts + area.total.ffs + area.total.carries > 0,
+            "{} has no resources?",
+            generator.type_name()
+        );
+        let timing = ipd::estimate::estimate_timing(&circuit).expect("timing");
+        assert!(timing.critical_path_ns > 0.0, "{}", generator.type_name());
+    }
+}
+
+#[test]
+fn every_generator_renders_views() {
+    for generator in zoo() {
+        let circuit = Circuit::from_generator(generator.as_ref()).expect("build");
+        let name = generator.type_name();
+        assert!(!ipd::viewer::hierarchy_tree(&circuit).is_empty(), "{name}");
+        assert!(
+            !ipd::viewer::schematic_text(&circuit, circuit.root()).is_empty(),
+            "{name}"
+        );
+        let svg = ipd::viewer::schematic_svg(&circuit, circuit.root());
+        assert!(svg.starts_with("<svg"), "{name}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use ipd::core::{CapabilitySet, LicenseAuthority};
+use ipd::hdl::{Circuit, FlatNetlist};
+use ipd::modgen::{ArrayMultiplier, KcmMultiplier, RippleAdder};
+use ipd::netlist::{Dialect, NameTable, SExpr};
+use ipd::pack::{compress, crc32, decompress};
+use ipd::sim::Simulator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The KCM computes `constant × input` for arbitrary constants,
+    /// widths and signs (full product width, so no truncation).
+    #[test]
+    fn kcm_multiplies_correctly(
+        constant in -6000i64..6000,
+        width in 2u32..11,
+        x_seed in any::<u64>(),
+        signed in any::<bool>(),
+    ) {
+        let constant = if signed { constant } else { constant.abs() };
+        let probe = KcmMultiplier::new(constant, width, 1).signed(signed);
+        let full = probe.full_product_width();
+        let kcm = KcmMultiplier::new(constant, width, full).signed(signed);
+        let circuit = Circuit::from_generator(&kcm).expect("build");
+        let mut sim = Simulator::new(&circuit).expect("compile");
+        let x = if signed {
+            let span = 1i64 << width;
+            ((x_seed % span as u64) as i64) - (span / 2)
+        } else {
+            (x_seed % (1u64 << width)) as i64
+        };
+        if signed {
+            sim.set_i64("multiplicand", x).expect("set");
+        } else {
+            sim.set_u64("multiplicand", x as u64).expect("set");
+        }
+        let product = sim.peek("product").expect("peek");
+        let got = if constant * x < 0 {
+            product.to_i64().expect("driven")
+        } else {
+            product.to_u64().expect("driven") as i64
+        };
+        prop_assert_eq!(got, constant * x);
+    }
+
+    /// Pipelined and combinational KCMs agree modulo latency.
+    #[test]
+    fn kcm_pipelining_is_transparent(
+        constant in 1i64..2000,
+        width in 2u32..10,
+        x_seed in any::<u64>(),
+    ) {
+        let full = KcmMultiplier::new(constant, width, 1).full_product_width();
+        let comb = KcmMultiplier::new(constant, width, full);
+        let pipe = KcmMultiplier::new(constant, width, full).pipelined(true);
+        let c1 = Circuit::from_generator(&comb).expect("comb");
+        let c2 = Circuit::from_generator(&pipe).expect("pipe");
+        let mut s1 = Simulator::new(&c1).expect("compile");
+        let mut s2 = Simulator::new(&c2).expect("compile");
+        let x = x_seed % (1u64 << width);
+        s1.set_u64("multiplicand", x).expect("set");
+        s2.set_u64("multiplicand", x).expect("set");
+        s2.cycle(u64::from(pipe.latency())).expect("cycle");
+        prop_assert_eq!(s1.peek("product").expect("p1"), s2.peek("product").expect("p2"));
+    }
+
+    /// The ripple adder is a wrapping adder with carry out.
+    #[test]
+    fn adder_is_addition(width in 1u32..17, a in any::<u64>(), b in any::<u64>()) {
+        let circuit = Circuit::from_generator(
+            &RippleAdder::new(width).with_cout(),
+        ).expect("build");
+        let mut sim = Simulator::new(&circuit).expect("compile");
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        sim.set_u64("a", a).expect("set");
+        sim.set_u64("b", b).expect("set");
+        let s = sim.peek("s").expect("s").to_u64().expect("driven");
+        let co = sim.peek("cout").expect("cout").to_u64().expect("driven");
+        prop_assert_eq!(s, (a + b) & mask);
+        prop_assert_eq!(co, (a + b) >> width);
+    }
+
+    /// The array multiplier multiplies.
+    #[test]
+    fn array_multiplier_multiplies(
+        aw in 1u32..8, bw in 1u32..8, a in any::<u64>(), b in any::<u64>(),
+    ) {
+        let circuit = Circuit::from_generator(&ArrayMultiplier::new(aw, bw)).expect("build");
+        let mut sim = Simulator::new(&circuit).expect("compile");
+        let (a, b) = (a & ((1 << aw) - 1), b & ((1 << bw) - 1));
+        sim.set_u64("a", a).expect("set");
+        sim.set_u64("b", b).expect("set");
+        prop_assert_eq!(sim.peek("p").expect("p").to_u64(), Some(a * b));
+    }
+
+    /// LZSS round-trips arbitrary bytes.
+    #[test]
+    fn lzss_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).expect("decompress"), data);
+    }
+
+    /// CRC-32 detects any single-bit corruption.
+    #[test]
+    fn crc_detects_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let reference = crc32(&data);
+        let mut corrupted = data.clone();
+        let idx = byte_idx.index(corrupted.len());
+        corrupted[idx] ^= 1 << bit;
+        prop_assert_ne!(crc32(&corrupted), reference);
+    }
+
+    /// Identifier legalization is injective per table, for every
+    /// dialect.
+    #[test]
+    fn name_legalization_injective(
+        names in proptest::collection::hash_set("[ -~]{0,24}", 1..40),
+    ) {
+        for dialect in [Dialect::Edif, Dialect::Vhdl, Dialect::Verilog] {
+            let mut table = NameTable::new(dialect);
+            let mut legal = std::collections::HashSet::new();
+            for name in &names {
+                let l = table.legalize(name).to_owned();
+                prop_assert!(legal.insert(l.clone()), "collision on {l} ({dialect:?})");
+            }
+        }
+    }
+
+    /// Licenses reject any tampering with the capability bits.
+    #[test]
+    fn license_tampering_detected(day in 0u32..1000, cap_bits in any::<u16>()) {
+        let authority = LicenseAuthority::new(b"prop-key".to_vec());
+        let caps = CapabilitySet::from_bits(cap_bits);
+        let license = authority.issue("acme", "ip", caps, day, day + 30);
+        prop_assert!(authority.verify(&license, day).is_ok());
+        // Any *other* capability set under the same signature must fail:
+        // re-issue with different caps and splice signatures.
+        let other_caps = if caps == CapabilitySet::licensed() {
+            CapabilitySet::passive()
+        } else {
+            CapabilitySet::licensed()
+        };
+        let other = authority.issue("acme", "ip", other_caps, day, day + 30);
+        prop_assert_ne!(license.signature_hex(), other.signature_hex());
+    }
+
+    /// Flattening preserves the primitive multiset and EDIF output
+    /// reparses, across random adder/multiplier shapes.
+    #[test]
+    fn flatten_and_edif_invariants(width in 1u32..12) {
+        let circuit = Circuit::from_generator(
+            &RippleAdder::new(width).with_cin().with_cout(),
+        ).expect("build");
+        let flat = FlatNetlist::build(&circuit).expect("flatten");
+        prop_assert_eq!(flat.leaves().len(), circuit.primitive_count());
+        let edif = ipd::netlist::edif_string(&circuit).expect("edif");
+        let tree = SExpr::parse(&edif).expect("reparse");
+        // Instance count in the (single-level) work cell equals
+        // primitive count.
+        prop_assert_eq!(tree.find_all("instance").len(), circuit.primitive_count());
+    }
+
+    /// Obfuscation preserves simulation behaviour on random KCMs.
+    #[test]
+    fn obfuscation_preserves_function(constant in -300i64..300, x_seed in any::<u64>()) {
+        let probe = KcmMultiplier::new(constant, 6, 1).signed(true);
+        let kcm = KcmMultiplier::new(constant, 6, probe.full_product_width()).signed(true);
+        let clear = Circuit::from_generator(&kcm).expect("build");
+        let hidden = ipd::core::obfuscate(&clear).expect("obfuscate");
+        let mut s1 = Simulator::new(&clear).expect("compile clear");
+        let mut s2 = Simulator::new(&hidden).expect("compile hidden");
+        let x = ((x_seed % 64) as i64) - 32;
+        s1.set_i64("multiplicand", x).expect("set");
+        s2.set_i64("multiplicand", x).expect("set");
+        prop_assert_eq!(
+            s1.peek("product").expect("clear"),
+            s2.peek("product").expect("hidden")
+        );
+    }
+}

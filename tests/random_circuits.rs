@@ -1,0 +1,191 @@
+//! Differential testing on randomly generated combinational circuits:
+//! the hardware simulator must agree with a direct software evaluation
+//! of the same gate DAG, before and after obfuscation, and the
+//! netlisters must stay well-formed on arbitrary structure.
+
+use proptest::prelude::*;
+
+use ipd::hdl::{CellCtx, Circuit, PortSpec, Signal, WireId};
+use ipd::sim::Simulator;
+use ipd::techlib::LogicCtx;
+
+/// One random gate in the DAG; sources index previously created
+/// signals.
+#[derive(Debug, Clone)]
+enum Op {
+    Inv(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+    Lut2(u16, usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<prop::sample::Index>().prop_map(|a| Op::Inv(a.index(usize::MAX))),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(a, b)| Op::And(a.index(usize::MAX), b.index(usize::MAX))),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(a, b)| Op::Or(a.index(usize::MAX), b.index(usize::MAX))),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(a, b)| Op::Xor(a.index(usize::MAX), b.index(usize::MAX))),
+        (
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>()
+        )
+            .prop_map(|(a, b, s)| Op::Mux(
+                a.index(usize::MAX),
+                b.index(usize::MAX),
+                s.index(usize::MAX)
+            )),
+        (any::<u16>(), any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(init, a, b)| Op::Lut2(
+                init & 0xF,
+                a.index(usize::MAX),
+                b.index(usize::MAX)
+            )),
+    ]
+}
+
+/// Builds the circuit for a DAG over `inputs` primary bits, returning
+/// the signal pool size.
+fn build(
+    ctx: &mut CellCtx<'_>,
+    input_wire: WireId,
+    inputs: usize,
+    ops: &[Op],
+    out_wire: WireId,
+) -> ipd::hdl::Result<usize> {
+    let mut pool: Vec<Signal> = (0..inputs)
+        .map(|b| Signal::bit_of(input_wire, b as u32))
+        .collect();
+    for (k, op) in ops.iter().enumerate() {
+        let pick = |i: usize| pool[i % pool.len()].clone();
+        let out = ctx.wire(&format!("g{k}"), 1);
+        match op {
+            Op::Inv(a) => ctx.inv(pick(*a), out)?,
+            Op::And(a, b) => ctx.and2(pick(*a), pick(*b), out)?,
+            Op::Or(a, b) => ctx.or2(pick(*a), pick(*b), out)?,
+            Op::Xor(a, b) => ctx.xor2(pick(*a), pick(*b), out)?,
+            Op::Mux(a, b, s) => ctx.mux2(pick(*a), pick(*b), pick(*s), out)?,
+            Op::Lut2(init, a, b) => ctx.lut(*init, &[pick(*a), pick(*b)], out)?,
+        };
+        pool.push(out.into());
+    }
+    // The last signal drives the output.
+    let last = pool.last().expect("non-empty pool").clone();
+    ctx.buffer(last, out_wire)?;
+    Ok(pool.len())
+}
+
+/// Software oracle for the same DAG.
+fn oracle(inputs: &[bool], ops: &[Op]) -> bool {
+    let mut pool: Vec<bool> = inputs.to_vec();
+    for op in ops {
+        let pick = |i: usize| pool[i % pool.len()];
+        let v = match op {
+            Op::Inv(a) => !pick(*a),
+            Op::And(a, b) => pick(*a) & pick(*b),
+            Op::Or(a, b) => pick(*a) | pick(*b),
+            Op::Xor(a, b) => pick(*a) ^ pick(*b),
+            Op::Mux(a, b, s) => {
+                if pick(*s) {
+                    pick(*b)
+                } else {
+                    pick(*a)
+                }
+            }
+            Op::Lut2(init, a, b) => {
+                let idx = usize::from(pick(*a)) | (usize::from(pick(*b)) << 1);
+                (init >> idx) & 1 == 1
+            }
+        };
+        pool.push(v);
+    }
+    *pool.last().expect("non-empty")
+}
+
+fn random_circuit(inputs: usize, ops: &[Op]) -> Circuit {
+    let mut circuit = Circuit::new("random_dag");
+    let mut ctx = circuit.root_ctx();
+    let a = ctx
+        .add_port(PortSpec::input("a", inputs as u32))
+        .expect("port");
+    let y = ctx.add_port(PortSpec::output("y", 1)).expect("port");
+    build(&mut ctx, a, inputs, ops, y).expect("build");
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn simulator_matches_software_oracle(
+        inputs in 1usize..8,
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        stimulus in any::<u64>(),
+    ) {
+        let circuit = random_circuit(inputs, &ops);
+        let mut sim = Simulator::new(&circuit).expect("compile");
+        prop_assert!(sim.is_levelized(), "random DAGs are acyclic");
+        // Try several input patterns per circuit.
+        for round in 0..4u64 {
+            let pattern = stimulus.rotate_left((round * 13) as u32) & ((1 << inputs) - 1);
+            sim.set_u64("a", pattern).expect("set");
+            let got = sim.peek("y").expect("peek").to_u64().expect("driven");
+            let bits: Vec<bool> = (0..inputs).map(|b| (pattern >> b) & 1 == 1).collect();
+            prop_assert_eq!(got == 1, oracle(&bits, &ops), "pattern {:#x}", pattern);
+        }
+    }
+
+    #[test]
+    fn obfuscation_equivalence_on_random_dags(
+        inputs in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        stimulus in any::<u64>(),
+    ) {
+        let clear = random_circuit(inputs, &ops);
+        let hidden = ipd::core::obfuscate(&clear).expect("obfuscate");
+        let mut s1 = Simulator::new(&clear).expect("clear");
+        let mut s2 = Simulator::new(&hidden).expect("hidden");
+        let pattern = stimulus & ((1 << inputs) - 1);
+        s1.set_u64("a", pattern).expect("set");
+        s2.set_u64("a", pattern).expect("set");
+        prop_assert_eq!(s1.peek("y").expect("p1"), s2.peek("y").expect("p2"));
+    }
+
+    #[test]
+    fn netlists_stay_well_formed_on_random_dags(
+        inputs in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let circuit = random_circuit(inputs, &ops);
+        let edif = ipd::netlist::edif_string(&circuit).expect("edif");
+        let tree = ipd::netlist::SExpr::parse(&edif).expect("reparse");
+        prop_assert_eq!(tree.head(), Some("edif"));
+        let vhdl = ipd::netlist::vhdl_string(&circuit).expect("vhdl");
+        prop_assert_eq!(vhdl.matches('(').count(), vhdl.matches(')').count());
+        let verilog = ipd::netlist::verilog_string(&circuit).expect("verilog");
+        prop_assert!(verilog.ends_with("endmodule\n"));
+        // Design rules hold: generated DAGs are single-driver by
+        // construction.
+        let report = ipd::hdl::validate(&circuit).expect("validate");
+        prop_assert!(report.is_clean(), "{}", report);
+    }
+
+    #[test]
+    fn area_timing_estimates_are_sane_on_random_dags(
+        inputs in 1usize..6,
+        ops in proptest::collection::vec(op_strategy(), 1..32),
+    ) {
+        let circuit = random_circuit(inputs, &ops);
+        let area = ipd::estimate::estimate_area(&circuit).expect("area");
+        // Buffers and constants are free; everything else costs a LUT.
+        prop_assert!(u64::from(area.total.luts) <= ops.len() as u64);
+        let timing = ipd::estimate::estimate_timing(&circuit).expect("timing");
+        prop_assert!(timing.critical_path_ns >= 0.0);
+        prop_assert!(timing.levels <= ops.len());
+    }
+}
