@@ -4,11 +4,10 @@
 //! loading them into a fresh applet host, printing the configuration
 //! comparison once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_bench::harness::{black_box, Harness};
 use ipd_core::{AppletHost, CapabilitySet, IpExecutable};
-use std::hint::black_box;
 
-fn bench_fig2(c: &mut Criterion) {
+fn main() {
     let passive = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::passive());
     let licensed = IpExecutable::new("virtex-kcm", "byu", CapabilitySet::licensed());
     println!("\n=== Figure 2 reproduction: two executable configurations ===");
@@ -22,6 +21,7 @@ fn bench_fig2(c: &mut Criterion) {
         licensed.download_size().div_ceil(1024),
     );
 
+    let mut c = Harness::new();
     let mut group = c.benchmark_group("fig2");
     group.bench_function("assemble_passive_executable", |b| {
         b.iter(|| {
@@ -44,6 +44,3 @@ fn bench_fig2(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

@@ -2,14 +2,14 @@
 //! simulate, netlist. Benchmarks each button of the KCM applet, since
 //! in-browser responsiveness is the paper's usability argument.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_bench::harness::{black_box, Harness};
 use ipd_bench::{paper_kcm, paper_kcm_circuit};
 use ipd_core::{AppletHost, AppletSession, CapabilitySet, IpExecutable};
 use ipd_hdl::Circuit;
 use ipd_netlist::NetlistFormat;
-use std::hint::black_box;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new();
     let mut group = c.benchmark_group("fig3_applet");
 
     group.bench_function("build_button", |b| {
@@ -49,6 +49,3 @@ fn bench_fig3(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

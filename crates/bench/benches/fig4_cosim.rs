@@ -7,16 +7,15 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_bench::harness::{black_box, Harness};
 use ipd_bench::{fig4_rtts, fig4_scenario, paper_kcm_circuit};
 use ipd_cosim::{
     measure_local_event_cost, Approach, BlackBoxClient, BlackBoxServer, InProcTransport,
     LocalSimModel, SimModel,
 };
 use ipd_hdl::LogicVec;
-use std::hint::black_box;
 
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
     let circuit = paper_kcm_circuit();
 
     // Print the modeled sweep once.
@@ -38,13 +37,16 @@ fn bench_fig4(c: &mut Criterion) {
         );
     }
 
+    let mut c = Harness::new();
     let mut group = c.benchmark_group("fig4_cosim");
     group.bench_function("local_simulator_event", |b| {
         let mut model = LocalSimModel::new(&circuit).expect("model");
         let mut x = 0u64;
         b.iter(|| {
             x = (x + 1) & 0xFF;
-            model.set("multiplicand", LogicVec::from_u64(x, 8)).expect("set");
+            model
+                .set("multiplicand", LogicVec::from_u64(x, 8))
+                .expect("set");
             model.cycle(1).expect("cycle");
             black_box(model.get("product").expect("get"))
         })
@@ -55,7 +57,9 @@ fn bench_fig4(c: &mut Criterion) {
         let mut x = 0u64;
         b.iter(|| {
             x = (x + 1) & 0xFF;
-            client.set("multiplicand", LogicVec::from_u64(x, 8)).expect("set");
+            client
+                .set("multiplicand", LogicVec::from_u64(x, 8))
+                .expect("set");
             client.cycle(1).expect("cycle");
             black_box(client.get("product").expect("get"))
         })
@@ -70,7 +74,9 @@ fn bench_fig4(c: &mut Criterion) {
         let mut x = 0u64;
         b.iter(|| {
             x = (x + 1) & 0xFF;
-            client.set("multiplicand", LogicVec::from_u64(x, 8)).expect("set");
+            client
+                .set("multiplicand", LogicVec::from_u64(x, 8))
+                .expect("set");
             client.cycle(1).expect("cycle");
             black_box(client.get("product").expect("get"))
         })
@@ -86,7 +92,8 @@ fn bench_fig4(c: &mut Criterion) {
     ));
     let start = std::time::Instant::now();
     for i in 0..20u64 {
-        slow.set("multiplicand", LogicVec::from_u64(i & 0xFF, 8)).expect("set");
+        slow.set("multiplicand", LogicVec::from_u64(i & 0xFF, 8))
+            .expect("set");
         slow.cycle(1).expect("cycle");
         let _ = slow.get("product").expect("get");
     }
@@ -97,6 +104,3 @@ fn bench_fig4(c: &mut Criterion) {
         local_cost * 60
     );
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

@@ -7,25 +7,20 @@
 //! Benchmarks generator elaboration time and prints the area/timing
 //! comparison table once (also available via `repro --kcm`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipd_bench::harness::{black_box, Harness};
 use ipd_bench::{baseline_multiplier, full_width_kcm, kcm_quality_widths, quality_constant};
 use ipd_estimate::{estimate_area, estimate_timing};
 use ipd_hdl::Circuit;
-use std::hint::black_box;
 
-fn bench_kcm_quality(c: &mut Criterion) {
+fn main() {
     println!("\n=== KCM vs array multiplier (shape target: ~2x area advantage) ===");
     println!(
         "{:>5} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
         "width", "kcm LUTs", "mult LUTs", "ratio", "kcm ns", "mult ns", "ratio"
     );
     for width in kcm_quality_widths() {
-        let kcm = Circuit::from_generator(&full_width_kcm(
-            quality_constant(width),
-            width,
-            false,
-        ))
-        .expect("kcm");
+        let kcm = Circuit::from_generator(&full_width_kcm(quality_constant(width), width, false))
+            .expect("kcm");
         let mult = Circuit::from_generator(&baseline_multiplier(width)).expect("mult");
         let (ka, ma) = (
             estimate_area(&kcm).expect("kcm area"),
@@ -48,22 +43,22 @@ fn bench_kcm_quality(c: &mut Criterion) {
         );
     }
 
+    let mut c = Harness::new();
     let mut group = c.benchmark_group("kcm_quality_elaboration");
     for width in [8u32, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("kcm", width), &width, |b, &w| {
+        group.bench_function(format!("kcm/{width}"), |b| {
             b.iter(|| {
                 black_box(
-                    Circuit::from_generator(&full_width_kcm(quality_constant(w), w, false))
+                    Circuit::from_generator(&full_width_kcm(quality_constant(width), width, false))
                         .expect("kcm"),
                 )
             })
         });
-        group.bench_with_input(BenchmarkId::new("array_mult", width), &width, |b, &w| {
-            b.iter(|| black_box(Circuit::from_generator(&baseline_multiplier(w)).expect("mult")))
+        group.bench_function(format!("array_mult/{width}"), |b| {
+            b.iter(|| {
+                black_box(Circuit::from_generator(&baseline_multiplier(width)).expect("mult"))
+            })
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_kcm_quality);
-criterion_main!(benches);

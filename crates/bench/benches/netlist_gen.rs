@@ -1,32 +1,24 @@
 //! X3 — netlister throughput: generating EDIF/VHDL/Verilog text at the
 //! sizes an applet displays in its netlist window.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ipd_bench::full_width_kcm;
+use ipd_bench::harness::{black_box, Harness, Throughput};
 use ipd_hdl::Circuit;
 use ipd_netlist::NetlistFormat;
-use std::hint::black_box;
 
-fn bench_netlist(c: &mut Criterion) {
+fn main() {
+    let mut c = Harness::new();
     let mut group = c.benchmark_group("netlist_gen");
     for width in [8u32, 16, 32] {
-        let circuit =
-            Circuit::from_generator(&full_width_kcm(-12345, width, true)).expect("kcm");
+        let circuit = Circuit::from_generator(&full_width_kcm(-12345, width, true)).expect("kcm");
         let prims = circuit.primitive_count();
         for format in NetlistFormat::all() {
             let bytes = format.generate(&circuit).expect("generate").len();
             group.throughput(Throughput::Bytes(bytes as u64));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{format}"), format!("w{width}_{prims}prims")),
-                &circuit,
-                |b, circuit| {
-                    b.iter(|| black_box(format.generate(circuit).expect("generate")))
-                },
-            );
+            group.bench_function(format!("{format}/w{width}_{prims}prims"), |b| {
+                b.iter(|| black_box(format.generate(&circuit).expect("generate")))
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_netlist);
-criterion_main!(benches);

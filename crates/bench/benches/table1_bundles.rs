@@ -4,16 +4,16 @@
 //! reproduced size table once. Run `repro --table1` for the standalone
 //! table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ipd_bench::harness::{black_box, Harness};
 use ipd_pack::BundleSet;
-use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     // Print the reproduced table once, alongside the paper's numbers.
     let set = BundleSet::jhdl_applet_set();
     println!("\n=== Table 1 reproduction (paper: 346/293/140/16 kB, total 795 kB) ===");
     println!("{set}");
 
+    let mut c = Harness::new();
     let mut group = c.benchmark_group("table1");
     group.bench_function("build_applet_bundle_set", |b| {
         b.iter(|| black_box(BundleSet::jhdl_applet_set()))
@@ -36,6 +36,3 @@ fn bench_table1(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -13,13 +13,13 @@
 use std::time::{Duration, Instant};
 
 use ipd_bench::{
-    baseline_multiplier, fig4_rtts, fig4_scenario, full_width_kcm, kcm_quality_widths,
-    paper_kcm, paper_kcm_circuit, quality_constant,
+    baseline_multiplier, fig4_rtts, fig4_scenario, full_width_kcm, kcm_quality_widths, paper_kcm,
+    paper_kcm_circuit, quality_constant,
 };
 use ipd_core::{AppletHost, AppletServer, AppletSession, CapabilitySet, IpExecutable};
 use ipd_cosim::{
-    measure_local_event_cost, Approach, BlackBoxClient, BlackBoxServer,
-    LatencyTransport, LocalSimModel, SimModel,
+    measure_local_event_cost, Approach, BlackBoxClient, BlackBoxServer, LatencyTransport,
+    LocalSimModel, SimModel,
 };
 use ipd_estimate::{estimate_area, estimate_timing};
 use ipd_hdl::Circuit;
@@ -88,9 +88,17 @@ fn fig1() {
     let kcm = paper_kcm();
     println!("  Constant Value : {}", kcm.constant());
     println!("  Input Width    : {} bits", kcm.input_width());
-    println!("  Output Width   : {} bits (top bits of {})", kcm.product_width(), kcm.full_product_width());
+    println!(
+        "  Output Width   : {} bits (top bits of {})",
+        kcm.product_width(),
+        kcm.full_product_width()
+    );
     println!("  Signed         : {}", kcm.is_signed());
-    println!("  Pipelined      : {} (latency {} cycles)", kcm.is_pipelined(), kcm.latency());
+    println!(
+        "  Pipelined      : {} (latency {} cycles)",
+        kcm.is_pipelined(),
+        kcm.latency()
+    );
     let circuit = paper_kcm_circuit();
     println!("\n  [Build] pressed:");
     print!("{}", estimate_area(&circuit).expect("area"));
@@ -123,7 +131,11 @@ fn fig3() {
     let exe = server.serve("customer", 1).expect("serve");
     let mut host = AppletHost::new();
     let downloaded = host.load(&exe);
-    println!("downloaded {} kB: {:?}", downloaded.div_ceil(1024), host.cached());
+    println!(
+        "downloaded {} kB: {:?}",
+        downloaded.div_ceil(1024),
+        host.cached()
+    );
     let kcm = paper_kcm();
     let latency = kcm.latency();
     let mut session = AppletSession::new(&exe, &host, Box::new(kcm));
@@ -141,7 +153,10 @@ fn fig3() {
         println!("  multiplicand {x:>5} -> product {:>6?}", p.to_i64());
     }
     let edif = session.netlist(NetlistFormat::Edif).expect("[Netlist]");
-    println!("\n[Netlist] -> {} bytes of EDIF (scrollable window)", edif.len());
+    println!(
+        "\n[Netlist] -> {} bytes of EDIF (scrollable window)",
+        edif.len()
+    );
     for line in edif.lines().take(4) {
         println!("  {line}");
     }
@@ -203,11 +218,13 @@ fn fig4_measured() {
         let addr = server.addr();
         let _thread = server.spawn(LocalSimModel::new(&circuit).expect("model"));
         let tcp = ipd_cosim::TcpTransport::connect(addr).expect("connect");
-        let mut remote = BlackBoxClient::over(LatencyTransport::new(
-            tcp,
-            Duration::from_millis(rtt_ms),
-        ));
-        let remote_cycles = if rtt_ms == 0 { 300u64 } else { 60 / rtt_ms.max(1) + 10 };
+        let mut remote =
+            BlackBoxClient::over(LatencyTransport::new(tcp, Duration::from_millis(rtt_ms)));
+        let remote_cycles = if rtt_ms == 0 {
+            300u64
+        } else {
+            60 / rtt_ms.max(1) + 10
+        };
         let start = Instant::now();
         for i in 0..remote_cycles {
             remote
@@ -289,7 +306,9 @@ fn kcm_quality() {
     println!("\nablation: pipelining the paper KCM");
     for pipelined in [false, true] {
         let kcm = if pipelined {
-            ipd_modgen::KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true)
+            ipd_modgen::KcmMultiplier::new(-56, 8, 12)
+                .signed(true)
+                .pipelined(true)
         } else {
             ipd_modgen::KcmMultiplier::new(-56, 8, 12).signed(true)
         };

@@ -5,6 +5,8 @@
 //! binary; this library holds the circuit builders and scenario
 //! parameters they share.
 
+pub mod harness;
+
 use std::time::Duration;
 
 use ipd_cosim::DeliveryScenario;
@@ -61,8 +63,7 @@ pub fn sim_workloads() -> Vec<(String, Circuit)> {
         let coeffs: Vec<i64> = (0..taps as i64).map(|i| (i % 7) - 3).collect();
         out.push((
             format!("fir_t{taps}"),
-            Circuit::from_generator(&FirFilter::new(coeffs, 8).expect("fir params"))
-                .expect("fir"),
+            Circuit::from_generator(&FirFilter::new(coeffs, 8).expect("fir params")).expect("fir"),
         ));
     }
     out
@@ -80,7 +81,11 @@ pub fn kcm_quality_widths() -> Vec<u32> {
 #[must_use]
 pub fn quality_constant(width: u32) -> i64 {
     let pattern = 0xB6D5_A4E3_97C1_5AB7u64;
-    let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     ((pattern & mask) | 1) as i64
 }
 
@@ -125,12 +130,8 @@ mod tests {
         assert!(paper_kcm_circuit().primitive_count() > 0);
         for width in kcm_quality_widths() {
             assert!(quality_constant(width) > 0);
-            let _ = Circuit::from_generator(&full_width_kcm(
-                quality_constant(width),
-                width,
-                false,
-            ))
-            .expect("quality kcm builds");
+            let _ = Circuit::from_generator(&full_width_kcm(quality_constant(width), width, false))
+                .expect("quality kcm builds");
         }
     }
 }

@@ -267,10 +267,7 @@ mod tests {
             assert_eq!(CapabilitySet::from_bits(set.to_bits()), set);
         }
         // Unknown high bits are dropped.
-        assert_eq!(
-            CapabilitySet::from_bits(0xFFFF),
-            CapabilitySet::licensed()
-        );
+        assert_eq!(CapabilitySet::from_bits(0xFFFF), CapabilitySet::licensed());
     }
 
     #[test]
@@ -283,8 +280,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let set: CapabilitySet =
-            [Capability::Simulate, Capability::Netlist].into_iter().collect();
+        let set: CapabilitySet = [Capability::Simulate, Capability::Netlist]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 }

@@ -151,7 +151,7 @@ impl IpCatalog {
 mod tests {
     use super::*;
     use crate::capability::CapabilitySet;
-    use ipd_modgen::{Counter, CountDirection, KcmMultiplier};
+    use ipd_modgen::{CountDirection, Counter, KcmMultiplier};
 
     fn catalog() -> IpCatalog {
         let mut c = IpCatalog::new("byu-lib");

@@ -104,7 +104,11 @@ impl IpExecutable {
 impl fmt::Display for IpExecutable {
     /// Renders the Figure 2 style configuration box.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "+-- IP delivery executable: {} ({})", self.product, self.vendor)?;
+        writeln!(
+            f,
+            "+-- IP delivery executable: {} ({})",
+            self.product, self.vendor
+        )?;
         writeln!(f, "|   module generator + circuit data structure")?;
         for cap in self.capabilities.iter() {
             writeln!(f, "|   [x] {cap}")?;
@@ -189,9 +193,9 @@ impl AppletServer {
         issued_day: u32,
         expiry_day: u32,
     ) -> License {
-        let license =
-            self.authority
-                .issue(customer, product, capabilities, issued_day, expiry_day);
+        let license = self
+            .authority
+            .issue(customer, product, capabilities, issued_day, expiry_day);
         self.profiles.insert(customer.to_owned(), license.clone());
         license
     }
@@ -345,8 +349,8 @@ mod tests {
         let acme_key = crate::seal::bundle_key(&vendor_key, &acme);
         let bolt_key = crate::seal::bundle_key(&vendor_key, &bolt);
         for (name, bytes) in &sealed {
-            let plain = crate::seal::unseal(bytes, &acme_key)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let plain =
+                crate::seal::unseal(bytes, &acme_key).unwrap_or_else(|e| panic!("{name}: {e}"));
             // The plaintext is a valid archive container.
             ipd_pack::Archive::from_bytes(&plain).expect("archive");
             // The other customer's key fails authentication.

@@ -68,7 +68,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::LicenseInvalid { reason } => write!(f, "invalid license: {reason}"),
             CoreError::LicenseExpired { expiry_day, today } => {
-                write!(f, "license expired on day {expiry_day} (today is day {today})")
+                write!(
+                    f,
+                    "license expired on day {expiry_day} (today is day {today})"
+                )
             }
             CoreError::ResourceLimit {
                 limit,

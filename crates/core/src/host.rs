@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn network_permission_gate() {
         let mut host = AppletHost::new();
-        assert!(matches!(host.check_network(), Err(CoreError::NetworkDenied)));
+        assert!(matches!(
+            host.check_network(),
+            Err(CoreError::NetworkDenied)
+        ));
         host.grant_network_permission();
         host.check_network().expect("granted");
         assert!(host.network_allowed());

@@ -181,7 +181,12 @@ mod tests {
     fn passive_page_has_only_estimates() {
         let page = page_for(CapabilitySet::passive());
         assert!(page.contains("estimate-panel"));
-        for hidden in ["schematic-panel", "layout-panel", "netlist-panel", "waveform-panel"] {
+        for hidden in [
+            "schematic-panel",
+            "layout-panel",
+            "netlist-panel",
+            "waveform-panel",
+        ] {
             assert!(!page.contains(hidden), "leaked {hidden}");
         }
         assert!(page.contains("Interface"), "interface always shown");

@@ -14,9 +14,7 @@
 //!   preserved) and netlist regeneration, and identifies the customer
 //!   a leaked netlist was delivered to.
 
-use ipd_hdl::{
-    CellKind, Circuit, FlatKind, FlatNetlist, LogicVec, PortDir, PortSpec, Signal,
-};
+use ipd_hdl::{CellKind, Circuit, FlatKind, FlatNetlist, LogicVec, PortDir, PortSpec, Signal};
 use ipd_techlib::LogicCtx;
 
 use crate::error::CoreError;
@@ -96,25 +94,17 @@ pub fn obfuscate(circuit: &Circuit) -> Result<Circuit, CoreError> {
             .conns
             .iter()
             .map(|c| {
-                let sig = Signal::concat(
-                    c.nets
-                        .iter()
-                        .map(|n| Signal::from(net_wires[n.index()])),
-                );
+                let sig = Signal::concat(c.nets.iter().map(|n| Signal::from(net_wires[n.index()])));
                 (c.port.clone(), sig)
             })
             .collect();
-        let conn_refs: Vec<(&str, Signal)> = conns
-            .iter()
-            .map(|(n, s)| (n.as_str(), s.clone()))
-            .collect();
+        let conn_refs: Vec<(&str, Signal)> =
+            conns.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
         let cell = match &leaf.kind {
             FlatKind::Primitive(prim) => {
                 ctx.leaf(prim.clone(), ports, &format!("u{k}"), &conn_refs)?
             }
-            FlatKind::BlackBox(_) => {
-                ctx.black_box("bb", ports, &format!("u{k}"), &conn_refs)?
-            }
+            FlatKind::BlackBox(_) => ctx.black_box("bb", ports, &format!("u{k}"), &conn_refs)?,
         };
         if let Some(loc) = leaf.loc {
             ctx.set_rloc(cell, loc);
@@ -225,7 +215,10 @@ mod tests {
                 !name.contains("kcm") && !name.contains("pp") && !name.contains("sum"),
                 "leaked name {name}"
             );
-            assert!(hidden.cell(id).properties().is_empty(), "properties stripped");
+            assert!(
+                hidden.cell(id).properties().is_empty(),
+                "properties stripped"
+            );
         }
     }
 

@@ -357,7 +357,11 @@ impl AppletSession {
             Some(name) => match ipd_techlib::Device::by_name(name) {
                 None => Ok(format!("unknown part {name}")),
                 Some(d) => Ok(if d.fits(&area.total) {
-                    format!("{} fits at {:.1}% utilization", d.name, d.utilization(&area.total))
+                    format!(
+                        "{} fits at {:.1}% utilization",
+                        d.name,
+                        d.utilization(&area.total)
+                    )
                 } else {
                     format!("{} does not fit ({} LUTs needed)", d.name, area.total.luts)
                 }),
@@ -474,7 +478,10 @@ mod tests {
         s.set_i64("multiplicand", 3).unwrap();
         assert_eq!(s.peek("product").unwrap().to_i64(), Some(-42)); // (-56 × 3) >> 2
         assert!(s.schematic().is_err());
-        assert!(s.peek_net("kcm_w8_p12_c-56_s/zero").is_err(), "no internal nets");
+        assert!(
+            s.peek_net("kcm_w8_p12_c-56_s/zero").is_err(),
+            "no internal nets"
+        );
         assert!(s.netlist(NetlistFormat::Vhdl).is_err());
         assert!(s.black_box_simulator().is_ok());
     }
@@ -500,7 +507,10 @@ mod tests {
         s.cycle(10).unwrap();
         assert!(matches!(
             s.cycle(11),
-            Err(CoreError::ResourceLimit { limit: "max_cycles_per_call", .. })
+            Err(CoreError::ResourceLimit {
+                limit: "max_cycles_per_call",
+                ..
+            })
         ));
     }
 
@@ -516,7 +526,10 @@ mod tests {
         let mut s = AppletSession::new(&exe, &host, Box::new(kcm));
         assert!(matches!(
             s.build(),
-            Err(CoreError::ResourceLimit { limit: "max_cells", .. })
+            Err(CoreError::ResourceLimit {
+                limit: "max_cells",
+                ..
+            })
         ));
     }
 
@@ -580,6 +593,9 @@ mod extension_tests {
         assert!(auto.contains("xcv50"), "{auto}");
         let named = s.device_fit(Some("xcv1000")).unwrap();
         assert!(named.contains("fits"), "{named}");
-        assert!(s.device_fit(Some("xc9500")).unwrap().contains("unknown part"));
+        assert!(s
+            .device_fit(Some("xc9500"))
+            .unwrap()
+            .contains("unknown part"));
     }
 }

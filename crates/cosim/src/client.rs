@@ -242,6 +242,25 @@ impl<T: Transport> SimModel for BlackBoxClient<T> {
             }),
         }
     }
+
+    /// The whole batch travels in ONE round trip — the scalar path
+    /// would pay `vectors × (inputs + cycle + outputs)` of them.
+    fn run_batch(
+        &mut self,
+        cycles: u32,
+        inputs: &[(String, Vec<LogicVec>)],
+    ) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
+        match self.transport.request(&Message::BatchRun {
+            cycles,
+            inputs: inputs.to_vec(),
+        })? {
+            Message::BatchResult { outputs } => Ok(outputs),
+            Message::Error { message } => Err(CosimError::Remote { message }),
+            other => Err(CosimError::Protocol {
+                reason: format!("expected BatchResult, got {other:?}"),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -295,16 +314,58 @@ mod tests {
     }
 
     #[test]
+    fn batched_run_is_one_round_trip() {
+        let mut host = AppletHost::new();
+        host.grant_network_permission();
+        let server = BlackBoxServer::bind(&host).unwrap();
+        let addr = server.addr();
+        let model = LocalSimModel::new(&inverter()).unwrap();
+        let handle = server.spawn(model);
+        let mut client = BlackBoxClient::connect(addr).unwrap();
+        let inputs = vec![(
+            "a".to_owned(),
+            (0..100u64).map(|k| LogicVec::from_u64(k & 1, 1)).collect(),
+        )];
+        let before = client.round_trips();
+        let outputs = client.run_batch(0, &inputs).unwrap();
+        assert_eq!(client.round_trips() - before, 1, "one frame per batch");
+        assert_eq!(outputs.len(), 1);
+        let (port, values) = &outputs[0];
+        assert_eq!(port, "y");
+        assert_eq!(values.len(), 100);
+        for (k, v) in values.iter().enumerate() {
+            assert_eq!(v.to_u64(), Some(1 - (k as u64 & 1)), "vector {k}");
+        }
+        client.close().unwrap();
+        handle.join().expect("no panic").expect("server ok");
+    }
+
+    #[test]
+    fn batched_run_errors_travel_back() {
+        let model = LocalSimModel::new(&inverter()).unwrap();
+        let mut client = BlackBoxClient::over(InProcTransport::new(model));
+        let ragged = vec![
+            ("a".to_owned(), vec![LogicVec::zeros(1); 2]),
+            ("a".to_owned(), vec![LogicVec::zeros(1); 1]),
+        ];
+        assert!(matches!(
+            client.run_batch(0, &ragged),
+            Err(CosimError::Remote { .. })
+        ));
+    }
+
+    #[test]
     fn latency_transport_delays() {
         let model = LocalSimModel::new(&inverter()).unwrap();
-        let transport = LatencyTransport::new(
-            InProcTransport::new(model),
-            Duration::from_millis(5),
-        );
+        let transport =
+            LatencyTransport::new(InProcTransport::new(model), Duration::from_millis(5));
         let mut client = BlackBoxClient::over(transport);
         let start = std::time::Instant::now();
         client.set("a", LogicVec::from_u64(1, 1)).unwrap();
         let _ = client.get("y").unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(10), "2 RTTs injected");
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "2 RTTs injected"
+        );
     }
 }

@@ -66,8 +66,9 @@ impl DeliveryScenario {
         let compute = self.local_event_cost * events as u32;
         match approach {
             Approach::AppletLocal => {
-                let download =
-                    Duration::from_secs_f64(self.download_bytes as f64 / self.bandwidth_bytes_per_s);
+                let download = Duration::from_secs_f64(
+                    self.download_bytes as f64 / self.bandwidth_bytes_per_s,
+                );
                 download + compute
             }
             Approach::WebCadRemote => {
@@ -110,14 +111,11 @@ impl DeliveryScenario {
     /// approach never loses (zero-latency network).
     #[must_use]
     pub fn crossover_cycles(&self, against: Approach) -> Option<u64> {
-        let download =
-            self.download_bytes as f64 / self.bandwidth_bytes_per_s;
+        let download = self.download_bytes as f64 / self.bandwidth_bytes_per_s;
         let saved_per_cycle = match against {
             Approach::AppletLocal => return None,
             Approach::WebCadRemote => self.rtt.as_secs_f64(),
-            Approach::JavaCadRmi => {
-                self.rtt.as_secs_f64() * self.events_per_cycle as f64
-            }
+            Approach::JavaCadRmi => self.rtt.as_secs_f64() * self.events_per_cycle as f64,
         };
         if saved_per_cycle <= 0.0 {
             return None;
@@ -192,13 +190,9 @@ mod tests {
     fn remote_throughput_degrades_with_rtt() {
         let slow = scenario(50);
         let fast = scenario(1);
+        assert!(slow.throughput(Approach::WebCadRemote) < fast.throughput(Approach::WebCadRemote));
         assert!(
-            slow.throughput(Approach::WebCadRemote)
-                < fast.throughput(Approach::WebCadRemote)
-        );
-        assert!(
-            slow.throughput(Approach::JavaCadRmi)
-                < slow.throughput(Approach::WebCadRemote),
+            slow.throughput(Approach::JavaCadRmi) < slow.throughput(Approach::WebCadRemote),
             "per-event RMI is the slowest"
         );
     }

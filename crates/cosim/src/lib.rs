@@ -16,6 +16,9 @@
 //!   [`LatencyTransport`] (injected WAN round-trip time).
 //! - [`SimModel`] / [`LocalSimModel`] / [`BehavioralModel`] — the
 //!   port-level model abstraction shared by local and remote parts.
+//!   [`SimModel::run_batch`] ships a whole stimulus sweep in one
+//!   transaction; [`LocalSimModel`] serves it with the lane-parallel
+//!   batch engine, and [`BlackBoxClient`] with a single round trip.
 //! - [`SystemSimulator`] — the customer's system simulation mixing
 //!   several models (Figure 4 shows two applets plus local logic).
 //! - [`DeliveryScenario`] / [`Approach`] — cost models quantifying the
@@ -55,12 +58,10 @@ mod protocol;
 mod server;
 mod system;
 
-pub use client::{
-    BlackBoxClient, InProcTransport, LatencyTransport, TcpTransport, Transport,
-};
+pub use client::{BlackBoxClient, InProcTransport, LatencyTransport, TcpTransport, Transport};
 pub use compare::{measure_local_event_cost, Approach, DeliveryScenario};
 pub use error::CosimError;
-pub use model::{BehavioralModel, LocalSimModel, SimModel};
+pub use model::{batch_vector_count, run_batch_serial, BehavioralModel, LocalSimModel, SimModel};
 pub use protocol::{read_frame, write_frame, Message, MAX_FRAME};
 pub use server::BlackBoxServer;
 pub use system::{ModelId, SystemSimulator};

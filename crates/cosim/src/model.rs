@@ -6,7 +6,7 @@
 //! freely (the paper's Figure 4).
 
 use ipd_hdl::{Circuit, LogicVec, PortDir};
-use ipd_sim::Simulator;
+use ipd_sim::{Simulator, VectorSweep};
 
 use crate::error::CosimError;
 
@@ -42,6 +42,87 @@ pub trait SimModel {
     ///
     /// Fails for unknown ports or transport failures.
     fn get(&mut self, port: &str) -> Result<LogicVec, CosimError>;
+
+    /// Runs a batch of independent stimulus vectors and returns every
+    /// output port's value per vector.
+    ///
+    /// Each vector is simulated from power-on: reset, inputs applied,
+    /// `cycles` clock edges, outputs sampled. `inputs` holds one value
+    /// per vector for each driven input port (all the same length).
+    ///
+    /// The default implementation replays the vectors one at a time
+    /// through [`SimModel::set`]/[`SimModel::cycle`]/[`SimModel::get`];
+    /// implementations with a faster path (lane-parallel simulation, a
+    /// single network round trip) override it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on mismatched vector counts, unknown ports, or
+    /// simulation/transport failures.
+    fn run_batch(
+        &mut self,
+        cycles: u32,
+        inputs: &[(String, Vec<LogicVec>)],
+    ) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
+        run_batch_serial(self, cycles, inputs)
+    }
+}
+
+/// The portable batched-run fallback: one vector at a time through the
+/// scalar [`SimModel`] interface. Exposed so overriding models can
+/// delegate to it.
+///
+/// # Errors
+///
+/// As for [`SimModel::run_batch`].
+pub fn run_batch_serial<M: SimModel + ?Sized>(
+    model: &mut M,
+    cycles: u32,
+    inputs: &[(String, Vec<LogicVec>)],
+) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
+    let vectors = batch_vector_count(inputs)?;
+    let out_ports: Vec<String> = model
+        .interface()?
+        .into_iter()
+        .filter(|(_, dir, _)| *dir == PortDir::Output)
+        .map(|(name, _, _)| name)
+        .collect();
+    let mut outputs: Vec<(String, Vec<LogicVec>)> = out_ports
+        .iter()
+        .map(|p| (p.clone(), Vec::with_capacity(vectors)))
+        .collect();
+    for k in 0..vectors {
+        model.reset()?;
+        for (port, values) in inputs {
+            model.set(port, values[k].clone())?;
+        }
+        model.cycle(cycles)?;
+        for (slot, port) in outputs.iter_mut().zip(&out_ports) {
+            slot.1.push(model.get(port)?);
+        }
+    }
+    Ok(outputs)
+}
+
+/// Validates that every port in a batch carries the same number of
+/// vectors and returns that count.
+///
+/// # Errors
+///
+/// Returns [`CosimError::Wiring`] on a length mismatch.
+pub fn batch_vector_count(inputs: &[(String, Vec<LogicVec>)]) -> Result<usize, CosimError> {
+    let count = inputs.first().map_or(0, |(_, v)| v.len());
+    for (port, values) in inputs {
+        if values.len() != count {
+            return Err(CosimError::Wiring {
+                reason: format!(
+                    "batch input {port} carries {} vectors, expected {count}",
+                    values.len()
+                ),
+            });
+        }
+    }
+    Ok(count)
 }
 
 impl std::fmt::Debug for dyn SimModel + Send {
@@ -55,10 +136,13 @@ impl std::fmt::Debug for dyn SimModel + Send {
 #[derive(Debug, Clone)]
 pub struct LocalSimModel {
     simulator: Simulator,
+    sweep: Option<VectorSweep>,
 }
 
 impl LocalSimModel {
-    /// Compiles a circuit into a local model.
+    /// Compiles a circuit into a local model. The circuit is also
+    /// compiled for lane-parallel batch runs, so
+    /// [`SimModel::run_batch`] uses the bit-parallel engine.
     ///
     /// # Errors
     ///
@@ -66,13 +150,18 @@ impl LocalSimModel {
     pub fn new(circuit: &Circuit) -> Result<Self, CosimError> {
         Ok(LocalSimModel {
             simulator: Simulator::new(circuit)?,
+            sweep: Some(VectorSweep::new(circuit)?),
         })
     }
 
-    /// Wraps an existing simulator.
+    /// Wraps an existing simulator. Batch runs fall back to the serial
+    /// path (the compiled circuit is not available for lane packing).
     #[must_use]
     pub fn from_simulator(simulator: Simulator) -> Self {
-        LocalSimModel { simulator }
+        LocalSimModel {
+            simulator,
+            sweep: None,
+        }
     }
 
     /// Access to the underlying simulator (e.g. for waveforms).
@@ -104,6 +193,42 @@ impl SimModel for LocalSimModel {
 
     fn get(&mut self, port: &str) -> Result<LogicVec, CosimError> {
         Ok(self.simulator.peek(port)?)
+    }
+
+    fn run_batch(
+        &mut self,
+        cycles: u32,
+        inputs: &[(String, Vec<LogicVec>)],
+    ) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
+        let Some(sweep) = self.sweep.clone() else {
+            return run_batch_serial(self, cycles, inputs);
+        };
+        let vectors = batch_vector_count(inputs)?;
+        let stimuli: Vec<Vec<(String, LogicVec)>> = (0..vectors)
+            .map(|k| {
+                inputs
+                    .iter()
+                    .map(|(port, values)| (port.clone(), values[k].clone()))
+                    .collect()
+            })
+            .collect();
+        let report = sweep.cycles(u64::from(cycles)).run(&stimuli)?;
+        // Transpose per-vector output rows into per-port columns.
+        let mut outputs: Vec<(String, Vec<LogicVec>)> = self
+            .simulator
+            .ports()
+            .into_iter()
+            .filter(|(_, dir, _)| *dir == PortDir::Output)
+            .map(|(name, _, _)| (name, Vec::with_capacity(vectors)))
+            .collect();
+        for row in report.outputs {
+            for (port, value) in row {
+                if let Some(slot) = outputs.iter_mut().find(|(name, _)| *name == port) {
+                    slot.1.push(value);
+                }
+            }
+        }
+        Ok(outputs)
     }
 }
 
@@ -226,6 +351,66 @@ mod tests {
         assert_eq!(model.interface().unwrap().len(), 2);
         model.set("a", LogicVec::from_u64(1, 1)).unwrap();
         assert_eq!(model.get("y").unwrap().to_u64(), Some(0));
+    }
+
+    fn xor_adder() -> Circuit {
+        let mut c = Circuit::new("xa");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+        let s = ctx.add_port(PortSpec::output("s", 1)).unwrap();
+        let co = ctx.add_port(PortSpec::output("co", 1)).unwrap();
+        ctx.xor2(a, b, s).unwrap();
+        ctx.and2(a, b, co).unwrap();
+        c
+    }
+
+    #[test]
+    fn batched_run_matches_serial_fallback() {
+        let circuit = xor_adder();
+        let inputs: Vec<(String, Vec<LogicVec>)> = vec![
+            (
+                "a".into(),
+                (0..70u64).map(|k| LogicVec::from_u64(k & 1, 1)).collect(),
+            ),
+            (
+                "b".into(),
+                (0..70u64)
+                    .map(|k| LogicVec::from_u64((k >> 1) & 1, 1))
+                    .collect(),
+            ),
+        ];
+        // Lane-parallel path (LocalSimModel::new).
+        let mut fast = LocalSimModel::new(&circuit).unwrap();
+        let fast_out = fast.run_batch(0, &inputs).unwrap();
+        // Serial fallback path (from_simulator has no compiled batch).
+        let mut slow = LocalSimModel::from_simulator(Simulator::new(&circuit).unwrap());
+        let slow_out = slow.run_batch(0, &inputs).unwrap();
+        assert_eq!(fast_out, slow_out);
+        assert_eq!(fast_out.len(), 2);
+        for (port, values) in &fast_out {
+            assert_eq!(values.len(), 70, "port {port}");
+        }
+        let s = &fast_out.iter().find(|(p, _)| p == "s").unwrap().1;
+        assert_eq!(s[1].to_u64(), Some(1)); // 1 xor 0
+        assert_eq!(s[3].to_u64(), Some(0)); // 1 xor 1
+    }
+
+    #[test]
+    fn batched_run_rejects_ragged_inputs() {
+        let mut model = LocalSimModel::new(&xor_adder()).unwrap();
+        let ragged = vec![
+            ("a".into(), vec![LogicVec::zeros(1); 3]),
+            ("b".into(), vec![LogicVec::zeros(1); 2]),
+        ];
+        assert!(matches!(
+            model.run_batch(0, &ragged),
+            Err(CosimError::Wiring { .. })
+        ));
+        // Empty batches are fine: per-port empty columns.
+        let out = model.run_batch(0, &[]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, v)| v.is_empty()));
     }
 
     #[test]

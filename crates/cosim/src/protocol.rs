@@ -58,6 +58,24 @@ pub enum Message {
     },
     /// Ends the session.
     Bye,
+    /// Runs a whole batch of stimulus vectors in one round trip. Each
+    /// vector is simulated from power-on: inputs applied, `cycles`
+    /// clock edges, outputs sampled. The server answers with
+    /// [`Message::BatchResult`]. This amortizes the per-event
+    /// round-trip cost that dominates the remote-simulation baselines.
+    BatchRun {
+        /// Clock cycles to run after applying each vector.
+        cycles: u32,
+        /// Per input port, one value per stimulus vector. All ports
+        /// must carry the same number of vectors.
+        inputs: Vec<(String, Vec<LogicVec>)>,
+    },
+    /// Per output port, one value per stimulus vector (response to
+    /// [`Message::BatchRun`], in vector submission order).
+    BatchResult {
+        /// Per output port, one value per stimulus vector.
+        outputs: Vec<(String, Vec<LogicVec>)>,
+    },
 }
 
 impl Message {
@@ -106,6 +124,15 @@ impl Message {
                 put_str(&mut out, message);
             }
             Message::Bye => out.push(10),
+            Message::BatchRun { cycles, inputs } => {
+                out.push(11);
+                out.extend_from_slice(&cycles.to_le_bytes());
+                put_port_batches(&mut out, inputs);
+            }
+            Message::BatchResult { outputs } => {
+                out.push(12);
+                put_port_batches(&mut out, outputs);
+            }
         }
         out
     }
@@ -158,6 +185,13 @@ impl Message {
                 message: r.string()?,
             },
             10 => Message::Bye,
+            11 => Message::BatchRun {
+                cycles: r.u32()?,
+                inputs: r.port_batches()?,
+            },
+            12 => Message::BatchResult {
+                outputs: r.port_batches()?,
+            },
             other => {
                 return Err(CosimError::Protocol {
                     reason: format!("unknown message tag {other}"),
@@ -234,6 +268,17 @@ fn put_vec(out: &mut Vec<u8>, v: &LogicVec) {
     }
 }
 
+fn put_port_batches(out: &mut Vec<u8>, batches: &[(String, Vec<LogicVec>)]) {
+    out.extend_from_slice(&(batches.len() as u16).to_le_bytes());
+    for (name, values) in batches {
+        put_str(out, name);
+        out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+        for value in values {
+            put_vec(out, value);
+        }
+    }
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -288,6 +333,28 @@ impl Cursor<'_> {
         }
         Ok(LogicVec::from_bits(bits))
     }
+
+    fn port_batches(&mut self) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
+        let ports = self.u16()? as usize;
+        let mut batches = Vec::with_capacity(ports);
+        for _ in 0..ports {
+            let name = self.string()?;
+            let count = self.u32()? as usize;
+            // Bound allocation by the remaining bytes (each vector
+            // takes at least the 2-byte width prefix).
+            if count > self.bytes.len().saturating_sub(self.pos) {
+                return Err(CosimError::Protocol {
+                    reason: "batch vector count exceeds frame".to_owned(),
+                });
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(self.logic_vec()?);
+            }
+            batches.push((name, values));
+        }
+        Ok(batches)
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +395,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_messages_round_trip() {
+        round_trip(Message::BatchRun {
+            cycles: 3,
+            inputs: vec![
+                (
+                    "x".into(),
+                    (0..130).map(|k| LogicVec::from_u64(k, 8)).collect(),
+                ),
+                ("en".into(), vec![LogicVec::unknown(1); 130]),
+            ],
+        });
+        round_trip(Message::BatchRun {
+            cycles: 0,
+            inputs: vec![],
+        });
+        round_trip(Message::BatchResult {
+            outputs: vec![("y".into(), vec![LogicVec::from_i64(-3, 12)])],
+        });
+        round_trip(Message::BatchResult { outputs: vec![] });
+    }
+
+    #[test]
+    fn truncated_batches_rejected() {
+        let msg = Message::BatchRun {
+            cycles: 1,
+            inputs: vec![("x".into(), vec![LogicVec::from_u64(9, 4); 7])],
+        };
+        let bytes = msg.encode();
+        for len in 1..bytes.len() {
+            assert!(Message::decode(&bytes[..len]).is_err(), "prefix {len}");
+        }
+        // An absurd vector count must fail fast, not allocate.
+        let mut bytes = vec![12, 1, 0, 1, 0, b'y'];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
     fn four_state_values_survive() {
         let mut v = LogicVec::from_u64(0b1010, 4);
         v.set_bit(1, Logic::X);
@@ -357,7 +462,7 @@ mod tests {
         assert!(Message::decode(&[]).is_err());
         assert!(Message::decode(&[200]).is_err());
         assert!(Message::decode(&[3, 5, 0]).is_err()); // truncated string
-        // Trailing junk.
+                                                       // Trailing junk.
         let mut bytes = Message::Ok.encode();
         bytes.push(7);
         assert!(Message::decode(&bytes).is_err());

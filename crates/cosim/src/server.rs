@@ -89,18 +89,17 @@ fn serve_stream<M: SimModel>(stream: TcpStream, model: &mut M) -> Result<(), Cos
 /// [`Message::Error`] so the session survives bad requests.
 pub(crate) fn handle<M: SimModel>(model: &mut M, request: &Message) -> Message {
     let outcome = match request {
-        Message::Hello | Message::GetInterface => {
-            model.interface().map(Message::Interface)
-        }
-        Message::SetInput { port, value } => {
-            model.set(port, value.clone()).map(|()| Message::Ok)
-        }
+        Message::Hello | Message::GetInterface => model.interface().map(Message::Interface),
+        Message::SetInput { port, value } => model.set(port, value.clone()).map(|()| Message::Ok),
         Message::Cycle { n } => model.cycle(*n).map(|()| Message::Ok),
         Message::Reset => model.reset().map(|()| Message::Ok),
         Message::GetOutput { port } => model.get(port).map(|value| Message::Value {
             port: port.clone(),
             value,
         }),
+        Message::BatchRun { cycles, inputs } => model
+            .run_batch(*cycles, inputs)
+            .map(|outputs| Message::BatchResult { outputs }),
         Message::Bye => Ok(Message::Ok),
         other => Err(CosimError::Protocol {
             reason: format!("unexpected client message {other:?}"),
@@ -145,10 +144,7 @@ mod tests {
     #[test]
     fn handle_translates_errors_to_messages() {
         let mut model = inverter_model();
-        let resp = handle(
-            &mut model,
-            &Message::GetOutput { port: "zzz".into() },
-        );
+        let resp = handle(&mut model, &Message::GetOutput { port: "zzz".into() });
         assert!(matches!(resp, Message::Error { .. }));
         let resp = handle(
             &mut model,

@@ -68,7 +68,11 @@ impl SystemSimulator {
     }
 
     /// Adds a model under a name and returns its id.
-    pub fn add_model(&mut self, name: impl Into<String>, model: Box<dyn SimModel + Send>) -> ModelId {
+    pub fn add_model(
+        &mut self,
+        name: impl Into<String>,
+        model: Box<dyn SimModel + Send>,
+    ) -> ModelId {
         self.models.push((name.into(), model));
         ModelId(self.models.len() - 1)
     }
@@ -204,8 +208,12 @@ mod tests {
         let d = ctx.add_port(PortSpec::input("d", 4)).unwrap();
         let q = ctx.add_port(PortSpec::output("q", 4)).unwrap();
         for b in 0..4 {
-            ctx.fd(clk, ipd_hdl::Signal::bit_of(d, b), ipd_hdl::Signal::bit_of(q, b))
-                .unwrap();
+            ctx.fd(
+                clk,
+                ipd_hdl::Signal::bit_of(d, b),
+                ipd_hdl::Signal::bit_of(q, b),
+            )
+            .unwrap();
         }
         c
     }

@@ -1,107 +1,146 @@
 //! Protocol robustness: arbitrary bytes never panic the decoder, and
 //! arbitrary well-formed messages always round-trip — the properties a
 //! network-facing applet server needs against hostile clients.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the in-repo deterministic RNG (`ipd-testutil`), so
+//! the suite runs with zero registry dependencies.
 
 use ipd_cosim::{read_frame, write_frame, Message};
 use ipd_hdl::{Logic, LogicVec, PortDir};
+use ipd_testutil::{check_n, XorShift64};
 
-fn logic_vec_strategy() -> impl Strategy<Value = LogicVec> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(Logic::Zero),
-            Just(Logic::One),
-            Just(Logic::X),
-            Just(Logic::Z)
-        ],
-        0..64,
-    )
-    .prop_map(LogicVec::from_bits)
+fn any_logic_vec(rng: &mut XorShift64, max: usize) -> LogicVec {
+    let len = rng.index(max);
+    (0..len)
+        .map(|_| match rng.below(4) {
+            0 => Logic::Zero,
+            1 => Logic::One,
+            2 => Logic::X,
+            _ => Logic::Z,
+        })
+        .collect()
 }
 
-fn port_dir_strategy() -> impl Strategy<Value = PortDir> {
-    prop_oneof![
-        Just(PortDir::Input),
-        Just(PortDir::Output),
-        Just(PortDir::Inout)
-    ]
+fn any_name(rng: &mut XorShift64) -> String {
+    let len = 1 + rng.index(16);
+    (0..len)
+        .map(|i| {
+            let alphabet = if i == 0 {
+                b"abcdefghijklmnopqrstuvwxyz".as_slice()
+            } else {
+                b"abcdefghijklmnopqrstuvwxyz0123456789_".as_slice()
+            };
+            alphabet[rng.index(alphabet.len())] as char
+        })
+        .collect()
 }
 
-fn message_strategy() -> impl Strategy<Value = Message> {
-    let name = "[a-z][a-z0-9_]{0,15}";
-    prop_oneof![
-        Just(Message::Hello),
-        Just(Message::GetInterface),
-        proptest::collection::vec((name, port_dir_strategy(), 1u32..64), 0..8)
-            .prop_map(|ports| Message::Interface(
-                ports.into_iter().collect()
-            )),
-        (name, logic_vec_strategy())
-            .prop_map(|(port, value)| Message::SetInput { port, value }),
-        (0u32..1_000_000).prop_map(|n| Message::Cycle { n }),
-        Just(Message::Reset),
-        name.prop_map(|port| Message::GetOutput { port }),
-        (name, logic_vec_strategy())
-            .prop_map(|(port, value)| Message::Value { port, value }),
-        Just(Message::Ok),
-        "[ -~]{0,64}".prop_map(|message| Message::Error { message }),
-        Just(Message::Bye),
-    ]
+fn any_dir(rng: &mut XorShift64) -> PortDir {
+    match rng.below(3) {
+        0 => PortDir::Input,
+        1 => PortDir::Output,
+        _ => PortDir::Inout,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn any_message(rng: &mut XorShift64) -> Message {
+    match rng.below(11) {
+        0 => Message::Hello,
+        1 => Message::GetInterface,
+        2 => Message::Interface(
+            (0..rng.index(8))
+                .map(|_| (any_name(rng), any_dir(rng), 1 + rng.below(63) as u32))
+                .collect(),
+        ),
+        3 => Message::SetInput {
+            port: any_name(rng),
+            value: any_logic_vec(rng, 64),
+        },
+        4 => Message::Cycle {
+            n: rng.below(1_000_000) as u32,
+        },
+        5 => Message::Reset,
+        6 => Message::GetOutput {
+            port: any_name(rng),
+        },
+        7 => Message::Value {
+            port: any_name(rng),
+            value: any_logic_vec(rng, 64),
+        },
+        8 => Message::Ok,
+        9 => Message::Error {
+            message: (0..rng.index(64))
+                .map(|_| (b' ' + (rng.below(95) as u8)) as char)
+                .collect(),
+        },
+        _ => Message::Bye,
+    }
+}
 
-    /// Arbitrary bytes must decode to Ok or Err — never panic.
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Arbitrary bytes must decode to Ok or Err — never panic.
+#[test]
+fn decode_never_panics() {
+    check_n("decode_never_panics", 128, |rng| {
+        let len = rng.index(256);
+        let bytes = rng.bytes(len);
         let _ = Message::decode(&bytes);
-    }
+    });
+}
 
-    /// Arbitrary frames (length prefix + garbage) never panic the
-    /// frame reader either.
-    #[test]
-    fn read_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Arbitrary frames (length prefix + garbage) never panic the frame
+/// reader either.
+#[test]
+fn read_frame_never_panics() {
+    check_n("read_frame_never_panics", 128, |rng| {
+        let len = rng.index(64);
+        let bytes = rng.bytes(len);
         let _ = read_frame(std::io::Cursor::new(bytes));
-    }
+    });
+}
 
-    /// Every well-formed message round-trips through encode/decode.
-    #[test]
-    fn messages_round_trip(msg in message_strategy()) {
+/// Every well-formed message round-trips through encode/decode.
+#[test]
+fn messages_round_trip() {
+    check_n("messages_round_trip", 128, |rng| {
+        let msg = any_message(rng);
         let bytes = msg.encode();
-        prop_assert_eq!(Message::decode(&bytes).expect("decode"), msg);
-    }
+        assert_eq!(Message::decode(&bytes).expect("decode"), msg);
+    });
+}
 
-    /// Every well-formed message round-trips through the framing layer.
-    #[test]
-    fn frames_round_trip(msgs in proptest::collection::vec(message_strategy(), 1..8)) {
+/// Every well-formed message round-trips through the framing layer.
+#[test]
+fn frames_round_trip() {
+    check_n("frames_round_trip", 128, |rng| {
+        let msgs: Vec<Message> = (0..1 + rng.index(7)).map(|_| any_message(rng)).collect();
         let mut buf = Vec::new();
         for msg in &msgs {
             write_frame(&mut buf, msg).expect("write");
         }
         let mut cursor = std::io::Cursor::new(buf);
         for msg in &msgs {
-            prop_assert_eq!(&read_frame(&mut cursor).expect("read"), msg);
+            assert_eq!(&read_frame(&mut cursor).expect("read"), msg);
         }
-    }
+    });
+}
 
-    /// Truncating a valid encoding anywhere must produce an error, not
-    /// a silently different message.
-    #[test]
-    fn truncation_is_detected(msg in message_strategy(), cut in any::<prop::sample::Index>()) {
+/// Truncating a valid encoding anywhere must produce an error, not a
+/// silently different message.
+#[test]
+fn truncation_is_detected() {
+    check_n("truncation_is_detected", 128, |rng| {
+        let msg = any_message(rng);
         let bytes = msg.encode();
         if bytes.len() > 1 {
-            let cut = 1 + cut.index(bytes.len() - 1);
+            let cut = 1 + rng.index(bytes.len() - 1);
             if cut < bytes.len() {
                 match Message::decode(&bytes[..cut]) {
                     Err(_) => {}
-                    Ok(decoded) => prop_assert_ne!(
-                        decoded, msg,
-                        "truncated decode must not equal the original"
-                    ),
+                    Ok(decoded) => {
+                        assert_ne!(decoded, msg, "truncated decode must not equal the original")
+                    }
                 }
             }
         }
-    }
+    });
 }

@@ -54,7 +54,11 @@ impl fmt::Display for AreaReport {
             )?;
         }
         if self.black_boxes > 0 {
-            writeln!(f, "  (+{} protected black box(es), area not shown)", self.black_boxes)?;
+            writeln!(
+                f,
+                "  (+{} protected black box(es), area not shown)",
+                self.black_boxes
+            )?;
         }
         match (self.device, self.utilization) {
             (Some(d), Some(u)) => writeln!(f, "fits: {} at {u:.1}% utilization", d.name),
@@ -143,7 +147,8 @@ mod tests {
         let t = ctx.wire("t", 4);
         for b in 0..4 {
             ctx.inv(Signal::bit_of(a, b), Signal::bit_of(t, b)).unwrap();
-            ctx.fd(clk, Signal::bit_of(t, b), Signal::bit_of(y, b)).unwrap();
+            ctx.fd(clk, Signal::bit_of(t, b), Signal::bit_of(y, b))
+                .unwrap();
         }
         let report = estimate_area(&c).expect("estimate");
         assert_eq!(report.total.luts, 4);

@@ -49,6 +49,4 @@ mod timing;
 pub use area::{estimate_area, estimate_area_flat, AreaReport};
 pub use error::EstimateError;
 pub use place::{auto_place, PlacementResult, PlacerConfig};
-pub use timing::{
-    estimate_timing, estimate_timing_flat, estimate_timing_with, TimingReport,
-};
+pub use timing::{estimate_timing, estimate_timing_flat, estimate_timing_with, TimingReport};

@@ -127,7 +127,9 @@ pub fn auto_place(
     }
     let mut nets: Vec<Vec<usize>> = vec![Vec::new(); flat.net_count()];
     for leaf in flat.leaves() {
-        let Some(&li) = leaf_index.get(&leaf.cell) else { continue };
+        let Some(&li) = leaf_index.get(&leaf.cell) else {
+            continue;
+        };
         for conn in &leaf.conns {
             for net in &conn.nets {
                 nets[net.index()].push(li);
@@ -166,7 +168,10 @@ pub fn auto_place(
     }
 
     let coord = |site: usize| -> (f64, f64) {
-        ((site as u32 % grid_side) as f64, (site as u32 / grid_side) as f64)
+        (
+            (site as u32 % grid_side) as f64,
+            (site as u32 / grid_side) as f64,
+        )
     };
     let net_cost = |members: &[usize], position: &[usize]| -> f64 {
         let mut min_x = f64::MAX;
@@ -182,9 +187,8 @@ pub fn auto_place(
         }
         (max_x - min_x) + (max_y - min_y)
     };
-    let total_cost = |position: &[usize]| -> f64 {
-        net_members.iter().map(|m| net_cost(m, position)).sum()
-    };
+    let total_cost =
+        |position: &[usize]| -> f64 { net_members.iter().map(|m| net_cost(m, position)).sum() };
 
     let initial_wirelength = total_cost(&position);
     let mut cost = initial_wirelength;
@@ -210,7 +214,10 @@ pub fn auto_place(
         }
         affected.sort_unstable();
         affected.dedup();
-        let before: f64 = affected.iter().map(|&ni| net_cost(&net_members[ni], &position)).sum();
+        let before: f64 = affected
+            .iter()
+            .map(|&ni| net_cost(&net_members[ni], &position))
+            .sum();
         // Apply.
         position[li] = target;
         site_of[target] = Some(li);
@@ -218,7 +225,10 @@ pub fn auto_place(
         if let Some(lo) = other {
             position[lo] = source;
         }
-        let after: f64 = affected.iter().map(|&ni| net_cost(&net_members[ni], &position)).sum();
+        let after: f64 = affected
+            .iter()
+            .map(|&ni| net_cost(&net_members[ni], &position))
+            .sum();
         let delta = after - before;
         let accept = delta <= 0.0 || {
             let u = (rng.next() as f64) / (u64::MAX as f64);

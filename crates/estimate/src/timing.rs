@@ -226,10 +226,8 @@ pub fn estimate_timing_flat(
     }
 
     // Topological order over nodes.
-    let order = topo_order(&nodes, net_count).map_err(|net| {
-        EstimateError::CombinationalLoop {
-            net: flat.nets()[net.index()].name.clone(),
-        }
+    let order = topo_order(&nodes, net_count).map_err(|net| EstimateError::CombinationalLoop {
+        net: flat.nets()[net.index()].name.clone(),
     })?;
 
     for &i in &order {
@@ -239,9 +237,7 @@ pub fn estimate_timing_flat(
         let mut best_level = 0usize;
         for &input in &node.inputs {
             let net_delay = match (driver_loc[input.index()], node.loc) {
-                (Some(from), Some(to)) => {
-                    model.net_delay_placed(from, to, fanout[input.index()])
-                }
+                (Some(from), Some(to)) => model.net_delay_placed(from, to, fanout[input.index()]),
                 _ => model.net_delay_unplaced(fanout[input.index()]),
             };
             let t = arrival[input.index()] + net_delay;
@@ -349,7 +345,9 @@ fn topo_order(nodes: &[TimingNode], net_count: usize) -> Result<Vec<usize>, NetI
         for &i in &order {
             emitted[i] = true;
         }
-        let cyclic = (0..nodes.len()).find(|i| !emitted[*i]).expect("cycle exists");
+        let cyclic = (0..nodes.len())
+            .find(|i| !emitted[*i])
+            .expect("cycle exists");
         return Err(nodes[cyclic].output);
     }
     Ok(order)

@@ -122,11 +122,7 @@ impl Primitive {
 
     /// A primitive carrying an `INIT` value.
     #[must_use]
-    pub fn with_init(
-        library: impl Into<String>,
-        name: impl Into<String>,
-        init: u64,
-    ) -> Self {
+    pub fn with_init(library: impl Into<String>, name: impl Into<String>, init: u64) -> Self {
         Primitive {
             library: library.into(),
             name: name.into(),
@@ -348,7 +344,10 @@ mod tests {
         assert_eq!(i.dir, PortDir::Input);
         assert_eq!(o.dir, PortDir::Output);
         assert_eq!(b.dir, PortDir::Inout);
-        assert_eq!(format!("{} {} {}", i.dir, o.dir, b.dir), "input output inout");
+        assert_eq!(
+            format!("{} {} {}", i.dir, o.dir, b.dir),
+            "input output inout"
+        );
     }
 
     #[test]

@@ -241,7 +241,9 @@ impl Circuit {
     /// Returns [`HdlError::StaleId`] when the cell is not composite.
     pub fn ctx_for(&mut self, cell: CellId) -> Result<CellCtx<'_>> {
         if !self.cell(cell).kind.is_composite() {
-            return Err(HdlError::StaleId { kind: "composite cell" });
+            return Err(HdlError::StaleId {
+                kind: "composite cell",
+            });
         }
         Ok(CellCtx {
             cell,
@@ -412,9 +414,7 @@ impl Circuit {
         for spec in specs {
             let conn = conns.iter().find(|(n, _)| *n == spec.name);
             let outer = match conn {
-                Some((_, sig)) => {
-                    Some(self.resolve_signal(parent, sig, &spec.name, spec.width)?)
-                }
+                Some((_, sig)) => Some(self.resolve_signal(parent, sig, &spec.name, spec.width)?),
                 None if spec.dir == PortDir::Input => {
                     return Err(HdlError::UnboundInput {
                         cell: self.cell(child).name.clone(),
@@ -435,7 +435,9 @@ impl Circuit {
             } else {
                 None
             };
-            self.cells[child.index()].ports.push(Port { spec, outer, inner });
+            self.cells[child.index()]
+                .ports
+                .push(Port { spec, outer, inner });
         }
         Ok(())
     }
@@ -523,12 +525,9 @@ impl<'a> CellCtx<'a> {
         name: &str,
         conns: &[(&str, Signal)],
     ) -> Result<CellId> {
-        let child = self.circuit.new_cell(
-            self.cell,
-            name,
-            generator.type_name(),
-            CellKind::Composite,
-        );
+        let child =
+            self.circuit
+                .new_cell(self.cell, name, generator.type_name(), CellKind::Composite);
         self.circuit
             .bind_ports(self.cell, child, generator.ports(), conns, true)?;
         let mut ctx = CellCtx {
@@ -575,12 +574,9 @@ impl<'a> CellCtx<'a> {
         name: &str,
         conns: &[(&str, Signal)],
     ) -> Result<CellId> {
-        let child = self.circuit.new_cell(
-            self.cell,
-            name,
-            type_name.to_owned(),
-            CellKind::BlackBox,
-        );
+        let child =
+            self.circuit
+                .new_cell(self.cell, name, type_name.to_owned(), CellKind::BlackBox);
         self.circuit
             .bind_ports(self.cell, child, ports, conns, false)?;
         Ok(child)
@@ -730,7 +726,12 @@ mod tests {
         let mut ctx = c.root_ctx();
         let w8 = ctx.wire("bus", 8);
         let err = ctx
-            .leaf(buf_prim(), buf_ports(), "b0", &[("i", w8.into()), ("o", w8.into())])
+            .leaf(
+                buf_prim(),
+                buf_ports(),
+                "b0",
+                &[("i", w8.into()), ("o", w8.into())],
+            )
             .unwrap_err();
         assert!(matches!(err, HdlError::WidthMismatch { .. }));
     }
@@ -784,11 +785,7 @@ mod tests {
 
     #[test]
     fn out_of_scope_wire_rejected() {
-        let inner = FnGenerator::new(
-            "inner",
-            vec![PortSpec::input("i", 1)],
-            |_ctx| Ok(()),
-        );
+        let inner = FnGenerator::new("inner", vec![PortSpec::input("i", 1)], |_ctx| Ok(()));
         let mut c = Circuit::new("top");
         let mut ctx = c.root_ctx();
         let i = ctx.wire("i", 1);
@@ -796,7 +793,12 @@ mod tests {
         // Try to use the top-level wire from inside the child scope.
         let mut child_ctx = c.ctx_for(child).unwrap();
         let err = child_ctx
-            .leaf(buf_prim(), buf_ports(), "b0", &[("i", i.into()), ("o", i.into())])
+            .leaf(
+                buf_prim(),
+                buf_ports(),
+                "b0",
+                &[("i", i.into()), ("o", i.into())],
+            )
             .unwrap_err();
         assert!(matches!(err, HdlError::WireOutOfScope { .. }));
     }

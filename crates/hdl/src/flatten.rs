@@ -409,7 +409,12 @@ mod tests {
             |ctx| {
                 let i = ctx.port("i")?;
                 let o = ctx.port("o")?;
-                ctx.leaf(buf(), buf_ports(), "b0", &[("i", i.into()), ("o", o.into())])?;
+                ctx.leaf(
+                    buf(),
+                    buf_ports(),
+                    "b0",
+                    &[("i", i.into()), ("o", o.into())],
+                )?;
                 Ok(())
             },
         );
@@ -449,7 +454,8 @@ mod tests {
         let mut c = Circuit::new("top");
         let mut ctx = c.root_ctx();
         let i = ctx.wire("i", 1);
-        ctx.leaf(buf(), buf_ports(), "b0", &[("i", i.into())]).unwrap();
+        ctx.leaf(buf(), buf_ports(), "b0", &[("i", i.into())])
+            .unwrap();
         let flat = FlatNetlist::build(&c).expect("flatten");
         let leaf = &flat.leaves()[0];
         let o_net = leaf.conn("o").unwrap().nets[0];
@@ -492,7 +498,10 @@ mod tests {
         assert_eq!(flat.port("a").unwrap().nets.len(), 4);
         // 4 input bits + 4 output bits.
         assert_eq!(flat.net_count(), 8);
-        assert_eq!(flat.nets()[flat.port("a").unwrap().nets[2].index()].name, "top/a[2]");
+        assert_eq!(
+            flat.nets()[flat.port("a").unwrap().nets[2].index()].name,
+            "top/a[2]"
+        );
     }
 
     #[test]

@@ -77,9 +77,7 @@ mod stats;
 mod validate;
 mod wire;
 
-pub use cell::{
-    Cell, CellKind, Port, PortDir, PortSpec, Primitive, PropertyValue, Rloc,
-};
+pub use cell::{Cell, CellKind, Port, PortDir, PortSpec, Primitive, PropertyValue, Rloc};
 pub use circuit::{CellCtx, Circuit, FnGenerator, Generator};
 pub use error::{HdlError, Result};
 pub use flatten::{FlatConn, FlatKind, FlatLeaf, FlatNet, FlatNetlist, FlatPort};

@@ -113,14 +113,34 @@ mod tests {
         let mut ctx = c.root_ctx();
         let i = ctx.wire("i", 1);
         let ports = vec![PortSpec::input("i", 1), PortSpec::output("o", 1)];
-        ctx.leaf(Primitive::new("virtex", "buf"), ports.clone(), "b0", &[("i", i.into())])
-            .unwrap();
-        ctx.leaf(Primitive::new("virtex", "buf"), ports.clone(), "b1", &[("i", i.into())])
-            .unwrap();
-        ctx.leaf(Primitive::new("virtex", "inv"), ports.clone(), "n0", &[("i", i.into())])
-            .unwrap();
-        ctx.black_box("secret", vec![PortSpec::input("i", 1)], "bb", &[("i", i.into())])
-            .unwrap();
+        ctx.leaf(
+            Primitive::new("virtex", "buf"),
+            ports.clone(),
+            "b0",
+            &[("i", i.into())],
+        )
+        .unwrap();
+        ctx.leaf(
+            Primitive::new("virtex", "buf"),
+            ports.clone(),
+            "b1",
+            &[("i", i.into())],
+        )
+        .unwrap();
+        ctx.leaf(
+            Primitive::new("virtex", "inv"),
+            ports.clone(),
+            "n0",
+            &[("i", i.into())],
+        )
+        .unwrap();
+        ctx.black_box(
+            "secret",
+            vec![PortSpec::input("i", 1)],
+            "bb",
+            &[("i", i.into())],
+        )
+        .unwrap();
         let stats = CircuitStats::of(&c);
         assert_eq!(stats.count_of("virtex:buf"), 2);
         assert_eq!(stats.count_of("virtex:inv"), 1);

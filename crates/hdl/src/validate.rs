@@ -197,11 +197,7 @@ fn check_placement_overlap(flat: &FlatNetlist, out: &mut Vec<Violation>) {
         match seen.insert(loc, leaf.path.as_str()) {
             None => {}
             Some(first) => {
-                let count = flat
-                    .leaves()
-                    .iter()
-                    .filter(|l| l.loc == Some(loc))
-                    .count();
+                let count = flat.leaves().iter().filter(|l| l.loc == Some(loc)).count();
                 if count > 4 {
                     out.push(Violation {
                         severity: Severity::Warning,
@@ -238,8 +234,13 @@ mod tests {
         let mut ctx = c.root_ctx();
         let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
         let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
-        ctx.leaf(buf(), buf_ports(), "b0", &[("i", a.into()), ("o", y.into())])
-            .unwrap();
+        ctx.leaf(
+            buf(),
+            buf_ports(),
+            "b0",
+            &[("i", a.into()), ("o", y.into())],
+        )
+        .unwrap();
         let report = validate(&c).unwrap();
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.warning_count(), 0);
@@ -251,10 +252,20 @@ mod tests {
         let mut ctx = c.root_ctx();
         let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
         let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
-        ctx.leaf(buf(), buf_ports(), "b0", &[("i", a.into()), ("o", y.into())])
-            .unwrap();
-        ctx.leaf(buf(), buf_ports(), "b1", &[("i", a.into()), ("o", y.into())])
-            .unwrap();
+        ctx.leaf(
+            buf(),
+            buf_ports(),
+            "b0",
+            &[("i", a.into()), ("o", y.into())],
+        )
+        .unwrap();
+        ctx.leaf(
+            buf(),
+            buf_ports(),
+            "b1",
+            &[("i", a.into()), ("o", y.into())],
+        )
+        .unwrap();
         let report = validate(&c).unwrap();
         assert!(!report.is_clean());
         assert!(report

@@ -1,107 +1,131 @@
 //! Algebraic laws of the four-state domain and the `LogicVec`
 //! conversions — the numeric foundation every generator test leans on.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the in-repo deterministic RNG (`ipd-testutil`), so
+//! the suite runs with zero registry dependencies.
 
 use ipd_hdl::{Logic, LogicVec};
+use ipd_testutil::{check_n, XorShift64};
 
-fn logic_strategy() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z)
-    ]
+fn any_logic(rng: &mut XorShift64) -> Logic {
+    match rng.below(4) {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn any_bits(rng: &mut XorShift64, lo: usize, hi: usize) -> Vec<Logic> {
+    let len = lo + rng.index(hi - lo);
+    (0..len).map(|_| any_logic(rng)).collect()
+}
 
-    #[test]
-    fn and_or_are_commutative_and_associative(
-        a in logic_strategy(), b in logic_strategy(), c in logic_strategy(),
-    ) {
-        prop_assert_eq!(a & b, b & a);
-        prop_assert_eq!(a | b, b | a);
-        prop_assert_eq!((a & b) & c, a & (b & c));
-        prop_assert_eq!((a | b) | c, a | (b | c));
-        prop_assert_eq!(a ^ b, b ^ a);
+#[test]
+fn and_or_are_commutative_and_associative() {
+    check_n("and_or_laws", 256, |rng| {
+        let (a, b, c) = (any_logic(rng), any_logic(rng), any_logic(rng));
+        assert_eq!(a & b, b & a);
+        assert_eq!(a | b, b | a);
+        assert_eq!((a & b) & c, a & (b & c));
+        assert_eq!((a | b) | c, a | (b | c));
+        assert_eq!(a ^ b, b ^ a);
+    });
+}
+
+#[test]
+fn de_morgan_holds_for_driven_values() {
+    for a in [Logic::Zero, Logic::One] {
+        for b in [Logic::Zero, Logic::One] {
+            assert_eq!(!(a & b), !a | !b);
+            assert_eq!(!(a | b), !a & !b);
+        }
     }
+}
 
-    #[test]
-    fn de_morgan_holds_for_driven_values(a in any::<bool>(), b in any::<bool>()) {
-        let (a, b) = (Logic::from_bool(a), Logic::from_bool(b));
-        prop_assert_eq!(!(a & b), !a | !b);
-        prop_assert_eq!(!(a | b), !a & !b);
-    }
+#[test]
+fn resolution_is_commutative_with_z_identity() {
+    check_n("resolution", 256, |rng| {
+        let (a, b) = (any_logic(rng), any_logic(rng));
+        assert_eq!(a.resolve(b), b.resolve(a));
+        assert_eq!(Logic::Z.resolve(a), a);
+    });
+}
 
-    #[test]
-    fn resolution_is_commutative_with_z_identity(a in logic_strategy(), b in logic_strategy()) {
-        prop_assert_eq!(a.resolve(b), b.resolve(a));
-        prop_assert_eq!(Logic::Z.resolve(a), a);
-    }
-
-    #[test]
-    fn u64_round_trip(value in any::<u64>(), width in 1usize..64) {
-        let masked = value & ((1u64 << width) - 1);
+#[test]
+fn u64_round_trip() {
+    check_n("u64_round_trip", 256, |rng| {
+        let width = 1 + rng.index(63);
+        let masked = rng.next_u64() & ((1u64 << width) - 1);
         let v = LogicVec::from_u64(masked, width);
-        prop_assert_eq!(v.to_u64(), Some(masked));
-        prop_assert_eq!(v.width(), width);
-    }
+        assert_eq!(v.to_u64(), Some(masked));
+        assert_eq!(v.width(), width);
+    });
+}
 
-    #[test]
-    fn i64_round_trip(value in any::<i64>(), width in 1usize..63) {
+#[test]
+fn i64_round_trip() {
+    check_n("i64_round_trip", 256, |rng| {
+        let width = 1 + rng.index(62);
         let span = 1i64 << (width - 1);
-        let clamped = ((value % span) + span) % span - if value < 0 { span } else { 0 };
-        let wrapped = if clamped >= span { clamped - 2 * span } else { clamped };
+        let wrapped = rng.range_i64(-span, span - 1);
         let v = LogicVec::from_i64(wrapped, width);
-        prop_assert_eq!(v.to_i64(), Some(wrapped), "width {}", width);
-    }
+        assert_eq!(v.to_i64(), Some(wrapped), "width {width}");
+    });
+}
 
-    #[test]
-    fn display_parse_round_trip(bits in proptest::collection::vec(logic_strategy(), 0..48)) {
-        let v = LogicVec::from_bits(bits);
+#[test]
+fn display_parse_round_trip() {
+    check_n("display_parse", 256, |rng| {
+        let v = LogicVec::from_bits(any_bits(rng, 0, 48));
         let text = v.to_string();
         let back = LogicVec::parse_binary(&text).expect("parse own display");
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn concat_slice_inverse(
-        lo_bits in proptest::collection::vec(logic_strategy(), 1..16),
-        hi_bits in proptest::collection::vec(logic_strategy(), 1..16),
-    ) {
-        let lo = LogicVec::from_bits(lo_bits.clone());
-        let hi = LogicVec::from_bits(hi_bits.clone());
+#[test]
+fn concat_slice_inverse() {
+    check_n("concat_slice", 256, |rng| {
+        let lo = LogicVec::from_bits(any_bits(rng, 1, 16));
+        let hi = LogicVec::from_bits(any_bits(rng, 1, 16));
         let cat = lo.concat(&hi);
-        prop_assert_eq!(cat.width(), lo.width() + hi.width());
-        prop_assert_eq!(cat.slice(lo.width() - 1, 0), lo.clone());
-        prop_assert_eq!(cat.slice(cat.width() - 1, lo.width()), hi);
-    }
+        assert_eq!(cat.width(), lo.width() + hi.width());
+        assert_eq!(cat.slice(lo.width() - 1, 0), lo);
+        assert_eq!(cat.slice(cat.width() - 1, lo.width()), hi);
+    });
+}
 
-    #[test]
-    fn sign_extension_preserves_value(value in -1000i64..1000, extra in 0usize..12) {
+#[test]
+fn sign_extension_preserves_value() {
+    check_n("sign_extension", 256, |rng| {
+        let value = rng.range_i64(-1000, 1000);
+        let extra = rng.index(12);
         let base = 11usize;
         let v = LogicVec::from_i64(value, base);
         let wrapped = v.to_i64().expect("driven");
         let extended = v.resized(base + extra, true);
-        prop_assert_eq!(extended.to_i64(), Some(wrapped));
-    }
+        assert_eq!(extended.to_i64(), Some(wrapped));
+    });
+}
 
-    #[test]
-    fn zero_extension_preserves_unsigned(value in any::<u64>(), extra in 0usize..12) {
-        let masked = value & 0xFFFF;
+#[test]
+fn zero_extension_preserves_unsigned() {
+    check_n("zero_extension", 256, |rng| {
+        let masked = rng.next_u64() & 0xFFFF;
+        let extra = rng.index(12);
         let v = LogicVec::from_u64(masked, 16);
-        prop_assert_eq!(v.resized(16 + extra, false).to_u64(), Some(masked));
-    }
+        assert_eq!(v.resized(16 + extra, false).to_u64(), Some(masked));
+    });
+}
 
-    #[test]
-    fn undriven_bits_poison_conversions(
-        bits in proptest::collection::vec(logic_strategy(), 1..32),
-    ) {
+#[test]
+fn undriven_bits_poison_conversions() {
+    check_n("poison", 256, |rng| {
+        let bits = any_bits(rng, 1, 32);
         let v = LogicVec::from_bits(bits.clone());
         let has_unknown = bits.iter().any(|b| !b.is_driven());
-        prop_assert_eq!(v.to_u64().is_none(), has_unknown);
-        prop_assert_eq!(v.is_fully_driven(), !has_unknown);
-    }
+        assert_eq!(v.to_u64().is_none(), has_unknown);
+        assert_eq!(v.is_fully_driven(), !has_unknown);
+    });
 }

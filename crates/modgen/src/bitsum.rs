@@ -157,13 +157,8 @@ pub(crate) fn reduce_tree(
         while let Some(a) = iter.next() {
             match iter.next() {
                 Some(b) => {
-                    let combined = combine(
-                        ctx,
-                        a,
-                        b,
-                        zero,
-                        &format!("{label}_l{level}_{pair_index}"),
-                    )?;
+                    let combined =
+                        combine(ctx, a, b, zero, &format!("{label}_l{level}_{pair_index}"))?;
                     next.push(combined);
                 }
                 None => next.push(a),
@@ -173,12 +168,7 @@ pub(crate) fn reduce_tree(
         if let Some(clk) = clk {
             let mut registered = Vec::with_capacity(next.len());
             for (i, v) in next.into_iter().enumerate() {
-                registered.push(register(
-                    ctx,
-                    v,
-                    clk,
-                    &format!("{label}_r{level}_{i}"),
-                )?);
+                registered.push(register(ctx, v, clk, &format!("{label}_r{level}_{i}"))?);
             }
             next = registered;
         }

@@ -11,9 +11,7 @@
 use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
-use crate::bitsum::{
-    reduce_tree, register, tree_levels, width_for, wire_bits, PartialValue,
-};
+use crate::bitsum::{reduce_tree, register, tree_levels, width_for, wire_bits, PartialValue};
 
 /// Maximum multiplicand width accepted by the generator.
 pub const KCM_MAX_INPUT_WIDTH: u32 = 32;
@@ -184,6 +182,36 @@ impl KcmMultiplier {
         }
     }
 
+    /// The exhaustive multiplicand sweep for this multiplier: one
+    /// stimulus vector per multiplicand value, in the order of
+    /// [`crate::sweep::exhaustive_values`]. Ready for
+    /// `ipd_sim::VectorSweep::run` (pipelined instances need
+    /// `.cycles(latency)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input width exceeds
+    /// [`crate::sweep::MAX_EXHAUSTIVE_WIDTH`].
+    #[must_use]
+    pub fn sweep_stimuli(&self) -> Vec<Vec<(String, ipd_hdl::LogicVec)>> {
+        crate::sweep::exhaustive_stimuli("multiplicand", self.input_width, self.signed)
+    }
+
+    /// The golden products for [`KcmMultiplier::sweep_stimuli`], in the
+    /// same order: [`KcmMultiplier::reference_product`] of each
+    /// multiplicand value.
+    ///
+    /// # Panics
+    ///
+    /// As for [`KcmMultiplier::sweep_stimuli`].
+    #[must_use]
+    pub fn expected_products(&self) -> Vec<i64> {
+        crate::sweep::exhaustive_values(self.input_width, self.signed)
+            .into_iter()
+            .map(|x| self.reference_product(x))
+            .collect()
+    }
+
     fn validate(&self) -> Result<()> {
         let fail = |reason: String| {
             Err(HdlError::InvalidParameter {
@@ -203,11 +231,7 @@ impl KcmMultiplier {
         if self.constant < 0 && !self.signed {
             return fail("negative constants require signed mode".to_owned());
         }
-        let kbits = 64 - self
-            .constant
-            .unsigned_abs()
-            .leading_zeros()
-            .min(63);
+        let kbits = 64 - self.constant.unsigned_abs().leading_zeros().min(63);
         if kbits > KCM_MAX_CONSTANT_BITS {
             return fail(format!(
                 "constant magnitude exceeds {KCM_MAX_CONSTANT_BITS} bits"
@@ -286,12 +310,9 @@ impl Generator for KcmMultiplier {
             let (v_a, v_b) = (k * d_lo, k * d_hi);
             let (lo, hi) = (v_a.min(v_b), v_a.max(v_b));
             let pp_width = width_for(lo, hi);
-            let (pp, bits) =
-                wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
+            let (pp, bits) = wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
             // One LUT per product bit: truth table over digit values.
-            let inputs: Vec<Signal> = (0..dwidth)
-                .map(|i| Signal::bit_of(x, offset + i))
-                .collect();
+            let inputs: Vec<Signal> = (0..dwidth).map(|i| Signal::bit_of(x, offset + i)).collect();
             for out_bit in 0..pp_width {
                 let mut init = 0u16;
                 for pattern in 0..(1u32 << dwidth) {
@@ -383,7 +404,8 @@ mod tests {
                 got.to_u64().unwrap() as i64
             };
             assert_eq!(
-                got_val, expect,
+                got_val,
+                expect,
                 "constant={} x={x} signed={} product={got}",
                 kcm.constant(),
                 kcm.is_signed()
@@ -401,15 +423,40 @@ mod tests {
 
     #[test]
     fn signed_negative_constant_exhaustive() {
-        let kcm = KcmMultiplier::new(-56, 6, KcmMultiplier::new(-56, 6, 1).signed(true).full_product_width())
-            .signed(true);
+        let kcm = KcmMultiplier::new(
+            -56,
+            6,
+            KcmMultiplier::new(-56, 6, 1)
+                .signed(true)
+                .full_product_width(),
+        )
+        .signed(true);
         check_all_inputs(&kcm);
     }
 
     #[test]
     fn signed_positive_constant_exhaustive() {
-        let full = KcmMultiplier::new(11, 6, 1).signed(true).full_product_width();
+        let full = KcmMultiplier::new(11, 6, 1)
+            .signed(true)
+            .full_product_width();
         check_all_inputs(&KcmMultiplier::new(11, 6, full).signed(true));
+    }
+
+    #[test]
+    fn sweep_helpers_agree_with_reference() {
+        let full = KcmMultiplier::new(-56, 6, 1)
+            .signed(true)
+            .full_product_width();
+        let kcm = KcmMultiplier::new(-56, 6, full).signed(true);
+        let stims = kcm.sweep_stimuli();
+        let golden = kcm.expected_products();
+        assert_eq!(stims.len(), 64);
+        assert_eq!(golden.len(), 64);
+        for (stim, expect) in stims.iter().zip(&golden) {
+            assert_eq!(stim[0].0, "multiplicand");
+            let x = stim[0].1.to_i64().expect("driven");
+            assert_eq!(kcm.reference_product(x), *expect);
+        }
     }
 
     #[test]

@@ -58,10 +58,11 @@ mod mult;
 mod register;
 mod rom;
 mod shift;
+pub mod sweep;
 
 pub use accum::Accumulator;
 pub use add::{AddSub, RippleAdder, Subtractor};
-pub use compare::{CompareOp, Comparator};
+pub use compare::{Comparator, CompareOp};
 pub use counter::{CountDirection, Counter};
 pub use fir::FirFilter;
 pub use gray::{GrayCounter, PopCount};

@@ -214,8 +214,7 @@ mod tests {
 
     #[test]
     fn register_ce_and_clr() {
-        let circuit =
-            Circuit::from_generator(&Register::new(4).with_ce().with_clr()).unwrap();
+        let circuit = Circuit::from_generator(&Register::new(4).with_ce().with_clr()).unwrap();
         let mut sim = Simulator::new(&circuit).unwrap();
         sim.set_u64("clr", 0).unwrap();
         sim.set_u64("ce", 1).unwrap();
@@ -234,8 +233,7 @@ mod tests {
     #[test]
     fn shift_register_delays_exactly() {
         for depth in [1u32, 3, 16, 17, 20] {
-            let circuit =
-                Circuit::from_generator(&ShiftRegister::new(1, depth)).unwrap();
+            let circuit = Circuit::from_generator(&ShiftRegister::new(1, depth)).unwrap();
             let mut sim = Simulator::new(&circuit).unwrap();
             sim.set_u64("ce", 1).unwrap();
             // Send a single 1 pulse.

@@ -120,7 +120,8 @@ impl Generator for Rom {
                     let out: Signal = if layer.len() == 2 {
                         Signal::bit_of(data, bit)
                     } else {
-                        ctx.wire(&format!("b{bit}_m{level}_{}", next.len()), 1).into()
+                        ctx.wire(&format!("b{bit}_m{level}_{}", next.len()), 1)
+                            .into()
                     };
                     ctx.mux2(pair[0].clone(), pair[1].clone(), sel.clone(), out.clone())?;
                     next.push(out);

@@ -1,0 +1,82 @@
+//! Golden-model stimulus helpers for verification sweeps.
+//!
+//! A module generator knows its own arithmetic, so it can emit both the
+//! exhaustive stimulus set for its input ports and the expected outputs
+//! — the "golden model" a batch simulation sweep is checked against.
+//! The stimulus shape (`Vec<(port, value)>` per vector) is exactly what
+//! `ipd_sim::VectorSweep::run` consumes.
+
+use ipd_hdl::LogicVec;
+
+/// Widest port [`exhaustive_values`] will enumerate (2²⁰ vectors).
+pub const MAX_EXHAUSTIVE_WIDTH: u32 = 20;
+
+/// Every value of a `width`-bit port, in ascending numeric order:
+/// `0..2^w` unsigned, `-2^(w-1)..2^(w-1)` signed.
+///
+/// # Panics
+///
+/// Panics when `width` is 0 or exceeds [`MAX_EXHAUSTIVE_WIDTH`] (the
+/// sweep would be astronomically large — sample instead).
+#[must_use]
+pub fn exhaustive_values(width: u32, signed: bool) -> Vec<i64> {
+    assert!(
+        (1..=MAX_EXHAUSTIVE_WIDTH).contains(&width),
+        "exhaustive sweep width must be 1..={MAX_EXHAUSTIVE_WIDTH}, got {width}"
+    );
+    if signed {
+        (-(1i64 << (width - 1))..(1i64 << (width - 1))).collect()
+    } else {
+        (0..(1i64 << width)).collect()
+    }
+}
+
+/// One stimulus vector per value of a single `width`-bit input port —
+/// the exhaustive sweep for a one-input module.
+///
+/// # Panics
+///
+/// As for [`exhaustive_values`].
+#[must_use]
+pub fn exhaustive_stimuli(port: &str, width: u32, signed: bool) -> Vec<Vec<(String, LogicVec)>> {
+    exhaustive_values(width, signed)
+        .into_iter()
+        .map(|x| {
+            let value = if signed {
+                LogicVec::from_i64(x, width as usize)
+            } else {
+                LogicVec::from_u64(x as u64, width as usize)
+            };
+            vec![(port.to_owned(), value)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_cover_the_whole_range() {
+        assert_eq!(exhaustive_values(3, false), (0..8).collect::<Vec<i64>>());
+        assert_eq!(exhaustive_values(3, true), (-4..4).collect::<Vec<i64>>());
+        assert_eq!(exhaustive_values(1, false), vec![0, 1]);
+    }
+
+    #[test]
+    fn stimuli_encode_each_value() {
+        let stims = exhaustive_stimuli("x", 4, true);
+        assert_eq!(stims.len(), 16);
+        for (k, stim) in stims.iter().enumerate() {
+            assert_eq!(stim.len(), 1);
+            assert_eq!(stim[0].0, "x");
+            assert_eq!(stim[0].1.to_i64(), Some(k as i64 - 8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive sweep width")]
+    fn oversized_widths_panic() {
+        let _ = exhaustive_values(MAX_EXHAUSTIVE_WIDTH + 1, false);
+    }
+}

@@ -239,10 +239,7 @@ impl<'a> Emitter<'a> {
 
     fn emit_interface_only_cell(&mut self, legal: &str, rep: CellId) {
         let cell = self.circuit.cell(rep);
-        self.open(&format!(
-            "(cell {}",
-            Self::named(legal, cell.type_name())
-        ));
+        self.open(&format!("(cell {}", Self::named(legal, cell.type_name())));
         self.line("(cellType GENERIC)");
         self.open("(view netlist");
         self.line("(viewType NETLIST)");
@@ -337,7 +334,9 @@ impl<'a> Emitter<'a> {
             // instances share their representative's interface, which
             // was built identically, so the child's own table works.
             for port in child_cell.ports() {
-                let Some(outer) = port.outer.as_ref() else { continue };
+                let Some(outer) = port.outer.as_ref() else {
+                    continue;
+                };
                 for (k, (w, b)) in outer.bits().enumerate() {
                     let source = bit_port_source(&port.spec.name, k as u32, port.spec.width);
                     let pname = self.port_names[&child][&source].clone();
@@ -353,7 +352,9 @@ impl<'a> Emitter<'a> {
         for wid in scope_wires {
             let wire = circuit.wire(wid);
             for bit in 0..wire.width() {
-                let Some(refs) = joins.get(&(wid, bit)) else { continue };
+                let Some(refs) = joins.get(&(wid, bit)) else {
+                    continue;
+                };
                 if refs.is_empty() {
                     continue;
                 }
@@ -427,8 +428,12 @@ mod tests {
         assert_eq!(cells.len(), 3);
         let instances = tree.find_all("instance");
         assert_eq!(instances.len(), 2); // u0 in top, and2 in stage
-        // Primitive instance references virtex library.
-        let libs: Vec<_> = tree.find_all("libraryRef").iter().map(|l| l.items()[1].as_str().unwrap().to_owned()).collect();
+                                        // Primitive instance references virtex library.
+        let libs: Vec<_> = tree
+            .find_all("libraryRef")
+            .iter()
+            .map(|l| l.items()[1].as_str().unwrap().to_owned())
+            .collect();
         assert!(libs.contains(&"virtex".to_owned()));
         assert!(libs.contains(&"work".to_owned()));
         // Design points at top.

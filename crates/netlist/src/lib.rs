@@ -73,7 +73,11 @@ impl NetlistFormat {
     /// All supported formats.
     #[must_use]
     pub fn all() -> [NetlistFormat; 3] {
-        [NetlistFormat::Edif, NetlistFormat::Vhdl, NetlistFormat::Verilog]
+        [
+            NetlistFormat::Edif,
+            NetlistFormat::Vhdl,
+            NetlistFormat::Verilog,
+        ]
     }
 
     /// Conventional file extension.

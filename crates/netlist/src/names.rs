@@ -20,37 +20,209 @@ pub enum Dialect {
 }
 
 const VHDL_KEYWORDS: &[&str] = &[
-    "abs", "access", "after", "alias", "all", "and", "architecture", "array",
-    "assert", "attribute", "begin", "block", "body", "buffer", "bus", "case",
-    "component", "configuration", "constant", "disconnect", "downto", "else",
-    "elsif", "end", "entity", "exit", "file", "for", "function", "generate",
-    "generic", "group", "guarded", "if", "impure", "in", "inertial", "inout",
-    "is", "label", "library", "linkage", "literal", "loop", "map", "mod",
-    "nand", "new", "next", "nor", "not", "null", "of", "on", "open", "or",
-    "others", "out", "package", "port", "postponed", "procedure", "process",
-    "pure", "range", "record", "register", "reject", "rem", "report",
-    "return", "rol", "ror", "select", "severity", "signal", "shared", "sla",
-    "sll", "sra", "srl", "subtype", "then", "to", "transport", "type",
-    "unaffected", "units", "until", "use", "variable", "wait", "when",
-    "while", "with", "xnor", "xor",
+    "abs",
+    "access",
+    "after",
+    "alias",
+    "all",
+    "and",
+    "architecture",
+    "array",
+    "assert",
+    "attribute",
+    "begin",
+    "block",
+    "body",
+    "buffer",
+    "bus",
+    "case",
+    "component",
+    "configuration",
+    "constant",
+    "disconnect",
+    "downto",
+    "else",
+    "elsif",
+    "end",
+    "entity",
+    "exit",
+    "file",
+    "for",
+    "function",
+    "generate",
+    "generic",
+    "group",
+    "guarded",
+    "if",
+    "impure",
+    "in",
+    "inertial",
+    "inout",
+    "is",
+    "label",
+    "library",
+    "linkage",
+    "literal",
+    "loop",
+    "map",
+    "mod",
+    "nand",
+    "new",
+    "next",
+    "nor",
+    "not",
+    "null",
+    "of",
+    "on",
+    "open",
+    "or",
+    "others",
+    "out",
+    "package",
+    "port",
+    "postponed",
+    "procedure",
+    "process",
+    "pure",
+    "range",
+    "record",
+    "register",
+    "reject",
+    "rem",
+    "report",
+    "return",
+    "rol",
+    "ror",
+    "select",
+    "severity",
+    "signal",
+    "shared",
+    "sla",
+    "sll",
+    "sra",
+    "srl",
+    "subtype",
+    "then",
+    "to",
+    "transport",
+    "type",
+    "unaffected",
+    "units",
+    "until",
+    "use",
+    "variable",
+    "wait",
+    "when",
+    "while",
+    "with",
+    "xnor",
+    "xor",
 ];
 
 const VERILOG_KEYWORDS: &[&str] = &[
-    "always", "and", "assign", "begin", "buf", "bufif0", "bufif1", "case",
-    "casex", "casez", "cmos", "deassign", "default", "defparam", "disable",
-    "edge", "else", "end", "endcase", "endfunction", "endmodule",
-    "endprimitive", "endspecify", "endtable", "endtask", "event", "for",
-    "force", "forever", "fork", "function", "highz0", "highz1", "if",
-    "ifnone", "initial", "inout", "input", "integer", "join", "large",
-    "macromodule", "medium", "module", "nand", "negedge", "nmos", "nor",
-    "not", "notif0", "notif1", "or", "output", "parameter", "pmos",
-    "posedge", "primitive", "pull0", "pull1", "pulldown", "pullup", "rcmos",
-    "real", "realtime", "reg", "release", "repeat", "rnmos", "rpmos",
-    "rtran", "rtranif0", "rtranif1", "scalared", "signed", "small",
-    "specify", "specparam", "strong0", "strong1", "supply0", "supply1",
-    "table", "task", "time", "tran", "tranif0", "tranif1", "tri", "tri0",
-    "tri1", "triand", "trior", "trireg", "vectored", "wait", "wand", "weak0",
-    "weak1", "while", "wire", "wor", "xnor", "xor",
+    "always",
+    "and",
+    "assign",
+    "begin",
+    "buf",
+    "bufif0",
+    "bufif1",
+    "case",
+    "casex",
+    "casez",
+    "cmos",
+    "deassign",
+    "default",
+    "defparam",
+    "disable",
+    "edge",
+    "else",
+    "end",
+    "endcase",
+    "endfunction",
+    "endmodule",
+    "endprimitive",
+    "endspecify",
+    "endtable",
+    "endtask",
+    "event",
+    "for",
+    "force",
+    "forever",
+    "fork",
+    "function",
+    "highz0",
+    "highz1",
+    "if",
+    "ifnone",
+    "initial",
+    "inout",
+    "input",
+    "integer",
+    "join",
+    "large",
+    "macromodule",
+    "medium",
+    "module",
+    "nand",
+    "negedge",
+    "nmos",
+    "nor",
+    "not",
+    "notif0",
+    "notif1",
+    "or",
+    "output",
+    "parameter",
+    "pmos",
+    "posedge",
+    "primitive",
+    "pull0",
+    "pull1",
+    "pulldown",
+    "pullup",
+    "rcmos",
+    "real",
+    "realtime",
+    "reg",
+    "release",
+    "repeat",
+    "rnmos",
+    "rpmos",
+    "rtran",
+    "rtranif0",
+    "rtranif1",
+    "scalared",
+    "signed",
+    "small",
+    "specify",
+    "specparam",
+    "strong0",
+    "strong1",
+    "supply0",
+    "supply1",
+    "table",
+    "task",
+    "time",
+    "tran",
+    "tranif0",
+    "tranif1",
+    "tri",
+    "tri0",
+    "tri1",
+    "triand",
+    "trior",
+    "trireg",
+    "vectored",
+    "wait",
+    "wand",
+    "weak0",
+    "weak1",
+    "while",
+    "wire",
+    "wor",
+    "xnor",
+    "xor",
 ];
 
 /// A per-output-file table mapping source names to unique legal
@@ -138,9 +310,8 @@ impl NameTable {
 fn sanitize(source: &str, dialect: Dialect) -> String {
     let mut out = String::with_capacity(source.len());
     for ch in source.chars() {
-        let legal = ch.is_ascii_alphanumeric()
-            || ch == '_'
-            || (dialect == Dialect::Verilog && ch == '$');
+        let legal =
+            ch.is_ascii_alphanumeric() || ch == '_' || (dialect == Dialect::Verilog && ch == '$');
         out.push(if legal { ch } else { '_' });
     }
     if out.is_empty() {
@@ -226,10 +397,7 @@ mod tests {
     fn injective_over_colliding_sources() {
         let mut t = NameTable::new(Dialect::Edif);
         let names = ["a[0]", "a_0", "a 0", "a/0"];
-        let mut legal: Vec<String> = names
-            .iter()
-            .map(|n| t.legalize(n).to_owned())
-            .collect();
+        let mut legal: Vec<String> = names.iter().map(|n| t.legalize(n).to_owned()).collect();
         legal.sort();
         legal.dedup();
         assert_eq!(legal.len(), names.len());

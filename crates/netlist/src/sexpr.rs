@@ -222,8 +222,8 @@ mod tests {
 
     #[test]
     fn find_all_recurses() {
-        let e = SExpr::parse("(a (cell x) (b (cell y) (cell (rename z_1 \"z[1]\"))))")
-            .expect("parse");
+        let e =
+            SExpr::parse("(a (cell x) (b (cell y) (cell (rename z_1 \"z[1]\"))))").expect("parse");
         let cells = e.find_all("cell");
         assert_eq!(cells.len(), 3);
         assert_eq!(cells[2].name(), Some("z_1"));

@@ -143,22 +143,14 @@ pub fn testbench_verilog(
         let _ = writeln!(out, "    // vector {i}");
         for (port, value) in &vector.inputs {
             if let Some((_, legal, _)) = lookup(port) {
-                let _ = writeln!(
-                    out,
-                    "    {legal} = {}'b{value};",
-                    value.width()
-                );
+                let _ = writeln!(out, "    {legal} = {}'b{value};", value.width());
             }
         }
         // One clock period (or a settle delay for pure combinational).
         let _ = writeln!(out, "    #10;");
         for (port, value) in &vector.expected {
             if let Some((_, legal, _)) = lookup(port) {
-                let _ = writeln!(
-                    out,
-                    "    if ({legal} !== {}'b{value}) begin",
-                    value.width()
-                );
+                let _ = writeln!(out, "    if ({legal} !== {}'b{value}) begin", value.width());
                 let _ = writeln!(
                     out,
                     "      $display(\"FAIL vector {i}: {legal} = %b (expected {value})\", {legal});"
@@ -168,7 +160,11 @@ pub fn testbench_verilog(
             }
         }
     }
-    let _ = writeln!(out, "    if (errors == 0) $display(\"PASS: {} vectors\");", vectors.len());
+    let _ = writeln!(
+        out,
+        "    if (errors == 0) $display(\"PASS: {} vectors\");",
+        vectors.len()
+    );
     let _ = writeln!(out, "    else $display(\"FAIL: %0d error(s)\", errors);");
     let _ = writeln!(out, "    $finish;");
     let _ = writeln!(out, "  end");

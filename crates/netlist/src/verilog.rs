@@ -146,7 +146,11 @@ fn emit(flat: &FlatNetlist) -> String {
         let mut assoc = Vec::new();
         for conn in &leaf.conns {
             if conn.nets.len() == 1 {
-                assoc.push(format!(".{}({})", conn.port, net_names[conn.nets[0].index()]));
+                assoc.push(format!(
+                    ".{}({})",
+                    conn.port,
+                    net_names[conn.nets[0].index()]
+                ));
             } else {
                 // Concatenation, MSB first.
                 let bits: Vec<&str> = conn
@@ -238,7 +242,8 @@ mod tests {
         let mut c = Circuit::new("ct");
         let mut ctx = c.root_ctx();
         let y = ctx.add_port(PortSpec::output("y", 2)).unwrap();
-        ctx.constant(y, &ipd_hdl::LogicVec::from_u64(0b10, 2)).unwrap();
+        ctx.constant(y, &ipd_hdl::LogicVec::from_u64(0b10, 2))
+            .unwrap();
         let text = verilog_string(&c).expect("emit");
         assert!(text.contains("1'b0"));
         assert!(text.contains("1'b1"));

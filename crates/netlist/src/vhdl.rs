@@ -292,7 +292,8 @@ mod tests {
         let mut c = Circuit::new("ct");
         let mut ctx = c.root_ctx();
         let y = ctx.add_port(PortSpec::output("y", 2)).unwrap();
-        ctx.constant(y, &ipd_hdl::LogicVec::from_u64(0b01, 2)).unwrap();
+        ctx.constant(y, &ipd_hdl::LogicVec::from_u64(0b01, 2))
+            .unwrap();
         let text = vhdl_string(&c).expect("emit");
         assert!(text.contains("<= '0';"));
         assert!(text.contains("<= '1';"));

@@ -259,7 +259,8 @@ mod tests {
     fn round_trip_multi_entry() {
         let mut a = Archive::new("Virtex");
         a.add("lib/lut4.class", vec![1, 2, 3, 4]).unwrap();
-        a.add("lib/fdce.class", b"flip flop model".to_vec()).unwrap();
+        a.add("lib/fdce.class", b"flip flop model".to_vec())
+            .unwrap();
         a.add("empty", Vec::new()).unwrap();
         let bytes = a.to_bytes();
         let back = Archive::from_bytes(&bytes).expect("parse");

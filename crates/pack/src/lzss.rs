@@ -206,7 +206,12 @@ mod tests {
     fn repetitive_data_shrinks() {
         let data = b"partial product lookup table ".repeat(100);
         let packed = compress(&data);
-        assert!(packed.len() < data.len() / 3, "{} vs {}", packed.len(), data.len());
+        assert!(
+            packed.len() < data.len() / 3,
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
         round_trip(&data);
     }
 

@@ -1,68 +1,87 @@
 //! Property tests over the archive container: arbitrary entry sets
 //! round-trip, and arbitrary byte corruption is detected.
+//!
+//! Randomized with the in-repo deterministic RNG (`ipd-testutil`), so
+//! the suite runs with zero registry dependencies.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 use ipd_pack::{Archive, PackError};
+use ipd_testutil::{check_n, XorShift64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn any_entry_name(rng: &mut XorShift64) -> String {
+    let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_/.";
+    let len = 1 + rng.index(32);
+    (0..len)
+        .map(|_| alphabet[rng.index(alphabet.len())] as char)
+        .collect()
+}
 
-    #[test]
-    fn arbitrary_archives_round_trip(
-        entries in proptest::collection::btree_map(
-            "[a-zA-Z0-9_/.]{1,32}",
-            proptest::collection::vec(any::<u8>(), 0..2048),
-            0..12,
-        ),
-        name in "[a-zA-Z]{1,16}",
-    ) {
+#[test]
+fn arbitrary_archives_round_trip() {
+    check_n("archives_round_trip", 64, |rng| {
+        let mut entries: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for _ in 0..rng.index(12) {
+            let len = rng.index(2048);
+            entries.insert(any_entry_name(rng), rng.bytes(len));
+        }
+        let name: String = (0..1 + rng.index(16))
+            .map(|_| (b'a' + (rng.below(26) as u8)) as char)
+            .collect();
         let mut archive = Archive::new(name.clone());
         for (entry_name, data) in &entries {
-            archive.add(entry_name.clone(), data.clone()).expect("unique names");
+            archive
+                .add(entry_name.clone(), data.clone())
+                .expect("unique names");
         }
         let bytes = archive.to_bytes();
         let back = Archive::from_bytes(&bytes).expect("parse");
-        prop_assert_eq!(back.name(), name.as_str());
-        prop_assert_eq!(back.len(), entries.len());
+        assert_eq!(back.name(), name.as_str());
+        assert_eq!(back.len(), entries.len());
         for (entry_name, data) in &entries {
-            prop_assert_eq!(back.entry(entry_name).expect("present").data(), &data[..]);
+            assert_eq!(back.entry(entry_name).expect("present").data(), &data[..]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn parser_never_panics_on_garbage() {
+    check_n("parser_never_panics", 64, |rng| {
+        let len = rng.index(512);
+        let bytes = rng.bytes(len);
         let _ = Archive::from_bytes(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn any_corruption_of_payload_bytes_is_detected(
-        data in proptest::collection::vec(any::<u8>(), 64..512),
-        flip in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+#[test]
+fn any_corruption_of_payload_bytes_is_detected() {
+    check_n("corruption_detected", 64, |rng| {
+        let len = 64 + rng.index(448);
+        let data = rng.bytes(len);
         let mut archive = Archive::new("a");
         archive.add("entry", data).expect("add");
         let mut bytes = archive.to_bytes();
         // Only corrupt past the fixed header (magic + version).
         let start = 5;
-        let idx = start + flip.index(bytes.len() - start);
+        let idx = start + rng.index(bytes.len() - start);
+        let bit = rng.below(8) as u8;
         bytes[idx] ^= 1 << bit;
         match Archive::from_bytes(&bytes) {
             // Either detected...
-            Err(PackError::ChecksumMismatch { .. } | PackError::CorruptStream { .. } |
-                PackError::DuplicateEntry { .. } | PackError::MissingEntry { .. }) => {}
+            Err(
+                PackError::ChecksumMismatch { .. }
+                | PackError::CorruptStream { .. }
+                | PackError::DuplicateEntry { .. }
+                | PackError::MissingEntry { .. },
+            ) => {}
             // ...or the flip only touched the archive/entry *name*
             // fields, which CRC does not cover — contents must still
             // be intact.
             Ok(parsed) => {
-                prop_assert_eq!(parsed.len(), 1);
-                prop_assert_eq!(
-                    parsed.entries()[0].data(),
-                    archive.entries()[0].data()
-                );
+                assert_eq!(parsed.len(), 1);
+                assert_eq!(parsed.entries()[0].data(), archive.entries()[0].data());
             }
             Err(_) => {}
         }
-    }
+    });
 }

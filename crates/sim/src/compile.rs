@@ -146,9 +146,13 @@ pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Co
     loop {
         let mut changed = false;
         for leaf in flat.leaves() {
-            let FlatKind::Primitive(prim) = &leaf.kind else { continue };
+            let FlatKind::Primitive(prim) = &leaf.kind else {
+                continue;
+            };
             if prim.name == "buf" || prim.name == "bufg" {
-                let (Some(i), Some(o)) = (leaf.conn("i"), leaf.conn("o")) else { continue };
+                let (Some(i), Some(o)) = (leaf.conn("i"), leaf.conn("o")) else {
+                    continue;
+                };
                 let (i, o) = (i.nets[0], o.nets[0]);
                 if clock_net_set[i.index()] && !clock_net_set[o.index()] {
                     clock_net_set[o.index()] = true;
@@ -195,9 +199,7 @@ pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Co
             }
             FlatKind::Primitive(prim) => {
                 let kind = PrimKind::from_primitive(prim)?;
-                let conn1 = |name: &str| -> NetId {
-                    leaf.conn(name).expect("port exists").nets[0]
-                };
+                let conn1 = |name: &str| -> NetId { leaf.conn(name).expect("port exists").nets[0] };
                 match kind.class() {
                     PrimClass::Const(v) => {
                         let o = conn1("o");
@@ -247,9 +249,7 @@ pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Co
                                 FfControl::AsyncClear => {
                                     Some((FfControl::AsyncClear, conn1("clr")))
                                 }
-                                FfControl::SyncReset => {
-                                    Some((FfControl::SyncReset, conn1("r")))
-                                }
+                                FfControl::SyncReset => Some((FfControl::SyncReset, conn1("r"))),
                             },
                             init,
                             q,

@@ -68,6 +68,19 @@ pub enum SimError {
         /// Cycles simulated before giving up.
         cycles: u64,
     },
+    /// A batch simulator was asked for an unconfigured lane.
+    LaneOutOfRange {
+        /// The requested lane.
+        lane: usize,
+        /// Lanes configured on the batch simulator.
+        lanes: usize,
+    },
+    /// A batch simulator was configured with an unsupported lane count
+    /// (must be 1–64: one bit per lane in a 64-bit plane word).
+    InvalidLanes {
+        /// The requested lane count.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -106,6 +119,12 @@ impl fmt::Display for SimError {
             }
             SimError::Timeout { port, cycles } => {
                 write!(f, "condition on {port} not met within {cycles} cycles")
+            }
+            SimError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range: batch has {lanes} lanes")
+            }
+            SimError::InvalidLanes { lanes } => {
+                write!(f, "invalid lane count {lanes}: must be between 1 and 64")
             }
         }
     }

@@ -6,6 +6,11 @@
 //!
 //! - [`Simulator`] — drive inputs, advance the clock, peek ports and
 //!   internal nets, inspect memory contents, reset.
+//! - [`BatchSimulator`] — bit-parallel batch simulation: up to 64
+//!   stimulus vectors per pass, bit-identical to the scalar simulator
+//!   lane for lane.
+//! - [`VectorSweep`] — shard arbitrary stimulus sets into 64-lane
+//!   batches across threads, with throughput counters.
 //! - [`Trace`] / [`write_vcd`] — waveform recording and Value Change
 //!   Dump export for conventional viewers.
 //!
@@ -42,13 +47,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod compile;
 mod error;
 mod simulator;
+mod sweep;
 mod waveform;
 
+pub use batch::{BatchSimulator, MAX_LANES};
 pub use error::SimError;
 pub use simulator::Simulator;
+pub use sweep::{ShardStats, Stimulus, SweepReport, VectorSweep};
 pub use waveform::{write_vcd, Trace};
 
 #[cfg(test)]
@@ -410,9 +419,7 @@ mod extension_tests {
     fn run_until_times_out() {
         let mut sim = Simulator::new(&counter2()).expect("compile");
         // A 2-bit counter never reads an X vector.
-        let err = sim
-            .run_until("q", &LogicVec::unknown(2), 8)
-            .unwrap_err();
+        let err = sim.run_until("q", &LogicVec::unknown(2), 8).unwrap_err();
         assert!(matches!(err, SimError::Timeout { cycles: 8, .. }));
         assert_eq!(sim.cycle_count(), 8, "budget was consumed");
     }

@@ -265,14 +265,14 @@ impl Simulator {
     /// Fails for unknown nets or if settling oscillates.
     pub fn peek_net(&mut self, net: &str) -> Result<Logic, SimError> {
         self.ensure_settled()?;
-        let id = self
-            .compiled
-            .name_to_net
-            .get(net)
-            .copied()
-            .ok_or_else(|| SimError::UnknownNet {
-                net: net.to_owned(),
-            })?;
+        let id =
+            self.compiled
+                .name_to_net
+                .get(net)
+                .copied()
+                .ok_or_else(|| SimError::UnknownNet {
+                    net: net.to_owned(),
+                })?;
         Ok(self.nets[id.index()])
     }
 
@@ -339,16 +339,17 @@ impl Simulator {
                         match (kind, self.nets[net.index()]) {
                             (_, Logic::One) => value = Logic::Zero,
                             (_, Logic::Zero) => {}
-                            (FfControl::AsyncClear | FfControl::SyncReset, _) => {
-                                value = Logic::X
-                            }
+                            (FfControl::AsyncClear | FfControl::SyncReset, _) => value = Logic::X,
                             (FfControl::None, _) => {}
                         }
                     }
                     next[*state] = StateCell::Bit(value);
                 }
                 SeqUpdate::Srl16 {
-                    state, d, ce, init: _,
+                    state,
+                    d,
+                    ce,
+                    init: _,
                 } => {
                     let StateCell::Word(cur) = &self.states[*state] else {
                         unreachable!("srl state is a word")
@@ -465,11 +466,7 @@ impl Simulator {
         let node = &self.compiled.eval_order[index];
         match &node.func {
             EvalFunc::Prim(kind) => {
-                let inputs: Vec<Logic> = node
-                    .inputs
-                    .iter()
-                    .map(|n| self.nets[n.index()])
-                    .collect();
+                let inputs: Vec<Logic> = node.inputs.iter().map(|n| self.nets[n.index()]).collect();
                 kind.eval_comb(&inputs)
             }
             EvalFunc::SrlRead { state } | EvalFunc::RamRead { state } => {
@@ -525,14 +522,14 @@ impl Simulator {
     ///
     /// Fails for unknown nets.
     pub fn record_net(&mut self, net: &str) -> Result<(), SimError> {
-        let id = self
-            .compiled
-            .name_to_net
-            .get(net)
-            .copied()
-            .ok_or_else(|| SimError::UnknownNet {
-                net: net.to_owned(),
-            })?;
+        let id =
+            self.compiled
+                .name_to_net
+                .get(net)
+                .copied()
+                .ok_or_else(|| SimError::UnknownNet {
+                    net: net.to_owned(),
+                })?;
         self.traces.push(Trace::new(net, 1));
         self.trace_nets.push(vec![id]);
         Ok(())

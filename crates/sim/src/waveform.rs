@@ -120,7 +120,9 @@ pub fn write_vcd<W: Write>(traces: &[Trace], mut writer: W) -> io::Result<()> {
     for cycle in 0..max_len {
         writeln!(writer, "#{cycle}")?;
         for (trace, id) in traces.iter().zip(&ids) {
-            let Some(value) = trace.sample(cycle) else { continue };
+            let Some(value) = trace.sample(cycle) else {
+                continue;
+            };
             // Only emit changes after the first sample.
             if cycle > 0 && trace.sample(cycle - 1) == Some(value) {
                 continue;

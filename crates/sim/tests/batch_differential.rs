@@ -1,0 +1,376 @@
+//! Differential testing of the bit-parallel batch engine against the
+//! scalar simulator: every lane of a `BatchSimulator` must be
+//! bit-identical (including `X`/`Z` propagation) to a `Simulator` run
+//! of the same stimulus, cycle for cycle and net for net.
+
+use ipd_hdl::{Circuit, Logic, LogicVec, PortDir, PortSpec, Signal};
+use ipd_sim::{BatchSimulator, Simulator, VectorSweep, MAX_LANES};
+use ipd_techlib::LogicCtx;
+use ipd_testutil::{check_n, XorShift64};
+
+fn any_logic(rng: &mut XorShift64) -> Logic {
+    match rng.below(8) {
+        0..=2 => Logic::Zero,
+        3..=5 => Logic::One,
+        6 => Logic::X,
+        _ => Logic::Z,
+    }
+}
+
+fn any_vec(rng: &mut XorShift64, width: usize) -> LogicVec {
+    (0..width).map(|_| any_logic(rng)).collect()
+}
+
+/// A random combinational DAG over `inputs` primary bits; the wire
+/// names `g0..gN` are stable for net-level probing.
+fn random_dag(rng: &mut XorShift64, inputs: usize, max_ops: usize) -> (Circuit, usize) {
+    let ops = 1 + rng.index(max_ops - 1);
+    let mut circuit = Circuit::new("dag");
+    let mut ctx = circuit.root_ctx();
+    let a = ctx
+        .add_port(PortSpec::input("a", inputs as u32))
+        .expect("port");
+    let y = ctx.add_port(PortSpec::output("y", 1)).expect("port");
+    let mut pool: Vec<Signal> = (0..inputs).map(|b| Signal::bit_of(a, b as u32)).collect();
+    for k in 0..ops {
+        let out = ctx.wire(&format!("g{k}"), 1);
+        let pick = |rng: &mut XorShift64| pool[rng.index(pool.len())].clone();
+        match rng.below(8) {
+            0 => ctx.inv(pick(rng), out).expect("inv"),
+            1 => ctx.and2(pick(rng), pick(rng), out).expect("and2"),
+            2 => ctx.or2(pick(rng), pick(rng), out).expect("or2"),
+            3 => ctx.xor2(pick(rng), pick(rng), out).expect("xor2"),
+            4 => ctx
+                .mux2(pick(rng), pick(rng), pick(rng), out)
+                .expect("mux2"),
+            5 => ctx
+                .muxcy(pick(rng), pick(rng), pick(rng), out)
+                .expect("muxcy"),
+            6 => ctx.xorcy(pick(rng), pick(rng), out).expect("xorcy"),
+            _ => {
+                let init = (rng.next_u64() & 0xFFFF) as u16;
+                let srcs = [pick(rng), pick(rng), pick(rng), pick(rng)];
+                ctx.lut(init, &srcs, out).expect("lut4")
+            }
+        };
+        pool.push(out.into());
+    }
+    let last = pool.last().expect("non-empty").clone();
+    ctx.buffer(last, y).expect("buffer");
+    (circuit, ops)
+}
+
+/// Random four-state stimulus on combinational DAGs: every lane of the
+/// batch equals a scalar run, on the output and on every internal net.
+#[test]
+fn comb_dags_match_scalar_on_every_net() {
+    check_n("comb_dags_batch", 24, |rng| {
+        let inputs = 1 + rng.index(7);
+        let (circuit, ops) = random_dag(rng, inputs, 24);
+        let lanes = 1 + rng.index(MAX_LANES);
+        let mut batch = BatchSimulator::new(&circuit, lanes).expect("batch compile");
+        let mut scalars: Vec<Simulator> = Vec::new();
+        for lane in 0..lanes {
+            let stim = any_vec(rng, inputs);
+            batch.set_lane("a", lane, &stim).expect("batch set");
+            let mut s = Simulator::new(&circuit).expect("scalar compile");
+            s.set("a", stim).expect("scalar set");
+            scalars.push(s);
+        }
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            assert_eq!(
+                batch.peek_lane("y", lane).expect("batch y"),
+                scalar.peek("y").expect("scalar y"),
+                "output lane {lane}"
+            );
+            for k in 0..ops {
+                let net = format!("dag/g{k}");
+                assert_eq!(
+                    batch.peek_net_lane(&net, lane).expect("batch net"),
+                    scalar.peek_net(&net).expect("scalar net"),
+                    "net {net} lane {lane}"
+                );
+            }
+        }
+    });
+}
+
+/// A circuit exercising every stateful primitive: FD, FDCE, FDRE,
+/// SRL16 and RAM16X1, plus combinational mixing of their outputs.
+fn stateful_circuit() -> Circuit {
+    let mut c = Circuit::new("stateful");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).expect("clk");
+    let ce = ctx.add_port(PortSpec::input("ce", 1)).expect("ce");
+    let clr = ctx.add_port(PortSpec::input("clr", 1)).expect("clr");
+    let we = ctx.add_port(PortSpec::input("we", 1)).expect("we");
+    let d = ctx.add_port(PortSpec::input("d", 4)).expect("d");
+    let a = ctx.add_port(PortSpec::input("a", 4)).expect("a");
+    let q = ctx.add_port(PortSpec::output("q", 4)).expect("q");
+    let tap = ctx.add_port(PortSpec::output("tap", 1)).expect("tap");
+    let ram_o = ctx.add_port(PortSpec::output("ram_o", 1)).expect("ram_o");
+    let mix = ctx.add_port(PortSpec::output("mix", 1)).expect("mix");
+    ctx.fd(clk, Signal::bit_of(d, 0), Signal::bit_of(q, 0))
+        .expect("fd");
+    ctx.fdce(clk, ce, clr, Signal::bit_of(d, 1), Signal::bit_of(q, 1))
+        .expect("fdce");
+    ctx.fdre(clk, ce, clr, Signal::bit_of(d, 2), Signal::bit_of(q, 2))
+        .expect("fdre");
+    ctx.fd(clk, Signal::bit_of(d, 3), Signal::bit_of(q, 3))
+        .expect("fd");
+    ctx.srl16(0x0F0F, clk, ce, Signal::bit_of(d, 0), a, tap)
+        .expect("srl16");
+    ctx.ram16x1(0x1234, clk, we, Signal::bit_of(d, 1), a, ram_o)
+        .expect("ram16x1");
+    ctx.mux2(tap, ram_o, Signal::bit_of(q, 0), mix)
+        .expect("mux2");
+    c
+}
+
+/// Per-cycle, per-net equality on sequential circuits with
+/// changing four-state inputs, including all state elements.
+#[test]
+fn stateful_circuits_match_scalar_per_cycle() {
+    let circuit = stateful_circuit();
+    check_n("stateful_batch", 12, |rng| {
+        let lanes = 1 + rng.index(MAX_LANES);
+        let cycles = 3 + rng.index(10);
+        let mut batch = BatchSimulator::new(&circuit, lanes).expect("batch compile");
+        let mut scalars: Vec<Simulator> = (0..lanes)
+            .map(|_| Simulator::new(&circuit).expect("scalar compile"))
+            .collect();
+        let out_ports = ["q", "tap", "ram_o", "mix"];
+        for _cycle in 0..cycles {
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                for (port, width) in [("ce", 1), ("clr", 1), ("we", 1), ("d", 4), ("a", 4)] {
+                    let v = any_vec(rng, width);
+                    batch.set_lane(port, lane, &v).expect("batch set");
+                    scalar.set(port, v).expect("scalar set");
+                }
+            }
+            batch.cycle(1).expect("batch cycle");
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                scalar.cycle(1).expect("scalar cycle");
+                for port in out_ports {
+                    assert_eq!(
+                        batch.peek_lane(port, lane).expect("batch peek"),
+                        scalar.peek(port).expect("scalar peek"),
+                        "port {port} lane {lane} cycle {}",
+                        scalar.cycle_count()
+                    );
+                }
+                for path in scalar.state_elements().to_vec() {
+                    match (batch.ff_state_lane(&path, lane), scalar.ff_state(&path)) {
+                        (Some(b), Some(s)) => assert_eq!(b, s, "ff {path} lane {lane}"),
+                        (None, None) => {
+                            assert_eq!(
+                                batch.memory_lane(&path, lane),
+                                scalar.memory(&path),
+                                "memory {path} lane {lane}"
+                            );
+                        }
+                        (b, s) => panic!("state kind mismatch on {path}: {b:?} vs {s:?}"),
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Reset restores power-on state in every lane and keeps inputs, like
+/// the scalar simulator's reset.
+#[test]
+fn reset_matches_scalar() {
+    let circuit = stateful_circuit();
+    let mut batch = BatchSimulator::new(&circuit, 3).expect("batch");
+    let mut scalar = Simulator::new(&circuit).expect("scalar");
+    for sim in [0, 1, 2] {
+        batch.set_u64_lane("d", sim, 5).expect("set");
+        batch.set_u64_lane("ce", sim, 1).expect("set");
+        batch.set_u64_lane("clr", sim, 0).expect("set");
+        batch.set_u64_lane("we", sim, 0).expect("set");
+        batch.set_u64_lane("a", sim, 2).expect("set");
+    }
+    scalar.set_u64("d", 5).expect("set");
+    scalar.set_u64("ce", 1).expect("set");
+    scalar.set_u64("clr", 0).expect("set");
+    scalar.set_u64("we", 0).expect("set");
+    scalar.set_u64("a", 2).expect("set");
+    batch.cycle(4).expect("cycle");
+    scalar.cycle(4).expect("cycle");
+    batch.reset();
+    scalar.reset();
+    assert_eq!(batch.cycle_count(), 0);
+    batch.cycle(1).expect("cycle");
+    scalar.cycle(1).expect("cycle");
+    for lane in 0..3 {
+        for port in ["q", "tap", "ram_o", "mix"] {
+            assert_eq!(
+                batch.peek_lane(port, lane).expect("batch"),
+                scalar.peek(port).expect("scalar"),
+                "{port} after reset"
+            );
+        }
+    }
+}
+
+/// Waveform extraction: a lane's extracted trace equals the scalar
+/// simulator's recorded trace for the same stimulus.
+#[test]
+fn lane_traces_match_scalar_traces() {
+    let circuit = stateful_circuit();
+    let mut batch = BatchSimulator::new(&circuit, 2).expect("batch");
+    let mut scalar = Simulator::new(&circuit).expect("scalar");
+    batch.record("q").expect("record");
+    batch.record("mix").expect("record");
+    scalar.record("q").expect("record");
+    scalar.record("mix").expect("record");
+    let mut rng = XorShift64::new(7);
+    for _ in 0..8 {
+        for (port, width) in [("ce", 1), ("clr", 1), ("we", 1), ("d", 4), ("a", 4)] {
+            let v = any_vec(&mut rng, width);
+            batch.set_lane(port, 1, &v).expect("batch set");
+            scalar.set(port, v).expect("scalar set");
+        }
+        batch.cycle(1).expect("batch cycle");
+        scalar.cycle(1).expect("scalar cycle");
+    }
+    for (i, port) in ["q", "mix"].iter().enumerate() {
+        let lane = batch.lane_trace(port, 1).expect("lane trace");
+        assert_eq!(&lane, &scalar.traces()[i], "trace {port}");
+    }
+}
+
+/// Relaxation-mode circuits (combinational cycles) also match: an SR
+/// latch built from cross-coupled NORs.
+#[test]
+fn relaxation_mode_matches_scalar() {
+    let mut c = Circuit::new("latch");
+    let mut ctx = c.root_ctx();
+    let s = ctx.add_port(PortSpec::input("s", 1)).expect("s");
+    let r = ctx.add_port(PortSpec::input("r", 1)).expect("r");
+    let q = ctx.add_port(PortSpec::output("q", 1)).expect("q");
+    let nq = ctx.wire("nq", 1);
+    let nor = |ctx: &mut ipd_hdl::CellCtx<'_>, name: &str, a: Signal, b: Signal, o: Signal| {
+        ctx.leaf(
+            ipd_hdl::Primitive::new("virtex", "nor2"),
+            vec![
+                PortSpec::input("i0", 1),
+                PortSpec::input("i1", 1),
+                PortSpec::output("o", 1),
+            ],
+            name,
+            &[("i0", a), ("i1", b), ("o", o)],
+        )
+        .expect("nor2");
+    };
+    nor(&mut ctx, "n0", r.into(), nq.into(), q.into());
+    nor(&mut ctx, "n1", s.into(), q.into(), nq.into());
+
+    let seqs: [(u64, u64); 4] = [(1, 0), (0, 0), (0, 1), (0, 0)];
+    let mut batch = BatchSimulator::new(&c, 4).expect("batch");
+    assert!(!batch.is_levelized());
+    // Lane k replays the first k+1 steps of the sequence; the final
+    // state must match a scalar replay of the same prefix.
+    for (lane, _) in seqs.iter().enumerate() {
+        let mut scalar = Simulator::new(&c).expect("scalar");
+        for &(sv, rv) in &seqs[..=lane] {
+            scalar.set_u64("s", sv).expect("set");
+            scalar.set_u64("r", rv).expect("set");
+            let _ = scalar.peek("q").expect("settle");
+        }
+        // Batch replays only the final step per lane (combinational
+        // latch state persists across set calls within a lane).
+        for &(sv, rv) in &seqs[..=lane] {
+            batch
+                .set_lane("s", lane, &LogicVec::from_u64(sv, 1))
+                .expect("set");
+            batch
+                .set_lane("r", lane, &LogicVec::from_u64(rv, 1))
+                .expect("set");
+            let _ = batch.peek_lane("q", lane).expect("settle");
+        }
+        assert_eq!(
+            batch.peek_lane("q", lane).expect("batch q"),
+            scalar.peek("q").expect("scalar q"),
+            "latch lane {lane}"
+        );
+    }
+}
+
+/// Lane-edge sweep sizes: 1, 63, 64, 65 and 130 vectors all produce
+/// scalar-identical outputs and the right shard structure.
+#[test]
+fn sweep_lane_edges_match_scalar() {
+    let circuit = stateful_circuit();
+    for count in [1usize, 63, 64, 65, 130] {
+        let stimuli: Vec<Vec<(String, LogicVec)>> = (0..count)
+            .map(|k| {
+                vec![
+                    ("ce".to_owned(), LogicVec::from_u64(1, 1)),
+                    ("clr".to_owned(), LogicVec::from_u64(0, 1)),
+                    (
+                        "we".to_owned(),
+                        LogicVec::from_u64(u64::from(k % 2 == 0), 1),
+                    ),
+                    ("d".to_owned(), LogicVec::from_u64(k as u64 & 0xF, 4)),
+                    ("a".to_owned(), LogicVec::from_u64((k as u64 >> 1) & 0xF, 4)),
+                ]
+            })
+            .collect();
+        let report = VectorSweep::new(&circuit)
+            .expect("sweep compile")
+            .cycles(2)
+            .run(&stimuli)
+            .expect("sweep run");
+        assert_eq!(report.total_vectors(), count, "count {count}");
+        assert_eq!(report.shards.len(), count.div_ceil(64), "shards {count}");
+        assert_eq!(
+            report.shards.iter().map(|s| s.vectors).sum::<usize>(),
+            count
+        );
+        assert!(report.vectors_per_sec() > 0.0);
+        // Scalar cross-check on a sample of vectors (all of them for
+        // small counts).
+        let stride = if count > 8 { 13 } else { 1 };
+        for (k, stim) in stimuli.iter().enumerate().step_by(stride) {
+            let mut scalar = Simulator::new(&circuit).expect("scalar");
+            for (port, value) in stim {
+                scalar.set(port, value.clone()).expect("set");
+            }
+            scalar.cycle(2).expect("cycle");
+            for (port, value) in &report.outputs[k] {
+                assert_eq!(
+                    value,
+                    &scalar.peek(port).expect("peek"),
+                    "vector {k} port {port} (count {count})"
+                );
+            }
+        }
+    }
+}
+
+/// Out-of-range lanes are rejected, not wrapped.
+#[test]
+fn lane_bounds_are_enforced() {
+    let mut c = Circuit::new("buf");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).expect("a");
+    let y = ctx.add_port(PortSpec::output("y", 1)).expect("y");
+    ctx.buffer(a, y).expect("buf");
+    let mut sim = BatchSimulator::new(&c, 8).expect("batch");
+    assert!(sim.set_lane("a", 8, &LogicVec::from_u64(0, 1)).is_err());
+    assert!(sim.peek_lane("y", 8).is_err());
+    assert!(sim.set_lane("a", 7, &LogicVec::from_u64(1, 1)).is_ok());
+    assert_eq!(sim.peek_lane("y", 7).expect("peek").to_u64(), Some(1));
+    // Unset lanes read X through the buffer.
+    assert_eq!(sim.peek_lane("y", 0).expect("peek").bit(0), Logic::X);
+    assert_eq!(sim.ports().len(), 2);
+    assert_eq!(
+        sim.ports()
+            .iter()
+            .filter(|(_, d, _)| *d == PortDir::Input)
+            .count(),
+        1
+    );
+}

@@ -151,12 +151,7 @@ pub trait LogicCtx {
     ///
     /// # Errors
     /// Fails on binding errors or if `inputs` is empty or longer than 4.
-    fn lut(
-        &mut self,
-        init: u16,
-        inputs: &[Signal],
-        o: impl Into<Signal>,
-    ) -> Result<CellId>;
+    fn lut(&mut self, init: u16, inputs: &[Signal], o: impl Into<Signal>) -> Result<CellId>;
     /// Carry-chain mux: `o = s ? ci : di`.
     ///
     /// # Errors
@@ -252,12 +247,7 @@ pub trait LogicCtx {
     ///
     /// # Errors
     /// See [`LogicCtx::inv`].
-    fn rom16x1(
-        &mut self,
-        init: u16,
-        a: impl Into<Signal>,
-        o: impl Into<Signal>,
-    ) -> Result<CellId>;
+    fn rom16x1(&mut self, init: u16, a: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId>;
     /// Constant 0 driver.
     ///
     /// # Errors
@@ -279,11 +269,21 @@ pub trait LogicCtx {
 
 impl LogicCtx for CellCtx<'_> {
     fn inv(&mut self, i: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId> {
-        place(self, PrimKind::Inv, None, &[("i", i.into()), ("o", o.into())])
+        place(
+            self,
+            PrimKind::Inv,
+            None,
+            &[("i", i.into()), ("o", o.into())],
+        )
     }
 
     fn buffer(&mut self, i: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId> {
-        place(self, PrimKind::Buf, None, &[("i", i.into()), ("o", o.into())])
+        place(
+            self,
+            PrimKind::Buf,
+            None,
+            &[("i", i.into()), ("o", o.into())],
+        )
     }
 
     fn and2(
@@ -430,12 +430,7 @@ impl LogicCtx for CellCtx<'_> {
         )
     }
 
-    fn lut(
-        &mut self,
-        init: u16,
-        inputs: &[Signal],
-        o: impl Into<Signal>,
-    ) -> Result<CellId> {
+    fn lut(&mut self, init: u16, inputs: &[Signal], o: impl Into<Signal>) -> Result<CellId> {
         let n = inputs.len();
         if n == 0 || n > 4 {
             return Err(ipd_hdl::HdlError::InvalidParameter {
@@ -453,10 +448,8 @@ impl LogicCtx for CellCtx<'_> {
             .map(|(i, s)| (format!("i{i}"), s.clone()))
             .collect();
         conns.push(("o".to_owned(), o.into()));
-        let refs: Vec<(&str, Signal)> = conns
-            .iter()
-            .map(|(n, s)| (n.as_str(), s.clone()))
-            .collect();
+        let refs: Vec<(&str, Signal)> =
+            conns.iter().map(|(n, s)| (n.as_str(), s.clone())).collect();
         place(self, kind, Some(u64::from(init)), &refs)
     }
 
@@ -627,12 +620,7 @@ impl LogicCtx for CellCtx<'_> {
         )
     }
 
-    fn rom16x1(
-        &mut self,
-        init: u16,
-        a: impl Into<Signal>,
-        o: impl Into<Signal>,
-    ) -> Result<CellId> {
+    fn rom16x1(&mut self, init: u16, a: impl Into<Signal>, o: impl Into<Signal>) -> Result<CellId> {
         place(
             self,
             PrimKind::Rom16x1 { init },

@@ -105,7 +105,9 @@ mod tests {
     fn carry_is_faster_than_lut() {
         let m = DelayModel::virtex();
         assert!(m.prim_delay(&PrimKind::Muxcy) < m.prim_delay(&PrimKind::And(2)));
-        assert!(m.prim_delay(&PrimKind::Xorcy) < m.prim_delay(&PrimKind::Lut { inputs: 4, init: 0 }));
+        assert!(
+            m.prim_delay(&PrimKind::Xorcy) < m.prim_delay(&PrimKind::Lut { inputs: 4, init: 0 })
+        );
     }
 
     #[test]

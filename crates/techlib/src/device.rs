@@ -103,15 +103,60 @@ impl fmt::Display for Device {
 
 /// Virtex part sizes (CLB geometry from the Virtex data sheet family).
 static CATALOG: [Device; 9] = [
-    Device { name: "xcv50", rows: 16, cols: 24, io_pads: 180 },
-    Device { name: "xcv100", rows: 20, cols: 30, io_pads: 180 },
-    Device { name: "xcv150", rows: 24, cols: 36, io_pads: 260 },
-    Device { name: "xcv200", rows: 28, cols: 42, io_pads: 284 },
-    Device { name: "xcv300", rows: 32, cols: 48, io_pads: 316 },
-    Device { name: "xcv400", rows: 40, cols: 60, io_pads: 404 },
-    Device { name: "xcv600", rows: 48, cols: 72, io_pads: 512 },
-    Device { name: "xcv800", rows: 56, cols: 84, io_pads: 512 },
-    Device { name: "xcv1000", rows: 64, cols: 96, io_pads: 512 },
+    Device {
+        name: "xcv50",
+        rows: 16,
+        cols: 24,
+        io_pads: 180,
+    },
+    Device {
+        name: "xcv100",
+        rows: 20,
+        cols: 30,
+        io_pads: 180,
+    },
+    Device {
+        name: "xcv150",
+        rows: 24,
+        cols: 36,
+        io_pads: 260,
+    },
+    Device {
+        name: "xcv200",
+        rows: 28,
+        cols: 42,
+        io_pads: 284,
+    },
+    Device {
+        name: "xcv300",
+        rows: 32,
+        cols: 48,
+        io_pads: 316,
+    },
+    Device {
+        name: "xcv400",
+        rows: 40,
+        cols: 60,
+        io_pads: 404,
+    },
+    Device {
+        name: "xcv600",
+        rows: 48,
+        cols: 72,
+        io_pads: 512,
+    },
+    Device {
+        name: "xcv800",
+        rows: 56,
+        cols: 84,
+        io_pads: 512,
+    },
+    Device {
+        name: "xcv1000",
+        rows: 64,
+        cols: 96,
+        io_pads: 512,
+    },
 ];
 
 #[cfg(test)]
@@ -138,10 +183,20 @@ mod tests {
     #[test]
     fn fit_and_utilization() {
         let d = Device::by_name("xcv50").unwrap();
-        let small = AreaCost { luts: 100, ffs: 50, carries: 10, pads: 8 };
+        let small = AreaCost {
+            luts: 100,
+            ffs: 50,
+            carries: 10,
+            pads: 8,
+        };
         assert!(d.fits(&small));
         assert!(d.utilization(&small) > 0.0);
-        let big = AreaCost { luts: 10_000, ffs: 0, carries: 0, pads: 0 };
+        let big = AreaCost {
+            luts: 10_000,
+            ffs: 0,
+            carries: 0,
+            pads: 0,
+        };
         assert!(!d.fits(&big));
         let chosen = Device::smallest_fitting(&big).expect("some part fits");
         assert!(chosen.luts() >= 10_000);

@@ -267,19 +267,24 @@ impl PrimKind {
     #[must_use]
     pub fn ports(&self) -> Vec<PortSpec> {
         let ins = |names: &[&str]| -> Vec<PortSpec> {
-            let mut v: Vec<PortSpec> =
-                names.iter().map(|n| PortSpec::input(*n, 1)).collect();
+            let mut v: Vec<PortSpec> = names.iter().map(|n| PortSpec::input(*n, 1)).collect();
             v.push(PortSpec::output("o", 1));
             v
         };
         match self {
-            PrimKind::Inv | PrimKind::Buf | PrimKind::Ibuf | PrimKind::Obuf
-            | PrimKind::Bufg => ins(&["i"]),
-            PrimKind::And(n) | PrimKind::Or(n) | PrimKind::Nand(n)
-            | PrimKind::Nor(n) | PrimKind::Xor(n) => {
+            PrimKind::Inv | PrimKind::Buf | PrimKind::Ibuf | PrimKind::Obuf | PrimKind::Bufg => {
+                ins(&["i"])
+            }
+            PrimKind::And(n)
+            | PrimKind::Or(n)
+            | PrimKind::Nand(n)
+            | PrimKind::Nor(n)
+            | PrimKind::Xor(n) => {
                 let names: Vec<String> = (0..*n).map(|i| format!("i{i}")).collect();
-                let mut v: Vec<PortSpec> =
-                    names.iter().map(|n| PortSpec::input(n.clone(), 1)).collect();
+                let mut v: Vec<PortSpec> = names
+                    .iter()
+                    .map(|n| PortSpec::input(n.clone(), 1))
+                    .collect();
                 v.push(PortSpec::output("o", 1));
                 v
             }
@@ -287,8 +292,10 @@ impl PrimKind {
             PrimKind::Mux2 => ins(&["i0", "i1", "sel"]),
             PrimKind::Lut { inputs, .. } => {
                 let names: Vec<String> = (0..*inputs).map(|i| format!("i{i}")).collect();
-                let mut v: Vec<PortSpec> =
-                    names.iter().map(|n| PortSpec::input(n.clone(), 1)).collect();
+                let mut v: Vec<PortSpec> = names
+                    .iter()
+                    .map(|n| PortSpec::input(n.clone(), 1))
+                    .collect();
                 v.push(PortSpec::output("o", 1));
                 v
             }
@@ -324,10 +331,7 @@ impl PrimKind {
                 PortSpec::input("a", 4),
                 PortSpec::output("o", 1),
             ],
-            PrimKind::Rom16x1 { .. } => vec![
-                PortSpec::input("a", 4),
-                PortSpec::output("o", 1),
-            ],
+            PrimKind::Rom16x1 { .. } => vec![PortSpec::input("a", 4), PortSpec::output("o", 1)],
             PrimKind::Gnd | PrimKind::Vcc => vec![PortSpec::output("o", 1)],
         }
     }
@@ -376,13 +380,11 @@ impl PrimKind {
     pub fn eval_comb(&self, inputs: &[Logic]) -> Logic {
         match self {
             PrimKind::Inv => !inputs[0],
-            PrimKind::Buf | PrimKind::Ibuf | PrimKind::Obuf | PrimKind::Bufg => {
-                match inputs[0] {
-                    Logic::Zero => Logic::Zero,
-                    Logic::One => Logic::One,
-                    _ => Logic::X,
-                }
-            }
+            PrimKind::Buf | PrimKind::Ibuf | PrimKind::Obuf | PrimKind::Bufg => match inputs[0] {
+                Logic::Zero => Logic::Zero,
+                Logic::One => Logic::One,
+                _ => Logic::X,
+            },
             PrimKind::And(n) => {
                 let mut acc = Logic::One;
                 for &i in &inputs[..*n as usize] {
@@ -434,9 +436,7 @@ impl PrimKind {
             },
             PrimKind::Xorcy => inputs[0] ^ inputs[1],
             PrimKind::MultAnd => inputs[0] & inputs[1],
-            PrimKind::Rom16x1 { init } => {
-                eval_lut(4, *init, inputs)
-            }
+            PrimKind::Rom16x1 { init } => eval_lut(4, *init, inputs),
             PrimKind::Gnd => Logic::Zero,
             PrimKind::Vcc => Logic::One,
             PrimKind::Ff { .. } | PrimKind::Srl16 { .. } | PrimKind::Ram16x1 { .. } => {
@@ -500,12 +500,21 @@ mod tests {
 
     #[test]
     fn parse_known_primitives() {
-        assert_eq!(PrimKind::from_primitive(&prim("and2")), Ok(PrimKind::And(2)));
-        assert_eq!(PrimKind::from_primitive(&prim("xor3")), Ok(PrimKind::Xor(3)));
+        assert_eq!(
+            PrimKind::from_primitive(&prim("and2")),
+            Ok(PrimKind::And(2))
+        );
+        assert_eq!(
+            PrimKind::from_primitive(&prim("xor3")),
+            Ok(PrimKind::Xor(3))
+        );
         assert_eq!(PrimKind::from_primitive(&prim("gnd")), Ok(PrimKind::Gnd));
         assert!(matches!(
             PrimKind::from_primitive(&Primitive::with_init(LIBRARY, "lut4", 0x6996)),
-            Ok(PrimKind::Lut { inputs: 4, init: 0x6996 })
+            Ok(PrimKind::Lut {
+                inputs: 4,
+                init: 0x6996
+            })
         ));
     }
 
@@ -532,10 +541,9 @@ mod tests {
     #[test]
     fn round_trip_names() {
         for name in [
-            "inv", "buf", "and2", "and3", "and4", "or2", "or3", "or4", "nand2",
-            "nor2", "xor2", "xor3", "xnor2", "mux2", "muxcy", "xorcy",
-            "mult_and", "fd", "fdc", "fdce", "fdre", "gnd", "vcc", "ibuf",
-            "obuf", "bufg",
+            "inv", "buf", "and2", "and3", "and4", "or2", "or3", "or4", "nand2", "nor2", "xor2",
+            "xor3", "xnor2", "mux2", "muxcy", "xorcy", "mult_and", "fd", "fdc", "fdce", "fdre",
+            "gnd", "vcc", "ibuf", "obuf", "bufg",
         ] {
             let kind = PrimKind::from_primitive(&prim(name)).expect(name);
             assert_eq!(kind.name(), name);

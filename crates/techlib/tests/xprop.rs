@@ -33,7 +33,9 @@ fn comb_prims() -> Vec<(PrimKind, usize)> {
     ];
     // A spread of LUT truth tables, including constants, parity and
     // single-variable functions.
-    for init in [0x0000u16, 0xFFFF, 0x6996, 0xAAAA, 0xF0F0, 0x8000, 0x1EE1, 0x0001] {
+    for init in [
+        0x0000u16, 0xFFFF, 0x6996, 0xAAAA, 0xF0F0, 0x8000, 0x1EE1, 0x0001,
+    ] {
         prims.push((PrimKind::Lut { inputs: 4, init }, 4));
         prims.push((
             PrimKind::Lut {

@@ -1,6 +1,6 @@
 //! The hierarchy browser: a textual tree of the circuit structure.
 
-use ipd_hdl::{CellKind, Circuit, CellId};
+use ipd_hdl::{CellId, CellKind, Circuit};
 
 /// Renders the circuit hierarchy as an indented tree, the textual
 /// equivalent of JHDL's circuit hierarchy browser.
@@ -47,7 +47,10 @@ fn render(circuit: &Circuit, id: CellId, prefix: &str, is_last: bool, out: &mut 
         Some(r) => format!(" @{r}"),
         None => String::new(),
     };
-    out.push_str(&format!("{prefix}{connector}{} {kind}{rloc}\n", cell.name()));
+    out.push_str(&format!(
+        "{prefix}{connector}{} {kind}{rloc}\n",
+        cell.name()
+    ));
     let children = cell.children();
     let child_prefix = if cell.parent().is_none() {
         prefix.to_owned()
@@ -57,13 +60,7 @@ fn render(circuit: &Circuit, id: CellId, prefix: &str, is_last: bool, out: &mut 
         format!("{prefix}|   ")
     };
     for (i, &child) in children.iter().enumerate() {
-        render(
-            circuit,
-            child,
-            &child_prefix,
-            i + 1 == children.len(),
-            out,
-        );
+        render(circuit, child, &child_prefix, i + 1 == children.len(), out);
     }
 }
 

@@ -50,11 +50,7 @@ pub fn schematic_text(circuit: &Circuit, cell_id: CellId) -> String {
                 Some(sig) => describe_signal(circuit, sig),
                 None => "(open)".to_owned(),
             };
-            let _ = writeln!(
-                out,
-                "      .{:<6} -> {binding}",
-                port.spec.name
-            );
+            let _ = writeln!(out, "      .{:<6} -> {binding}", port.spec.name);
         }
     }
     out
@@ -205,12 +201,8 @@ mod tests {
         let mut ctx = c.root_ctx();
         let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
         let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
-        ctx.and2(
-            Signal::bit_of(a, 0),
-            Signal::bit_of(a, 1),
-            y,
-        )
-        .unwrap();
+        ctx.and2(Signal::bit_of(a, 0), Signal::bit_of(a, 1), y)
+            .unwrap();
         c
     }
 

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         system.step(1)?;
     }
-    println!("({} total steps; IP internals never left the vendor side)", system.steps());
+    println!(
+        "({} total steps; IP internals never left the vendor side)",
+        system.steps()
+    );
 
     drop(system); // closes client sockets; servers exit
     let _ = fir_thread.join();

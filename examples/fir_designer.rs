@@ -55,8 +55,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         delivered.depth(),
         circuit.depth()
     );
-    assert!(verify_watermark(&delivered, "acme", "fir-lowpass", b"vendor-key"));
-    assert!(!verify_watermark(&delivered, "rival", "fir-lowpass", b"vendor-key"));
+    assert!(verify_watermark(
+        &delivered,
+        "acme",
+        "fir-lowpass",
+        b"vendor-key"
+    ));
+    assert!(!verify_watermark(
+        &delivered,
+        "rival",
+        "fir-lowpass",
+        b"vendor-key"
+    ));
     println!("watermark verifies for acme and nobody else, even after obfuscation");
 
     // The obfuscated instance still works.

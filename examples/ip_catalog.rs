@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example ip_catalog`
 
-use ipd::core::{
-    bundle_key, unseal, AppletHost, AppletServer, CapabilitySet, IpCatalog,
-};
+use ipd::core::{bundle_key, unseal, AppletHost, AppletServer, CapabilitySet, IpCatalog};
 use ipd::hdl::LogicVec;
 use ipd::modgen::{
     BarrelShifter, CountDirection, Counter, GrayCounter, KcmMultiplier, Lfsr, PopCount,
@@ -18,9 +16,11 @@ use ipd::pack::Archive;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- vendor: a catalog of arithmetic & utility IP ------------------
     let mut catalog = IpCatalog::new("byu-arith-2002");
-    catalog.add("kcm", "constant coefficient multiplier (-56, 8x8->12)", || {
-        Box::new(KcmMultiplier::new(-56, 8, 12).signed(true))
-    });
+    catalog.add(
+        "kcm",
+        "constant coefficient multiplier (-56, 8x8->12)",
+        || Box::new(KcmMultiplier::new(-56, 8, 12).signed(true)),
+    );
     catalog.add("counter", "8-bit loadable up counter", || {
         Box::new(Counter::new(8, CountDirection::Up).loadable())
     });
@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         total += bytes.len();
     }
-    println!("  total {} kB (wrong license key fails authentication)\n", total.div_ceil(1024));
+    println!(
+        "  total {} kB (wrong license key fails authentication)\n",
+        total.div_ceil(1024)
+    );
 
     // ---- customer: evaluate two modules from one applet ----------------
     let executable = server.serve("acme", 30)?;
@@ -105,6 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.cycle(1)?;
         print!(" {:02x}", session.peek("q")?.to_u64().unwrap_or(0));
     }
-    println!("\n\none applet, {} modules, one download.", catalog.entries().len());
+    println!(
+        "\n\none applet, {} modules, one download.",
+        catalog.entries().len()
+    );
     Ok(())
 }

@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  input width   : {}", kcm.input_width());
     println!("  product width : {}", kcm.product_width());
     println!("  signed        : {}", kcm.is_signed());
-    println!("  pipelined     : {} (latency {})", kcm.is_pipelined(), kcm.latency());
+    println!(
+        "  pipelined     : {} (latency {})",
+        kcm.is_pipelined(),
+        kcm.latency()
+    );
     let latency = kcm.latency();
 
     let mut session = AppletSession::new(&executable, &host, Box::new(kcm));
@@ -68,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.set_i64("multiplicand", x)?;
         session.cycle(u64::from(latency))?;
         let product = session.peek("product")?;
-        println!("  multiplicand={x:>5}  product={} ({:?})", product, product.to_i64());
+        println!(
+            "  multiplicand={x:>5}  product={} ({:?})",
+            product,
+            product.to_i64()
+        );
     }
     println!("\n== waveform viewer ==");
     print!("{}", session.waveforms()?);
@@ -82,6 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
 
-    println!("\nvendor metering: acme accessed {} time(s)", server.access_count("acme"));
+    println!(
+        "\nvendor metering: acme accessed {} time(s)",
+        server.access_count("acme")
+    );
     Ok(())
 }

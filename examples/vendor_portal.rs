@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example vendor_portal`
 
-use ipd::core::{
-    AppletHost, AppletServer, AppletSession, Capability, CapabilitySet, CoreError,
-};
+use ipd::core::{AppletHost, AppletServer, AppletSession, Capability, CapabilitySet, CoreError};
 use ipd::modgen::KcmMultiplier;
 use ipd::netlist::NetlistFormat;
 
@@ -18,9 +16,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut server = AppletServer::new("byu", b"vendor-signing-key".to_vec());
 
     // Three customer profiles with increasing visibility.
-    server.enroll("browsing-bob", "virtex-kcm", CapabilitySet::passive(), 0, 90);
-    server.enroll("evaluating-eve", "virtex-kcm", CapabilitySet::evaluation(), 0, 90);
-    server.enroll("licensed-lucy", "virtex-kcm", CapabilitySet::licensed(), 0, 365);
+    server.enroll(
+        "browsing-bob",
+        "virtex-kcm",
+        CapabilitySet::passive(),
+        0,
+        90,
+    );
+    server.enroll(
+        "evaluating-eve",
+        "virtex-kcm",
+        CapabilitySet::evaluation(),
+        0,
+        90,
+    );
+    server.enroll(
+        "licensed-lucy",
+        "virtex-kcm",
+        CapabilitySet::licensed(),
+        0,
+        365,
+    );
 
     for customer in ["browsing-bob", "evaluating-eve", "licensed-lucy"] {
         let executable = server.serve(customer, 10)?;
@@ -65,7 +81,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A forged license (capability escalation) fails verification.
-    let real = server.enroll("forging-fred", "virtex-kcm", CapabilitySet::passive(), 0, 90);
+    let real = server.enroll(
+        "forging-fred",
+        "virtex-kcm",
+        CapabilitySet::passive(),
+        0,
+        90,
+    );
     println!("\nfred's real license:   {real}");
     println!(
         "fred upgrades himself… but the signature only covers [{}],",
@@ -76,7 +98,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Metering: the audit log is the paper's hardware-metering analog.
     println!("\n== vendor audit log ==");
     for record in server.audit_log() {
-        println!("  day {:>3}  {:<availability$}  {}", record.day, record.customer, record.outcome, availability = 16);
+        println!(
+            "  day {:>3}  {:<availability$}  {}",
+            record.day,
+            record.customer,
+            record.outcome,
+            availability = 16
+        );
     }
     println!(
         "\nnetlist capability granted to {} of {} served applets",

@@ -2,8 +2,7 @@
 //! pipeline of the paper, across crates.
 
 use ipd::core::{
-    AppletHost, AppletServer, AppletSession, Capability, CapabilitySet, CoreError,
-    IpExecutable,
+    AppletHost, AppletServer, AppletSession, Capability, CapabilitySet, CoreError, IpExecutable,
 };
 use ipd::modgen::KcmMultiplier;
 use ipd::netlist::{NetlistFormat, SExpr};

@@ -3,8 +3,8 @@
 
 use ipd::core::{AppletHost, AppletSession, CapabilitySet, IpExecutable};
 use ipd::cosim::{
-    BehavioralModel, BlackBoxClient, BlackBoxServer, InProcTransport, LocalSimModel,
-    SimModel, SystemSimulator,
+    BehavioralModel, BlackBoxClient, BlackBoxServer, InProcTransport, LocalSimModel, SimModel,
+    SystemSimulator,
 };
 use ipd::hdl::{Circuit, LogicVec, PortDir};
 use ipd::modgen::{FirFilter, KcmMultiplier};
@@ -24,7 +24,9 @@ fn tcp_black_box_equals_local_simulation() {
     let mut remote = BlackBoxClient::connect(addr).unwrap();
     let mut local = Simulator::new(&circuit).unwrap();
     for x in [-128i64, -56, -3, 0, 9, 127] {
-        remote.set("multiplicand", LogicVec::from_i64(x, 8)).unwrap();
+        remote
+            .set("multiplicand", LogicVec::from_i64(x, 8))
+            .unwrap();
         local.set_i64("multiplicand", x).unwrap();
         assert_eq!(
             remote.get("product").unwrap(),
@@ -144,7 +146,9 @@ fn two_black_boxes_one_system_over_tcp() {
     let b = system.add_model("x5", Box::new(BlackBoxClient::connect(addr_b).unwrap()));
     // Chain: x → (×3) → (×5) → 15x.
     system.connect(a, "product", b, "multiplicand").unwrap();
-    system.drive(a, "multiplicand", LogicVec::from_u64(7, 6)).unwrap();
+    system
+        .drive(a, "multiplicand", LogicVec::from_u64(7, 6))
+        .unwrap();
     system.step(2).unwrap(); // two propagation steps through the chain
     assert_eq!(system.probe(b, "product").unwrap().to_u64(), Some(105));
     drop(system);

@@ -107,8 +107,7 @@ fn watermark_survives_netlist_regeneration() {
 
 #[test]
 fn obfuscated_netlists_leak_no_names() {
-    let circuit =
-        Circuit::from_generator(&KcmMultiplier::new(-77, 8, 15).signed(true)).unwrap();
+    let circuit = Circuit::from_generator(&KcmMultiplier::new(-77, 8, 15).signed(true)).unwrap();
     let delivered = obfuscate(&circuit).unwrap();
     let edif = ipd::netlist::edif_string(&delivered).unwrap();
     for secret in ["kcm", "pp0", "sum_l", "_add"] {

@@ -4,9 +4,9 @@
 
 use ipd::hdl::{Circuit, Generator};
 use ipd::modgen::{
-    Accumulator, AddSub, ArrayMultiplier, BusMux, CompareOp, Comparator, CountDirection,
-    Counter, Decoder, FirFilter, KcmMultiplier, ParityTree, Register, RippleAdder, Rom,
-    ShiftRegister, Subtractor,
+    Accumulator, AddSub, ArrayMultiplier, BusMux, Comparator, CompareOp, CountDirection, Counter,
+    Decoder, FirFilter, KcmMultiplier, ParityTree, Register, RippleAdder, Rom, ShiftRegister,
+    Subtractor,
 };
 use ipd::netlist::{edif_string, verilog_string, vhdl_string, SExpr};
 
@@ -36,8 +36,7 @@ fn every_generator_produces_reparsable_edif() {
         let circuit = Circuit::from_generator(generator.as_ref())
             .unwrap_or_else(|e| panic!("{}: {e}", generator.type_name()));
         let edif = edif_string(&circuit).expect("edif");
-        let tree = SExpr::parse(&edif)
-            .unwrap_or_else(|e| panic!("{}: {e}", generator.type_name()));
+        let tree = SExpr::parse(&edif).unwrap_or_else(|e| panic!("{}: {e}", generator.type_name()));
         assert_eq!(tree.head(), Some("edif"), "{}", generator.type_name());
         // The design section references the root definition.
         assert_eq!(tree.find_all("design").len(), 1);
@@ -84,11 +83,7 @@ fn every_generator_passes_design_rules() {
     for generator in zoo() {
         let circuit = Circuit::from_generator(generator.as_ref()).expect("build");
         let report = ipd::hdl::validate(&circuit).expect("validate");
-        assert!(
-            report.is_clean(),
-            "{}: {report}",
-            generator.type_name()
-        );
+        assert!(report.is_clean(), "{}: {report}", generator.type_name());
     }
 }
 

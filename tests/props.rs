@@ -1,6 +1,6 @@
-//! Property-based tests over the core invariants (proptest).
-
-use proptest::prelude::*;
+//! Property-based tests over the core invariants, randomized with the
+//! in-repo deterministic RNG (`ipd-testutil`) so the suite runs with
+//! zero registry dependencies.
 
 use ipd::core::{CapabilitySet, LicenseAuthority};
 use ipd::hdl::{Circuit, FlatNetlist};
@@ -8,25 +8,26 @@ use ipd::modgen::{ArrayMultiplier, KcmMultiplier, RippleAdder};
 use ipd::netlist::{Dialect, NameTable, SExpr};
 use ipd::pack::{compress, crc32, decompress};
 use ipd::sim::Simulator;
+use ipd_testutil::check_n;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The KCM computes `constant × input` for arbitrary constants,
-    /// widths and signs (full product width, so no truncation).
-    #[test]
-    fn kcm_multiplies_correctly(
-        constant in -6000i64..6000,
-        width in 2u32..11,
-        x_seed in any::<u64>(),
-        signed in any::<bool>(),
-    ) {
-        let constant = if signed { constant } else { constant.abs() };
+/// The KCM computes `constant × input` for arbitrary constants, widths
+/// and signs (full product width, so no truncation).
+#[test]
+fn kcm_multiplies_correctly() {
+    check_n("kcm_multiplies", 48, |rng| {
+        let signed = rng.bool();
+        let constant = if signed {
+            rng.range_i64(-6000, 5999)
+        } else {
+            rng.range_i64(0, 5999)
+        };
+        let width = rng.range_i64(2, 10) as u32;
         let probe = KcmMultiplier::new(constant, width, 1).signed(signed);
         let full = probe.full_product_width();
         let kcm = KcmMultiplier::new(constant, width, full).signed(signed);
         let circuit = Circuit::from_generator(&kcm).expect("build");
         let mut sim = Simulator::new(&circuit).expect("compile");
+        let x_seed = rng.next_u64();
         let x = if signed {
             let span = 1i64 << width;
             ((x_seed % span as u64) as i64) - (span / 2)
@@ -44,16 +45,16 @@ proptest! {
         } else {
             product.to_u64().expect("driven") as i64
         };
-        prop_assert_eq!(got, constant * x);
-    }
+        assert_eq!(got, constant * x);
+    });
+}
 
-    /// Pipelined and combinational KCMs agree modulo latency.
-    #[test]
-    fn kcm_pipelining_is_transparent(
-        constant in 1i64..2000,
-        width in 2u32..10,
-        x_seed in any::<u64>(),
-    ) {
+/// Pipelined and combinational KCMs agree modulo latency.
+#[test]
+fn kcm_pipelining_is_transparent() {
+    check_n("kcm_pipelining", 48, |rng| {
+        let constant = rng.range_i64(1, 1999);
+        let width = rng.range_i64(2, 9) as u32;
         let full = KcmMultiplier::new(constant, width, 1).full_product_width();
         let comb = KcmMultiplier::new(constant, width, full);
         let pipe = KcmMultiplier::new(constant, width, full).pipelined(true);
@@ -61,87 +62,109 @@ proptest! {
         let c2 = Circuit::from_generator(&pipe).expect("pipe");
         let mut s1 = Simulator::new(&c1).expect("compile");
         let mut s2 = Simulator::new(&c2).expect("compile");
-        let x = x_seed % (1u64 << width);
+        let x = rng.next_u64() % (1u64 << width);
         s1.set_u64("multiplicand", x).expect("set");
         s2.set_u64("multiplicand", x).expect("set");
         s2.cycle(u64::from(pipe.latency())).expect("cycle");
-        prop_assert_eq!(s1.peek("product").expect("p1"), s2.peek("product").expect("p2"));
-    }
+        assert_eq!(
+            s1.peek("product").expect("p1"),
+            s2.peek("product").expect("p2")
+        );
+    });
+}
 
-    /// The ripple adder is a wrapping adder with carry out.
-    #[test]
-    fn adder_is_addition(width in 1u32..17, a in any::<u64>(), b in any::<u64>()) {
-        let circuit = Circuit::from_generator(
-            &RippleAdder::new(width).with_cout(),
-        ).expect("build");
+/// The ripple adder is a wrapping adder with carry out.
+#[test]
+fn adder_is_addition() {
+    check_n("adder_is_addition", 48, |rng| {
+        let width = rng.range_i64(1, 16) as u32;
+        let circuit = Circuit::from_generator(&RippleAdder::new(width).with_cout()).expect("build");
         let mut sim = Simulator::new(&circuit).expect("compile");
         let mask = (1u64 << width) - 1;
-        let (a, b) = (a & mask, b & mask);
+        let (a, b) = (rng.next_u64() & mask, rng.next_u64() & mask);
         sim.set_u64("a", a).expect("set");
         sim.set_u64("b", b).expect("set");
         let s = sim.peek("s").expect("s").to_u64().expect("driven");
         let co = sim.peek("cout").expect("cout").to_u64().expect("driven");
-        prop_assert_eq!(s, (a + b) & mask);
-        prop_assert_eq!(co, (a + b) >> width);
-    }
+        assert_eq!(s, (a + b) & mask);
+        assert_eq!(co, (a + b) >> width);
+    });
+}
 
-    /// The array multiplier multiplies.
-    #[test]
-    fn array_multiplier_multiplies(
-        aw in 1u32..8, bw in 1u32..8, a in any::<u64>(), b in any::<u64>(),
-    ) {
+/// The array multiplier multiplies.
+#[test]
+fn array_multiplier_multiplies() {
+    check_n("array_multiplier", 48, |rng| {
+        let aw = rng.range_i64(1, 7) as u32;
+        let bw = rng.range_i64(1, 7) as u32;
         let circuit = Circuit::from_generator(&ArrayMultiplier::new(aw, bw)).expect("build");
         let mut sim = Simulator::new(&circuit).expect("compile");
-        let (a, b) = (a & ((1 << aw) - 1), b & ((1 << bw) - 1));
+        let a = rng.next_u64() & ((1 << aw) - 1);
+        let b = rng.next_u64() & ((1 << bw) - 1);
         sim.set_u64("a", a).expect("set");
         sim.set_u64("b", b).expect("set");
-        prop_assert_eq!(sim.peek("p").expect("p").to_u64(), Some(a * b));
-    }
+        assert_eq!(sim.peek("p").expect("p").to_u64(), Some(a * b));
+    });
+}
 
-    /// LZSS round-trips arbitrary bytes.
-    #[test]
-    fn lzss_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+/// LZSS round-trips arbitrary bytes.
+#[test]
+fn lzss_round_trips() {
+    check_n("lzss_round_trips", 48, |rng| {
+        let len = rng.index(4096);
+        let data = rng.bytes(len);
         let packed = compress(&data);
-        prop_assert_eq!(decompress(&packed).expect("decompress"), data);
-    }
+        assert_eq!(decompress(&packed).expect("decompress"), data);
+    });
+}
 
-    /// CRC-32 detects any single-bit corruption.
-    #[test]
-    fn crc_detects_bit_flips(
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-        byte_idx in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+/// CRC-32 detects any single-bit corruption.
+#[test]
+fn crc_detects_bit_flips() {
+    check_n("crc_detects_bit_flips", 48, |rng| {
+        let len = 1 + rng.index(255);
+        let data = rng.bytes(len);
         let reference = crc32(&data);
         let mut corrupted = data.clone();
-        let idx = byte_idx.index(corrupted.len());
-        corrupted[idx] ^= 1 << bit;
-        prop_assert_ne!(crc32(&corrupted), reference);
-    }
+        let idx = rng.index(corrupted.len());
+        corrupted[idx] ^= 1 << (rng.below(8) as u8);
+        assert_ne!(crc32(&corrupted), reference);
+    });
+}
 
-    /// Identifier legalization is injective per table, for every
-    /// dialect.
-    #[test]
-    fn name_legalization_injective(
-        names in proptest::collection::hash_set("[ -~]{0,24}", 1..40),
-    ) {
+/// Identifier legalization is injective per table, for every dialect.
+#[test]
+fn name_legalization_injective() {
+    check_n("name_legalization", 48, |rng| {
+        let mut names = std::collections::HashSet::new();
+        for _ in 0..1 + rng.index(39) {
+            let len = rng.index(25);
+            let name: String = (0..len)
+                .map(|_| (b' ' + (rng.below(95) as u8)) as char)
+                .collect();
+            names.insert(name);
+        }
         for dialect in [Dialect::Edif, Dialect::Vhdl, Dialect::Verilog] {
             let mut table = NameTable::new(dialect);
             let mut legal = std::collections::HashSet::new();
             for name in &names {
                 let l = table.legalize(name).to_owned();
-                prop_assert!(legal.insert(l.clone()), "collision on {l} ({dialect:?})");
+                assert!(legal.insert(l.clone()), "collision on {l} ({dialect:?})");
             }
         }
-    }
+    });
+}
 
-    /// Licenses reject any tampering with the capability bits.
-    #[test]
-    fn license_tampering_detected(day in 0u32..1000, cap_bits in any::<u16>()) {
+/// Licenses reject any tampering with the capability bits.
+#[test]
+fn license_tampering_detected() {
+    check_n("license_tampering", 48, |rng| {
+        let day = rng.below(1000) as u32;
+        let cap_bits = rng.next_u64() as u16;
         let authority = LicenseAuthority::new(b"prop-key".to_vec());
         let caps = CapabilitySet::from_bits(cap_bits);
         let license = authority.issue("acme", "ip", caps, day, day + 30);
-        prop_assert!(authority.verify(&license, day).is_ok());
+        assert!(authority.verify(&license, day).is_ok());
         // Any *other* capability set under the same signature must fail:
         // re-issue with different caps and splice signatures.
         let other_caps = if caps == CapabilitySet::licensed() {
@@ -150,40 +173,45 @@ proptest! {
             CapabilitySet::licensed()
         };
         let other = authority.issue("acme", "ip", other_caps, day, day + 30);
-        prop_assert_ne!(license.signature_hex(), other.signature_hex());
-    }
+        assert_ne!(license.signature_hex(), other.signature_hex());
+    });
+}
 
-    /// Flattening preserves the primitive multiset and EDIF output
-    /// reparses, across random adder/multiplier shapes.
-    #[test]
-    fn flatten_and_edif_invariants(width in 1u32..12) {
-        let circuit = Circuit::from_generator(
-            &RippleAdder::new(width).with_cin().with_cout(),
-        ).expect("build");
+/// Flattening preserves the primitive multiset and EDIF output
+/// reparses, across random adder/multiplier shapes.
+#[test]
+fn flatten_and_edif_invariants() {
+    check_n("flatten_and_edif", 48, |rng| {
+        let width = rng.range_i64(1, 11) as u32;
+        let circuit = Circuit::from_generator(&RippleAdder::new(width).with_cin().with_cout())
+            .expect("build");
         let flat = FlatNetlist::build(&circuit).expect("flatten");
-        prop_assert_eq!(flat.leaves().len(), circuit.primitive_count());
+        assert_eq!(flat.leaves().len(), circuit.primitive_count());
         let edif = ipd::netlist::edif_string(&circuit).expect("edif");
         let tree = SExpr::parse(&edif).expect("reparse");
         // Instance count in the (single-level) work cell equals
         // primitive count.
-        prop_assert_eq!(tree.find_all("instance").len(), circuit.primitive_count());
-    }
+        assert_eq!(tree.find_all("instance").len(), circuit.primitive_count());
+    });
+}
 
-    /// Obfuscation preserves simulation behaviour on random KCMs.
-    #[test]
-    fn obfuscation_preserves_function(constant in -300i64..300, x_seed in any::<u64>()) {
+/// Obfuscation preserves simulation behaviour on random KCMs.
+#[test]
+fn obfuscation_preserves_function() {
+    check_n("obfuscation_preserves", 48, |rng| {
+        let constant = rng.range_i64(-300, 299);
         let probe = KcmMultiplier::new(constant, 6, 1).signed(true);
         let kcm = KcmMultiplier::new(constant, 6, probe.full_product_width()).signed(true);
         let clear = Circuit::from_generator(&kcm).expect("build");
         let hidden = ipd::core::obfuscate(&clear).expect("obfuscate");
         let mut s1 = Simulator::new(&clear).expect("compile clear");
         let mut s2 = Simulator::new(&hidden).expect("compile hidden");
-        let x = ((x_seed % 64) as i64) - 32;
+        let x = rng.range_i64(-32, 31);
         s1.set_i64("multiplicand", x).expect("set");
         s2.set_i64("multiplicand", x).expect("set");
-        prop_assert_eq!(
+        assert_eq!(
             s1.peek("product").expect("clear"),
             s2.peek("product").expect("hidden")
         );
-    }
+    });
 }

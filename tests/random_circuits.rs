@@ -2,15 +2,17 @@
 //! the hardware simulator must agree with a direct software evaluation
 //! of the same gate DAG, before and after obfuscation, and the
 //! netlisters must stay well-formed on arbitrary structure.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the in-repo deterministic RNG (`ipd-testutil`), so
+//! the suite runs with zero registry dependencies.
 
 use ipd::hdl::{CellCtx, Circuit, PortSpec, Signal, WireId};
 use ipd::sim::Simulator;
 use ipd::techlib::LogicCtx;
+use ipd_testutil::{check_n, XorShift64};
 
 /// One random gate in the DAG; sources index previously created
-/// signals.
+/// signals (modulo the pool size at evaluation time).
 #[derive(Debug, Clone)]
 enum Op {
     Inv(usize),
@@ -21,32 +23,24 @@ enum Op {
     Lut2(u16, usize, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<prop::sample::Index>().prop_map(|a| Op::Inv(a.index(usize::MAX))),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(a, b)| Op::And(a.index(usize::MAX), b.index(usize::MAX))),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(a, b)| Op::Or(a.index(usize::MAX), b.index(usize::MAX))),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(a, b)| Op::Xor(a.index(usize::MAX), b.index(usize::MAX))),
-        (
-            any::<prop::sample::Index>(),
-            any::<prop::sample::Index>(),
-            any::<prop::sample::Index>()
-        )
-            .prop_map(|(a, b, s)| Op::Mux(
-                a.index(usize::MAX),
-                b.index(usize::MAX),
-                s.index(usize::MAX)
-            )),
-        (any::<u16>(), any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(init, a, b)| Op::Lut2(
-                init & 0xF,
-                a.index(usize::MAX),
-                b.index(usize::MAX)
-            )),
-    ]
+fn any_op(rng: &mut XorShift64) -> Op {
+    let kind = rng.below(6);
+    let a = rng.next_u64() as usize;
+    let b = rng.next_u64() as usize;
+    let c = rng.next_u64() as usize;
+    match kind {
+        0 => Op::Inv(a),
+        1 => Op::And(a, b),
+        2 => Op::Or(a, b),
+        3 => Op::Xor(a, b),
+        4 => Op::Mux(a, b, c),
+        _ => Op::Lut2((rng.next_u64() & 0xF) as u16, a, b),
+    }
+}
+
+fn any_ops(rng: &mut XorShift64, max: usize) -> Vec<Op> {
+    let len = 1 + rng.index(max - 1);
+    (0..len).map(|_| any_op(rng)).collect()
 }
 
 /// Builds the circuit for a DAG over `inputs` primary bits, returning
@@ -118,74 +112,73 @@ fn random_circuit(inputs: usize, ops: &[Op]) -> Circuit {
     circuit
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn simulator_matches_software_oracle(
-        inputs in 1usize..8,
-        ops in proptest::collection::vec(op_strategy(), 1..40),
-        stimulus in any::<u64>(),
-    ) {
+#[test]
+fn simulator_matches_software_oracle() {
+    check_n("simulator_matches_oracle", 40, |rng| {
+        let inputs = 1 + rng.index(7);
+        let ops = any_ops(rng, 40);
+        let stimulus = rng.next_u64();
         let circuit = random_circuit(inputs, &ops);
         let mut sim = Simulator::new(&circuit).expect("compile");
-        prop_assert!(sim.is_levelized(), "random DAGs are acyclic");
+        assert!(sim.is_levelized(), "random DAGs are acyclic");
         // Try several input patterns per circuit.
         for round in 0..4u64 {
             let pattern = stimulus.rotate_left((round * 13) as u32) & ((1 << inputs) - 1);
             sim.set_u64("a", pattern).expect("set");
             let got = sim.peek("y").expect("peek").to_u64().expect("driven");
             let bits: Vec<bool> = (0..inputs).map(|b| (pattern >> b) & 1 == 1).collect();
-            prop_assert_eq!(got == 1, oracle(&bits, &ops), "pattern {:#x}", pattern);
+            assert_eq!(got == 1, oracle(&bits, &ops), "pattern {pattern:#x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn obfuscation_equivalence_on_random_dags(
-        inputs in 1usize..6,
-        ops in proptest::collection::vec(op_strategy(), 1..24),
-        stimulus in any::<u64>(),
-    ) {
-        let clear = random_circuit(inputs, &ops);
-        let hidden = ipd::core::obfuscate(&clear).expect("obfuscate");
-        let mut s1 = Simulator::new(&clear).expect("clear");
+#[test]
+fn obfuscation_equivalence_on_random_dags() {
+    check_n("obfuscation_equivalence", 40, |rng| {
+        let inputs = 1 + rng.index(5);
+        let ops = any_ops(rng, 24);
+        let circuit = random_circuit(inputs, &ops);
+        let hidden = ipd::core::obfuscate(&circuit).expect("obfuscate");
+        let mut s1 = Simulator::new(&circuit).expect("clear");
         let mut s2 = Simulator::new(&hidden).expect("hidden");
-        let pattern = stimulus & ((1 << inputs) - 1);
+        let pattern = rng.next_u64() & ((1 << inputs) - 1);
         s1.set_u64("a", pattern).expect("set");
         s2.set_u64("a", pattern).expect("set");
-        prop_assert_eq!(s1.peek("y").expect("p1"), s2.peek("y").expect("p2"));
-    }
+        assert_eq!(s1.peek("y").expect("p1"), s2.peek("y").expect("p2"));
+    });
+}
 
-    #[test]
-    fn netlists_stay_well_formed_on_random_dags(
-        inputs in 1usize..6,
-        ops in proptest::collection::vec(op_strategy(), 1..24),
-    ) {
+#[test]
+fn netlists_stay_well_formed_on_random_dags() {
+    check_n("netlists_well_formed", 40, |rng| {
+        let inputs = 1 + rng.index(5);
+        let ops = any_ops(rng, 24);
         let circuit = random_circuit(inputs, &ops);
         let edif = ipd::netlist::edif_string(&circuit).expect("edif");
         let tree = ipd::netlist::SExpr::parse(&edif).expect("reparse");
-        prop_assert_eq!(tree.head(), Some("edif"));
+        assert_eq!(tree.head(), Some("edif"));
         let vhdl = ipd::netlist::vhdl_string(&circuit).expect("vhdl");
-        prop_assert_eq!(vhdl.matches('(').count(), vhdl.matches(')').count());
+        assert_eq!(vhdl.matches('(').count(), vhdl.matches(')').count());
         let verilog = ipd::netlist::verilog_string(&circuit).expect("verilog");
-        prop_assert!(verilog.ends_with("endmodule\n"));
+        assert!(verilog.ends_with("endmodule\n"));
         // Design rules hold: generated DAGs are single-driver by
         // construction.
         let report = ipd::hdl::validate(&circuit).expect("validate");
-        prop_assert!(report.is_clean(), "{}", report);
-    }
+        assert!(report.is_clean(), "{report}");
+    });
+}
 
-    #[test]
-    fn area_timing_estimates_are_sane_on_random_dags(
-        inputs in 1usize..6,
-        ops in proptest::collection::vec(op_strategy(), 1..32),
-    ) {
+#[test]
+fn area_timing_estimates_are_sane_on_random_dags() {
+    check_n("estimates_sane", 40, |rng| {
+        let inputs = 1 + rng.index(5);
+        let ops = any_ops(rng, 32);
         let circuit = random_circuit(inputs, &ops);
         let area = ipd::estimate::estimate_area(&circuit).expect("area");
         // Buffers and constants are free; everything else costs a LUT.
-        prop_assert!(u64::from(area.total.luts) <= ops.len() as u64);
+        assert!(u64::from(area.total.luts) <= ops.len() as u64);
         let timing = ipd::estimate::estimate_timing(&circuit).expect("timing");
-        prop_assert!(timing.critical_path_ns >= 0.0);
-        prop_assert!(timing.levels <= ops.len());
-    }
+        assert!(timing.critical_path_ns >= 0.0);
+        assert!(timing.levels <= ops.len());
+    });
 }
