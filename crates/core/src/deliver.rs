@@ -9,11 +9,15 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use ipd_pack::BundleSet;
+use ipd_pack::{BundleSet, PackedSet};
 
 use crate::capability::{Capability, CapabilitySet};
 use crate::error::CoreError;
 use crate::license::{License, LicenseAuthority};
+use crate::store::{
+    builtin_digests, BundleDelivery, BundleStore, DeliveryManifest, DeliveryResponse, Digest,
+    ManifestEntry,
+};
 
 /// A deliverable IP evaluation executable: the applet a customer
 /// downloads.
@@ -88,16 +92,24 @@ impl IpExecutable {
         names
     }
 
-    /// The actual bundle set to ship.
+    /// The actual bundle set to ship (uncompressed working form).
     #[must_use]
     pub fn bundle_set(&self) -> BundleSet {
         BundleSet::full_set().subset(&self.required_bundles())
     }
 
-    /// Total download size in bytes (compressed bundles).
+    /// The compressed bundles to ship, shared from the process-wide
+    /// compress-once cache — subsetting is a pointer clone.
+    #[must_use]
+    pub fn packed_set(&self) -> PackedSet {
+        ipd_pack::shared_full_set().subset(&self.required_bundles())
+    }
+
+    /// Total download size in bytes (compressed bundles). Reuses the
+    /// memoized packed sizes; no compression runs per call.
     #[must_use]
     pub fn download_size(&self) -> usize {
-        self.bundle_set().total_packed()
+        self.packed_set().total_packed()
     }
 }
 
@@ -118,12 +130,12 @@ impl fmt::Display for IpExecutable {
                 writeln!(f, "|   [ ] {cap} (withheld)")?;
             }
         }
-        let set = self.bundle_set();
+        let set = self.packed_set();
         writeln!(
             f,
             "|   download: {} bundle(s), {} kB",
             set.bundles().len(),
-            self.download_size().div_ceil(1024)
+            set.total_packed().div_ceil(1024)
         )?;
         writeln!(f, "+--")
     }
@@ -163,6 +175,13 @@ pub struct AppletServer {
     authority: LicenseAuthority,
     profiles: HashMap<String, License>,
     audit: Vec<AuditRecord>,
+    /// The vendor's bundle catalog (built once, not per request).
+    catalog: BundleSet,
+    /// Content digest per catalog bundle, precomputed so the warm
+    /// serve path hashes nothing.
+    digests: HashMap<String, Digest>,
+    /// Compress-once packed cache shared across all customers.
+    store: BundleStore,
 }
 
 impl AppletServer {
@@ -174,6 +193,9 @@ impl AppletServer {
             authority: LicenseAuthority::new(key),
             profiles: HashMap::new(),
             audit: Vec::new(),
+            catalog: BundleSet::full_set(),
+            digests: builtin_digests().clone(),
+            store: BundleStore::new(),
         }
     }
 
@@ -209,6 +231,27 @@ impl AppletServer {
     /// Fails for unknown customers and invalid or expired licenses;
     /// refusals are audited too.
     pub fn serve(&mut self, customer: &str, today: u32) -> Result<IpExecutable, CoreError> {
+        let license = self.authorize(customer, today)?;
+        let executable = IpExecutable::new(
+            license.product(),
+            self.vendor.clone(),
+            license.capabilities(),
+        );
+        self.audit.push(AuditRecord {
+            customer: customer.to_owned(),
+            day: today,
+            outcome: format!(
+                "served {} with [{}]",
+                license.product(),
+                license.capabilities()
+            ),
+        });
+        Ok(executable)
+    }
+
+    /// License lookup + verification with audited refusals — the
+    /// shared front half of every serve-style endpoint.
+    fn authorize(&mut self, customer: &str, today: u32) -> Result<License, CoreError> {
         let Some(license) = self.profiles.get(customer).cloned() else {
             self.audit.push(AuditRecord {
                 customer: customer.to_owned(),
@@ -227,21 +270,115 @@ impl AppletServer {
             });
             return Err(e);
         }
+        Ok(license)
+    }
+
+    /// The delivery manifest for a customer: bundle names, content
+    /// digests and compressed sizes — what a client inspects before
+    /// deciding which digests to present to [`AppletServer::fetch`].
+    /// Does not count as a served access.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AppletServer::serve`].
+    pub fn manifest(&mut self, customer: &str, today: u32) -> Result<DeliveryManifest, CoreError> {
+        let license = self.authorize(customer, today)?;
         let executable = IpExecutable::new(
             license.product(),
             self.vendor.clone(),
             license.capabilities(),
         );
+        let entries = executable
+            .required_bundles()
+            .iter()
+            .map(|name| {
+                let digest = self.digests[*name];
+                let bundle = self.catalog.get(name).expect("catalog covers required set");
+                let packed = self.store.get_or_pack_keyed(digest, bundle);
+                ManifestEntry {
+                    name: (*name).to_owned(),
+                    digest,
+                    packed_size: packed.packed_size(),
+                }
+            })
+            .collect();
+        self.audit.push(AuditRecord {
+            customer: customer.to_owned(),
+            day: today,
+            outcome: format!("manifest {}", license.product()),
+        });
+        Ok(DeliveryManifest::new(license.product().to_owned(), entries))
+    }
+
+    /// Conditional bundle delivery — the HTTP-304 upgrade of the
+    /// paper's "fetch only what it uses". The client presents the
+    /// digests it already holds; the server answers with payload bytes
+    /// for missing or changed bundles and `NotModified` markers for
+    /// the rest. Payloads come from the content-addressed store, so a
+    /// bundle is compressed at most once per server no matter how many
+    /// customers request it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AppletServer::serve`]; refusals are
+    /// audited.
+    pub fn fetch(
+        &mut self,
+        customer: &str,
+        today: u32,
+        have: &[Digest],
+    ) -> Result<DeliveryResponse, CoreError> {
+        let license = self.authorize(customer, today)?;
+        let executable = IpExecutable::new(
+            license.product(),
+            self.vendor.clone(),
+            license.capabilities(),
+        );
+        let mut items = Vec::new();
+        let mut bytes = 0usize;
+        for name in executable.required_bundles() {
+            let digest = self.digests[name];
+            if have.contains(&digest) {
+                self.store.note_not_modified();
+                items.push(BundleDelivery::NotModified {
+                    name: name.to_owned(),
+                    digest,
+                });
+                continue;
+            }
+            let bundle = self.catalog.get(name).expect("catalog covers required set");
+            let packed = self.store.get_or_pack_keyed(digest, bundle);
+            let payload = packed.wire_bytes();
+            bytes += payload.len();
+            items.push(BundleDelivery::Payload {
+                name: name.to_owned(),
+                digest,
+                bytes: payload,
+            });
+        }
+        self.store.note_served(bytes);
+        let delivered = items
+            .iter()
+            .filter(|i| matches!(i, BundleDelivery::Payload { .. }))
+            .count();
         self.audit.push(AuditRecord {
             customer: customer.to_owned(),
             day: today,
             outcome: format!(
-                "served {} with [{}]",
+                "served {} bundles: {} payload(s), {} not-modified, {} bytes",
                 license.product(),
-                license.capabilities()
+                delivered,
+                items.len() - delivered,
+                bytes
             ),
         });
-        Ok(executable)
+        Ok(DeliveryResponse::new(license.product().to_owned(), items))
+    }
+
+    /// The content-addressed bundle store (hit/miss/bytes counters).
+    #[must_use]
+    pub fn store(&self) -> &BundleStore {
+        &self.store
     }
 
     /// Serves the executable's bundles *sealed* to the customer's
@@ -269,11 +406,15 @@ impl AppletServer {
             .expect("serve succeeded, profile exists");
         let key = crate::seal::bundle_key(vendor_key, &license);
         let mut out = Vec::new();
-        for (nonce, bundle) in executable.bundle_set().bundles().iter().enumerate() {
-            let plain = bundle.archive().to_bytes();
+        for (nonce, name) in executable.required_bundles().iter().enumerate() {
+            // Plaintext comes from the compress-once store (sealing is
+            // per-customer, but the packed bytes underneath are shared).
+            let digest = self.digests[*name];
+            let bundle = self.catalog.get(name).expect("catalog covers required set");
+            let packed = self.store.get_or_pack_keyed(digest, bundle);
             out.push((
-                bundle.name().to_owned(),
-                crate::seal::seal(&plain, &key, nonce as u64),
+                (*name).to_owned(),
+                crate::seal::seal(&packed.wire_bytes(), &key, nonce as u64),
             ));
         }
         Ok(out)

@@ -5,10 +5,11 @@
 //! (the paper's §4.2 footnote), and cached downloads. [`AppletHost`]
 //! reproduces those rules for applet sessions.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use crate::deliver::IpExecutable;
+use crate::deliver::{AppletServer, IpExecutable};
 use crate::error::CoreError;
+use crate::store::{builtin_digests, BundleDelivery, DeliveryResponse, Digest};
 
 /// Sandbox resource limits for one applet host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct AppletHost {
     limits: ResourceLimits,
     network_permission: bool,
     cached_bundles: HashSet<String>,
+    /// Content digests of cached bundles — what a conditional fetch
+    /// presents to the server (the browser-cache validator).
+    cached_digests: HashMap<String, Digest>,
     bytes_downloaded: usize,
 }
 
@@ -109,13 +113,65 @@ impl AppletHost {
     /// a page re-uses them, matching the paper's §4.4 discussion.
     pub fn load(&mut self, executable: &IpExecutable) -> usize {
         let mut fetched = 0usize;
-        for bundle in executable.bundle_set().bundles() {
+        for bundle in executable.packed_set().bundles() {
             if self.cached_bundles.insert(bundle.name().to_owned()) {
+                if let Some(digest) = builtin_digests().get(bundle.name()) {
+                    self.cached_digests
+                        .insert(bundle.name().to_owned(), *digest);
+                }
                 fetched += bundle.packed_size();
             }
         }
         self.bytes_downloaded += fetched;
         fetched
+    }
+
+    /// Fetches a customer's bundles from an [`AppletServer`]
+    /// *conditionally*: the host presents the digests it already
+    /// holds, the server answers with payloads only for missing or
+    /// changed bundles (the HTTP-304 analog), and the host installs
+    /// the result. Returns the bytes actually transferred.
+    ///
+    /// # Errors
+    ///
+    /// Propagates license failures from [`AppletServer::fetch`].
+    pub fn sync(
+        &mut self,
+        server: &mut AppletServer,
+        customer: &str,
+        today: u32,
+    ) -> Result<usize, CoreError> {
+        let have = self.held_digests();
+        let response = server.fetch(customer, today, &have)?;
+        Ok(self.apply(&response))
+    }
+
+    /// Installs a delivery response into the cache, returning the
+    /// bytes fetched (not-modified markers are free).
+    pub fn apply(&mut self, response: &DeliveryResponse) -> usize {
+        let mut fetched = 0usize;
+        for item in response.items() {
+            match item {
+                BundleDelivery::NotModified { .. } => {}
+                BundleDelivery::Payload {
+                    name,
+                    digest,
+                    bytes,
+                } => {
+                    self.cached_bundles.insert(name.clone());
+                    self.cached_digests.insert(name.clone(), *digest);
+                    fetched += bytes.len();
+                }
+            }
+        }
+        self.bytes_downloaded += fetched;
+        fetched
+    }
+
+    /// The content digests this host already holds.
+    #[must_use]
+    pub fn held_digests(&self) -> Vec<Digest> {
+        self.cached_digests.values().copied().collect()
     }
 
     /// Total bytes fetched over this host's lifetime.
@@ -164,6 +220,32 @@ mod tests {
         );
         assert_eq!(host.bytes_downloaded(), first + upgrade);
         assert!(host.cached().contains(&"Viewer"));
+    }
+
+    #[test]
+    fn conditional_sync_downloads_once() {
+        let mut server = AppletServer::new("byu", b"key".to_vec());
+        server.enroll("acme", "kcm", CapabilitySet::evaluation(), 0, 365);
+        let mut host = AppletHost::new();
+        let first = host.sync(&mut server, "acme", 1).expect("first sync");
+        assert!(first > 0);
+        let second = host.sync(&mut server, "acme", 2).expect("second sync");
+        assert_eq!(second, 0, "everything revalidates as not-modified");
+        assert_eq!(host.bytes_downloaded(), first);
+        assert!(!host.held_digests().is_empty());
+    }
+
+    #[test]
+    fn legacy_load_then_sync_transfers_nothing() {
+        // `load` records the builtin digests, so a later conditional
+        // fetch of the same executable is all 304s.
+        let mut server = AppletServer::new("byu", b"key".to_vec());
+        server.enroll("acme", "kcm", CapabilitySet::evaluation(), 0, 365);
+        let exe = server.serve("acme", 1).expect("serve");
+        let mut host = AppletHost::new();
+        assert!(host.load(&exe) > 0);
+        let delta = host.sync(&mut server, "acme", 1).expect("sync");
+        assert_eq!(delta, 0);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   per-profile [`IpExecutable`] and meters access.
 //! - [`IpExecutable`] — an executable configuration: capabilities plus
 //!   the code bundles they require (the Table 1 partitioning).
+//! - [`BundleStore`] / [`AppletServer::fetch`] — compress-once,
+//!   content-addressed delivery: bundles are packed at most once per
+//!   server, keyed by SHA-256 content digest, and clients revalidate
+//!   with digests (HTTP-304 semantics) so repeat visits transfer
+//!   nothing.
 //! - [`AppletHost`] — the browser sandbox: bundle cache, resource
 //!   limits, and the explicit network-permission gate of §4.2.
 //! - [`AppletSession`] — the Figure 3 interaction surface: *build*,
@@ -68,6 +73,7 @@ mod protect;
 mod seal;
 mod session;
 mod sha;
+mod store;
 
 pub use capability::{Capability, CapabilitySet};
 pub use catalog::{CatalogEntry, GeneratorFactory, IpCatalog};
@@ -79,4 +85,8 @@ pub use page::applet_page;
 pub use protect::{embed_watermark, obfuscate, verify_watermark};
 pub use seal::{bundle_key, seal, unseal};
 pub use session::AppletSession;
-pub use sha::{hmac_sha256, sha256, to_hex};
+pub use sha::{hmac_sha256, sha256, sha256_parts, to_hex};
+pub use store::{
+    bundle_digest, BundleDelivery, BundleStore, DeliveryManifest, DeliveryResponse, Digest,
+    ManifestEntry, StoreStats,
+};

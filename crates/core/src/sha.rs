@@ -114,6 +114,24 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
     sha256(&outer)
 }
 
+/// Computes the SHA-256 digest of a sequence of byte parts, each
+/// length-prefixed (64-bit little-endian) so part boundaries are
+/// unambiguous: `["ab", "c"]` and `["a", "bc"]` hash differently.
+///
+/// This is the framing the content-addressed bundle store uses to
+/// digest a bundle's name and entries without concatenation
+/// ambiguity.
+#[must_use]
+pub fn sha256_parts(parts: &[&[u8]]) -> [u8; 32] {
+    let total: usize = parts.iter().map(|p| p.len() + 8).sum();
+    let mut buf = Vec::with_capacity(total);
+    for part in parts {
+        buf.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        buf.extend_from_slice(part);
+    }
+    sha256(&buf)
+}
+
 /// Formats a digest as lowercase hex.
 #[must_use]
 pub fn to_hex(digest: &[u8]) -> String {
@@ -247,6 +265,17 @@ mod tests {
             to_hex(&mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    #[test]
+    fn part_framing_is_unambiguous() {
+        assert_eq!(
+            sha256_parts(&[b"abc"]),
+            sha256_parts(&[b"abc"]),
+            "deterministic"
+        );
+        assert_ne!(sha256_parts(&[b"ab", b"c"]), sha256_parts(&[b"a", b"bc"]));
+        assert_ne!(sha256_parts(&[b"abc"]), sha256_parts(&[b"abc", b""]));
     }
 
     #[test]

@@ -6,8 +6,30 @@ use crate::crc::crc32;
 use crate::error::PackError;
 use crate::lzss::{compress, decompress};
 
-const MAGIC: &[u8; 4] = b"IPDA";
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"IPDA";
+pub(crate) const VERSION: u8 = 1;
+
+/// Serializes the container header (magic, version, name, count).
+pub(crate) fn write_header(out: &mut Vec<u8>, name: &str, count: usize) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    write_str(out, name);
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+}
+
+/// Serializes one entry's wire segment: name, raw length, packed
+/// length, CRC-32, compressed payload. Both [`Archive::to_bytes`] and
+/// the compress-once [`crate::PackedArchive`] emit entries through
+/// this function, so cached segments concatenate to byte-identical
+/// containers.
+pub(crate) fn write_entry_segment(out: &mut Vec<u8>, name: &str, data: &[u8]) {
+    write_str(out, name);
+    let packed = compress(data);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&packed);
+}
 
 /// One named entry of an [`Archive`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,23 +147,20 @@ impl Archive {
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(VERSION);
-        write_str(&mut out, &self.name);
-        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        write_header(&mut out, &self.name, self.entries.len());
         for entry in &self.entries {
-            write_str(&mut out, &entry.name);
-            let packed = compress(&entry.data);
-            out.extend_from_slice(&(entry.data.len() as u32).to_le_bytes());
-            out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
-            out.extend_from_slice(&crc32(&entry.data).to_le_bytes());
-            out.extend_from_slice(&packed);
+            write_entry_segment(&mut out, &entry.name, &entry.data);
         }
         out
     }
 
     /// The serialized (compressed) size in bytes — what a browser would
     /// download.
+    ///
+    /// Note: this compresses the whole archive to measure it. Hot
+    /// paths that measure or serve repeatedly should build a
+    /// [`crate::PackedArchive`] (or go through the shared
+    /// [`crate::cache`]) so each entry is compressed exactly once.
     #[must_use]
     pub fn packed_size(&self) -> usize {
         self.to_bytes().len()
@@ -171,7 +190,17 @@ impl Archive {
         }
         let name = reader.read_str()?;
         let count = reader.read_u32()? as usize;
+        // Every entry needs at least a name length, three u32 header
+        // fields and its payload; a count no remaining input could
+        // satisfy is hostile — reject it before reserving anything.
+        let min_entry_bytes = 2 + 4 + 4 + 4;
+        if count > (bytes.len() - reader.pos) / min_entry_bytes {
+            return Err(PackError::CorruptStream {
+                reason: format!("entry count {count} exceeds remaining input"),
+            });
+        }
         let mut archive = Archive::new(name);
+        archive.entries.reserve_exact(count);
         for _ in 0..count {
             let entry_name = reader.read_str()?;
             let raw_len = reader.read_u32()? as usize;

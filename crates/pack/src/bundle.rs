@@ -8,17 +8,32 @@
 //! bundle sizes track the real code a delivery executable ships.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::archive::Archive;
 use crate::error::PackError;
 
 /// One downloadable code bundle (a "Jar file").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Bundle {
     name: String,
     description: String,
     archive: Archive,
+    /// Memoized compressed size: measuring and rendering (the Table 1
+    /// `Display`) must not re-run LZSS per call.
+    packed_size: OnceLock<usize>,
 }
+
+impl PartialEq for Bundle {
+    fn eq(&self, other: &Self) -> bool {
+        // The memoized size is derived state, not identity.
+        self.name == other.name
+            && self.description == other.description
+            && self.archive == other.archive
+    }
+}
+
+impl Eq for Bundle {}
 
 impl Bundle {
     /// Builds a bundle from `(entry name, contents)` pairs.
@@ -40,6 +55,7 @@ impl Bundle {
             name,
             description: description.into(),
             archive,
+            packed_size: OnceLock::new(),
         })
     }
 
@@ -61,10 +77,11 @@ impl Bundle {
         &self.archive
     }
 
-    /// Compressed (download) size in bytes.
+    /// Compressed (download) size in bytes. The first call compresses
+    /// the archive; every later call returns the memoized size.
     #[must_use]
     pub fn packed_size(&self) -> usize {
-        self.archive.packed_size()
+        *self.packed_size.get_or_init(|| self.archive.packed_size())
     }
 
     /// Uncompressed payload size in bytes.

@@ -12,6 +12,12 @@
 //! - [`Bundle`] / [`BundleSet`] — the partitioned code bundles; the
 //!   contents are this workspace's real source modules, embedded at
 //!   compile time, so the sizes track real code.
+//! - [`PackedArchive`] / [`PackedBundle`] / [`PackedSet`] — the
+//!   compress-once representations: each entry is compressed exactly
+//!   once (in parallel with the `threads` feature), serialization
+//!   concatenates cached segments, and subsets share `Arc` storage.
+//! - [`shared_full_set`] / [`shared_applet_set`] — the process-wide
+//!   packed cache the delivery hot paths consult.
 //!
 //! # Example
 //!
@@ -30,12 +36,16 @@
 
 mod archive;
 mod bundle;
+pub mod cache;
 mod crc;
 mod error;
 mod lzss;
+mod packed;
 
 pub use archive::{Archive, Entry};
 pub use bundle::{Bundle, BundleSet};
+pub use cache::{default_threads, pack_passes, shared_applet_set, shared_full_set};
 pub use crc::crc32;
 pub use error::PackError;
 pub use lzss::{compress, decompress};
+pub use packed::{PackedArchive, PackedBundle, PackedEntry, PackedSet};

@@ -36,7 +36,16 @@ const MAX_CHAIN: usize = 64;
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-    let mut head: Vec<Vec<u32>> = vec![Vec::new(); 1 << 13];
+    // Chained hash dictionary: `head[h]` is the most recent position
+    // with hash `h`, `prev[p]` the previous position sharing `p`'s
+    // hash. Walking `head → prev → …` visits candidates newest-first,
+    // exactly the order the old per-bucket `Vec` produced, so the
+    // emitted token stream — and therefore every compressed byte — is
+    // identical to the previous implementation's, while insertion is
+    // O(1) with two flat arrays instead of 8192 growable buckets.
+    const NONE: u32 = u32::MAX;
+    let mut head: Vec<u32> = vec![NONE; 1 << 13];
+    let mut prev: Vec<u32> = vec![NONE; data.len()];
     let hash = |bytes: &[u8]| -> usize {
         ((usize::from(bytes[0]) << 6) ^ (usize::from(bytes[1]) << 3) ^ usize::from(bytes[2]))
             & ((1 << 13) - 1)
@@ -47,42 +56,57 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         let mut best_len = 0usize;
         let mut best_offset = 0usize;
         if pos + MIN_MATCH <= data.len() {
-            let bucket = &head[hash(&data[pos..])];
-            for &cand in bucket.iter().rev().take(MAX_CHAIN) {
-                let cand = cand as usize;
-                if pos - cand > WINDOW {
+            let limit = (data.len() - pos).min(MAX_MATCH);
+            let mut cand = head[hash(&data[pos..])];
+            let mut chain = 0usize;
+            while cand != NONE && chain < MAX_CHAIN {
+                chain += 1;
+                let c = cand as usize;
+                if pos - c > WINDOW {
+                    // Chain positions are strictly decreasing, so every
+                    // later candidate is farther away too.
+                    break;
+                }
+                cand = prev[c];
+                // A longer match than `best_len` must agree at index
+                // `best_len`; checking that one byte first skips most
+                // losing candidates without the full comparison.
+                if best_len > 0 && data[c + best_len] != data[pos + best_len] {
                     continue;
                 }
-                let limit = (data.len() - pos).min(MAX_MATCH);
                 let mut len = 0usize;
-                while len < limit && data[cand + len] == data[pos + len] {
+                while len < limit && data[c + len] == data[pos + len] {
                     len += 1;
                 }
                 if len > best_len {
                     best_len = len;
-                    best_offset = pos - cand;
-                    if len == MAX_MATCH {
+                    best_offset = pos - c;
+                    if best_len == limit {
+                        // No candidate can beat a limit-length match.
                         break;
                     }
                 }
             }
         }
+        let insert = |p: usize, head: &mut [u32], prev: &mut [u32]| {
+            if p + MIN_MATCH <= data.len() {
+                let h = hash(&data[p..]);
+                prev[p] = head[h];
+                head[h] = p as u32;
+            }
+        };
         if best_len >= MIN_MATCH {
             tokens.push(Token::Match {
                 offset: best_offset as u16,
                 len: best_len as u8,
             });
             for p in pos..pos + best_len {
-                if p + MIN_MATCH <= data.len() {
-                    head[hash(&data[p..])].push(p as u32);
-                }
+                insert(p, &mut head, &mut prev);
             }
             pos += best_len;
         } else {
             tokens.push(Token::Literal(data[pos]));
-            if pos + MIN_MATCH <= data.len() {
-                head[hash(&data[pos..])].push(pos as u32);
-            }
+            insert(pos, &mut head, &mut prev);
             pos += 1;
         }
     }
@@ -129,6 +153,17 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, PackError> {
         });
     }
     let expected = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    // A match token is 2 payload bytes and expands to at most
+    // MAX_MATCH output bytes, so no valid stream can produce more than
+    // MAX_MATCH bytes per payload byte. Rejecting (and capping the
+    // preallocation) here keeps a hostile length header from reserving
+    // up to 4 GiB before the first token is read.
+    let payload = data.len() - 4;
+    if expected > payload.saturating_mul(MAX_MATCH) {
+        return Err(PackError::CorruptStream {
+            reason: format!("declared length {expected} exceeds {payload}-byte payload capacity"),
+        });
+    }
     let mut out = Vec::with_capacity(expected);
     let mut pos = 4usize;
     while out.len() < expected {
@@ -244,6 +279,165 @@ mod tests {
             data.push((i % 251) as u8);
         }
         round_trip(&data);
+    }
+
+    /// The original (pre-optimization) greedy match finder: growable
+    /// hash buckets scanned newest-first. Kept as a test oracle — the
+    /// production compressor must emit byte-identical streams so that
+    /// cached/packed sizes (Table 1) are unchanged by the speedup.
+    fn reference_compress(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        let mut head: Vec<Vec<u32>> = vec![Vec::new(); 1 << 13];
+        let hash = |bytes: &[u8]| -> usize {
+            ((usize::from(bytes[0]) << 6) ^ (usize::from(bytes[1]) << 3) ^ usize::from(bytes[2]))
+                & ((1 << 13) - 1)
+        };
+        let mut pos = 0usize;
+        let mut tokens: Vec<Token> = Vec::new();
+        while pos < data.len() {
+            let mut best_len = 0usize;
+            let mut best_offset = 0usize;
+            if pos + MIN_MATCH <= data.len() {
+                let bucket = &head[hash(&data[pos..])];
+                for &cand in bucket.iter().rev().take(MAX_CHAIN) {
+                    let cand = cand as usize;
+                    if pos - cand > WINDOW {
+                        continue;
+                    }
+                    let limit = (data.len() - pos).min(MAX_MATCH);
+                    let mut len = 0usize;
+                    while len < limit && data[cand + len] == data[pos + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_offset = pos - cand;
+                        if len == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+            }
+            if best_len >= MIN_MATCH {
+                tokens.push(Token::Match {
+                    offset: best_offset as u16,
+                    len: best_len as u8,
+                });
+                for p in pos..pos + best_len {
+                    if p + MIN_MATCH <= data.len() {
+                        head[hash(&data[p..])].push(p as u32);
+                    }
+                }
+                pos += best_len;
+            } else {
+                tokens.push(Token::Literal(data[pos]));
+                if pos + MIN_MATCH <= data.len() {
+                    head[hash(&data[pos..])].push(pos as u32);
+                }
+                pos += 1;
+            }
+        }
+        for group in tokens.chunks(8) {
+            let mut flags = 0u8;
+            for (i, token) in group.iter().enumerate() {
+                if matches!(token, Token::Literal(_)) {
+                    flags |= 1 << i;
+                }
+            }
+            out.push(flags);
+            for token in group {
+                match token {
+                    Token::Literal(b) => out.push(*b),
+                    Token::Match { offset, len } => {
+                        let off = offset - 1;
+                        let l = u16::from(len - MIN_MATCH as u8);
+                        let word = (off & 0x0FFF) | (l << 12);
+                        out.extend_from_slice(&word.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_match_finder_is_byte_identical_to_reference() {
+        // Mixed workloads: runs, periodic data, text, and xorshift
+        // noise — every stream must match the oracle byte for byte.
+        let mut cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"abcabcabc".to_vec(),
+            vec![0u8; 5000],
+            b"let x = compress(data); ".repeat(400),
+            (0..30_000usize).map(|i| (i % 251) as u8).collect(),
+        ];
+        let mut state = 0xDEAD_BEEFu32;
+        cases.push(
+            (0..20_000)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 17;
+                    state ^= state << 5;
+                    (state & 0xFF) as u8
+                })
+                .collect(),
+        );
+        for (i, data) in cases.iter().enumerate() {
+            assert_eq!(
+                compress(data),
+                reference_compress(data),
+                "case {i} diverged from the reference stream"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_header_rejected_without_huge_prealloc() {
+        // Claims u32::MAX bytes backed by a 1-byte payload.
+        let mut bad = u32::MAX.to_le_bytes().to_vec();
+        bad.push(0xFF);
+        assert!(matches!(
+            decompress(&bad),
+            Err(PackError::CorruptStream { .. })
+        ));
+    }
+
+    /// Timing probe for the X5 write-up: chained-hash finder vs. the
+    /// reference bucket finder on a match-heavy corpus. Ignored by
+    /// default (timing is environment-dependent); run with
+    /// `cargo test -p ipd-pack --release -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "timing probe, run manually"]
+    fn match_finder_speed_probe() {
+        let mut data = Vec::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        while data.len() < 256 * 1024 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Source-code-like mix: short repeated phrases + noise.
+            data.extend_from_slice(b"let wire = circuit.wire(width); ");
+            data.push((x >> 32) as u8);
+        }
+        let reps = 8u32;
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(compress(&data));
+        }
+        let fast = t.elapsed() / reps;
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(reference_compress(&data));
+        }
+        let reference = t.elapsed() / reps;
+        println!(
+            "match finder on {} kB: chained {fast:?}, reference {reference:?} ({:.1}x)",
+            data.len() / 1024,
+            reference.as_nanos() as f64 / fast.as_nanos().max(1) as f64
+        );
+        assert_eq!(compress(&data), reference_compress(&data));
     }
 
     #[test]

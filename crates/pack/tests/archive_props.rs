@@ -54,6 +54,62 @@ fn parser_never_panics_on_garbage() {
 }
 
 #[test]
+fn any_truncation_is_rejected() {
+    check_n("truncation_rejected", 64, |rng| {
+        let mut archive = Archive::new("t");
+        for i in 0..1 + rng.index(4) {
+            let len = 32 + rng.index(256);
+            archive
+                .add(format!("entry{i}"), rng.bytes(len))
+                .expect("unique names");
+        }
+        let bytes = archive.to_bytes();
+        // Every strict prefix must fail to parse: the header promises
+        // entries the remaining input cannot supply.
+        let cut = rng.index(bytes.len());
+        assert!(
+            Archive::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes parsed",
+            bytes.len()
+        );
+    });
+}
+
+#[test]
+fn hostile_declared_sizes_are_rejected_cheaply() {
+    check_n("hostile_sizes", 32, |rng| {
+        let mut archive = Archive::new("t");
+        let len = 64 + rng.index(128);
+        archive.add("entry", rng.bytes(len)).unwrap();
+        let bytes = archive.to_bytes();
+        // The entry's raw-length field sits right after the container
+        // header and the entry name: magic(4) + version(1) +
+        // name-len(2) + name(1) + count(4) + entry-name-len(2) +
+        // "entry"(5).
+        let raw_len_at = 4 + 1 + 2 + 1 + 4 + 2 + 5;
+        for hostile in [u32::MAX, u32::MAX / 2, 1 << 30] {
+            // Oversized declared raw length: must error, not allocate.
+            let mut oversized = bytes.clone();
+            oversized[raw_len_at..raw_len_at + 4].copy_from_slice(&hostile.to_le_bytes());
+            assert!(Archive::from_bytes(&oversized).is_err());
+
+            // Oversized declared entry count.
+            let count_at = 4 + 1 + 2 + 1;
+            let mut many = bytes.clone();
+            many[count_at..count_at + 4].copy_from_slice(&hostile.to_le_bytes());
+            assert!(Archive::from_bytes(&many).is_err());
+
+            // Oversized length header inside the compressed stream
+            // itself (the first 4 payload bytes after crc/lengths).
+            let stream_at = raw_len_at + 12;
+            let mut stream = bytes.clone();
+            stream[stream_at..stream_at + 4].copy_from_slice(&hostile.to_le_bytes());
+            assert!(Archive::from_bytes(&stream).is_err());
+        }
+    });
+}
+
+#[test]
 fn any_corruption_of_payload_bytes_is_detected() {
     check_n("corruption_detected", 64, |rng| {
         let len = 64 + rng.index(448);

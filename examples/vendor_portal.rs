@@ -95,6 +95,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("so the authority rejects any altered capability bits (see ipd-core tests).");
 
+    // Conditional delivery: the browser revalidates cached bundles by
+    // content digest, so a repeat visit transfers nothing (HTTP-304
+    // semantics over the compress-once bundle store).
+    println!("\n== conditional delivery (licensed-lucy revisits) ==");
+    let manifest = server.manifest("licensed-lucy", 11)?;
+    println!(
+        "manifest: {} bundles, {} kB packed",
+        manifest.entries().len(),
+        manifest.total_packed().div_ceil(1024)
+    );
+    let mut browser = AppletHost::new();
+    let first = browser.sync(&mut server, "licensed-lucy", 11)?;
+    let revisit = browser.sync(&mut server, "licensed-lucy", 12)?;
+    println!("first visit : {} kB transferred", first.div_ceil(1024));
+    println!("revisit     : {revisit} bytes transferred (all not-modified)");
+    println!("store       : {}", server.store().stats());
+
     // Metering: the audit log is the paper's hardware-metering analog.
     println!("\n== vendor audit log ==");
     for record in server.audit_log() {

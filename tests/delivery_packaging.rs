@@ -1,8 +1,11 @@
 //! Packaging and delivery integration: the Table 1 bundles, executable
 //! download deltas, and protection passes against netlist regeneration.
 
+use std::sync::Arc;
+
 use ipd::core::{
-    embed_watermark, obfuscate, verify_watermark, AppletHost, CapabilitySet, IpExecutable,
+    embed_watermark, obfuscate, verify_watermark, AppletHost, AppletServer, BundleDelivery,
+    CapabilitySet, IpExecutable,
 };
 use ipd::hdl::Circuit;
 use ipd::modgen::KcmMultiplier;
@@ -71,6 +74,113 @@ fn bundles_survive_the_wire() {
             bundle.name()
         );
     }
+}
+
+#[test]
+fn conditional_delivery_round_trips_every_profile() {
+    // For every capability profile: the first conditional fetch
+    // delivers full payloads that decompress bit-identically to the
+    // compress-every-time pipeline, and the second fetch is all
+    // not-modified markers transferring zero bytes.
+    let profiles = [
+        ("passive", CapabilitySet::passive()),
+        ("evaluation", CapabilitySet::evaluation()),
+        ("licensed", CapabilitySet::licensed()),
+        ("black_box", CapabilitySet::black_box()),
+    ];
+    for (label, caps) in profiles {
+        let mut server = AppletServer::new("byu", b"key".to_vec());
+        server.enroll("acme", "kcm", caps, 0, 365);
+        let exe = server.serve("acme", 1).expect("serve");
+        let reference = exe.bundle_set();
+
+        let mut host = AppletHost::new();
+        let first = host.sync(&mut server, "acme", 1).expect("first sync");
+        assert_eq!(first, exe.download_size(), "{label}: full cold download");
+
+        let response = server.fetch("acme", 1, &[]).expect("unconditional fetch");
+        for item in response.items() {
+            let BundleDelivery::Payload { name, bytes, .. } = item else {
+                panic!("{label}: empty client must receive payloads");
+            };
+            let expected = reference
+                .get(name)
+                .unwrap_or_else(|| panic!("{label}: unknown bundle {name}"));
+            assert_eq!(
+                bytes[..],
+                expected.archive().to_bytes()[..],
+                "{label}/{name}: served bytes differ from the pre-cache pipeline"
+            );
+            let unpacked = Archive::from_bytes(bytes).expect("served container parses");
+            for entry in expected.archive().entries() {
+                assert_eq!(
+                    unpacked.entry(entry.name()).expect("entry present").data(),
+                    entry.data(),
+                    "{label}/{name}/{}: decompressed contents changed",
+                    entry.name()
+                );
+            }
+        }
+
+        let second = host.sync(&mut server, "acme", 2).expect("second sync");
+        assert_eq!(second, 0, "{label}: warm revisit transfers nothing");
+        let revalidated = server
+            .fetch("acme", 2, &host.held_digests())
+            .expect("revalidation");
+        assert_eq!(revalidated.delivered(), 0, "{label}: everything is a 304");
+        assert_eq!(revalidated.not_modified(), response.items().len());
+    }
+}
+
+#[test]
+fn same_digest_bundles_share_storage_across_customers() {
+    let mut server = AppletServer::new("byu", b"key".to_vec());
+    server.enroll("acme", "kcm", CapabilitySet::licensed(), 0, 365);
+    server.enroll("bolt", "kcm", CapabilitySet::passive(), 0, 365);
+    let acme = server.fetch("acme", 1, &[]).expect("acme fetch");
+    let bolt = server.fetch("bolt", 1, &[]).expect("bolt fetch");
+    // Every bundle the passive customer needs is the same content the
+    // licensed customer already pulled — the store must hand out the
+    // same allocation, not a recompression.
+    for item in bolt.items() {
+        let BundleDelivery::Payload { name, bytes, .. } = item else {
+            panic!("bolt holds nothing; everything is a payload");
+        };
+        let shared = acme
+            .items()
+            .iter()
+            .find_map(|i| match i {
+                BundleDelivery::Payload {
+                    name: n, bytes: b, ..
+                } if n == name => Some(b),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("licensed set covers {name}"));
+        assert!(
+            Arc::ptr_eq(bytes, shared),
+            "{name}: second customer got a second copy"
+        );
+    }
+    let stats = server.store().stats();
+    assert_eq!(
+        stats.misses as usize,
+        acme.items().len(),
+        "only the first customer's bundles were packed"
+    );
+    assert!(stats.hits >= bolt.items().len() as u64);
+}
+
+#[test]
+fn manifest_lists_digests_and_sizes() {
+    let mut server = AppletServer::new("byu", b"key".to_vec());
+    server.enroll("acme", "kcm", CapabilitySet::evaluation(), 0, 365);
+    let manifest = server.manifest("acme", 1).expect("manifest");
+    let exe = server.serve("acme", 1).expect("serve");
+    assert_eq!(manifest.product(), "kcm");
+    assert_eq!(manifest.entries().len(), exe.required_bundles().len());
+    assert_eq!(manifest.total_packed(), exe.download_size());
+    // Manifest access is metered separately from served accesses.
+    assert_eq!(server.access_count("acme"), 1);
 }
 
 #[test]
