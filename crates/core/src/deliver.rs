@@ -420,6 +420,52 @@ impl AppletServer {
         Ok(out)
     }
 
+    /// Seals a *design netlist* for a customer, refusing to ship
+    /// anything the static analyzer finds error-severity problems in.
+    /// The lint gate runs vendor-side, before encryption: a customer
+    /// must never receive a structurally broken netlist, and every
+    /// exception must be an explicit waiver in `lint_config` (the
+    /// surviving report ships with the payload for audit).
+    ///
+    /// # Errors
+    ///
+    /// License conditions as for [`AppletServer::serve`], plus
+    /// [`CoreError::LintRejected`] when unwaived lint errors remain —
+    /// refusals of both kinds are audited.
+    pub fn serve_design_sealed(
+        &mut self,
+        customer: &str,
+        today: u32,
+        vendor_key: &[u8],
+        circuit: &ipd_hdl::Circuit,
+        lint_config: &ipd_lint::LintConfig,
+    ) -> Result<crate::seal::SealedDesign, CoreError> {
+        let license = self.authorize(customer, today)?;
+        let key = crate::seal::bundle_key(vendor_key, &license);
+        match crate::seal::seal_design(circuit, lint_config, &key, today.into()) {
+            Ok(sealed) => {
+                self.audit.push(AuditRecord {
+                    customer: customer.to_owned(),
+                    day: today,
+                    outcome: format!(
+                        "served design {} sealed ({})",
+                        circuit.name(),
+                        sealed.report().summary()
+                    ),
+                });
+                Ok(sealed)
+            }
+            Err(e) => {
+                self.audit.push(AuditRecord {
+                    customer: customer.to_owned(),
+                    day: today,
+                    outcome: format!("refused: {e}"),
+                });
+                Err(e)
+            }
+        }
+    }
+
     /// The full access log.
     #[must_use]
     pub fn audit_log(&self) -> &[AuditRecord] {
@@ -497,6 +543,42 @@ mod tests {
             // The other customer's key fails authentication.
             assert!(crate::seal::unseal(bytes, &bolt_key).is_err());
         }
+    }
+
+    #[test]
+    fn design_delivery_is_lint_gated() {
+        use ipd_techlib::LogicCtx;
+        let vendor_key = b"vendor-key".to_vec();
+        let mut server = AppletServer::new("byu", vendor_key.clone());
+        let license = server.enroll("acme", "kcm", CapabilitySet::licensed(), 0, 365);
+
+        // A design with contention is refused, and the refusal audited.
+        let mut broken = ipd_hdl::Circuit::new("broken");
+        let mut ctx = broken.root_ctx();
+        let a = ctx.add_port(ipd_hdl::PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(ipd_hdl::PortSpec::output("y", 1)).unwrap();
+        ctx.buffer(a, y).unwrap();
+        ctx.buffer(a, y).unwrap();
+        let config = ipd_lint::LintConfig::new();
+        let err = server
+            .serve_design_sealed("acme", 10, &vendor_key, &broken, &config)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::LintRejected { errors: 1, .. }));
+        let last = server.audit_log().last().unwrap();
+        assert!(last.outcome.contains("refused"), "{}", last.outcome);
+
+        // A clean generator output is sealed to the customer key.
+        let kcm = ipd_modgen::KcmMultiplier::new(-56, 8, 12).signed(true);
+        let circuit = ipd_hdl::Circuit::from_generator(&kcm).unwrap();
+        let sealed = server
+            .serve_design_sealed("acme", 11, &vendor_key, &circuit, &config)
+            .expect("clean design serves");
+        assert!(sealed.report().is_clean());
+        let key = crate::seal::bundle_key(&vendor_key, &license);
+        let plain = crate::seal::unseal(sealed.bytes(), &key).unwrap();
+        assert!(String::from_utf8(plain).unwrap().starts_with("(edif"));
+        let last = server.audit_log().last().unwrap();
+        assert!(last.outcome.contains("served design"), "{}", last.outcome);
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub enum CoreError {
         /// The module name.
         module: String,
     },
+    /// The design failed the pre-delivery lint gate: the static
+    /// analyzer found error-severity findings that no waiver covers.
+    /// A vendor must not ship a structurally broken design; fix the
+    /// generator or waive the finding explicitly in the
+    /// [`ipd_lint::LintConfig`].
+    LintRejected {
+        /// Unwaived error-severity finding count.
+        errors: usize,
+        /// The report's one-line summary.
+        summary: String,
+    },
     /// An underlying circuit error.
     Hdl(ipd_hdl::HdlError),
     /// An underlying simulation error.
@@ -90,6 +101,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnknownModule { module } => {
                 write!(f, "no catalog module named {module}")
+            }
+            CoreError::LintRejected { errors, summary } => {
+                write!(
+                    f,
+                    "delivery refused: {errors} unwaived lint error(s) ({summary})"
+                )
             }
             CoreError::Hdl(e) => write!(f, "circuit error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),

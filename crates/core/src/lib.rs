@@ -31,6 +31,11 @@
 //!   checked.
 //! - [`obfuscate`] / [`embed_watermark`] / [`verify_watermark`] — the
 //!   §4.3 protection measures.
+//! - [`seal_design`] / [`AppletServer::serve_design_sealed`] — the
+//!   lint-gated delivery path: a design netlist is sealed to the
+//!   customer key only after the `ipd-lint` static analyzer finds no
+//!   unwaived error-severity problems, and the surviving
+//!   [`SealedDesign`] carries the report for audit.
 //!
 //! # Example
 //!
@@ -83,7 +88,7 @@ pub use host::{AppletHost, ResourceLimits};
 pub use license::{License, LicenseAuthority};
 pub use page::applet_page;
 pub use protect::{embed_watermark, obfuscate, verify_watermark};
-pub use seal::{bundle_key, seal, unseal};
+pub use seal::{bundle_key, seal, seal_design, unseal, SealedDesign};
 pub use session::AppletSession;
 pub use sha::{hmac_sha256, sha256, sha256_parts, to_hex};
 pub use store::{

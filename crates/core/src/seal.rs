@@ -8,6 +8,9 @@
 //! (encrypt-then-MAC) — implemented in-repo like the rest of the
 //! crypto substrate.
 
+use ipd_hdl::Circuit;
+use ipd_lint::{LintConfig, LintReport, Linter};
+
 use crate::error::CoreError;
 use crate::license::License;
 use crate::sha::hmac_sha256;
@@ -65,6 +68,59 @@ pub fn unseal(sealed: &[u8], key: &[u8; 32]) -> Result<Vec<u8>, CoreError> {
     let mut plain = body[8..].to_vec();
     apply_keystream(&mut plain, key, nonce);
     Ok(plain)
+}
+
+/// A design netlist sealed for delivery, carrying the lint report that
+/// cleared it — the delivery-side artifact of the lint gate.
+#[derive(Debug, Clone)]
+pub struct SealedDesign {
+    sealed: Vec<u8>,
+    report: LintReport,
+}
+
+impl SealedDesign {
+    /// The sealed EDIF payload (`nonce || ciphertext || tag`).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.sealed
+    }
+
+    /// The lint report the design passed before sealing — shipped
+    /// alongside the payload so the customer can audit what was
+    /// checked and what was waived.
+    #[must_use]
+    pub fn report(&self) -> &LintReport {
+        &self.report
+    }
+}
+
+/// Lints a circuit and, only if no unwaived error-severity finding
+/// remains, netlists it to EDIF and seals the bytes to the customer
+/// key. A vendor must never ship a structurally broken design; waivers
+/// in `config` are the explicit, auditable escape hatch.
+///
+/// # Errors
+///
+/// [`CoreError::LintRejected`] when unwaived lint errors exist;
+/// otherwise propagates flattening and netlisting failures.
+pub fn seal_design(
+    circuit: &Circuit,
+    config: &LintConfig,
+    key: &[u8; 32],
+    nonce: u64,
+) -> Result<SealedDesign, CoreError> {
+    let report = Linter::with_config(config.clone()).run(circuit)?;
+    if report.error_count() > 0 {
+        return Err(CoreError::LintRejected {
+            errors: report.error_count(),
+            summary: report.summary(),
+        });
+    }
+    let edif = ipd_netlist::NetlistFormat::Edif.generate(circuit)?;
+    Ok(SealedDesign {
+        sealed: seal(edif.as_bytes(), key, nonce),
+        report,
+    })
 }
 
 /// XORs the HMAC-counter keystream over a buffer (symmetric for
@@ -138,6 +194,58 @@ mod tests {
         let b = seal(&plain, &key, 2);
         assert_ne!(&a[8..8 + plain.len()], plain.as_slice());
         assert_ne!(a[8..], b[8..], "nonce varies the keystream");
+    }
+
+    /// A circuit with a contended net: `multiple-drivers` is an
+    /// error-severity finding.
+    fn broken_circuit() -> ipd_hdl::Circuit {
+        use ipd_techlib::LogicCtx;
+        let mut c = ipd_hdl::Circuit::new("broken");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(ipd_hdl::PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(ipd_hdl::PortSpec::output("y", 1)).unwrap();
+        ctx.buffer(a, y).unwrap();
+        ctx.buffer(a, y).unwrap();
+        c
+    }
+
+    #[test]
+    fn seal_design_refuses_unwaived_lint_errors() {
+        let key = key();
+        let err = seal_design(&broken_circuit(), &LintConfig::new(), &key, 1).unwrap_err();
+        match err {
+            CoreError::LintRejected { errors, summary } => {
+                assert_eq!(errors, 1);
+                assert!(summary.contains("error"), "{summary}");
+            }
+            other => panic!("expected LintRejected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn seal_design_accepts_waived_errors_and_clean_designs() {
+        let key = key();
+        // Waiving the specific finding lets the same design through,
+        // and the shipped report still records the waiver for audit.
+        let mut config = LintConfig::new();
+        config.waive(
+            "multiple-drivers",
+            "broken/y",
+            "legacy contention, customer accepts",
+        );
+        let sealed = seal_design(&broken_circuit(), &config, &key, 2).expect("waived");
+        assert_eq!(sealed.report().error_count(), 0);
+        assert_eq!(sealed.report().waived().len(), 1);
+        // The payload unseals to the EDIF netlist.
+        let plain = unseal(sealed.bytes(), &key).expect("unseal");
+        assert!(String::from_utf8(plain).unwrap().starts_with("(edif"));
+
+        // A clean generator output needs no waivers at all.
+        let kcm = ipd_modgen::KcmMultiplier::new(-56, 8, 12).signed(true);
+        let circuit = ipd_hdl::Circuit::from_generator(&kcm).unwrap();
+        let sealed = seal_design(&circuit, &LintConfig::new(), &key, 3).expect("clean");
+        assert!(sealed.report().is_clean());
+        assert!(sealed.report().diags().is_empty());
     }
 
     #[test]

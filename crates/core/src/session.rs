@@ -369,6 +369,19 @@ impl AppletSession {
         }
     }
 
+    /// The *Lint* button: runs the full static-analysis engine over
+    /// the built instance. Diagnostics name internal hierarchical
+    /// paths, so this needs structural visibility — a black-box
+    /// evaluator cannot use lint findings to map the implementation.
+    ///
+    /// # Errors
+    ///
+    /// Requires [`Capability::StructuralView`] and a built circuit.
+    pub fn lint(&self) -> Result<ipd_lint::LintReport, CoreError> {
+        self.require(Capability::StructuralView)?;
+        Ok(ipd_lint::lint(self.circuit()?)?)
+    }
+
     /// The *Netlist* button: generates the deliverable netlist.
     ///
     /// # Errors
@@ -439,6 +452,8 @@ mod tests {
         assert!(timing.critical_path_ns > 0.0);
         assert!(s.schematic().unwrap().contains("pp0"));
         assert!(s.hierarchy().unwrap().contains("kcm"));
+        let lint = s.lint().unwrap();
+        assert!(lint.is_clean() && lint.diags().is_empty(), "{lint}");
         assert!(s.layout().unwrap().contains('|'));
         s.set_i64("multiplicand", 2).unwrap();
         assert_eq!(s.peek("product").unwrap().to_i64(), Some(-28)); // (-56 × 2) >> 2
@@ -461,6 +476,12 @@ mod tests {
             s.set_i64("multiplicand", 1),
             Err(CoreError::CapabilityDenied {
                 capability: Capability::Simulate
+            })
+        ));
+        assert!(matches!(
+            s.lint(),
+            Err(CoreError::CapabilityDenied {
+                capability: Capability::StructuralView
             })
         ));
         assert!(matches!(

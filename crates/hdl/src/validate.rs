@@ -4,6 +4,14 @@
 //! circuit is structurally sound, so the delivery executable runs these
 //! checks after generation: single-driver rule, undriven reads, and
 //! placement overlap.
+//!
+//! These three rules are the *seed* checks. The full static-analysis
+//! engine lives in the `ipd-lint` crate, whose pass framework re-hosts
+//! these rules (with hierarchical-path diagnostics, configurable
+//! severities and waivers) alongside clock-domain-crossing, dead-logic,
+//! X-propagation, combinational-loop and fanout analyses. [`validate`]
+//! remains as the dependency-free entry point for callers that only
+//! need structural soundness.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -187,23 +195,25 @@ fn check_drivers(flat: &FlatNetlist, out: &mut Vec<Violation>) {
     }
 }
 
+/// How many placed leaves one slice site can legitimately host: two
+/// LUTs, two flip-flops, two carry muxes and two carry xors.
+const SLICE_CAPACITY: usize = 8;
+
 fn check_placement_overlap(flat: &FlatNetlist, out: &mut Vec<Violation>) {
     let mut seen: HashMap<Rloc, &str> = HashMap::new();
     for leaf in flat.leaves() {
         let Some(loc) = leaf.loc else { continue };
-        // A slice site legitimately hosts a LUT, carry mux, carry xor
-        // and flip-flop; more than four leaves at one location suggests
-        // a generator placement bug.
         match seen.insert(loc, leaf.path.as_str()) {
             None => {}
             Some(first) => {
                 let count = flat.leaves().iter().filter(|l| l.loc == Some(loc)).count();
-                if count > 4 {
+                if count > SLICE_CAPACITY {
                     out.push(Violation {
                         severity: Severity::Warning,
                         rule: "placement-overlap",
                         message: format!(
-                            "{count} leaves at {loc} (first two: {first}, {})",
+                            "{count} leaves at {loc} exceed the slice capacity of \
+                             {SLICE_CAPACITY} (first two: {first}, {})",
                             leaf.path
                         ),
                     });

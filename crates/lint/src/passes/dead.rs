@@ -1,0 +1,101 @@
+//! Dead-logic / cone-of-influence analysis.
+//!
+//! A leaf is *live* when some path leads from one of its outputs to a
+//! primary output or inout, or into a black box (whose internals are
+//! invisible, so its inputs must be assumed observable). Liveness is
+//! computed backwards from those sinks; everything the sweep never
+//! reaches is dead — it consumes area and power but cannot influence
+//! any observable signal. Clock and control pins count as uses, so a
+//! register whose output is consumed keeps its whole clock tree alive.
+
+use ipd_hdl::{PortDir, Severity};
+
+use crate::model::LintModel;
+use crate::pass::{Pass, PassCtx, RuleInfo};
+
+/// Flags leaves outside the cone of influence of every primary output.
+pub struct DeadLogicPass;
+
+const DEAD_RULES: &[RuleInfo] = &[RuleInfo {
+    id: "dead-logic",
+    severity: Severity::Warning,
+    help: "leaf cannot influence any primary output or black box",
+}];
+
+/// Live-leaf mask, computed backwards from primary outputs and black
+/// boxes. Public so tests can assert the cone directly.
+#[must_use]
+pub(crate) fn live_leaves(model: &LintModel<'_>) -> Vec<bool> {
+    let flat = model.flat();
+    let leaf_count = flat.leaves().len();
+    let mut live_leaf = vec![false; leaf_count];
+    let mut live_net = vec![false; flat.net_count()];
+    let mut work: Vec<usize> = Vec::new();
+
+    let mark_net = |net: usize, live_net: &mut Vec<bool>, work: &mut Vec<usize>| {
+        if !live_net[net] {
+            live_net[net] = true;
+            work.push(net);
+        }
+    };
+
+    for port in flat.ports() {
+        if matches!(port.dir, PortDir::Output | PortDir::Inout) {
+            for &n in &port.nets {
+                mark_net(n.index(), &mut live_net, &mut work);
+            }
+        }
+    }
+    // Black boxes are opaque observers: anything reaching one is live.
+    for &bb in model.black_boxes() {
+        live_leaf[bb] = true;
+        for conn in &flat.leaves()[bb].conns {
+            if conn.dir == PortDir::Input {
+                for &n in &conn.nets {
+                    mark_net(n.index(), &mut live_net, &mut work);
+                }
+            }
+        }
+    }
+
+    while let Some(net) = work.pop() {
+        for &(leaf, _port) in model.drivers_of(ipd_hdl::NetId::from_index(net)) {
+            if live_leaf[leaf] {
+                continue;
+            }
+            live_leaf[leaf] = true;
+            for conn in &flat.leaves()[leaf].conns {
+                if conn.dir == PortDir::Input {
+                    for &n in &conn.nets {
+                        mark_net(n.index(), &mut live_net, &mut work);
+                    }
+                }
+            }
+        }
+    }
+    live_leaf
+}
+
+impl Pass for DeadLogicPass {
+    fn name(&self) -> &'static str {
+        "dead-logic"
+    }
+
+    fn rules(&self) -> &'static [RuleInfo] {
+        DEAD_RULES
+    }
+
+    fn run(&self, model: &LintModel<'_>, ctx: &mut PassCtx<'_>) {
+        let live = live_leaves(model);
+        for (li, leaf) in model.flat().leaves().iter().enumerate() {
+            if !live[li] {
+                ctx.emit(
+                    "dead-logic",
+                    Severity::Warning,
+                    &leaf.path,
+                    "leaf is outside the cone of influence of every primary output".to_owned(),
+                );
+            }
+        }
+    }
+}

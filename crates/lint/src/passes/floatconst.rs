@@ -1,0 +1,108 @@
+//! Floating-input and constant-logic analysis.
+//!
+//! `floating-input` is the error-severity cousin of the seed
+//! `undriven-net` warning: it fires on the *instance* whose input pin
+//! is attached to a driverless net, because an undriven pin means the
+//! gate evaluates on garbage. `constant-logic` propagates the gnd/vcc
+//! rails through the combinational graph with the primitive
+//! evaluator's unknown-insensitivity (a LUT whose cofactors agree is
+//! constant even with varying inputs) and flags gates whose output can
+//! never change.
+
+use ipd_hdl::{NetId, PortDir, Severity};
+use ipd_techlib::PrimKind;
+
+use crate::model::LintModel;
+use crate::pass::{Pass, PassCtx, RuleInfo};
+
+/// Flags floating instance inputs and provably constant gates.
+pub struct FloatConstPass;
+
+const FLOATCONST_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "floating-input",
+        severity: Severity::Error,
+        help: "an instance input pin is attached to a net nothing drives",
+    },
+    RuleInfo {
+        id: "constant-logic",
+        severity: Severity::Warning,
+        help: "a gate's output is provably stuck at a constant value",
+    },
+];
+
+fn is_buffer(kind: PrimKind) -> bool {
+    matches!(
+        kind,
+        PrimKind::Buf | PrimKind::Bufg | PrimKind::Ibuf | PrimKind::Obuf
+    )
+}
+
+impl Pass for FloatConstPass {
+    fn name(&self) -> &'static str {
+        "float-const"
+    }
+
+    fn rules(&self) -> &'static [RuleInfo] {
+        FLOATCONST_RULES
+    }
+
+    fn run(&self, model: &LintModel<'_>, ctx: &mut PassCtx<'_>) {
+        for (li, leaf) in model.flat().leaves().iter().enumerate() {
+            for conn in &leaf.conns {
+                if conn.dir != PortDir::Input {
+                    continue;
+                }
+                for (bit, &net) in conn.nets.iter().enumerate() {
+                    if model.driver_count(net) == 0 {
+                        ctx.emit(
+                            "floating-input",
+                            Severity::Error,
+                            model.leaf_path(li),
+                            format!(
+                                "input pin {}[{bit}] floats (net {} has no driver)",
+                                conn.port,
+                                model.net_name(net)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        let value = model.const_values();
+        for node in model.comb_nodes() {
+            let Some(kind) = node.kind else { continue };
+            // The rails themselves and buffer trees distributing them
+            // are intentional; flag the first real gate.
+            if is_buffer(kind) {
+                continue;
+            }
+            let Some(v) = value[node.output.index()] else {
+                continue;
+            };
+            // Direct rail taps (all inputs constant) are how gnd/vcc
+            // are *meant* to be used; a gate is suspicious only when it
+            // wastes varying inputs on a constant result.
+            let has_varying_input = node
+                .inputs
+                .iter()
+                .any(|n: &NetId| value[n.index()].is_none());
+            if !has_varying_input {
+                continue;
+            }
+            if model.fanout(node.output) == 0 {
+                continue; // dead-logic territory
+            }
+            ctx.emit(
+                "constant-logic",
+                Severity::Warning,
+                model.leaf_path(node.leaf),
+                format!(
+                    "output net {} is stuck at {v} despite varying inputs",
+                    model.net_name(node.output)
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The connectivity and placement rules that started life in
+//! `ipd_hdl::validate` — re-homed in the pass framework with
+//! path-accurate diagnostics. `ipd_hdl::validate` remains as a
+//! dependency-free compatibility wrapper; this pass is the maintained
+//! implementation, and upgrades each message with the full
+//! hierarchical instance paths of the drivers/readers involved.
+
+use ipd_hdl::{NetId, Rloc, Severity};
+
+use crate::model::LintModel;
+use crate::pass::{Pass, PassCtx, RuleInfo};
+
+/// Single-driver, undriven/unused-net and placement-overlap checks.
+pub struct SeedRulesPass;
+
+const SEED_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "multiple-drivers",
+        severity: Severity::Error,
+        help: "a net is driven by more than one output (contention)",
+    },
+    RuleInfo {
+        id: "undriven-net",
+        severity: Severity::Warning,
+        help: "a net is read but nothing drives it",
+    },
+    RuleInfo {
+        id: "unused-net",
+        severity: Severity::Warning,
+        help: "a whole named net is driven but never read",
+    },
+    RuleInfo {
+        id: "placement-overlap",
+        severity: Severity::Warning,
+        help: "more leaves share one placement site than a slice can host",
+    },
+];
+
+/// How many instance paths to spell out before eliding.
+const MAX_NAMED: usize = 4;
+
+fn name_endpoints(model: &LintModel<'_>, pairs: &[(usize, usize)], primary: bool) -> String {
+    let mut names: Vec<String> = pairs
+        .iter()
+        .take(MAX_NAMED)
+        .map(|&(leaf, port)| {
+            let conn = &model.flat().leaves()[leaf].conns[port];
+            format!("{}.{}", model.leaf_path(leaf), conn.port)
+        })
+        .collect();
+    if primary {
+        names.push("<primary port>".to_owned());
+    }
+    let elided = (pairs.len() + usize::from(primary)).saturating_sub(names.len());
+    if elided > 0 {
+        names.push(format!("... {elided} more"));
+    }
+    names.join(", ")
+}
+
+impl Pass for SeedRulesPass {
+    fn name(&self) -> &'static str {
+        "seed-rules"
+    }
+
+    fn rules(&self) -> &'static [RuleInfo] {
+        SEED_RULES
+    }
+
+    fn run(&self, model: &LintModel<'_>, ctx: &mut PassCtx<'_>) {
+        let flat = model.flat();
+        for (i, net) in flat.nets().iter().enumerate() {
+            let id = NetId::from_index(i);
+            let drive_count = model.driver_count(id);
+            let read_count = model.fanout(id);
+            if drive_count > 1 {
+                ctx.emit(
+                    "multiple-drivers",
+                    Severity::Error,
+                    &net.name,
+                    format!(
+                        "net has {drive_count} drivers: {}",
+                        name_endpoints(model, model.drivers_of(id), model.is_primary_driven(id))
+                    ),
+                );
+            }
+            if drive_count == 0 && read_count > 0 {
+                ctx.emit(
+                    "undriven-net",
+                    Severity::Warning,
+                    &net.name,
+                    format!(
+                        "net is read but never driven; readers: {}",
+                        name_endpoints(model, model.readers_of(id), model.is_primary_read(id))
+                    ),
+                );
+            }
+            if drive_count == 1 && read_count == 0 && !net.name.ends_with(']') {
+                // Dangling bit nets (names end in `]`) are usually an
+                // intentionally unused carry/sum bit; whole named nets
+                // are not.
+                ctx.emit(
+                    "unused-net",
+                    Severity::Warning,
+                    &net.name,
+                    format!(
+                        "net is driven but never read; driver: {}",
+                        name_endpoints(model, model.drivers_of(id), model.is_primary_driven(id))
+                    ),
+                );
+            }
+        }
+
+        // A slice site legitimately hosts two LUTs, two flip-flops, two
+        // carry muxes and two carry xors; more than eight leaves at one
+        // location suggests a generator placement bug.
+        const SLICE_CAPACITY: usize = 8;
+        let mut placed: Vec<(Rloc, usize)> = flat
+            .leaves()
+            .iter()
+            .enumerate()
+            .filter_map(|(li, leaf)| leaf.loc.map(|loc| (loc, li)))
+            .collect();
+        placed.sort_unstable();
+        let mut overfull: Vec<(Rloc, Vec<usize>)> = Vec::new();
+        let mut i = 0;
+        while i < placed.len() {
+            let loc = placed[i].0;
+            let j = placed[i..].partition_point(|&(l, _)| l == loc) + i;
+            if j - i > SLICE_CAPACITY {
+                overfull.push((loc, placed[i..j].iter().map(|&(_, l)| l).collect()));
+            }
+            i = j;
+        }
+        for (loc, leaves) in overfull {
+            let named: Vec<&str> = leaves
+                .iter()
+                .take(MAX_NAMED)
+                .map(|&l| model.leaf_path(l))
+                .collect();
+            ctx.emit(
+                "placement-overlap",
+                Severity::Warning,
+                model.leaf_path(leaves[0]),
+                format!(
+                    "{} leaves at {loc} exceed the slice capacity of {SLICE_CAPACITY} \
+                     (first {}: {})",
+                    leaves.len(),
+                    named.len(),
+                    named.join(", ")
+                ),
+            );
+        }
+    }
+}

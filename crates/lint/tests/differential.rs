@@ -1,0 +1,160 @@
+//! Differential validation of the static analyses against the
+//! simulator.
+//!
+//! * X-propagation: on loop-free designs built from taint-exact
+//!   primitives (inv / buf / xor / fd) the static mask must agree with
+//!   `BatchSimulator` *exactly* — every lint-marked net really carries
+//!   X after settling, and no lint-clean net ever does.
+//! * Combinational loops: lint's Tarjan SCC detection must agree with
+//!   the simulator's levelizer on both looping and randomly generated
+//!   loop-free netlists.
+
+use ipd_hdl::{Circuit, FlatNetlist, PortSpec, Primitive, Signal};
+use ipd_lint::{lint, x_reachable, LintModel};
+use ipd_sim::{BatchSimulator, Simulator};
+use ipd_techlib::LogicCtx;
+use ipd_testutil::XorShift64;
+
+/// Loop-free mixed design: one X-contaminated pipeline (a floating
+/// wire XORed in, then registered) beside a clean one. Only inv, buf,
+/// xor and fd — primitives whose X propagation is exact, so the static
+/// may-analysis equals the dynamic must-behaviour.
+fn xprop_fixture() -> Circuit {
+    let mut c = Circuit::new("xdiff");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let yx = ctx.add_port(PortSpec::output("yx", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    // Tainted pipeline: (a ^ floating) -> fd -> inv -> fd -> yx.
+    let w1 = ctx.wire("w1", 1);
+    let q1 = ctx.wire("q1", 1);
+    let w2 = ctx.wire("w2", 1);
+    ctx.xor2(a, floating, w1).unwrap();
+    ctx.fd(clk, w1, q1).unwrap();
+    ctx.inv(q1, w2).unwrap();
+    ctx.fd(clk, w2, yx).unwrap();
+    // Clean pipeline: (a ^ b) -> fd -> buf -> fd -> y.
+    let w3 = ctx.wire("w3", 1);
+    let q3 = ctx.wire("q3", 1);
+    let w4 = ctx.wire("w4", 1);
+    ctx.xor2(a, b, w3).unwrap();
+    ctx.fd(clk, w3, q3).unwrap();
+    ctx.buffer(q3, w4).unwrap();
+    ctx.fd(clk, w4, y).unwrap();
+    c
+}
+
+#[test]
+fn xprop_mask_matches_batch_simulator_exactly() {
+    let circuit = xprop_fixture();
+    let flat = FlatNetlist::build(&circuit).unwrap();
+    let model = LintModel::build(&flat);
+    let mask = x_reachable(&model);
+
+    let lanes = 8;
+    let mut sim = BatchSimulator::with_clock(&circuit, "clk", lanes).unwrap();
+    assert!(sim.is_levelized());
+    // Drive every input with known, lane-distinct values and let X
+    // reach the deepest register (pipeline depth 2, run 4).
+    for lane in 0..lanes {
+        sim.set_u64_lane("a", lane, (lane & 1) as u64).unwrap();
+        sim.set_u64_lane("b", lane, ((lane >> 1) & 1) as u64)
+            .unwrap();
+    }
+    sim.cycle(4).unwrap();
+
+    for (i, net) in flat.nets().iter().enumerate() {
+        for lane in 0..lanes {
+            let value = sim.peek_net_lane(&net.name, lane).unwrap();
+            assert_eq!(
+                value.to_bool().is_none(),
+                mask[i],
+                "net {} lane {lane}: simulator says {value}, lint mask says {}",
+                net.name,
+                mask[i]
+            );
+        }
+    }
+    // And the report flags exactly the contaminated output.
+    let report = lint(&circuit).unwrap();
+    let objects: Vec<_> = report
+        .by_rule("x-reachable")
+        .map(|d| d.object.as_str())
+        .collect();
+    assert_eq!(objects, vec!["yx[0]"]);
+}
+
+fn nor2_ports() -> Vec<PortSpec> {
+    vec![
+        PortSpec::input("i0", 1),
+        PortSpec::input("i1", 1),
+        PortSpec::output("o", 1),
+    ]
+}
+
+#[test]
+fn comb_loop_agrees_with_levelizer_on_latch() {
+    let mut c = Circuit::new("latch");
+    let mut ctx = c.root_ctx();
+    let s = ctx.add_port(PortSpec::input("s", 1)).unwrap();
+    let r = ctx.add_port(PortSpec::input("r", 1)).unwrap();
+    let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+    let nq = ctx.wire("nq", 1);
+    ctx.leaf(
+        Primitive::new("virtex", "nor2"),
+        nor2_ports(),
+        "n0",
+        &[("i0", r.into()), ("i1", nq.into()), ("o", q.into())],
+    )
+    .unwrap();
+    ctx.leaf(
+        Primitive::new("virtex", "nor2"),
+        nor2_ports(),
+        "n1",
+        &[("i0", s.into()), ("i1", q.into()), ("o", nq.into())],
+    )
+    .unwrap();
+    let sim = Simulator::new(&c).unwrap();
+    assert!(!sim.is_levelized(), "levelizer sees the loop");
+    let report = lint(&c).unwrap();
+    assert_eq!(report.by_rule("comb-loop").count(), 1, "{report}");
+}
+
+/// Random loop-free gate network: every gate reads only wires defined
+/// before it, so the graph is a DAG by construction.
+fn random_dag(rng: &mut XorShift64) -> Circuit {
+    let mut c = Circuit::new("dag");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let mut nets: Vec<Signal> = vec![a.into(), b.into()];
+    let gates = 3 + rng.index(12);
+    for g in 0..gates {
+        let out = ctx.wire(&format!("w{g}"), 1);
+        let x = nets[rng.index(nets.len())].clone();
+        let y = nets[rng.index(nets.len())].clone();
+        match rng.index(3) {
+            0 => ctx.and2(x, y, out).unwrap(),
+            1 => ctx.xor2(x, y, out).unwrap(),
+            _ => ctx.or2(x, y, out).unwrap(),
+        };
+        nets.push(out.into());
+    }
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.buffer(nets.last().unwrap().clone(), y).unwrap();
+    c
+}
+
+#[test]
+fn comb_loop_agrees_with_levelizer_on_random_dags() {
+    ipd_testutil::check_n("random dags levelize and lint loop-free", 16, |rng| {
+        let c = random_dag(rng);
+        let sim = Simulator::new(&c).unwrap();
+        assert!(sim.is_levelized());
+        let report = lint(&c).unwrap();
+        assert_eq!(report.by_rule("comb-loop").count(), 0, "{report}");
+    });
+}

@@ -1,0 +1,372 @@
+//! Positive and negative fixtures for every built-in pass: each rule
+//! has at least one circuit that trips it and one that stays clean.
+
+use ipd_hdl::{Circuit, PortSpec, Primitive, Severity, Signal};
+use ipd_lint::{lint, LintConfig, LintLevel, Linter};
+use ipd_techlib::LogicCtx;
+
+fn nor2_ports() -> Vec<PortSpec> {
+    vec![
+        PortSpec::input("i0", 1),
+        PortSpec::input("i1", 1),
+        PortSpec::output("o", 1),
+    ]
+}
+
+/// Cross-coupled NOR SR latch: the canonical combinational loop.
+fn sr_latch() -> Circuit {
+    let mut c = Circuit::new("latch");
+    let mut ctx = c.root_ctx();
+    let s = ctx.add_port(PortSpec::input("s", 1)).unwrap();
+    let r = ctx.add_port(PortSpec::input("r", 1)).unwrap();
+    let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+    let nq = ctx.wire("nq", 1);
+    ctx.leaf(
+        Primitive::new("virtex", "nor2"),
+        nor2_ports(),
+        "n0",
+        &[("i0", r.into()), ("i1", nq.into()), ("o", q.into())],
+    )
+    .unwrap();
+    ctx.leaf(
+        Primitive::new("virtex", "nor2"),
+        nor2_ports(),
+        "n1",
+        &[("i0", s.into()), ("i1", q.into()), ("o", nq.into())],
+    )
+    .unwrap();
+    c
+}
+
+/// A small clean pipeline: a -> inv -> fd -> y, plus b -> xor -> y2.
+fn clean_design() -> Circuit {
+    let mut c = Circuit::new("clean");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let y2 = ctx.add_port(PortSpec::output("y2", 1)).unwrap();
+    let na = ctx.wire("na", 1);
+    ctx.inv(a, na).unwrap();
+    ctx.fd(clk, na, y).unwrap();
+    ctx.xor2(a, b, y2).unwrap();
+    c
+}
+
+fn rules_of(report: &ipd_lint::LintReport) -> Vec<&'static str> {
+    report.diags().iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn clean_design_is_clean() {
+    let report = lint(&clean_design()).unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.diags().len(), 0, "{report}");
+}
+
+#[test]
+fn unknown_primitive_is_an_error() {
+    let mut c = Circuit::new("top");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.leaf(
+        Primitive::new("virtex", "frobnicator"),
+        vec![PortSpec::input("i", 1), PortSpec::output("o", 1)],
+        "u0",
+        &[("i", a.into()), ("o", y.into())],
+    )
+    .unwrap();
+    let report = lint(&c).unwrap();
+    assert!(!report.is_clean());
+    let diag = report.by_rule("unknown-primitive").next().expect("diag");
+    assert_eq!(diag.severity, Severity::Error);
+    assert_eq!(diag.object, "top/u0");
+}
+
+#[test]
+fn multiple_drivers_names_both_driver_paths() {
+    let mut c = Circuit::new("top");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.buffer(a, y).unwrap();
+    ctx.buffer(a, y).unwrap();
+    let report = lint(&c).unwrap();
+    let diag = report.by_rule("multiple-drivers").next().expect("diag");
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(diag.message.contains(".o"), "driver pins named: {diag}");
+}
+
+#[test]
+fn undriven_and_unused_nets_warn() {
+    let mut c = Circuit::new("top");
+    let mut ctx = c.root_ctx();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    let orphan = ctx.wire("orphan", 1);
+    ctx.buffer(floating, y).unwrap();
+    ctx.inv(y, orphan).unwrap(); // drives `orphan`, nobody reads it
+    let report = lint(&c).unwrap();
+    let rules = rules_of(&report);
+    assert!(rules.contains(&"undriven-net"), "{report}");
+    assert!(rules.contains(&"unused-net"), "{report}");
+    // `floating-input` escalates the undriven read to an error on the
+    // consuming instance.
+    let diag = report.by_rule("floating-input").next().expect("diag");
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(diag.message.contains("floating"), "{diag}");
+}
+
+#[test]
+fn comb_loop_detected_with_member_paths() {
+    let report = lint(&sr_latch()).unwrap();
+    let diag = report.by_rule("comb-loop").next().expect("diag");
+    assert_eq!(diag.severity, Severity::Error);
+    assert!(
+        diag.message.contains("n0") && diag.message.contains("n1"),
+        "members named: {diag}"
+    );
+    // The clean pipeline has no loops.
+    let clean = lint(&clean_design()).unwrap();
+    assert_eq!(clean.by_rule("comb-loop").count(), 0);
+}
+
+/// Two clock domains with an unsynchronized crossing through an
+/// inverter, and a properly synchronized crossing next to it.
+fn cdc_pair(synchronized: bool) -> Circuit {
+    let mut c = Circuit::new("cdc");
+    let mut ctx = c.root_ctx();
+    let clk_a = ctx.add_port(PortSpec::input("clk_a", 1)).unwrap();
+    let clk_b = ctx.add_port(PortSpec::input("clk_b", 1)).unwrap();
+    let d = ctx.add_port(PortSpec::input("d", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let qa = ctx.wire("qa", 1);
+    ctx.fd(clk_a, d, qa).unwrap();
+    if synchronized {
+        // qa -> s1 -> s2, both in domain B: a two-flop synchronizer.
+        let s1 = ctx.wire("s1", 1);
+        ctx.fd(clk_b, qa, s1).unwrap();
+        ctx.fd(clk_b, s1, y).unwrap();
+    } else {
+        // Combinational logic on the crossing wire: not a synchronizer.
+        let nqa = ctx.wire("nqa", 1);
+        ctx.inv(qa, nqa).unwrap();
+        ctx.fd(clk_b, nqa, y).unwrap();
+    }
+    c
+}
+
+#[test]
+fn unsynchronized_cdc_warns() {
+    let report = lint(&cdc_pair(false)).unwrap();
+    let diag = report.by_rule("cdc-unsync").next().expect("diag");
+    assert!(
+        diag.message.contains("clk_a") && diag.message.contains("clk_b"),
+        "domains named: {diag}"
+    );
+}
+
+#[test]
+fn two_flop_synchronizer_is_exempt() {
+    let report = lint(&cdc_pair(true)).unwrap();
+    assert_eq!(report.by_rule("cdc-unsync").count(), 0, "{report}");
+}
+
+#[test]
+fn buffered_clock_is_same_domain() {
+    let mut c = Circuit::new("bufclk");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+    let d = ctx.add_port(PortSpec::input("d", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let clk_buf = ctx.wire("clk_buf", 1);
+    let q0 = ctx.wire("q0", 1);
+    ctx.buffer(clk, clk_buf).unwrap();
+    ctx.fd(clk, d, q0).unwrap();
+    ctx.fd(clk_buf, q0, y).unwrap(); // same root domain through buffer
+    let report = lint(&c).unwrap();
+    assert_eq!(report.by_rule("cdc-unsync").count(), 0, "{report}");
+}
+
+#[test]
+fn dead_logic_flagged_outside_output_cone() {
+    let mut c = Circuit::new("dead");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.inv(a, y).unwrap();
+    // Chain feeding nothing observable.
+    let w1 = ctx.wire("w1", 1);
+    let w2 = ctx.wire("w2", 1);
+    ctx.inv(a, w1).unwrap();
+    ctx.inv(w1, w2).unwrap();
+    let report = lint(&c).unwrap();
+    let dead: Vec<_> = report.by_rule("dead-logic").collect();
+    assert_eq!(dead.len(), 2, "{report}");
+    // The live inverter is not flagged.
+    assert!(dead.iter().all(|d| d.object != "i0"), "{report}");
+    let clean = lint(&clean_design()).unwrap();
+    assert_eq!(clean.by_rule("dead-logic").count(), 0);
+}
+
+#[test]
+fn constant_logic_with_varying_input_warns() {
+    let mut c = Circuit::new("konst");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let zero = ctx.wire("zero", 1);
+    ctx.gnd(zero).unwrap();
+    ctx.and2(a, zero, y).unwrap(); // y is stuck at 0 whatever `a` does
+    let report = lint(&c).unwrap();
+    let diag = report.by_rule("constant-logic").next().expect("diag");
+    assert!(diag.message.contains("stuck at 0"), "{diag}");
+    // An intentional rail tap (all-constant inputs) stays clean.
+    let mut c2 = Circuit::new("rail");
+    let mut ctx2 = c2.root_ctx();
+    let y2 = ctx2.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx2.vcc(y2).unwrap();
+    let report2 = lint(&c2).unwrap();
+    assert_eq!(report2.by_rule("constant-logic").count(), 0, "{report2}");
+}
+
+#[test]
+fn x_reachable_output_warns() {
+    let mut c = Circuit::new("xprop");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let yx = ctx.add_port(PortSpec::output("yx", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    ctx.xor2(a, floating, yx).unwrap(); // X from the floating wire
+    ctx.inv(a, y).unwrap(); // clean path
+    let report = lint(&c).unwrap();
+    let objects: Vec<_> = report
+        .by_rule("x-reachable")
+        .map(|d| d.object.as_str())
+        .collect();
+    assert_eq!(objects, vec!["yx[0]"], "{report}");
+}
+
+#[test]
+fn black_box_outputs_are_x_sources() {
+    let mut c = Circuit::new("bb");
+    let mut ctx = c.root_ctx();
+    let i = ctx.add_port(PortSpec::input("i", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.black_box(
+        "secret",
+        vec![PortSpec::input("i", 1), PortSpec::output("o", 1)],
+        "u0",
+        &[("i", i.into()), ("o", y.into())],
+    )
+    .unwrap();
+    let report = lint(&c).unwrap();
+    assert_eq!(report.by_rule("x-reachable").count(), 1, "{report}");
+    // The black box is an observer, so nothing is dead.
+    assert_eq!(report.by_rule("dead-logic").count(), 0, "{report}");
+}
+
+#[test]
+fn high_fanout_warns_but_clocks_are_exempt() {
+    let mut c = Circuit::new("fanout");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 4)).unwrap();
+    for bit in 0..4 {
+        let n = ctx.wire(&format!("n{bit}"), 1);
+        ctx.inv(a, n).unwrap(); // `a` fans out to 4 inverters
+        ctx.fd(clk, n, Signal::bit_of(y, bit)).unwrap(); // clk fans out to 4 FFs
+    }
+    let mut config = LintConfig::new();
+    config.max_fanout = 2;
+    let report = Linter::with_config(config).run(&c).unwrap();
+    let objects: Vec<_> = report
+        .by_rule("high-fanout")
+        .map(|d| d.object.as_str())
+        .collect();
+    assert_eq!(objects, vec!["fanout/a"], "clock exempt: {report}");
+    let diag = report.by_rule("high-fanout").next().unwrap();
+    assert!(diag.message.contains("ns"), "delay quoted: {diag}");
+}
+
+#[test]
+fn placement_overlap_beyond_slice_capacity_warns() {
+    let build = |n: u32| {
+        let mut c = Circuit::new("packed");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", n)).unwrap();
+        for bit in 0..n {
+            let g = ctx.inv(a, Signal::bit_of(y, bit)).unwrap();
+            ctx.set_rloc(g, ipd_hdl::Rloc::new(0, 0));
+        }
+        c
+    };
+    // Eight leaves on one site is legitimate slice packing (2 LUTs,
+    // 2 FFs, 2 MUXCYs, 2 XORCYs)...
+    let report = lint(&build(8)).unwrap();
+    assert_eq!(report.by_rule("placement-overlap").count(), 0, "{report}");
+    // ...nine is an overlap, and the message names the crowd.
+    let report = lint(&build(9)).unwrap();
+    let diag = report.by_rule("placement-overlap").next().expect("diag");
+    assert!(
+        diag.message.contains("9 leaves") && diag.message.contains("packed/inv"),
+        "{diag}"
+    );
+}
+
+#[test]
+fn over_wide_port_warns() {
+    let mut c = Circuit::new("wide");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 8)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 8)).unwrap();
+    for bit in 0..8 {
+        ctx.buffer(Signal::bit_of(a, bit), Signal::bit_of(y, bit))
+            .unwrap();
+    }
+    let mut config = LintConfig::new();
+    config.max_port_width = 4;
+    let report = Linter::with_config(config).run(&c).unwrap();
+    assert_eq!(report.by_rule("port-width").count(), 2, "{report}");
+}
+
+#[test]
+fn waivers_unblock_and_stay_auditable() {
+    let mut config = LintConfig::new();
+    config.waive(
+        "comb-loop",
+        "latch/n*",
+        "cross-coupled latch is intentional",
+    );
+    let report = Linter::with_config(config).run(&sr_latch()).unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.by_rule("comb-loop").count(), 0);
+    assert_eq!(report.waived().len(), 1);
+    assert!(report.to_string().contains("intentional"));
+}
+
+#[test]
+fn severity_overrides_apply() {
+    let mut config = LintConfig::new();
+    config.set_level("comb-loop", LintLevel::Warning);
+    let report = Linter::with_config(config).run(&sr_latch()).unwrap();
+    assert!(report.is_clean(), "downgraded: {report}");
+    let mut config = LintConfig::new();
+    config.set_level("comb-loop", LintLevel::Allow);
+    let report = Linter::with_config(config).run(&sr_latch()).unwrap();
+    assert_eq!(report.by_rule("comb-loop").count(), 0);
+}
+
+#[test]
+fn report_serialization_is_stable() {
+    let report = lint(&sr_latch()).unwrap();
+    let report2 = lint(&sr_latch()).unwrap();
+    assert_eq!(report.to_string(), report2.to_string());
+    assert_eq!(report.to_json(), report2.to_json());
+    assert!(report.to_json().contains("\"rule\": \"comb-loop\""));
+}

@@ -111,13 +111,16 @@ impl Generator for RippleAdder {
             let half = ctx.wire(&format!("p{bit}"), 1);
             let l = ctx.lut(0b0110, &[ab.clone(), bb], half)?;
             place_column(ctx, l, bit);
-            // Carry select and sum.
-            let co = ctx.wire(&format!("c{}", bit + 1), 1);
-            let m = ctx.muxcy(ci.clone(), ab, half, co)?;
-            place_column(ctx, m, bit);
-            let x = ctx.xorcy(ci, half, Signal::bit_of(s, bit))?;
+            let x = ctx.xorcy(ci.clone(), half, Signal::bit_of(s, bit))?;
             place_column(ctx, x, bit);
-            ci = co.into();
+            // Carry select: the top bit's carry-out exists only when a
+            // cout port consumes it — a dangling MUXCY is dead logic.
+            if bit + 1 < self.width || self.has_cout {
+                let co = ctx.wire(&format!("c{}", bit + 1), 1);
+                let m = ctx.muxcy(ci, ab, half, co)?;
+                place_column(ctx, m, bit);
+                ci = co.into();
+            }
         }
         if self.has_cout {
             let cout = ctx.port("cout")?;
@@ -194,12 +197,14 @@ impl Generator for Subtractor {
             let half = ctx.wire(&format!("p{bit}"), 1);
             let l = ctx.lut(0b1001, &[ab.clone(), bb], half)?;
             place_column(ctx, l, bit);
-            let co = ctx.wire(&format!("c{}", bit + 1), 1);
-            let m = ctx.muxcy(ci.clone(), ab, half, co)?;
-            place_column(ctx, m, bit);
-            let x = ctx.xorcy(ci, half, Signal::bit_of(d, bit))?;
+            let x = ctx.xorcy(ci.clone(), half, Signal::bit_of(d, bit))?;
             place_column(ctx, x, bit);
-            ci = co.into();
+            if bit + 1 < self.width || self.has_cout {
+                let co = ctx.wire(&format!("c{}", bit + 1), 1);
+                let m = ctx.muxcy(ci, ab, half, co)?;
+                place_column(ctx, m, bit);
+                ci = co.into();
+            }
         }
         if self.has_cout {
             let cout = ctx.port("cout")?;
@@ -270,12 +275,14 @@ impl Generator for AddSub {
             let half = ctx.wire(&format!("p{bit}"), 1);
             let l = ctx.lut(init, &[ab.clone(), bb, Signal::from(sub)], half)?;
             place_column(ctx, l, bit);
-            let co = ctx.wire(&format!("c{}", bit + 1), 1);
-            let m = ctx.muxcy(ci.clone(), ab, half, co)?;
-            place_column(ctx, m, bit);
-            let x = ctx.xorcy(ci, half, Signal::bit_of(s, bit))?;
+            let x = ctx.xorcy(ci.clone(), half, Signal::bit_of(s, bit))?;
             place_column(ctx, x, bit);
-            ci = co.into();
+            if bit + 1 < self.width {
+                let co = ctx.wire(&format!("c{}", bit + 1), 1);
+                let m = ctx.muxcy(ci, ab, half, co)?;
+                place_column(ctx, m, bit);
+                ci = co.into();
+            }
         }
         ctx.set_property("generator", "addsub");
         ctx.set_property("width", i64::from(self.width));
@@ -350,9 +357,10 @@ mod tests {
 
     #[test]
     fn adder_uses_carry_chain_and_is_placed() {
+        // Without a cout port the top bit needs no carry-out MUXCY.
         let circuit = Circuit::from_generator(&RippleAdder::new(8)).unwrap();
         let stats = ipd_hdl::CircuitStats::of(&circuit);
-        assert_eq!(stats.count_of("virtex:muxcy"), 8);
+        assert_eq!(stats.count_of("virtex:muxcy"), 7);
         assert_eq!(stats.count_of("virtex:xorcy"), 8);
         assert_eq!(stats.count_of("virtex:lut2"), 8);
         // Relative placement present on the chain.
@@ -360,6 +368,27 @@ mod tests {
             .cell_ids()
             .filter(|&id| circuit.cell(id).rloc().is_some())
             .count();
-        assert!(placed >= 24);
+        assert!(placed >= 23);
+    }
+
+    #[test]
+    fn carry_out_muxcy_only_when_consumed() {
+        // Regression for the dead final MUXCY the netlist linter
+        // surfaced: `c{width}` was driven but never read.
+        for (gen, expect) in [
+            (RippleAdder::new(4), 3),
+            (RippleAdder::new(4).with_cout(), 4),
+        ] {
+            let circuit = Circuit::from_generator(&gen).unwrap();
+            let stats = ipd_hdl::CircuitStats::of(&circuit);
+            assert_eq!(stats.count_of("virtex:muxcy"), expect);
+        }
+        let sub = Circuit::from_generator(&Subtractor::new(4)).unwrap();
+        assert_eq!(ipd_hdl::CircuitStats::of(&sub).count_of("virtex:muxcy"), 3);
+        let addsub = Circuit::from_generator(&AddSub::new(4)).unwrap();
+        assert_eq!(
+            ipd_hdl::CircuitStats::of(&addsub).count_of("virtex:muxcy"),
+            3
+        );
     }
 }

@@ -6,23 +6,85 @@
 //! performed at exactly the width the value range requires, low bits
 //! below a shift difference pass through without logic, and operands
 //! are sign- or zero-extended by wiring (free in LUT fabric).
+//!
+//! Two lint-driven refinements shape the generated netlists:
+//!
+//! * the shared zero rail is created lazily ([`ZeroRail`]), so designs
+//!   that never need zero extension carry no dead `GND` primitive;
+//! * a [`PartialValue`] may declare its lowest `dead_low` bits as
+//!   *placeholders* — bits the consumer has promised never to read
+//!   (e.g. product bits below a truncation point). Placeholders flow
+//!   through [`combine`] and [`register`] without generating buffers
+//!   or flip-flops, so truncated-width generators stay free of
+//!   dead logic.
 
-use ipd_hdl::{CellCtx, Result, Signal, WireId};
+use ipd_hdl::{CellCtx, Result, Rloc, Signal, WireId};
 use ipd_techlib::LogicCtx;
 
 use crate::add::RippleAdder;
+
+/// A lazily created constant rail: the wire and its `GND`/`VCC` driver
+/// materialize on first use, so designs that never need the constant
+/// don't carry a dead primitive.
+pub(crate) struct ConstRail {
+    name: &'static str,
+    high: bool,
+    sig: Option<Signal>,
+}
+
+/// The shared logic-zero rail (a lazily instantiated `GND`).
+pub(crate) type ZeroRail = ConstRail;
+
+impl ConstRail {
+    /// A lazy zero rail named `zero`.
+    pub(crate) fn zero() -> Self {
+        ConstRail {
+            name: "zero",
+            high: false,
+            sig: None,
+        }
+    }
+
+    /// A lazy one rail named `one`.
+    pub(crate) fn one() -> Self {
+        ConstRail {
+            name: "one",
+            high: true,
+            sig: None,
+        }
+    }
+
+    /// The rail signal, creating the wire and driver on first call.
+    pub(crate) fn get(&mut self, ctx: &mut CellCtx<'_>) -> Result<Signal> {
+        if let Some(sig) = &self.sig {
+            return Ok(sig.clone());
+        }
+        let wire = ctx.wire(self.name, 1);
+        if self.high {
+            ctx.vcc(wire)?;
+        } else {
+            ctx.gnd(wire)?;
+        }
+        let sig: Signal = wire.into();
+        self.sig = Some(sig.clone());
+        Ok(sig)
+    }
+}
 
 /// A partial numeric value under reduction.
 ///
 /// `bits` holds one single-bit signal per bit, LSB first; the numeric
 /// value lies in `[lo, hi]` and is scaled by `2^shift` relative to the
-/// final result.
+/// final result. Bits below `dead_low` are placeholders: the consumer
+/// guarantees they are never read, so reduction and pipeline stages
+/// generate no logic for them.
 #[derive(Debug, Clone)]
 pub(crate) struct PartialValue {
     pub bits: Vec<Signal>,
     pub lo: i128,
     pub hi: i128,
     pub shift: u32,
+    pub dead_low: u32,
 }
 
 impl PartialValue {
@@ -34,18 +96,22 @@ impl PartialValue {
         self.lo < 0
     }
 
-    /// The `k`-th bit with implicit extension: sign bit repetition for
-    /// signed values, the shared zero for unsigned.
-    pub(crate) fn bit(&self, k: u32, zero: &Signal) -> Signal {
+    /// The `k`-th bit with implicit sign extension; `None` when the bit
+    /// needs the zero rail (unsigned extension beyond the stored bits).
+    fn bit_opt(&self, k: u32) -> Option<Signal> {
         match self.bits.get(k as usize) {
-            Some(sig) => sig.clone(),
-            None => {
-                if self.is_signed() {
-                    self.bits.last().cloned().unwrap_or_else(|| zero.clone())
-                } else {
-                    zero.clone()
-                }
-            }
+            Some(sig) => Some(sig.clone()),
+            None if self.is_signed() => self.bits.last().cloned(),
+            None => None,
+        }
+    }
+
+    /// The `k`-th bit with implicit extension: sign bit repetition for
+    /// signed values, the (lazily created) shared zero for unsigned.
+    pub(crate) fn bit(&self, k: u32, ctx: &mut CellCtx<'_>, zero: &mut ZeroRail) -> Result<Signal> {
+        match self.bit_opt(k) {
+            Some(sig) => Ok(sig),
+            None => zero.get(ctx),
         }
     }
 }
@@ -79,56 +145,87 @@ pub(crate) fn wire_bits(ctx: &mut CellCtx<'_>, name: &str, width: u32) -> (WireI
 /// Bits of the lower-shifted operand below the shift difference are
 /// buffered straight through; the remainder goes through a carry-chain
 /// [`RippleAdder`] at exactly the width the combined range requires.
+/// Placeholder bits (below the lower operand's `dead_low`) are aliased
+/// instead of buffered. When `adder_loc` is given, the adder instance
+/// is relationally placed there, keeping its carry chain clear of the
+/// caller's own placed logic.
 pub(crate) fn combine(
     ctx: &mut CellCtx<'_>,
     a: PartialValue,
     b: PartialValue,
-    zero: &Signal,
+    zero: &mut ZeroRail,
     label: &str,
+    adder_loc: Option<Rloc>,
 ) -> Result<PartialValue> {
     let (a, b) = if a.shift <= b.shift { (a, b) } else { (b, a) };
     let d = b.shift - a.shift;
+    // Placeholders must stay below every bit the adder consumes: the
+    // adder reads `a` from bit `d` up and all of `b`.
+    debug_assert!(a.dead_low <= d, "placeholder bits would enter the adder");
+    debug_assert_eq!(b.dead_low, 0, "higher-shifted operand is fully consumed");
     let lo = a.lo + (b.lo << d);
     let hi = a.hi + (b.hi << d);
     let rw = width_for(lo, hi);
-    let (result, bits) = wire_bits(ctx, label, rw);
-    // Pass-through of the low bits.
+    let (result, mut bits) = wire_bits(ctx, label, rw);
+    // Pass-through of the low bits; placeholder bits alias instead.
     let pass = d.min(rw);
+    let dead_low = a.dead_low.min(pass);
     for k in 0..pass {
-        let src = a.bit(k, zero);
+        if k < dead_low {
+            bits[k as usize] = a.bits[k as usize].clone();
+            continue;
+        }
+        let src = a.bit(k, ctx, zero)?;
         ctx.buffer(src, Signal::bit_of(result, k))?;
     }
     // Carry-chain addition of the overlap.
     if rw > d {
         let aw = rw - d;
-        let in_a = Signal::concat((0..aw).map(|k| a.bit(d + k, zero)));
-        let in_b = Signal::concat((0..aw).map(|k| b.bit(k, zero)));
+        let mut in_a = Vec::with_capacity(aw as usize);
+        let mut in_b = Vec::with_capacity(aw as usize);
+        for k in 0..aw {
+            in_a.push(a.bit(d + k, ctx, zero)?);
+            in_b.push(b.bit(k, ctx, zero)?);
+        }
         let sum = Signal::slice_of(result, rw - 1, d);
         let adder = RippleAdder::new(aw);
-        ctx.instantiate(
+        let inst = ctx.instantiate(
             &adder,
             &format!("{label}_add"),
-            &[("a", in_a), ("b", in_b), ("s", sum)],
+            &[
+                ("a", Signal::concat(in_a)),
+                ("b", Signal::concat(in_b)),
+                ("s", sum),
+            ],
         )?;
+        if let Some(loc) = adder_loc {
+            ctx.set_rloc(inst, loc);
+        }
     }
     Ok(PartialValue {
         bits,
         lo,
         hi,
         shift: a.shift,
+        dead_low,
     })
 }
 
 /// Registers every bit of a partial value behind `clk` (one pipeline
-/// stage), preserving its numeric interpretation.
+/// stage), preserving its numeric interpretation. Placeholder bits are
+/// carried through without a flip-flop.
 pub(crate) fn register(
     ctx: &mut CellCtx<'_>,
     value: PartialValue,
     clk: WireId,
     label: &str,
 ) -> Result<PartialValue> {
-    let (reg, bits) = wire_bits(ctx, label, value.width());
+    let (reg, mut bits) = wire_bits(ctx, label, value.width());
     for (k, src) in value.bits.iter().enumerate() {
+        if (k as u32) < value.dead_low {
+            bits[k] = src.clone();
+            continue;
+        }
         ctx.fd(clk, src.clone(), Signal::bit_of(reg, k as u32))?;
     }
     Ok(PartialValue {
@@ -136,20 +233,27 @@ pub(crate) fn register(
         lo: value.lo,
         hi: value.hi,
         shift: value.shift,
+        dead_low: value.dead_low,
     })
 }
 
 /// Reduces partial values to one with a balanced pairwise tree,
 /// optionally inserting a register stage after every level.
+///
+/// When `adder_col0` is given, every adder the tree creates is placed
+/// in its own slice column starting there, so carry chains never stack
+/// on the caller's placed logic or on each other.
 pub(crate) fn reduce_tree(
     ctx: &mut CellCtx<'_>,
     mut values: Vec<PartialValue>,
-    zero: &Signal,
+    zero: &mut ZeroRail,
     clk: Option<WireId>,
     label: &str,
+    adder_col0: Option<i32>,
 ) -> Result<PartialValue> {
     assert!(!values.is_empty(), "reduce_tree needs at least one value");
     let mut level = 0usize;
+    let mut adders = 0i32;
     while values.len() > 1 {
         let mut next = Vec::with_capacity(values.len().div_ceil(2));
         let mut iter = values.into_iter();
@@ -157,8 +261,16 @@ pub(crate) fn reduce_tree(
         while let Some(a) = iter.next() {
             match iter.next() {
                 Some(b) => {
-                    let combined =
-                        combine(ctx, a, b, zero, &format!("{label}_l{level}_{pair_index}"))?;
+                    let loc = adder_col0.map(|c0| Rloc::new(0, c0 + adders));
+                    adders += 1;
+                    let combined = combine(
+                        ctx,
+                        a,
+                        b,
+                        zero,
+                        &format!("{label}_l{level}_{pair_index}"),
+                        loc,
+                    )?;
                     next.push(combined);
                 }
                 None => next.push(a),

@@ -123,21 +123,25 @@ impl Generator for Counter {
                 // half = !q (lut1 inverter: 0b01)
                 CountDirection::Down => ctx.lut(0b01, std::slice::from_ref(&qb), half)?,
             };
-            let co = ctx.wire(&format!("c{}", bit + 1), 1);
+            let x = ctx.xorcy(ci.clone(), half, Signal::bit_of(next, bit))?;
+            place_column(ctx, x, bit);
             // Full-adder carry: cout = (q&b) | (ci & (q^b)).
             // up (b=0): cout = ci & q → di = 0, select = half = q.
             // down (b=1): cout = q | (ci & !q) → di = 1, select = !q.
-            let di = ctx.wire(&format!("di{bit}"), 1);
-            if di_is_one {
-                ctx.vcc(di)?;
-            } else {
-                ctx.gnd(di)?;
+            // The top bit's carry-out is never consumed, so its MUXCY
+            // (and the constant rail feeding it) are not generated.
+            if bit + 1 < self.width {
+                let co = ctx.wire(&format!("c{}", bit + 1), 1);
+                let di = ctx.wire(&format!("di{bit}"), 1);
+                if di_is_one {
+                    ctx.vcc(di)?;
+                } else {
+                    ctx.gnd(di)?;
+                }
+                let m = ctx.muxcy(ci, di, half, co)?;
+                place_column(ctx, m, bit);
+                ci = co.into();
             }
-            let m = ctx.muxcy(ci.clone(), di, half, co)?;
-            place_column(ctx, m, bit);
-            let x = ctx.xorcy(ci, half, Signal::bit_of(next, bit))?;
-            place_column(ctx, x, bit);
-            ci = co.into();
         }
         // State: q' = rst ? 0 : load ? d : ce ? next : q, via FDRE +
         // input muxing. FDRE gives sync reset and CE directly.

@@ -2,10 +2,10 @@
 //! "more complicated IP" the paper's future-work section promises to
 //! deliver through applets.
 
-use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Rloc, Signal};
 use ipd_techlib::LogicCtx;
 
-use crate::bitsum::{combine, register, width_for, PartialValue};
+use crate::bitsum::{combine, register, width_for, PartialValue, ZeroRail};
 use crate::kcm::KcmMultiplier;
 
 /// A transposed-form FIR filter: one constant-coefficient multiplier
@@ -150,46 +150,68 @@ impl Generator for FirFilter {
         let clk = ctx.port("clk")?;
         let x = ctx.port("x")?;
         let y = ctx.port("y")?;
-        let zero_wire = ctx.wire("zero", 1);
-        ctx.gnd(zero_wire)?;
-        let zero: Signal = zero_wire.into();
+        let mut zero = ZeroRail::zero();
 
         let x_lo = -(1i128 << (self.input_width - 1));
         let x_hi = (1i128 << (self.input_width - 1)) - 1;
 
-        // Products for every tap (combinational KCMs sharing x).
+        // Each KCM occupies its digit-bank columns plus its internal
+        // adder columns; give every tap its own column band so the
+        // relational placements of the shared-multiplicand multipliers
+        // never stack.
+        let digit_count = self.input_width.div_ceil(4) as i32;
+        let band = 2 * digit_count - 1;
+
+        // Products for every tap (combinational KCMs sharing x). An
+        // even coefficient's low bits are always zero, so the KCM is
+        // asked for the truncated top bits only — `(c × x) >> tz` is
+        // exact — and the shift is restored arithmetically. This keeps
+        // constant-zero product bits (and the stuck-at carries they
+        // would feed) out of the accumulation chain.
         let mut products = Vec::new();
         for (k, &c) in self.coefficients.iter().enumerate() {
-            let kcm = KcmMultiplier::new(
-                c,
-                self.input_width,
-                KcmMultiplier::new(c, self.input_width, 1)
-                    .signed(true)
-                    .full_product_width(),
-            )
-            .signed(true);
+            let full = KcmMultiplier::new(c, self.input_width, 1)
+                .signed(true)
+                .full_product_width();
+            let tz = if c == 0 {
+                0
+            } else {
+                c.trailing_zeros().min(full - 1)
+            };
+            let kcm = KcmMultiplier::new(c, self.input_width, full - tz).signed(true);
             let w = kcm.product_width();
             let p = ctx.wire(&format!("p{k}"), w);
-            ctx.instantiate(
+            let inst = ctx.instantiate(
                 &kcm,
                 &format!("kcm{k}"),
                 &[("multiplicand", x.into()), ("product", p.into())],
             )?;
+            ctx.set_rloc(inst, Rloc::new(0, k as i32 * band));
             let (a, b) = (i128::from(c) * x_lo, i128::from(c) * x_hi);
             products.push(PartialValue {
                 bits: (0..w).map(|i| Signal::bit_of(p, i)).collect(),
-                lo: a.min(b),
-                hi: a.max(b),
-                shift: 0,
+                lo: a.min(b) >> tz,
+                hi: a.max(b) >> tz,
+                shift: tz,
+                dead_low: 0,
             });
         }
 
-        // Transposed accumulation chain, last tap first.
+        // Transposed accumulation chain, last tap first; each tap's
+        // accumulation adder gets a column right of the KCM bands.
+        let taps = self.coefficients.len() as i32;
         let mut acc: Option<PartialValue> = None;
         for (k, p) in products.into_iter().enumerate().rev() {
             let summed = match acc {
                 None => p,
-                Some(prev) => combine(ctx, p, prev, &zero, &format!("sum{k}"))?,
+                Some(prev) => combine(
+                    ctx,
+                    p,
+                    prev,
+                    &mut zero,
+                    &format!("sum{k}"),
+                    Some(Rloc::new(0, taps * band + k as i32)),
+                )?,
             };
             acc = Some(register(ctx, summed, clk, &format!("acc{k}"))?);
         }
@@ -197,7 +219,8 @@ impl Generator for FirFilter {
 
         let out_w = self.output_width();
         for bit in 0..out_w {
-            ctx.buffer(acc.bit(bit, &zero), Signal::bit_of(y, bit))?;
+            let src = acc.bit(bit, ctx, &mut zero)?;
+            ctx.buffer(src, Signal::bit_of(y, bit))?;
         }
         ctx.set_property("generator", "fir_filter");
         ctx.set_property("taps", self.coefficients.len() as i64);

@@ -1,9 +1,10 @@
 //! Gray-code counter and population-count generators.
 
-use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
+use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Rloc, Signal};
 use ipd_techlib::LogicCtx;
 
 use crate::add::RippleAdder;
+use crate::bitsum::ZeroRail;
 use crate::counter::{CountDirection, Counter};
 
 /// A Gray-code counter: a binary [`Counter`] core with a
@@ -140,8 +141,7 @@ impl Generator for PopCount {
         }
         let d = ctx.port("d")?;
         let o = ctx.port("o")?;
-        let zero = ctx.wire("zero", 1);
-        ctx.gnd(zero)?;
+        let mut zero = ZeroRail::zero();
         // Stage 1: LUT3 compressors produce 2-bit counts of 3-bit
         // groups. Represent intermediate sums as little bit-vectors
         // and reduce with adders.
@@ -149,6 +149,12 @@ impl Generator for PopCount {
         let bits: Vec<Signal> = (0..self.width).map(|b| Signal::bit_of(d, b)).collect();
         for (g, chunk) in bits.chunks(3).enumerate() {
             let n = chunk.len() as u32;
+            if n == 1 {
+                // A lone bit is its own count: no compressor (the `hi`
+                // bit would be stuck at zero, the `lo` LUT an identity).
+                sums.push(vec![chunk[0].clone()]);
+                continue;
+            }
             let lo = ctx.wire(&format!("c{g}_0"), 1);
             let hi = ctx.wire(&format!("c{g}_1"), 1);
             let mut lo_init = 0u16;
@@ -166,8 +172,12 @@ impl Generator for PopCount {
             ctx.lut(hi_init, chunk, hi)?;
             sums.push(vec![lo.into(), hi.into()]);
         }
-        // Adder tree over the 2-bit (growing) partial counts.
+        // Adder tree over the 2-bit (growing) partial counts. Each
+        // adder's carry chain takes its own column: the relational
+        // placements inside two RippleAdder instances would otherwise
+        // land on the same slices.
         let out_w = self.output_width();
+        let mut adders = 0i32;
         while sums.len() > 1 {
             let mut next = Vec::with_capacity(sums.len().div_ceil(2));
             let mut iter = sums.into_iter();
@@ -178,21 +188,25 @@ impl Generator for PopCount {
                     Some(b) => {
                         let w = (a.len().max(b.len()) as u32 + 1).min(out_w);
                         let result = ctx.wire(&format!("s{pair}_{w}"), w);
-                        let pad = |v: &[Signal], w: u32, zero: &Signal| {
-                            Signal::concat((0..w).map(|k| {
-                                v.get(k as usize).cloned().unwrap_or_else(|| zero.clone())
-                            }))
+                        let pad = |v: &[Signal], ctx: &mut CellCtx<'_>, zero: &mut ZeroRail| {
+                            let mut bits = Vec::with_capacity(w as usize);
+                            for k in 0..w as usize {
+                                bits.push(match v.get(k) {
+                                    Some(s) => s.clone(),
+                                    None => zero.get(ctx)?,
+                                });
+                            }
+                            Ok::<_, HdlError>(Signal::concat(bits))
                         };
-                        let za: Signal = zero.into();
-                        ctx.instantiate(
+                        let in_a = pad(&a, ctx, &mut zero)?;
+                        let in_b = pad(&b, ctx, &mut zero)?;
+                        let inst = ctx.instantiate(
                             &RippleAdder::new(w),
                             &format!("add{pair}"),
-                            &[
-                                ("a", pad(&a, w, &za)),
-                                ("b", pad(&b, w, &za)),
-                                ("s", result.into()),
-                            ],
+                            &[("a", in_a), ("b", in_b), ("s", result.into())],
                         )?;
+                        ctx.set_rloc(inst, Rloc::new(0, adders));
+                        adders += 1;
                         next.push((0..w).map(|k| Signal::bit_of(result, k)).collect());
                     }
                 }
@@ -202,10 +216,10 @@ impl Generator for PopCount {
         }
         let total = sums.remove(0);
         for b in 0..out_w {
-            let src = total
-                .get(b as usize)
-                .cloned()
-                .unwrap_or_else(|| zero.into());
+            let src = match total.get(b as usize) {
+                Some(s) => s.clone(),
+                None => zero.get(ctx)?,
+            };
             ctx.buffer(src, Signal::bit_of(o, b))?;
         }
         ctx.set_property("generator", "popcount");

@@ -11,7 +11,9 @@
 use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
-use crate::bitsum::{reduce_tree, register, tree_levels, width_for, wire_bits, PartialValue};
+use crate::bitsum::{
+    reduce_tree, register, tree_levels, width_for, wire_bits, ConstRail, PartialValue, ZeroRail,
+};
 
 /// Maximum multiplicand width accepted by the generator.
 pub const KCM_MAX_INPUT_WIDTH: u32 = 32;
@@ -293,14 +295,26 @@ impl Generator for KcmMultiplier {
         } else {
             None
         };
-        let zero_wire = ctx.wire("zero", 1);
-        ctx.gnd(zero_wire)?;
-        let zero: Signal = zero_wire.into();
+        let mut zero = ZeroRail::zero();
+        let mut one = ConstRail::one();
 
         let k = i128::from(self.constant);
+        let digits = self.digits();
+        let digit_count = digits.len();
+        // Product bits below the truncation point never reach the
+        // output. The ones below the first digit boundary also never
+        // reach an adder (they pass straight through the reduction), so
+        // no logic is generated for them at all.
+        let drop = self.full_product_width() - self.product_width;
+        let dead_low = if digit_count > 1 {
+            drop.min(digits[1].0)
+        } else {
+            drop
+        };
+
         // Build one partial product per digit.
         let mut partials = Vec::new();
-        for (digit_index, (offset, dwidth, dsigned)) in self.digits().into_iter().enumerate() {
+        for (digit_index, (offset, dwidth, dsigned)) in digits.into_iter().enumerate() {
             // Numeric range of constant × digit.
             let (d_lo, d_hi) = if dsigned {
                 (-(1i128 << (dwidth - 1)), (1i128 << (dwidth - 1)) - 1)
@@ -310,10 +324,20 @@ impl Generator for KcmMultiplier {
             let (v_a, v_b) = (k * d_lo, k * d_hi);
             let (lo, hi) = (v_a.min(v_b), v_a.max(v_b));
             let pp_width = width_for(lo, hi);
-            let (pp, bits) = wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
+            let (pp, mut bits) = wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
+            let pp_dead_low = if digit_index == 0 { dead_low } else { 0 };
             // One LUT per product bit: truth table over digit values.
             let inputs: Vec<Signal> = (0..dwidth).map(|i| Signal::bit_of(x, offset + i)).collect();
+            let all_ones: u16 = if dwidth >= 4 {
+                0xFFFF
+            } else {
+                (1u16 << (1u32 << dwidth)) - 1
+            };
             for out_bit in 0..pp_width {
+                // Truncated-away bits stay placeholders: no LUT.
+                if out_bit < pp_dead_low {
+                    continue;
+                }
                 let mut init = 0u16;
                 for pattern in 0..(1u32 << dwidth) {
                     let digit_value = if dsigned && (pattern >> (dwidth - 1)) & 1 == 1 {
@@ -325,6 +349,18 @@ impl Generator for KcmMultiplier {
                     if (value >> out_bit) & 1 == 1 {
                         init |= 1 << pattern;
                     }
+                }
+                // A table bit that never varies (e.g. low bits of a
+                // constant with trailing zeros) is a rail tap, not a
+                // LUT: a LUT computing a constant is wasted area and a
+                // lint finding.
+                if init == 0 {
+                    bits[out_bit as usize] = zero.get(ctx)?;
+                    continue;
+                }
+                if init == all_ones {
+                    bits[out_bit as usize] = one.get(ctx)?;
+                    continue;
                 }
                 let lut = ctx.lut(init, &inputs, Signal::bit_of(pp, out_bit))?;
                 // Relative placement: digit banks in columns, bits in
@@ -339,6 +375,7 @@ impl Generator for KcmMultiplier {
                 lo,
                 hi,
                 shift: offset,
+                dead_low: pp_dead_low,
             };
             if let Some(clk) = clk {
                 value = register(ctx, value, clk, &format!("pp{digit_index}_reg"))?;
@@ -346,8 +383,16 @@ impl Generator for KcmMultiplier {
             partials.push(value);
         }
 
-        // Sum the shifted partial products.
-        let total = reduce_tree(ctx, partials, &zero, clk, "sum")?;
+        // Sum the shifted partial products; the tree's carry chains go
+        // in their own slice columns, clear of the digit LUT banks.
+        let total = reduce_tree(
+            ctx,
+            partials,
+            &mut zero,
+            clk,
+            "sum",
+            Some(digit_count as i32),
+        )?;
         debug_assert_eq!(
             total.width(),
             self.full_product_width(),
@@ -357,7 +402,7 @@ impl Generator for KcmMultiplier {
         // Deliver the top product_width bits.
         let full = total.width();
         for bit in 0..self.product_width {
-            let src = total.bit(full - self.product_width + bit, &zero);
+            let src = total.bit(full - self.product_width + bit, ctx, &mut zero)?;
             ctx.buffer(src, Signal::bit_of(product, bit))?;
         }
 

@@ -4,7 +4,7 @@
 use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
-use crate::bitsum::{reduce_tree, register, width_for, wire_bits, PartialValue};
+use crate::bitsum::{reduce_tree, register, width_for, wire_bits, PartialValue, ZeroRail};
 
 /// An unsigned array multiplier: `p = a × b`, built from `MULT_AND`
 /// partial-product rows summed on carry chains. The general-purpose
@@ -106,9 +106,7 @@ impl Generator for ArrayMultiplier {
         } else {
             None
         };
-        let zero_wire = ctx.wire("zero", 1);
-        ctx.gnd(zero_wire)?;
-        let zero: Signal = zero_wire.into();
+        let mut zero = ZeroRail::zero();
 
         let a_max = (1i128 << self.a_width) - 1;
         // Row i: (a AND b_i) << i via MULT_AND gates.
@@ -128,13 +126,15 @@ impl Generator for ArrayMultiplier {
                 lo: 0,
                 hi: a_max,
                 shift: i,
+                dead_low: 0,
             };
             if let Some(clk) = clk {
                 value = register(ctx, value, clk, &format!("row{i}_reg"))?;
             }
             rows.push(value);
         }
-        let total = reduce_tree(ctx, rows, &zero, clk, "acc")?;
+        // Carry chains go in their own columns, right of the AND array.
+        let total = reduce_tree(ctx, rows, &mut zero, clk, "acc", Some(self.b_width as i32))?;
         // The exact range [0, a_max * b_max] may need fewer bits than
         // n + m; extend with zeros to the declared product width.
         let full = self.product_width();
@@ -144,7 +144,7 @@ impl Generator for ArrayMultiplier {
             width_for(0, a_max * ((1i128 << self.b_width) - 1))
         );
         for bit in 0..full {
-            let src = total.bit(bit, &zero);
+            let src = total.bit(bit, ctx, &mut zero)?;
             ctx.buffer(src, Signal::bit_of(p, bit))?;
         }
         ctx.set_property("generator", "array_multiplier");

@@ -3,6 +3,8 @@
 use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
+use crate::bitsum::ConstRail;
+
 /// A combinational ROM built from `ROM16X1` primitives plus a `MUX2`
 /// tree for address widths beyond four bits.
 ///
@@ -87,12 +89,22 @@ impl Generator for Rom {
     fn build(&self, ctx: &mut CellCtx<'_>) -> Result<()> {
         let addr = ctx.port("addr")?;
         let data = ctx.port("data")?;
+        let mut zero = ConstRail::zero();
+        let mut one = ConstRail::one();
         for bit in 0..self.data_width {
             // Leaf ROMs over the low 4 address bits, muxed by the rest.
             let low_width = self.addr_width.min(4);
             let high_bits = self.addr_width - low_width;
             let banks = 1u32 << high_bits;
-            let mut layer: Vec<Signal> = Vec::with_capacity(banks as usize);
+            let all_ones: u16 = if low_width == 4 {
+                0xFFFF
+            } else {
+                (1u16 << (1u32 << low_width)) - 1
+            };
+            // Each entry carries Some(value) when the bank's contents
+            // are uniform — those tie to a shared rail instead of
+            // spending a ROM primitive on a constant.
+            let mut layer: Vec<(Signal, Option<bool>)> = Vec::with_capacity(banks as usize);
             for bank in 0..banks {
                 let mut init = 0u16;
                 for idx in 0..(1u32 << low_width) {
@@ -100,6 +112,14 @@ impl Generator for Rom {
                     if (self.word(address) >> bit) & 1 == 1 {
                         init |= 1 << idx;
                     }
+                }
+                if init == 0 {
+                    layer.push((zero.get(ctx)?, Some(false)));
+                    continue;
+                }
+                if init == all_ones {
+                    layer.push((one.get(ctx)?, Some(true)));
+                    continue;
                 }
                 let out = ctx.wire(&format!("b{bit}_bank{bank}"), 1);
                 if low_width == 4 {
@@ -110,27 +130,42 @@ impl Generator for Rom {
                         (0..low_width).map(|i| Signal::bit_of(addr, i)).collect();
                     ctx.lut(init, &inputs, out)?;
                 }
-                layer.push(out.into());
+                layer.push((out.into(), None));
             }
-            // Mux tree over the high address bits.
+            // Mux tree over the high address bits. A pair of identical
+            // rails needs no mux (selecting between equal constants
+            // would be stuck-at logic); the constant flag propagates up
+            // so whole zero-padded subtrees collapse.
             for level in 0..high_bits {
                 let sel = Signal::bit_of(addr, low_width + level);
+                let last = layer.len() == 2;
                 let mut next = Vec::with_capacity(layer.len() / 2);
                 for pair in layer.chunks(2) {
-                    let out: Signal = if layer.len() == 2 {
-                        Signal::bit_of(data, bit)
-                    } else {
-                        ctx.wire(&format!("b{bit}_m{level}_{}", next.len()), 1)
-                            .into()
-                    };
-                    ctx.mux2(pair[0].clone(), pair[1].clone(), sel.clone(), out.clone())?;
-                    next.push(out);
+                    match (pair[0].1, pair[1].1) {
+                        (Some(a), Some(b)) if a == b => next.push((pair[0].0.clone(), Some(a))),
+                        _ => {
+                            let out: Signal = if last {
+                                Signal::bit_of(data, bit)
+                            } else {
+                                ctx.wire(&format!("b{bit}_m{level}_{}", next.len()), 1)
+                                    .into()
+                            };
+                            ctx.mux2(
+                                pair[0].0.clone(),
+                                pair[1].0.clone(),
+                                sel.clone(),
+                                out.clone(),
+                            )?;
+                            next.push((out, None));
+                        }
+                    }
                 }
                 layer = next;
             }
-            if high_bits == 0 {
-                // Single bank drives the output directly through a buffer.
-                let src = layer.remove(0);
+            let (src, constant) = layer.remove(0);
+            if high_bits == 0 || constant.is_some() {
+                // Single bank — or a data bit whose mux tree collapsed
+                // to a rail — drives the output through a buffer.
                 ctx.buffer(src, Signal::bit_of(data, bit))?;
             }
         }
@@ -166,7 +201,10 @@ mod tests {
         let rom = Rom::new(6, 8, words.clone()).unwrap();
         let circuit = Circuit::from_generator(&rom).unwrap();
         let stats = ipd_hdl::CircuitStats::of(&circuit);
-        assert_eq!(stats.count_of("virtex:rom16x1"), 8 * 4);
+        // Bank 0 of data bit 7 is uniformly zero (words 0..=15 are all
+        // below 128) and ties to the ground rail instead of a ROM.
+        assert_eq!(stats.count_of("virtex:rom16x1"), 8 * 4 - 1);
+        assert_eq!(stats.count_of("virtex:gnd"), 1);
         assert!(stats.count_of("virtex:mux2") > 0);
         let mut sim = Simulator::new(&circuit).unwrap();
         for a in [0u64, 15, 16, 31, 32, 63] {

@@ -336,6 +336,46 @@ impl PrimKind {
         }
     }
 
+    /// Input port names of a combinational (or ROM) primitive, in the
+    /// same order as [`PrimKind::ports`], as static strings — the
+    /// allocation-free form analysis loops want. Empty for constant
+    /// and sequential primitives (their pins are named, not positional;
+    /// see [`PrimKind::ports`]).
+    #[must_use]
+    pub fn comb_input_names(&self) -> &'static [&'static str] {
+        static INDEXED: [&str; 4] = ["i0", "i1", "i2", "i3"];
+        match self {
+            PrimKind::Inv | PrimKind::Buf | PrimKind::Ibuf | PrimKind::Obuf | PrimKind::Bufg => {
+                &["i"]
+            }
+            PrimKind::And(n)
+            | PrimKind::Or(n)
+            | PrimKind::Nand(n)
+            | PrimKind::Nor(n)
+            | PrimKind::Xor(n) => &INDEXED[..*n as usize],
+            PrimKind::Xnor2 | PrimKind::MultAnd => &INDEXED[..2],
+            PrimKind::Mux2 => &["i0", "i1", "sel"],
+            PrimKind::Lut { inputs, .. } => &INDEXED[..*inputs as usize],
+            PrimKind::Muxcy => &["ci", "di", "s"],
+            PrimKind::Xorcy => &["ci", "li"],
+            PrimKind::Rom16x1 { .. } => &["a"],
+            PrimKind::Ff { .. }
+            | PrimKind::Srl16 { .. }
+            | PrimKind::Ram16x1 { .. }
+            | PrimKind::Gnd
+            | PrimKind::Vcc => &[],
+        }
+    }
+
+    /// Name of the primitive's single output port.
+    #[must_use]
+    pub fn output_name(&self) -> &'static str {
+        match self {
+            PrimKind::Ff { .. } | PrimKind::Srl16 { .. } => "q",
+            _ => "o",
+        }
+    }
+
     /// Behavioural class for simulation.
     #[must_use]
     pub fn class(&self) -> PrimClass {
@@ -649,5 +689,56 @@ mod tests {
     #[should_panic(expected = "sequential")]
     fn eval_comb_rejects_sequential() {
         let _ = PrimKind::Srl16 { init: 0 }.eval_comb(&[]);
+    }
+
+    #[test]
+    fn static_port_names_match_ports() {
+        use ipd_hdl::PortDir;
+        let kinds = [
+            PrimKind::Inv,
+            PrimKind::Buf,
+            PrimKind::Ibuf,
+            PrimKind::Obuf,
+            PrimKind::Bufg,
+            PrimKind::And(2),
+            PrimKind::Or(3),
+            PrimKind::Nand(4),
+            PrimKind::Nor(2),
+            PrimKind::Xor(3),
+            PrimKind::Xnor2,
+            PrimKind::Mux2,
+            PrimKind::Lut {
+                inputs: 1,
+                init: 0b10,
+            },
+            PrimKind::Lut {
+                inputs: 4,
+                init: 0xABCD,
+            },
+            PrimKind::Muxcy,
+            PrimKind::Xorcy,
+            PrimKind::MultAnd,
+            PrimKind::Rom16x1 { init: 7 },
+        ];
+        for kind in kinds {
+            let ports = kind.ports();
+            let inputs: Vec<&str> = ports
+                .iter()
+                .filter(|p| p.dir == PortDir::Input)
+                .map(|p| p.name.as_str())
+                .collect();
+            assert_eq!(kind.comb_input_names(), inputs.as_slice(), "{kind:?}");
+            let output = ports.iter().find(|p| p.dir == PortDir::Output).unwrap();
+            assert_eq!(kind.output_name(), output.name, "{kind:?}");
+        }
+        // Sequential/const primitives have no positional comb inputs.
+        for kind in [
+            PrimKind::Gnd,
+            PrimKind::Vcc,
+            PrimKind::Srl16 { init: 0 },
+            PrimKind::Ram16x1 { init: 0 },
+        ] {
+            assert!(kind.comb_input_names().is_empty(), "{kind:?}");
+        }
     }
 }

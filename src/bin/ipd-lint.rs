@@ -1,0 +1,139 @@
+//! `ipd-lint` — the vendor's pre-delivery netlist checker.
+//!
+//! Runs the full `ipd-lint` static-analysis engine (connectivity,
+//! combinational loops, CDC, dead logic, X-propagation, fanout) over
+//! EDIF netlists or the built-in example designs, and exits nonzero
+//! when any unwaived error-severity finding remains — the same gate
+//! [`ipd::core::seal_design`] applies before sealing a delivery.
+//!
+//! ```text
+//! ipd-lint [--config FILE] [--json] --examples
+//! ipd-lint [--config FILE] [--json] DESIGN.edif [...]
+//! ```
+//!
+//! `--config` loads waivers, severity overrides and limits in the
+//! `LintConfig` text format; `--json` emits machine-readable reports.
+
+use std::process::ExitCode;
+
+use ipd::hdl::Circuit;
+use ipd::lint::{LintConfig, LintReport, Linter};
+use ipd::modgen::{CountDirection, Counter, FirFilter, KcmMultiplier, PopCount, Rom};
+
+/// The example designs `--examples` checks: the paper's running KCM
+/// configuration and a spread of other generators.
+fn examples() -> Vec<(String, Circuit)> {
+    let mut out = Vec::new();
+    let mut add = |c: Result<Circuit, ipd::hdl::HdlError>| {
+        let c = c.expect("example generators elaborate");
+        out.push((c.name().to_owned(), c));
+    };
+    add(Circuit::from_generator(
+        &KcmMultiplier::new(-56, 8, 12).signed(true),
+    ));
+    add(Circuit::from_generator(
+        &FirFilter::new(vec![-2, 5, 9, 5, -2], 8).expect("valid taps"),
+    ));
+    add(Circuit::from_generator(
+        &Counter::new(8, CountDirection::Up).loadable(),
+    ));
+    add(Circuit::from_generator(&PopCount::new(12)));
+    add(Circuit::from_generator(
+        &Rom::new(5, 8, (0..32).map(|i| (i * 7) % 256).collect()).expect("valid rom"),
+    ));
+    out
+}
+
+fn print_report(name: &str, report: &LintReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("== {name}: {}", report.summary());
+        print!("{report}");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut use_examples = false;
+    let mut config = LintConfig::new();
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--examples" => use_examples = true,
+            "--config" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--config requires a file argument");
+                    return ExitCode::FAILURE;
+                };
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match LintConfig::parse(&text) {
+                    Ok(c) => config = c,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: ipd-lint [--config FILE] [--json] (--examples | DESIGN.edif ...)");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    if !use_examples && files.is_empty() {
+        eprintln!("usage: ipd-lint [--config FILE] [--json] (--examples | DESIGN.edif ...)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut designs = if use_examples { examples() } else { Vec::new() };
+    for path in files {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match ipd::netlist::read_edif(&text) {
+            Ok(c) => designs.push((path, c)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let linter = Linter::with_config(config);
+    let mut errors = 0usize;
+    for (name, circuit) in &designs {
+        match linter.run(circuit) {
+            Ok(report) => {
+                errors += report.error_count();
+                print_report(name, &report, json);
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!(
+            "ipd-lint: {errors} unwaived error(s) across {} design(s)",
+            designs.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`sim`] | `ipd-sim` | cycle simulator, waveforms, VCD |
 //! | [`netlist`] | `ipd-netlist` | EDIF / VHDL / Verilog writers |
 //! | [`estimate`] | `ipd-estimate` | area and timing estimation |
+//! | [`lint`] | `ipd-lint` | netlist static analysis: CDC, dead logic, X-prop, waivers, lint-gated delivery |
 //! | [`modgen`] | `ipd-modgen` | module generators (KCM multiplier, adders, FIR, …) |
 //! | [`viewer`] | `ipd-viewer` | schematic / layout / hierarchy / waveform views |
 //! | [`pack`] | `ipd-pack` | archives, LZSS, the Table 1 bundles |
@@ -46,6 +47,7 @@ pub use ipd_core as core;
 pub use ipd_cosim as cosim;
 pub use ipd_estimate as estimate;
 pub use ipd_hdl as hdl;
+pub use ipd_lint as lint;
 pub use ipd_modgen as modgen;
 pub use ipd_netlist as netlist;
 pub use ipd_pack as pack;
