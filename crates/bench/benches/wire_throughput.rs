@@ -1,0 +1,155 @@
+//! Wire transport throughput — request rate and tail latency under
+//! concurrent sessions (EXPERIMENTS X7).
+//!
+//! A minimal echo service isolates the cost of the shared `ipd-wire`
+//! layer itself: framing, envelopes, per-endpoint stats, the session
+//! threads. Fleets of 1, 4 and 16 concurrent clients each issue a
+//! fixed request count over loopback; the bench reports aggregate
+//! requests/second plus p50/p99 per-request latency, and asserts the
+//! server's byte counters reconcile against what the clients sent.
+//!
+//! `IPD_BENCH_FAST=1` shrinks the per-session request budget (used by
+//! the CI smoke step).
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ipd_wire::{
+    ClientConfig, Reply, WireClient, WireConfig, WireError, WireServer, WireService, WireSession,
+};
+
+const ENDPOINT: u16 = 0x7E;
+const PAYLOAD: &[u8] = &[0xA5; 64];
+
+struct EchoService;
+
+struct EchoSession;
+
+impl WireSession for EchoSession {
+    fn handle(&mut self, _endpoint: u16, body: &[u8]) -> Result<Reply, WireError> {
+        Ok(Reply::body(body.to_vec()))
+    }
+}
+
+impl WireService for EchoService {
+    fn open_session(
+        &self,
+        _peer: SocketAddr,
+        _token: Option<&str>,
+    ) -> Result<Box<dyn WireSession>, WireError> {
+        Ok(Box::new(EchoSession))
+    }
+
+    fn endpoint_name(&self, _endpoint: u16) -> String {
+        "bench.echo".to_owned()
+    }
+}
+
+struct Run {
+    sessions: usize,
+    reqs_per_sec: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_fleet(addr: SocketAddr, sessions: usize, per_session: usize) -> Run {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..sessions)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client =
+                    WireClient::connect(addr, &ClientConfig::default()).expect("connect");
+                let mut latencies = Vec::with_capacity(per_session);
+                for _ in 0..per_session {
+                    let sent = Instant::now();
+                    let response = client.call(ENDPOINT, PAYLOAD).expect("echo");
+                    latencies.push(sent.elapsed());
+                    assert_eq!(response, PAYLOAD, "echo must round-trip");
+                }
+                client.close();
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(sessions * per_session);
+    for worker in workers {
+        latencies.extend(worker.join().expect("session thread"));
+    }
+    let wall = start.elapsed();
+    latencies.sort_unstable();
+    Run {
+        sessions,
+        reqs_per_sec: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("IPD_BENCH_FAST").is_some();
+    let per_session = if fast { 200 } else { 2_000 };
+
+    let server = WireServer::bind(WireConfig {
+        max_sessions: 32,
+        ..WireConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let stats = server.stats();
+    let handle = server.start(Arc::new(EchoService));
+
+    let runs: Vec<Run> = [1usize, 4, 16]
+        .into_iter()
+        .map(|sessions| run_fleet(addr, sessions, per_session))
+        .collect();
+
+    println!("=== X7: wire transport throughput (echo, 64 B payload) ===");
+    println!(
+        "requests per session     : {per_session}{}",
+        if fast { " (fast mode)" } else { "" }
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "sessions", "req/s", "p50", "p99"
+    );
+    for run in &runs {
+        println!(
+            "{:<10} {:>12.0} {:>12} {:>12}",
+            run.sessions,
+            run.reqs_per_sec,
+            format!("{:?}", run.p50),
+            format!("{:?}", run.p99),
+        );
+    }
+
+    // The stats contract under load: every request and byte the
+    // clients sent is accounted for, symmetrically.
+    let expected_requests = (21 * per_session) as u64;
+    let totals = stats.endpoint(ENDPOINT);
+    assert_eq!(totals.requests, expected_requests, "every request counted");
+    assert_eq!(
+        totals.bytes_in,
+        expected_requests * PAYLOAD.len() as u64,
+        "request bytes reconcile"
+    );
+    assert_eq!(
+        totals.bytes_out, totals.bytes_in,
+        "echo responses mirror requests"
+    );
+    assert_eq!(stats.sessions_opened(), 21, "1 + 4 + 16 sessions");
+    println!(
+        "stats reconcile          : {} requests, {} B in == {} B out, 21 sessions",
+        totals.requests, totals.bytes_in, totals.bytes_out
+    );
+
+    handle.shutdown().expect("shutdown");
+}

@@ -222,6 +222,14 @@ impl AppletServer {
         license
     }
 
+    /// Whether a customer profile is enrolled (no license check — the
+    /// wire front-end uses this to refuse unknown tokens at the
+    /// handshake, before any endpoint is served).
+    #[must_use]
+    pub fn knows_customer(&self, customer: &str) -> bool {
+        self.profiles.contains_key(customer)
+    }
+
     /// Serves the executable matching a customer's license — "the web
     /// server can provide an executable applet customized to the needs
     /// or license of the user" (paper §1.1).
@@ -464,6 +472,37 @@ impl AppletServer {
                 Err(e)
             }
         }
+    }
+
+    /// Runs the static analyzer over a design on behalf of a licensed
+    /// customer and returns the report — the audit view a customer
+    /// consults before (or after) requesting a sealed design. The
+    /// access is audited; unlike [`AppletServer::serve_design_sealed`]
+    /// a dirty report is returned, not refused, since no netlist ships.
+    ///
+    /// # Errors
+    ///
+    /// License conditions as for [`AppletServer::serve`], plus
+    /// flattening failures from the linter.
+    pub fn serve_lint_report(
+        &mut self,
+        customer: &str,
+        today: u32,
+        circuit: &ipd_hdl::Circuit,
+        lint_config: &ipd_lint::LintConfig,
+    ) -> Result<ipd_lint::LintReport, CoreError> {
+        self.authorize(customer, today)?;
+        let report = ipd_lint::Linter::with_config(lint_config.clone()).run(circuit)?;
+        self.audit.push(AuditRecord {
+            customer: customer.to_owned(),
+            day: today,
+            outcome: format!(
+                "served lint report for {} ({})",
+                circuit.name(),
+                report.summary()
+            ),
+        });
+        Ok(report)
     }
 
     /// The full access log.

@@ -61,6 +61,15 @@ pub enum CoreError {
         /// The report's one-line summary.
         summary: String,
     },
+    /// The remote delivery server reported an application error over
+    /// the wire (a typed error frame).
+    Remote {
+        /// The remote error message.
+        message: String,
+    },
+    /// A transport-layer failure (handshake refusal, framing, deadline)
+    /// with no more specific mapping.
+    Wire(ipd_wire::WireError),
     /// An underlying circuit error.
     Hdl(ipd_hdl::HdlError),
     /// An underlying simulation error.
@@ -108,6 +117,8 @@ impl fmt::Display for CoreError {
                     "delivery refused: {errors} unwaived lint error(s) ({summary})"
                 )
             }
+            CoreError::Remote { message } => write!(f, "remote delivery error: {message}"),
+            CoreError::Wire(e) => write!(f, "wire error: {e}"),
             CoreError::Hdl(e) => write!(f, "circuit error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
             CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
@@ -119,11 +130,27 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            CoreError::Wire(e) => Some(e),
             CoreError::Hdl(e) => Some(e),
             CoreError::Sim(e) => Some(e),
             CoreError::Netlist(e) => Some(e),
             CoreError::Estimate(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl From<ipd_wire::WireError> for CoreError {
+    fn from(e: ipd_wire::WireError) -> Self {
+        use ipd_wire::{ErrorCode, WireError};
+        match e {
+            // Typed application error frames carry the server's
+            // `CoreError` message.
+            WireError::Remote {
+                code: ErrorCode::App,
+                message,
+            } => CoreError::Remote { message },
+            other => CoreError::Wire(other),
         }
     }
 }

@@ -146,6 +146,31 @@ impl AppletHost {
         Ok(self.apply(&response))
     }
 
+    /// [`AppletHost::sync`] against a *remote* vendor over the wire:
+    /// the host presents its held digests through a connected
+    /// [`crate::DeliveryClient`], the server answers payloads or
+    /// not-modified markers, and the host installs the result.
+    /// Returns the bytes actually transferred.
+    ///
+    /// (No network-permission check: this is the browser fetching from
+    /// the vendor's web server — the direction the applet security
+    /// model allows. The gate of §4.2 covers *applet-initiated*
+    /// sockets, e.g. black-box co-simulation exports.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates license refusals and transport failures from the
+    /// delivery client.
+    pub fn sync_wire(
+        &mut self,
+        client: &mut crate::DeliveryClient,
+        today: u32,
+    ) -> Result<usize, CoreError> {
+        let have = self.held_digests();
+        let response = client.fetch(today, &have)?;
+        Ok(self.apply(&response))
+    }
+
     /// Installs a delivery response into the cache, returning the
     /// bytes fetched (not-modified markers are free).
     pub fn apply(&mut self, response: &DeliveryResponse) -> usize {

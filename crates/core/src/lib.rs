@@ -26,6 +26,13 @@
 //!   nothing.
 //! - [`AppletHost`] — the browser sandbox: bundle cache, resource
 //!   limits, and the explicit network-permission gate of §4.2.
+//! - [`DeliveryService`] / [`DeliveryClient`] — the vendor web server
+//!   on a real socket: manifest, conditional fetch, sealed bundles,
+//!   lint reports and sealed designs served over the shared
+//!   `ipd-wire` transport to many concurrent customers, with the
+//!   customer id authenticated in the wire handshake
+//!   ([`AppletHost::sync_wire`] drives the same HTTP-304 flow
+//!   remotely).
 //! - [`AppletSession`] — the Figure 3 interaction surface: *build*,
 //!   browse, *cycle*/*reset*, *netlist*; every operation capability
 //!   checked.
@@ -75,6 +82,7 @@ mod host;
 mod license;
 mod page;
 mod protect;
+mod remote;
 mod seal;
 mod session;
 mod sha;
@@ -88,6 +96,10 @@ pub use host::{AppletHost, ResourceLimits};
 pub use license::{License, LicenseAuthority};
 pub use page::applet_page;
 pub use protect::{embed_watermark, obfuscate, verify_watermark};
+pub use remote::{
+    delivery_endpoint_name, endpoints as delivery_endpoints, DeliveryClient, DeliveryService,
+    RemoteLintReport, RemoteSealedDesign, RunningDelivery,
+};
 pub use seal::{bundle_key, seal, seal_design, unseal, SealedDesign};
 pub use session::AppletSession;
 pub use sha::{hmac_sha256, sha256, sha256_parts, to_hex};

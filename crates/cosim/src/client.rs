@@ -12,15 +12,16 @@
 //!   Web-CAD [2] and JavaCAD [1] remote-simulation architectures pay
 //!   *per event* — the cost the applet approach avoids.
 
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ipd_hdl::{LogicVec, PortDir};
+use ipd_wire::{ClientConfig, ErrorCode, WireClient, WireError, WireStats};
 
 use crate::error::CosimError;
 use crate::model::SimModel;
-use crate::protocol::{read_frame, write_frame, Message};
+use crate::protocol::Message;
 use crate::server::handle;
 
 /// A request/response channel carrying protocol messages.
@@ -36,40 +37,68 @@ pub trait Transport {
     fn round_trips(&self) -> u64;
 }
 
-/// A real TCP connection to a [`BlackBoxServer`](crate::BlackBoxServer).
+/// A real wire session to a [`BlackBoxServer`](crate::BlackBoxServer):
+/// framed transport, handshake, typed error frames, per-endpoint
+/// stats — all from `ipd-wire`.
 #[derive(Debug)]
 pub struct TcpTransport {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    round_trips: u64,
+    wire: WireClient,
 }
 
 impl TcpTransport {
-    /// Connects to a server address.
+    /// Connects to a server address with default wire settings.
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
+    /// Propagates connection and handshake failures (including a
+    /// typed `Busy` refusal at the server's session cap).
     pub fn connect(addr: SocketAddr) -> Result<Self, CosimError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit wire settings (frame cap, timeouts,
+    /// auth token).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and handshake failures.
+    pub fn connect_with(addr: SocketAddr, config: &ClientConfig) -> Result<Self, CosimError> {
         Ok(TcpTransport {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            round_trips: 0,
+            wire: WireClient::connect(addr, config)?,
         })
+    }
+
+    /// This session's client-side traffic counters (mirror of the
+    /// server's per-session view).
+    #[must_use]
+    pub fn stats(&self) -> Arc<WireStats> {
+        self.wire.stats()
+    }
+
+    /// The server-assigned session id.
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        self.wire.session_id()
     }
 }
 
 impl Transport for TcpTransport {
     fn request(&mut self, message: &Message) -> Result<Message, CosimError> {
-        write_frame(&mut self.writer, message)?;
-        self.round_trips += 1;
-        read_frame(&mut self.reader)
+        match self.wire.call(message.wire_endpoint(), &message.encode()) {
+            Ok(body) => Message::decode(&body),
+            // Typed app error frames are the wire form of
+            // `Message::Error`; hand them back as the response message
+            // so callers keep their error mapping.
+            Err(WireError::Remote {
+                code: ErrorCode::App,
+                message,
+            }) => Ok(Message::Error { message }),
+            Err(e) => Err(e.into()),
+        }
     }
 
     fn round_trips(&self) -> u64 {
-        self.round_trips
+        self.wire.stats().totals().requests
     }
 }
 
@@ -182,6 +211,13 @@ impl<T: Transport> BlackBoxClient<T> {
     #[must_use]
     pub fn round_trips(&self) -> u64 {
         self.transport.round_trips()
+    }
+
+    /// The underlying transport (e.g. to read a [`TcpTransport`]'s
+    /// wire counters).
+    #[must_use]
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// Ends the session politely.

@@ -33,6 +33,9 @@ pub enum CosimError {
         /// Description of the mismatch.
         reason: String,
     },
+    /// A transport-layer failure (handshake refusal, deadline,
+    /// shutdown) that has no more specific mapping.
+    Wire(ipd_wire::WireError),
 }
 
 impl fmt::Display for CosimError {
@@ -45,6 +48,7 @@ impl fmt::Display for CosimError {
             CosimError::Sim(e) => write!(f, "simulation error: {e}"),
             CosimError::Core(e) => write!(f, "delivery error: {e}"),
             CosimError::Wiring { reason } => write!(f, "wiring error: {reason}"),
+            CosimError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
 }
@@ -55,6 +59,7 @@ impl std::error::Error for CosimError {
             CosimError::Io(e) => Some(e),
             CosimError::Sim(e) => Some(e),
             CosimError::Core(e) => Some(e),
+            CosimError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -75,5 +80,22 @@ impl From<ipd_sim::SimError> for CosimError {
 impl From<ipd_core::CoreError> for CosimError {
     fn from(e: ipd_core::CoreError) -> Self {
         CosimError::Core(e)
+    }
+}
+
+impl From<ipd_wire::WireError> for CosimError {
+    fn from(e: ipd_wire::WireError) -> Self {
+        use ipd_wire::{ErrorCode, WireError};
+        match e {
+            WireError::Io(io) => CosimError::Io(io),
+            WireError::Protocol { reason } => CosimError::Protocol { reason },
+            // Typed application error frames are the wire form of the
+            // protocol's `Message::Error`.
+            WireError::Remote {
+                code: ErrorCode::App,
+                message,
+            } => CosimError::Remote { message },
+            other => CosimError::Wire(other),
+        }
     }
 }

@@ -7,10 +7,15 @@
 //! that architecture end to end, plus the remote-simulation baselines
 //! the paper compares against:
 //!
-//! - [`Message`] / [`write_frame`] / [`read_frame`] — the custom wire
-//!   protocol.
+//! - [`Message`] / [`write_frame`] / [`read_frame`] — the protocol's
+//!   payload encoding. Framing, size caps, deadlines and the
+//!   handshake live in `ipd-wire`, shared with the delivery stack.
 //! - [`BlackBoxServer`] — the applet side; binding requires the applet
-//!   host's explicit network permission (§4.2 footnote).
+//!   host's explicit network permission (§4.2 footnote). Started with
+//!   [`BlackBoxServer::start`] it serves many customers concurrently
+//!   (thread per session, each with its own model) and reports
+//!   per-endpoint traffic; [`RunningBlackBox::shutdown`] stops it
+//!   gracefully.
 //! - [`BlackBoxClient`] over a [`Transport`]: [`TcpTransport`] (real
 //!   sockets), [`InProcTransport`] (protocol without a wire) and
 //!   [`LatencyTransport`] (injected WAN round-trip time).
@@ -62,6 +67,6 @@ pub use client::{BlackBoxClient, InProcTransport, LatencyTransport, TcpTransport
 pub use compare::{measure_local_event_cost, Approach, DeliveryScenario};
 pub use error::CosimError;
 pub use model::{batch_vector_count, run_batch_serial, BehavioralModel, LocalSimModel, SimModel};
-pub use protocol::{read_frame, write_frame, Message, MAX_FRAME};
-pub use server::BlackBoxServer;
+pub use protocol::{endpoint_name, read_frame, write_frame, Message, MAX_FRAME};
+pub use server::{BlackBoxServer, RunningBlackBox};
 pub use system::{ModelId, SystemSimulator};

@@ -2,17 +2,20 @@
 //!
 //! The paper (§4.2) exchanges "simulation events … over network sockets
 //! and a custom communication protocol" between applets and the
-//! customer's system simulator. This module defines that protocol:
-//! length-prefixed frames carrying tagged messages.
+//! customer's system simulator. This module defines the *payload*
+//! encoding of that protocol; framing, size caps and deadlines live in
+//! `ipd-wire`, the one transport layer shared with the delivery stack.
 
 use std::io::{Read, Write};
 
 use ipd_hdl::{Logic, LogicVec, PortDir};
+use ipd_wire::{codec, Reader};
 
 use crate::error::CosimError;
 
-/// Maximum accepted frame size (a sanity bound against corruption).
-pub const MAX_FRAME: u32 = 1 << 20;
+/// Maximum accepted frame size (a sanity bound against corruption) —
+/// the wire layer's shared default.
+pub const MAX_FRAME: u32 = ipd_wire::DEFAULT_MAX_FRAME;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,81 +82,99 @@ pub enum Message {
 }
 
 impl Message {
+    /// The wire endpoint id this message is routed to — the message
+    /// tag, so per-endpoint [`WireStats`](ipd_wire::WireStats) break
+    /// traffic down by request kind.
+    #[must_use]
+    pub fn wire_endpoint(&self) -> u16 {
+        u16::from(self.tag())
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello => 0,
+            Message::GetInterface => 1,
+            Message::Interface(_) => 2,
+            Message::SetInput { .. } => 3,
+            Message::Cycle { .. } => 4,
+            Message::Reset => 5,
+            Message::GetOutput { .. } => 6,
+            Message::Value { .. } => 7,
+            Message::Ok => 8,
+            Message::Error { .. } => 9,
+            Message::Bye => 10,
+            Message::BatchRun { .. } => 11,
+            Message::BatchResult { .. } => 12,
+        }
+    }
+
     /// Encodes the message body (without framing).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        codec::put_u8(&mut out, self.tag());
         match self {
-            Message::Hello => out.push(0),
-            Message::GetInterface => out.push(1),
+            Message::Hello
+            | Message::GetInterface
+            | Message::Reset
+            | Message::Ok
+            | Message::Bye => {}
             Message::Interface(ports) => {
-                out.push(2);
-                out.extend_from_slice(&(ports.len() as u16).to_le_bytes());
+                codec::put_u16(&mut out, ports.len() as u16);
                 for (name, dir, width) in ports {
-                    put_str(&mut out, name);
-                    out.push(match dir {
-                        PortDir::Input => 0,
-                        PortDir::Output => 1,
-                        PortDir::Inout => 2,
-                    });
-                    out.extend_from_slice(&width.to_le_bytes());
+                    codec::put_str(&mut out, name);
+                    codec::put_u8(
+                        &mut out,
+                        match dir {
+                            PortDir::Input => 0,
+                            PortDir::Output => 1,
+                            PortDir::Inout => 2,
+                        },
+                    );
+                    codec::put_u32(&mut out, *width);
                 }
             }
             Message::SetInput { port, value } => {
-                out.push(3);
-                put_str(&mut out, port);
+                codec::put_str(&mut out, port);
                 put_vec(&mut out, value);
             }
-            Message::Cycle { n } => {
-                out.push(4);
-                out.extend_from_slice(&n.to_le_bytes());
-            }
-            Message::Reset => out.push(5),
-            Message::GetOutput { port } => {
-                out.push(6);
-                put_str(&mut out, port);
-            }
+            Message::Cycle { n } => codec::put_u32(&mut out, *n),
+            Message::GetOutput { port } => codec::put_str(&mut out, port),
             Message::Value { port, value } => {
-                out.push(7);
-                put_str(&mut out, port);
+                codec::put_str(&mut out, port);
                 put_vec(&mut out, value);
             }
-            Message::Ok => out.push(8),
-            Message::Error { message } => {
-                out.push(9);
-                put_str(&mut out, message);
-            }
-            Message::Bye => out.push(10),
+            Message::Error { message } => codec::put_str(&mut out, message),
             Message::BatchRun { cycles, inputs } => {
-                out.push(11);
-                out.extend_from_slice(&cycles.to_le_bytes());
+                codec::put_u32(&mut out, *cycles);
                 put_port_batches(&mut out, inputs);
             }
-            Message::BatchResult { outputs } => {
-                out.push(12);
-                put_port_batches(&mut out, outputs);
-            }
+            Message::BatchResult { outputs } => put_port_batches(&mut out, outputs),
         }
         out
     }
 
-    /// Decodes a message body.
+    /// Decodes a message body through the hardened wire reader: every
+    /// declared length and count is capped against the bytes actually
+    /// present before allocation, and trailing garbage is rejected.
     ///
     /// # Errors
     ///
-    /// Returns [`CosimError::Protocol`] for unknown tags or truncated
-    /// fields.
+    /// Returns [`CosimError::Protocol`] for unknown tags, truncated
+    /// fields, hostile counts and trailing bytes.
     pub fn decode(bytes: &[u8]) -> Result<Message, CosimError> {
-        let mut r = Cursor { bytes, pos: 0 };
+        let mut r = Reader::new(bytes);
         let tag = r.u8()?;
         let msg = match tag {
             0 => Message::Hello,
             1 => Message::GetInterface,
             2 => {
                 let count = r.u16()? as usize;
+                // Each port needs ≥ 7 bytes (name prefix + dir + width).
+                let count = r.cap_count(count, 7)?;
                 let mut ports = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let name = r.string()?;
+                    let name = r.str()?;
                     let dir = match r.u8()? {
                         0 => PortDir::Input,
                         1 => PortDir::Output,
@@ -170,27 +191,25 @@ impl Message {
                 Message::Interface(ports)
             }
             3 => Message::SetInput {
-                port: r.string()?,
-                value: r.logic_vec()?,
+                port: r.str()?,
+                value: logic_vec(&mut r)?,
             },
             4 => Message::Cycle { n: r.u32()? },
             5 => Message::Reset,
-            6 => Message::GetOutput { port: r.string()? },
+            6 => Message::GetOutput { port: r.str()? },
             7 => Message::Value {
-                port: r.string()?,
-                value: r.logic_vec()?,
+                port: r.str()?,
+                value: logic_vec(&mut r)?,
             },
             8 => Message::Ok,
-            9 => Message::Error {
-                message: r.string()?,
-            },
+            9 => Message::Error { message: r.str()? },
             10 => Message::Bye,
             11 => Message::BatchRun {
                 cycles: r.u32()?,
-                inputs: r.port_batches()?,
+                inputs: port_batches(&mut r)?,
             },
             12 => Message::BatchResult {
-                outputs: r.port_batches()?,
+                outputs: port_batches(&mut r)?,
             },
             other => {
                 return Err(CosimError::Protocol {
@@ -198,12 +217,29 @@ impl Message {
                 })
             }
         };
-        if r.pos != bytes.len() {
-            return Err(CosimError::Protocol {
-                reason: "trailing bytes in message".to_owned(),
-            });
-        }
+        r.finish()?;
         Ok(msg)
+    }
+}
+
+/// Display name for a co-simulation endpoint id (stats reports).
+#[must_use]
+pub fn endpoint_name(endpoint: u16) -> &'static str {
+    match endpoint {
+        0 => "cosim.hello",
+        1 => "cosim.get-interface",
+        2 => "cosim.interface",
+        3 => "cosim.set-input",
+        4 => "cosim.cycle",
+        5 => "cosim.reset",
+        6 => "cosim.get-output",
+        7 => "cosim.value",
+        8 => "cosim.ok",
+        9 => "cosim.error",
+        10 => "cosim.bye",
+        11 => "cosim.batch-run",
+        12 => "cosim.batch-result",
+        _ => "cosim.unknown",
     }
 }
 
@@ -213,11 +249,8 @@ impl Message {
 /// # Errors
 ///
 /// Propagates writer failures.
-pub fn write_frame<W: Write>(mut writer: W, message: &Message) -> Result<(), CosimError> {
-    let body = message.encode();
-    writer.write_all(&(body.len() as u32).to_le_bytes())?;
-    writer.write_all(&body)?;
-    writer.flush()?;
+pub fn write_frame<W: Write>(writer: W, message: &Message) -> Result<(), CosimError> {
+    ipd_wire::write_frame(writer, &message.encode(), MAX_FRAME)?;
     Ok(())
 }
 
@@ -227,27 +260,13 @@ pub fn write_frame<W: Write>(mut writer: W, message: &Message) -> Result<(), Cos
 /// # Errors
 ///
 /// Fails on I/O errors, oversized frames or malformed bodies.
-pub fn read_frame<R: Read>(mut reader: R) -> Result<Message, CosimError> {
-    let mut len_bytes = [0u8; 4];
-    reader.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
-    if len > MAX_FRAME {
-        return Err(CosimError::Protocol {
-            reason: format!("frame of {len} bytes exceeds limit"),
-        });
-    }
-    let mut body = vec![0u8; len as usize];
-    reader.read_exact(&mut body)?;
+pub fn read_frame<R: Read>(reader: R) -> Result<Message, CosimError> {
+    let body = ipd_wire::read_frame(reader, MAX_FRAME)?;
     Message::decode(&body)
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
-    out.extend_from_slice(s.as_bytes());
-}
-
 fn put_vec(out: &mut Vec<u8>, v: &LogicVec) {
-    out.extend_from_slice(&(v.width() as u16).to_le_bytes());
+    codec::put_u16(out, v.width() as u16);
     // Two bits per logic value, packed four per byte.
     let mut byte = 0u8;
     for (i, bit) in v.iter().enumerate() {
@@ -269,92 +288,50 @@ fn put_vec(out: &mut Vec<u8>, v: &LogicVec) {
 }
 
 fn put_port_batches(out: &mut Vec<u8>, batches: &[(String, Vec<LogicVec>)]) {
-    out.extend_from_slice(&(batches.len() as u16).to_le_bytes());
+    codec::put_u16(out, batches.len() as u16);
     for (name, values) in batches {
-        put_str(out, name);
-        out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+        codec::put_str(out, name);
+        codec::put_u32(out, values.len() as u32);
         for value in values {
             put_vec(out, value);
         }
     }
 }
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+fn logic_vec(r: &mut Reader<'_>) -> Result<LogicVec, CosimError> {
+    let width = r.u16()? as usize;
+    let bytes = r.take(width.div_ceil(4))?;
+    let mut bits = Vec::with_capacity(width);
+    for i in 0..width {
+        let code = (bytes[i / 4] >> ((i % 4) * 2)) & 0b11;
+        bits.push(match code {
+            0 => Logic::Zero,
+            1 => Logic::One,
+            2 => Logic::X,
+            _ => Logic::Z,
+        });
+    }
+    Ok(LogicVec::from_bits(bits))
 }
 
-impl Cursor<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], CosimError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(CosimError::Protocol {
-                reason: "truncated message".to_owned(),
-            });
+fn port_batches(r: &mut Reader<'_>) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
+    let ports = r.u16()? as usize;
+    // Each port needs ≥ 6 bytes (name prefix + vector count).
+    let ports = r.cap_count(ports, 6)?;
+    let mut batches = Vec::with_capacity(ports);
+    for _ in 0..ports {
+        let name = r.str()?;
+        let count = r.u32()? as usize;
+        // Each vector takes at least its 2-byte width prefix; an
+        // absurd declared count fails before any allocation.
+        let count = r.cap_count(count, 2)?;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(logic_vec(r)?);
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        batches.push((name, values));
     }
-
-    fn u8(&mut self) -> Result<u8, CosimError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, CosimError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    fn u32(&mut self) -> Result<u32, CosimError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn string(&mut self) -> Result<String, CosimError> {
-        let len = self.u16()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| CosimError::Protocol {
-            reason: "string is not UTF-8".to_owned(),
-        })
-    }
-
-    fn logic_vec(&mut self) -> Result<LogicVec, CosimError> {
-        let width = self.u16()? as usize;
-        let bytes = self.take(width.div_ceil(4))?;
-        let mut bits = Vec::with_capacity(width);
-        for i in 0..width {
-            let code = (bytes[i / 4] >> ((i % 4) * 2)) & 0b11;
-            bits.push(match code {
-                0 => Logic::Zero,
-                1 => Logic::One,
-                2 => Logic::X,
-                _ => Logic::Z,
-            });
-        }
-        Ok(LogicVec::from_bits(bits))
-    }
-
-    fn port_batches(&mut self) -> Result<Vec<(String, Vec<LogicVec>)>, CosimError> {
-        let ports = self.u16()? as usize;
-        let mut batches = Vec::with_capacity(ports);
-        for _ in 0..ports {
-            let name = self.string()?;
-            let count = self.u32()? as usize;
-            // Bound allocation by the remaining bytes (each vector
-            // takes at least the 2-byte width prefix).
-            if count > self.bytes.len().saturating_sub(self.pos) {
-                return Err(CosimError::Protocol {
-                    reason: "batch vector count exceeds frame".to_owned(),
-                });
-            }
-            let mut values = Vec::with_capacity(count);
-            for _ in 0..count {
-                values.push(self.logic_vec()?);
-            }
-            batches.push((name, values));
-        }
-        Ok(batches)
-    }
+    Ok(batches)
 }
 
 #[cfg(test)]
@@ -417,6 +394,21 @@ mod tests {
     }
 
     #[test]
+    fn endpoints_follow_tags() {
+        assert_eq!(Message::Hello.wire_endpoint(), 0);
+        assert_eq!(
+            Message::BatchRun {
+                cycles: 0,
+                inputs: vec![]
+            }
+            .wire_endpoint(),
+            11
+        );
+        assert_eq!(endpoint_name(11), "cosim.batch-run");
+        assert_eq!(endpoint_name(999), "cosim.unknown");
+    }
+
+    #[test]
     fn truncated_batches_rejected() {
         let msg = Message::BatchRun {
             cycles: 1,
@@ -429,6 +421,14 @@ mod tests {
         // An absurd vector count must fail fast, not allocate.
         let mut bytes = vec![12, 1, 0, 1, 0, b'y'];
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(&bytes).is_err());
+        // An absurd port count, likewise.
+        let mut bytes = vec![12];
+        bytes.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(Message::decode(&bytes).is_err());
+        // And an absurd interface port count.
+        let mut bytes = vec![2];
+        bytes.extend_from_slice(&u16::MAX.to_le_bytes());
         assert!(Message::decode(&bytes).is_err());
     }
 

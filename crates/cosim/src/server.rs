@@ -1,58 +1,100 @@
 //! The black-box applet server: exposes a protected circuit's
 //! port-level simulation over a socket.
 //!
-//! This is the applet side of the paper's Figure 4. Creating a server
-//! requires the applet host's *network permission* — "establishing
-//! network connections … violates the default applet security model
-//! and requires explicit permission from the user" (§4.2, footnote 1).
+//! This is the applet side of the paper's Figure 4, rebuilt on the
+//! shared `ipd-wire` transport. Creating a server requires the applet
+//! host's *network permission* — "establishing network connections …
+//! violates the default applet security model and requires explicit
+//! permission from the user" (§4.2, footnote 1).
+//!
+//! A started server ([`BlackBoxServer::start`]) serves many customers
+//! concurrently, thread-per-session, each against its own model from
+//! the factory; [`RunningBlackBox::shutdown`] stops it gracefully.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use ipd_core::AppletHost;
+use ipd_wire::{
+    Reply, ServerHandle, WireConfig, WireError, WireServer, WireService, WireSession, WireStats,
+};
 
 use crate::error::CosimError;
 use crate::model::SimModel;
-use crate::protocol::{read_frame, write_frame, Message};
+use crate::protocol::{endpoint_name, Message};
 
-/// A socket server wrapping one port-level simulation model.
+/// A socket server wrapping port-level simulation models.
 #[derive(Debug)]
 pub struct BlackBoxServer {
-    listener: TcpListener,
-    addr: SocketAddr,
+    server: WireServer,
 }
 
 impl BlackBoxServer {
-    /// Binds a server on a loopback port, after checking the applet
-    /// host's network permission.
+    /// Binds a server on a loopback port with default wire settings,
+    /// after checking the applet host's network permission.
     ///
     /// # Errors
     ///
     /// Returns [`CosimError::Core`] when the user has not granted
     /// network permission, or an I/O error when binding fails.
     pub fn bind(host: &AppletHost) -> Result<Self, CosimError> {
+        Self::bind_with(host, WireConfig::default())
+    }
+
+    /// Binds with explicit wire settings (frame cap, session cap,
+    /// deadlines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Core`] when the user has not granted
+    /// network permission, or an I/O error when binding fails.
+    pub fn bind_with(host: &AppletHost, config: WireConfig) -> Result<Self, CosimError> {
         host.check_network()?;
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        Ok(BlackBoxServer { listener, addr })
+        Ok(BlackBoxServer {
+            server: WireServer::bind(config)?,
+        })
     }
 
     /// The bound address clients connect to.
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
-    /// Serves exactly one client session on the current thread,
-    /// consuming the server.
+    /// The per-endpoint traffic counters (shared with the running
+    /// server).
+    #[must_use]
+    pub fn stats(&self) -> Arc<WireStats> {
+        self.server.stats()
+    }
+
+    /// Serves exactly one client session on the current thread; the
+    /// server stays usable afterwards.
     ///
     /// # Errors
     ///
     /// Propagates accept/transport failures. A client `Bye` (or
     /// disconnect) ends the session normally.
-    pub fn serve_one<M: SimModel>(self, mut model: M) -> Result<(), CosimError> {
-        let (stream, _) = self.listener.accept()?;
-        serve_stream(stream, &mut model)
+    pub fn serve_once<M: SimModel + Send + 'static>(&self, model: M) -> Result<(), CosimError> {
+        let service = OneShotService {
+            model: Mutex::new(Some(model)),
+        };
+        self.server.serve_next(&service)?;
+        Ok(())
+    }
+
+    /// Serves exactly one client session, consuming the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/transport failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `serve_once` (non-consuming) or `start` (concurrent multi-session)"
+    )]
+    pub fn serve_one<M: SimModel + Send + 'static>(self, model: M) -> Result<(), CosimError> {
+        self.serve_once(model)
     }
 
     /// Spawns a thread serving one client session.
@@ -61,33 +103,162 @@ impl BlackBoxServer {
         self,
         model: M,
     ) -> JoinHandle<Result<(), CosimError>> {
-        std::thread::spawn(move || self.serve_one(model))
+        std::thread::spawn(move || self.serve_once(model))
+    }
+
+    /// Starts the concurrent accept loop: every connecting customer
+    /// gets its own session thread and its own model from `factory`.
+    #[must_use]
+    pub fn start<F>(self, factory: F) -> RunningBlackBox
+    where
+        F: Fn() -> Result<Box<dyn SimModel + Send>, CosimError> + Send + Sync + 'static,
+    {
+        let service = CosimService {
+            factory: Box::new(factory),
+        };
+        RunningBlackBox {
+            handle: self.server.start(Arc::new(service)),
+        }
+    }
+
+    /// [`BlackBoxServer::start`] for clonable models: each session
+    /// simulates its own copy.
+    #[must_use]
+    pub fn start_cloning<M: SimModel + Clone + Send + 'static>(self, model: M) -> RunningBlackBox {
+        // The prototype sits behind a mutex so `M` needs only `Send`,
+        // not `Sync`; sessions clone it on open, then run lock-free.
+        let prototype = Mutex::new(model);
+        self.start(move || {
+            let model = prototype.lock().expect("prototype lock").clone();
+            Ok(Box::new(model) as Box<dyn SimModel + Send>)
+        })
     }
 }
 
-/// Runs the protocol loop over one connection.
-fn serve_stream<M: SimModel>(stream: TcpStream, model: &mut M) -> Result<(), CosimError> {
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut writer = std::io::BufWriter::new(stream);
-    loop {
-        let request = match read_frame(&mut reader) {
-            Ok(msg) => msg,
-            // Disconnect ends the session.
-            Err(CosimError::Io(_)) => return Ok(()),
-            Err(e) => return Err(e),
-        };
-        let response = handle(model, &request);
-        let stop = matches!(request, Message::Bye);
-        write_frame(&mut writer, &response)?;
-        if stop {
-            return Ok(());
+/// Control handle for a started black-box server.
+#[derive(Debug)]
+pub struct RunningBlackBox {
+    handle: ServerHandle,
+}
+
+impl RunningBlackBox {
+    /// The bound address clients connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// The per-endpoint traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<WireStats> {
+        self.handle.stats()
+    }
+
+    /// Currently connected customer sessions.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.handle.active_sessions()
+    }
+
+    /// A formatted per-endpoint traffic report.
+    #[must_use]
+    pub fn traffic_report(&self) -> String {
+        self.handle.stats().report(|e| endpoint_name(e).to_owned())
+    }
+
+    /// Stops accepting, interrupts live sessions, joins all threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shutdown failures from the wire layer.
+    pub fn shutdown(self) -> Result<(), CosimError> {
+        self.handle.shutdown()?;
+        Ok(())
+    }
+}
+
+/// Multi-session service: one fresh model per connection.
+struct CosimService {
+    #[allow(clippy::type_complexity)]
+    factory: Box<dyn Fn() -> Result<Box<dyn SimModel + Send>, CosimError> + Send + Sync>,
+}
+
+impl WireService for CosimService {
+    fn open_session(
+        &self,
+        _peer: SocketAddr,
+        _token: Option<&str>,
+    ) -> Result<Box<dyn WireSession>, WireError> {
+        let model = (self.factory)().map_err(|e| WireError::app(e.to_string()))?;
+        Ok(Box::new(CosimSession { model }))
+    }
+
+    fn endpoint_name(&self, endpoint: u16) -> String {
+        endpoint_name(endpoint).to_owned()
+    }
+}
+
+/// Single-session service for `serve_once`: hands its model to the
+/// first connection.
+struct OneShotService<M: SimModel + Send> {
+    model: Mutex<Option<M>>,
+}
+
+impl<M: SimModel + Send + 'static> WireService for OneShotService<M> {
+    fn open_session(
+        &self,
+        _peer: SocketAddr,
+        _token: Option<&str>,
+    ) -> Result<Box<dyn WireSession>, WireError> {
+        let model = self
+            .model
+            .lock()
+            .expect("one-shot model lock")
+            .take()
+            .ok_or_else(|| WireError::app("model already claimed by another session"))?;
+        Ok(Box::new(CosimSession {
+            model: Box::new(model),
+        }))
+    }
+
+    fn endpoint_name(&self, endpoint: u16) -> String {
+        endpoint_name(endpoint).to_owned()
+    }
+}
+
+/// One customer's protocol session against its own model.
+struct CosimSession {
+    model: Box<dyn SimModel + Send>,
+}
+
+impl WireSession for CosimSession {
+    fn handle(&mut self, endpoint: u16, body: &[u8]) -> Result<Reply, WireError> {
+        let request = Message::decode(body).map_err(|e| WireError::protocol(e.to_string()))?;
+        if request.wire_endpoint() != endpoint {
+            return Err(WireError::protocol(format!(
+                "endpoint {endpoint} does not match message tag {}",
+                request.wire_endpoint()
+            )));
         }
+        let stop = matches!(request, Message::Bye);
+        let response = handle(self.model.as_mut(), &request);
+        // Model failures travel as typed error frames; the session
+        // survives them.
+        if let Message::Error { message } = response {
+            return Err(WireError::app(message));
+        }
+        let body = response.encode();
+        Ok(if stop {
+            Reply::end(body)
+        } else {
+            Reply::body(body)
+        })
     }
 }
 
 /// Computes the response to one request; model errors become
 /// [`Message::Error`] so the session survives bad requests.
-pub(crate) fn handle<M: SimModel>(model: &mut M, request: &Message) -> Message {
+pub(crate) fn handle<M: SimModel + ?Sized>(model: &mut M, request: &Message) -> Message {
     let outcome = match request {
         Message::Hello | Message::GetInterface => model.interface().map(Message::Interface),
         Message::SetInput { port, value } => model.set(port, value.clone()).map(|()| Message::Ok),
@@ -165,9 +336,33 @@ mod tests {
     }
 
     #[test]
+    fn handle_works_through_dyn_models() {
+        let mut model: Box<dyn SimModel + Send> = Box::new(inverter_model());
+        let resp = handle(model.as_mut(), &Message::GetInterface);
+        assert!(matches!(resp, Message::Interface(_)));
+    }
+
+    #[test]
     fn unexpected_messages_are_protocol_errors() {
         let mut model = inverter_model();
         let resp = handle(&mut model, &Message::Ok);
         assert!(matches!(resp, Message::Error { .. }));
+    }
+
+    #[test]
+    fn deprecated_serve_one_still_serves() {
+        let mut host = AppletHost::new();
+        host.grant_network_permission();
+        let server = BlackBoxServer::bind(&host).unwrap();
+        let addr = server.addr();
+        let worker = std::thread::spawn(move || {
+            #[allow(deprecated)]
+            server.serve_one(inverter_model())
+        });
+        let mut client = crate::BlackBoxClient::connect(addr).unwrap();
+        client.set("a", LogicVec::from_u64(0, 1)).unwrap();
+        assert_eq!(client.get("y").unwrap().to_u64(), Some(1));
+        client.close().unwrap();
+        worker.join().expect("no panic").expect("server ok");
     }
 }

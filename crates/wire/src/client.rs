@@ -1,0 +1,208 @@
+//! The blocking wire client: handshake, request/response matching,
+//! symmetric traffic counters.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::envelope::{Envelope, VERSION};
+use crate::error::WireError;
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::stats::WireStats;
+
+/// Client-side connection settings.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Authentication token sent in the hello frame (e.g. a customer
+    /// id); the service decides what it means.
+    pub token: Option<String>,
+    /// The largest frame this client accepts; `0` means
+    /// [`DEFAULT_MAX_FRAME`]. Both sides send at most the *minimum*
+    /// of the two declared caps.
+    pub max_frame: u32,
+    /// Per-call read timeout (`Duration::ZERO` = none).
+    pub read_timeout: Duration,
+    /// Socket write timeout (`Duration::ZERO` = none).
+    pub write_timeout: Duration,
+}
+
+impl ClientConfig {
+    /// A config carrying an authentication token.
+    #[must_use]
+    pub fn with_token(token: impl Into<String>) -> Self {
+        ClientConfig {
+            token: Some(token.into()),
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// A connected wire session from the client side.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    session: u64,
+    next_id: u64,
+    /// The cap we enforce on received frames.
+    recv_cap: u32,
+    /// The cap we respect when sending (server's declared cap, capped
+    /// by ours).
+    send_cap: u32,
+    stats: Arc<WireStats>,
+    closed: bool,
+}
+
+impl WireClient {
+    /// Connects and performs the hello handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection refusal, handshake protocol violations, or
+    /// a typed refusal (e.g. [`crate::ErrorCode::Busy`] at the
+    /// session cap, surfaced as [`WireError::Remote`]).
+    pub fn connect(addr: SocketAddr, config: &ClientConfig) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let opt = |d: Duration| if d.is_zero() { None } else { Some(d) };
+        stream.set_read_timeout(opt(config.read_timeout))?;
+        stream.set_write_timeout(opt(config.write_timeout))?;
+        let recv_cap = if config.max_frame == 0 {
+            DEFAULT_MAX_FRAME
+        } else {
+            config.max_frame
+        };
+        let hello = Envelope::Hello {
+            version: VERSION,
+            max_frame: recv_cap,
+            token: config.token.clone(),
+        };
+        write_frame(&stream, &hello.encode(), recv_cap)?;
+        let ack = read_frame(&stream, recv_cap)?;
+        let (session, server_cap) = match Envelope::decode(&ack)? {
+            Envelope::HelloAck { session, max_frame } => (session, max_frame),
+            Envelope::Error { code, message, .. } => {
+                return Err(WireError::Remote { code, message })
+            }
+            _ => return Err(WireError::protocol("expected hello-ack envelope")),
+        };
+        Ok(WireClient {
+            stream,
+            session,
+            next_id: 1,
+            recv_cap,
+            send_cap: server_cap.min(recv_cap).max(256),
+            stats: Arc::new(WireStats::new()),
+            closed: false,
+        })
+    }
+
+    /// The server-assigned session id.
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// This client's traffic counters (mirrors the server's view of
+    /// this session: `bytes_in` = request bytes sent, `bytes_out` =
+    /// response bytes received).
+    #[must_use]
+    pub fn stats(&self) -> Arc<WireStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Issues one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// - [`WireError::Remote`] when the server answers with a typed
+    ///   error frame.
+    /// - [`WireError::Protocol`] on framing/envelope violations or a
+    ///   response id mismatch.
+    /// - [`WireError::Io`] / [`WireError::Deadline`] on transport
+    ///   failures and read timeouts.
+    pub fn call(&mut self, endpoint: u16, body: &[u8]) -> Result<Vec<u8>, WireError> {
+        if self.closed {
+            return Err(WireError::protocol("session already closed"));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes_in = body.len() as u64;
+        let request = Envelope::Request {
+            id,
+            endpoint,
+            body: body.to_vec(),
+        };
+        let outcome = self.round_trip(id, &request);
+        match &outcome {
+            Ok(response) => self
+                .stats
+                .record(endpoint, bytes_in, response.len() as u64, true),
+            Err(_) => self.stats.record(endpoint, bytes_in, 0, false),
+        }
+        outcome
+    }
+
+    fn round_trip(&mut self, id: u64, request: &Envelope) -> Result<Vec<u8>, WireError> {
+        write_frame(&self.stream, &request.encode(), self.send_cap).inspect_err(|_| {
+            self.closed = true;
+        })?;
+        let frame = map_read(read_frame(&self.stream, self.recv_cap), &mut self.closed)?;
+        match Envelope::decode(&frame).inspect_err(|_| self.closed = true)? {
+            Envelope::Response { id: got, body } => {
+                if got != id {
+                    self.closed = true;
+                    return Err(WireError::protocol(format!(
+                        "response id {got} does not match request id {id}"
+                    )));
+                }
+                Ok(body)
+            }
+            Envelope::Error {
+                id: got,
+                code,
+                message,
+            } => {
+                if got != id && got != 0 {
+                    self.closed = true;
+                    return Err(WireError::protocol(format!(
+                        "error frame for id {got} while awaiting {id}"
+                    )));
+                }
+                // Typed app errors leave the session usable; session-
+                // level refusals (id 0) end it.
+                if got == 0 {
+                    self.closed = true;
+                }
+                Err(WireError::Remote { code, message })
+            }
+            _ => {
+                self.closed = true;
+                Err(WireError::protocol("unexpected envelope kind in response"))
+            }
+        }
+    }
+
+    /// Sends a polite goodbye and closes. Idempotent; also invoked on
+    /// drop (best effort).
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            let _ = write_frame(&self.stream, &Envelope::Goodbye.encode(), self.send_cap);
+        }
+    }
+}
+
+/// Any failed read — transport error or timeout — desynchronises
+/// request/response matching, so the session must close.
+fn map_read(result: Result<Vec<u8>, WireError>, closed: &mut bool) -> Result<Vec<u8>, WireError> {
+    if result.is_err() {
+        *closed = true;
+    }
+    result
+}
+
+impl Drop for WireClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,273 @@
+//! Bounded binary codec shared by every protocol riding the wire.
+//!
+//! Writers are plain helpers over `Vec<u8>`; the [`Reader`] is a
+//! hardened cursor: every read is bounds-checked, every declared count
+//! or length is capped against the bytes actually present *before* any
+//! allocation, and [`Reader::finish`] rejects trailing garbage. This is
+//! the one place a hostile peer's declared sizes are contained.
+
+use crate::error::WireError;
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a string with a `u16` length prefix (names, reasons).
+///
+/// # Panics
+///
+/// Panics if the string exceeds 65535 bytes — wire names and messages
+/// are short by construction; long payloads use [`put_bytes`].
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("wire string over 64 KiB");
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a byte payload with a `u32` length prefix.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds `u32::MAX` bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    let len = u32::try_from(bytes.len()).expect("wire payload over 4 GiB");
+    put_u32(out, len);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends an optional string: presence flag then the string.
+pub fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            put_u8(out, 1);
+            put_str(out, s);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+/// A bounds-checked cursor over received bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over a received payload.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::protocol(format!(
+                "truncated payload: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u16`-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::protocol("string is not UTF-8"))
+    }
+
+    /// Reads a `u32`-prefixed byte payload. The declared length is
+    /// checked against the remaining bytes before any allocation, so a
+    /// hostile prefix cannot trigger a huge reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads the optional-string encoding of [`put_opt_str`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on truncation or a bad presence flag.
+    pub fn opt_str(&mut self) -> Result<Option<String>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            other => Err(WireError::protocol(format!("bad option flag {other}"))),
+        }
+    }
+
+    /// Validates a declared element count against the bytes remaining:
+    /// each element needs at least `min_elem_bytes`, so a count that
+    /// could not possibly fit is rejected *before* any
+    /// `Vec::with_capacity` runs on it.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] when `count` elements cannot fit.
+    pub fn cap_count(&self, count: usize, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let fits = self.remaining() / min_elem_bytes.max(1);
+        if count > fits {
+            return Err(WireError::protocol(format!(
+                "declared count {count} exceeds the {fits} that could fit in {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] when trailing bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::protocol(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u16(&mut out, 1234);
+        put_u32(&mut out, 777_777);
+        put_u64(&mut out, u64::MAX - 3);
+        put_str(&mut out, "hello");
+        put_bytes(&mut out, &[9, 8, 7]);
+        put_opt_str(&mut out, None);
+        put_opt_str(&mut out, Some("tok"));
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 1234);
+        assert_eq!(r.u32().unwrap(), 777_777);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.opt_str().unwrap(), None);
+        assert_eq!(r.opt_str().unwrap(), Some("tok".to_owned()));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_rejected() {
+        let mut out = Vec::new();
+        put_str(&mut out, "abc");
+        for len in 0..out.len() {
+            let mut r = Reader::new(&out[..len]);
+            assert!(r.str().is_err(), "prefix {len}");
+        }
+        let mut r = Reader::new(&out);
+        r.str().unwrap();
+        assert!(Reader::new(&out[..2]).finish().is_err());
+        r.finish().unwrap();
+        let mut with_trailing = out.clone();
+        with_trailing.push(0);
+        let mut r = Reader::new(&with_trailing);
+        r.str().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn hostile_lengths_fail_before_allocation() {
+        // A bytes field declaring 4 GiB backed by 2 bytes.
+        let mut out = Vec::new();
+        put_u32(&mut out, u32::MAX);
+        out.extend_from_slice(&[1, 2]);
+        assert!(Reader::new(&out).bytes().is_err());
+        // A count that cannot possibly fit.
+        let r = Reader::new(&[0u8; 16]);
+        assert!(r.cap_count(17, 1).is_err());
+        assert_eq!(r.cap_count(4, 4).unwrap(), 4);
+        assert!(r.cap_count(5, 4).is_err());
+    }
+}

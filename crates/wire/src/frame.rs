@@ -1,0 +1,252 @@
+//! Length-prefixed framing with hard size caps and polled deadlines.
+//!
+//! Every byte on an `ipd` socket travels inside one of these frames:
+//! a little-endian `u32` length followed by that many body bytes. The
+//! length is validated against a hard cap *before* any allocation, so
+//! a hostile prefix cannot reserve memory, and reads can be bounded by
+//! deadlines and interrupted by a shutdown flag.
+
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+
+use crate::error::WireError;
+
+/// Default maximum frame body size (1 MiB) — a sanity bound against
+/// corruption and hostile length prefixes.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Writes one frame as a single buffer (one syscall on a socket).
+///
+/// # Errors
+///
+/// Refuses bodies over `max_frame` (the peer would refuse them too)
+/// and propagates writer failures.
+pub fn write_frame<W: Write>(mut writer: W, body: &[u8], max_frame: u32) -> Result<(), WireError> {
+    if body.len() > max_frame as usize {
+        return Err(WireError::protocol(format!(
+            "refusing to send {}-byte frame over the {max_frame}-byte cap",
+            body.len()
+        )));
+    }
+    let mut buf = Vec::with_capacity(4 + body.len());
+    buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    buf.extend_from_slice(body);
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing the size cap before allocating.
+///
+/// Stream timeouts (`WouldBlock`/`TimedOut`) surface as
+/// [`WireError::Deadline`].
+///
+/// # Errors
+///
+/// Fails on I/O errors, timeouts and oversized length prefixes.
+pub fn read_frame<R: Read>(reader: R, max_frame: u32) -> Result<Vec<u8>, WireError> {
+    match read_frame_polled(reader, max_frame, &Deadlines::blocking(), &|| false)? {
+        Some(body) => Ok(body),
+        None => Err(WireError::Io(ErrorKind::UnexpectedEof.into())),
+    }
+}
+
+/// Read-side deadline policy for [`read_frame_polled`].
+#[derive(Debug, Clone, Copy)]
+pub struct Deadlines {
+    /// How long to wait for the *first* byte of a frame (`None` =
+    /// forever). An expired idle wait means the peer went quiet.
+    pub idle: Option<Duration>,
+    /// How long a frame may take to *complete* once its first byte
+    /// arrived (`None` = forever). An expired frame wait means the
+    /// peer stalled mid-frame — trickle attacks land here.
+    pub frame: Option<Duration>,
+}
+
+impl Deadlines {
+    /// No deadlines: block until the stream delivers or fails.
+    #[must_use]
+    pub fn blocking() -> Self {
+        Deadlines {
+            idle: None,
+            frame: None,
+        }
+    }
+}
+
+/// Reads one frame from a stream whose read timeout doubles as the
+/// poll interval: between short blocking reads, the shutdown flag is
+/// consulted and the [`Deadlines`] enforced. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer hung up between frames).
+///
+/// # Errors
+///
+/// - [`WireError::Shutdown`] when `should_stop` turns true.
+/// - [`WireError::Deadline`] when a deadline expires.
+/// - [`WireError::Protocol`] on an oversized length prefix.
+/// - [`WireError::Io`] on transport failures (including EOF
+///   mid-frame).
+pub fn read_frame_polled<R: Read>(
+    mut reader: R,
+    max_frame: u32,
+    deadlines: &Deadlines,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_bytes = [0u8; 4];
+    if !read_full(
+        &mut reader,
+        &mut len_bytes,
+        true,
+        deadlines.idle,
+        "frame header",
+        should_stop,
+    )? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > max_frame {
+        return Err(WireError::protocol(format!(
+            "declared frame of {len} bytes exceeds the {max_frame}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_full(
+        &mut reader,
+        &mut body,
+        false,
+        deadlines.frame,
+        "frame body",
+        should_stop,
+    )?;
+    Ok(Some(body))
+}
+
+/// Fills `buf` completely. Returns `Ok(false)` only when
+/// `eof_ok_before_first` is set and EOF arrives before any byte.
+fn read_full<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    eof_ok_before_first: bool,
+    limit: Option<Duration>,
+    during: &'static str,
+    should_stop: &dyn Fn() -> bool,
+) -> Result<bool, WireError> {
+    let start = Instant::now();
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok_before_first {
+                    return Ok(false);
+                }
+                return Err(WireError::Io(ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if should_stop() {
+                    return Err(WireError::Shutdown);
+                }
+                if let Some(limit) = limit {
+                    if start.elapsed() >= limit {
+                        return Err(WireError::Deadline { during });
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(Cursor::new(buf), DEFAULT_MAX_FRAME),
+            Err(WireError::Protocol { .. })
+        ));
+        // Refusing to *send* oversized frames, too.
+        let big = vec![0u8; 17];
+        assert!(write_frame(Vec::new(), &big, 16).is_err());
+    }
+
+    #[test]
+    fn clean_eof_between_frames_is_none() {
+        let out = read_frame_polled(
+            Cursor::new(Vec::new()),
+            DEFAULT_MAX_FRAME,
+            &Deadlines::blocking(),
+            &|| false,
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        buf.truncate(6); // header + 2 body bytes
+        assert!(matches!(
+            read_frame(Cursor::new(buf), DEFAULT_MAX_FRAME),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    /// A reader that always times out — deadline and shutdown paths.
+    struct AlwaysBlocked;
+    impl Read for AlwaysBlocked {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(ErrorKind::WouldBlock.into())
+        }
+    }
+
+    #[test]
+    fn shutdown_flag_interrupts_reads() {
+        let out = read_frame_polled(
+            AlwaysBlocked,
+            DEFAULT_MAX_FRAME,
+            &Deadlines::blocking(),
+            &|| true,
+        );
+        assert!(matches!(out, Err(WireError::Shutdown)));
+    }
+
+    #[test]
+    fn idle_deadline_expires() {
+        let deadlines = Deadlines {
+            idle: Some(Duration::ZERO),
+            frame: None,
+        };
+        let out = read_frame_polled(AlwaysBlocked, DEFAULT_MAX_FRAME, &deadlines, &|| false);
+        assert!(matches!(out, Err(WireError::Deadline { .. })));
+    }
+}

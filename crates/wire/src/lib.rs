@@ -1,0 +1,47 @@
+//! `ipd-wire` — the one framed transport under every `ipd` socket.
+//!
+//! Before this crate, the co-simulation stack and the delivery stack
+//! each carried their own ad-hoc framing, limits and timeouts. Now a
+//! single layer owns all of it:
+//!
+//! - [`frame`]: length-prefixed frames with hard size caps validated
+//!   *before* allocation, plus polled reads bounded by [`Deadlines`]
+//!   and interruptible by a shutdown flag.
+//! - [`codec`]: a hardened bounds-checked [`Reader`] and `put_*`
+//!   writers shared by every payload encoding.
+//! - [`envelope`]: the hello handshake (magic, version, frame-cap
+//!   negotiation, optional auth token) and request-id'd
+//!   request/response/error envelopes.
+//! - [`server`]: a concurrent thread-per-session [`WireServer`] with a
+//!   [`SessionRegistry`], connection cap, and graceful shutdown via
+//!   [`ServerHandle`].
+//! - [`client`]: the blocking [`WireClient`].
+//! - [`stats`]: symmetric per-endpoint [`WireStats`] so server totals
+//!   reconcile exactly against the sum of client-observed counts.
+//!
+//! Higher layers (`ipd-cosim`, `ipd-core`) define *what* the payload
+//! bytes mean; this crate defines *how* they travel.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod envelope;
+mod error;
+pub mod frame;
+pub mod server;
+pub mod stats;
+
+pub use client::{ClientConfig, WireClient};
+pub use envelope::{Envelope, MAGIC, VERSION};
+pub use error::{ErrorCode, WireError};
+pub use frame::{read_frame, read_frame_polled, write_frame, Deadlines, DEFAULT_MAX_FRAME};
+pub use server::{
+    Reply, ServerHandle, SessionInfo, SessionRegistry, WireConfig, WireServer, WireService,
+    WireSession,
+};
+pub use stats::{EndpointStats, WireStats};
+
+// Re-export the reader at the crate root: every payload codec in the
+// workspace starts with `ipd_wire::Reader::new(body)`.
+pub use codec::Reader;

@@ -1,0 +1,212 @@
+//! Per-endpoint wire counters — the vendor's audit surface.
+//!
+//! A [`WireStats`] is shared (behind an `Arc`) between every session
+//! of a server, and each [`WireClient`](crate::WireClient) keeps its
+//! own. Counts are symmetric: a server's `bytes_in` for an endpoint
+//! equals the sum of its clients' `bytes_out`, so an operator can
+//! reconcile the two sides exactly.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Requests handled (or issued, on a client).
+    pub requests: u64,
+    /// Requests answered with a typed error frame.
+    pub errors: u64,
+    /// Request payload bytes received (sent, on a client).
+    pub bytes_in: u64,
+    /// Response payload bytes sent (received, on a client).
+    pub bytes_out: u64,
+}
+
+impl EndpointStats {
+    fn absorb(&mut self, other: &EndpointStats) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+impl fmt::Display for EndpointStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} request(s), {} error(s), {} B in, {} B out",
+            self.requests, self.errors, self.bytes_in, self.bytes_out
+        )
+    }
+}
+
+/// Shared request/byte/error counters, per endpoint plus session
+/// gauges.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    endpoints: Mutex<HashMap<u16, EndpointStats>>,
+    sessions_opened: AtomicU64,
+    sessions_refused: AtomicU64,
+    sessions_active: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl WireStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        WireStats::default()
+    }
+
+    /// Records one completed request on an endpoint.
+    pub fn record(&self, endpoint: u16, bytes_in: u64, bytes_out: u64, ok: bool) {
+        let mut map = self.endpoints.lock().expect("stats lock");
+        let slot = map.entry(endpoint).or_default();
+        slot.requests += 1;
+        if !ok {
+            slot.errors += 1;
+        }
+        slot.bytes_in += bytes_in;
+        slot.bytes_out += bytes_out;
+    }
+
+    /// Counters for one endpoint (zeroes when never hit).
+    #[must_use]
+    pub fn endpoint(&self, endpoint: u16) -> EndpointStats {
+        self.endpoints
+            .lock()
+            .expect("stats lock")
+            .get(&endpoint)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All per-endpoint counters, sorted by endpoint id.
+    #[must_use]
+    pub fn per_endpoint(&self) -> Vec<(u16, EndpointStats)> {
+        let mut rows: Vec<(u16, EndpointStats)> = self
+            .endpoints
+            .lock()
+            .expect("stats lock")
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        rows.sort_unstable_by_key(|(k, _)| *k);
+        rows
+    }
+
+    /// Counters summed over every endpoint.
+    #[must_use]
+    pub fn totals(&self) -> EndpointStats {
+        let mut total = EndpointStats::default();
+        for (_, stats) in self.per_endpoint() {
+            total.absorb(&stats);
+        }
+        total
+    }
+
+    /// Notes an accepted session. Returns the updated active gauge.
+    pub fn note_session_opened(&self) -> u64 {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Notes a finished session.
+    pub fn note_session_closed(&self) {
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Notes a connection refused at the session cap.
+    pub fn note_session_refused(&self) {
+        self.sessions_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a malformed frame or envelope (the flood counter).
+    pub fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sessions accepted over the server's lifetime.
+    #[must_use]
+    pub fn sessions_opened(&self) -> u64 {
+        self.sessions_opened.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at the session cap.
+    #[must_use]
+    pub fn sessions_refused(&self) -> u64 {
+        self.sessions_refused.load(Ordering::Relaxed)
+    }
+
+    /// Currently active sessions.
+    #[must_use]
+    pub fn sessions_active(&self) -> u64 {
+        self.sessions_active.load(Ordering::Relaxed)
+    }
+
+    /// Malformed frames/envelopes seen.
+    #[must_use]
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// A human-readable audit table; `name_of` maps endpoint ids to
+    /// display names.
+    pub fn report(&self, name_of: impl Fn(u16) -> String) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sessions: {} opened, {} active, {} refused; {} protocol error(s)",
+            self.sessions_opened(),
+            self.sessions_active(),
+            self.sessions_refused(),
+            self.protocol_errors()
+        );
+        for (endpoint, stats) in self.per_endpoint() {
+            let _ = writeln!(out, "  {:<24} {stats}", name_of(endpoint));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_endpoint() {
+        let stats = WireStats::new();
+        stats.record(1, 10, 20, true);
+        stats.record(1, 5, 0, false);
+        stats.record(2, 1, 1, true);
+        let e1 = stats.endpoint(1);
+        assert_eq!(e1.requests, 2);
+        assert_eq!(e1.errors, 1);
+        assert_eq!(e1.bytes_in, 15);
+        assert_eq!(e1.bytes_out, 20);
+        assert_eq!(stats.endpoint(3), EndpointStats::default());
+        let total = stats.totals();
+        assert_eq!(total.requests, 3);
+        assert_eq!(total.bytes_in, 16);
+        assert_eq!(stats.per_endpoint().len(), 2);
+    }
+
+    #[test]
+    fn session_gauges_track() {
+        let stats = WireStats::new();
+        assert_eq!(stats.note_session_opened(), 1);
+        assert_eq!(stats.note_session_opened(), 2);
+        stats.note_session_closed();
+        assert_eq!(stats.sessions_active(), 1);
+        assert_eq!(stats.sessions_opened(), 2);
+        stats.note_session_refused();
+        stats.note_protocol_error();
+        let report = stats.report(|e| format!("ep{e}"));
+        assert!(report.contains("2 opened"));
+        assert!(report.contains("1 refused"));
+    }
+}

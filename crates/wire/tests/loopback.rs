@@ -1,0 +1,294 @@
+//! Loopback integration tests for the wire layer itself: echo
+//! round-trips, concurrency, the session cap, malformed-frame floods,
+//! and property tests over mutated frames.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use ipd_testutil::XorShift64;
+use ipd_wire::{
+    ClientConfig, ErrorCode, Reply, WireClient, WireConfig, WireError, WireServer, WireService,
+    WireSession,
+};
+
+/// Echoes the body back; endpoint 0xE0 reverses, 0xEE errors, 0xFF
+/// ends the session.
+struct EchoService;
+
+struct EchoSession {
+    customer: Option<String>,
+}
+
+impl WireService for EchoService {
+    fn open_session(
+        &self,
+        _peer: SocketAddr,
+        token: Option<&str>,
+    ) -> Result<Box<dyn WireSession>, WireError> {
+        if token == Some("banned") {
+            return Err(WireError::Remote {
+                code: ErrorCode::Unauthorized,
+                message: "no license".to_owned(),
+            });
+        }
+        Ok(Box::new(EchoSession {
+            customer: token.map(str::to_owned),
+        }))
+    }
+}
+
+impl WireSession for EchoSession {
+    fn handle(&mut self, endpoint: u16, body: &[u8]) -> Result<Reply, WireError> {
+        match endpoint {
+            0xE0 => {
+                let mut reversed = body.to_vec();
+                reversed.reverse();
+                Ok(Reply::body(reversed))
+            }
+            0xEE => Err(WireError::app("requested failure")),
+            0xF0 => Ok(Reply::body(
+                self.customer.clone().unwrap_or_default().into_bytes(),
+            )),
+            0xFF => Ok(Reply::end(Vec::new())),
+            _ => Ok(Reply::body(body.to_vec())),
+        }
+    }
+}
+
+fn start_echo(config: WireConfig) -> ipd_wire::ServerHandle {
+    WireServer::bind(config)
+        .expect("bind")
+        .start(Arc::new(EchoService))
+}
+
+#[test]
+fn echo_round_trip_and_typed_errors() {
+    let handle = start_echo(WireConfig::default());
+    let mut client = WireClient::connect(handle.addr(), &ClientConfig::default()).expect("connect");
+    assert_eq!(client.call(0x01, b"hello").unwrap(), b"hello");
+    assert_eq!(client.call(0xE0, b"abc").unwrap(), b"cba");
+    // A typed app error leaves the session usable.
+    match client.call(0xEE, b"x") {
+        Err(WireError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::App);
+            assert!(message.contains("requested failure"));
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    assert_eq!(client.call(0x01, b"still alive").unwrap(), b"still alive");
+    client.close();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn auth_token_reaches_the_service_and_refusals_are_typed() {
+    let handle = start_echo(WireConfig::default());
+    let mut client =
+        WireClient::connect(handle.addr(), &ClientConfig::with_token("acme")).expect("connect");
+    assert_eq!(client.call(0xF0, b"").unwrap(), b"acme");
+    match WireClient::connect(handle.addr(), &ClientConfig::with_token("banned")) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Unauthorized),
+        other => panic!("expected unauthorized refusal, got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn sixteen_concurrent_sessions_echo_correctly_and_stats_reconcile() {
+    let handle = start_echo(WireConfig::default());
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..16u64)
+        .map(|lane| {
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(0xC0FFEE ^ lane);
+                let mut client =
+                    WireClient::connect(addr, &ClientConfig::default()).expect("connect");
+                for _ in 0..20 {
+                    let len = rng.below(512) as usize;
+                    let body = rng.bytes(len);
+                    let mut expect = body.clone();
+                    let endpoint = if rng.bool() { 0x01 } else { 0xE0 };
+                    if endpoint == 0xE0 {
+                        expect.reverse();
+                    }
+                    assert_eq!(client.call(endpoint, &body).unwrap(), expect);
+                }
+                let totals = client.stats().totals();
+                client.close();
+                totals
+            })
+        })
+        .collect();
+    let mut client_requests = 0u64;
+    let mut client_bytes_in = 0u64;
+    let mut client_bytes_out = 0u64;
+    for worker in workers {
+        let totals = worker.join().expect("worker");
+        client_requests += totals.requests;
+        client_bytes_in += totals.bytes_in;
+        client_bytes_out += totals.bytes_out;
+    }
+    // Let the server finish recording the final requests.
+    let stats = handle.stats();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while stats.totals().requests < client_requests && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let server = stats.totals();
+    assert_eq!(server.requests, client_requests);
+    assert_eq!(server.bytes_in, client_bytes_in);
+    assert_eq!(server.bytes_out, client_bytes_out);
+    assert_eq!(server.errors, 0);
+    assert_eq!(stats.sessions_opened(), 16);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn session_cap_refuses_with_busy_and_frees_up() {
+    let config = WireConfig {
+        max_sessions: 2,
+        ..WireConfig::default()
+    };
+    let handle = start_echo(config);
+    let mut a = WireClient::connect(handle.addr(), &ClientConfig::default()).expect("a");
+    let b = WireClient::connect(handle.addr(), &ClientConfig::default()).expect("b");
+    // Make sure both sessions are registered before probing the cap.
+    assert_eq!(a.call(0x01, b"warm").unwrap(), b"warm");
+    match WireClient::connect(handle.addr(), &ClientConfig::default()) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected busy refusal, got {other:?}"),
+    }
+    assert!(handle.stats().sessions_refused() >= 1);
+    drop(b);
+    // A freed slot admits a new session (registry drains asynchronously).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let admitted = loop {
+        match WireClient::connect(handle.addr(), &ClientConfig::default()) {
+            Ok(client) => break Some(client),
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(_) => break None,
+        }
+    };
+    assert!(admitted.is_some(), "slot never freed");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_floods_do_not_stall_healthy_sessions() {
+    use std::io::Write as _;
+    let handle = start_echo(WireConfig::default());
+    let addr = handle.addr();
+    // A healthy client working throughout the flood.
+    let good = std::thread::spawn(move || {
+        let mut client = WireClient::connect(addr, &ClientConfig::default()).expect("connect");
+        for i in 0..50u32 {
+            let body = i.to_le_bytes();
+            assert_eq!(client.call(0x01, &body).unwrap(), body);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        client.close();
+    });
+    let mut rng = XorShift64::new(0xBAD);
+    for round in 0..30 {
+        let mut socket = std::net::TcpStream::connect(addr).expect("connect");
+        match round % 3 {
+            0 => {
+                // Hostile length prefix: declares 4 GiB.
+                let _ = socket.write_all(&u32::MAX.to_le_bytes());
+            }
+            1 => {
+                // Random garbage of random length.
+                let len = 1 + rng.below(64) as usize;
+                let junk = rng.bytes(len);
+                let _ = socket.write_all(&junk);
+            }
+            _ => {
+                // A truncated frame: header promises more than is sent.
+                let _ = socket.write_all(&100u32.to_le_bytes());
+                let _ = socket.write_all(&[1, 2, 3]);
+            }
+        }
+        drop(socket);
+    }
+    good.join().expect("healthy client survived the flood");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn property_mutated_hello_frames_never_panic_the_server() {
+    use std::io::Write as _;
+    let handle = start_echo(WireConfig::default());
+    let addr = handle.addr();
+    let hello = ipd_wire::Envelope::Hello {
+        version: ipd_wire::VERSION,
+        max_frame: 4096,
+        token: Some("acme".to_owned()),
+    }
+    .encode();
+    ipd_testutil::check_n("mutated hello frames", 60, |rng| {
+        let mut frame = Vec::new();
+        ipd_wire::write_frame(&mut frame, &hello, 4096).expect("encode");
+        match rng.below(3) {
+            0 => {
+                // Bit flip anywhere in the frame.
+                let i = rng.index(frame.len());
+                frame[i] ^= 1 << rng.below(8);
+            }
+            1 => {
+                // Truncate.
+                let keep = rng.index(frame.len());
+                frame.truncate(keep);
+            }
+            _ => {
+                // Append trailing garbage.
+                let len = 1 + rng.below(16) as usize;
+                let junk = rng.bytes(len);
+                frame.extend_from_slice(&junk);
+            }
+        }
+        let mut socket = std::net::TcpStream::connect(addr).expect("connect");
+        let _ = socket.write_all(&frame);
+        drop(socket);
+        // The server survives if a fresh, healthy session still works.
+        let mut client = WireClient::connect(addr, &ClientConfig::default()).expect("reconnect");
+        assert_eq!(client.call(0x01, b"ping").expect("server alive"), b"ping");
+    });
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn end_session_reply_closes_after_sending() {
+    let handle = start_echo(WireConfig::default());
+    let mut client = WireClient::connect(handle.addr(), &ClientConfig::default()).expect("connect");
+    assert_eq!(client.call(0xFF, b"").unwrap(), b"");
+    // The server hung up; the next call fails rather than hanging.
+    assert!(client.call(0x01, b"late").is_err());
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn serve_next_handles_exactly_one_connection() {
+    let server = WireServer::bind(WireConfig::default()).expect("bind");
+    let addr = server.addr();
+    let worker = std::thread::spawn(move || {
+        server.serve_next(&EchoService).expect("serve one");
+        server
+    });
+    let mut client = WireClient::connect(addr, &ClientConfig::default()).expect("connect");
+    assert_eq!(client.call(0x01, b"one-shot").unwrap(), b"one-shot");
+    client.close();
+    let server = worker.join().expect("server thread");
+    assert_eq!(server.stats().totals().requests, 1);
+    assert_eq!(server.registry().sessions_served(), 1);
+}
+
+#[test]
+fn shutdown_interrupts_idle_sessions() {
+    let handle = start_echo(WireConfig::default());
+    let mut client = WireClient::connect(handle.addr(), &ClientConfig::default()).expect("connect");
+    assert_eq!(client.call(0x01, b"x").unwrap(), b"x");
+    // Shutdown while the session sits idle: must not hang on join.
+    handle.shutdown().unwrap();
+}

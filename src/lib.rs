@@ -21,6 +21,7 @@
 //! | [`pack`] | `ipd-pack` | archives, LZSS, the Table 1 bundles |
 //! | [`core`] | `ipd-core` | capabilities, licenses, applet host & sessions, protection |
 //! | [`cosim`] | `ipd-cosim` | black-box co-simulation over sockets, baselines |
+//! | [`wire`] | `ipd-wire` | the one framed transport under every socket: caps, deadlines, sessions, stats |
 //!
 //! # Quickstart
 //!
@@ -54,3 +55,4 @@ pub use ipd_pack as pack;
 pub use ipd_sim as sim;
 pub use ipd_techlib as techlib;
 pub use ipd_viewer as viewer;
+pub use ipd_wire as wire;
