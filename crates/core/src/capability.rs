@@ -31,12 +31,15 @@ pub enum Capability {
     /// Expose the port-level simulation interface over a socket for
     /// system co-simulation (paper §4.2).
     BlackBoxExport,
+    /// View constraint-evaluated timing slack (per-clock summaries and
+    /// histograms) without seeing the paths that produce it.
+    TimingView,
 }
 
 impl Capability {
     /// Every capability, in display order.
     #[must_use]
-    pub fn all() -> [Capability; 9] {
+    pub fn all() -> [Capability; 10] {
         [
             Capability::Configure,
             Capability::Estimate,
@@ -47,6 +50,7 @@ impl Capability {
             Capability::MemoryView,
             Capability::Netlist,
             Capability::BlackBoxExport,
+            Capability::TimingView,
         ]
     }
 
@@ -67,6 +71,7 @@ impl fmt::Display for Capability {
             Capability::MemoryView => "memory-view",
             Capability::Netlist => "netlist",
             Capability::BlackBoxExport => "black-box-export",
+            Capability::TimingView => "timing-view",
         })
     }
 }
@@ -124,6 +129,7 @@ impl CapabilitySet {
             Capability::Simulate,
             Capability::WaveformView,
             Capability::MemoryView,
+            Capability::TimingView,
         ])
     }
 
@@ -144,6 +150,7 @@ impl CapabilitySet {
             Capability::Estimate,
             Capability::Simulate,
             Capability::BlackBoxExport,
+            Capability::TimingView,
         ])
     }
 

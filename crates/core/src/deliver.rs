@@ -448,9 +448,30 @@ impl AppletServer {
         circuit: &ipd_hdl::Circuit,
         lint_config: &ipd_lint::LintConfig,
     ) -> Result<crate::seal::SealedDesign, CoreError> {
+        self.serve_design_sealed_timed(customer, today, vendor_key, circuit, lint_config, None)
+    }
+
+    /// [`AppletServer::serve_design_sealed`] with a timing gate: when
+    /// `constraints` are given the STA engine runs alongside lint, and
+    /// unwaived setup violations refuse delivery (audited) the same way
+    /// structural errors do.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AppletServer::serve_design_sealed`].
+    pub fn serve_design_sealed_timed(
+        &mut self,
+        customer: &str,
+        today: u32,
+        vendor_key: &[u8],
+        circuit: &ipd_hdl::Circuit,
+        lint_config: &ipd_lint::LintConfig,
+        constraints: Option<&ipd_lint::TimingConstraints>,
+    ) -> Result<crate::seal::SealedDesign, CoreError> {
         let license = self.authorize(customer, today)?;
         let key = crate::seal::bundle_key(vendor_key, &license);
-        match crate::seal::seal_design(circuit, lint_config, &key, today.into()) {
+        match crate::seal::seal_design_timed(circuit, lint_config, constraints, &key, today.into())
+        {
             Ok(sealed) => {
                 self.audit.push(AuditRecord {
                     customer: customer.to_owned(),
@@ -503,6 +524,39 @@ impl AppletServer {
             ),
         });
         Ok(report)
+    }
+
+    /// Runs the STA engine over a design under a constraint set on
+    /// behalf of a licensed customer and returns the aggregate
+    /// [`ipd_estimate::SlackSummary`] — closure status without path or
+    /// endpoint names, safe to show any enrolled evaluator. The access
+    /// is audited; like [`AppletServer::serve_lint_report`], a failing
+    /// summary is returned rather than refused since no netlist ships.
+    ///
+    /// # Errors
+    ///
+    /// License conditions as for [`AppletServer::serve`], plus STA
+    /// failures (flattening errors, combinational loops).
+    pub fn serve_slack_summary(
+        &mut self,
+        customer: &str,
+        today: u32,
+        circuit: &ipd_hdl::Circuit,
+        constraints: &ipd_estimate::TimingConstraints,
+    ) -> Result<ipd_estimate::SlackSummary, CoreError> {
+        self.authorize(customer, today)?;
+        let report = ipd_estimate::analyze_timing(circuit, constraints)?;
+        let summary = report.slack_summary();
+        self.audit.push(AuditRecord {
+            customer: customer.to_owned(),
+            day: today,
+            outcome: format!(
+                "served slack summary for {} ({})",
+                circuit.name(),
+                report.summary()
+            ),
+        });
+        Ok(summary)
     }
 
     /// The full access log.
@@ -618,6 +672,55 @@ mod tests {
         assert!(String::from_utf8(plain).unwrap().starts_with("(edif"));
         let last = server.audit_log().last().unwrap();
         assert!(last.outcome.contains("served design"), "{}", last.outcome);
+    }
+
+    #[test]
+    fn design_delivery_is_timing_gated() {
+        use ipd_techlib::LogicCtx;
+        let vendor_key = b"vendor-key".to_vec();
+        let mut server = AppletServer::new("byu", vendor_key.clone());
+        server.enroll("acme", "chain", CapabilitySet::licensed(), 0, 365);
+
+        // A registered chain that cannot make 3 ns.
+        let mut slow = ipd_hdl::Circuit::new("chain");
+        {
+            let mut ctx = slow.root_ctx();
+            let clk = ctx.add_port(ipd_hdl::PortSpec::input("clk", 1)).unwrap();
+            let d = ctx.add_port(ipd_hdl::PortSpec::input("d", 1)).unwrap();
+            let q = ctx.add_port(ipd_hdl::PortSpec::output("q", 1)).unwrap();
+            let mut cur: ipd_hdl::Signal = ctx.wire("s0", 1).into();
+            ctx.fd(clk, d, cur.clone()).unwrap();
+            for i in 0..16 {
+                let nxt = ctx.wire(&format!("s{}", i + 1), 1);
+                ctx.inv(cur, nxt).unwrap();
+                cur = nxt.into();
+            }
+            ctx.fd(clk, cur, q).unwrap();
+        }
+        let mut constraints = ipd_lint::TimingConstraints::new();
+        constraints.clock("clk", 3.0, "clk");
+        let config = ipd_lint::LintConfig::new();
+        let err = server
+            .serve_design_sealed_timed("acme", 10, &vendor_key, &slow, &config, Some(&constraints))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::LintRejected { .. }));
+        assert!(server
+            .audit_log()
+            .last()
+            .unwrap()
+            .outcome
+            .contains("refused"));
+
+        // The customer can inspect the aggregate summary (audited)...
+        let summary = server
+            .serve_slack_summary("acme", 10, &slow, &constraints)
+            .unwrap();
+        assert!(summary.violations() > 0);
+        assert!(summary.worst_slack().unwrap() < 0.0);
+        // ...and the untimed path still serves the same design.
+        server
+            .serve_design_sealed("acme", 11, &vendor_key, &slow, &config)
+            .expect("untimed delivery ignores slack");
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub mod endpoints {
     pub const SEALED_DESIGN: u16 = 0x23;
     /// The static-analysis report for a registered design.
     pub const LINT_REPORT: u16 = 0x24;
+    /// The constraint-evaluated STA slack summary for a registered
+    /// design (aggregate closure view; requires the design to have
+    /// been registered with timing constraints).
+    pub const STA_REPORT: u16 = 0x25;
 }
 
 /// Human-readable name of a delivery endpoint (for traffic reports).
@@ -61,6 +65,7 @@ pub fn delivery_endpoint_name(endpoint: u16) -> &'static str {
         endpoints::SEALED_BUNDLES => "delivery.sealed-bundles",
         endpoints::SEALED_DESIGN => "delivery.sealed-design",
         endpoints::LINT_REPORT => "delivery.lint-report",
+        endpoints::STA_REPORT => "delivery.sta-report",
         _ => "delivery.unknown",
     }
 }
@@ -87,7 +92,14 @@ fn core_to_wire(e: &CoreError) -> WireError {
 #[derive(Debug)]
 struct DeliveryState {
     server: AppletServer,
-    designs: HashMap<String, (ipd_hdl::Circuit, ipd_lint::LintConfig)>,
+    designs: HashMap<
+        String,
+        (
+            ipd_hdl::Circuit,
+            ipd_lint::LintConfig,
+            Option<ipd_lint::TimingConstraints>,
+        ),
+    >,
 }
 
 /// An [`AppletServer`] adapted to the wire: one shared vendor state,
@@ -145,7 +157,22 @@ impl DeliveryService {
     ) {
         self.lock()
             .designs
-            .insert(name.into(), (circuit, lint_config));
+            .insert(name.into(), (circuit, lint_config, None));
+    }
+
+    /// Registers a design together with timing constraints: the
+    /// sealed-design endpoint then refuses unwaived setup violations,
+    /// and [`endpoints::STA_REPORT`] serves the slack summary.
+    pub fn register_design_timed(
+        &self,
+        name: impl Into<String>,
+        circuit: ipd_hdl::Circuit,
+        lint_config: ipd_lint::LintConfig,
+        constraints: ipd_lint::TimingConstraints,
+    ) {
+        self.lock()
+            .designs
+            .insert(name.into(), (circuit, lint_config, Some(constraints)));
     }
 
     /// Names of registered designs, sorted.
@@ -295,6 +322,7 @@ impl WireSession for DeliverySession {
             endpoints::SEALED_BUNDLES => self.sealed_bundles(body)?,
             endpoints::SEALED_DESIGN => self.sealed_design(body)?,
             endpoints::LINT_REPORT => self.lint_report(body)?,
+            endpoints::STA_REPORT => self.sta_report(body)?,
             other => {
                 return Err(WireError::Remote {
                     code: ErrorCode::UnknownEndpoint,
@@ -362,19 +390,20 @@ impl DeliverySession {
     fn sealed_design(&self, body: &[u8]) -> Result<Vec<u8>, WireError> {
         let (today, design) = decode_design_request(body)?;
         let mut state = self.service.lock();
-        let (circuit, lint_config) = state
+        let (circuit, lint_config, constraints) = state
             .designs
             .get(&design)
             .cloned()
             .ok_or_else(|| WireError::app(format!("no registered design named {design}")))?;
         let sealed = state
             .server
-            .serve_design_sealed(
+            .serve_design_sealed_timed(
                 &self.customer,
                 today,
                 &self.service.vendor_key,
                 &circuit,
                 &lint_config,
+                constraints.as_ref(),
             )
             .map_err(|e| core_to_wire(&e))?;
         let mut out = Vec::new();
@@ -387,7 +416,7 @@ impl DeliverySession {
     fn lint_report(&self, body: &[u8]) -> Result<Vec<u8>, WireError> {
         let (today, design) = decode_design_request(body)?;
         let mut state = self.service.lock();
-        let (circuit, lint_config) = state
+        let (circuit, lint_config, _) = state
             .designs
             .get(&design)
             .cloned()
@@ -401,6 +430,26 @@ impl DeliverySession {
         codec::put_u32(&mut out, report.error_count() as u32);
         codec::put_bytes(&mut out, report.to_json().as_bytes());
         Ok(out)
+    }
+
+    fn sta_report(&self, body: &[u8]) -> Result<Vec<u8>, WireError> {
+        let (today, design) = decode_design_request(body)?;
+        let mut state = self.service.lock();
+        let (circuit, _, constraints) = state
+            .designs
+            .get(&design)
+            .cloned()
+            .ok_or_else(|| WireError::app(format!("no registered design named {design}")))?;
+        let constraints = constraints.ok_or_else(|| {
+            WireError::app(format!(
+                "design {design} has no timing constraints registered"
+            ))
+        })?;
+        let summary = state
+            .server
+            .serve_slack_summary(&self.customer, today, &circuit, &constraints)
+            .map_err(|e| core_to_wire(&e))?;
+        Ok(encode_slack_summary(&summary))
     }
 }
 
@@ -507,6 +556,94 @@ fn decode_delivery(body: &[u8]) -> Result<DeliveryResponse, WireError> {
     }
     r.finish()?;
     Ok(DeliveryResponse::new(product, items))
+}
+
+/// f64 over the wire: IEEE-754 bits in the codec's u64 encoding, so
+/// the value survives exactly (including infinities used for "no
+/// endpoint captured").
+fn put_f64(out: &mut Vec<u8>, value: f64) {
+    codec::put_u64(out, value.to_bits());
+}
+
+fn read_f64(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    Ok(f64::from_bits(r.u64()?))
+}
+
+fn encode_slack_summary(summary: &ipd_estimate::SlackSummary) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_str(&mut out, &summary.design);
+    codec::put_u32(&mut out, summary.unconstrained as u32);
+    codec::put_u16(&mut out, summary.clocks.len() as u16);
+    for c in &summary.clocks {
+        codec::put_str(&mut out, &c.clock);
+        put_f64(&mut out, c.period_ns);
+        codec::put_u32(&mut out, c.endpoints as u32);
+        codec::put_u32(&mut out, c.violations as u32);
+        put_f64(&mut out, c.worst_slack_ns);
+    }
+    codec::put_u16(&mut out, summary.histograms.len() as u16);
+    for h in &summary.histograms {
+        codec::put_str(&mut out, &h.clock);
+        codec::put_u16(&mut out, h.edges.len() as u16);
+        for &e in &h.edges {
+            put_f64(&mut out, e);
+        }
+        codec::put_u16(&mut out, h.counts.len() as u16);
+        for &n in &h.counts {
+            codec::put_u64(&mut out, n as u64);
+        }
+    }
+    out
+}
+
+fn decode_slack_summary(body: &[u8]) -> Result<ipd_estimate::SlackSummary, WireError> {
+    let mut r = Reader::new(body);
+    let design = r.str()?;
+    let unconstrained = r.u32()? as usize;
+    let clock_count = r.u16()? as usize;
+    // Each clock rollup is at least a 2-byte name prefix plus two f64s
+    // and two u32 counts.
+    let clock_count = r.cap_count(clock_count, 2 + 8 + 4 + 4 + 8)?;
+    let mut clocks = Vec::with_capacity(clock_count);
+    for _ in 0..clock_count {
+        clocks.push(ipd_estimate::ClockSlack {
+            clock: r.str()?,
+            period_ns: read_f64(&mut r)?,
+            endpoints: r.u32()? as usize,
+            violations: r.u32()? as usize,
+            worst_slack_ns: read_f64(&mut r)?,
+        });
+    }
+    let hist_count = r.u16()? as usize;
+    let hist_count = r.cap_count(hist_count, 2 + 2 + 2)?;
+    let mut histograms = Vec::with_capacity(hist_count);
+    for _ in 0..hist_count {
+        let clock = r.str()?;
+        let edge_count = r.u16()? as usize;
+        let edge_count = r.cap_count(edge_count, 8)?;
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            edges.push(read_f64(&mut r)?);
+        }
+        let count_count = r.u16()? as usize;
+        let count_count = r.cap_count(count_count, 8)?;
+        let mut counts = Vec::with_capacity(count_count);
+        for _ in 0..count_count {
+            counts.push(r.u64()? as usize);
+        }
+        histograms.push(ipd_estimate::SlackHistogram {
+            clock,
+            edges,
+            counts,
+        });
+    }
+    r.finish()?;
+    Ok(ipd_estimate::SlackSummary {
+        design,
+        clocks,
+        unconstrained,
+        histograms,
+    })
 }
 
 /// A lint-gated, license-sealed design fetched over the wire.
@@ -688,6 +825,28 @@ impl DeliveryClient {
         })
     }
 
+    /// Fetches the constraint-evaluated STA slack summary for a
+    /// registered design — per-clock worst slack, violation counts and
+    /// histograms, no endpoint or path names. The design must have
+    /// been registered with
+    /// [`DeliveryService::register_design_timed`].
+    ///
+    /// # Errors
+    ///
+    /// An application error when the design is unknown or has no
+    /// constraints registered; license and transport failures as
+    /// [`DeliveryClient::manifest`].
+    pub fn sta_summary(
+        &mut self,
+        today: u32,
+        design: &str,
+    ) -> Result<ipd_estimate::SlackSummary, CoreError> {
+        let response = self
+            .wire
+            .call(endpoints::STA_REPORT, &encode_design_request(today, design))?;
+        Ok(decode_slack_summary(&response)?)
+    }
+
     /// Sends a polite goodbye and closes (also happens on drop).
     pub fn close(&mut self) {
         self.wire.close();
@@ -788,6 +947,70 @@ mod tests {
         let service = running.shutdown().expect("shutdown");
         let log = service.audit_log();
         assert!(log.iter().any(|r| r.outcome.contains("lint report")));
+    }
+
+    /// FF -> `depth` inverters -> FF, one clock.
+    fn chained_design(depth: usize) -> Circuit {
+        let mut c = Circuit::new("chain");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+        let d = ctx.add_port(PortSpec::input("d", 1)).unwrap();
+        let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+        let mut cur: ipd_hdl::Signal = ctx.wire("s0", 1).into();
+        ctx.fd(clk, d, cur.clone()).unwrap();
+        for i in 0..depth {
+            let nxt = ctx.wire(&format!("s{}", i + 1), 1);
+            ctx.inv(cur, nxt).unwrap();
+            cur = nxt.into();
+        }
+        ctx.fd(clk, cur, q).unwrap();
+        c
+    }
+
+    #[test]
+    fn sta_summary_round_trips_and_timing_gates_sealed_designs() {
+        let (running, service) = start();
+        let mut constraints = ipd_lint::TimingConstraints::new();
+        constraints.clock("clk", 3.0, "clk");
+        service.register_design_timed(
+            "chain",
+            chained_design(16),
+            ipd_lint::LintConfig::default(),
+            constraints,
+        );
+        let mut client = DeliveryClient::connect(running.addr(), "acme").expect("connect");
+
+        // The wire summary is bit-identical to the local analysis.
+        let remote = client.sta_summary(30, "chain").expect("sta summary");
+        let local = ipd_estimate::analyze_timing(&chained_design(16), &{
+            let mut t = ipd_estimate::TimingConstraints::new();
+            t.clock("clk", 3.0, "clk");
+            t
+        })
+        .expect("local sta")
+        .slack_summary();
+        assert_eq!(remote, local);
+        assert!(remote.violations() > 0, "{remote}");
+        assert!(remote.worst_slack().unwrap() < 0.0);
+
+        // The same registration refuses sealed delivery on slack.
+        let err = client.sealed_design(30, "chain").unwrap_err();
+        assert!(
+            err.to_string().contains("lint"),
+            "timing refusal rides the lint gate: {err}"
+        );
+
+        // Designs registered without constraints refuse the endpoint.
+        assert!(matches!(
+            client.sta_summary(30, "buf"),
+            Err(CoreError::Remote { .. } | CoreError::Wire(_))
+        ));
+        client.close();
+        let service = running.shutdown().expect("shutdown");
+        assert!(service
+            .audit_log()
+            .iter()
+            .any(|r| r.outcome.contains("slack summary")));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! crypto substrate.
 
 use ipd_hdl::Circuit;
-use ipd_lint::{LintConfig, LintReport, Linter};
+use ipd_lint::{LintConfig, LintReport, Linter, TimingConstraints};
 
 use crate::error::CoreError;
 use crate::license::License;
@@ -109,7 +109,31 @@ pub fn seal_design(
     key: &[u8; 32],
     nonce: u64,
 ) -> Result<SealedDesign, CoreError> {
-    let report = Linter::with_config(config.clone()).run(circuit)?;
+    seal_design_timed(circuit, config, None, key, nonce)
+}
+
+/// [`seal_design`] with an additional timing gate: when `constraints`
+/// are given, the STA engine runs as a lint pass and unwaived setup
+/// violations block sealing exactly like structural errors. A design
+/// that misses timing is as undeliverable as one with contention —
+/// unless the vendor waives the violation explicitly (auditable in the
+/// shipped report) or re-pipelines the generator until slack is met.
+///
+/// # Errors
+///
+/// As for [`seal_design`].
+pub fn seal_design_timed(
+    circuit: &Circuit,
+    config: &LintConfig,
+    constraints: Option<&TimingConstraints>,
+    key: &[u8; 32],
+    nonce: u64,
+) -> Result<SealedDesign, CoreError> {
+    let linter = match constraints {
+        Some(t) => Linter::with_timing(config.clone(), t.clone()),
+        None => Linter::with_config(config.clone()),
+    };
+    let report = linter.run(circuit)?;
     if report.error_count() > 0 {
         return Err(CoreError::LintRejected {
             errors: report.error_count(),
@@ -246,6 +270,74 @@ mod tests {
         let sealed = seal_design(&circuit, &LintConfig::new(), &key, 3).expect("clean");
         assert!(sealed.report().is_clean());
         assert!(sealed.report().diags().is_empty());
+    }
+
+    /// FF -> `depth` inverters -> FF on one clock: fails tight periods.
+    fn chained_circuit(depth: usize) -> ipd_hdl::Circuit {
+        use ipd_techlib::LogicCtx;
+        let mut c = ipd_hdl::Circuit::new("chain");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(ipd_hdl::PortSpec::input("clk", 1)).unwrap();
+        let d = ctx.add_port(ipd_hdl::PortSpec::input("d", 1)).unwrap();
+        let q = ctx.add_port(ipd_hdl::PortSpec::output("q", 1)).unwrap();
+        let mut cur: ipd_hdl::Signal = ctx.wire("s0", 1).into();
+        ctx.fd(clk, d, cur.clone()).unwrap();
+        for i in 0..depth {
+            let nxt = ctx.wire(&format!("s{}", i + 1), 1);
+            ctx.inv(cur, nxt).unwrap();
+            cur = nxt.into();
+        }
+        ctx.fd(clk, cur, q).unwrap();
+        c
+    }
+
+    fn tight_constraints() -> TimingConstraints {
+        let mut t = TimingConstraints::new();
+        t.clock("clk", 6.0, "clk");
+        t
+    }
+
+    #[test]
+    fn seal_design_timed_gates_on_negative_slack() {
+        let key = key();
+        let slow = chained_circuit(24);
+        // Unwaived setup violations block sealing...
+        let err = seal_design_timed(
+            &slow,
+            &LintConfig::new(),
+            Some(&tight_constraints()),
+            &key,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::LintRejected { errors, .. } if errors > 0));
+        // ...an explicit waiver lets the same design through, audited...
+        let mut config = LintConfig::new();
+        config.waive(
+            "setup-violation",
+            "*",
+            "evaluation build, timing not contractual",
+        );
+        let sealed =
+            seal_design_timed(&slow, &config, Some(&tight_constraints()), &key, 5).expect("waived");
+        assert!(sealed
+            .report()
+            .waived()
+            .iter()
+            .any(|d| d.rule == "setup-violation"));
+        // ...and a re-pipelined (shallower) design meets timing as-is.
+        let fast = chained_circuit(2);
+        let sealed = seal_design_timed(
+            &fast,
+            &LintConfig::new(),
+            Some(&tight_constraints()),
+            &key,
+            6,
+        )
+        .expect("meets timing");
+        assert!(sealed.report().is_clean());
+        // Without constraints the timed entry point is plain seal_design.
+        seal_design(&slow, &LintConfig::new(), &key, 7).expect("untimed");
     }
 
     #[test]

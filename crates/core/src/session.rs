@@ -6,7 +6,7 @@
 //! press *build*, browse the schematic, *cycle*/*reset* the simulator,
 //! and — for licensed users — press *netlist*.
 
-use ipd_estimate::{AreaReport, TimingReport};
+use ipd_estimate::{AreaReport, SlackSummary, StaReport, TimingConstraints, TimingReport};
 use ipd_hdl::{Circuit, Generator, LogicVec};
 use ipd_netlist::NetlistFormat;
 use ipd_sim::Simulator;
@@ -369,6 +369,38 @@ impl AppletSession {
         }
     }
 
+    /// Constraint-evaluated slack summary: per-clock worst slack,
+    /// violation counts and slack histograms. Aggregate only — no
+    /// endpoint names or paths leak — so an evaluation or black-box
+    /// customer can check timing closure without seeing structure.
+    ///
+    /// # Errors
+    ///
+    /// Requires [`Capability::TimingView`] and a built circuit;
+    /// propagates STA failures (e.g. a combinational loop).
+    pub fn slack_summary(
+        &self,
+        constraints: &TimingConstraints,
+    ) -> Result<SlackSummary, CoreError> {
+        self.require(Capability::TimingView)?;
+        let report = ipd_estimate::analyze_timing(self.circuit()?, constraints)?;
+        Ok(report.slack_summary())
+    }
+
+    /// The full STA report with named endpoints and critical paths.
+    /// Path steps name internal nets, so this needs structural
+    /// visibility on top of [`Capability::TimingView`].
+    ///
+    /// # Errors
+    ///
+    /// Requires [`Capability::TimingView`] and
+    /// [`Capability::StructuralView`], plus a built circuit.
+    pub fn sta_report(&self, constraints: &TimingConstraints) -> Result<StaReport, CoreError> {
+        self.require(Capability::TimingView)?;
+        self.require(Capability::StructuralView)?;
+        Ok(ipd_estimate::analyze_timing(self.circuit()?, constraints)?)
+    }
+
     /// The *Lint* button: runs the full static-analysis engine over
     /// the built instance. Diagnostics name internal hierarchical
     /// paths, so this needs structural visibility — a black-box
@@ -603,6 +635,43 @@ mod extension_tests {
         assert!(matches!(
             passive.export_vcd(),
             Err(CoreError::CapabilityDenied { .. })
+        ));
+    }
+
+    fn clk_constraints(period_ns: f64) -> TimingConstraints {
+        let mut t = TimingConstraints::new();
+        t.clock("clk", period_ns, "clk");
+        t
+    }
+
+    #[test]
+    fn timing_view_exposes_slack_without_structure() {
+        // Black-box grants TimingView but not StructuralView: the
+        // aggregate summary flows, the path-level report does not.
+        let mut s = session(CapabilitySet::black_box());
+        s.build().unwrap();
+        let summary = s.slack_summary(&clk_constraints(100.0)).unwrap();
+        assert!(!summary.clocks.is_empty());
+        assert_eq!(summary.violations(), 0, "{summary}");
+        assert!(matches!(
+            s.sta_report(&clk_constraints(100.0)),
+            Err(CoreError::CapabilityDenied {
+                capability: Capability::StructuralView
+            })
+        ));
+        // A licensed session sees the full report.
+        let mut lic = session(CapabilitySet::licensed());
+        lic.build().unwrap();
+        let report = lic.sta_report(&clk_constraints(100.0)).unwrap();
+        assert!(!report.endpoints.is_empty());
+        // Passive sessions lack TimingView entirely.
+        let mut passive = session(CapabilitySet::passive());
+        passive.build().unwrap();
+        assert!(matches!(
+            passive.slack_summary(&clk_constraints(100.0)),
+            Err(CoreError::CapabilityDenied {
+                capability: Capability::TimingView
+            })
         ));
     }
 

@@ -10,6 +10,10 @@
 //! - [`estimate_timing`] → [`TimingReport`]: placement-aware static
 //!   longest-path analysis under the technology delay model, with the
 //!   worst path and implied clock frequency.
+//! - [`analyze_timing`] / [`Sta`] → [`StaReport`]: full static timing
+//!   analysis under a [`TimingConstraints`] set — per-endpoint setup
+//!   slack, false-path/multicycle exceptions, critical-path
+//!   enumeration, slack histograms, and incremental re-analysis.
 //!
 //! # Example
 //!
@@ -44,9 +48,15 @@
 mod area;
 mod error;
 mod place;
+pub mod sta;
 mod timing;
 
 pub use area::{estimate_area, estimate_area_flat, AreaReport};
 pub use error::EstimateError;
 pub use place::{auto_place, PlacementResult, PlacerConfig};
+pub use sta::{
+    analyze_timing, ClockConstraint, ClockSlack, EndpointSlack, ExceptionKind, PathException,
+    PathReport, PathStep, PortDelay, SlackHistogram, SlackSummary, Sta, StaReport,
+    TimingConstraints,
+};
 pub use timing::{estimate_timing, estimate_timing_flat, estimate_timing_with, TimingReport};

@@ -1,0 +1,925 @@
+//! The propagation engine: forward arrival times per launch class,
+//! lazily computed backward required times, constraint evaluation into
+//! an [`StaReport`], and an incremental mode that re-propagates only
+//! the fan-out cone of edited constraint values.
+//!
+//! # Launch classes
+//!
+//! Exceptions (`false-path` / `multicycle`) are keyed by *startpoint*:
+//! two paths converging on one endpoint may carry different exceptions.
+//! Instead of per-path search, arrivals propagate per **launch class**
+//! — the pair `(launch clock, exception mask)` where bit `i` of the
+//! mask means "launched from a startpoint matching exception `i`'s
+//! `from` pattern". Classes are few in practice (startpoints cluster on
+//! the same clock and patterns), so storage is `nets × classes`.
+//!
+//! A class with no launch clock (`None`) models absolute-time arrivals
+//! (primary inputs without `input-delay`, black-box outputs, constants)
+//! and is checked against every endpoint; a class clocked by `k` is
+//! checked only against endpoints captured by `k` — cross-domain paths
+//! are not timed (that is `ipd-lint`'s CDC pass's job).
+
+use std::collections::HashMap;
+
+use ipd_hdl::{Circuit, FlatNetlist, NetId};
+use ipd_techlib::DelayModel;
+
+use super::constraints::{
+    clock_pattern_matches, pattern_matches, ExceptionKind, TimingConstraints,
+};
+use super::graph::{EndpointKind, TimingGraph};
+use super::report::{ClockSlack, EndpointSlack, PathReport, PathStep, StaReport};
+use crate::error::EstimateError;
+
+/// How many critical paths [`Sta::analyze`] enumerates.
+pub const TOP_PATHS: usize = 5;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct LaunchClass {
+    clock: Option<usize>,
+    mask: u64,
+}
+
+/// A resolved startpoint seed: `net` starts at `at_ns` in `class`.
+#[derive(Clone, PartialEq)]
+struct Seed {
+    net: NetId,
+    class: usize,
+    at_ns: f64,
+    name: String,
+}
+
+/// Launch classes, startpoint seeds, and each sequential domain's
+/// resolved capture clock, as produced by seed construction.
+type SeedTable = (Vec<LaunchClass>, Vec<Seed>, Vec<(NetId, Option<usize>)>);
+
+/// The static timing analyzer for one flattened design.
+///
+/// Build once, then [`Sta::analyze`] under any number of constraint
+/// sets; [`Sta::reanalyze`] exploits the previous run when only
+/// constraint *values* changed.
+///
+/// # Examples
+///
+/// ```
+/// use ipd_estimate::{Sta, TimingConstraints};
+/// use ipd_hdl::{Circuit, FlatNetlist, PortSpec};
+/// use ipd_techlib::{DelayModel, LogicCtx};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new("demo");
+/// let mut ctx = c.root_ctx();
+/// let clk = ctx.add_port(PortSpec::input("clk", 1))?;
+/// let d = ctx.add_port(PortSpec::input("d", 1))?;
+/// let q = ctx.add_port(PortSpec::output("q", 1))?;
+/// ctx.fd(clk, d, q)?;
+/// let flat = FlatNetlist::build(&c)?;
+/// let mut sta = Sta::build(&flat, &DelayModel::virtex())?;
+/// let mut constraints = TimingConstraints::new();
+/// constraints.clock("sys", 10.0, "clk");
+/// let report = sta.analyze(&constraints);
+/// assert!(report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Sta<'a> {
+    graph: TimingGraph<'a>,
+    constraints: TimingConstraints,
+    classes: Vec<LaunchClass>,
+    seeds: Vec<Seed>,
+    /// `(net, class)` → (seed time, seed index) for node recompute.
+    seed_at: HashMap<(u32, u32), (f64, u32)>,
+    /// Distinct structural clock-domain roots → constraint clock index.
+    domain_clock: Vec<(NetId, Option<usize>)>,
+    arrival: Vec<f64>,
+    pred: Vec<Option<NetId>>,
+    level: Vec<u32>,
+    required: Vec<f64>,
+    required_valid: bool,
+    queued: Vec<bool>,
+    work: u64,
+    analyzed: bool,
+    legacy: bool,
+}
+
+impl std::fmt::Debug for Sta<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sta")
+            .field("nets", &self.graph.flat.net_count())
+            .field("nodes", &self.graph.nodes.len())
+            .field("classes", &self.classes.len())
+            .field("analyzed", &self.analyzed)
+            .finish()
+    }
+}
+
+impl<'a> Sta<'a> {
+    /// Builds the analyzer over a flattened design.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown primitives or combinational loops.
+    pub fn build(flat: &'a FlatNetlist, model: &DelayModel) -> Result<Self, EstimateError> {
+        let graph = TimingGraph::build(flat, model)?;
+        let queued = vec![false; graph.nodes.len()];
+        Ok(Sta {
+            graph,
+            constraints: TimingConstraints::new(),
+            classes: Vec::new(),
+            seeds: Vec::new(),
+            seed_at: HashMap::new(),
+            domain_clock: Vec::new(),
+            arrival: Vec::new(),
+            pred: Vec::new(),
+            level: Vec::new(),
+            required: Vec::new(),
+            required_valid: false,
+            queued,
+            work: 0,
+            analyzed: false,
+            legacy: false,
+        })
+    }
+
+    /// Convenience: flatten and analyze a circuit in one call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sta::build`].
+    pub fn analyze_circuit(
+        circuit: &Circuit,
+        constraints: &TimingConstraints,
+    ) -> Result<StaReport, EstimateError> {
+        let flat = FlatNetlist::build(circuit)?;
+        let mut sta = Sta::build(&flat, &DelayModel::virtex())?;
+        Ok(sta.analyze(constraints))
+    }
+
+    /// Full (cold) analysis under a constraint set.
+    pub fn analyze(&mut self, constraints: &TimingConstraints) -> StaReport {
+        self.work = 0;
+        self.propagate(constraints, false);
+        self.build_report()
+    }
+
+    /// Incremental re-analysis: when only constraint *values* changed
+    /// (clock periods, delay values) since the last run, re-propagates
+    /// only the fan-out cone of edited seeds; falls back to a cold
+    /// [`Sta::analyze`] when patterns, names or exceptions changed.
+    pub fn reanalyze(&mut self, constraints: &TimingConstraints) -> StaReport {
+        if !self.analyzed || self.legacy || !same_shape(&self.constraints, constraints) {
+            return self.analyze(constraints);
+        }
+        self.work = 0;
+        self.required_valid = false;
+        self.constraints = constraints.clone();
+        let nc = self.classes.len();
+
+        // Rebuild seeds; the shape check guarantees identical classes
+        // and seed order, so a positional diff finds edited values.
+        let (classes, seeds, domain_clock) = self.build_seeds(constraints, false);
+        debug_assert_eq!(classes.len(), self.classes.len());
+        self.domain_clock = domain_clock;
+        let mut dirty_nets: Vec<NetId> = Vec::new();
+        for (new, old) in seeds.iter().zip(&self.seeds) {
+            if new.at_ns != old.at_ns {
+                dirty_nets.push(new.net);
+            }
+        }
+        if !dirty_nets.is_empty() {
+            self.seeds = seeds;
+            self.rebuild_seed_index();
+            // Re-seed dirty nets (producer-less nets carry exactly
+            // their seed values), then walk the cone in topo order.
+            for &net in &dirty_nets {
+                if self.graph.producer[net.index()].is_none() {
+                    for c in 0..nc {
+                        let ix = net.index() * nc + c;
+                        self.arrival[ix] = f64::NEG_INFINITY;
+                        self.pred[ix] = None;
+                        self.level[ix] = 0;
+                    }
+                    for seed in &self.seeds {
+                        if seed.net == net {
+                            let ix = net.index() * nc + seed.class;
+                            if seed.at_ns > self.arrival[ix] {
+                                self.arrival[ix] = seed.at_ns;
+                            }
+                        }
+                    }
+                } else {
+                    // Seed on a node output (clock-to-q): recompute via
+                    // the node itself below.
+                }
+            }
+            self.queued.iter_mut().for_each(|q| *q = false);
+            let mut heap = std::collections::BinaryHeap::new();
+            let push = |heap: &mut std::collections::BinaryHeap<_>,
+                        queued: &mut Vec<bool>,
+                        graph: &TimingGraph<'_>,
+                        net: NetId| {
+                for &r in &graph.net_readers[net.index()] {
+                    let r = r as usize;
+                    if !queued[r] {
+                        queued[r] = true;
+                        heap.push(std::cmp::Reverse((graph.node_pos[r], r)));
+                    }
+                }
+            };
+            for &net in &dirty_nets {
+                if let Some(p) = self.graph.producer[net.index()] {
+                    if !self.queued[p] {
+                        self.queued[p] = true;
+                        heap.push(std::cmp::Reverse((self.graph.node_pos[p], p)));
+                    }
+                } else {
+                    push(&mut heap, &mut self.queued, &self.graph, net);
+                }
+            }
+            while let Some(std::cmp::Reverse((_, ni))) = heap.pop() {
+                if self.recompute_node(ni) {
+                    let out = self.graph.nodes[ni].output;
+                    push(&mut heap, &mut self.queued, &self.graph, out);
+                }
+            }
+        } else {
+            self.seeds = seeds;
+            self.rebuild_seed_index();
+        }
+        self.build_report()
+    }
+
+    /// Node evaluations performed by the last `analyze`/`reanalyze`
+    /// (one unit per node × class) — the incremental-speedup metric.
+    #[must_use]
+    pub fn last_work(&self) -> u64 {
+        self.work
+    }
+
+    /// Fraction of leaves carrying absolute placement.
+    #[must_use]
+    pub fn placed_fraction(&self) -> f64 {
+        self.graph.placed_fraction
+    }
+
+    /// Setup slack at a named net: minimum over launch classes of
+    /// required minus arrival time. `None` when the net is untimed or
+    /// unknown. Computes the backward required-time pass on first use
+    /// after an analysis.
+    pub fn net_slack(&mut self, net_name: &str) -> Option<f64> {
+        let net = (0..self.graph.flat.net_count())
+            .find(|&i| self.graph.flat.nets()[i].name == net_name)
+            .map(NetId::from_index)?;
+        self.ensure_required();
+        let nc = self.classes.len();
+        let mut best: Option<f64> = None;
+        for c in 0..nc {
+            let ix = net.index() * nc + c;
+            let (a, r) = (self.arrival[ix], self.required[ix]);
+            if a > f64::NEG_INFINITY && r < f64::INFINITY {
+                let s = r - a;
+                best = Some(best.map_or(s, |b: f64| b.min(s)));
+            }
+        }
+        best
+    }
+
+    /// Legacy-mode propagation: every structural clock domain becomes
+    /// its own synthetic launch clock so [`crate::estimate_timing`] can
+    /// report the worst *sequential* path per domain without any
+    /// user-supplied constraints.
+    pub(crate) fn analyze_legacy(&mut self) {
+        self.work = 0;
+        self.propagate(&TimingConstraints::new(), true);
+    }
+
+    /// After [`Sta::analyze_legacy`]: worst data arrival over
+    /// sequential endpoints (or over pin-to-pin endpoints when the
+    /// design has none), with the legacy level count and net path.
+    pub(crate) fn legacy_worst(&self) -> (f64, usize, Vec<String>) {
+        let has_seq = self
+            .graph
+            .endpoints
+            .iter()
+            .any(|e| matches!(e.kind, EndpointKind::Seq { .. }));
+        let nc = self.classes.len();
+        let mut critical = 0.0f64;
+        let mut worst: Option<(NetId, usize)> = None;
+        for ep in &self.graph.endpoints {
+            let capture = match ep.kind {
+                EndpointKind::Seq { domain } => {
+                    if !has_seq {
+                        continue;
+                    }
+                    self.clock_of_domain(domain)
+                }
+                _ => {
+                    if has_seq {
+                        continue;
+                    }
+                    None
+                }
+            };
+            let sink = self.graph.edge_delay(ep.net, ep.sink_loc);
+            for (c, class) in self.classes.iter().enumerate() {
+                if !compatible(class.clock, capture) {
+                    continue;
+                }
+                let a = self.arrival[ep.net.index() * nc + c];
+                if a == f64::NEG_INFINITY {
+                    continue;
+                }
+                let t = a + sink + ep.extra_ns;
+                if t > critical {
+                    critical = t;
+                    worst = Some((ep.net, c));
+                }
+            }
+        }
+        let (levels, path) = match worst {
+            Some((net, c)) => self.walk_path(net, c),
+            None => (0, Vec::new()),
+        };
+        (critical, levels, path)
+    }
+
+    /// Seeds and classes for a constraint set; `legacy` gives every
+    /// structural domain its own synthetic clock index.
+    fn build_seeds(&self, constraints: &TimingConstraints, legacy: bool) -> SeedTable {
+        let mut classes: Vec<LaunchClass> = Vec::new();
+        let mut class_ix: HashMap<LaunchClass, usize> = HashMap::new();
+        let mut intern = |classes: &mut Vec<LaunchClass>, class: LaunchClass| -> usize {
+            *class_ix.entry(class).or_insert_with(|| {
+                classes.push(class);
+                classes.len() - 1
+            })
+        };
+        // The universal class always exists so input-less gates have a
+        // home (legacy parity: their outputs arrive at prim delay).
+        intern(
+            &mut classes,
+            LaunchClass {
+                clock: None,
+                mask: 0,
+            },
+        );
+
+        let mut domain_clock: Vec<(NetId, Option<usize>)> = Vec::new();
+        let clock_of =
+            |domain_clock: &mut Vec<(NetId, Option<usize>)>, root: NetId| -> Option<usize> {
+                if let Some(&(_, c)) = domain_clock.iter().find(|(r, _)| *r == root) {
+                    return c;
+                }
+                let c = if legacy {
+                    Some(domain_clock.len())
+                } else {
+                    constraints
+                        .clocks()
+                        .iter()
+                        .position(|c| clock_pattern_matches(&c.pattern, self.graph.net_name(root)))
+                };
+                domain_clock.push((root, c));
+                c
+            };
+        let from_mask = |name: &str| -> u64 {
+            let mut mask = 0u64;
+            for (i, e) in constraints.exceptions().iter().enumerate() {
+                if pattern_matches(&e.from, name) {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        };
+
+        let mut seeds: Vec<Seed> = Vec::new();
+        let mut seeded = vec![false; self.graph.flat.net_count()];
+        for launch in &self.graph.seq_launches {
+            let clock = clock_of(&mut domain_clock, launch.domain);
+            let class = intern(
+                &mut classes,
+                LaunchClass {
+                    clock,
+                    mask: from_mask(&launch.path),
+                },
+            );
+            for &net in &launch.nets {
+                seeded[net.index()] = true;
+                seeds.push(Seed {
+                    net,
+                    class,
+                    at_ns: self.graph.model.clk_to_q_ns,
+                    name: launch.path.clone(),
+                });
+            }
+        }
+        for (name, nets) in &self.graph.input_ports {
+            for (bit, &net) in nets.iter().enumerate() {
+                let bitname = if nets.len() > 1 {
+                    format!("{name}[{bit}]")
+                } else {
+                    name.clone()
+                };
+                let delay = constraints.input_delays().iter().find(|d| {
+                    pattern_matches(&d.pattern, &bitname) || pattern_matches(&d.pattern, name)
+                });
+                let (clock, at_ns) = match delay {
+                    Some(d) => (
+                        constraints.clocks().iter().position(|c| c.name == d.clock),
+                        d.delay_ns,
+                    ),
+                    None => (None, 0.0),
+                };
+                let class = intern(
+                    &mut classes,
+                    LaunchClass {
+                        clock,
+                        mask: from_mask(&bitname),
+                    },
+                );
+                seeded[net.index()] = true;
+                seeds.push(Seed {
+                    net,
+                    class,
+                    at_ns,
+                    name: bitname,
+                });
+            }
+        }
+        for (path, nets) in &self.graph.bb_launches {
+            let class = intern(
+                &mut classes,
+                LaunchClass {
+                    clock: None,
+                    mask: from_mask(path),
+                },
+            );
+            for &net in nets {
+                if seeded[net.index()] {
+                    continue;
+                }
+                seeded[net.index()] = true;
+                seeds.push(Seed {
+                    net,
+                    class,
+                    at_ns: 0.0,
+                    name: path.clone(),
+                });
+            }
+        }
+        // Everything else without a producer (constants, dangling
+        // wires) arrives at t=0, matching the legacy estimator's
+        // all-zeros initial state.
+        for (i, seeded) in seeded.iter().enumerate().take(self.graph.flat.net_count()) {
+            if *seeded || self.graph.producer[i].is_some() {
+                continue;
+            }
+            let name = self.graph.flat.nets()[i].name.clone();
+            let class = intern(
+                &mut classes,
+                LaunchClass {
+                    clock: None,
+                    mask: from_mask(&name),
+                },
+            );
+            seeds.push(Seed {
+                net: NetId::from_index(i),
+                class,
+                at_ns: 0.0,
+                name,
+            });
+        }
+        (classes, seeds, domain_clock)
+    }
+
+    fn rebuild_seed_index(&mut self) {
+        self.seed_at.clear();
+        for (i, seed) in self.seeds.iter().enumerate() {
+            let key = (seed.net.index() as u32, seed.class as u32);
+            let entry = self.seed_at.entry(key).or_insert((seed.at_ns, i as u32));
+            if seed.at_ns > entry.0 {
+                *entry = (seed.at_ns, i as u32);
+            }
+        }
+    }
+
+    fn propagate(&mut self, constraints: &TimingConstraints, legacy: bool) {
+        let (classes, seeds, domain_clock) = self.build_seeds(constraints, legacy);
+        self.classes = classes;
+        self.seeds = seeds;
+        self.domain_clock = domain_clock;
+        self.constraints = constraints.clone();
+        self.legacy = legacy;
+        self.rebuild_seed_index();
+
+        let nc = self.classes.len();
+        let len = self.graph.flat.net_count() * nc;
+        self.arrival = vec![f64::NEG_INFINITY; len];
+        self.pred = vec![None; len];
+        self.level = vec![0; len];
+        self.required_valid = false;
+        for seed in &self.seeds {
+            let ix = seed.net.index() * nc + seed.class;
+            if seed.at_ns > self.arrival[ix] {
+                self.arrival[ix] = seed.at_ns;
+            }
+        }
+        let order = std::mem::take(&mut self.graph.order);
+        for &ni in &order {
+            self.recompute_node(ni);
+        }
+        self.graph.order = order;
+        self.analyzed = true;
+    }
+
+    /// Recomputes one gate's output arrival in every class from its
+    /// inputs and any static seed; returns whether any value changed.
+    fn recompute_node(&mut self, ni: usize) -> bool {
+        let nc = self.classes.len();
+        let node = &self.graph.nodes[ni];
+        let prim = self.graph.model.prim_delay(&node.kind);
+        let out = node.output.index();
+        let lut = u32::from(node.is_lut_level());
+        let mut any_changed = false;
+        for c in 0..nc {
+            self.work += 1;
+            let mut best = f64::NEG_INFINITY;
+            let mut best_pred = None;
+            let mut best_level = 0u32;
+            for &input in &node.inputs {
+                let a = self.arrival[input.index() * nc + c];
+                if a == f64::NEG_INFINITY {
+                    continue;
+                }
+                let t = a + self.graph.gate_edge_delay(input, node);
+                if t > best {
+                    best = t;
+                    best_pred = Some(input);
+                    best_level = self.level[input.index() * nc + c];
+                }
+            }
+            if node.inputs.is_empty() && c == 0 {
+                // Legacy parity: an input-less gate's output still
+                // arrives at its primitive delay.
+                best = 0.0;
+            }
+            let (mut val, mut pd, mut lv) = if best > f64::NEG_INFINITY {
+                (best + prim, best_pred, best_level + lut)
+            } else {
+                (f64::NEG_INFINITY, None, 0)
+            };
+            if let Some(&(seed, _)) = self.seed_at.get(&(out as u32, c as u32)) {
+                if seed >= val {
+                    val = seed;
+                    pd = None;
+                    lv = 0;
+                }
+            }
+            let ix = out * nc + c;
+            if self.arrival[ix] != val {
+                self.arrival[ix] = val;
+                any_changed = true;
+            }
+            self.pred[ix] = pd;
+            self.level[ix] = lv;
+        }
+        any_changed
+    }
+
+    fn clock_of_domain(&self, domain: NetId) -> Option<usize> {
+        self.domain_clock
+            .iter()
+            .find(|(r, _)| *r == domain)
+            .and_then(|&(_, c)| c)
+    }
+
+    /// Capture clock of an endpoint under the current constraints, or
+    /// `None` when it is unconstrained.
+    fn capture_clock(&self, ep: &super::graph::Endpoint) -> Option<usize> {
+        match ep.kind {
+            EndpointKind::Seq { domain } => self.clock_of_domain(domain),
+            EndpointKind::Output => self
+                .constraints
+                .output_delays()
+                .iter()
+                .find(|d| port_pattern_matches(&d.pattern, &ep.name))
+                .and_then(|d| {
+                    self.constraints
+                        .clocks()
+                        .iter()
+                        .position(|c| c.name == d.clock)
+                }),
+            EndpointKind::BlackBox => None,
+        }
+    }
+
+    fn build_report(&mut self) -> StaReport {
+        let nc = self.classes.len();
+        let mut endpoints: Vec<EndpointSlack> = Vec::new();
+        let mut unconstrained: Vec<String> = Vec::new();
+        // Worst (endpoint net, class) per reported endpoint, for path
+        // reconstruction of the top-K list.
+        let mut worst_key: Vec<(NetId, usize)> = Vec::new();
+
+        for ep in &self.graph.endpoints {
+            let Some(k) = self.capture_clock(ep) else {
+                if !matches!(ep.kind, EndpointKind::BlackBox) {
+                    unconstrained.push(ep.name.clone());
+                }
+                continue;
+            };
+            let clock = &self.constraints.clocks()[k];
+            let output_delay = match ep.kind {
+                EndpointKind::Output => self
+                    .constraints
+                    .output_delays()
+                    .iter()
+                    .find(|d| port_pattern_matches(&d.pattern, &ep.name))
+                    .map_or(0.0, |d| d.delay_ns),
+                _ => 0.0,
+            };
+            let sink = self.graph.edge_delay(ep.net, ep.sink_loc);
+            let mut best: Option<(f64, f64, f64, usize)> = None; // slack, arrival, required, class
+            for (c, class) in self.classes.iter().enumerate() {
+                if !compatible(class.clock, Some(k)) {
+                    continue;
+                }
+                let a = self.arrival[ep.net.index() * nc + c];
+                if a == f64::NEG_INFINITY {
+                    continue;
+                }
+                let data_arrival = a + sink + ep.extra_ns;
+                let mut periods = 1u32;
+                let mut skip = false;
+                for (i, x) in self.constraints.exceptions().iter().enumerate() {
+                    if class.mask & (1 << i) != 0 && pattern_matches(&x.to, &ep.name) {
+                        match x.kind {
+                            ExceptionKind::FalsePath => skip = true,
+                            ExceptionKind::Multicycle(n) => periods = n,
+                        }
+                        break;
+                    }
+                }
+                if skip {
+                    continue;
+                }
+                let required = clock.period_ns * f64::from(periods) - output_delay;
+                let slack = required - data_arrival;
+                if best.is_none_or(|(s, ..)| slack < s) {
+                    best = Some((slack, data_arrival, required, c));
+                }
+            }
+            match best {
+                Some((slack, arrival, required, c)) => {
+                    let startpoint = self.seed_name_at(ep.net, c).unwrap_or_else(|| {
+                        let (_, path) = self.walk_path(ep.net, c);
+                        path.first().cloned().unwrap_or_else(|| "(none)".into())
+                    });
+                    worst_key.push((ep.net, c));
+                    endpoints.push(EndpointSlack {
+                        endpoint: ep.name.clone(),
+                        clock: clock.name.clone(),
+                        slack_ns: slack,
+                        arrival_ns: arrival,
+                        required_ns: required,
+                        startpoint,
+                    });
+                }
+                None => {
+                    // Constrained but nothing launches into it (e.g.
+                    // every path is a false path): meets timing by
+                    // construction, reported with bare sink arrival.
+                    let data_arrival = sink + ep.extra_ns;
+                    worst_key.push((ep.net, 0));
+                    endpoints.push(EndpointSlack {
+                        endpoint: ep.name.clone(),
+                        clock: clock.name.clone(),
+                        slack_ns: clock.period_ns - output_delay - data_arrival,
+                        arrival_ns: data_arrival,
+                        required_ns: clock.period_ns - output_delay,
+                        startpoint: "(none)".into(),
+                    });
+                }
+            }
+        }
+
+        // Sort worst-first, carrying the path keys along.
+        let mut idx: Vec<usize> = (0..endpoints.len()).collect();
+        idx.sort_by(|&a, &b| {
+            endpoints[a]
+                .slack_ns
+                .partial_cmp(&endpoints[b].slack_ns)
+                .expect("finite slack")
+                .then_with(|| endpoints[a].endpoint.cmp(&endpoints[b].endpoint))
+        });
+        let endpoints: Vec<EndpointSlack> = idx.iter().map(|&i| endpoints[i].clone()).collect();
+        let worst_key: Vec<(NetId, usize)> = idx.iter().map(|&i| worst_key[i]).collect();
+        unconstrained.sort();
+        unconstrained.dedup();
+
+        let clocks: Vec<ClockSlack> = self
+            .constraints
+            .clocks()
+            .iter()
+            .map(|c| {
+                let mut count = 0usize;
+                let mut violations = 0usize;
+                let mut worst = f64::INFINITY;
+                for e in endpoints.iter().filter(|e| e.clock == c.name) {
+                    count += 1;
+                    if e.slack_ns < 0.0 {
+                        violations += 1;
+                    }
+                    worst = worst.min(e.slack_ns);
+                }
+                ClockSlack {
+                    clock: c.name.clone(),
+                    period_ns: c.period_ns,
+                    endpoints: count,
+                    violations,
+                    worst_slack_ns: worst,
+                }
+            })
+            .collect();
+
+        let paths: Vec<PathReport> = endpoints
+            .iter()
+            .zip(&worst_key)
+            .take(TOP_PATHS)
+            .map(|(e, &(net, c))| {
+                let levels = self.level[net.index() * nc + c] as usize;
+                let mut nets = Vec::new();
+                let mut cur = net;
+                loop {
+                    nets.push(cur);
+                    match self.pred[cur.index() * nc + c] {
+                        Some(p) => cur = p,
+                        None => break,
+                    }
+                }
+                nets.reverse();
+                let steps = nets
+                    .iter()
+                    .map(|&n| PathStep {
+                        net: self.graph.net_name(n).to_owned(),
+                        arrival_ns: self.arrival[n.index() * nc + c],
+                    })
+                    .collect();
+                PathReport {
+                    endpoint: e.endpoint.clone(),
+                    startpoint: e.startpoint.clone(),
+                    clock: e.clock.clone(),
+                    slack_ns: e.slack_ns,
+                    levels,
+                    steps,
+                }
+            })
+            .collect();
+
+        StaReport {
+            design: self.graph.flat.design_name().to_owned(),
+            clocks,
+            endpoints,
+            unconstrained,
+            paths,
+        }
+    }
+
+    /// Follows the predecessor chain of `(net, class)` back to its
+    /// launch, returning (levels, net names source→endpoint).
+    fn walk_path(&self, net: NetId, class: usize) -> (usize, Vec<String>) {
+        let nc = self.classes.len();
+        let levels = self.level[net.index() * nc + class] as usize;
+        let mut path = Vec::new();
+        let mut cur = net;
+        loop {
+            path.push(self.graph.net_name(cur).to_owned());
+            match self.pred[cur.index() * nc + class] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        path.reverse();
+        (levels, path)
+    }
+
+    /// Startpoint object name of the path into `(net, class)`: the seed
+    /// name at the head of the predecessor chain, if seeded.
+    fn seed_name_at(&self, net: NetId, class: usize) -> Option<String> {
+        let nc = self.classes.len();
+        let mut cur = net;
+        while let Some(p) = self.pred[cur.index() * nc + class] {
+            cur = p;
+        }
+        self.seed_at
+            .get(&(cur.index() as u32, class as u32))
+            .map(|&(_, i)| self.seeds[i as usize].name.clone())
+    }
+
+    /// Computes backward required times once per analysis (lazily).
+    fn ensure_required(&mut self) {
+        if self.required_valid {
+            return;
+        }
+        let nc = self.classes.len();
+        let len = self.graph.flat.net_count() * nc;
+        self.required = vec![f64::INFINITY; len];
+        for ep in &self.graph.endpoints {
+            let Some(k) = self.capture_clock(ep) else {
+                continue;
+            };
+            let clock = &self.constraints.clocks()[k];
+            let output_delay = match ep.kind {
+                EndpointKind::Output => self
+                    .constraints
+                    .output_delays()
+                    .iter()
+                    .find(|d| port_pattern_matches(&d.pattern, &ep.name))
+                    .map_or(0.0, |d| d.delay_ns),
+                _ => 0.0,
+            };
+            let sink = self.graph.edge_delay(ep.net, ep.sink_loc);
+            for (c, class) in self.classes.iter().enumerate() {
+                if !compatible(class.clock, Some(k)) {
+                    continue;
+                }
+                let mut periods = 1u32;
+                let mut skip = false;
+                for (i, x) in self.constraints.exceptions().iter().enumerate() {
+                    if class.mask & (1 << i) != 0 && pattern_matches(&x.to, &ep.name) {
+                        match x.kind {
+                            ExceptionKind::FalsePath => skip = true,
+                            ExceptionKind::Multicycle(n) => periods = n,
+                        }
+                        break;
+                    }
+                }
+                if skip {
+                    continue;
+                }
+                let req = clock.period_ns * f64::from(periods) - output_delay - sink - ep.extra_ns;
+                let ix = ep.net.index() * nc + c;
+                self.required[ix] = self.required[ix].min(req);
+            }
+        }
+        let order = std::mem::take(&mut self.graph.order);
+        for &ni in order.iter().rev() {
+            let node = &self.graph.nodes[ni];
+            let prim = self.graph.model.prim_delay(&node.kind);
+            let out = node.output.index();
+            for c in 0..nc {
+                let r = self.required[out * nc + c];
+                if r == f64::INFINITY {
+                    continue;
+                }
+                for &input in &node.inputs {
+                    let cand = r - prim - self.graph.gate_edge_delay(input, node);
+                    let ix = input.index() * nc + c;
+                    self.required[ix] = self.required[ix].min(cand);
+                }
+            }
+        }
+        self.graph.order = order;
+        self.required_valid = true;
+    }
+}
+
+/// Port-delay patterns match the endpoint's bit name (`product[11]`)
+/// or its plain port name (`product`) — mirroring how input delays
+/// match either form in `build_seeds`.
+fn port_pattern_matches(pattern: &str, ep_name: &str) -> bool {
+    pattern_matches(pattern, ep_name)
+        || ep_name
+            .rsplit_once('[')
+            .is_some_and(|(base, _)| pattern_matches(pattern, base))
+}
+
+/// A launch clocked by `launch` reaches a capture clocked by `capture`
+/// iff the launch is unclocked (absolute-time data) or same-domain.
+fn compatible(launch: Option<usize>, capture: Option<usize>) -> bool {
+    match launch {
+        None => true,
+        Some(l) => capture == Some(l),
+    }
+}
+
+/// `true` when two constraint sets differ only in *values* (periods,
+/// delay amounts), preserving classes and seed order — the contract
+/// [`Sta::reanalyze`] needs for its positional seed diff.
+fn same_shape(a: &TimingConstraints, b: &TimingConstraints) -> bool {
+    a.clocks().len() == b.clocks().len()
+        && a.clocks()
+            .iter()
+            .zip(b.clocks())
+            .all(|(x, y)| x.name == y.name && x.pattern == y.pattern)
+        && a.input_delays().len() == b.input_delays().len()
+        && a.input_delays()
+            .iter()
+            .zip(b.input_delays())
+            .all(|(x, y)| x.clock == y.clock && x.pattern == y.pattern)
+        && a.output_delays().len() == b.output_delays().len()
+        && a.output_delays()
+            .iter()
+            .zip(b.output_delays())
+            .all(|(x, y)| x.clock == y.clock && x.pattern == y.pattern)
+        && a.exceptions() == b.exceptions()
+}

@@ -1,0 +1,472 @@
+//! The timing graph: combinational gate nodes over flat nets, plus the
+//! launch (startpoint) and capture (endpoint) structure the propagation
+//! engine needs.
+//!
+//! Node construction deliberately mirrors the historical single-path
+//! estimator gate for gate — same endpoint selection, same
+//! clock-to-q/read-node modelling of SRL/RAM leaves, same level
+//! accounting — so the STA-derived [`crate::TimingReport`] stays
+//! bit-compatible with the old algorithm on purely combinational
+//! designs (proven by a differential oracle test in `timing.rs`).
+
+use ipd_hdl::{FlatKind, FlatNetlist, NetId, PortDir, Rloc};
+use ipd_techlib::{DelayModel, PrimClass, PrimKind};
+
+use crate::error::EstimateError;
+
+/// One combinational gate: a primitive, or the async read port of an
+/// SRL/RAM leaf (address → output).
+pub(crate) struct GateNode {
+    pub kind: PrimKind,
+    pub inputs: Vec<NetId>,
+    pub output: NetId,
+    pub loc: Option<Rloc>,
+}
+
+impl GateNode {
+    /// Whether traversing this gate adds a logic level (carry-chain
+    /// elements and buffers do not, matching the legacy estimator).
+    pub fn is_lut_level(&self) -> bool {
+        !matches!(
+            self.kind,
+            PrimKind::Muxcy | PrimKind::Xorcy | PrimKind::MultAnd | PrimKind::Buf
+        )
+    }
+}
+
+/// What captures data at an endpoint.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EndpointKind {
+    /// A sequential data-side pin; `domain` is the structural clock
+    /// root net of the capturing element.
+    Seq { domain: NetId },
+    /// A primary output port bit.
+    Output,
+    /// A black-box input pin (internals unknown; never constrained).
+    BlackBox,
+}
+
+/// A capture point: where a timed path ends.
+pub(crate) struct Endpoint {
+    pub net: NetId,
+    /// Extra sink delay (setup time for sequential pins).
+    pub extra_ns: f64,
+    pub sink_loc: Option<Rloc>,
+    /// `instance.pin` for sequential/black-box pins, port name for
+    /// outputs — the object timing waivers and `to` patterns match.
+    pub name: String,
+    pub kind: EndpointKind,
+}
+
+/// A sequential element's output side: nets launching at clock-to-q in
+/// the element's clock domain.
+pub(crate) struct SeqLaunch {
+    pub nets: Vec<NetId>,
+    pub domain: NetId,
+    pub path: String,
+}
+
+/// The levelized combinational graph plus boundary structure.
+pub(crate) struct TimingGraph<'a> {
+    pub flat: &'a FlatNetlist,
+    pub model: DelayModel,
+    pub nodes: Vec<GateNode>,
+    /// Node indices in dataflow (topological) order.
+    pub order: Vec<usize>,
+    /// Position of each node within `order` (for incremental worklists).
+    pub node_pos: Vec<usize>,
+    /// Net → producing node index.
+    pub producer: Vec<Option<usize>>,
+    /// Net → node indices reading it.
+    pub net_readers: Vec<Vec<u32>>,
+    pub fanout: Vec<usize>,
+    pub driver_loc: Vec<Option<Rloc>>,
+    /// Net → driven by a carry-chain element (MUXCY/XORCY/MULT_AND);
+    /// a carry-driven net feeding another carry element rides the
+    /// dedicated carry route instead of general fabric.
+    pub driver_carry: Vec<bool>,
+    pub endpoints: Vec<Endpoint>,
+    pub seq_launches: Vec<SeqLaunch>,
+    /// Primary input ports: (name, bit nets).
+    pub input_ports: Vec<(String, Vec<NetId>)>,
+    /// Black-box output launches: (instance path, nets).
+    pub bb_launches: Vec<(String, Vec<NetId>)>,
+    pub placed_fraction: f64,
+}
+
+impl<'a> TimingGraph<'a> {
+    /// Builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// Unknown primitives and combinational loops fail, exactly as in
+    /// the legacy estimator.
+    pub fn build(flat: &'a FlatNetlist, model: &DelayModel) -> Result<Self, EstimateError> {
+        let net_count = flat.net_count();
+        let mut driver_loc: Vec<Option<Rloc>> = vec![None; net_count];
+        let mut driver_carry = vec![false; net_count];
+        let mut fanout = vec![0usize; net_count];
+        for (net, readers) in flat.readers().iter().enumerate() {
+            fanout[net] = readers.len();
+        }
+
+        let mut nodes: Vec<GateNode> = Vec::new();
+        let mut endpoints: Vec<Endpoint> = Vec::new();
+        let mut seq_launches: Vec<SeqLaunch> = Vec::new();
+        let mut bb_launches: Vec<(String, Vec<NetId>)> = Vec::new();
+        // Clock pins to resolve into domains once the producer table
+        // exists: (seq_launches index, endpoint range, clock net).
+        let mut pending_domains: Vec<(usize, std::ops::Range<usize>, NetId)> = Vec::new();
+        let mut placed = 0usize;
+        let mut total_leaves = 0usize;
+
+        for leaf in flat.leaves() {
+            total_leaves += 1;
+            if leaf.loc.is_some() {
+                placed += 1;
+            }
+            match &leaf.kind {
+                FlatKind::BlackBox(_) => {
+                    let mut outs = Vec::new();
+                    for conn in &leaf.conns {
+                        match conn.dir {
+                            PortDir::Input => {
+                                for (bit, &n) in conn.nets.iter().enumerate() {
+                                    endpoints.push(Endpoint {
+                                        net: n,
+                                        extra_ns: 0.0,
+                                        sink_loc: leaf.loc,
+                                        name: pin_name(
+                                            &leaf.path,
+                                            &conn.port,
+                                            bit,
+                                            conn.nets.len(),
+                                        ),
+                                        kind: EndpointKind::BlackBox,
+                                    });
+                                }
+                            }
+                            _ => {
+                                for &n in &conn.nets {
+                                    driver_loc[n.index()] = leaf.loc;
+                                    outs.push(n);
+                                }
+                            }
+                        }
+                    }
+                    bb_launches.push((leaf.path.clone(), outs));
+                }
+                FlatKind::Primitive(p) => {
+                    let kind = PrimKind::from_primitive(p)?;
+                    match kind.class() {
+                        PrimClass::Comb | PrimClass::Rom16 => {
+                            let mut inputs = Vec::new();
+                            let mut output = None;
+                            for conn in &leaf.conns {
+                                match conn.dir {
+                                    PortDir::Input => inputs.extend(conn.nets.iter().copied()),
+                                    _ => output = conn.nets.first().copied(),
+                                }
+                            }
+                            if let Some(output) = output {
+                                driver_loc[output.index()] = leaf.loc;
+                                driver_carry[output.index()] = kind.is_carry();
+                                nodes.push(GateNode {
+                                    kind,
+                                    inputs,
+                                    output,
+                                    loc: leaf.loc,
+                                });
+                            }
+                        }
+                        PrimClass::Const(_) => {
+                            for conn in &leaf.conns {
+                                if conn.dir != PortDir::Input {
+                                    for &n in &conn.nets {
+                                        driver_loc[n.index()] = leaf.loc;
+                                    }
+                                }
+                            }
+                        }
+                        PrimClass::Ff { .. } => {
+                            let mut clock = None;
+                            let mut outs = Vec::new();
+                            let ep_start = endpoints.len();
+                            for conn in &leaf.conns {
+                                match (conn.port.as_str(), conn.dir) {
+                                    ("c", _) => clock = conn.nets.first().copied(),
+                                    (_, PortDir::Input) => {
+                                        for (bit, &n) in conn.nets.iter().enumerate() {
+                                            endpoints.push(Endpoint {
+                                                net: n,
+                                                extra_ns: model.setup_ns,
+                                                sink_loc: leaf.loc,
+                                                name: pin_name(
+                                                    &leaf.path,
+                                                    &conn.port,
+                                                    bit,
+                                                    conn.nets.len(),
+                                                ),
+                                                kind: EndpointKind::Seq {
+                                                    domain: NetId::from_index(0),
+                                                },
+                                            });
+                                        }
+                                    }
+                                    (_, _) => {
+                                        for &n in &conn.nets {
+                                            driver_loc[n.index()] = leaf.loc;
+                                            outs.push(n);
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(clock) = clock {
+                                pending_domains.push((
+                                    seq_launches.len(),
+                                    ep_start..endpoints.len(),
+                                    clock,
+                                ));
+                                seq_launches.push(SeqLaunch {
+                                    nets: outs,
+                                    domain: clock,
+                                    path: leaf.path.clone(),
+                                });
+                            }
+                        }
+                        PrimClass::Srl16 | PrimClass::Ram16 => {
+                            let mut clock = None;
+                            let mut addr = Vec::new();
+                            let mut out_net = None;
+                            let ep_start = endpoints.len();
+                            for conn in &leaf.conns {
+                                match (conn.port.as_str(), conn.dir) {
+                                    ("c", _) => clock = conn.nets.first().copied(),
+                                    ("a", _) => addr = conn.nets.clone(),
+                                    (_, PortDir::Input) => {
+                                        for (bit, &n) in conn.nets.iter().enumerate() {
+                                            endpoints.push(Endpoint {
+                                                net: n,
+                                                extra_ns: model.setup_ns,
+                                                sink_loc: leaf.loc,
+                                                name: pin_name(
+                                                    &leaf.path,
+                                                    &conn.port,
+                                                    bit,
+                                                    conn.nets.len(),
+                                                ),
+                                                kind: EndpointKind::Seq {
+                                                    domain: NetId::from_index(0),
+                                                },
+                                            });
+                                        }
+                                    }
+                                    (_, _) => out_net = conn.nets.first().copied(),
+                                }
+                            }
+                            if let Some(output) = out_net {
+                                driver_loc[output.index()] = leaf.loc;
+                                // State launches at clock-to-q; the
+                                // address path reads through the node.
+                                nodes.push(GateNode {
+                                    kind,
+                                    inputs: addr,
+                                    output,
+                                    loc: leaf.loc,
+                                });
+                                if let Some(clock) = clock {
+                                    pending_domains.push((
+                                        seq_launches.len(),
+                                        ep_start..endpoints.len(),
+                                        clock,
+                                    ));
+                                    seq_launches.push(SeqLaunch {
+                                        nets: vec![output],
+                                        domain: clock,
+                                        path: leaf.path.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut input_ports = Vec::new();
+        for port in flat.ports() {
+            match port.dir {
+                PortDir::Output => {
+                    for (bit, &n) in port.nets.iter().enumerate() {
+                        endpoints.push(Endpoint {
+                            net: n,
+                            extra_ns: 0.0,
+                            sink_loc: None,
+                            name: bit_name(&port.name, bit, port.nets.len()),
+                            kind: EndpointKind::Output,
+                        });
+                    }
+                }
+                _ => input_ports.push((port.name.clone(), port.nets.clone())),
+            }
+        }
+
+        let mut producer: Vec<Option<usize>> = vec![None; net_count];
+        for (i, n) in nodes.iter().enumerate() {
+            producer[n.output.index()] = Some(i);
+        }
+        let mut net_readers: Vec<Vec<u32>> = vec![Vec::new(); net_count];
+        for (i, n) in nodes.iter().enumerate() {
+            for input in &n.inputs {
+                net_readers[input.index()].push(i as u32);
+            }
+        }
+
+        let order =
+            topo_order(&nodes, &producer).map_err(|net| EstimateError::CombinationalLoop {
+                net: flat.nets()[net.index()].name.clone(),
+            })?;
+        let mut node_pos = vec![0usize; nodes.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            node_pos[i] = pos;
+        }
+
+        let mut graph = TimingGraph {
+            flat,
+            model: model.clone(),
+            nodes,
+            order,
+            node_pos,
+            producer,
+            net_readers,
+            fanout,
+            driver_loc,
+            driver_carry,
+            endpoints,
+            seq_launches,
+            input_ports,
+            bb_launches,
+            placed_fraction: if total_leaves == 0 {
+                0.0
+            } else {
+                placed as f64 / total_leaves as f64
+            },
+        };
+        // Resolve clock pins to structural domain roots now that the
+        // producer table exists.
+        for (launch, eps, clock) in pending_domains {
+            let domain = graph.clock_root(clock);
+            graph.seq_launches[launch].domain = domain;
+            for ep in eps {
+                graph.endpoints[ep].kind = EndpointKind::Seq { domain };
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Follows buffer chains (`buf`/`bufg`/`ibuf`) backwards to the
+    /// canonical clock source net, matching `ipd-lint`'s domain rule.
+    pub fn clock_root(&self, mut net: NetId) -> NetId {
+        let mut hops = 0usize;
+        while let Some(pi) = self.producer[net.index()] {
+            let node = &self.nodes[pi];
+            let through_buffer =
+                matches!(node.kind, PrimKind::Buf | PrimKind::Bufg | PrimKind::Ibuf);
+            if !through_buffer || hops > self.flat.net_count() {
+                break;
+            }
+            net = node.inputs[0];
+            hops += 1;
+        }
+        net
+    }
+
+    /// Routing delay from a net's driver to a non-carry sink at
+    /// `to_loc` (endpoints: FF data pins, output ports, black boxes).
+    pub fn edge_delay(&self, from: NetId, to_loc: Option<Rloc>) -> f64 {
+        self.model.net_delay_edge(
+            self.driver_loc[from.index()],
+            to_loc,
+            self.fanout[from.index()],
+            false,
+        )
+    }
+
+    /// Routing delay from a net's driver into a gate node, using the
+    /// dedicated carry route for carry-to-carry hops.
+    pub fn gate_edge_delay(&self, from: NetId, node: &GateNode) -> f64 {
+        self.model.net_delay_edge(
+            self.driver_loc[from.index()],
+            node.loc,
+            self.fanout[from.index()],
+            self.driver_carry[from.index()] && node.kind.is_carry(),
+        )
+    }
+
+    /// Representative name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.flat.nets()[net.index()].name
+    }
+}
+
+/// `pin` bit of a multi-bit connection on `path`, e.g. `u0/acc.d[3]`.
+fn pin_name(path: &str, port: &str, bit: usize, width: usize) -> String {
+    if width > 1 {
+        format!("{path}.{port}[{bit}]")
+    } else {
+        format!("{path}.{port}")
+    }
+}
+
+/// Port-bit object name, e.g. `p` or `p[3]`.
+fn bit_name(name: &str, bit: usize, width: usize) -> String {
+    if width > 1 {
+        format!("{name}[{bit}]")
+    } else {
+        name.to_owned()
+    }
+}
+
+/// Kahn topological sort over gate nodes; `Err(net)` names a net on a
+/// combinational cycle.
+fn topo_order(nodes: &[GateNode], producer: &[Option<usize>]) -> Result<Vec<usize>, NetId> {
+    let mut indeg = vec![0usize; nodes.len()];
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        for input in &n.inputs {
+            if let Some(p) = producer[input.index()] {
+                if p != i {
+                    indeg[i] += 1;
+                    consumers[p].push(i);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &c in &consumers[i] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let mut emitted = vec![false; nodes.len()];
+        for &i in &order {
+            emitted[i] = true;
+        }
+        let cyclic = (0..nodes.len())
+            .find(|i| !emitted[*i])
+            .expect("cycle exists");
+        return Err(nodes[cyclic].output);
+    }
+    Ok(order)
+}

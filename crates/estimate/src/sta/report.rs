@@ -1,0 +1,477 @@
+//! STA result types: per-endpoint slack, per-clock rollups, critical
+//! paths, slack histograms, and the structure-hiding summary a vendor
+//! can expose to customers without revealing the netlist.
+
+use std::fmt;
+
+/// Histogram bucket edges in nanoseconds of slack. Counts have one more
+/// entry than edges: `(-inf, -5), [-5, -2), …, [10, +inf)`.
+pub const HISTOGRAM_EDGES_NS: [f64; 8] = [-5.0, -2.0, -1.0, 0.0, 1.0, 2.0, 5.0, 10.0];
+
+/// Setup-check result for one endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointSlack {
+    /// Endpoint object name (`instance.pin` or output port bit).
+    pub endpoint: String,
+    /// Name of the capturing clock constraint.
+    pub clock: String,
+    /// Required time minus data arrival; negative means a violation.
+    pub slack_ns: f64,
+    /// Data arrival time at the endpoint, including setup.
+    pub arrival_ns: f64,
+    /// Required time (period × multicycle factor, minus output delay).
+    pub required_ns: f64,
+    /// Startpoint launching the worst path into this endpoint.
+    pub startpoint: String,
+}
+
+/// One net along a reported critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Net name.
+    pub net: String,
+    /// Arrival time at the net, in nanoseconds.
+    pub arrival_ns: f64,
+}
+
+/// A hierarchical report of one critical path, worst endpoint first in
+/// [`StaReport::paths`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    /// Endpoint object name.
+    pub endpoint: String,
+    /// Startpoint object name.
+    pub startpoint: String,
+    /// Capturing clock.
+    pub clock: String,
+    /// Slack at the endpoint.
+    pub slack_ns: f64,
+    /// Logic levels traversed.
+    pub levels: usize,
+    /// Nets from launch to capture with arrival times.
+    pub steps: Vec<PathStep>,
+}
+
+/// Per-clock slack rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSlack {
+    /// Clock constraint name.
+    pub clock: String,
+    /// Clock period in nanoseconds.
+    pub period_ns: f64,
+    /// Number of endpoints captured by this clock.
+    pub endpoints: usize,
+    /// Endpoints with negative slack.
+    pub violations: usize,
+    /// Worst (smallest) slack; `f64::INFINITY` when no endpoint is
+    /// captured.
+    pub worst_slack_ns: f64,
+}
+
+/// Slack distribution for one clock over [`HISTOGRAM_EDGES_NS`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackHistogram {
+    /// Clock constraint name.
+    pub clock: String,
+    /// Bucket edges (shared constant, repeated for self-description).
+    pub edges: Vec<f64>,
+    /// Bucket counts, `edges.len() + 1` entries.
+    pub counts: Vec<usize>,
+}
+
+impl SlackHistogram {
+    /// Builds a histogram over the standard edges from endpoint slacks.
+    #[must_use]
+    pub fn from_slacks(clock: impl Into<String>, slacks: &[f64]) -> Self {
+        let edges: Vec<f64> = HISTOGRAM_EDGES_NS.to_vec();
+        let mut counts = vec![0usize; edges.len() + 1];
+        for &s in slacks {
+            let bucket = edges.iter().position(|&e| s < e).unwrap_or(edges.len());
+            counts[bucket] += 1;
+        }
+        SlackHistogram {
+            clock: clock.into(),
+            edges,
+            counts,
+        }
+    }
+
+    /// Total endpoints counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+impl fmt::Display for SlackHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  slack histogram [{}]:", self.clock)?;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let label = if i == 0 {
+                format!("      < {:>5.1}", self.edges[0])
+            } else if i == self.edges.len() {
+                format!("     >= {:>5.1}", self.edges[i - 1])
+            } else {
+                format!("{:>5.1}..{:>5.1}", self.edges[i - 1], self.edges[i])
+            };
+            let bar = "#".repeat((count * 40).div_ceil(max).min(40));
+            writeln!(f, "    {label} ns |{bar} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full constraint-evaluated STA report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// Design name.
+    pub design: String,
+    /// Per-clock rollups, one per defined clock.
+    pub clocks: Vec<ClockSlack>,
+    /// Every constrained endpoint, sorted worst slack first.
+    pub endpoints: Vec<EndpointSlack>,
+    /// Endpoints no constraint covers (object names).
+    pub unconstrained: Vec<String>,
+    /// Top-K critical paths, worst first.
+    pub paths: Vec<PathReport>,
+}
+
+impl StaReport {
+    /// Number of endpoints with negative slack.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.endpoints.iter().filter(|e| e.slack_ns < 0.0).count()
+    }
+
+    /// Worst slack across all endpoints, if any endpoint is timed.
+    #[must_use]
+    pub fn worst_slack(&self) -> Option<f64> {
+        self.endpoints.first().map(|e| e.slack_ns)
+    }
+
+    /// `true` when every constrained endpoint meets timing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Per-clock slack histograms (clocks with no endpoints omitted).
+    #[must_use]
+    pub fn histograms(&self) -> Vec<SlackHistogram> {
+        self.clocks
+            .iter()
+            .filter(|c| c.endpoints > 0)
+            .map(|c| {
+                let slacks: Vec<f64> = self
+                    .endpoints
+                    .iter()
+                    .filter(|e| e.clock == c.clock)
+                    .map(|e| e.slack_ns)
+                    .collect();
+                SlackHistogram::from_slacks(c.clock.clone(), &slacks)
+            })
+            .collect()
+    }
+
+    /// One-line rollup, e.g.
+    /// `sta: 2 violation(s), worst slack -0.83 ns, 37 endpoint(s), 1 unconstrained`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let worst = match self.worst_slack() {
+            Some(w) => format!("{w:.2} ns"),
+            None => "n/a".to_owned(),
+        };
+        format!(
+            "sta: {} violation(s), worst slack {worst}, {} endpoint(s), {} unconstrained",
+            self.violations(),
+            self.endpoints.len(),
+            self.unconstrained.len()
+        )
+    }
+
+    /// The structure-hiding summary for `TimingView`-only sessions: per-
+    /// clock rollups and histograms, but no hierarchical names.
+    #[must_use]
+    pub fn slack_summary(&self) -> SlackSummary {
+        SlackSummary {
+            design: self.design.clone(),
+            clocks: self.clocks.clone(),
+            unconstrained: self.unconstrained.len(),
+            histograms: self.histograms(),
+        }
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled; no dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"design\":\"{}\",\"violations\":{},\"clocks\":[",
+            json_escape(&self.design),
+            self.violations()
+        ));
+        for (i, c) in self.clocks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"clock\":\"{}\",\"period_ns\":{},\"endpoints\":{},\"violations\":{},\"worst_slack_ns\":{}}}",
+                json_escape(&c.clock),
+                json_number(c.period_ns),
+                c.endpoints,
+                c.violations,
+                json_number(c.worst_slack_ns)
+            ));
+        }
+        s.push_str("],\"endpoints\":[");
+        for (i, e) in self.endpoints.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"endpoint\":\"{}\",\"clock\":\"{}\",\"slack_ns\":{},\"arrival_ns\":{},\"required_ns\":{},\"startpoint\":\"{}\"}}",
+                json_escape(&e.endpoint),
+                json_escape(&e.clock),
+                json_number(e.slack_ns),
+                json_number(e.arrival_ns),
+                json_number(e.required_ns),
+                json_escape(&e.startpoint)
+            ));
+        }
+        s.push_str("],\"unconstrained\":[");
+        for (i, u) in self.unconstrained.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", json_escape(u)));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for StaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — {}", self.design, self.summary())?;
+        for c in &self.clocks {
+            let worst = if c.endpoints == 0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.2} ns", c.worst_slack_ns)
+            };
+            writeln!(
+                f,
+                "  clock {} (period {:.3} ns): {} endpoint(s), {} violation(s), worst slack {worst}",
+                c.clock, c.period_ns, c.endpoints, c.violations
+            )?;
+        }
+        for h in self.histograms() {
+            write!(f, "{h}")?;
+        }
+        for p in &self.paths {
+            writeln!(
+                f,
+                "  path {} -> {} [{}]: slack {:.2} ns, {} level(s)",
+                p.startpoint, p.endpoint, p.clock, p.slack_ns, p.levels
+            )?;
+            for step in &p.steps {
+                writeln!(f, "    {:>8.2} ns  {}", step.arrival_ns, step.net)?;
+            }
+        }
+        if !self.unconstrained.is_empty() {
+            writeln!(f, "  unconstrained endpoint(s):")?;
+            for u in &self.unconstrained {
+                writeln!(f, "    {u}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structure-hiding slack summary: what a `TimingView`-only applet
+/// session (and wire endpoint 0x25) exposes — aggregate numbers and
+/// histograms, no instance or net names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackSummary {
+    /// Design name.
+    pub design: String,
+    /// Per-clock rollups.
+    pub clocks: Vec<ClockSlack>,
+    /// Count of unconstrained endpoints (names withheld).
+    pub unconstrained: usize,
+    /// Per-clock slack histograms.
+    pub histograms: Vec<SlackHistogram>,
+}
+
+impl SlackSummary {
+    /// Total violations across clocks.
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.clocks.iter().map(|c| c.violations).sum()
+    }
+
+    /// Worst slack across clocks that capture endpoints.
+    #[must_use]
+    pub fn worst_slack(&self) -> Option<f64> {
+        self.clocks
+            .iter()
+            .filter(|c| c.endpoints > 0)
+            .map(|c| c.worst_slack_ns)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite slack"))
+    }
+}
+
+impl fmt::Display for SlackSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} violation(s), {} unconstrained endpoint(s)",
+            self.design,
+            self.violations(),
+            self.unconstrained
+        )?;
+        for c in &self.clocks {
+            let worst = if c.endpoints == 0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.2} ns", c.worst_slack_ns)
+            };
+            writeln!(
+                f,
+                "  clock {} (period {:.3} ns): {} endpoint(s), {} violation(s), worst slack {worst}",
+                c.clock, c.period_ns, c.endpoints, c.violations
+            )?;
+        }
+        for h in &self.histograms {
+            write!(f, "{h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// JSON number rendering that survives infinities (mapped to ±1e308).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else if x > 0.0 {
+        "1e308".to_owned()
+    } else {
+        "-1e308".to_owned()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StaReport {
+        StaReport {
+            design: "demo".into(),
+            clocks: vec![ClockSlack {
+                clock: "sys".into(),
+                period_ns: 6.667,
+                endpoints: 3,
+                violations: 1,
+                worst_slack_ns: -0.5,
+            }],
+            endpoints: vec![
+                EndpointSlack {
+                    endpoint: "u0/acc.d".into(),
+                    clock: "sys".into(),
+                    slack_ns: -0.5,
+                    arrival_ns: 7.167,
+                    required_ns: 6.667,
+                    startpoint: "u0/pipe".into(),
+                },
+                EndpointSlack {
+                    endpoint: "u0/acc.ce".into(),
+                    clock: "sys".into(),
+                    slack_ns: 1.2,
+                    arrival_ns: 5.467,
+                    required_ns: 6.667,
+                    startpoint: "ctl".into(),
+                },
+                EndpointSlack {
+                    endpoint: "p[0]".into(),
+                    clock: "sys".into(),
+                    slack_ns: 3.0,
+                    arrival_ns: 3.667,
+                    required_ns: 6.667,
+                    startpoint: "x[0]".into(),
+                },
+            ],
+            unconstrained: vec!["y[0]".into()],
+            paths: vec![],
+        }
+    }
+
+    #[test]
+    fn rollups_and_histogram() {
+        let r = sample();
+        assert_eq!(r.violations(), 1);
+        assert_eq!(r.worst_slack(), Some(-0.5));
+        assert!(!r.is_clean());
+        let hists = r.histograms();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].total(), 3);
+        // -0.5 lands in [-1, 0), 1.2 in [1, 2), 3.0 in [2, 5).
+        assert_eq!(hists[0].counts[3], 1);
+        assert_eq!(hists[0].counts[5], 1);
+        assert_eq!(hists[0].counts[6], 1);
+    }
+
+    #[test]
+    fn summary_and_display() {
+        let r = sample();
+        assert!(r.summary().contains("1 violation(s)"));
+        assert!(r.summary().contains("-0.50 ns"));
+        let text = r.to_string();
+        assert!(text.contains("clock sys"));
+        assert!(text.contains("slack histogram"));
+        let s = r.slack_summary();
+        assert_eq!(s.violations(), 1);
+        assert_eq!(s.worst_slack(), Some(-0.5));
+        assert_eq!(s.unconstrained, 1);
+        assert!(s.to_string().contains("clock sys"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let mut r = sample();
+        r.endpoints[0].endpoint = "we\"ird\n".into();
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\\\"ird\\n"));
+        assert!(json.contains("\"violations\":1"));
+        assert!(json.contains("\"worst_slack_ns\":-0.5"));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = SlackHistogram::from_slacks("c", &[-100.0, 100.0, f64::INFINITY]);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[HISTOGRAM_EDGES_NS.len()], 2);
+        assert_eq!(h.total(), 3);
+        assert!(h.to_string().contains('#'));
+    }
+}

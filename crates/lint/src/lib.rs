@@ -60,8 +60,9 @@ pub mod passes;
 mod report;
 
 pub use config::{LintConfig, LintLevel, Waiver};
+pub use ipd_estimate::TimingConstraints;
 pub use ipd_hdl::Severity;
 pub use model::{CombNode, LintModel, SeqElem};
 pub use pass::{default_passes, lint, rule_catalog, Linter, Pass, PassCtx, RuleInfo};
-pub use passes::x_reachable;
+pub use passes::{x_reachable, TimingPass};
 pub use report::{LintDiag, LintReport};

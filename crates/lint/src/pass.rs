@@ -3,7 +3,9 @@
 //! [`Linter`] driver that builds one [`LintModel`] and runs every pass
 //! over it.
 
+use ipd_estimate::TimingConstraints;
 use ipd_hdl::{Circuit, FlatNetlist, Severity};
+use ipd_techlib::DelayModel;
 
 use crate::config::LintConfig;
 use crate::model::LintModel;
@@ -114,6 +116,20 @@ impl Linter {
         }
     }
 
+    /// A linter with all built-in passes plus a [`passes::TimingPass`]
+    /// evaluating `constraints` under the default Virtex delay model,
+    /// so timing violations gate delivery exactly like structural lint
+    /// errors (and can be waived the same way).
+    #[must_use]
+    pub fn with_timing(config: LintConfig, constraints: TimingConstraints) -> Self {
+        let mut linter = Linter::with_config(config);
+        linter.add_pass(Box::new(passes::TimingPass::new(
+            constraints,
+            DelayModel::virtex(),
+        )));
+        linter
+    }
+
     /// A linter running only the given passes — for focused re-checks
     /// of a single rule family, or benchmarking one analysis.
     #[must_use]
@@ -172,13 +188,16 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
     ]
 }
 
-/// The full rule catalog across all built-in passes, in pass order.
+/// The full rule catalog across all built-in passes (plus the
+/// opt-in timing pass), in pass order.
 #[must_use]
 pub fn rule_catalog() -> Vec<RuleInfo> {
-    default_passes()
-        .iter()
-        .flat_map(|p| p.rules().iter().copied())
-        .collect()
+    let mut all = default_passes();
+    all.push(Box::new(passes::TimingPass::new(
+        TimingConstraints::new(),
+        DelayModel::virtex(),
+    )));
+    all.iter().flat_map(|p| p.rules().iter().copied()).collect()
 }
 
 /// Lints a circuit with the default configuration.

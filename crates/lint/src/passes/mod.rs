@@ -11,6 +11,7 @@ mod dead;
 mod fanout;
 mod floatconst;
 mod seed;
+mod timing;
 mod xprop;
 
 pub use cdc::CdcPass;
@@ -19,6 +20,7 @@ pub use dead::DeadLogicPass;
 pub use fanout::FanoutPass;
 pub use floatconst::FloatConstPass;
 pub use seed::SeedRulesPass;
+pub use timing::TimingPass;
 pub use xprop::{x_reachable, XPropPass};
 
 use ipd_hdl::Severity;

@@ -220,13 +220,30 @@ pub(crate) fn register(
     clk: WireId,
     label: &str,
 ) -> Result<PartialValue> {
+    register_at(ctx, value, clk, label, None)
+}
+
+/// [`register`], with the flip-flops placed two to a slice row in the
+/// given column when one is supplied — pipeline registers belong next
+/// to the logic they feed, or the stage nets eat the unplaced routing
+/// penalty and dominate the clock period.
+pub(crate) fn register_at(
+    ctx: &mut CellCtx<'_>,
+    value: PartialValue,
+    clk: WireId,
+    label: &str,
+    col: Option<i32>,
+) -> Result<PartialValue> {
     let (reg, mut bits) = wire_bits(ctx, label, value.width());
     for (k, src) in value.bits.iter().enumerate() {
         if (k as u32) < value.dead_low {
             bits[k] = src.clone();
             continue;
         }
-        ctx.fd(clk, src.clone(), Signal::bit_of(reg, k as u32))?;
+        let fd = ctx.fd(clk, src.clone(), Signal::bit_of(reg, k as u32))?;
+        if let Some(col) = col {
+            ctx.set_rloc(fd, Rloc::new(k as i32 / 2, col));
+        }
     }
     Ok(PartialValue {
         bits,
@@ -255,13 +272,16 @@ pub(crate) fn reduce_tree(
     let mut level = 0usize;
     let mut adders = 0i32;
     while values.len() > 1 {
-        let mut next = Vec::with_capacity(values.len().div_ceil(2));
+        // Each entry remembers the slice column of the adder that
+        // produced it, so a following register stage lands beside it.
+        let mut next: Vec<(PartialValue, Option<i32>)> =
+            Vec::with_capacity(values.len().div_ceil(2));
         let mut iter = values.into_iter();
         let mut pair_index = 0usize;
         while let Some(a) = iter.next() {
             match iter.next() {
                 Some(b) => {
-                    let loc = adder_col0.map(|c0| Rloc::new(0, c0 + adders));
+                    let col = adder_col0.map(|c0| c0 + adders);
                     adders += 1;
                     let combined = combine(
                         ctx,
@@ -269,22 +289,25 @@ pub(crate) fn reduce_tree(
                         b,
                         zero,
                         &format!("{label}_l{level}_{pair_index}"),
-                        loc,
+                        col.map(|c| Rloc::new(0, c)),
                     )?;
-                    next.push(combined);
+                    next.push((combined, col));
                 }
-                None => next.push(a),
+                None => next.push((a, None)),
             }
             pair_index += 1;
         }
         if let Some(clk) = clk {
             let mut registered = Vec::with_capacity(next.len());
-            for (i, v) in next.into_iter().enumerate() {
-                registered.push(register(ctx, v, clk, &format!("{label}_r{level}_{i}"))?);
+            for (i, (v, col)) in next.into_iter().enumerate() {
+                registered.push((
+                    register_at(ctx, v, clk, &format!("{label}_r{level}_{i}"), col)?,
+                    col,
+                ));
             }
             next = registered;
         }
-        values = next;
+        values = next.into_iter().map(|(v, _)| v).collect();
         level += 1;
     }
     Ok(values.into_iter().next().expect("one value remains"))

@@ -12,7 +12,7 @@ use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
 use crate::bitsum::{
-    reduce_tree, register, tree_levels, width_for, wire_bits, ConstRail, PartialValue, ZeroRail,
+    reduce_tree, register_at, tree_levels, width_for, wire_bits, ConstRail, PartialValue, ZeroRail,
 };
 
 /// Maximum multiplicand width accepted by the generator.
@@ -378,7 +378,14 @@ impl Generator for KcmMultiplier {
                 dead_low: pp_dead_low,
             };
             if let Some(clk) = clk {
-                value = register(ctx, value, clk, &format!("pp{digit_index}_reg"))?;
+                // Stage registers share the digit bank's slice column.
+                value = register_at(
+                    ctx,
+                    value,
+                    clk,
+                    &format!("pp{digit_index}_reg"),
+                    Some(digit_index as i32),
+                )?;
             }
             partials.push(value);
         }

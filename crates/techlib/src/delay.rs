@@ -20,6 +20,11 @@ pub struct DelayModel {
     pub clk_to_q_ns: f64,
     /// Flip-flop setup time.
     pub setup_ns: f64,
+    /// Net delay of one dedicated carry-chain hop (a carry element
+    /// driving the next carry element). The route is silicon, so it is
+    /// far below any general-fabric net and never pays the unplaced
+    /// penalty.
+    pub carry_net_ns: f64,
     /// Fixed component of any net delay.
     pub net_base_ns: f64,
     /// Additional delay per CLB of Manhattan distance (placed nets).
@@ -40,6 +45,7 @@ impl DelayModel {
             carry_ns: 0.07,
             clk_to_q_ns: 0.56,
             setup_ns: 0.45,
+            carry_net_ns: 0.04,
             net_base_ns: 0.35,
             net_per_clb_ns: 0.12,
             net_per_fanout_ns: 0.08,
@@ -79,6 +85,26 @@ impl DelayModel {
     pub fn net_delay_unplaced(&self, fanout: usize) -> f64 {
         (self.net_base_ns + self.net_per_fanout_ns * fanout.saturating_sub(1) as f64)
             * self.unplaced_factor
+    }
+
+    /// Routing delay of one edge, choosing the dedicated carry route
+    /// when the hop is carry-element to carry-element; otherwise
+    /// placed or unplaced general fabric depending on the endpoints.
+    #[must_use]
+    pub fn net_delay_edge(
+        &self,
+        from: Option<Rloc>,
+        to: Option<Rloc>,
+        fanout: usize,
+        carry_hop: bool,
+    ) -> f64 {
+        if carry_hop {
+            return self.carry_net_ns;
+        }
+        match (from, to) {
+            (Some(a), Some(b)) => self.net_delay_placed(a, b, fanout),
+            _ => self.net_delay_unplaced(fanout),
+        }
     }
 
     /// Converts a critical-path delay to a clock frequency in MHz.
@@ -124,6 +150,14 @@ mod tests {
         let placed = m.net_delay_placed(Rloc::new(0, 0), Rloc::new(0, 1), 2);
         let unplaced = m.net_delay_unplaced(2);
         assert!(unplaced > placed);
+    }
+
+    #[test]
+    fn carry_route_beats_any_fabric_net() {
+        let m = DelayModel::virtex();
+        let adjacent = m.net_delay_placed(Rloc::new(0, 0), Rloc::new(1, 0), 1);
+        assert!(m.carry_net_ns < adjacent);
+        assert!(m.net_delay_edge(None, None, 2, true) < m.net_delay_edge(None, None, 1, false));
     }
 
     #[test]

@@ -404,6 +404,13 @@ impl PrimKind {
         )
     }
 
+    /// `true` for dedicated carry-chain elements (MUXCY/XORCY/MULT_AND)
+    /// whose inter-element routes are silicon, not general fabric.
+    #[must_use]
+    pub fn is_carry(&self) -> bool {
+        matches!(self, PrimKind::Muxcy | PrimKind::Xorcy | PrimKind::MultAnd)
+    }
+
     /// Evaluates a *combinational* primitive given its input values in
     /// port-declaration order (excluding any clock port).
     ///

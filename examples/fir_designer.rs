@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example fir_designer`
 
 use ipd::core::{embed_watermark, obfuscate, verify_watermark};
-use ipd::estimate::{estimate_area, estimate_timing};
+use ipd::estimate::{analyze_timing, estimate_area, estimate_timing, TimingConstraints};
 use ipd::hdl::Circuit;
 use ipd::modgen::FirFilter;
 use ipd::sim::Simulator;
@@ -29,6 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{report}");
     print!("{}", estimate_area(&circuit)?);
     print!("{}", estimate_timing(&circuit)?);
+
+    // Constraint-evaluated timing: slack for every register and output
+    // against the customer's 25 MHz sample clock, as a histogram.
+    let mut constraints = TimingConstraints::new();
+    constraints.clock("clk", 40.0, "clk");
+    constraints.output_delay("clk", 0.0, "y");
+    let sta = analyze_timing(&circuit, &constraints)?;
+    println!("\ntiming closure @ 25 MHz: {}", sta.summary());
+    for histogram in sta.histograms() {
+        print!("{histogram}");
+    }
+    assert_eq!(sta.violations(), 0, "the shipped FIR must close its clock");
 
     // Impulse response check: should replay the coefficients.
     let mut sim = Simulator::new(&circuit)?;

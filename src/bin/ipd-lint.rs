@@ -7,17 +7,21 @@
 //! [`ipd::core::seal_design`] applies before sealing a delivery.
 //!
 //! ```text
-//! ipd-lint [--config FILE] [--json] --examples
-//! ipd-lint [--config FILE] [--json] DESIGN.edif [...]
+//! ipd-lint [--config FILE] [--timing FILE] [--json] --examples
+//! ipd-lint [--config FILE] [--timing FILE] [--json] DESIGN.edif [...]
 //! ```
 //!
 //! `--config` loads waivers, severity overrides and limits in the
 //! `LintConfig` text format; `--json` emits machine-readable reports.
+//! `--timing` loads a `TimingConstraints` file and adds the STA pass:
+//! each design's slack report is printed and unwaived setup
+//! violations fail the run like any other lint error.
 
 use std::process::ExitCode;
 
+use ipd::estimate::analyze_timing;
 use ipd::hdl::Circuit;
-use ipd::lint::{LintConfig, LintReport, Linter};
+use ipd::lint::{LintConfig, LintReport, Linter, TimingConstraints};
 use ipd::modgen::{CountDirection, Counter, FirFilter, KcmMultiplier, PopCount, Rom};
 
 /// The example designs `--examples` checks: the paper's running KCM
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut use_examples = false;
     let mut config = LintConfig::new();
+    let mut constraints: Option<TimingConstraints> = None;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,8 +88,31 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--timing" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--timing requires a constraints file argument");
+                    return ExitCode::FAILURE;
+                };
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match TimingConstraints::parse(&text) {
+                    Ok(t) => constraints = Some(t),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: ipd-lint [--config FILE] [--json] (--examples | DESIGN.edif ...)");
+                println!(
+                    "usage: ipd-lint [--config FILE] [--timing FILE] [--json] \
+                     (--examples | DESIGN.edif ...)"
+                );
                 return ExitCode::SUCCESS;
             }
             other => files.push(other.to_owned()),
@@ -113,7 +141,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let linter = Linter::with_config(config);
+    let linter = match &constraints {
+        Some(t) => Linter::with_timing(config, t.clone()),
+        None => Linter::with_config(config),
+    };
     let mut errors = 0usize;
     for (name, circuit) in &designs {
         match linter.run(circuit) {
@@ -124,6 +155,25 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("{name}: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        // The STA report itself (slack tables, histograms, critical
+        // paths) rides alongside the lint diagnostics when timing is
+        // requested; the gate above already counted its violations.
+        if let Some(t) = &constraints {
+            match analyze_timing(circuit, t) {
+                Ok(sta) => {
+                    if json {
+                        println!("{}", sta.to_json());
+                    } else {
+                        println!("-- {name}: {}", sta.summary());
+                        print!("{sta}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{name}: sta: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
