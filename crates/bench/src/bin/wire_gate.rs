@@ -1,0 +1,132 @@
+//! CI perf-regression gate for the X9 wire fleet bench.
+//!
+//! Compares a fresh `BENCH_wire.json` (written by the `wire_fleet`
+//! bench) against the committed baseline and exits nonzero when any
+//! throughput figure regresses by more than the allowed fraction
+//! (default 30%). Only `*_rps` keys gate — latency figures are
+//! reported but too noisy on shared CI runners to fail a build on.
+//!
+//! Usage:
+//!
+//! ```text
+//! wire_gate --baseline crates/bench/baselines/wire_fleet.json \
+//!           --current BENCH_wire.json [--max-regress 0.30]
+//! ```
+//!
+//! The JSON involved is the flat `{"key": number, ...}` shape the
+//! bench emits; the parser below handles exactly that (no nesting, no
+//! strings) so the gate needs no dependencies.
+
+use std::process::ExitCode;
+
+/// Parses a flat `{"key": number, ...}` document.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = text.trim();
+    rest = rest
+        .strip_prefix('{')
+        .ok_or("expected a JSON object")?
+        .trim_end();
+    rest = rest.strip_suffix('}').ok_or("unterminated object")?;
+    for entry in rest.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry: {entry}"))?;
+        let key = key.trim().trim_matches('"').to_owned();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key}: {e}"))?;
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn lookup(pairs: &[(String, f64)], key: &str) -> Option<f64> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regress = 0.30f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")?),
+            "--current" => current_path = Some(value("--current")?),
+            "--max-regress" => {
+                max_regress = value("--max-regress")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regress: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let baseline = load(&baseline_path.ok_or("--baseline is required")?)?;
+    let current = load(&current_path.ok_or("--current is required")?)?;
+
+    let mut ok = true;
+    println!(
+        "{:<22} {:>12} {:>12} {:>9}  verdict",
+        "metric", "baseline", "current", "delta"
+    );
+    for (key, base) in baseline.iter().filter(|(k, _)| k.ends_with("_rps")) {
+        let Some(now) = lookup(&current, key) else {
+            println!("{key:<22} {base:>12.0} {:>12} {:>9}  MISSING", "-", "-");
+            ok = false;
+            continue;
+        };
+        let delta = (now - base) / base;
+        let floor = base * (1.0 - max_regress);
+        let verdict = if now >= floor { "ok" } else { "REGRESSED" };
+        if now < floor {
+            ok = false;
+        }
+        println!(
+            "{key:<22} {base:>12.0} {now:>12.0} {delta:>+8.1}%  {verdict}",
+            delta = delta * 100.0
+        );
+    }
+    for (key, base) in baseline.iter().filter(|(k, _)| k.ends_with("_p99_us")) {
+        let now = lookup(&current, key);
+        let shown = now.map_or("-".to_owned(), |v| format!("{v:.0}"));
+        println!("{key:<22} {base:>12.0} {shown:>12} {:>9}  info", "-");
+    }
+    if ok {
+        println!(
+            "gate: pass (allowed regression {:.0}%)",
+            max_regress * 100.0
+        );
+    } else {
+        println!(
+            "gate: FAIL — throughput regressed more than {:.0}% (or a metric is missing)",
+            max_regress * 100.0
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("wire_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

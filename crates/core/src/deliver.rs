@@ -383,6 +383,58 @@ impl AppletServer {
         Ok(DeliveryResponse::new(license.product().to_owned(), items))
     }
 
+    /// Serves one bundle's packed wire bytes by content digest, as the
+    /// store's shared `Arc` — the zero-copy segment path: a wire
+    /// server hands the returned `Arc` straight to its vectored socket
+    /// write, so the packed bytes are never copied per customer. Only
+    /// digests in the customer's own required set are served; asking
+    /// for anything else is refused and audited.
+    ///
+    /// # Errors
+    ///
+    /// Same license conditions as [`AppletServer::serve`], plus
+    /// [`CoreError::UnknownModule`] for a digest outside the
+    /// customer's bundle set.
+    pub fn fetch_segment(
+        &mut self,
+        customer: &str,
+        today: u32,
+        digest: &Digest,
+    ) -> Result<std::sync::Arc<[u8]>, CoreError> {
+        let license = self.authorize(customer, today)?;
+        let executable = IpExecutable::new(
+            license.product(),
+            self.vendor.clone(),
+            license.capabilities(),
+        );
+        for name in executable.required_bundles() {
+            if self.digests[name] != *digest {
+                continue;
+            }
+            let bundle = self.catalog.get(name).expect("catalog covers required set");
+            let packed = self.store.get_or_pack_keyed(*digest, bundle);
+            let payload = packed.wire_bytes();
+            self.store.note_served(payload.len());
+            self.audit.push(AuditRecord {
+                customer: customer.to_owned(),
+                day: today,
+                outcome: format!("served segment {name}: {} bytes", payload.len()),
+            });
+            return Ok(payload);
+        }
+        self.audit.push(AuditRecord {
+            customer: customer.to_owned(),
+            day: today,
+            outcome: "refused: segment digest outside bundle set".to_owned(),
+        });
+        Err(CoreError::UnknownModule {
+            module: format!(
+                "segment {:02x}{:02x}{:02x}{:02x}…",
+                digest[0], digest[1], digest[2], digest[3]
+            ),
+        })
+    }
+
     /// The content-addressed bundle store (hit/miss/bytes counters).
     #[must_use]
     pub fn store(&self) -> &BundleStore {

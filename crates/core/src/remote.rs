@@ -54,6 +54,11 @@ pub mod endpoints {
     /// design (aggregate closure view; requires the design to have
     /// been registered with timing constraints).
     pub const STA_REPORT: u16 = 0x25;
+    /// One packed bundle segment by content digest. The response body
+    /// is exactly the packed wire bytes — no envelope fields — so the
+    /// server can serve the store's shared `Arc` zero-copy into its
+    /// socket write.
+    pub const FETCH_SEGMENT: u16 = 0x26;
 }
 
 /// Human-readable name of a delivery endpoint (for traffic reports).
@@ -66,6 +71,7 @@ pub fn delivery_endpoint_name(endpoint: u16) -> &'static str {
         endpoints::SEALED_DESIGN => "delivery.sealed-design",
         endpoints::LINT_REPORT => "delivery.lint-report",
         endpoints::STA_REPORT => "delivery.sta-report",
+        endpoints::FETCH_SEGMENT => "delivery.fetch-segment",
         _ => "delivery.unknown",
     }
 }
@@ -319,6 +325,9 @@ impl WireSession for DeliverySession {
         let response = match endpoint {
             endpoints::MANIFEST => self.manifest(body)?,
             endpoints::FETCH => self.fetch(body)?,
+            // The one endpoint whose payload is a shared segment: the
+            // store's `Arc` rides the reply uncopied.
+            endpoints::FETCH_SEGMENT => return self.fetch_segment(body).map(Reply::shared),
             endpoints::SEALED_BUNDLES => self.sealed_bundles(body)?,
             endpoints::SEALED_DESIGN => self.sealed_design(body)?,
             endpoints::LINT_REPORT => self.lint_report(body)?,
@@ -365,6 +374,18 @@ impl DeliverySession {
             .fetch(&self.customer, today, &have)
             .map_err(|e| core_to_wire(&e))?;
         Ok(encode_delivery(&response))
+    }
+
+    fn fetch_segment(&self, body: &[u8]) -> Result<Arc<[u8]>, WireError> {
+        let mut r = Reader::new(body);
+        let today = r.u32()?;
+        let digest = read_digest(&mut r)?;
+        r.finish()?;
+        self.service
+            .lock()
+            .server
+            .fetch_segment(&self.customer, today, &digest)
+            .map_err(|e| core_to_wire(&e))
     }
 
     fn sealed_bundles(&self, body: &[u8]) -> Result<Vec<u8>, WireError> {
@@ -744,6 +765,25 @@ impl DeliveryClient {
         Ok(decode_delivery(&response)?)
     }
 
+    /// Fetches one packed bundle segment by content digest. The
+    /// returned bytes are exactly the packed wire bytes a
+    /// [`DeliveryClient::fetch`] payload carries — but the server
+    /// serves them zero-copy from its content-addressed store, so this
+    /// is the cheap path when the manifest already told the client
+    /// which digest it is missing.
+    ///
+    /// # Errors
+    ///
+    /// A typed remote error for digests outside the customer's bundle
+    /// set; license and transport failures as
+    /// [`DeliveryClient::manifest`].
+    pub fn fetch_segment(&mut self, today: u32, digest: &Digest) -> Result<Vec<u8>, CoreError> {
+        let mut body = Vec::new();
+        codec::put_u32(&mut body, today);
+        body.extend_from_slice(digest);
+        Ok(self.wire.call(endpoints::FETCH_SEGMENT, &body)?)
+    }
+
     /// Fetches every bundle sealed to the customer's license key
     /// (opened with [`crate::unseal`] and [`crate::bundle_key`]).
     ///
@@ -921,6 +961,43 @@ mod tests {
         }
         client.close();
         running.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn fetch_segment_serves_the_packed_bytes_zero_copy() {
+        let (running, service) = start();
+        let mut client = DeliveryClient::connect(running.addr(), "acme").expect("connect");
+        let manifest = client.manifest(30).expect("manifest");
+        let cold = client.fetch(30, &[]).expect("cold fetch");
+        for entry in manifest.entries() {
+            let segment = client.fetch_segment(30, &entry.digest).expect("segment");
+            let full = cold
+                .items()
+                .iter()
+                .find_map(|item| match item {
+                    BundleDelivery::Payload { digest, bytes, .. } if *digest == entry.digest => {
+                        Some(bytes.clone())
+                    }
+                    _ => None,
+                })
+                .expect("cold fetch delivered this digest");
+            assert_eq!(
+                segment,
+                full.as_ref(),
+                "segment bytes must be bit-identical to the fetch payload"
+            );
+        }
+        // A digest outside the customer's set is refused and audited.
+        assert!(matches!(
+            client.fetch_segment(30, &[0u8; 32]),
+            Err(CoreError::Remote { .. })
+        ));
+        client.close();
+        running.shutdown().expect("shutdown");
+        assert!(service
+            .audit_log()
+            .iter()
+            .any(|r| r.outcome.contains("served segment")));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use crate::envelope::{Envelope, VERSION};
 use crate::error::WireError;
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::frame::{read_frame_deadline, write_frame, DEFAULT_MAX_FRAME};
 use crate::stats::WireStats;
 
 /// Client-side connection settings.
@@ -49,6 +49,9 @@ pub struct WireClient {
     /// by ours).
     send_cap: u32,
     stats: Arc<WireStats>,
+    /// Per-call read budget; each socket wait is tightened to the time
+    /// *remaining* under it, so a short timeout cannot overshoot.
+    read_timeout: Option<Duration>,
     closed: bool,
 }
 
@@ -64,7 +67,7 @@ impl WireClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let opt = |d: Duration| if d.is_zero() { None } else { Some(d) };
-        stream.set_read_timeout(opt(config.read_timeout))?;
+        let read_timeout = opt(config.read_timeout);
         stream.set_write_timeout(opt(config.write_timeout))?;
         let recv_cap = if config.max_frame == 0 {
             DEFAULT_MAX_FRAME
@@ -77,7 +80,7 @@ impl WireClient {
             token: config.token.clone(),
         };
         write_frame(&stream, &hello.encode(), recv_cap)?;
-        let ack = read_frame(&stream, recv_cap)?;
+        let ack = read_frame_deadline(&stream, recv_cap, read_timeout)?;
         let (session, server_cap) = match Envelope::decode(&ack)? {
             Envelope::HelloAck { session, max_frame } => (session, max_frame),
             Envelope::Error { code, message, .. } => {
@@ -92,6 +95,7 @@ impl WireClient {
             recv_cap,
             send_cap: server_cap.min(recv_cap).max(256),
             stats: Arc::new(WireStats::new()),
+            read_timeout,
             closed: false,
         })
     }
@@ -146,7 +150,10 @@ impl WireClient {
         write_frame(&self.stream, &request.encode(), self.send_cap).inspect_err(|_| {
             self.closed = true;
         })?;
-        let frame = map_read(read_frame(&self.stream, self.recv_cap), &mut self.closed)?;
+        let frame = map_read(
+            read_frame_deadline(&self.stream, self.recv_cap, self.read_timeout),
+            &mut self.closed,
+        )?;
         match Envelope::decode(&frame).inspect_err(|_| self.closed = true)? {
             Envelope::Response { id: got, body } => {
                 if got != id {

@@ -65,6 +65,63 @@ pub enum Envelope {
     },
     /// Polite end of session.
     Goodbye,
+    /// Opens a logical channel (a multiplexed session) on this
+    /// connection. The channel id is client-chosen and scopes every
+    /// `Mux*` envelope that follows; `low_priority` marks the channel
+    /// sheddable under load.
+    MuxOpen {
+        /// Client-chosen channel id, unique on this connection.
+        channel: u32,
+        /// Optional authentication token, passed to the service.
+        token: Option<String>,
+        /// Volunteer for load-shedding when the server is saturated.
+        low_priority: bool,
+    },
+    /// Server acceptance of a [`Envelope::MuxOpen`].
+    MuxOpenAck {
+        /// The channel id being acknowledged.
+        channel: u32,
+        /// Server-assigned session id for this logical session.
+        session: u64,
+    },
+    /// A request on a logical channel.
+    MuxRequest {
+        /// Which open channel carries this request.
+        channel: u32,
+        /// Client-chosen id echoed by the response.
+        id: u64,
+        /// Which endpoint handles the payload.
+        endpoint: u16,
+        /// Endpoint-specific payload bytes.
+        body: Vec<u8>,
+    },
+    /// A successful response on a logical channel.
+    MuxResponse {
+        /// Which open channel carries this response.
+        channel: u32,
+        /// The request id this answers.
+        id: u64,
+        /// Endpoint-specific payload bytes.
+        body: Vec<u8>,
+    },
+    /// A typed failure scoped to one channel (the connection and its
+    /// other channels survive; id 0 when no request is at fault, e.g.
+    /// a refused or shed open).
+    MuxError {
+        /// Which channel failed.
+        channel: u32,
+        /// The request id this answers, or 0.
+        id: u64,
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Polite end of one logical channel; the connection stays up.
+    MuxClose {
+        /// Which channel is closing.
+        channel: u32,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -73,6 +130,40 @@ const TAG_REQUEST: u8 = 2;
 const TAG_RESPONSE: u8 = 3;
 const TAG_ERROR: u8 = 4;
 const TAG_GOODBYE: u8 = 5;
+const TAG_MUX_OPEN: u8 = 6;
+const TAG_MUX_OPEN_ACK: u8 = 7;
+const TAG_MUX_REQUEST: u8 = 8;
+const TAG_MUX_RESPONSE: u8 = 9;
+const TAG_MUX_ERROR: u8 = 10;
+const TAG_MUX_CLOSE: u8 = 11;
+
+/// The envelope header of a [`Envelope::Response`] for a body of
+/// `body_len` bytes, without the body: the event loop appends the
+/// `Arc`-shared body as its own vectored write segment, so shared
+/// payloads are never copied into an encode buffer.
+pub(crate) fn response_header(id: u64, body_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13);
+    codec::put_u8(&mut out, TAG_RESPONSE);
+    codec::put_u64(&mut out, id);
+    codec::put_u32(
+        &mut out,
+        u32::try_from(body_len).expect("wire payload over 4 GiB"),
+    );
+    out
+}
+
+/// The [`Envelope::MuxResponse`] analogue of [`response_header`].
+pub(crate) fn mux_response_header(channel: u32, id: u64, body_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    codec::put_u8(&mut out, TAG_MUX_RESPONSE);
+    codec::put_u32(&mut out, channel);
+    codec::put_u64(&mut out, id);
+    codec::put_u32(
+        &mut out,
+        u32::try_from(body_len).expect("wire payload over 4 GiB"),
+    );
+    out
+}
 
 impl Envelope {
     /// Encodes the envelope as a frame body.
@@ -114,6 +205,55 @@ impl Envelope {
                 codec::put_str(&mut out, message);
             }
             Envelope::Goodbye => codec::put_u8(&mut out, TAG_GOODBYE),
+            Envelope::MuxOpen {
+                channel,
+                token,
+                low_priority,
+            } => {
+                codec::put_u8(&mut out, TAG_MUX_OPEN);
+                codec::put_u32(&mut out, *channel);
+                codec::put_opt_str(&mut out, token.as_deref());
+                codec::put_u8(&mut out, u8::from(*low_priority));
+            }
+            Envelope::MuxOpenAck { channel, session } => {
+                codec::put_u8(&mut out, TAG_MUX_OPEN_ACK);
+                codec::put_u32(&mut out, *channel);
+                codec::put_u64(&mut out, *session);
+            }
+            Envelope::MuxRequest {
+                channel,
+                id,
+                endpoint,
+                body,
+            } => {
+                codec::put_u8(&mut out, TAG_MUX_REQUEST);
+                codec::put_u32(&mut out, *channel);
+                codec::put_u64(&mut out, *id);
+                codec::put_u16(&mut out, *endpoint);
+                codec::put_bytes(&mut out, body);
+            }
+            Envelope::MuxResponse { channel, id, body } => {
+                codec::put_u8(&mut out, TAG_MUX_RESPONSE);
+                codec::put_u32(&mut out, *channel);
+                codec::put_u64(&mut out, *id);
+                codec::put_bytes(&mut out, body);
+            }
+            Envelope::MuxError {
+                channel,
+                id,
+                code,
+                message,
+            } => {
+                codec::put_u8(&mut out, TAG_MUX_ERROR);
+                codec::put_u32(&mut out, *channel);
+                codec::put_u64(&mut out, *id);
+                codec::put_u16(&mut out, code.to_u16());
+                codec::put_str(&mut out, message);
+            }
+            Envelope::MuxClose { channel } => {
+                codec::put_u8(&mut out, TAG_MUX_CLOSE);
+                codec::put_u32(&mut out, *channel);
+            }
         }
         out
     }
@@ -165,6 +305,49 @@ impl Envelope {
                 }
             }
             TAG_GOODBYE => Envelope::Goodbye,
+            TAG_MUX_OPEN => {
+                let channel = r.u32()?;
+                let token = r.opt_str()?;
+                let low_priority = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(WireError::protocol(format!("bad priority flag {other}"))),
+                };
+                Envelope::MuxOpen {
+                    channel,
+                    token,
+                    low_priority,
+                }
+            }
+            TAG_MUX_OPEN_ACK => Envelope::MuxOpenAck {
+                channel: r.u32()?,
+                session: r.u64()?,
+            },
+            TAG_MUX_REQUEST => Envelope::MuxRequest {
+                channel: r.u32()?,
+                id: r.u64()?,
+                endpoint: r.u16()?,
+                body: r.bytes()?,
+            },
+            TAG_MUX_RESPONSE => Envelope::MuxResponse {
+                channel: r.u32()?,
+                id: r.u64()?,
+                body: r.bytes()?,
+            },
+            TAG_MUX_ERROR => {
+                let channel = r.u32()?;
+                let id = r.u64()?;
+                let raw = r.u16()?;
+                let code = ErrorCode::from_u16(raw)
+                    .ok_or_else(|| WireError::protocol(format!("unknown error code {raw}")))?;
+                Envelope::MuxError {
+                    channel,
+                    id,
+                    code,
+                    message: r.str()?,
+                }
+            }
+            TAG_MUX_CLOSE => Envelope::MuxClose { channel: r.u32()? },
             other => return Err(WireError::protocol(format!("unknown envelope tag {other}"))),
         };
         r.finish()?;
@@ -212,6 +395,64 @@ mod tests {
             message: "session cap reached".into(),
         });
         round_trip(Envelope::Goodbye);
+        round_trip(Envelope::MuxOpen {
+            channel: 3,
+            token: Some("acme".into()),
+            low_priority: true,
+        });
+        round_trip(Envelope::MuxOpen {
+            channel: 0,
+            token: None,
+            low_priority: false,
+        });
+        round_trip(Envelope::MuxOpenAck {
+            channel: 3,
+            session: 99,
+        });
+        round_trip(Envelope::MuxRequest {
+            channel: 3,
+            id: 12,
+            endpoint: 0x20,
+            body: vec![4, 5],
+        });
+        round_trip(Envelope::MuxResponse {
+            channel: 3,
+            id: 12,
+            body: vec![6],
+        });
+        round_trip(Envelope::MuxError {
+            channel: 3,
+            id: 0,
+            code: ErrorCode::Shed,
+            message: "low priority shed".into(),
+        });
+        round_trip(Envelope::MuxClose { channel: 3 });
+    }
+
+    #[test]
+    fn zero_copy_headers_match_the_full_encoding() {
+        let body = vec![7u8, 8, 9];
+        let mut split = response_header(42, body.len());
+        split.extend_from_slice(&body);
+        assert_eq!(
+            split,
+            Envelope::Response {
+                id: 42,
+                body: body.clone()
+            }
+            .encode()
+        );
+        let mut split = mux_response_header(5, 42, body.len());
+        split.extend_from_slice(&body);
+        assert_eq!(
+            split,
+            Envelope::MuxResponse {
+                channel: 5,
+                id: 42,
+                body
+            }
+            .encode()
+        );
     }
 
     #[test]
@@ -259,6 +500,23 @@ mod tests {
             Envelope::Error {
                 id: 2,
                 code: ErrorCode::Protocol,
+                message: "m".into(),
+            },
+            Envelope::MuxOpen {
+                channel: 1,
+                token: Some("t".into()),
+                low_priority: true,
+            },
+            Envelope::MuxRequest {
+                channel: 1,
+                id: 3,
+                endpoint: 0xE0,
+                body: vec![0; 5],
+            },
+            Envelope::MuxError {
+                channel: 1,
+                id: 0,
+                code: ErrorCode::Busy,
                 message: "m".into(),
             },
         ];

@@ -24,6 +24,11 @@ pub enum ErrorCode {
     Shutdown,
     /// The application handler failed; the message carries its error.
     App,
+    /// The request was load-shed: the server is above its shed
+    /// threshold and the request (or session open) declared low
+    /// priority. Unlike [`ErrorCode::Busy`], the connection survives —
+    /// retry later or re-open at normal priority.
+    Shed,
 }
 
 impl ErrorCode {
@@ -38,6 +43,7 @@ impl ErrorCode {
             ErrorCode::TooLarge => "too-large",
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::App => "app",
+            ErrorCode::Shed => "shed",
         }
     }
 
@@ -50,6 +56,7 @@ impl ErrorCode {
             ErrorCode::TooLarge => 5,
             ErrorCode::Shutdown => 6,
             ErrorCode::App => 7,
+            ErrorCode::Shed => 8,
         }
     }
 
@@ -62,6 +69,7 @@ impl ErrorCode {
             5 => ErrorCode::TooLarge,
             6 => ErrorCode::Shutdown,
             7 => ErrorCode::App,
+            8 => ErrorCode::Shed,
             _ => return None,
         })
     }
@@ -175,6 +183,7 @@ mod tests {
             ErrorCode::TooLarge,
             ErrorCode::Shutdown,
             ErrorCode::App,
+            ErrorCode::Shed,
         ] {
             assert_eq!(ErrorCode::from_u16(code.to_u16()), Some(code));
         }

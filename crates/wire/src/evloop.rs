@@ -1,0 +1,769 @@
+//! The readiness-driven event-loop transport.
+//!
+//! One thread serves every connection: the listener and all accepted
+//! sockets are switched to nonblocking mode and the loop repeatedly
+//! sweeps them — accepting, reading whatever bytes are ready, slicing
+//! complete frames out of per-connection buffers, dispatching
+//! envelopes, and draining per-connection write queues with vectored
+//! writes. When a full sweep makes no progress the loop sleeps for
+//! [`WireConfig::evloop_tick`], so an idle server costs microseconds
+//! of wakeup, not a thread per session.
+//!
+//! On top of the plain protocol the loop speaks the `Mux*` envelopes:
+//! many logical sessions (channels) ride one TCP connection, each with
+//! its own [`WireSession`], registry slot and stats. Admission is
+//! graduated rather than binary: below the soft cap opens are plainly
+//! accepted; above [`WireConfig::queue_sessions`] they are admitted
+//! but counted queued; above [`WireConfig::shed_sessions`]
+//! low-priority opens are refused with [`ErrorCode::Shed`] (the
+//! connection survives); at [`WireConfig::max_sessions`] everything is
+//! refused with [`ErrorCode::Busy`].
+//!
+//! Replies whose payload is a [`ReplyBody::Shared`] segment are queued
+//! as their own write segment: the `Arc` is cloned, never the bytes,
+//! and the socket write gathers header and payload with
+//! `write_vectored` — the zero-copy path a [`BundleStore`]-backed
+//! delivery server takes for packed segments.
+//!
+//! [`BundleStore`]: ../../ipd_core/store/struct.BundleStore.html
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::envelope::{self, Envelope, VERSION};
+use crate::error::{ErrorCode, WireError};
+use crate::server::{ReplyBody, SessionRegistry, WireConfig, WireService, WireSession};
+use crate::stats::WireStats;
+
+/// Where a new logical session lands in the graduated backpressure
+/// ladder, judged against the number of currently active sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Below every threshold: plain accept.
+    Accept,
+    /// Above the soft cap: accept, but count as queued.
+    Queue,
+    /// Above the shed threshold: refuse low-priority opens with
+    /// [`ErrorCode::Shed`]; normal-priority opens fall back to
+    /// [`Admission::Queue`].
+    Shed,
+    /// At the hard cap: refuse with [`ErrorCode::Busy`].
+    Refuse,
+}
+
+fn admission(config: &WireConfig, active: usize) -> Admission {
+    if active >= config.max_sessions {
+        Admission::Refuse
+    } else if config.shed_sessions > 0 && active >= config.shed_sessions {
+        Admission::Shed
+    } else if config.queue_sessions > 0 && active >= config.queue_sessions {
+        Admission::Queue
+    } else {
+        Admission::Accept
+    }
+}
+
+/// One queued write segment: bytes built for this connection, or a
+/// shared payload written without copying.
+enum Seg {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl Seg {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared(a) => a,
+        }
+    }
+}
+
+/// A connection's pending output: a deque of segments drained with
+/// vectored writes; `head_off` is the progress into the front segment.
+#[derive(Default)]
+struct OutQueue {
+    segs: VecDeque<Seg>,
+    head_off: usize,
+    bytes: usize,
+}
+
+/// How many segments one `write_vectored` call gathers.
+const WRITEV_BATCH: usize = 16;
+
+impl OutQueue {
+    fn push(&mut self, seg: Seg) {
+        if seg.bytes().is_empty() {
+            return;
+        }
+        self.bytes += seg.bytes().len();
+        self.segs.push_back(seg);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Writes as much as the socket accepts. Returns whether any bytes
+    /// moved; errors mean the connection is dead.
+    fn flush(&mut self, stream: &TcpStream) -> Result<bool, std::io::Error> {
+        let mut progress = false;
+        while !self.segs.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(WRITEV_BATCH);
+            for (i, seg) in self.segs.iter().take(WRITEV_BATCH).enumerate() {
+                let b = seg.bytes();
+                slices.push(IoSlice::new(if i == 0 { &b[self.head_off..] } else { b }));
+            }
+            match (&mut &*stream).write_vectored(&slices) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.consume(n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(progress)
+    }
+
+    fn consume(&mut self, mut n: usize) {
+        self.bytes -= n;
+        while n > 0 {
+            let left = self.segs[0].bytes().len() - self.head_off;
+            if n < left {
+                self.head_off += n;
+                return;
+            }
+            n -= left;
+            self.segs.pop_front();
+            self.head_off = 0;
+        }
+    }
+}
+
+/// One logical session riding a connection.
+struct Channel {
+    session: Box<dyn WireSession>,
+    registry_id: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accepted; the hello frame has not arrived yet.
+    AwaitHello,
+    /// Handshake done; requests flow.
+    Open,
+    /// No longer reading; drains the write queue, then closes.
+    Closing,
+}
+
+/// One connection's full state.
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    inbuf: Vec<u8>,
+    out: OutQueue,
+    state: ConnState,
+    send_cap: u32,
+    /// Open logical sessions; the implicit hello session is channel 0.
+    channels: HashMap<u32, Channel>,
+    last_activity: Instant,
+    frame_started: Option<Instant>,
+    close_at: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: SocketAddr, config: &WireConfig) -> Self {
+        Conn {
+            stream,
+            peer,
+            inbuf: Vec::new(),
+            out: OutQueue::default(),
+            state: ConnState::AwaitHello,
+            send_cap: config.max_frame,
+            channels: HashMap::new(),
+            last_activity: Instant::now(),
+            frame_started: None,
+            close_at: None,
+        }
+    }
+
+    fn push_envelope(&mut self, envelope: &Envelope) {
+        let body = envelope.encode();
+        let mut buf = Vec::with_capacity(4 + body.len());
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        self.out.push(Seg::Owned(buf));
+    }
+
+    /// Queues a response whose payload stays in place: one owned
+    /// segment for the frame length plus envelope header, then the
+    /// payload as its own segment (an `Arc` clone when shared).
+    fn push_response(&mut self, header: Vec<u8>, body: ReplyBody) {
+        let total = header.len() + body.len();
+        let mut head = Vec::with_capacity(4 + header.len());
+        head.extend_from_slice(&(total as u32).to_le_bytes());
+        head.extend_from_slice(&header);
+        self.out.push(Seg::Owned(head));
+        match body {
+            ReplyBody::Owned(v) => self.out.push(Seg::Owned(v)),
+            ReplyBody::Shared(a) => self.out.push(Seg::Shared(a)),
+        }
+    }
+
+    /// Switches to the draining state; the connection closes once the
+    /// write queue empties (or the grace period expires).
+    fn begin_close(&mut self, config: &WireConfig) {
+        if self.state != ConnState::Closing {
+            self.state = ConnState::Closing;
+            let grace = if config.write_timeout.is_zero() {
+                Duration::from_secs(5)
+            } else {
+                config.write_timeout
+            };
+            self.close_at = Some(Instant::now() + grace);
+        }
+    }
+}
+
+/// Shared context threaded through the per-connection handlers.
+struct LoopCtx<'a> {
+    service: &'a Arc<dyn WireService>,
+    config: &'a WireConfig,
+    stats: &'a Arc<WireStats>,
+    registry: &'a Arc<SessionRegistry>,
+}
+
+impl LoopCtx<'_> {
+    /// Counts a malformed frame, reports it to the peer and starts
+    /// draining the connection — the stream can no longer be trusted
+    /// to be in sync.
+    fn malformed(&self, conn: &mut Conn, error: &WireError) {
+        self.stats.note_protocol_error();
+        let (code, message) = error.as_frame();
+        conn.push_envelope(&Envelope::Error {
+            id: 0,
+            code,
+            message,
+        });
+        conn.begin_close(self.config);
+    }
+
+    /// Admits one logical session through the backpressure ladder.
+    /// `Ok` carries the registry id; `Err` carries the refusal frame's
+    /// code and message.
+    fn admit(&self, peer: SocketAddr, low_priority: bool) -> Result<u64, (ErrorCode, String)> {
+        let tier = admission(self.config, self.registry.active_count());
+        match tier {
+            Admission::Refuse => {
+                self.stats.note_session_refused();
+                return Err((ErrorCode::Busy, "session cap reached".to_owned()));
+            }
+            Admission::Shed if low_priority => {
+                self.stats.note_session_shed();
+                return Err((
+                    ErrorCode::Shed,
+                    "low-priority session shed under load".to_owned(),
+                ));
+            }
+            _ => {}
+        }
+        let Some(id) = self.registry.register(peer) else {
+            // Lost a race to the hard cap.
+            self.stats.note_session_refused();
+            return Err((ErrorCode::Busy, "session cap reached".to_owned()));
+        };
+        self.stats.note_session_opened();
+        if matches!(tier, Admission::Queue | Admission::Shed) {
+            self.stats.note_session_queued();
+        }
+        Ok(id)
+    }
+
+    /// Runs one request through a channel's session, recording stats
+    /// before any output is queued so server totals always cover what
+    /// a client has observed. Returns whether the reply asked to end
+    /// the session.
+    fn dispatch(&self, conn: &mut Conn, channel: u32, id: u64, endpoint: u16, body: &[u8]) -> bool {
+        let Some(chan) = conn.channels.get_mut(&channel) else {
+            let frame = Envelope::MuxError {
+                channel,
+                id,
+                code: ErrorCode::Protocol,
+                message: format!("channel {channel} is not open"),
+            };
+            self.stats.note_protocol_error();
+            conn.push_envelope(&frame);
+            return false;
+        };
+        let bytes_in = body.len() as u64;
+        let outcome = catch_unwind(AssertUnwindSafe(|| chan.session.handle(endpoint, body)));
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(_) => Err(WireError::app("handler panicked")),
+        };
+        match outcome {
+            Ok(reply) => {
+                let (reply_body, end) = reply.into_parts();
+                let bytes_out = reply_body.len() as u64;
+                let header = if channel == 0 {
+                    envelope::response_header(id, reply_body.len())
+                } else {
+                    envelope::mux_response_header(channel, id, reply_body.len())
+                };
+                if (header.len() + reply_body.len()) as u64 > u64::from(conn.send_cap) {
+                    self.stats.record(endpoint, bytes_in, 0, false);
+                    let message =
+                        format!("response of {bytes_out} bytes exceeds the peer's frame cap");
+                    conn.push_envelope(&error_frame(channel, id, ErrorCode::TooLarge, message));
+                    false
+                } else {
+                    self.stats.record(endpoint, bytes_in, bytes_out, true);
+                    conn.push_response(header, reply_body);
+                    end
+                }
+            }
+            Err(e) => {
+                self.stats.record(endpoint, bytes_in, 0, false);
+                let (code, message) = e.as_frame();
+                conn.push_envelope(&error_frame(channel, id, code, message));
+                false
+            }
+        }
+    }
+
+    fn close_channel(&self, conn: &mut Conn, channel: u32) {
+        if let Some(chan) = conn.channels.remove(&channel) {
+            self.registry.unregister(chan.registry_id);
+            self.stats.note_session_closed();
+        }
+    }
+
+    /// Handles one decoded envelope. Protocol violations start the
+    /// drain; everything else queues output and keeps reading.
+    fn handle(&self, conn: &mut Conn, envelope: Envelope) {
+        match (conn.state, envelope) {
+            (
+                ConnState::AwaitHello,
+                Envelope::Hello {
+                    version,
+                    max_frame,
+                    token,
+                },
+            ) => {
+                if version != VERSION {
+                    let e = WireError::protocol(format!("unsupported protocol version {version}"));
+                    self.malformed(conn, &e);
+                    return;
+                }
+                conn.send_cap = max_frame.min(self.config.max_frame).max(256);
+                let id = match self.admit(conn.peer, false) {
+                    Ok(id) => id,
+                    Err((code, message)) => {
+                        conn.push_envelope(&Envelope::Error {
+                            id: 0,
+                            code,
+                            message,
+                        });
+                        conn.begin_close(self.config);
+                        return;
+                    }
+                };
+                match self.service.open_session(conn.peer, token.as_deref()) {
+                    Ok(session) => {
+                        conn.channels.insert(
+                            0,
+                            Channel {
+                                session,
+                                registry_id: id,
+                            },
+                        );
+                        conn.state = ConnState::Open;
+                        conn.push_envelope(&Envelope::HelloAck {
+                            session: id,
+                            max_frame: self.config.max_frame,
+                        });
+                    }
+                    Err(e) => {
+                        self.registry.unregister(id);
+                        self.stats.note_session_closed();
+                        let (code, message) = e.as_frame();
+                        conn.push_envelope(&Envelope::Error {
+                            id: 0,
+                            code,
+                            message,
+                        });
+                        conn.begin_close(self.config);
+                    }
+                }
+            }
+            (ConnState::Open, Envelope::Goodbye) => {
+                conn.begin_close(self.config);
+            }
+            (ConnState::Open, Envelope::Request { id, endpoint, body }) => {
+                if self.dispatch(conn, 0, id, endpoint, &body) {
+                    conn.begin_close(self.config);
+                }
+            }
+            (
+                ConnState::Open,
+                Envelope::MuxOpen {
+                    channel,
+                    token,
+                    low_priority,
+                },
+            ) => {
+                if channel == 0 || conn.channels.contains_key(&channel) {
+                    self.stats.note_protocol_error();
+                    conn.push_envelope(&Envelope::MuxError {
+                        channel,
+                        id: 0,
+                        code: ErrorCode::Protocol,
+                        message: format!("channel {channel} is reserved or already open"),
+                    });
+                    return;
+                }
+                let id = match self.admit(conn.peer, low_priority) {
+                    Ok(id) => id,
+                    Err((code, message)) => {
+                        conn.push_envelope(&Envelope::MuxError {
+                            channel,
+                            id: 0,
+                            code,
+                            message,
+                        });
+                        return;
+                    }
+                };
+                match self.service.open_session(conn.peer, token.as_deref()) {
+                    Ok(session) => {
+                        conn.channels.insert(
+                            channel,
+                            Channel {
+                                session,
+                                registry_id: id,
+                            },
+                        );
+                        conn.push_envelope(&Envelope::MuxOpenAck {
+                            channel,
+                            session: id,
+                        });
+                    }
+                    Err(e) => {
+                        self.registry.unregister(id);
+                        self.stats.note_session_closed();
+                        let (code, message) = e.as_frame();
+                        conn.push_envelope(&Envelope::MuxError {
+                            channel,
+                            id: 0,
+                            code,
+                            message,
+                        });
+                    }
+                }
+            }
+            (
+                ConnState::Open,
+                Envelope::MuxRequest {
+                    channel,
+                    id,
+                    endpoint,
+                    body,
+                },
+            ) => {
+                if channel == 0 {
+                    let e = WireError::protocol("mux request on the hello channel");
+                    self.malformed(conn, &e);
+                    return;
+                }
+                if self.dispatch(conn, channel, id, endpoint, &body) {
+                    // The handler ended this logical session: confirm
+                    // to the peer, free the slot, keep the connection.
+                    conn.push_envelope(&Envelope::MuxClose { channel });
+                    self.close_channel(conn, channel);
+                }
+            }
+            (ConnState::Open, Envelope::MuxClose { channel }) => {
+                self.close_channel(conn, channel);
+            }
+            (_, _) => {
+                let e = WireError::protocol("unexpected envelope kind mid-session");
+                self.malformed(conn, &e);
+            }
+        }
+    }
+}
+
+fn error_frame(channel: u32, id: u64, code: ErrorCode, message: String) -> Envelope {
+    if channel == 0 {
+        Envelope::Error { id, code, message }
+    } else {
+        Envelope::MuxError {
+            channel,
+            id,
+            code,
+            message,
+        }
+    }
+}
+
+/// Slices complete frames out of `conn.inbuf` and handles them.
+/// Returns whether at least one frame was handled; protocol failures
+/// start the connection drain.
+fn drain_frames(ctx: &LoopCtx<'_>, conn: &mut Conn) -> bool {
+    let mut consumed = 0usize;
+    let mut progress = false;
+    loop {
+        if conn.state == ConnState::Closing {
+            break;
+        }
+        let avail = conn.inbuf.len() - consumed;
+        if avail < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(
+            conn.inbuf[consumed..consumed + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        if len > ctx.config.max_frame {
+            let e = WireError::protocol(format!(
+                "declared frame of {len} bytes exceeds the {}-byte cap",
+                ctx.config.max_frame
+            ));
+            ctx.malformed(conn, &e);
+            break;
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            break;
+        }
+        let frame = &conn.inbuf[consumed + 4..consumed + total];
+        match Envelope::decode(frame) {
+            Ok(envelope) => ctx.handle(conn, envelope),
+            Err(e) => ctx.malformed(conn, &e),
+        }
+        consumed += total;
+        progress = true;
+    }
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+    conn.frame_started = if conn.inbuf.is_empty() {
+        None
+    } else if conn.frame_started.is_some() {
+        conn.frame_started
+    } else {
+        Some(Instant::now())
+    };
+    progress
+}
+
+/// One sweep over a single connection: flush, read, parse, deadline
+/// checks, flush again. Returns `false` when the connection is done
+/// and must be torn down.
+fn serve_conn_pass(
+    ctx: &LoopCtx<'_>,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    progress: &mut bool,
+) -> bool {
+    // Drain pending output first: readiness to write is the cheapest
+    // progress to make.
+    match conn.out.flush(&conn.stream) {
+        Ok(moved) => *progress |= moved,
+        Err(_) => return false,
+    }
+    if conn.state == ConnState::Closing {
+        if conn.out.is_empty() {
+            return false;
+        }
+        return conn.close_at.is_none_or(|due| Instant::now() < due);
+    }
+    // Backpressure: a peer that stops reading stops being read. Its
+    // requests wait in the socket until the backlog drains, so one
+    // slow reader cannot balloon the queue or stall other connections.
+    if conn.out.bytes <= ctx.config.max_backlog {
+        loop {
+            match (&mut &conn.stream).read(scratch) {
+                Ok(0) => {
+                    // Peer hung up. Parity with the threaded loop: a
+                    // clean EOF ends the session without ceremony.
+                    return false;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    *progress = true;
+                    if n < scratch.len() {
+                        break;
+                    }
+                    // A full scratch buffer may mean more is ready,
+                    // but cap the inbuf so one firehose connection
+                    // cannot starve the sweep.
+                    if conn.inbuf.len() >= scratch.len() * 4 {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+    *progress |= drain_frames(ctx, conn);
+    // Deadlines, in parity with the threaded loop: an idle peer is
+    // closed quietly, a mid-frame stall (trickle attack) likewise.
+    if conn.state != ConnState::Closing {
+        let idle = ctx.config.idle_timeout;
+        if !idle.is_zero() && conn.last_activity.elapsed() >= idle {
+            return false;
+        }
+        let frame = ctx.config.frame_timeout;
+        if !frame.is_zero() {
+            if let Some(started) = conn.frame_started {
+                if started.elapsed() >= frame {
+                    return false;
+                }
+            }
+        }
+    }
+    match conn.out.flush(&conn.stream) {
+        Ok(moved) => {
+            *progress |= moved;
+            if conn.state == ConnState::Closing && conn.out.is_empty() {
+                return false;
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Releases every logical session a finished connection still holds.
+fn teardown(ctx: &LoopCtx<'_>, conn: &mut Conn) {
+    for (_, chan) in conn.channels.drain() {
+        ctx.registry.unregister(chan.registry_id);
+        ctx.stats.note_session_closed();
+    }
+}
+
+/// Runs the event loop until the shutdown flag turns true. This is the
+/// body of the server thread under [`crate::ServerMode::EventLoop`].
+pub(crate) fn run_event_loop(
+    listener: &TcpListener,
+    service: &Arc<dyn WireService>,
+    config: &WireConfig,
+    stats: &Arc<WireStats>,
+    registry: &Arc<SessionRegistry>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let ctx = LoopCtx {
+        service,
+        config,
+        stats,
+        registry,
+    };
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let tick = config.evloop_tick.max(Duration::from_micros(50));
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut progress = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    progress = true;
+                    if stream.set_nonblocking(true).is_ok() && stream.set_nodelay(true).is_ok() {
+                        conns.push(Conn::new(stream, peer, config));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            if serve_conn_pass(&ctx, &mut conns[i], &mut scratch, &mut progress) {
+                i += 1;
+            } else {
+                let mut conn = conns.swap_remove(i);
+                teardown(&ctx, &mut conn);
+            }
+        }
+        if !progress {
+            std::thread::sleep(tick);
+        }
+    }
+    // Graceful exit: tell every open connection, give the frames one
+    // brief chance to flush, release every session.
+    for conn in &mut conns {
+        if conn.state != ConnState::Closing {
+            conn.push_envelope(&Envelope::Error {
+                id: 0,
+                code: ErrorCode::Shutdown,
+                message: "server shutting down".to_owned(),
+            });
+        }
+        let _ = conn.out.flush(&conn.stream);
+    }
+    for conn in &mut conns {
+        teardown(&ctx, conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_ladder_orders_the_tiers() {
+        let config = WireConfig {
+            max_sessions: 8,
+            queue_sessions: 2,
+            shed_sessions: 4,
+            ..WireConfig::default()
+        };
+        assert_eq!(admission(&config, 0), Admission::Accept);
+        assert_eq!(admission(&config, 1), Admission::Accept);
+        assert_eq!(admission(&config, 2), Admission::Queue);
+        assert_eq!(admission(&config, 3), Admission::Queue);
+        assert_eq!(admission(&config, 4), Admission::Shed);
+        assert_eq!(admission(&config, 7), Admission::Shed);
+        assert_eq!(admission(&config, 8), Admission::Refuse);
+        // Disabled tiers collapse to accept-or-refuse.
+        let plain = WireConfig {
+            max_sessions: 2,
+            ..WireConfig::default()
+        };
+        assert_eq!(admission(&plain, 1), Admission::Accept);
+        assert_eq!(admission(&plain, 2), Admission::Refuse);
+    }
+
+    #[test]
+    fn out_queue_consumes_across_segments() {
+        let mut q = OutQueue::default();
+        q.push(Seg::Owned(vec![1, 2, 3]));
+        q.push(Seg::Shared(Arc::from(&[4u8, 5][..])));
+        q.push(Seg::Owned(Vec::new())); // empty segments are dropped
+        assert_eq!(q.bytes, 5);
+        q.consume(2);
+        assert_eq!(q.bytes, 3);
+        assert_eq!(q.head_off, 2);
+        q.consume(2); // crosses the segment boundary
+        assert_eq!(q.bytes, 1);
+        assert_eq!(q.head_off, 1);
+        q.consume(1);
+        assert!(q.is_empty());
+        assert_eq!(q.bytes, 0);
+    }
+}

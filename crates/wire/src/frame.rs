@@ -6,7 +6,8 @@
 //! a hostile prefix cannot reserve memory, and reads can be bounded by
 //! deadlines and interrupted by a shutdown flag.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use crate::error::WireError;
@@ -33,6 +34,134 @@ pub fn write_frame<W: Write>(mut writer: W, body: &[u8], max_frame: u32) -> Resu
     buf.extend_from_slice(body);
     writer.write_all(&buf)?;
     writer.flush()?;
+    Ok(())
+}
+
+/// Writes one frame whose body is scattered across `parts`, without
+/// gathering them into one buffer first: the length header and each
+/// part go out through [`Write::write_vectored`], so an `Arc`-shared
+/// payload segment is never copied on its way to the socket.
+///
+/// # Errors
+///
+/// Refuses bodies over `max_frame` and propagates writer failures.
+pub fn write_frame_parts<W: Write>(
+    mut writer: W,
+    parts: &[&[u8]],
+    max_frame: u32,
+) -> Result<(), WireError> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total > max_frame as usize {
+        return Err(WireError::protocol(format!(
+            "refusing to send {total}-byte frame over the {max_frame}-byte cap"
+        )));
+    }
+    let header = (total as u32).to_le_bytes();
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(1 + parts.len());
+    slices.push(IoSlice::new(&header));
+    for part in parts {
+        if !part.is_empty() {
+            slices.push(IoSlice::new(part));
+        }
+    }
+    write_all_vectored(&mut writer, &slices)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Drains a slice list through `write_vectored`, advancing across
+/// segment boundaries on short writes.
+fn write_all_vectored<W: Write>(writer: &mut W, slices: &[IoSlice<'_>]) -> Result<(), WireError> {
+    let mut seg = 0usize;
+    let mut off = 0usize;
+    while seg < slices.len() {
+        // Rebuild the remaining window (first slice may be partial).
+        let mut window: Vec<IoSlice<'_>> = Vec::with_capacity(slices.len() - seg);
+        window.push(IoSlice::new(&slices[seg][off..]));
+        for s in &slices[seg + 1..] {
+            window.push(IoSlice::new(s));
+        }
+        let mut wrote = match writer.write_vectored(&window) {
+            Ok(0) => return Err(WireError::Io(ErrorKind::WriteZero.into())),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        while seg < slices.len() {
+            let left = slices[seg].len() - off;
+            if wrote < left {
+                off += wrote;
+                break;
+            }
+            wrote -= left;
+            seg += 1;
+            off = 0;
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from a `TcpStream`, retuning the socket's read
+/// timeout each iteration to the *remaining* deadline so a short
+/// timeout cannot overshoot by a whole poll increment. `deadline` of
+/// `None` blocks until the stream delivers or fails.
+///
+/// # Errors
+///
+/// - [`WireError::Deadline`] when the deadline expires.
+/// - [`WireError::Protocol`] on an oversized length prefix.
+/// - [`WireError::Io`] on transport failures (including EOF).
+pub fn read_frame_deadline(
+    stream: &TcpStream,
+    max_frame: u32,
+    deadline: Option<Duration>,
+) -> Result<Vec<u8>, WireError> {
+    let due = deadline.map(|d| Instant::now() + d);
+    let mut len_bytes = [0u8; 4];
+    read_exact_deadline(stream, &mut len_bytes, due, "frame header")?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > max_frame {
+        return Err(WireError::protocol(format!(
+            "declared frame of {len} bytes exceeds the {max_frame}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_deadline(stream, &mut body, due, "frame body")?;
+    Ok(body)
+}
+
+/// Fills `buf` from the stream, tightening the socket read timeout to
+/// the time remaining before `due` on every pass.
+fn read_exact_deadline(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    due: Option<Instant>,
+    during: &'static str,
+) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    if due.is_none() {
+        stream.set_read_timeout(None)?;
+    }
+    while filled < buf.len() {
+        if let Some(due) = due {
+            let remaining = due.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::Deadline { during });
+            }
+            // set_read_timeout(Some(ZERO)) is an error; clamp up.
+            stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        }
+        match (&mut &*stream).read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::Io(ErrorKind::UnexpectedEof.into())),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     Ok(())
 }
 
@@ -183,6 +312,51 @@ mod tests {
             read_frame(&mut cursor, DEFAULT_MAX_FRAME),
             Err(WireError::Io(_))
         ));
+    }
+
+    #[test]
+    fn scattered_parts_match_a_gathered_write() {
+        let mut gathered = Vec::new();
+        write_frame(&mut gathered, b"abcdefgh", DEFAULT_MAX_FRAME).unwrap();
+        let mut scattered = Vec::new();
+        write_frame_parts(
+            &mut scattered,
+            &[b"abc", b"", b"defg", b"h"],
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+        assert_eq!(gathered, scattered);
+        // Empty bodies frame identically too.
+        let mut empty = Vec::new();
+        write_frame_parts(&mut empty, &[], DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(empty, 0u32.to_le_bytes());
+        // The cap counts the sum of the parts.
+        assert!(write_frame_parts(Vec::new(), &[&[0u8; 9], &[0u8; 8]], 16).is_err());
+    }
+
+    /// A writer that accepts at most one byte per call — exercises the
+    /// short-write resume path across segment boundaries.
+    struct Trickle(Vec<u8>);
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_writes_survive_short_writes() {
+        let mut gathered = Vec::new();
+        write_frame(&mut gathered, b"wxyz", DEFAULT_MAX_FRAME).unwrap();
+        let mut out = Trickle(Vec::new());
+        write_frame_parts(&mut out, &[b"wx", b"yz"], DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(out.0, gathered);
     }
 
     #[test]

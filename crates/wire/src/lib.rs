@@ -12,10 +12,17 @@
 //! - [`envelope`]: the hello handshake (magic, version, frame-cap
 //!   negotiation, optional auth token) and request-id'd
 //!   request/response/error envelopes.
-//! - [`server`]: a concurrent thread-per-session [`WireServer`] with a
+//! - [`server`]: a concurrent [`WireServer`] with a
 //!   [`SessionRegistry`], connection cap, and graceful shutdown via
-//!   [`ServerHandle`].
-//! - [`client`]: the blocking [`WireClient`].
+//!   [`ServerHandle`]. Two transports, selected by [`ServerMode`]
+//!   (and the `IPD_WIRE_MODE` environment variable): the classic
+//!   thread-per-session loop, or a readiness-driven event loop over
+//!   nonblocking sockets that multiplexes many logical sessions per
+//!   connection, applies graduated load-shed tiers instead of a hard
+//!   `Busy`, and writes `Arc`-shared payloads zero-copy with vectored
+//!   writes.
+//! - [`client`]: the blocking [`WireClient`], plus the [`MuxClient`]
+//!   that drives many logical sessions over one connection.
 //! - [`stats`]: symmetric per-endpoint [`WireStats`] so server totals
 //!   reconcile exactly against the sum of client-observed counts.
 //!
@@ -28,17 +35,23 @@ pub mod client;
 pub mod codec;
 pub mod envelope;
 mod error;
+mod evloop;
 pub mod frame;
+pub mod mux;
 pub mod server;
 pub mod stats;
 
 pub use client::{ClientConfig, WireClient};
 pub use envelope::{Envelope, MAGIC, VERSION};
 pub use error::{ErrorCode, WireError};
-pub use frame::{read_frame, read_frame_polled, write_frame, Deadlines, DEFAULT_MAX_FRAME};
+pub use frame::{
+    read_frame, read_frame_deadline, read_frame_polled, write_frame, write_frame_parts, Deadlines,
+    DEFAULT_MAX_FRAME,
+};
+pub use mux::MuxClient;
 pub use server::{
-    Reply, ServerHandle, SessionInfo, SessionRegistry, WireConfig, WireServer, WireService,
-    WireSession,
+    Reply, ReplyBody, ServerHandle, ServerMode, SessionInfo, SessionRegistry, WireConfig,
+    WireServer, WireService, WireSession,
 };
 pub use stats::{EndpointStats, WireStats};
 

@@ -1,12 +1,15 @@
 //! The concurrent multi-session wire server.
 //!
-//! A [`WireServer`] accepts any number of connections (up to a cap),
-//! runs each as a thread-per-session protocol loop against a
-//! [`WireSession`] opened by the [`WireService`], tracks live sessions
-//! in a [`SessionRegistry`], counts traffic in a shared
-//! [`WireStats`], and shuts down gracefully: in-flight sessions are
-//! interrupted at the next poll and joined before
-//! [`ServerHandle::shutdown`] returns.
+//! A [`WireServer`] accepts any number of connections (up to a cap)
+//! and serves them through one of two transports selected by
+//! [`ServerMode`]: the classic thread-per-session protocol loop, or
+//! the readiness-driven event loop in [`crate::evloop`] that
+//! multiplexes many logical sessions per connection. Either way each
+//! logical session runs a [`WireSession`] opened by the
+//! [`WireService`], live sessions are tracked in a
+//! [`SessionRegistry`], traffic is counted in a shared [`WireStats`],
+//! and shutdown is graceful: in-flight sessions are interrupted at the
+//! next poll and joined before [`ServerHandle::shutdown`] returns.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -15,10 +18,39 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::envelope::{Envelope, VERSION};
+use crate::envelope::{self, Envelope, VERSION};
 use crate::error::{ErrorCode, WireError};
-use crate::frame::{read_frame_polled, write_frame, Deadlines, DEFAULT_MAX_FRAME};
+use crate::evloop::run_event_loop;
+use crate::frame::{
+    read_frame_polled, write_frame, write_frame_parts, Deadlines, DEFAULT_MAX_FRAME,
+};
 use crate::stats::WireStats;
+
+/// Which transport a [`WireServer`] runs its sessions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// One OS thread per connection (the original transport).
+    #[default]
+    Threaded,
+    /// A single readiness-driven event loop over nonblocking sockets,
+    /// multiplexing every connection — and every logical channel on
+    /// each connection — on one thread.
+    EventLoop,
+}
+
+impl ServerMode {
+    /// The mode selected by the `IPD_WIRE_MODE` environment variable
+    /// (`"evloop"` → [`ServerMode::EventLoop`], anything else →
+    /// [`ServerMode::Threaded`]). This is how CI runs the whole test
+    /// suite over both transports without code changes.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("IPD_WIRE_MODE") {
+            Ok(v) if v.eq_ignore_ascii_case("evloop") => ServerMode::EventLoop,
+            _ => ServerMode::Threaded,
+        }
+    }
+}
 
 /// Transport tuning knobs shared by servers and clients.
 #[derive(Debug, Clone)]
@@ -38,6 +70,25 @@ pub struct WireConfig {
     pub write_timeout: Duration,
     /// How often blocked reads wake to check deadlines and shutdown.
     pub poll_interval: Duration,
+    /// Which transport serves the sessions. Defaults to
+    /// [`ServerMode::from_env`].
+    pub mode: ServerMode,
+    /// Soft session cap: above this many active logical sessions new
+    /// opens are still admitted but counted as queued
+    /// ([`WireStats::sessions_queued`]). `0` disables the tier.
+    pub queue_sessions: usize,
+    /// Shed threshold: above this many active logical sessions,
+    /// *low-priority* channel opens are refused with
+    /// [`ErrorCode::Shed`] (the connection survives). `0` disables the
+    /// tier. [`WireConfig::max_sessions`] stays the hard refusal cap.
+    pub shed_sessions: usize,
+    /// Per-connection cap on queued unsent response bytes in the event
+    /// loop. A connection whose peer stops reading is not read from
+    /// again until its backlog drains below this, so one slow reader
+    /// cannot pin the loop's memory or stall other connections.
+    pub max_backlog: usize,
+    /// Event-loop sleep when no socket made progress in a pass.
+    pub evloop_tick: Duration,
 }
 
 impl Default for WireConfig {
@@ -49,6 +100,11 @@ impl Default for WireConfig {
             frame_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
+            mode: ServerMode::from_env(),
+            queue_sessions: 0,
+            shed_sessions: 0,
+            max_backlog: 4 << 20,
+            evloop_tick: Duration::from_micros(500),
         }
     }
 }
@@ -75,10 +131,54 @@ impl WireConfig {
     }
 }
 
+/// A reply payload: owned bytes built for this response, or a shared
+/// reference-counted segment (e.g. a packed bundle from a store) that
+/// travels to the socket without ever being copied.
+#[derive(Debug, Clone)]
+pub enum ReplyBody {
+    /// Bytes built for this one response.
+    Owned(Vec<u8>),
+    /// A shared segment, written zero-copy as its own vectored-write
+    /// slice.
+    Shared(Arc<[u8]>),
+}
+
+impl ReplyBody {
+    /// The payload bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            ReplyBody::Owned(v) => v,
+            ReplyBody::Shared(a) => a,
+        }
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes().is_empty()
+    }
+
+    /// The payload as owned bytes (copies only the shared variant).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            ReplyBody::Owned(v) => v,
+            ReplyBody::Shared(a) => a.to_vec(),
+        }
+    }
+}
+
 /// A successful reply from a session handler.
 #[derive(Debug)]
 pub struct Reply {
-    body: Vec<u8>,
+    body: ReplyBody,
     end_session: bool,
 }
 
@@ -87,7 +187,17 @@ impl Reply {
     #[must_use]
     pub fn body(body: Vec<u8>) -> Self {
         Reply {
-            body,
+            body: ReplyBody::Owned(body),
+            end_session: false,
+        }
+    }
+
+    /// A normal reply whose payload is a shared segment, served
+    /// zero-copy.
+    #[must_use]
+    pub fn shared(body: Arc<[u8]>) -> Self {
+        Reply {
+            body: ReplyBody::Shared(body),
             end_session: false,
         }
     }
@@ -96,9 +206,25 @@ impl Reply {
     #[must_use]
     pub fn end(body: Vec<u8>) -> Self {
         Reply {
-            body,
+            body: ReplyBody::Owned(body),
             end_session: true,
         }
+    }
+
+    /// The reply payload.
+    #[must_use]
+    pub fn payload(&self) -> &ReplyBody {
+        &self.body
+    }
+
+    /// Whether the session closes after this reply is sent.
+    #[must_use]
+    pub fn ends_session(&self) -> bool {
+        self.end_session
+    }
+
+    pub(crate) fn into_parts(self) -> (ReplyBody, bool) {
+        (self.body, self.end_session)
     }
 }
 
@@ -163,7 +289,7 @@ impl SessionRegistry {
     }
 
     /// Registers a new session, or `None` at the connection cap.
-    fn register(&self, peer: SocketAddr) -> Option<u64> {
+    pub(crate) fn register(&self, peer: SocketAddr) -> Option<u64> {
         let mut active = self.active.lock().expect("registry lock");
         if active.len() >= self.max_sessions {
             return None;
@@ -173,7 +299,7 @@ impl SessionRegistry {
         Some(id)
     }
 
-    fn unregister(&self, id: u64) {
+    pub(crate) fn unregister(&self, id: u64) {
         if self
             .active
             .lock()
@@ -302,9 +428,10 @@ impl WireServer {
         outcome
     }
 
-    /// Starts the accept loop on a background thread, serving every
-    /// connection concurrently (thread per session) until
-    /// [`ServerHandle::shutdown`].
+    /// Starts serving on a background thread until
+    /// [`ServerHandle::shutdown`]: the thread-per-session accept loop
+    /// under [`ServerMode::Threaded`], or the readiness-driven event
+    /// loop under [`ServerMode::EventLoop`].
     #[must_use]
     pub fn start(self, service: Arc<dyn WireService>) -> ServerHandle {
         let WireServer {
@@ -320,8 +447,13 @@ impl WireServer {
             let stats = Arc::clone(&stats);
             let registry = Arc::clone(&registry);
             let config = config.clone();
-            std::thread::spawn(move || {
-                accept_loop(&listener, &service, &config, &stats, &registry, &shutdown);
+            std::thread::spawn(move || match config.mode {
+                ServerMode::Threaded => {
+                    accept_loop(&listener, &service, &config, &stats, &registry, &shutdown);
+                }
+                ServerMode::EventLoop => {
+                    run_event_loop(&listener, &service, &config, &stats, &registry, &shutdown);
+                }
             })
         };
         ServerHandle {
@@ -576,14 +708,10 @@ fn serve_connection(
                 let bytes_in = body.len() as u64;
                 match session.handle(endpoint, &body) {
                     Ok(reply) => {
-                        let bytes_out = reply.body.len() as u64;
-                        let end = reply.end_session;
-                        let response = Envelope::Response {
-                            id,
-                            body: reply.body,
-                        }
-                        .encode();
-                        if response.len() as u64 > u64::from(send_cap) {
+                        let (reply_body, end) = reply.into_parts();
+                        let bytes_out = reply_body.len() as u64;
+                        let header = envelope::response_header(id, reply_body.len());
+                        if (header.len() + reply_body.len()) as u64 > u64::from(send_cap) {
                             stats.record(endpoint, bytes_in, 0, false);
                             send_envelope(
                                 stream,
@@ -601,9 +729,10 @@ fn serve_connection(
                             // client has observed is then guaranteed to
                             // already be in the server totals, so the
                             // two sides reconcile exactly at any
-                            // moment.
+                            // moment. Shared payloads go out as their
+                            // own vectored-write slice, uncopied.
                             stats.record(endpoint, bytes_in, bytes_out, true);
-                            write_frame(stream, &response, send_cap)?;
+                            write_frame_parts(stream, &[&header, reply_body.bytes()], send_cap)?;
                             if end {
                                 return Ok(());
                             }

@@ -51,6 +51,8 @@ pub struct WireStats {
     sessions_opened: AtomicU64,
     sessions_refused: AtomicU64,
     sessions_active: AtomicU64,
+    sessions_queued: AtomicU64,
+    sessions_shed: AtomicU64,
     protocol_errors: AtomicU64,
 }
 
@@ -124,6 +126,19 @@ impl WireStats {
         self.sessions_refused.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Notes a session admitted above the soft cap (the queue tier of
+    /// graduated backpressure): accepted, but flagged so an operator
+    /// can see sustained over-subscription.
+    pub fn note_session_queued(&self) {
+        self.sessions_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a low-priority open load-shed at the shed tier. Unlike a
+    /// refusal the connection survives and may retry.
+    pub fn note_session_shed(&self) {
+        self.sessions_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Notes a malformed frame or envelope (the flood counter).
     pub fn note_protocol_error(&self) {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -147,6 +162,18 @@ impl WireStats {
         self.sessions_active.load(Ordering::Relaxed)
     }
 
+    /// Sessions admitted above the soft cap (queue tier).
+    #[must_use]
+    pub fn sessions_queued(&self) -> u64 {
+        self.sessions_queued.load(Ordering::Relaxed)
+    }
+
+    /// Low-priority opens load-shed at the shed tier.
+    #[must_use]
+    pub fn sessions_shed(&self) -> u64 {
+        self.sessions_shed.load(Ordering::Relaxed)
+    }
+
     /// Malformed frames/envelopes seen.
     #[must_use]
     pub fn protocol_errors(&self) -> u64 {
@@ -160,9 +187,11 @@ impl WireStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "sessions: {} opened, {} active, {} refused; {} protocol error(s)",
+            "sessions: {} opened, {} active, {} queued, {} shed, {} refused; {} protocol error(s)",
             self.sessions_opened(),
             self.sessions_active(),
+            self.sessions_queued(),
+            self.sessions_shed(),
             self.sessions_refused(),
             self.protocol_errors()
         );
@@ -205,8 +234,15 @@ mod tests {
         assert_eq!(stats.sessions_opened(), 2);
         stats.note_session_refused();
         stats.note_protocol_error();
+        stats.note_session_queued();
+        stats.note_session_shed();
+        stats.note_session_shed();
+        assert_eq!(stats.sessions_queued(), 1);
+        assert_eq!(stats.sessions_shed(), 2);
         let report = stats.report(|e| format!("ep{e}"));
         assert!(report.contains("2 opened"));
         assert!(report.contains("1 refused"));
+        assert!(report.contains("1 queued"));
+        assert!(report.contains("2 shed"));
     }
 }
