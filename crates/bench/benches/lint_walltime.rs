@@ -9,7 +9,7 @@ use ipd_bench::harness::{black_box, Harness, Throughput};
 use ipd_bench::{full_width_kcm, sim_workloads};
 use ipd_hdl::{Circuit, FlatNetlist, LogicVec, PortDir};
 use ipd_lint::{lint, Linter};
-use ipd_sim::{Simulator, VectorSweep};
+use ipd_sim::{Simulator, SweepEngine, VectorSweep};
 
 /// One full shard of the 64-lane batch engine: the unit of
 /// simulation work lint is measured against.
@@ -66,6 +66,7 @@ fn main() {
         let stimuli = lane_stimuli(&circuit);
         let runner = VectorSweep::new(&circuit)
             .expect("compile")
+            .engine(SweepEngine::Interpreted)
             .cycles(SWEEP_CYCLES)
             .threads(1);
         b.iter(|| black_box(runner.run(&stimuli).expect("run").total_vectors()))

@@ -1,0 +1,203 @@
+//! X10: compiled-engine sweep throughput — scalar vs interpreted
+//! batch vs compiled bytecode vs compiled + work stealing
+//! (EXPERIMENTS X10).
+//!
+//! X4 established the 64-lane interpreted batch engine's bit-parallel
+//! speedup over the scalar simulator. This bench measures the next
+//! rung: the compiled bytecode engine (256-lane planes, struct-of-
+//! arrays program, no per-node indirection) on the same 1024-vector
+//! verification sweeps over the two hardest X4 workloads, single-
+//! threaded for the pure engine speedup and then with the
+//! work-stealing scheduler across all cores. All figures are
+//! lane-normalized vectors per second, X4-style: wall clock over the
+//! whole sweep divided into the vector count, so wider planes only
+//! win by actually finishing sooner.
+//!
+//! `IPD_BENCH_FAST=1` shrinks the sweep and repeat counts and skips
+//! the headline speedup assertion (used by the CI smoke + perf-gate
+//! step). The run always writes a flat JSON summary (`IPD_BENCH_OUT`,
+//! default `BENCH_sim.json`) with `*_vps` keys for `bench_gate` to
+//! compare against the committed baseline.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use ipd_bench::sim_workloads;
+use ipd_hdl::{Circuit, LogicVec, PortDir};
+use ipd_sim::{Simulator, SweepEngine, VectorSweep};
+
+/// Clock cycles per vector (covers the pipelined workloads' latency).
+const SWEEP_CYCLES: u64 = 2;
+
+/// The X10 workloads: the largest FIR and the full-width KCM from the
+/// X4 sweep.
+const WORKLOADS: &[&str] = &["fir_t16", "kcm_w16"];
+
+struct Run {
+    label: String,
+    vectors: usize,
+    vectors_per_sec: f64,
+}
+
+/// One value of the first data input per vector, spread over the
+/// input range.
+fn sweep_stimuli(circuit: &Circuit, vectors: usize) -> Vec<Vec<(String, LogicVec)>> {
+    let sim = Simulator::new(circuit).expect("compile");
+    let (input, width) = sim
+        .ports()
+        .into_iter()
+        .find(|(n, d, _)| *d == PortDir::Input && n != "clk")
+        .map(|(n, _, w)| (n, w as usize))
+        .expect("a data input");
+    (0..vectors)
+        .map(|k| {
+            vec![(
+                input.clone(),
+                LogicVec::from_u64(k as u64 * 0x9e37 % (1 << width.min(63)), width),
+            )]
+        })
+        .collect()
+}
+
+/// Times `repeats` full passes of `body` (after one warmup pass) and
+/// reports lane-normalized vectors per second.
+fn measure<F: FnMut() -> usize>(label: &str, repeats: usize, mut body: F) -> Run {
+    let vectors = body();
+    let start = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..repeats {
+        total += body();
+    }
+    let wall = start.elapsed();
+    Run {
+        label: label.to_owned(),
+        vectors,
+        vectors_per_sec: total as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+fn bench_workload(name: &str, circuit: &Circuit, vectors: usize, repeats: usize) -> Vec<Run> {
+    let stimuli = sweep_stimuli(circuit, vectors);
+    let mut runs = Vec::new();
+
+    let mut scalar = Simulator::new(circuit).expect("compile");
+    let out_ports: Vec<String> = scalar
+        .ports()
+        .into_iter()
+        .filter(|(_, d, _)| *d == PortDir::Output)
+        .map(|(n, _, _)| n)
+        .collect();
+    runs.push(measure(&format!("{name}_scalar"), repeats, || {
+        for stim in &stimuli {
+            scalar.reset();
+            for (port, value) in stim {
+                scalar.set(port, value.clone()).expect("set");
+            }
+            scalar.cycle(SWEEP_CYCLES).expect("cycle");
+            for port in &out_ports {
+                std::hint::black_box(scalar.peek(port).expect("peek"));
+            }
+        }
+        stimuli.len()
+    }));
+
+    let interpreted = VectorSweep::new(circuit)
+        .expect("compile")
+        .engine(SweepEngine::Interpreted)
+        .cycles(SWEEP_CYCLES)
+        .threads(1);
+    runs.push(measure(&format!("{name}_batch_1t"), repeats, || {
+        interpreted.run(&stimuli).expect("run").total_vectors()
+    }));
+
+    let compiled = VectorSweep::new(circuit)
+        .expect("compile")
+        .cycles(SWEEP_CYCLES)
+        .threads(1);
+    runs.push(measure(&format!("{name}_compiled_1t"), repeats, || {
+        compiled.run(&stimuli).expect("run").total_vectors()
+    }));
+
+    let stealing = VectorSweep::new(circuit)
+        .expect("compile")
+        .cycles(SWEEP_CYCLES);
+    runs.push(measure(&format!("{name}_compiled_steal"), repeats, || {
+        stealing.run(&stimuli).expect("run").total_vectors()
+    }));
+
+    // The engines must agree before any number is worth reporting.
+    let fast = compiled.run(&stimuli).expect("run");
+    let slow = interpreted.run(&stimuli).expect("run");
+    assert_eq!(fast.outputs, slow.outputs, "engines diverge on {name}");
+
+    runs
+}
+
+fn write_json(runs: &[Run]) {
+    let path = std::env::var("IPD_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_owned());
+    let mut out = String::from("{\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  \"{label}_vps\": {vps:.1}{comma}\n",
+            label = run.label,
+            vps = run.vectors_per_sec,
+        ));
+    }
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(&path).expect("create bench JSON");
+    file.write_all(out.as_bytes()).expect("write bench JSON");
+    println!("wrote {path}");
+}
+
+fn lookup(runs: &[Run], label: &str) -> f64 {
+    runs.iter()
+        .find(|r| r.label == label)
+        .map(|r| r.vectors_per_sec)
+        .expect("measured run")
+}
+
+fn main() {
+    let fast = std::env::var_os("IPD_BENCH_FAST").is_some();
+    let vectors = if fast { 256 } else { 1024 };
+    let repeats = if fast { 2 } else { 10 };
+
+    let mut runs = Vec::new();
+    for (name, circuit) in sim_workloads() {
+        if WORKLOADS.contains(&name.as_str()) {
+            runs.extend(bench_workload(&name, &circuit, vectors, repeats));
+        }
+    }
+
+    println!("=== X10: compiled-engine sweep throughput ({SWEEP_CYCLES} cycles/vector) ===");
+    println!(
+        "mode                     : {}",
+        if fast { "fast" } else { "full" }
+    );
+    println!("{:<26} {:>9} {:>14}", "run", "vectors", "vectors/s");
+    for run in &runs {
+        println!(
+            "{:<26} {:>9} {:>14.0}",
+            run.label, run.vectors, run.vectors_per_sec
+        );
+    }
+
+    write_json(&runs);
+
+    // The headline claim, asserted only under full measurement runs:
+    // the compiled engine must beat the interpreted batch engine by 3x
+    // on fir_t16, single-threaded and lane-normalized.
+    if !fast {
+        let batch = lookup(&runs, "fir_t16_batch_1t");
+        let compiled = lookup(&runs, "fir_t16_compiled_1t");
+        assert!(
+            compiled >= 3.0 * batch,
+            "compiled engine ({compiled:.0} vec/s) must be at least 3x \
+             the interpreted batch engine ({batch:.0} vec/s) on fir_t16"
+        );
+        println!(
+            "speedup on fir_t16       : {:.1}x compiled over interpreted (1 thread)",
+            compiled / batch
+        );
+    }
+}

@@ -7,7 +7,7 @@
 use ipd_bench::harness::{black_box, Harness, Throughput};
 use ipd_bench::sim_workloads;
 use ipd_hdl::{LogicVec, PortDir};
-use ipd_sim::{Simulator, VectorSweep};
+use ipd_sim::{Simulator, SweepEngine, VectorSweep};
 
 /// Vectors per sweep in the scalar-vs-batch comparison (4 full
 /// 64-lane shards).
@@ -100,9 +100,12 @@ fn main() {
                 }
             })
         });
+        // X4 measures the interpreted batch engine; the compiled
+        // engine has its own suite (X10, sim_fleet.rs).
         sweep.bench_function(format!("batch_1thread/{name}"), |b| {
             let runner = VectorSweep::new(&circuit)
                 .expect("compile")
+                .engine(SweepEngine::Interpreted)
                 .cycles(SWEEP_CYCLES)
                 .threads(1);
             b.iter(|| black_box(runner.run(&stimuli).expect("run").total_vectors()))
@@ -110,6 +113,7 @@ fn main() {
         sweep.bench_function(format!("batch_threaded/{name}"), |b| {
             let runner = VectorSweep::new(&circuit)
                 .expect("compile")
+                .engine(SweepEngine::Interpreted)
                 .cycles(SWEEP_CYCLES);
             b.iter(|| black_box(runner.run(&stimuli).expect("run").total_vectors()))
         });

@@ -18,7 +18,7 @@
 //! `IPD_BENCH_FAST=1` shrinks request budgets and skips the largest
 //! fleet (used by the CI smoke + perf-gate step). The run always
 //! writes a flat JSON summary (`IPD_BENCH_OUT`, default
-//! `BENCH_wire.json`) for `wire_gate` to compare against the
+//! `BENCH_wire.json`) for `bench_gate` to compare against the
 //! committed baseline.
 
 use std::io::Write as _;

@@ -118,7 +118,7 @@ fn known1(p: Planes) -> u64 {
 
 /// Four-state NOT: `X`/`Z` → `X`.
 #[inline]
-fn not_k(p: Planes) -> Planes {
+pub(crate) fn not_k(p: Planes) -> Planes {
     Planes {
         v: !p.v & !p.u,
         u: p.u,
@@ -127,7 +127,7 @@ fn not_k(p: Planes) -> Planes {
 
 /// Buffer pessimism: driven values pass, `X`/`Z` → `X`.
 #[inline]
-fn pess(p: Planes) -> Planes {
+pub(crate) fn pess(p: Planes) -> Planes {
     Planes {
         v: p.v & !p.u,
         u: p.u,
@@ -136,7 +136,7 @@ fn pess(p: Planes) -> Planes {
 
 /// Four-state AND: a driven 0 dominates any unknown.
 #[inline]
-fn and_k(a: Planes, b: Planes) -> Planes {
+pub(crate) fn and_k(a: Planes, b: Planes) -> Planes {
     let zero = known0(a) | known0(b);
     let one = known1(a) & known1(b);
     Planes {
@@ -147,7 +147,7 @@ fn and_k(a: Planes, b: Planes) -> Planes {
 
 /// Four-state OR: a driven 1 dominates any unknown.
 #[inline]
-fn or_k(a: Planes, b: Planes) -> Planes {
+pub(crate) fn or_k(a: Planes, b: Planes) -> Planes {
     let one = known1(a) | known1(b);
     let zero = known0(a) & known0(b);
     Planes {
@@ -158,7 +158,7 @@ fn or_k(a: Planes, b: Planes) -> Planes {
 
 /// Four-state XOR: known only when both inputs are driven.
 #[inline]
-fn xor_k(a: Planes, b: Planes) -> Planes {
+pub(crate) fn xor_k(a: Planes, b: Planes) -> Planes {
     let u = a.u | b.u;
     Planes {
         v: (a.v ^ b.v) & !u,
@@ -170,7 +170,7 @@ fn xor_k(a: Planes, b: Planes) -> Planes {
 /// pessimized), unknown select → the common value when both data
 /// inputs are driven and agree, else `X`.
 #[inline]
-fn mux_k(sel: Planes, d0: Planes, d1: Planes) -> Planes {
+pub(crate) fn mux_k(sel: Planes, d0: Planes, d1: Planes) -> Planes {
     let s0 = known0(sel);
     let s1 = known1(sel);
     let su = sel.u;
@@ -187,7 +187,7 @@ fn mux_k(sel: Planes, d0: Planes, d1: Planes) -> Planes {
 /// is exactly the scalar cofactor analysis: a known input selects its
 /// cofactor, an unknown input yields a known result only when both
 /// cofactors are driven and agree.
-fn lut_k(n: usize, init: u16, ins: &[Planes]) -> Planes {
+pub(crate) fn lut_k(n: usize, init: u16, ins: &[Planes]) -> Planes {
     if n == 0 {
         return Planes::splat(Logic::from_bool(init & 1 == 1));
     }
@@ -200,7 +200,7 @@ fn lut_k(n: usize, init: u16, ins: &[Planes]) -> Planes {
 /// Asynchronous 16×1 word read with a 4-bit address. Known addresses
 /// select their word bit; lanes with any unknown address bit read the
 /// common value when all 16 word bits are driven and agree, else `X`.
-fn word_read_k(addr: &[Planes], word: &[Planes; 16]) -> Planes {
+pub(crate) fn word_read_k(addr: &[Planes], word: &[Planes; 16]) -> Planes {
     let mut unk = 0u64;
     for a in addr {
         unk |= a.u;
@@ -348,10 +348,17 @@ impl BatchSimulator {
         clock_port: Option<&str>,
         lanes: usize,
     ) -> Result<Self, SimError> {
+        let compiled = compile(flat, clock_port)?;
+        Self::from_compiled(compiled, lanes)
+    }
+
+    /// Instantiates a simulator over an already-compiled model (the
+    /// sweep runner compiles once and stamps out per-shard instances
+    /// with exact lane counts).
+    pub(crate) fn from_compiled(compiled: Compiled, lanes: usize) -> Result<Self, SimError> {
         if lanes == 0 || lanes > MAX_LANES {
             return Err(SimError::InvalidLanes { lanes });
         }
-        let compiled = compile(flat, clock_port)?;
         let mut sim = BatchSimulator {
             lanes,
             nets: vec![Planes::splat(Logic::X); compiled.net_count],
@@ -364,6 +371,11 @@ impl BatchSimulator {
         };
         sim.power_on();
         Ok(sim)
+    }
+
+    /// The compiled model (shared source for program lowering).
+    pub(crate) fn compiled(&self) -> &Compiled {
+        &self.compiled
     }
 
     /// Number of stimulus lanes.

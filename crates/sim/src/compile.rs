@@ -71,6 +71,12 @@ pub(crate) struct Compiled {
     /// arbitrary order (relaxation mode).
     pub eval_order: Vec<EvalNode>,
     pub levelized: bool,
+    /// Number of leading `eval_order` nodes that form a topologically
+    /// sorted acyclic prefix depending only on earlier prefix nodes,
+    /// primary inputs, constants and state outputs. Equal to
+    /// `eval_order.len()` when `levelized`; in relaxation mode only
+    /// the remainder needs fixpoint iteration.
+    pub acyclic_prefix: usize,
     pub seq: Vec<SeqUpdate>,
     /// Paths of sequential/memory leaves, parallel to state indices.
     pub state_paths: Vec<String>,
@@ -330,7 +336,8 @@ pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Co
     // Levelize the evaluation network (Kahn's algorithm). Nodes whose
     // inputs are only primary inputs, constants or state outputs are
     // sources.
-    let (eval_order, levelized) = levelize(eval_nodes, net_count);
+    let (eval_order, acyclic_prefix) = levelize(eval_nodes, net_count);
+    let levelized = acyclic_prefix == eval_order.len();
 
     Ok(Compiled {
         net_count,
@@ -338,6 +345,7 @@ pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Co
         name_to_net,
         eval_order,
         levelized,
+        acyclic_prefix,
         seq,
         state_paths,
         const_drives,
@@ -347,10 +355,12 @@ pub(crate) fn compile(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Co
     })
 }
 
-/// Topologically sorts evaluation nodes. Returns `(order, true)` when a
-/// full levelization exists; otherwise returns the nodes with the
-/// acyclic prefix sorted and `false` (relaxation required).
-fn levelize(nodes: Vec<EvalNode>, net_count: usize) -> (Vec<EvalNode>, bool) {
+/// Topologically sorts evaluation nodes. Returns the reordered nodes
+/// plus the length of the sorted acyclic prefix; when the prefix
+/// covers every node the network is fully levelized, otherwise the
+/// cyclic remainder is appended in original order (relaxation
+/// required for those nodes only).
+fn levelize(nodes: Vec<EvalNode>, net_count: usize) -> (Vec<EvalNode>, usize) {
     // Map: net -> producing node index.
     let mut producer: Vec<Option<usize>> = vec![None; net_count];
     for (i, n) in nodes.iter().enumerate() {
@@ -387,10 +397,10 @@ fn levelize(nodes: Vec<EvalNode>, net_count: usize) -> (Vec<EvalNode>, bool) {
             }
         }
     }
-    let levelized = order.len() == nodes.len();
-    if !levelized {
+    let acyclic_prefix = order.len();
+    if acyclic_prefix != nodes.len() {
         // Append the cyclic remainder in original order; the simulator
-        // will iterate to a fixpoint.
+        // will iterate those nodes to a fixpoint.
         for (i, seen) in emitted.iter().enumerate() {
             if !seen {
                 order.push(i);
@@ -402,5 +412,5 @@ fn levelize(nodes: Vec<EvalNode>, net_count: usize) -> (Vec<EvalNode>, bool) {
         .into_iter()
         .map(|i| by_index[i].take().expect("each node emitted once"))
         .collect();
-    (ordered, levelized)
+    (ordered, acyclic_prefix)
 }

@@ -76,7 +76,8 @@ pub enum SimError {
         lanes: usize,
     },
     /// A batch simulator was configured with an unsupported lane count
-    /// (must be 1–64: one bit per lane in a 64-bit plane word).
+    /// (at least 1, at most the engine's plane width: 64 lanes for the
+    /// interpreted engine, 256 for the compiled engine).
     InvalidLanes {
         /// The requested lane count.
         lanes: usize,
@@ -124,7 +125,10 @@ impl fmt::Display for SimError {
                 write!(f, "lane {lane} out of range: batch has {lanes} lanes")
             }
             SimError::InvalidLanes { lanes } => {
-                write!(f, "invalid lane count {lanes}: must be between 1 and 64")
+                write!(
+                    f,
+                    "invalid lane count {lanes}: must be between 1 and the engine's plane width"
+                )
             }
         }
     }

@@ -9,8 +9,13 @@
 //! - [`BatchSimulator`] — bit-parallel batch simulation: up to 64
 //!   stimulus vectors per pass, bit-identical to the scalar simulator
 //!   lane for lane.
-//! - [`VectorSweep`] — shard arbitrary stimulus sets into 64-lane
-//!   batches across threads, with throughput counters.
+//! - [`CompiledSimulator`] — the compiled backend: the levelized
+//!   netlist lowered to flat bytecode and executed over 256-lane
+//!   planes, bit-exact with the interpreted engines.
+//! - [`VectorSweep`] — shard arbitrary stimulus sets into
+//!   lane-parallel batches across a work-stealing thread pool, with
+//!   throughput counters (compiled engine by default, interpreted via
+//!   [`SweepEngine`]).
 //! - [`Trace`] / [`write_vcd`] — waveform recording and Value Change
 //!   Dump export for conventional viewers.
 //!
@@ -50,14 +55,19 @@
 mod batch;
 mod compile;
 mod error;
+mod exec;
+mod program;
 mod simulator;
+#[cfg(feature = "threads")]
+mod steal;
 mod sweep;
 mod waveform;
 
 pub use batch::{BatchSimulator, MAX_LANES};
 pub use error::SimError;
+pub use exec::{CompiledSimulator, COMPILED_MAX_LANES};
 pub use simulator::Simulator;
-pub use sweep::{ShardStats, Stimulus, SweepReport, VectorSweep};
+pub use sweep::{ShardStats, Stimulus, SweepEngine, SweepReport, VectorSweep};
 pub use waveform::{write_vcd, Trace};
 
 #[cfg(test)]

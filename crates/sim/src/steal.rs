@@ -1,0 +1,298 @@
+//! A small work-stealing job runtime, hand-rolled on std.
+//!
+//! [`run_steal`] executes `jobs` independent, statically known jobs
+//! (indices `0..jobs`) across `workers` OS threads and returns the
+//! outputs in job order. The structure:
+//!
+//! - **Injector.** An atomic cursor over the job range. An idle worker
+//!   grabs a contiguous chunk (grain-sized) in one compare-exchange,
+//!   so the common case touches one shared cache line per *chunk*
+//!   instead of per job.
+//! - **Per-worker deques.** Each worker's chunk lives in a single
+//!   packed `AtomicU64` — `(start << 32) | end`. The owner pops from
+//!   the front with a compare-exchange; a thief splits off the back
+//!   half (`(len + 1) / 2`, so a single remaining job is fully taken)
+//!   with a competing compare-exchange on the same word. Because both
+//!   transitions go through one atomic, a pop and a steal can never
+//!   both claim the same index.
+//! - **No ABA.** The only plain store is the owner refilling its own
+//!   deque after observing it empty. Thieves never compare-exchange an
+//!   empty range, and for any fixed `end` the `start` of every range
+//!   ever stored is strictly increasing (the injector cursor only
+//!   moves forward and splits only shrink ranges), so a stale snapshot
+//!   can never match a refilled value.
+//! - **Termination.** Jobs cannot spawn jobs, so a completion counter
+//!   reaching the job count means the sweep is done; a worker that
+//!   finds the injector dry and nothing to steal yields until then.
+//!
+//! Errors abort the run: the first error is kept, a flag stops the
+//! other workers at their next dispatch point, and [`run_steal`]
+//! returns it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One worker's job range, packed as `(start << 32) | end`.
+struct Deque {
+    range: AtomicU64,
+}
+
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+fn unpack(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
+impl Deque {
+    fn new() -> Self {
+        Deque {
+            range: AtomicU64::new(pack(0, 0)),
+        }
+    }
+
+    /// Owner: takes the front job, or `None` when empty.
+    fn pop_front(&self) -> Option<u32> {
+        loop {
+            let cur = self.range.load(Ordering::Acquire);
+            let (start, end) = unpack(cur);
+            if start >= end {
+                return None;
+            }
+            if self
+                .range
+                .compare_exchange_weak(
+                    cur,
+                    pack(start + 1, end),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return Some(start);
+            }
+        }
+    }
+
+    /// Thief: splits off the back half, or `None` when empty.
+    fn steal(&self) -> Option<(u32, u32)> {
+        loop {
+            let cur = self.range.load(Ordering::Acquire);
+            let (start, end) = unpack(cur);
+            let len = end - start;
+            if len == 0 {
+                return None;
+            }
+            let mid = end - len.div_ceil(2);
+            if self
+                .range
+                .compare_exchange_weak(cur, pack(start, mid), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((mid, end));
+            }
+        }
+    }
+
+    /// Owner only, and only after observing its own deque empty:
+    /// installs a freshly acquired range.
+    fn refill(&self, start: u32, end: u32) {
+        self.range.store(pack(start, end), Ordering::Release);
+    }
+}
+
+/// Counters describing one [`run_steal`] execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StealStats {
+    /// Successful steal operations across all workers.
+    pub steals: u64,
+}
+
+/// Runs `f(job)` for every job index in `0..jobs` across `workers`
+/// threads with work stealing, returning outputs in job order plus
+/// runtime counters. The first error aborts the run.
+pub(crate) fn run_steal<T, E, F>(
+    jobs: usize,
+    workers: usize,
+    grain: usize,
+    f: F,
+) -> Result<(Vec<T>, StealStats), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let mut results: Vec<Option<T>> = Vec::with_capacity(jobs);
+    results.resize_with(jobs, || None);
+    if jobs == 0 {
+        return Ok((Vec::new(), StealStats::default()));
+    }
+    let workers = workers.min(jobs).max(1);
+    if workers == 1 {
+        // No concurrency: run inline without any atomics.
+        let mut out = Vec::with_capacity(jobs);
+        for job in 0..jobs {
+            out.push(f(job)?);
+        }
+        return Ok((out, StealStats::default()));
+    }
+
+    let grain = grain.max(1);
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let steals = AtomicU64::new(0);
+    let error: Mutex<Option<E>> = Mutex::new(None);
+    let deques: Vec<Deque> = (0..workers).map(|_| Deque::new()).collect();
+    let collected: Mutex<&mut Vec<Option<T>>> = Mutex::new(&mut results);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let cursor = &cursor;
+            let done = &done;
+            let abort = &abort;
+            let steals = &steals;
+            let error = &error;
+            let collected = &collected;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                'work: while !abort.load(Ordering::Relaxed) {
+                    if let Some(job) = deques[me].pop_front() {
+                        match f(job as usize) {
+                            Ok(value) => {
+                                local.push((job as usize, value));
+                                done.fetch_add(1, Ordering::AcqRel);
+                            }
+                            Err(e) => {
+                                error.lock().expect("error lock").get_or_insert(e);
+                                abort.store(true, Ordering::Release);
+                                break 'work;
+                            }
+                        }
+                        continue;
+                    }
+                    // Refill from the injector.
+                    let mut refilled = false;
+                    loop {
+                        let at = cursor.load(Ordering::Acquire);
+                        if at >= jobs {
+                            break;
+                        }
+                        let to = (at + grain).min(jobs);
+                        if cursor
+                            .compare_exchange_weak(at, to, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            deques[me].refill(at as u32, to as u32);
+                            refilled = true;
+                            break;
+                        }
+                    }
+                    if refilled {
+                        continue;
+                    }
+                    // Injector dry: steal from a sibling.
+                    for offset in 1..workers {
+                        let victim = (me + offset) % workers;
+                        if let Some((start, end)) = deques[victim].steal() {
+                            deques[me].refill(start, end);
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            continue 'work;
+                        }
+                    }
+                    if done.load(Ordering::Acquire) >= jobs {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                let mut slots = collected.lock().expect("results lock");
+                for (job, value) in local {
+                    slots[job] = Some(value);
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    let out = results
+        .into_iter()
+        .map(|slot| slot.expect("every job completed"))
+        .collect();
+    Ok((
+        out,
+        StealStats {
+            steals: steals.into_inner(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_run_exactly_once_in_order() {
+        for jobs in [0usize, 1, 2, 7, 64, 257, 1000] {
+            let hits: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+            let (out, _stats) = run_steal::<usize, (), _>(jobs, 8, 4, |job| {
+                hits[job].fetch_add(1, Ordering::Relaxed);
+                Ok(job * 3)
+            })
+            .expect("no errors");
+            assert_eq!(out.len(), jobs);
+            for (job, value) in out.iter().enumerate() {
+                assert_eq!(*value, job * 3);
+            }
+            for (job, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "job {job} ran once");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_rebalance() {
+        // One pathological chunk of slow jobs: the run must still
+        // finish with every output intact (steals may or may not occur
+        // depending on scheduling, so only correctness is asserted).
+        let (out, _stats) = run_steal::<usize, (), _>(64, 4, 16, |job| {
+            if job < 16 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            Ok(job)
+        })
+        .expect("no errors");
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_error_aborts() {
+        let err = run_steal::<usize, String, _>(100, 4, 2, |job| {
+            if job == 37 {
+                Err("boom".to_owned())
+            } else {
+                Ok(job)
+            }
+        })
+        .expect_err("error propagates");
+        assert_eq!(err, "boom");
+    }
+
+    #[test]
+    fn deque_split_takes_back_half() {
+        let d = Deque::new();
+        d.refill(10, 20);
+        assert_eq!(d.steal(), Some((15, 20)));
+        assert_eq!(d.pop_front(), Some(10));
+        // A single remaining job is fully taken by a thief.
+        let d = Deque::new();
+        d.refill(7, 8);
+        assert_eq!(d.steal(), Some((7, 8)));
+        assert_eq!(d.steal(), None);
+        assert_eq!(d.pop_front(), None);
+    }
+}

@@ -1,11 +1,21 @@
-//! Sharded stimulus sweeps over the batch simulator.
+//! Sharded stimulus sweeps over the batch engines.
 //!
 //! A [`VectorSweep`] runs an arbitrary number of stimulus vectors
-//! through a circuit by packing them into 64-lane
-//! [`BatchSimulator`](crate::BatchSimulator) shards, optionally
-//! spreading shards across OS threads (the default `threads` cargo
-//! feature; sequential otherwise), and reporting per-shard and overall
-//! throughput.
+//! through a circuit by packing them into lane-parallel shards —
+//! 256-lane [`CompiledSimulator`](crate::CompiledSimulator) shards by
+//! default, or 64-lane interpreted
+//! [`BatchSimulator`](crate::BatchSimulator) shards via
+//! [`SweepEngine::Interpreted`] — optionally spreading shards across
+//! OS threads with a work-stealing scheduler (the default `threads`
+//! cargo feature; sequential otherwise), and reporting per-shard and
+//! overall throughput.
+//!
+//! The circuit is compiled (and, for the compiled engine, lowered to
+//! bytecode) exactly once; every shard shares the program and pays
+//! only a plane-arena allocation. A shard holds exactly as many lanes
+//! as it has vectors, so a stimulus count that is not a multiple of
+//! the lane width never pads with X lanes — partial planes are masked
+//! and the throughput stats count real vectors only.
 //!
 //! Every vector is simulated from power-on: inputs applied, `cycles`
 //! clock edges, outputs sampled — the natural shape for exhaustive
@@ -40,12 +50,15 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ipd_hdl::{Circuit, FlatNetlist, LogicVec, PortDir};
 
 use crate::batch::{BatchSimulator, MAX_LANES};
 use crate::error::SimError;
+use crate::exec::{CompiledSimulator, COMPILED_MAX_LANES};
+use crate::program::Program;
 
 /// One stimulus vector: `(input port, value)` assignments.
 pub type Stimulus = Vec<(String, LogicVec)>;
@@ -53,12 +66,28 @@ pub type Stimulus = Vec<(String, LogicVec)>;
 /// Per-vector output rows produced by one shard.
 type ShardOutputs = Vec<Vec<(String, LogicVec)>>;
 
-/// Timing for one 64-lane shard of a sweep.
+/// Which execution engine a [`VectorSweep`] runs its shards on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SweepEngine {
+    /// The 256-lane compiled bytecode engine
+    /// ([`CompiledSimulator`](crate::CompiledSimulator)) — the
+    /// default.
+    #[default]
+    Compiled,
+    /// The 64-lane interpreted engine
+    /// ([`BatchSimulator`](crate::BatchSimulator)); useful as a
+    /// differential oracle and for apples-to-apples comparisons with
+    /// pre-compiled-backend measurements.
+    Interpreted,
+}
+
+/// Timing for one lane-parallel shard of a sweep.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
     /// Shard index in submission order.
     pub shard: usize,
-    /// Stimulus vectors simulated by this shard.
+    /// Stimulus vectors simulated by this shard (equals its lane
+    /// count: partial final shards are never padded).
     pub vectors: usize,
     /// Wall-clock time the shard spent simulating.
     pub elapsed: Duration,
@@ -82,6 +111,9 @@ pub struct SweepReport {
     pub shards: Vec<ShardStats>,
     /// Total wall-clock time for the whole sweep.
     pub elapsed: Duration,
+    /// Shard ranges migrated between workers by the work-stealing
+    /// scheduler (0 for sequential or single-worker runs).
+    pub steals: u64,
 }
 
 impl SweepReport {
@@ -98,11 +130,16 @@ impl SweepReport {
     }
 }
 
-/// A reusable sweep runner: compile once, shard stimulus into 64-lane
-/// batches, run shards in parallel.
+/// A reusable sweep runner: compile (and lower) once, shard stimulus
+/// into lane-parallel batches, run shards across worker threads with
+/// work stealing.
 #[derive(Debug, Clone)]
 pub struct VectorSweep {
+    /// Compiled model holder; interpreted shards clone from it.
     proto: BatchSimulator,
+    /// Lowered bytecode shared by compiled shards.
+    program: Arc<Program>,
+    engine: SweepEngine,
     cycles: u64,
     threads: usize,
 }
@@ -134,8 +171,12 @@ impl VectorSweep {
     ///
     /// As for [`BatchSimulator::new`].
     pub fn from_flat(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Self, SimError> {
+        let proto = BatchSimulator::from_flat(flat, clock_port, MAX_LANES)?;
+        let program = Program::lower(proto.compiled());
         Ok(VectorSweep {
-            proto: BatchSimulator::from_flat(flat, clock_port, MAX_LANES)?,
+            proto,
+            program,
+            engine: SweepEngine::default(),
             cycles: 0,
             threads: default_threads(),
         })
@@ -158,6 +199,22 @@ impl VectorSweep {
         self
     }
 
+    /// Selects the execution engine (default:
+    /// [`SweepEngine::Compiled`]).
+    #[must_use]
+    pub fn engine(mut self, engine: SweepEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Lanes per shard for the configured engine.
+    fn lane_width(&self) -> usize {
+        match self.engine {
+            SweepEngine::Compiled => COMPILED_MAX_LANES,
+            SweepEngine::Interpreted => MAX_LANES,
+        }
+    }
+
     /// Runs every stimulus vector and collects outputs plus
     /// throughput counters.
     ///
@@ -166,57 +223,30 @@ impl VectorSweep {
     /// Propagates the first set/cycle/peek error from any shard.
     pub fn run(&self, stimuli: &[Stimulus]) -> Result<SweepReport, SimError> {
         let start = Instant::now();
-        let jobs: Vec<(usize, &[Stimulus])> = stimuli.chunks(MAX_LANES).enumerate().collect();
-        let mut results: Vec<Option<(ShardOutputs, ShardStats)>> = vec![None; jobs.len()];
+        let jobs: Vec<&[Stimulus]> = stimuli.chunks(self.lane_width()).collect();
 
         #[cfg(feature = "threads")]
-        {
-            use std::sync::atomic::{AtomicUsize, Ordering};
-            use std::sync::Mutex;
-
+        let (results, steals) = {
             let workers = self.threads.min(jobs.len()).max(1);
-            if workers > 1 {
-                let next = AtomicUsize::new(0);
-                let out = Mutex::new(&mut results);
-                let error: Mutex<Option<SimError>> = Mutex::new(None);
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(|| loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((shard, chunk)) = jobs.get(k).copied() else {
-                                break;
-                            };
-                            match self.run_shard(shard, chunk) {
-                                Ok(r) => {
-                                    out.lock().expect("results lock")[k] = Some(r);
-                                }
-                                Err(e) => {
-                                    error.lock().expect("error lock").get_or_insert(e);
-                                    break;
-                                }
-                            }
-                        });
-                    }
-                });
-                if let Some(e) = error.into_inner().expect("error lock") {
-                    return Err(e);
-                }
-            } else {
-                for (k, &(shard, chunk)) in jobs.iter().enumerate() {
-                    results[k] = Some(self.run_shard(shard, chunk)?);
-                }
-            }
-        }
+            let grain = (jobs.len() / (workers * 4)).clamp(1, 64);
+            let (results, stats) = crate::steal::run_steal(jobs.len(), workers, grain, |k| {
+                self.run_shard(k, jobs[k])
+            })?;
+            (results, stats.steals)
+        };
 
         #[cfg(not(feature = "threads"))]
-        for (k, &(shard, chunk)) in jobs.iter().enumerate() {
-            results[k] = Some(self.run_shard(shard, chunk)?);
-        }
+        let (results, steals) = {
+            let mut results = Vec::with_capacity(jobs.len());
+            for (k, chunk) in jobs.iter().enumerate() {
+                results.push(self.run_shard(k, chunk)?);
+            }
+            (results, 0)
+        };
 
         let mut outputs = Vec::with_capacity(stimuli.len());
         let mut shards = Vec::with_capacity(results.len());
-        for r in results {
-            let (mut shard_outputs, stats) = r.expect("every shard ran");
+        for (mut shard_outputs, stats) in results {
             outputs.append(&mut shard_outputs);
             shards.push(stats);
         }
@@ -224,34 +254,52 @@ impl VectorSweep {
             outputs,
             shards,
             elapsed: start.elapsed(),
+            steals,
         })
     }
 
-    /// Runs one ≤64-vector shard on a fresh clone of the compiled
-    /// batch simulator.
+    /// Runs one shard with exactly `chunk.len()` lanes on the
+    /// configured engine.
     fn run_shard(
         &self,
         shard: usize,
         chunk: &[Stimulus],
     ) -> Result<(ShardOutputs, ShardStats), SimError> {
         let t0 = Instant::now();
-        let mut sim = self.proto.clone();
-        for (lane, stim) in chunk.iter().enumerate() {
-            for (port, value) in stim {
-                sim.set_lane(port, lane, value)?;
+        let (out_ports, per_port) = match self.engine {
+            SweepEngine::Compiled => {
+                let mut sim =
+                    CompiledSimulator::from_program(Arc::clone(&self.program), chunk.len())?;
+                for (lane, stim) in chunk.iter().enumerate() {
+                    for (port, value) in stim {
+                        sim.set_lane(port, lane, value)?;
+                    }
+                }
+                sim.cycle(self.cycles)?;
+                let out_ports = output_ports(&sim.ports());
+                let mut per_port = Vec::with_capacity(out_ports.len());
+                for port in &out_ports {
+                    per_port.push(sim.peek_lanes(port)?);
+                }
+                (out_ports, per_port)
             }
-        }
-        sim.cycle(self.cycles)?;
-        let out_ports: Vec<String> = sim
-            .ports()
-            .into_iter()
-            .filter(|(_, dir, _)| *dir == PortDir::Output)
-            .map(|(name, _, _)| name)
-            .collect();
-        let mut per_port = Vec::with_capacity(out_ports.len());
-        for port in &out_ports {
-            per_port.push(sim.peek_lanes(port)?);
-        }
+            SweepEngine::Interpreted => {
+                let mut sim =
+                    BatchSimulator::from_compiled(self.proto.compiled().clone(), chunk.len())?;
+                for (lane, stim) in chunk.iter().enumerate() {
+                    for (port, value) in stim {
+                        sim.set_lane(port, lane, value)?;
+                    }
+                }
+                sim.cycle(self.cycles)?;
+                let out_ports = output_ports(&sim.ports());
+                let mut per_port = Vec::with_capacity(out_ports.len());
+                for port in &out_ports {
+                    per_port.push(sim.peek_lanes(port)?);
+                }
+                (out_ports, per_port)
+            }
+        };
         let outputs: Vec<Vec<(String, LogicVec)>> = (0..chunk.len())
             .map(|lane| {
                 out_ports
@@ -270,6 +318,15 @@ impl VectorSweep {
             },
         ))
     }
+}
+
+/// Names of the output ports, in port order.
+fn output_ports(ports: &[(String, PortDir, u32)]) -> Vec<String> {
+    ports
+        .iter()
+        .filter(|(_, dir, _)| *dir == PortDir::Output)
+        .map(|(name, _, _)| name.clone())
+        .collect()
 }
 
 /// Worker count: one per available core, at least 1.

@@ -1,10 +1,15 @@
-//! Differential testing of the bit-parallel batch engine against the
-//! scalar simulator: every lane of a `BatchSimulator` must be
-//! bit-identical (including `X`/`Z` propagation) to a `Simulator` run
-//! of the same stimulus, cycle for cycle and net for net.
+//! Differential testing of the compiled bytecode engine: every lane of
+//! a `CompiledSimulator` must be bit-identical (including `X`/`Z`
+//! propagation) to the interpreted `BatchSimulator` and to a scalar
+//! `Simulator` run of the same stimulus, cycle for cycle and net for
+//! net — across the full 256-lane plane width, all stateful
+//! primitives, and comb-loop relaxation mode.
 
-use ipd_hdl::{Circuit, Logic, LogicVec, PortDir, PortSpec, Signal};
-use ipd_sim::{BatchSimulator, Simulator, SweepEngine, VectorSweep, MAX_LANES};
+use ipd_hdl::{Circuit, Logic, LogicVec, PortSpec, Signal};
+use ipd_sim::{
+    BatchSimulator, CompiledSimulator, SimError, Simulator, SweepEngine, VectorSweep,
+    COMPILED_MAX_LANES, MAX_LANES,
+};
 use ipd_techlib::LogicCtx;
 use ipd_testutil::{check_n, XorShift64};
 
@@ -61,35 +66,50 @@ fn random_dag(rng: &mut XorShift64, inputs: usize, max_ops: usize) -> (Circuit, 
 }
 
 /// Random four-state stimulus on combinational DAGs: every lane of the
-/// batch equals a scalar run, on the output and on every internal net.
+/// compiled engine equals both the scalar simulator and (for shared
+/// lanes) the interpreted batch engine, on the output and on every
+/// internal net.
 #[test]
-fn comb_dags_match_scalar_on_every_net() {
-    check_n("comb_dags_batch", 24, |rng| {
+fn comb_dags_match_scalar_and_interpreted_on_every_net() {
+    check_n("comb_dags_compiled", 16, |rng| {
         let inputs = 1 + rng.index(7);
         let (circuit, ops) = random_dag(rng, inputs, 24);
-        let lanes = 1 + rng.index(MAX_LANES);
-        let mut batch = BatchSimulator::new(&circuit, lanes).expect("batch compile");
+        // Bias toward lane counts beyond the interpreted engine's 64.
+        let lanes = 1 + rng.index(COMPILED_MAX_LANES);
+        let mut compiled = CompiledSimulator::new(&circuit, lanes).expect("compiled");
+        let mut batch = BatchSimulator::new(&circuit, lanes.min(MAX_LANES)).expect("batch compile");
         let mut scalars: Vec<Simulator> = Vec::new();
         for lane in 0..lanes {
             let stim = any_vec(rng, inputs);
-            batch.set_lane("a", lane, &stim).expect("batch set");
+            compiled.set_lane("a", lane, &stim).expect("compiled set");
+            if lane < MAX_LANES {
+                batch.set_lane("a", lane, &stim).expect("batch set");
+            }
             let mut s = Simulator::new(&circuit).expect("scalar compile");
             s.set("a", stim).expect("scalar set");
             scalars.push(s);
         }
         for (lane, scalar) in scalars.iter_mut().enumerate() {
             assert_eq!(
-                batch.peek_lane("y", lane).expect("batch y"),
+                compiled.peek_lane("y", lane).expect("compiled y"),
                 scalar.peek("y").expect("scalar y"),
                 "output lane {lane}"
             );
             for k in 0..ops {
                 let net = format!("dag/g{k}");
+                let got = compiled.peek_net_lane(&net, lane).expect("compiled net");
                 assert_eq!(
-                    batch.peek_net_lane(&net, lane).expect("batch net"),
+                    got,
                     scalar.peek_net(&net).expect("scalar net"),
                     "net {net} lane {lane}"
                 );
+                if lane < MAX_LANES {
+                    assert_eq!(
+                        got,
+                        batch.peek_net_lane(&net, lane).expect("batch net"),
+                        "net {net} lane {lane} vs interpreted"
+                    );
+                }
             }
         }
     });
@@ -127,15 +147,16 @@ fn stateful_circuit() -> Circuit {
     c
 }
 
-/// Per-cycle, per-net equality on sequential circuits with
-/// changing four-state inputs, including all state elements.
+/// Per-cycle, per-net equality on sequential circuits with changing
+/// four-state inputs, including all state elements, across the full
+/// 256-lane width.
 #[test]
 fn stateful_circuits_match_scalar_per_cycle() {
     let circuit = stateful_circuit();
-    check_n("stateful_batch", 12, |rng| {
-        let lanes = 1 + rng.index(MAX_LANES);
-        let cycles = 3 + rng.index(10);
-        let mut batch = BatchSimulator::new(&circuit, lanes).expect("batch compile");
+    check_n("stateful_compiled", 8, |rng| {
+        let lanes = 1 + rng.index(COMPILED_MAX_LANES);
+        let cycles = 3 + rng.index(8);
+        let mut compiled = CompiledSimulator::new(&circuit, lanes).expect("compiled");
         let mut scalars: Vec<Simulator> = (0..lanes)
             .map(|_| Simulator::new(&circuit).expect("scalar compile"))
             .collect();
@@ -144,27 +165,27 @@ fn stateful_circuits_match_scalar_per_cycle() {
             for (lane, scalar) in scalars.iter_mut().enumerate() {
                 for (port, width) in [("ce", 1), ("clr", 1), ("we", 1), ("d", 4), ("a", 4)] {
                     let v = any_vec(rng, width);
-                    batch.set_lane(port, lane, &v).expect("batch set");
+                    compiled.set_lane(port, lane, &v).expect("compiled set");
                     scalar.set(port, v).expect("scalar set");
                 }
             }
-            batch.cycle(1).expect("batch cycle");
+            compiled.cycle(1).expect("compiled cycle");
             for (lane, scalar) in scalars.iter_mut().enumerate() {
                 scalar.cycle(1).expect("scalar cycle");
                 for port in out_ports {
                     assert_eq!(
-                        batch.peek_lane(port, lane).expect("batch peek"),
+                        compiled.peek_lane(port, lane).expect("compiled peek"),
                         scalar.peek(port).expect("scalar peek"),
                         "port {port} lane {lane} cycle {}",
                         scalar.cycle_count()
                     );
                 }
                 for path in scalar.state_elements().to_vec() {
-                    match (batch.ff_state_lane(&path, lane), scalar.ff_state(&path)) {
+                    match (compiled.ff_state_lane(&path, lane), scalar.ff_state(&path)) {
                         (Some(b), Some(s)) => assert_eq!(b, s, "ff {path} lane {lane}"),
                         (None, None) => {
                             assert_eq!(
-                                batch.memory_lane(&path, lane),
+                                compiled.memory_lane(&path, lane),
                                 scalar.memory(&path),
                                 "memory {path} lane {lane}"
                             );
@@ -182,67 +203,41 @@ fn stateful_circuits_match_scalar_per_cycle() {
 #[test]
 fn reset_matches_scalar() {
     let circuit = stateful_circuit();
-    let mut batch = BatchSimulator::new(&circuit, 3).expect("batch");
+    let mut compiled = CompiledSimulator::new(&circuit, 200).expect("compiled");
     let mut scalar = Simulator::new(&circuit).expect("scalar");
-    for sim in [0, 1, 2] {
-        batch.set_u64_lane("d", sim, 5).expect("set");
-        batch.set_u64_lane("ce", sim, 1).expect("set");
-        batch.set_u64_lane("clr", sim, 0).expect("set");
-        batch.set_u64_lane("we", sim, 0).expect("set");
-        batch.set_u64_lane("a", sim, 2).expect("set");
+    for lane in [0, 70, 199] {
+        compiled.set_u64_lane("d", lane, 5).expect("set");
+        compiled.set_u64_lane("ce", lane, 1).expect("set");
+        compiled.set_u64_lane("clr", lane, 0).expect("set");
+        compiled.set_u64_lane("we", lane, 0).expect("set");
+        compiled.set_u64_lane("a", lane, 2).expect("set");
     }
     scalar.set_u64("d", 5).expect("set");
     scalar.set_u64("ce", 1).expect("set");
     scalar.set_u64("clr", 0).expect("set");
     scalar.set_u64("we", 0).expect("set");
     scalar.set_u64("a", 2).expect("set");
-    batch.cycle(4).expect("cycle");
+    compiled.cycle(4).expect("cycle");
     scalar.cycle(4).expect("cycle");
-    batch.reset();
+    compiled.reset();
     scalar.reset();
-    assert_eq!(batch.cycle_count(), 0);
-    batch.cycle(1).expect("cycle");
+    assert_eq!(compiled.cycle_count(), 0);
+    compiled.cycle(1).expect("cycle");
     scalar.cycle(1).expect("cycle");
-    for lane in 0..3 {
+    for lane in [0, 70, 199] {
         for port in ["q", "tap", "ram_o", "mix"] {
             assert_eq!(
-                batch.peek_lane(port, lane).expect("batch"),
+                compiled.peek_lane(port, lane).expect("compiled"),
                 scalar.peek(port).expect("scalar"),
-                "{port} after reset"
+                "{port} after reset, lane {lane}"
             );
         }
     }
 }
 
-/// Waveform extraction: a lane's extracted trace equals the scalar
-/// simulator's recorded trace for the same stimulus.
-#[test]
-fn lane_traces_match_scalar_traces() {
-    let circuit = stateful_circuit();
-    let mut batch = BatchSimulator::new(&circuit, 2).expect("batch");
-    let mut scalar = Simulator::new(&circuit).expect("scalar");
-    batch.record("q").expect("record");
-    batch.record("mix").expect("record");
-    scalar.record("q").expect("record");
-    scalar.record("mix").expect("record");
-    let mut rng = XorShift64::new(7);
-    for _ in 0..8 {
-        for (port, width) in [("ce", 1), ("clr", 1), ("we", 1), ("d", 4), ("a", 4)] {
-            let v = any_vec(&mut rng, width);
-            batch.set_lane(port, 1, &v).expect("batch set");
-            scalar.set(port, v).expect("scalar set");
-        }
-        batch.cycle(1).expect("batch cycle");
-        scalar.cycle(1).expect("scalar cycle");
-    }
-    for (i, port) in ["q", "mix"].iter().enumerate() {
-        let lane = batch.lane_trace(port, 1).expect("lane trace");
-        assert_eq!(&lane, &scalar.traces()[i], "trace {port}");
-    }
-}
-
 /// Relaxation-mode circuits (combinational cycles) also match: an SR
-/// latch built from cross-coupled NORs.
+/// latch built from cross-coupled NORs, driven with a random
+/// set/reset sequence per lane.
 #[test]
 fn relaxation_mode_matches_scalar() {
     let mut c = Circuit::new("latch");
@@ -267,111 +262,84 @@ fn relaxation_mode_matches_scalar() {
     nor(&mut ctx, "n0", r.into(), nq.into(), q.into());
     nor(&mut ctx, "n1", s.into(), q.into(), nq.into());
 
-    let seqs: [(u64, u64); 4] = [(1, 0), (0, 0), (0, 1), (0, 0)];
-    let mut batch = BatchSimulator::new(&c, 4).expect("batch");
-    assert!(!batch.is_levelized());
-    // Lane k replays the first k+1 steps of the sequence; the final
-    // state must match a scalar replay of the same prefix.
-    for (lane, _) in seqs.iter().enumerate() {
+    // The same set/hold/reset sequence replayed per lane: the compiled
+    // engine's prefix-once relaxation must land on the same fixpoints
+    // as the scalar simulator's full-network iteration.
+    let seqs: [(u64, u64); 5] = [(1, 0), (0, 0), (0, 1), (0, 0), (1, 0)];
+    let lanes = 100;
+    let mut compiled = CompiledSimulator::new(&c, lanes).expect("compiled");
+    assert!(!compiled.is_levelized());
+    for lane in 0..lanes {
         let mut scalar = Simulator::new(&c).expect("scalar");
-        for &(sv, rv) in &seqs[..=lane] {
+        for &(sv, rv) in &seqs[..=lane % seqs.len()] {
             scalar.set_u64("s", sv).expect("set");
             scalar.set_u64("r", rv).expect("set");
             let _ = scalar.peek("q").expect("settle");
         }
-        // Batch replays only the final step per lane (combinational
-        // latch state persists across set calls within a lane).
-        for &(sv, rv) in &seqs[..=lane] {
-            batch
+        for &(sv, rv) in &seqs[..=lane % seqs.len()] {
+            compiled
                 .set_lane("s", lane, &LogicVec::from_u64(sv, 1))
                 .expect("set");
-            batch
+            compiled
                 .set_lane("r", lane, &LogicVec::from_u64(rv, 1))
                 .expect("set");
-            let _ = batch.peek_lane("q", lane).expect("settle");
+            let _ = compiled.peek_lane("q", lane).expect("settle");
         }
         assert_eq!(
-            batch.peek_lane("q", lane).expect("batch q"),
+            compiled.peek_lane("q", lane).expect("compiled q"),
             scalar.peek("q").expect("scalar q"),
             "latch lane {lane}"
         );
     }
 }
 
-/// Lane-edge sweep sizes on both engines: counts straddling the 64-
-/// and 256-lane plane widths all produce scalar-identical outputs,
-/// the right shard structure, and exact (never padded) per-shard
-/// vector counts.
+/// A buffered inverter ring settles to X under pessimistic four-state
+/// relaxation (the power-on X is a fixpoint), as in the interpreter.
 #[test]
-fn sweep_lane_edges_match_scalar() {
-    let circuit = stateful_circuit();
-    for (engine, width) in [
-        (SweepEngine::Compiled, 256usize),
-        (SweepEngine::Interpreted, 64),
-    ] {
-        for count in [1usize, 63, 64, 65, 130, 257] {
-            let stimuli: Vec<Vec<(String, LogicVec)>> = (0..count)
-                .map(|k| {
-                    vec![
-                        ("ce".to_owned(), LogicVec::from_u64(1, 1)),
-                        ("clr".to_owned(), LogicVec::from_u64(0, 1)),
-                        (
-                            "we".to_owned(),
-                            LogicVec::from_u64(u64::from(k % 2 == 0), 1),
-                        ),
-                        ("d".to_owned(), LogicVec::from_u64(k as u64 & 0xF, 4)),
-                        ("a".to_owned(), LogicVec::from_u64((k as u64 >> 1) & 0xF, 4)),
-                    ]
-                })
-                .collect();
-            let report = VectorSweep::new(&circuit)
-                .expect("sweep compile")
-                .engine(engine)
-                .cycles(2)
-                .run(&stimuli)
-                .expect("sweep run");
-            assert_eq!(report.total_vectors(), count, "count {count}");
-            assert_eq!(
-                report.shards.len(),
-                count.div_ceil(width),
-                "shards {count} ({engine:?})"
-            );
-            // Every shard holds exactly the vectors it simulated; the
-            // final partial shard is not padded to the plane width.
-            for (s, stats) in report.shards.iter().enumerate() {
-                let expect = (count - s * width).min(width);
-                assert_eq!(
-                    stats.vectors, expect,
-                    "shard {s} count {count} ({engine:?})"
-                );
-            }
-            assert_eq!(
-                report.shards.iter().map(|s| s.vectors).sum::<usize>(),
-                count
-            );
-            assert!(report.vectors_per_sec() > 0.0);
-            // Scalar cross-check on a sample of vectors (all of them
-            // for small counts).
-            let stride = if count > 8 { 13 } else { 1 };
-            for (k, stim) in stimuli.iter().enumerate().step_by(stride) {
-                let mut scalar = Simulator::new(&circuit).expect("scalar");
-                for (port, value) in stim {
-                    scalar.set(port, value.clone()).expect("set");
-                }
-                scalar.cycle(2).expect("cycle");
-                for (port, value) in &report.outputs[k] {
-                    assert_eq!(
-                        value,
-                        &scalar.peek(port).expect("peek"),
-                        "vector {k} port {port} (count {count}, {engine:?})"
-                    );
-                }
-            }
-        }
+fn ring_settles_to_x() {
+    let mut c = Circuit::new("osc");
+    let mut ctx = c.root_ctx();
+    let q = ctx.add_port(PortSpec::output("q", 1)).expect("q");
+    let a = ctx.wire("a", 1);
+    ctx.inv(a, q).expect("inv");
+    ctx.buffer(q, a).expect("buf");
+    let mut sim = CompiledSimulator::new(&c, 256).expect("compiled");
+    assert!(!sim.is_levelized());
+    for lane in [0, 63, 64, 255] {
+        assert_eq!(sim.peek_lane("q", lane).expect("peek").bit(0), Logic::X);
     }
 }
 
-/// Out-of-range lanes are rejected, not wrapped.
+/// The sweep's compiled and interpreted engines agree vector-for-
+/// vector on random four-state stimulus, and the compiled engine's
+/// report covers every vector.
+#[test]
+fn sweep_engines_agree_on_random_stimulus() {
+    let circuit = stateful_circuit();
+    check_n("sweep_engines", 4, |rng| {
+        let count = 1 + rng.index(300);
+        let stimuli: Vec<Vec<(String, LogicVec)>> = (0..count)
+            .map(|_| {
+                [("ce", 1), ("clr", 1), ("we", 1), ("d", 4), ("a", 4)]
+                    .into_iter()
+                    .map(|(port, width)| (port.to_owned(), any_vec(rng, width)))
+                    .collect()
+            })
+            .collect();
+        let sweep = VectorSweep::new(&circuit).expect("sweep").cycles(2);
+        let fast = sweep.run(&stimuli).expect("compiled run");
+        let slow = sweep
+            .clone()
+            .engine(SweepEngine::Interpreted)
+            .run(&stimuli)
+            .expect("interpreted run");
+        assert_eq!(fast.outputs, slow.outputs, "count {count}");
+        assert_eq!(fast.total_vectors(), count);
+    });
+}
+
+/// Out-of-range lanes and invalid lane counts are rejected, not
+/// wrapped, with the same errors as the interpreted engine.
 #[test]
 fn lane_bounds_are_enforced() {
     let mut c = Circuit::new("buf");
@@ -379,19 +347,21 @@ fn lane_bounds_are_enforced() {
     let a = ctx.add_port(PortSpec::input("a", 1)).expect("a");
     let y = ctx.add_port(PortSpec::output("y", 1)).expect("y");
     ctx.buffer(a, y).expect("buf");
-    let mut sim = BatchSimulator::new(&c, 8).expect("batch");
-    assert!(sim.set_lane("a", 8, &LogicVec::from_u64(0, 1)).is_err());
-    assert!(sim.peek_lane("y", 8).is_err());
-    assert!(sim.set_lane("a", 7, &LogicVec::from_u64(1, 1)).is_ok());
-    assert_eq!(sim.peek_lane("y", 7).expect("peek").to_u64(), Some(1));
+    let mut sim = CompiledSimulator::new(&c, 100).expect("compiled");
+    assert!(matches!(
+        sim.set_lane("a", 100, &LogicVec::from_u64(0, 1)),
+        Err(SimError::LaneOutOfRange {
+            lane: 100,
+            lanes: 100
+        })
+    ));
+    assert!(sim.peek_lane("y", 100).is_err());
+    assert!(sim.set_lane("a", 99, &LogicVec::from_u64(1, 1)).is_ok());
+    assert_eq!(sim.peek_lane("y", 99).expect("peek").to_u64(), Some(1));
     // Unset lanes read X through the buffer.
     assert_eq!(sim.peek_lane("y", 0).expect("peek").bit(0), Logic::X);
-    assert_eq!(sim.ports().len(), 2);
-    assert_eq!(
-        sim.ports()
-            .iter()
-            .filter(|(_, d, _)| *d == PortDir::Input)
-            .count(),
-        1
-    );
+    assert!(matches!(
+        CompiledSimulator::new(&c, 300),
+        Err(SimError::InvalidLanes { lanes: 300 })
+    ));
 }

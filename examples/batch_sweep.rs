@@ -1,18 +1,19 @@
 //! Exhaustive verification of the paper's KCM instance with the
-//! bit-parallel batch engine.
+//! compiled bit-parallel engine.
 //!
 //! The paper's running example (8-bit multiplicand, 12-bit product,
 //! signed, pipelined, constant −56) has exactly 256 possible inputs, so
 //! the applet can prove the delivered netlist against its golden model
-//! by sweeping all of them. The sweep packs 64 stimulus vectors per
-//! simulator pass (one per bit-plane lane) and shards passes across
-//! threads.
+//! by sweeping all of them. The sweep lowers the netlist to bytecode
+//! once and packs all 256 stimulus vectors into a single 256-lane
+//! compiled pass; the interpreted 64-lane engine runs the same sweep
+//! for comparison.
 //!
 //! Run with: `cargo run --example batch_sweep`
 
 use ipd::hdl::Circuit;
 use ipd::modgen::KcmMultiplier;
-use ipd::sim::VectorSweep;
+use ipd::sim::{SweepEngine, VectorSweep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kcm = KcmMultiplier::new(-56, 8, 12).signed(true).pipelined(true);
@@ -34,7 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sweep = VectorSweep::with_clock(&circuit, "clk")?.cycles(u64::from(kcm.latency()));
     let report = sweep.run(&stimuli)?;
 
-    println!("\n== sweep ==");
+    // The same sweep on the interpreted 64-lane engine: the proof
+    // must not depend on which engine ran it.
+    let interpreted = sweep
+        .clone()
+        .engine(SweepEngine::Interpreted)
+        .run(&stimuli)?;
+    assert_eq!(
+        report.outputs, interpreted.outputs,
+        "engines must agree on every vector"
+    );
+
+    println!("\n== sweep (compiled engine, 256 lanes/shard) ==");
     for stats in &report.shards {
         println!(
             "  shard {} : {:3} vectors in {:9.1?} ({:8.0} vectors/s)",
@@ -49,6 +61,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.total_vectors(),
         report.elapsed,
         report.vectors_per_sec()
+    );
+
+    // Engine-vs-engine: one cold 256-vector pass is dominated by
+    // shard setup, so time warm repeated sweeps, single-threaded.
+    const REPEATS: u32 = 20;
+    let mut rates = Vec::new();
+    for engine in [SweepEngine::Compiled, SweepEngine::Interpreted] {
+        let runner = sweep.clone().engine(engine).threads(1);
+        runner.run(&stimuli)?; // warm up
+        let start = std::time::Instant::now();
+        for _ in 0..REPEATS {
+            runner.run(&stimuli)?;
+        }
+        let rate =
+            f64::from(REPEATS) * stimuli.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        println!("  {engine:?} engine (warm, 1 thread): {rate:8.0} vectors/s");
+        rates.push(rate);
+    }
+    println!(
+        "  compiled is {:.1}x the interpreted engine on this sweep",
+        rates[0] / rates[1].max(1e-9)
     );
 
     // Check every product against the golden model.
