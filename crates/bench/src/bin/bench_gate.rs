@@ -22,8 +22,9 @@
 
 use std::process::ExitCode;
 
-/// Key suffixes that gate the build (throughput: higher is better).
-const GATED_SUFFIXES: &[&str] = &["_rps", "_vps"];
+/// Key suffixes that gate the build (throughput: higher is better) —
+/// requests/s, vectors/s, equivalence checks/s.
+const GATED_SUFFIXES: &[&str] = &["_rps", "_vps", "_cps"];
 
 /// Key suffixes shown for information only.
 const INFO_SUFFIXES: &[&str] = &["_p99_us"];

@@ -61,6 +61,27 @@ pub enum CoreError {
         /// The report's one-line summary.
         summary: String,
     },
+    /// The design failed the formal equivalence gate: the checker found
+    /// a distinguishing input/state assignment against the golden
+    /// reference netlist. The vector ships with the refusal (already
+    /// replay-confirmed against both simulation engines), so the vendor
+    /// can reproduce the divergence in one simulator run. Unlike lint
+    /// findings this cannot be waived — a certificate stating "proved
+    /// equivalent" must never be issued over a known counterexample.
+    EquivRejected {
+        /// The differing output or next-state function (golden-side
+        /// naming), e.g. `y[3]` or `next(top/acc/ff0)[0]`.
+        function: String,
+        /// The golden design's name.
+        golden: String,
+        /// The distinguishing assignment, rendered as
+        /// `inputs [...] state [...]` with golden/revised values.
+        vector: String,
+    },
+    /// The equivalence engine could not carry out the check at all —
+    /// mismatched boundaries, combinational loops, black boxes, or SAT
+    /// resource exhaustion. No certificate is issued either way.
+    Verify(ipd_verify::VerifyError),
     /// The remote delivery server reported an application error over
     /// the wire (a typed error frame).
     Remote {
@@ -117,6 +138,18 @@ impl fmt::Display for CoreError {
                     "delivery refused: {errors} unwaived lint error(s) ({summary})"
                 )
             }
+            CoreError::EquivRejected {
+                function,
+                golden,
+                vector,
+            } => {
+                write!(
+                    f,
+                    "delivery refused: not equivalent to golden '{golden}' — \
+                     '{function}' differs {vector}"
+                )
+            }
+            CoreError::Verify(e) => write!(f, "equivalence check failed: {e}"),
             CoreError::Remote { message } => write!(f, "remote delivery error: {message}"),
             CoreError::Wire(e) => write!(f, "wire error: {e}"),
             CoreError::Hdl(e) => write!(f, "circuit error: {e}"),
@@ -135,6 +168,7 @@ impl std::error::Error for CoreError {
             CoreError::Sim(e) => Some(e),
             CoreError::Netlist(e) => Some(e),
             CoreError::Estimate(e) => Some(e),
+            CoreError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -176,5 +210,11 @@ impl From<ipd_netlist::NetlistError> for CoreError {
 impl From<ipd_estimate::EstimateError> for CoreError {
     fn from(e: ipd_estimate::EstimateError) -> Self {
         CoreError::Estimate(e)
+    }
+}
+
+impl From<ipd_verify::VerifyError> for CoreError {
+    fn from(e: ipd_verify::VerifyError) -> Self {
+        CoreError::Verify(e)
     }
 }

@@ -43,6 +43,11 @@
 //!   customer key only after the `ipd-lint` static analyzer finds no
 //!   unwaived error-severity problems, and the surviving
 //!   [`SealedDesign`] carries the report for audit.
+//! - [`seal_design_verified`] — the equivalence-gated delivery path:
+//!   the `ipd-verify` engine proves the design functionally equivalent
+//!   to a golden reference netlist before sealing, and the
+//!   [`VerifiedDesign`] ships a digest-bound [`EquivCertificate`];
+//!   a counterexample refuses delivery with the distinguishing vector.
 //!
 //! # Example
 //!
@@ -87,6 +92,7 @@ mod seal;
 mod session;
 mod sha;
 mod store;
+mod verified;
 
 pub use capability::{Capability, CapabilitySet};
 pub use catalog::{CatalogEntry, GeneratorFactory, IpCatalog};
@@ -107,3 +113,4 @@ pub use store::{
     bundle_digest, BundleDelivery, BundleStore, DeliveryManifest, DeliveryResponse, Digest,
     ManifestEntry, StoreStats,
 };
+pub use verified::{seal_design_verified, EquivCertificate, VerifiedDesign};

@@ -148,6 +148,15 @@ impl FlatNetlist {
         &self.leaves
     }
 
+    /// Mutable access to the leaves — for fault-injection and
+    /// mutation-testing harnesses that perturb a flattened design in
+    /// place (flip a LUT init bit, swap two input connections).
+    /// Structural invariants (net ids, port bindings) are the caller's
+    /// responsibility.
+    pub fn leaves_mut(&mut self) -> &mut [FlatLeaf] {
+        &mut self.leaves
+    }
+
     /// Primary ports of the design.
     #[must_use]
     pub fn ports(&self) -> &[FlatPort] {

@@ -64,5 +64,5 @@ pub use ipd_estimate::TimingConstraints;
 pub use ipd_hdl::Severity;
 pub use model::{CombNode, LintModel, SeqElem};
 pub use pass::{default_passes, lint, rule_catalog, Linter, Pass, PassCtx, RuleInfo};
-pub use passes::{x_reachable, TimingPass};
-pub use report::{LintDiag, LintReport};
+pub use passes::{x_reachable, EquivPass, TimingPass};
+pub use report::{LintDiag, LintReport, REPORT_SCHEMA_VERSION};

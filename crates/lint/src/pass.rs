@@ -130,6 +130,18 @@ impl Linter {
         linter
     }
 
+    /// A linter with all built-in passes plus a [`passes::EquivPass`]
+    /// proving the linted design formally equivalent to `golden`, so
+    /// functional divergence from the reference netlist gates delivery
+    /// exactly like structural lint errors (and can be waived the
+    /// same way).
+    #[must_use]
+    pub fn with_golden(config: LintConfig, golden: FlatNetlist) -> Self {
+        let mut linter = Linter::with_config(config);
+        linter.add_pass(Box::new(passes::EquivPass::new(golden)));
+        linter
+    }
+
     /// A linter running only the given passes — for focused re-checks
     /// of a single rule family, or benchmarking one analysis.
     #[must_use]
@@ -189,13 +201,16 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
 }
 
 /// The full rule catalog across all built-in passes (plus the
-/// opt-in timing pass), in pass order.
+/// opt-in timing and equivalence passes), in pass order.
 #[must_use]
 pub fn rule_catalog() -> Vec<RuleInfo> {
     let mut all = default_passes();
     all.push(Box::new(passes::TimingPass::new(
         TimingConstraints::new(),
         DelayModel::virtex(),
+    )));
+    all.push(Box::new(passes::EquivPass::new(
+        FlatNetlist::build(&Circuit::new("golden")).expect("empty design flattens"),
     )));
     all.iter().flat_map(|p| p.rules().iter().copied()).collect()
 }

@@ -1,0 +1,104 @@
+//! Formal equivalence pass: checks the design under lint against a
+//! golden reference netlist with the `ipd-verify` engine and reports
+//! any functional divergence as an `equiv-mismatch` diagnostic — so
+//! "still computes the golden function" gates delivery through the
+//! same severity/waiver machinery as every structural rule.
+
+use ipd_hdl::{FlatNetlist, Severity};
+use ipd_verify::{check_equiv, EquivConfig, EquivVerdict};
+
+use crate::model::LintModel;
+use crate::pass::{Pass, PassCtx, RuleInfo};
+
+/// Checks the linted design for combinational-and-sequential
+/// equivalence against a golden reference.
+///
+/// A refuted check emits one diagnostic carrying the distinguishing
+/// input/state vector (already replayed through both simulation
+/// engines by the verify crate). A check the engine cannot carry out
+/// at all — mismatched ports, combinational loops, black boxes — also
+/// emits `equiv-mismatch`: a design whose boundary differs from the
+/// golden reference is certainly not a safe revision of it.
+pub struct EquivPass {
+    golden: FlatNetlist,
+    config: EquivConfig,
+}
+
+impl EquivPass {
+    /// An equivalence pass against `golden` with default checker
+    /// settings.
+    #[must_use]
+    pub fn new(golden: FlatNetlist) -> Self {
+        EquivPass {
+            golden,
+            config: EquivConfig::default(),
+        }
+    }
+
+    /// Overrides the checker configuration (clock naming, state
+    /// matching, SAT budgets).
+    #[must_use]
+    pub fn with_equiv_config(mut self, config: EquivConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+const EQUIV_RULES: &[RuleInfo] = &[RuleInfo {
+    id: "equiv-mismatch",
+    severity: Severity::Error,
+    help: "design is not formally equivalent to the golden reference netlist",
+}];
+
+impl Pass for EquivPass {
+    fn name(&self) -> &'static str {
+        "equiv"
+    }
+
+    fn rules(&self) -> &'static [RuleInfo] {
+        EQUIV_RULES
+    }
+
+    fn run(&self, model: &LintModel<'_>, ctx: &mut PassCtx<'_>) {
+        match check_equiv(&self.golden, model.flat(), &self.config) {
+            Ok(report) => match report.verdict {
+                EquivVerdict::Equivalent => {}
+                EquivVerdict::NotEquivalent(cex) => {
+                    let inputs: Vec<String> =
+                        cex.inputs.iter().map(|(p, v)| format!("{p}={v}")).collect();
+                    let state: Vec<String> = cex
+                        .state
+                        .iter()
+                        .map(|s| format!("{}={}", s.golden_path, s.value))
+                        .collect();
+                    let mut detail = format!(
+                        "differs from golden '{}' at {}: golden={}, revised={} under inputs [{}]",
+                        self.golden.design_name(),
+                        cex.function,
+                        u8::from(cex.golden_value),
+                        u8::from(cex.revised_value),
+                        inputs.join(", "),
+                    );
+                    if !state.is_empty() {
+                        detail.push_str(&format!(" state [{}]", state.join(", ")));
+                    }
+                    ctx.emit(
+                        "equiv-mismatch",
+                        Severity::Error,
+                        cex.function.clone(),
+                        detail,
+                    );
+                }
+            },
+            Err(e) => ctx.emit(
+                "equiv-mismatch",
+                Severity::Error,
+                model.flat().design_name().to_owned(),
+                format!(
+                    "cannot prove equivalence to golden '{}': {e}",
+                    self.golden.design_name()
+                ),
+            ),
+        }
+    }
+}

@@ -8,6 +8,7 @@
 mod cdc;
 mod comb_loop;
 mod dead;
+mod equiv;
 mod fanout;
 mod floatconst;
 mod seed;
@@ -17,6 +18,7 @@ mod xprop;
 pub use cdc::CdcPass;
 pub use comb_loop::CombLoopPass;
 pub use dead::DeadLogicPass;
+pub use equiv::EquivPass;
 pub use fanout::FanoutPass;
 pub use floatconst::FloatConstPass;
 pub use seed::SeedRulesPass;

@@ -10,6 +10,12 @@ use std::fmt;
 
 use ipd_hdl::Severity;
 
+/// Version of the JSON report schema emitted by
+/// [`LintReport::to_json`]. Bumped whenever a field is added, removed
+/// or renamed, so downstream consumers can detect incompatible
+/// reports instead of mis-parsing them.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
 /// One diagnostic produced by a lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintDiag {
@@ -125,11 +131,15 @@ impl LintReport {
     }
 
     /// Serializes the report to JSON (hand-rolled; the workspace has no
-    /// registry dependencies). Field order and diagnostic order are
-    /// stable.
+    /// registry dependencies). The output is fully deterministic:
+    /// `schema_version` leads, field order is fixed, and both
+    /// diagnostic arrays are in the stable sort order established by
+    /// `finish` (severity, rule, object, message) — so reports can be
+    /// committed as golden files and diffed across runs.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA_VERSION},\n"));
         out.push_str(&format!(
             "  \"errors\": {},\n  \"warnings\": {},\n  \"waived\": {},\n",
             self.error_count(),

@@ -11,7 +11,7 @@
 
 use ipd_hdl::{Circuit, FlatNetlist, PortSpec, Primitive, Signal};
 use ipd_lint::{lint, x_reachable, LintModel};
-use ipd_sim::{BatchSimulator, Simulator};
+use ipd_sim::{BatchSimulator, CompiledSimulator, Simulator};
 use ipd_techlib::LogicCtx;
 use ipd_testutil::XorShift64;
 
@@ -47,44 +47,60 @@ fn xprop_fixture() -> Circuit {
     c
 }
 
+/// Shared body of the X-propagation differential: drives the fixture
+/// through the given simulator and checks every net of every lane
+/// against the static mask. The closure-shaped plumbing lets the same
+/// stimulus and assertions run against both engines.
+macro_rules! xprop_differential {
+    ($sim_ty:ident, $engine:literal) => {{
+        let circuit = xprop_fixture();
+        let flat = FlatNetlist::build(&circuit).unwrap();
+        let model = LintModel::build(&flat);
+        let mask = x_reachable(&model);
+
+        let lanes = 8;
+        let mut sim = $sim_ty::with_clock(&circuit, "clk", lanes).unwrap();
+        assert!(sim.is_levelized());
+        // Drive every input with known, lane-distinct values and let X
+        // reach the deepest register (pipeline depth 2, run 4).
+        for lane in 0..lanes {
+            sim.set_u64_lane("a", lane, (lane & 1) as u64).unwrap();
+            sim.set_u64_lane("b", lane, ((lane >> 1) & 1) as u64)
+                .unwrap();
+        }
+        sim.cycle(4).unwrap();
+
+        for (i, net) in flat.nets().iter().enumerate() {
+            for lane in 0..lanes {
+                let value = sim.peek_net_lane(&net.name, lane).unwrap();
+                assert_eq!(
+                    value.to_bool().is_none(),
+                    mask[i],
+                    "[{}] net {} lane {lane}: simulator says {value}, lint mask says {}",
+                    $engine,
+                    net.name,
+                    mask[i]
+                );
+            }
+        }
+        // And the report flags exactly the contaminated output.
+        let report = lint(&circuit).unwrap();
+        let objects: Vec<_> = report
+            .by_rule("x-reachable")
+            .map(|d| d.object.as_str())
+            .collect();
+        assert_eq!(objects, vec!["yx[0]"]);
+    }};
+}
+
 #[test]
 fn xprop_mask_matches_batch_simulator_exactly() {
-    let circuit = xprop_fixture();
-    let flat = FlatNetlist::build(&circuit).unwrap();
-    let model = LintModel::build(&flat);
-    let mask = x_reachable(&model);
+    xprop_differential!(BatchSimulator, "batch");
+}
 
-    let lanes = 8;
-    let mut sim = BatchSimulator::with_clock(&circuit, "clk", lanes).unwrap();
-    assert!(sim.is_levelized());
-    // Drive every input with known, lane-distinct values and let X
-    // reach the deepest register (pipeline depth 2, run 4).
-    for lane in 0..lanes {
-        sim.set_u64_lane("a", lane, (lane & 1) as u64).unwrap();
-        sim.set_u64_lane("b", lane, ((lane >> 1) & 1) as u64)
-            .unwrap();
-    }
-    sim.cycle(4).unwrap();
-
-    for (i, net) in flat.nets().iter().enumerate() {
-        for lane in 0..lanes {
-            let value = sim.peek_net_lane(&net.name, lane).unwrap();
-            assert_eq!(
-                value.to_bool().is_none(),
-                mask[i],
-                "net {} lane {lane}: simulator says {value}, lint mask says {}",
-                net.name,
-                mask[i]
-            );
-        }
-    }
-    // And the report flags exactly the contaminated output.
-    let report = lint(&circuit).unwrap();
-    let objects: Vec<_> = report
-        .by_rule("x-reachable")
-        .map(|d| d.object.as_str())
-        .collect();
-    assert_eq!(objects, vec!["yx[0]"]);
+#[test]
+fn xprop_mask_matches_compiled_simulator_exactly() {
+    xprop_differential!(CompiledSimulator, "compiled");
 }
 
 fn nor2_ports() -> Vec<PortSpec> {

@@ -1,0 +1,84 @@
+//! The `equiv-mismatch` rule: `Linter::with_golden` must pass
+//! faithful revisions, flag functional divergence as an error with
+//! the distinguishing vector, and honor waivers like any other rule.
+
+use ipd_hdl::{Circuit, FlatNetlist, PortSpec};
+use ipd_lint::{LintConfig, Linter};
+use ipd_techlib::LogicCtx;
+
+/// `y = a & b` as a gate, or (the faulty revision) `y = a | b`.
+fn two_input(and_gate: bool) -> Circuit {
+    let mut c = Circuit::new("unit");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    if and_gate {
+        ctx.and2(a, b, y).unwrap();
+    } else {
+        ctx.or2(a, b, y).unwrap();
+    }
+    c
+}
+
+/// `y = a & b` resynthesized as a LUT2 (INIT=0b1000).
+fn two_input_lut() -> Circuit {
+    let mut c = Circuit::new("unit");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.lut(0b1000, &[a.into(), b.into()], y).unwrap();
+    c
+}
+
+fn golden() -> FlatNetlist {
+    FlatNetlist::build(&two_input(true)).unwrap()
+}
+
+#[test]
+fn equivalent_revision_lints_clean() {
+    let linter = Linter::with_golden(LintConfig::new(), golden());
+    let report = linter.run(&two_input_lut()).unwrap();
+    assert_eq!(
+        report.by_rule("equiv-mismatch").count(),
+        0,
+        "resynthesized AND flagged: {report}"
+    );
+}
+
+#[test]
+fn divergent_revision_fails_with_vector() {
+    let linter = Linter::with_golden(LintConfig::new(), golden());
+    let report = linter.run(&two_input(false)).unwrap();
+    assert!(!report.is_clean());
+    let diag = report.by_rule("equiv-mismatch").next().expect("finding");
+    assert!(
+        diag.message.contains("under inputs"),
+        "diagnostic must carry the distinguishing vector: {}",
+        diag.message
+    );
+}
+
+#[test]
+fn equiv_mismatch_honors_waivers() {
+    let mut config = LintConfig::new();
+    config.waive("equiv-mismatch", "*", "intentional functional change");
+    let linter = Linter::with_golden(config, golden());
+    let report = linter.run(&two_input(false)).unwrap();
+    assert!(report.is_clean(), "waived mismatch still gates: {report}");
+    assert_eq!(report.waived().len(), 1);
+}
+
+#[test]
+fn boundary_mismatch_is_reported_not_panicked() {
+    let mut c = Circuit::new("unit");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    ctx.buffer(a, y).unwrap();
+    let linter = Linter::with_golden(LintConfig::new(), golden());
+    let report = linter.run(&c).unwrap();
+    let diag = report.by_rule("equiv-mismatch").next().expect("finding");
+    assert!(diag.message.contains("cannot prove equivalence"));
+}

@@ -1,0 +1,82 @@
+//! Regression lock on the JSON report serialization: consumers
+//! (delivery tooling, CI diffing, committed golden reports) depend on
+//! the schema version tag, fixed field order, and deterministic
+//! diagnostic ordering. If this test fails, either restore the format
+//! or bump `REPORT_SCHEMA_VERSION` and update the expectation.
+
+use ipd_hdl::{Circuit, PortSpec, Primitive};
+use ipd_lint::{LintConfig, Linter, REPORT_SCHEMA_VERSION};
+
+/// A fixture with several findings across rules and severities: a
+/// floating LUT input (X-propagation), dead logic, and a waived rule.
+fn fixture() -> Circuit {
+    let mut c = Circuit::new("fix");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    let dead = ctx.wire("dead", 1);
+    ctx.leaf(
+        Primitive::new("virtex", "xor2"),
+        vec![
+            PortSpec::input("i0", 1),
+            PortSpec::input("i1", 1),
+            PortSpec::output("o", 1),
+        ],
+        "x0",
+        &[("i0", a.into()), ("i1", floating.into()), ("o", y.into())],
+    )
+    .unwrap();
+    ctx.leaf(
+        Primitive::new("virtex", "inv"),
+        vec![PortSpec::input("i", 1), PortSpec::output("o", 1)],
+        "d0",
+        &[("i", a.into()), ("o", dead.into())],
+    )
+    .unwrap();
+    c
+}
+
+#[test]
+fn json_report_is_bit_stable_across_runs() {
+    let circuit = fixture();
+    let mut config = LintConfig::new();
+    config.waive("dead-logic", "*", "kept for the regression fixture");
+    let linter = Linter::with_config(config);
+    let first = linter.run(&circuit).unwrap().to_json();
+    for _ in 0..5 {
+        assert_eq!(linter.run(&circuit).unwrap().to_json(), first);
+    }
+}
+
+#[test]
+fn json_report_leads_with_schema_version() {
+    let report = Linter::new().run(&fixture()).unwrap();
+    let json = report.to_json();
+    let expected = format!("{{\n  \"schema_version\": {REPORT_SCHEMA_VERSION},\n");
+    assert!(
+        json.starts_with(&expected),
+        "report must lead with the schema version tag:\n{json}"
+    );
+}
+
+#[test]
+fn diagnostics_are_sorted_deterministically() {
+    let report = Linter::new().run(&fixture()).unwrap();
+    let keys: Vec<_> = report
+        .diags()
+        .iter()
+        .map(|d| {
+            (
+                std::cmp::Reverse(d.severity),
+                d.rule,
+                d.object.clone(),
+                d.message.clone(),
+            )
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "diagnostics must be in stable sort order");
+    assert!(!keys.is_empty(), "fixture must produce findings");
+}

@@ -73,7 +73,48 @@ pub use register::{Register, ShiftRegister};
 pub use rom::Rom;
 pub use shift::{BarrelShifter, Lfsr};
 
-use ipd_hdl::{CellCtx, CellId, Rloc};
+use ipd_hdl::{CellCtx, CellId, Circuit, Rloc};
+
+/// The canonical example designs: the paper's running KCM
+/// configuration plus a spread of other generators exercising every
+/// primitive family (LUT tables, carry chains, flip-flops, SRL16
+/// delays, ROMs).
+///
+/// One list shared by the `ipd-lint --examples` CLI, the equivalence
+/// CI gate, and the golden EDIF fixtures, so "the zoo" means the same
+/// designs everywhere.
+///
+/// # Panics
+///
+/// Panics if any built-in generator fails to elaborate — a bug in
+/// this crate, not a caller error.
+#[must_use]
+pub fn example_zoo() -> Vec<(String, Circuit)> {
+    let mut out = Vec::new();
+    let mut add = |c: Result<Circuit, ipd_hdl::HdlError>| {
+        let c = c.expect("example generators elaborate");
+        out.push((c.name().to_owned(), c));
+    };
+    add(Circuit::from_generator(
+        &KcmMultiplier::new(-56, 8, 12).signed(true),
+    ));
+    add(Circuit::from_generator(
+        &FirFilter::new(vec![-2, 5, 9, 5, -2], 8).expect("valid taps"),
+    ));
+    add(Circuit::from_generator(
+        &Counter::new(8, CountDirection::Up).loadable(),
+    ));
+    add(Circuit::from_generator(&PopCount::new(12)));
+    add(Circuit::from_generator(
+        &Rom::new(5, 8, (0..32).map(|i| (i * 7) % 256).collect()).expect("valid rom"),
+    ));
+    add(Circuit::from_generator(&RippleAdder::new(10)));
+    add(Circuit::from_generator(&ArrayMultiplier::new(6, 6)));
+    add(Circuit::from_generator(&Comparator::new(8, CompareOp::Lt)));
+    add(Circuit::from_generator(&ShiftRegister::new(4, 9)));
+    add(Circuit::from_generator(&GrayCounter::new(6)));
+    out
+}
 
 /// Places a per-bit primitive in a column layout: two bits per slice
 /// row, matching the carry-chain geometry of the Virtex fabric.

@@ -652,6 +652,68 @@ impl BatchSimulator {
         }
     }
 
+    /// Forces a flip-flop's current state by instance path in one
+    /// lane, driving its output net so downstream logic observes the
+    /// forced value at the next settle. Returns `false` for unknown
+    /// paths, word-state elements, or out-of-range lanes.
+    ///
+    /// This is the counterexample-replay back door used by
+    /// `ipd-verify`: a SAT witness names a register cut state, and
+    /// replay must start the simulator from exactly that state.
+    pub fn set_ff_lane(&mut self, instance_path: &str, lane: usize, value: Logic) -> bool {
+        if lane >= self.lanes {
+            return false;
+        }
+        let Some(idx) = self
+            .compiled
+            .state_paths
+            .iter()
+            .position(|p| p == instance_path)
+        else {
+            return false;
+        };
+        let BatchState::Bit(p) = self.states[idx] else {
+            return false;
+        };
+        let forced = p.with_lane(lane, value);
+        self.states[idx] = BatchState::Bit(forced);
+        for update in &self.compiled.seq {
+            if let SeqUpdate::Ff { state, q, .. } = update {
+                if *state == idx {
+                    self.nets[q.index()] = forced;
+                }
+            }
+        }
+        self.dirty = true;
+        true
+    }
+
+    /// Forces the 16-bit contents of a shift register or RAM by
+    /// instance path in one lane (counterexample-replay back door).
+    /// Returns `false` for unknown paths, bit-state elements,
+    /// out-of-range lanes, or a `value` that is not 16 bits wide.
+    pub fn set_memory_lane(&mut self, instance_path: &str, lane: usize, value: &LogicVec) -> bool {
+        if lane >= self.lanes || value.width() != 16 {
+            return false;
+        }
+        let Some(idx) = self
+            .compiled
+            .state_paths
+            .iter()
+            .position(|p| p == instance_path)
+        else {
+            return false;
+        };
+        let BatchState::Word(word) = &mut self.states[idx] else {
+            return false;
+        };
+        for (i, bit) in word.iter_mut().enumerate() {
+            *bit = bit.with_lane(lane, value.bit(i));
+        }
+        self.dirty = true;
+        true
+    }
+
     /// Lists the instance paths of all stateful elements.
     #[must_use]
     pub fn state_elements(&self) -> &[String] {

@@ -675,6 +675,59 @@ impl CompiledSimulator {
         }
     }
 
+    /// Forces a flip-flop's current state by instance path in one
+    /// lane (counterexample-replay back door; see
+    /// [`BatchSimulator::set_ff_lane`](crate::BatchSimulator::set_ff_lane)).
+    /// Returns `false` for unknown paths, word-state elements, or
+    /// out-of-range lanes.
+    pub fn set_ff_lane(&mut self, instance_path: &str, lane: usize, value: Logic) -> bool {
+        if lane >= self.lanes {
+            return false;
+        }
+        let Some(idx) = self
+            .program
+            .state_paths
+            .iter()
+            .position(|p| p == instance_path)
+        else {
+            return false;
+        };
+        let StateSlot::Ff(i) = self.program.state_slots[idx] else {
+            return false;
+        };
+        let q = self.program.ffs[i as usize].q as usize;
+        self.nets[q] = self.nets[q].with_lane(lane, value);
+        self.dirty = true;
+        true
+    }
+
+    /// Forces the 16-bit contents of a shift register or RAM by
+    /// instance path in one lane (counterexample-replay back door).
+    /// Returns `false` for unknown paths, bit-state elements,
+    /// out-of-range lanes, or a `value` that is not 16 bits wide.
+    pub fn set_memory_lane(&mut self, instance_path: &str, lane: usize, value: &LogicVec) -> bool {
+        if lane >= self.lanes || value.width() != 16 {
+            return false;
+        }
+        let Some(idx) = self
+            .program
+            .state_paths
+            .iter()
+            .position(|p| p == instance_path)
+        else {
+            return false;
+        };
+        let StateSlot::Word(w) = self.program.state_slots[idx] else {
+            return false;
+        };
+        let word = &mut self.words[w as usize];
+        for (i, bit) in word.iter_mut().enumerate() {
+            *bit = bit.with_lane(lane, value.bit(i));
+        }
+        self.dirty = true;
+        true
+    }
+
     /// Lists the instance paths of all stateful elements.
     #[must_use]
     pub fn state_elements(&self) -> &[String] {

@@ -1,0 +1,327 @@
+//! Public cone/levelization helpers over a flattened netlist.
+//!
+//! The simulator's compile step already does the hard structural work
+//! every netlist-level analysis needs: clock-net discovery through
+//! buffer trees, single-driver checking, separation of combinational
+//! evaluation nodes from sequential updates, and Kahn levelization of
+//! the combinational network. This module exposes that result as a
+//! standalone data structure so other engines — notably the
+//! `ipd-verify` formal equivalence checker — share the exact same
+//! levelizer (and therefore the exact same structural interpretation
+//! of a design) as the three simulation backends.
+
+use ipd_hdl::{FlatNetlist, Logic, NetId, PortDir};
+use ipd_techlib::{FfControl, PrimKind};
+
+use crate::compile::{compile, EvalFunc, SeqUpdate};
+use crate::error::SimError;
+
+/// How one combinational node computes its output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombKind {
+    /// A combinational primitive (inputs in port-declaration order).
+    Prim(PrimKind),
+    /// Asynchronous tap read of shift register `seq` (inputs are the
+    /// four address nets, LSB first).
+    SrlRead {
+        /// Index into [`NetlistGraph::seq`].
+        seq: usize,
+    },
+    /// Asynchronous word read of RAM `seq` (inputs are the four
+    /// address nets, LSB first).
+    RamRead {
+        /// Index into [`NetlistGraph::seq`].
+        seq: usize,
+    },
+}
+
+/// One node of the combinational evaluation network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombEval {
+    /// What the node computes.
+    pub kind: CombKind,
+    /// Input nets in evaluation order.
+    pub inputs: Vec<NetId>,
+    /// The single driven output net.
+    pub output: NetId,
+}
+
+/// The clock-edge behaviour of one sequential element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqKind {
+    /// Edge-triggered flip-flop.
+    Ff {
+        /// Data input net.
+        d: NetId,
+        /// Clock-enable net, when the primitive has one.
+        ce: Option<NetId>,
+        /// Clear/reset control. At cycle granularity async clear and
+        /// sync reset behave identically: control high forces 0.
+        control: Option<(FfControl, NetId)>,
+        /// Power-on value.
+        init: Logic,
+        /// The output net the state drives.
+        q: NetId,
+    },
+    /// 16-bit shift register (tap reads appear as [`CombKind::SrlRead`]
+    /// nodes).
+    Srl16 {
+        /// Data input net.
+        d: NetId,
+        /// Clock-enable net.
+        ce: NetId,
+        /// Power-on contents.
+        init: u16,
+    },
+    /// 16×1 RAM with synchronous write (reads appear as
+    /// [`CombKind::RamRead`] nodes).
+    Ram16 {
+        /// Data input net.
+        d: NetId,
+        /// Write-enable net.
+        we: NetId,
+        /// Write address nets, LSB first.
+        addr: [NetId; 4],
+        /// Power-on contents.
+        init: u16,
+    },
+}
+
+impl SeqKind {
+    /// Number of state bits this element holds (1 for a flip-flop,
+    /// 16 for shift registers and RAMs).
+    #[must_use]
+    pub fn state_bits(&self) -> usize {
+        match self {
+            SeqKind::Ff { .. } => 1,
+            SeqKind::Srl16 { .. } | SeqKind::Ram16 { .. } => 16,
+        }
+    }
+}
+
+/// One sequential element with its hierarchical instance path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqElem {
+    /// Full hierarchical instance path (stable across engines; the
+    /// same string the simulators' `state_elements` report).
+    pub path: String,
+    /// Edge behaviour.
+    pub kind: SeqKind,
+}
+
+/// A primary port with its resolved bit nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortNets {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Net per bit, LSB first.
+    pub nets: Vec<NetId>,
+}
+
+/// The levelized structural view of a flattened design: the exact
+/// graph all three simulation engines execute, exposed for static
+/// analyses that must agree with them.
+#[derive(Debug, Clone)]
+pub struct NetlistGraph {
+    /// Number of single-bit nets.
+    pub net_count: usize,
+    /// Net names, indexed by [`NetId::index`].
+    pub net_names: Vec<String>,
+    /// Combinational nodes. The first [`NetlistGraph::acyclic_prefix`]
+    /// entries are in topological (levelized) order; any remainder
+    /// belongs to combinational cycles.
+    pub eval_order: Vec<CombEval>,
+    /// Length of the topologically sorted acyclic prefix of
+    /// `eval_order`; equal to `eval_order.len()` iff the design is
+    /// loop-free.
+    pub acyclic_prefix: usize,
+    /// Sequential elements in leaf order.
+    pub seq: Vec<SeqElem>,
+    /// Constant-driven nets (GND/VCC rails).
+    pub const_drives: Vec<(NetId, Logic)>,
+    /// Nets driven by protected black boxes (simulate as `X`).
+    pub black_box_outputs: Vec<NetId>,
+    /// Primary ports with resolved bit nets.
+    pub ports: Vec<PortNets>,
+    /// Nets carrying the global clock (the clock port plus everything
+    /// reached through clock buffers).
+    pub clock_nets: Vec<NetId>,
+}
+
+impl NetlistGraph {
+    /// Builds the graph for a flattened design. `clock_port` selects
+    /// the global clock input; when `None` an input named `clk`, `c`
+    /// or `clock` is auto-detected (sequential-free designs need no
+    /// clock at all).
+    ///
+    /// # Errors
+    ///
+    /// As for simulator construction: inout ports, unknown
+    /// primitives, multiple drivers and gated clocks are rejected.
+    pub fn build(flat: &FlatNetlist, clock_port: Option<&str>) -> Result<Self, SimError> {
+        let compiled = compile(flat, clock_port)?;
+        // Join SRL/RAM read nodes to their sequential element: compile
+        // numbers both through the same state index.
+        let eval_order = compiled
+            .eval_order
+            .iter()
+            .map(|n| CombEval {
+                kind: match n.func {
+                    EvalFunc::Prim(kind) => CombKind::Prim(kind),
+                    EvalFunc::SrlRead { state } => CombKind::SrlRead { seq: state },
+                    EvalFunc::RamRead { state } => CombKind::RamRead { seq: state },
+                },
+                inputs: n.inputs.clone(),
+                output: n.output,
+            })
+            .collect();
+        let seq = compiled
+            .seq
+            .iter()
+            .map(|u| {
+                let (state, kind) = match u {
+                    SeqUpdate::Ff {
+                        state,
+                        d,
+                        ce,
+                        control,
+                        init,
+                        q,
+                    } => (
+                        *state,
+                        SeqKind::Ff {
+                            d: *d,
+                            ce: *ce,
+                            control: *control,
+                            init: *init,
+                            q: *q,
+                        },
+                    ),
+                    SeqUpdate::Srl16 { state, d, ce, init } => (
+                        *state,
+                        SeqKind::Srl16 {
+                            d: *d,
+                            ce: *ce,
+                            init: *init,
+                        },
+                    ),
+                    SeqUpdate::Ram16 {
+                        state,
+                        d,
+                        we,
+                        addr,
+                        init,
+                    } => (
+                        *state,
+                        SeqKind::Ram16 {
+                            d: *d,
+                            we: *we,
+                            addr: *addr,
+                            init: *init,
+                        },
+                    ),
+                };
+                SeqElem {
+                    path: compiled.state_paths[state].clone(),
+                    kind,
+                }
+            })
+            .collect();
+        let ports = compiled
+            .ports
+            .iter()
+            .map(|p| PortNets {
+                name: p.name.clone(),
+                dir: p.dir,
+                nets: p.nets.clone(),
+            })
+            .collect();
+        Ok(NetlistGraph {
+            net_count: compiled.net_count,
+            net_names: compiled.net_names.clone(),
+            eval_order,
+            acyclic_prefix: compiled.acyclic_prefix,
+            seq,
+            const_drives: compiled.const_drives.clone(),
+            black_box_outputs: compiled.black_box_outputs.clone(),
+            ports,
+            clock_nets: compiled.clock_nets.clone(),
+        })
+    }
+
+    /// `true` when the combinational network is loop-free (every node
+    /// sits in the topologically sorted prefix).
+    #[must_use]
+    pub fn levelized(&self) -> bool {
+        self.acyclic_prefix == self.eval_order.len()
+    }
+
+    /// `true` when `net` carries the global clock.
+    #[must_use]
+    pub fn is_clock_net(&self, net: NetId) -> bool {
+        self.clock_nets.contains(&net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipd_hdl::{Circuit, PortSpec, Signal};
+    use ipd_techlib::LogicCtx;
+
+    fn pipeline() -> Circuit {
+        let mut c = Circuit::new("pipe");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+        let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        let w = ctx.wire("w", 1);
+        ctx.xor2(Signal::bit_of(a, 0), Signal::bit_of(a, 1), w)
+            .unwrap();
+        ctx.fd(clk, w, y).unwrap();
+        c
+    }
+
+    #[test]
+    fn graph_is_levelized_and_names_state() {
+        let flat = FlatNetlist::build(&pipeline()).unwrap();
+        let g = NetlistGraph::build(&flat, None).unwrap();
+        assert!(g.levelized());
+        assert_eq!(g.eval_order.len(), 1, "one xor node");
+        assert_eq!(g.seq.len(), 1);
+        assert!(matches!(g.seq[0].kind, SeqKind::Ff { .. }));
+        assert_eq!(g.seq[0].kind.state_bits(), 1);
+        assert_eq!(g.ports.len(), 3);
+        assert_eq!(g.clock_nets.len(), 1);
+        assert!(g.is_clock_net(g.clock_nets[0]));
+    }
+
+    #[test]
+    fn srl_read_joins_to_its_element() {
+        let mut c = Circuit::new("srl");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+        let ce = ctx.add_port(PortSpec::input("ce", 1)).unwrap();
+        let d = ctx.add_port(PortSpec::input("d", 1)).unwrap();
+        let a = ctx.add_port(PortSpec::input("a", 4)).unwrap();
+        let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+        ctx.srl16(0x5a5a, clk, ce, d, a, q).unwrap();
+        let flat = FlatNetlist::build(&c).unwrap();
+        let g = NetlistGraph::build(&flat, None).unwrap();
+        let read = g
+            .eval_order
+            .iter()
+            .find(|n| matches!(n.kind, CombKind::SrlRead { .. }))
+            .expect("tap read node");
+        let CombKind::SrlRead { seq } = read.kind else {
+            unreachable!()
+        };
+        assert!(matches!(
+            g.seq[seq].kind,
+            SeqKind::Srl16 { init: 0x5a5a, .. }
+        ));
+        assert_eq!(read.inputs.len(), 4, "address nets");
+    }
+}

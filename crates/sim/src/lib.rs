@@ -56,6 +56,7 @@ mod batch;
 mod compile;
 mod error;
 mod exec;
+pub mod graph;
 mod program;
 mod simulator;
 #[cfg(feature = "threads")]
@@ -66,6 +67,7 @@ mod waveform;
 pub use batch::{BatchSimulator, MAX_LANES};
 pub use error::SimError;
 pub use exec::{CompiledSimulator, COMPILED_MAX_LANES};
+pub use graph::NetlistGraph;
 pub use simulator::Simulator;
 pub use sweep::{ShardStats, Stimulus, SweepEngine, SweepReport, VectorSweep};
 pub use waveform::{write_vcd, Trace};

@@ -1,0 +1,189 @@
+//! Counterexample honesty: differential replay through both
+//! simulation engines.
+//!
+//! A SAT counterexample is a claim about a design's behaviour, and
+//! the claim is only as good as the lowering that produced it. Before
+//! any counterexample leaves this crate, it is replayed — inputs set,
+//! register cut forced through the state back doors, outputs peeked
+//! (or one clock edge stepped for next-state functions) — through the
+//! interpreted [`BatchSimulator`] *and* the bytecode
+//! [`CompiledSimulator`], on both designs. Any disagreement between
+//! the SAT model and either engine is reported as a loud
+//! [`VerifyError::OracleDisagreement`] internal error rather than a
+//! bogus verdict.
+
+use ipd_hdl::{FlatNetlist, Logic, LogicVec};
+use ipd_sim::{BatchSimulator, CompiledSimulator, SimError};
+
+use crate::equiv::{Counterexample, EquivConfig, StateAssign};
+use crate::error::VerifyError;
+use crate::lower::OutId;
+
+/// The simulator surface replay needs, so both engines run the exact
+/// same script.
+trait ReplaySim {
+    fn set_lane(&mut self, port: &str, lane: usize, value: &LogicVec) -> Result<(), SimError>;
+    fn peek_lane(&mut self, port: &str, lane: usize) -> Result<LogicVec, SimError>;
+    fn cycle(&mut self, n: u64) -> Result<(), SimError>;
+    fn ff_state_lane(&self, path: &str, lane: usize) -> Option<Logic>;
+    fn memory_lane(&self, path: &str, lane: usize) -> Option<LogicVec>;
+    fn set_ff_lane(&mut self, path: &str, lane: usize, value: Logic) -> bool;
+    fn set_memory_lane(&mut self, path: &str, lane: usize, value: &LogicVec) -> bool;
+}
+
+macro_rules! impl_replay_sim {
+    ($t:ty) => {
+        impl ReplaySim for $t {
+            fn set_lane(
+                &mut self,
+                port: &str,
+                lane: usize,
+                value: &LogicVec,
+            ) -> Result<(), SimError> {
+                <$t>::set_lane(self, port, lane, value)
+            }
+            fn peek_lane(&mut self, port: &str, lane: usize) -> Result<LogicVec, SimError> {
+                <$t>::peek_lane(self, port, lane)
+            }
+            fn cycle(&mut self, n: u64) -> Result<(), SimError> {
+                <$t>::cycle(self, n)
+            }
+            fn ff_state_lane(&self, path: &str, lane: usize) -> Option<Logic> {
+                <$t>::ff_state_lane(self, path, lane)
+            }
+            fn memory_lane(&self, path: &str, lane: usize) -> Option<LogicVec> {
+                <$t>::memory_lane(self, path, lane)
+            }
+            fn set_ff_lane(&mut self, path: &str, lane: usize, value: Logic) -> bool {
+                <$t>::set_ff_lane(self, path, lane, value)
+            }
+            fn set_memory_lane(&mut self, path: &str, lane: usize, value: &LogicVec) -> bool {
+                <$t>::set_memory_lane(self, path, lane, value)
+            }
+        }
+    };
+}
+
+impl_replay_sim!(BatchSimulator);
+impl_replay_sim!(CompiledSimulator);
+
+/// Confirms a counterexample against both engines on both designs.
+///
+/// # Errors
+///
+/// [`VerifyError::OracleDisagreement`] when any engine observes a
+/// value other than the SAT model's prediction; [`VerifyError::Sim`]
+/// when replay itself cannot run.
+pub fn confirm(
+    golden: &FlatNetlist,
+    revised: &FlatNetlist,
+    cfg: &EquivConfig,
+    cex: &Counterexample,
+    id: &OutId,
+) -> Result<(), VerifyError> {
+    // The revised design addresses its own state paths.
+    let revised_id = match id {
+        OutId::Port { .. } => id.clone(),
+        OutId::NextState { path, bit } => {
+            let sa = cex
+                .state
+                .iter()
+                .find(|s| &s.golden_path == path)
+                .expect("counterexample covers the matched cut");
+            OutId::NextState {
+                path: sa.revised_path.clone(),
+                bit: *bit,
+            }
+        }
+    };
+    for (flat, target, expected, side, by_golden_path) in [
+        (golden, id, cex.golden_value, "golden", true),
+        (revised, &revised_id, cex.revised_value, "revised", false),
+    ] {
+        let clock = cfg.clock.as_deref();
+        let mut batch = BatchSimulator::from_flat(flat, clock, 1)?;
+        replay_one(
+            &mut batch,
+            "batch",
+            cex,
+            target,
+            expected,
+            side,
+            by_golden_path,
+        )?;
+        let mut compiled = CompiledSimulator::from_flat(flat, clock, 1)?;
+        replay_one(
+            &mut compiled,
+            "compiled",
+            cex,
+            target,
+            expected,
+            side,
+            by_golden_path,
+        )?;
+    }
+    Ok(())
+}
+
+fn state_path(sa: &StateAssign, by_golden_path: bool) -> &str {
+    if by_golden_path {
+        &sa.golden_path
+    } else {
+        &sa.revised_path
+    }
+}
+
+fn replay_one(
+    sim: &mut dyn ReplaySim,
+    oracle: &str,
+    cex: &Counterexample,
+    target: &OutId,
+    expected: bool,
+    side: &str,
+    by_golden_path: bool,
+) -> Result<(), VerifyError> {
+    let function = format!("{side}:{}", target.display());
+    let disagree = |observed: String| VerifyError::OracleDisagreement {
+        oracle: oracle.to_owned(),
+        function: function.clone(),
+        expected: if expected { "1".into() } else { "0".into() },
+        observed,
+    };
+    for (port, value) in &cex.inputs {
+        sim.set_lane(port, 0, value)?;
+    }
+    for sa in &cex.state {
+        let path = state_path(sa, by_golden_path);
+        let forced = if sa.value.width() == 1 {
+            sim.set_ff_lane(path, 0, sa.value.bit(0))
+        } else {
+            sim.set_memory_lane(path, 0, &sa.value)
+        };
+        if !forced {
+            return Err(disagree(format!("state back door refused '{path}'")));
+        }
+    }
+    let observed = match target {
+        OutId::Port { port, bit } => sim.peek_lane(port, 0)?.bit(*bit),
+        OutId::NextState { path, bit } => {
+            sim.cycle(1)?;
+            if *bit == 0 {
+                if let Some(v) = sim.ff_state_lane(path, 0) {
+                    v
+                } else if let Some(word) = sim.memory_lane(path, 0) {
+                    word.bit(*bit)
+                } else {
+                    return Err(disagree(format!("state element '{path}' not found")));
+                }
+            } else if let Some(word) = sim.memory_lane(path, 0) {
+                word.bit(*bit)
+            } else {
+                return Err(disagree(format!("state element '{path}' not found")));
+            }
+        }
+    };
+    if observed != Logic::from_bool(expected) {
+        return Err(disagree(format!("{observed:?}")));
+    }
+    Ok(())
+}

@@ -20,32 +20,13 @@
 use std::process::ExitCode;
 
 use ipd::estimate::analyze_timing;
-use ipd::hdl::Circuit;
 use ipd::lint::{LintConfig, LintReport, Linter, TimingConstraints};
-use ipd::modgen::{CountDirection, Counter, FirFilter, KcmMultiplier, PopCount, Rom};
 
-/// The example designs `--examples` checks: the paper's running KCM
-/// configuration and a spread of other generators.
-fn examples() -> Vec<(String, Circuit)> {
-    let mut out = Vec::new();
-    let mut add = |c: Result<Circuit, ipd::hdl::HdlError>| {
-        let c = c.expect("example generators elaborate");
-        out.push((c.name().to_owned(), c));
-    };
-    add(Circuit::from_generator(
-        &KcmMultiplier::new(-56, 8, 12).signed(true),
-    ));
-    add(Circuit::from_generator(
-        &FirFilter::new(vec![-2, 5, 9, 5, -2], 8).expect("valid taps"),
-    ));
-    add(Circuit::from_generator(
-        &Counter::new(8, CountDirection::Up).loadable(),
-    ));
-    add(Circuit::from_generator(&PopCount::new(12)));
-    add(Circuit::from_generator(
-        &Rom::new(5, 8, (0..32).map(|i| (i * 7) % 256).collect()).expect("valid rom"),
-    ));
-    out
+/// The example designs `--examples` checks: the shared modgen zoo
+/// (the same list the equivalence CI gate proves against its golden
+/// EDIF fixtures).
+fn examples() -> Vec<(String, ipd::hdl::Circuit)> {
+    ipd::modgen::example_zoo()
 }
 
 fn print_report(name: &str, report: &LintReport, json: bool) {

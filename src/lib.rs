@@ -20,6 +20,7 @@
 //! | [`viewer`] | `ipd-viewer` | schematic / layout / hierarchy / waveform views |
 //! | [`pack`] | `ipd-pack` | archives, LZSS, the Table 1 bundles |
 //! | [`core`] | `ipd-core` | capabilities, licenses, applet host & sessions, protection |
+//! | [`verify`] | `ipd-verify` | formal equivalence: AIG, CDCL SAT, fraig sweep, CEC, certificates |
 //! | [`cosim`] | `ipd-cosim` | black-box co-simulation over sockets, baselines |
 //! | [`wire`] | `ipd-wire` | the one framed transport under every socket: caps, deadlines, sessions, stats |
 //!
@@ -54,5 +55,6 @@ pub use ipd_netlist as netlist;
 pub use ipd_pack as pack;
 pub use ipd_sim as sim;
 pub use ipd_techlib as techlib;
+pub use ipd_verify as verify;
 pub use ipd_viewer as viewer;
 pub use ipd_wire as wire;
