@@ -15,6 +15,15 @@ pub enum EstimateError {
         /// A net on the cycle.
         net: String,
     },
+    /// The placed footprint exceeds the requested routing device.
+    DeviceTooSmall {
+        /// The requested part.
+        device: String,
+        /// CLB rows the placement needs.
+        rows: u32,
+        /// CLB columns the placement needs.
+        cols: u32,
+    },
 }
 
 impl fmt::Display for EstimateError {
@@ -25,6 +34,12 @@ impl fmt::Display for EstimateError {
             EstimateError::CombinationalLoop { net } => {
                 write!(f, "combinational loop through net {net}")
             }
+            EstimateError::DeviceTooSmall { device, rows, cols } => {
+                write!(
+                    f,
+                    "device {device} cannot cover the {rows}x{cols} CLB placed footprint"
+                )
+            }
         }
     }
 }
@@ -34,7 +49,7 @@ impl std::error::Error for EstimateError {
         match self {
             EstimateError::Hdl(e) => Some(e),
             EstimateError::Tech(e) => Some(e),
-            EstimateError::CombinationalLoop { .. } => None,
+            EstimateError::CombinationalLoop { .. } | EstimateError::DeviceTooSmall { .. } => None,
         }
     }
 }

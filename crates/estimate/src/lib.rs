@@ -14,6 +14,11 @@
 //!   analysis under a [`TimingConstraints`] set — per-endpoint setup
 //!   slack, false-path/multicycle exceptions, critical-path
 //!   enumeration, slack histograms, and incremental re-analysis.
+//! - [`place_and_route`] → [`PhysicalDesign`]: annealed (or pinned
+//!   hand-RLOC) placement, PathFinder-style congestion-negotiated
+//!   global routing over the device CLB grid, and STA backannotated
+//!   with routed wire lengths through the
+//!   [`ipd_techlib::NetDelaySource`] seam.
 //!
 //! # Example
 //!
@@ -48,15 +53,22 @@
 mod area;
 mod error;
 mod place;
+mod pnr;
+pub mod route;
 pub mod sta;
 mod timing;
 
 pub use area::{estimate_area, estimate_area_flat, AreaReport};
 pub use error::EstimateError;
-pub use place::{auto_place, PlacementResult, PlacerConfig};
+pub use place::{auto_place, PlacementResult, PlacerConfig, PlacerMode};
+pub use pnr::{place_and_route, PhysicalDesign, PlacementStrategy, PnrConfig};
+pub use route::{route, RouteStats, RoutedNet, RoutedSink, RouterConfig, RoutingResult};
 pub use sta::{
     analyze_timing, ClockConstraint, ClockSlack, EndpointSlack, ExceptionKind, PathException,
     PathReport, PathStep, PortDelay, SlackHistogram, SlackSummary, Sta, StaReport,
     TimingConstraints,
 };
-pub use timing::{estimate_timing, estimate_timing_flat, estimate_timing_with, TimingReport};
+pub use timing::{
+    estimate_timing, estimate_timing_flat, estimate_timing_flat_with_source, estimate_timing_with,
+    TimingReport,
+};

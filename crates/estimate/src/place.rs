@@ -11,6 +11,18 @@ use ipd_techlib::{area_of, PrimKind};
 
 use crate::error::EstimateError;
 
+/// What the annealer is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacerMode {
+    /// Discard all existing placement and anneal every placeable leaf.
+    #[default]
+    Scratch,
+    /// Keep already-placed leaves pinned at their hand `RLOC`s and
+    /// anneal only the unplaced leaves into the free sites around
+    /// them. The hand layout is preserved bit-for-bit.
+    Pinned,
+}
+
 /// Annealing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlacerConfig {
@@ -22,6 +34,8 @@ pub struct PlacerConfig {
     pub initial_temperature: f64,
     /// Multiplicative cooling applied each sweep.
     pub cooling: f64,
+    /// Whether existing `RLOC`s are discarded or pinned.
+    pub mode: PlacerMode,
 }
 
 impl Default for PlacerConfig {
@@ -31,6 +45,7 @@ impl Default for PlacerConfig {
             moves_per_leaf: 400,
             initial_temperature: 8.0,
             cooling: 0.95,
+            mode: PlacerMode::Scratch,
         }
     }
 }
@@ -39,7 +54,8 @@ impl Default for PlacerConfig {
 #[derive(Debug, Clone)]
 pub struct PlacementResult {
     /// The placed circuit (every slice-consuming leaf has an absolute
-    /// `RLOC`; prior placement is discarded).
+    /// `RLOC`; prior placement is discarded in [`PlacerMode::Scratch`]
+    /// and preserved bit-for-bit in [`PlacerMode::Pinned`]).
     pub circuit: Circuit,
     /// Half-perimeter wirelength of the random initial placement.
     pub initial_wirelength: f64,
@@ -52,6 +68,13 @@ pub struct PlacementResult {
 }
 
 /// Places a circuit automatically with simulated annealing.
+///
+/// [`PlacerMode::Scratch`] (the default) discards any existing
+/// placement and anneals every slice-consuming leaf.
+/// [`PlacerMode::Pinned`] keeps hand-placed leaves fixed at their
+/// `RLOC`s and anneals only the unplaced remainder into the open sites
+/// around them — the paper's hand layouts stay authoritative while the
+/// glue logic finds a home.
 ///
 /// # Errors
 ///
@@ -87,9 +110,12 @@ pub fn auto_place(
     config: &PlacerConfig,
 ) -> Result<PlacementResult, EstimateError> {
     let flat = FlatNetlist::build(circuit)?;
+    let pinned_mode = config.mode == PlacerMode::Pinned;
     // Placeable leaves: anything that occupies fabric (zero-cost
-    // buffers/constants/pads float).
+    // buffers/constants/pads float). In pinned mode, already-placed
+    // leaves keep their absolute location and never move.
     let mut leaves = Vec::new();
+    let mut fixed: Vec<Option<Rloc>> = Vec::new();
     for leaf in flat.leaves() {
         let occupies = match &leaf.kind {
             ipd_hdl::FlatKind::BlackBox(_) => true,
@@ -101,12 +127,15 @@ pub fn auto_place(
         };
         if occupies {
             leaves.push(leaf.cell);
+            fixed.push(if pinned_mode { leaf.loc } else { None });
         }
     }
     let n = leaves.len();
     if n == 0 {
         let mut out = circuit.clone();
-        out.strip_placement();
+        if !pinned_mode {
+            out.strip_placement();
+        }
         return Ok(PlacementResult {
             circuit: out,
             initial_wirelength: 0.0,
@@ -115,9 +144,50 @@ pub fn auto_place(
             grid_side: 0,
         });
     }
-    // Site grid with ~40% slack.
-    let grid_side = ((n as f64 * 1.4).sqrt().ceil() as u32).max(2);
-    let sites = (grid_side * grid_side) as usize;
+    let free: Vec<usize> = (0..n).filter(|&i| fixed[i].is_none()).collect();
+    let n_free = free.len();
+
+    // The site grid. From scratch: a square with ~40% slack. Pinned:
+    // the pinned bounding box, grown until ~40% slack worth of open
+    // sites exists for the free leaves.
+    let mut bbox: Option<(i32, i32, i32, i32)> = None;
+    for loc in fixed.iter().flatten() {
+        bbox = Some(match bbox {
+            None => (loc.row, loc.col, loc.row, loc.col),
+            Some((r0, c0, r1, c1)) => (
+                r0.min(loc.row),
+                c0.min(loc.col),
+                r1.max(loc.row),
+                c1.max(loc.col),
+            ),
+        });
+    }
+    let needed = ((n_free as f64) * 1.4).ceil() as usize;
+    let (row0, col0, mut height, mut width) = match bbox {
+        Some((r0, c0, r1, c1)) => (r0, c0, (r1 - r0 + 1) as u32, (c1 - c0 + 1) as u32),
+        None => {
+            let side = ((n as f64 * 1.4).sqrt().ceil() as u32).max(2);
+            (0, 0, side, side)
+        }
+    };
+    let pinned_locs: std::collections::HashSet<Rloc> = fixed.iter().flatten().copied().collect();
+    while ((height * width) as usize).saturating_sub(pinned_locs.len()) < needed {
+        if width <= height {
+            width += 1;
+        } else {
+            height += 1;
+        }
+    }
+    let (width, height) = (width, height);
+    let grid_side = width.max(height);
+    let sites = (height * width) as usize;
+    let site_at = |loc: Rloc| -> usize {
+        ((loc.row - row0) as u32 * width + (loc.col - col0) as u32) as usize
+    };
+    let mut blocked = vec![false; sites];
+    for &loc in &pinned_locs {
+        blocked[site_at(loc)] = true;
+    }
 
     // Net membership: for each net, the indices of placeable leaves on
     // it (leaf index within `leaves`).
@@ -153,25 +223,34 @@ pub fn auto_place(
         }
     }
 
-    // Initial placement: leaves in site order; remaining sites empty.
-    // position[li] = site index; site_of[site] = Some(li).
+    // Initial placement: pinned leaves at their sites, free leaves
+    // shuffled onto the first open sites; remaining sites empty.
+    // position[li] = site index; site_of[site] = Some(li) for free
+    // leaves only (pinned leaves never participate in moves and may
+    // legally share a CLB with each other).
     let mut rng = XorShift64::new(config.seed | 1);
-    let mut position: Vec<usize> = (0..n).collect();
-    // Shuffle the initial assignment of leaves to the first n sites.
-    for i in (1..n).rev() {
+    let open: Vec<usize> = (0..sites).filter(|&s| !blocked[s]).collect();
+    let mut assign: Vec<usize> = (0..n_free).collect();
+    for i in (1..n_free).rev() {
         let j = (rng.next() % (i as u64 + 1)) as usize;
-        position.swap(i, j);
+        assign.swap(i, j);
+    }
+    let mut position: Vec<usize> = vec![0; n];
+    for (i, &li) in free.iter().enumerate() {
+        position[li] = open[assign[i]];
+    }
+    for (li, f) in fixed.iter().enumerate() {
+        if let Some(loc) = f {
+            position[li] = site_at(*loc);
+        }
     }
     let mut site_of: Vec<Option<usize>> = vec![None; sites];
-    for (li, &site) in position.iter().enumerate() {
-        site_of[site] = Some(li);
+    for &li in &free {
+        site_of[position[li]] = Some(li);
     }
 
     let coord = |site: usize| -> (f64, f64) {
-        (
-            (site as u32 % grid_side) as f64,
-            (site as u32 / grid_side) as f64,
-        )
+        ((site as u32 % width) as f64, (site as u32 / width) as f64)
     };
     let net_cost = |members: &[usize], position: &[usize]| -> f64 {
         let mut min_x = f64::MAX;
@@ -196,14 +275,15 @@ pub fn auto_place(
     let mut best_position = position.clone();
     let mut temperature = config.initial_temperature;
     let mut accepted = 0u64;
-    let total_moves = (config.moves_per_leaf as u64) * n as u64;
+    let total_moves = (config.moves_per_leaf as u64) * n_free as u64;
     let sweep = (n as u64 * 16).max(64);
     for step in 0..total_moves {
-        // Pick a leaf and a target site (occupied → swap, empty → move).
-        let li = (rng.next() % n as u64) as usize;
+        // Pick a free leaf and a target site (occupied by another free
+        // leaf → swap, empty → move; pinned sites are off limits).
+        let li = free[(rng.next() % n_free as u64) as usize];
         let target = (rng.next() % sites as u64) as usize;
         let source = position[li];
-        if target == source {
+        if target == source || blocked[target] {
             continue;
         }
         let other = site_of[target];
@@ -257,12 +337,33 @@ pub fn auto_place(
 
     // Write the best-seen placement into a fresh clone.
     let mut out = circuit.clone();
-    out.strip_placement();
-    {
+    let abs_of = |site: usize| -> Rloc {
+        Rloc::new(
+            row0 + (site as u32 / width) as i32,
+            col0 + (site as u32 % width) as i32,
+        )
+    };
+    if pinned_mode {
+        // Only the free leaves move; their absolute targets are
+        // corrected for placed ancestors, since `set_rloc` composes
+        // with ancestor offsets.
+        let targets: Vec<(usize, Rloc)> = free
+            .iter()
+            .map(|&li| {
+                let abs = abs_of(best_position[li]);
+                let anc = out.ancestor_rloc(leaves[li]);
+                (li, Rloc::new(abs.row - anc.row, abs.col - anc.col))
+            })
+            .collect();
+        let mut ctx = out.root_ctx();
+        for (li, rloc) in targets {
+            ctx.set_rloc(leaves[li], rloc);
+        }
+    } else {
+        out.strip_placement();
         let mut ctx = out.root_ctx();
         for (li, &cell) in leaves.iter().enumerate() {
-            let (x, y) = coord(best_position[li]);
-            ctx.set_rloc(cell, Rloc::new(y as i32, x as i32));
+            ctx.set_rloc(cell, abs_of(best_position[li]));
         }
     }
     Ok(PlacementResult {
@@ -378,5 +479,102 @@ mod tests {
         let circuit = Circuit::new("empty");
         let result = auto_place(&circuit, &PlacerConfig::default()).unwrap();
         assert_eq!(result.final_wirelength, 0.0);
+    }
+
+    /// The chain with its first 8 xors hand-placed down column 0.
+    fn half_placed_chain() -> Circuit {
+        use ipd_hdl::{PortSpec, Signal};
+        use ipd_techlib::LogicCtx;
+        let mut c = Circuit::new("half");
+        let mut ctx = c.root_ctx();
+        let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+        let a = ctx.add_port(PortSpec::input("a", 16)).unwrap();
+        let q = ctx.add_port(PortSpec::output("q", 1)).unwrap();
+        let mut cur: Signal = Signal::bit_of(a, 0);
+        for b in 1..16 {
+            let t = ctx.wire(&format!("t{b}"), 1);
+            let x = ctx.xor2(cur, Signal::bit_of(a, b), t).unwrap();
+            if b <= 8 {
+                ctx.set_rloc(x, Rloc::new(b as i32 - 1, 0));
+            }
+            cur = t.into();
+        }
+        ctx.fd(clk, cur, q).unwrap();
+        c
+    }
+
+    #[test]
+    fn pinned_mode_keeps_hand_rlocs_and_places_the_rest() {
+        let circuit = half_placed_chain();
+        let flat_before = FlatNetlist::build(&circuit).unwrap();
+        let hand: std::collections::HashMap<String, Rloc> = flat_before
+            .leaves()
+            .iter()
+            .filter_map(|l| l.loc.map(|loc| (l.path.clone(), loc)))
+            .collect();
+        assert_eq!(hand.len(), 8, "fixture should be half placed");
+
+        let config = PlacerConfig {
+            mode: PlacerMode::Pinned,
+            ..PlacerConfig::default()
+        };
+        let placed = auto_place(&circuit, &config).unwrap();
+        let flat_after = FlatNetlist::build(&placed.circuit).unwrap();
+        let mut moved = 0usize;
+        for leaf in flat_after.leaves() {
+            match hand.get(&leaf.path) {
+                // Every hand RLOC survives bit-for-bit.
+                Some(&loc) => assert_eq!(leaf.loc, Some(loc), "{} moved", leaf.path),
+                None => {
+                    if leaf.loc.is_some() {
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        // All previously unplaced slice-consuming leaves got a site.
+        assert_eq!(moved, 8, "7 free xors + 1 ff should be placed");
+        // Free leaves never landed on a pinned CLB.
+        let pinned: std::collections::HashSet<Rloc> = hand.values().copied().collect();
+        for leaf in flat_after.leaves() {
+            if !hand.contains_key(&leaf.path) {
+                if let Some(loc) = leaf.loc {
+                    assert!(!pinned.contains(&loc), "{} collides at {loc}", leaf.path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_mode_with_everything_placed_is_identity() {
+        let circuit = half_placed_chain();
+        let config = PlacerConfig {
+            mode: PlacerMode::Pinned,
+            ..PlacerConfig::default()
+        };
+        let once = auto_place(&circuit, &config).unwrap();
+        // A second pinned pass has nothing left to move.
+        let fully = auto_place(&once.circuit, &config).unwrap();
+        assert_eq!(fully.accepted_moves, 0);
+        let a = FlatNetlist::build(&once.circuit).unwrap();
+        let b = FlatNetlist::build(&fully.circuit).unwrap();
+        let locs = |f: &FlatNetlist| -> Vec<(String, Option<Rloc>)> {
+            f.leaves().iter().map(|l| (l.path.clone(), l.loc)).collect()
+        };
+        assert_eq!(locs(&a), locs(&b));
+    }
+
+    #[test]
+    fn scratch_mode_is_unchanged_by_the_pinned_refactor() {
+        // Scratch on a pre-placed circuit still discards placement and
+        // produces the same result as scratch on the stripped circuit:
+        // the pinned seam must not perturb the default path.
+        let circuit = half_placed_chain();
+        let mut stripped = circuit.clone();
+        stripped.strip_placement();
+        let a = auto_place(&circuit, &PlacerConfig::default()).unwrap();
+        let b = auto_place(&stripped, &PlacerConfig::default()).unwrap();
+        assert_eq!(a.final_wirelength, b.final_wirelength);
+        assert_eq!(a.accepted_moves, b.accepted_moves);
     }
 }

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use ipd_hdl::{Circuit, FlatNetlist, NetId};
-use ipd_techlib::DelayModel;
+use ipd_techlib::{DelayModel, NetDelaySource};
 
 use super::constraints::{
     clock_pattern_matches, pattern_matches, ExceptionKind, TimingConstraints,
@@ -120,7 +120,23 @@ impl<'a> Sta<'a> {
     ///
     /// Fails on unknown primitives or combinational loops.
     pub fn build(flat: &'a FlatNetlist, model: &DelayModel) -> Result<Self, EstimateError> {
-        let graph = TimingGraph::build(flat, model)?;
+        Sta::build_with_source(flat, model, NetDelaySource::Heuristic)
+    }
+
+    /// Builds the analyzer with an explicit [`NetDelaySource`] —
+    /// [`NetDelaySource::Heuristic`] reproduces [`Sta::build`] bit for
+    /// bit; [`NetDelaySource::Routed`] backannotates routed wire
+    /// delays into every net-delay lookup.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sta::build`].
+    pub fn build_with_source(
+        flat: &'a FlatNetlist,
+        model: &DelayModel,
+        source: NetDelaySource,
+    ) -> Result<Self, EstimateError> {
+        let graph = TimingGraph::build_with_source(flat, model, source)?;
         let queued = vec![false; graph.nodes.len()];
         Ok(Sta {
             graph,

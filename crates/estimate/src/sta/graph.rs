@@ -10,7 +10,7 @@
 //! designs (proven by a differential oracle test in `timing.rs`).
 
 use ipd_hdl::{FlatKind, FlatNetlist, NetId, PortDir, Rloc};
-use ipd_techlib::{DelayModel, PrimClass, PrimKind};
+use ipd_techlib::{DelayModel, NetDelaySource, PrimClass, PrimKind};
 
 use crate::error::EstimateError;
 
@@ -70,6 +70,9 @@ pub(crate) struct SeqLaunch {
 pub(crate) struct TimingGraph<'a> {
     pub flat: &'a FlatNetlist,
     pub model: DelayModel,
+    /// Where net delays come from; every edge-delay query in the
+    /// engine resolves through this one seam.
+    pub source: NetDelaySource,
     pub nodes: Vec<GateNode>,
     /// Node indices in dataflow (topological) order.
     pub order: Vec<usize>,
@@ -95,13 +98,19 @@ pub(crate) struct TimingGraph<'a> {
 }
 
 impl<'a> TimingGraph<'a> {
-    /// Builds the graph.
+    /// Builds the graph with an explicit net-delay source
+    /// ([`NetDelaySource::Heuristic`] reproduces the legacy distance
+    /// model bit for bit).
     ///
     /// # Errors
     ///
     /// Unknown primitives and combinational loops fail, exactly as in
     /// the legacy estimator.
-    pub fn build(flat: &'a FlatNetlist, model: &DelayModel) -> Result<Self, EstimateError> {
+    pub fn build_with_source(
+        flat: &'a FlatNetlist,
+        model: &DelayModel,
+        source: NetDelaySource,
+    ) -> Result<Self, EstimateError> {
         let net_count = flat.net_count();
         let mut driver_loc: Vec<Option<Rloc>> = vec![None; net_count];
         let mut driver_carry = vec![false; net_count];
@@ -334,6 +343,7 @@ impl<'a> TimingGraph<'a> {
         let mut graph = TimingGraph {
             flat,
             model: model.clone(),
+            source,
             nodes,
             order,
             node_pos,
@@ -384,7 +394,9 @@ impl<'a> TimingGraph<'a> {
     /// Routing delay from a net's driver to a non-carry sink at
     /// `to_loc` (endpoints: FF data pins, output ports, black boxes).
     pub fn edge_delay(&self, from: NetId, to_loc: Option<Rloc>) -> f64 {
-        self.model.net_delay_edge(
+        self.source.edge_delay(
+            &self.model,
+            from,
             self.driver_loc[from.index()],
             to_loc,
             self.fanout[from.index()],
@@ -395,7 +407,9 @@ impl<'a> TimingGraph<'a> {
     /// Routing delay from a net's driver into a gate node, using the
     /// dedicated carry route for carry-to-carry hops.
     pub fn gate_edge_delay(&self, from: NetId, node: &GateNode) -> f64 {
-        self.model.net_delay_edge(
+        self.source.edge_delay(
+            &self.model,
+            from,
             self.driver_loc[from.index()],
             node.loc,
             self.fanout[from.index()],

@@ -13,7 +13,7 @@
 use std::fmt;
 
 use ipd_hdl::{Circuit, FlatNetlist};
-use ipd_techlib::DelayModel;
+use ipd_techlib::{DelayModel, NetDelaySource};
 
 use crate::error::EstimateError;
 use crate::sta::Sta;
@@ -85,7 +85,22 @@ pub fn estimate_timing_flat(
     flat: &FlatNetlist,
     model: &DelayModel,
 ) -> Result<TimingReport, EstimateError> {
-    let mut sta = Sta::build(flat, model)?;
+    estimate_timing_flat_with_source(flat, model, NetDelaySource::Heuristic)
+}
+
+/// Estimates timing from an already-flattened design with an explicit
+/// net-delay source — [`NetDelaySource::Routed`] makes the one-number
+/// summary reflect real wire geometry instead of distance heuristics.
+///
+/// # Errors
+///
+/// As for [`estimate_timing`].
+pub fn estimate_timing_flat_with_source(
+    flat: &FlatNetlist,
+    model: &DelayModel,
+    source: NetDelaySource,
+) -> Result<TimingReport, EstimateError> {
+    let mut sta = Sta::build_with_source(flat, model, source)?;
     sta.analyze_legacy();
     let (critical, levels, path) = sta.legacy_worst();
     Ok(TimingReport {

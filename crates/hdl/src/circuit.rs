@@ -276,6 +276,23 @@ impl Circuit {
         Some(acc)
     }
 
+    /// The placement offset contributed by a cell's ancestors alone:
+    /// the sum of `RLOC`s strictly above the cell. A placer that wants
+    /// a leaf at absolute location `p` while its parents keep their
+    /// placement must set the leaf's `RLOC` to `p` minus this offset.
+    #[must_use]
+    pub fn ancestor_rloc(&self, id: CellId) -> Rloc {
+        let mut acc = Rloc::default();
+        let mut cur = self.cell(id).parent;
+        while let Some(c) = cur {
+            if let Some(r) = self.cell(c).rloc {
+                acc = acc.offset(r);
+            }
+            cur = self.cell(c).parent;
+        }
+        acc
+    }
+
     fn fresh_name(&mut self, scope: CellId, base: &str) -> String {
         let used = &mut self.used_names[scope.index()];
         if used.insert(base.to_owned()) {
@@ -867,6 +884,11 @@ mod tests {
         assert_eq!(c.absolute_rloc(child), Some(Rloc::new(2, 3)));
         // Unplaced cells report None.
         assert_eq!(c.absolute_rloc(c.root()), None);
+        // The ancestor offset excludes the leaf's own RLOC and is
+        // defined even for unplaced cells.
+        assert_eq!(c.ancestor_rloc(leaf), Rloc::new(2, 3));
+        assert_eq!(c.ancestor_rloc(child), Rloc::default());
+        assert_eq!(c.ancestor_rloc(c.root()), Rloc::default());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! (LUT ≫ carry, placed routing ≪ unplaced routing) that the paper's
 //! estimator exposes to customers.
 
-use ipd_hdl::Rloc;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ipd_hdl::{NetId, Rloc};
 
 use crate::prim::{PrimClass, PrimKind};
 
@@ -123,6 +126,112 @@ impl Default for DelayModel {
     }
 }
 
+/// Backannotated per-`(net, sink)` routing delays, as produced by a
+/// router from real wire geometry.
+///
+/// Sinks are keyed by the absolute placement of the reading leaf: every
+/// load of a net inside one CLB sees the same route, so one entry per
+/// `(net, CLB)` pair suffices. Nets or sinks without an entry fall back
+/// to the heuristic estimate — a routed database is allowed to be
+/// partial (unplaced leaves, primary output pads).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutedDelays {
+    per_sink: HashMap<(NetId, Rloc), f64>,
+}
+
+impl RoutedDelays {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        RoutedDelays::default()
+    }
+
+    /// Records the routed delay of `net` into the sink CLB at `sink`.
+    /// The slower route wins when two entries collide (pessimism over
+    /// optimism for a signoff number).
+    pub fn insert(&mut self, net: NetId, sink: Rloc, delay_ns: f64) {
+        let entry = self.per_sink.entry((net, sink)).or_insert(delay_ns);
+        if delay_ns > *entry {
+            *entry = delay_ns;
+        }
+    }
+
+    /// Looks up the routed delay of `net` into the sink CLB at `sink`.
+    #[must_use]
+    pub fn get(&self, net: NetId, sink: Rloc) -> Option<f64> {
+        self.per_sink.get(&(net, sink)).copied()
+    }
+
+    /// Number of `(net, sink)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_sink.len()
+    }
+
+    /// Whether the database holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_sink.is_empty()
+    }
+}
+
+/// Where net delays come from: the heuristic distance model, or real
+/// routed geometry backannotated by a router.
+///
+/// This is the seam between [`DelayModel`] (primitive delays, which are
+/// silicon facts) and net delays (which depend on where wires actually
+/// go). Every timing consumer resolves net delays through exactly one
+/// call, [`NetDelaySource::edge_delay`]; the `Heuristic` variant
+/// reproduces the historical placed/unplaced math bit for bit.
+#[derive(Debug, Clone, Default)]
+pub enum NetDelaySource {
+    /// The historical estimate: Manhattan distance when both endpoints
+    /// are placed, a pessimistic penalty factor otherwise.
+    #[default]
+    Heuristic,
+    /// Backannotated routed delays; sinks missing from the database
+    /// fall back to the heuristic.
+    Routed(Arc<RoutedDelays>),
+}
+
+impl NetDelaySource {
+    /// Routing delay of one edge of `net` from its driver (placed at
+    /// `from`, if placed) to a sink (placed at `to`, if placed) with
+    /// the net's total `fanout`. Dedicated carry-chain hops ride the
+    /// silicon carry route under either source.
+    #[must_use]
+    pub fn edge_delay(
+        &self,
+        model: &DelayModel,
+        net: NetId,
+        from: Option<Rloc>,
+        to: Option<Rloc>,
+        fanout: usize,
+        carry_hop: bool,
+    ) -> f64 {
+        if carry_hop {
+            return model.carry_net_ns;
+        }
+        if let NetDelaySource::Routed(routed) = self {
+            if let Some(sink) = to {
+                if let Some(ns) = routed.get(net, sink) {
+                    return ns;
+                }
+            }
+        }
+        match (from, to) {
+            (Some(a), Some(b)) => model.net_delay_placed(a, b, fanout),
+            _ => model.net_delay_unplaced(fanout),
+        }
+    }
+
+    /// Whether this source carries backannotated routed delays.
+    #[must_use]
+    pub fn is_routed(&self) -> bool {
+        matches!(self, NetDelaySource::Routed(_))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +280,67 @@ mod tests {
         let m = DelayModel::virtex();
         assert!((m.to_mhz(10.0) - 100.0).abs() < 1e-9);
         assert!(m.to_mhz(0.0).is_infinite());
+    }
+
+    #[test]
+    fn heuristic_source_matches_net_delay_edge() {
+        let m = DelayModel::virtex();
+        let src = NetDelaySource::Heuristic;
+        let net = NetId::from_index(0);
+        let a = Rloc::new(0, 0);
+        let b = Rloc::new(3, 4);
+        for (from, to) in [
+            (Some(a), Some(b)),
+            (None, Some(b)),
+            (Some(a), None),
+            (None, None),
+        ] {
+            for fanout in [1usize, 2, 9] {
+                for carry in [false, true] {
+                    assert_eq!(
+                        src.edge_delay(&m, net, from, to, fanout, carry),
+                        m.net_delay_edge(from, to, fanout, carry),
+                    );
+                }
+            }
+        }
+        assert!(!src.is_routed());
+    }
+
+    #[test]
+    fn routed_source_overrides_and_falls_back() {
+        let m = DelayModel::virtex();
+        let net = NetId::from_index(7);
+        let sink = Rloc::new(2, 2);
+        let mut routed = RoutedDelays::new();
+        routed.insert(net, sink, 1.25);
+        // Slower duplicate wins; faster duplicate is ignored.
+        routed.insert(net, sink, 1.5);
+        routed.insert(net, sink, 0.5);
+        assert_eq!(routed.get(net, sink), Some(1.5));
+        assert_eq!(routed.len(), 1);
+        let src = NetDelaySource::Routed(Arc::new(routed));
+        assert!(src.is_routed());
+        let from = Rloc::new(0, 0);
+        // A known sink uses the routed number.
+        assert_eq!(
+            src.edge_delay(&m, net, Some(from), Some(sink), 3, false),
+            1.5
+        );
+        // Carry hops win over routed entries.
+        assert_eq!(
+            src.edge_delay(&m, net, Some(from), Some(sink), 3, true),
+            m.carry_net_ns
+        );
+        // Unknown sinks and unknown nets fall back to the heuristic.
+        let other = Rloc::new(9, 9);
+        assert_eq!(
+            src.edge_delay(&m, net, Some(from), Some(other), 3, false),
+            m.net_delay_placed(from, other, 3)
+        );
+        assert_eq!(
+            src.edge_delay(&m, NetId::from_index(8), Some(from), None, 2, false),
+            m.net_delay_unplaced(2)
+        );
     }
 }

@@ -54,7 +54,7 @@ mod prim;
 
 pub use area::{area_of, AreaCost};
 pub use builder::LogicCtx;
-pub use delay::DelayModel;
+pub use delay::{DelayModel, NetDelaySource, RoutedDelays};
 pub use device::Device;
 pub use error::TechError;
 pub use prim::{FfControl, PrimClass, PrimKind, LIBRARY};

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use ipd_estimate::RoutingResult;
 use ipd_hdl::{Circuit, FlatNetlist, Rloc};
 use ipd_techlib::Device;
 
@@ -163,6 +164,109 @@ pub fn fit_report(circuit: &Circuit, device: &Device) -> Result<String, ipd_hdl:
     Ok(verdict)
 }
 
+/// Channel occupancy as one character: `.` unused, digits 1–9 for the
+/// wire count, `#` for ten or more.
+fn occ_char(occ: Option<u16>) -> char {
+    match occ {
+        None | Some(0) => '.',
+        Some(n) if n < 10 => char::from_digit(u32::from(n), 10).expect("digit"),
+        Some(_) => '#',
+    }
+}
+
+/// Renders a routing result as an ASCII channel-occupancy overlay:
+/// `+` marks CLB coordinates, the character between two adjacent `+`
+/// marks how many wires the channel segment between them carries.
+/// The view is clipped to the region wires actually use (plus one CLB
+/// of margin) so large devices stay readable.
+#[must_use]
+pub fn route_grid(routing: &RoutingResult) -> String {
+    let (g_r0, g_c0, g_rows, g_cols) = routing.grid_bounds();
+    if routing.stats.nets == 0 || g_rows == 0 || g_cols == 0 {
+        return "(no routed nets)\n".to_owned();
+    }
+    // Bounding box of everything the route touches.
+    let mut bounds: Option<(i32, i32, i32, i32)> = None;
+    let mut touch = |loc: Rloc| {
+        bounds = Some(match bounds {
+            None => (loc.row, loc.col, loc.row, loc.col),
+            Some((r0, c0, r1, c1)) => (
+                r0.min(loc.row),
+                c0.min(loc.col),
+                r1.max(loc.row),
+                c1.max(loc.col),
+            ),
+        });
+    };
+    for net in &routing.nets {
+        touch(net.source);
+        for sink in &net.sinks {
+            touch(sink.loc);
+        }
+        for &(a, b) in &net.segments {
+            touch(a);
+            touch(b);
+        }
+    }
+    let (r0, c0, r1, c1) = bounds.expect("routed nets have sources");
+    let r_lo = (r0 - 1).max(g_r0);
+    let c_lo = (c0 - 1).max(g_c0);
+    let r_hi = (r1 + 1).min(g_r0 + g_rows as i32 - 1);
+    let c_hi = (c1 + 1).min(g_c0 + g_cols as i32 - 1);
+    let mut out = format!("{}\n", routing.stats);
+    for row in r_lo..=r_hi {
+        let mut line = format!("{row:>4} ");
+        for col in c_lo..=c_hi {
+            line.push('+');
+            if col < c_hi {
+                line.push(occ_char(
+                    routing.occupancy_between(Rloc::new(row, col), Rloc::new(row, col + 1)),
+                ));
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+        if row < r_hi {
+            let mut line = String::from("     ");
+            for col in c_lo..=c_hi {
+                line.push(occ_char(
+                    routing.occupancy_between(Rloc::new(row, col), Rloc::new(row + 1, col)),
+                ));
+                if col < c_hi {
+                    line.push(' ');
+                }
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a routing result as a per-net listing: every net with its
+/// source CLB, fanout and per-sink routed wire length and
+/// backannotated delay.
+#[must_use]
+pub fn route_dump(routing: &RoutingResult) -> String {
+    let mut out = format!("{}\n", routing.stats);
+    for net in &routing.nets {
+        out.push_str(&format!(
+            "net {} @ {} (fanout {}, {} segment(s)):\n",
+            net.name,
+            net.source,
+            net.fanout,
+            net.segments.len()
+        ));
+        for sink in &net.sinks {
+            out.push_str(&format!(
+                "  -> {}  wirelength {}  delay {:.3} ns\n",
+                sink.loc, sink.wirelength, sink.delay_ns
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +327,47 @@ mod tests {
         let c = placed_pair();
         let dev = Device::by_name("xcv50").unwrap();
         assert!(fit_report(&c, &dev).unwrap().contains("fits"));
+    }
+
+    #[test]
+    fn route_views_render_wires_and_delays() {
+        use ipd_estimate::{route, RouterConfig};
+        use ipd_hdl::FlatNetlist;
+        use ipd_techlib::DelayModel;
+        let c = placed_pair();
+        let flat = FlatNetlist::build(&c).unwrap();
+        let routing = route(&flat, &DelayModel::virtex(), &RouterConfig::default()).unwrap();
+        assert!(routing.stats.converged);
+
+        let grid = route_grid(&routing);
+        assert!(grid.contains("converged"), "{grid}");
+        assert!(grid.contains('+'), "{grid}");
+        // The single two-pin net occupies at least one channel: some
+        // segment renders as '1'.
+        assert!(grid.contains('1'), "{grid}");
+
+        let dump = route_dump(&routing);
+        assert!(dump.contains("net "), "{dump}");
+        assert!(dump.contains("wirelength"), "{dump}");
+        assert!(dump.contains("ns"), "{dump}");
+    }
+
+    #[test]
+    fn empty_route_renders_placeholder() {
+        let mut c = Circuit::new("t");
+        {
+            let mut ctx = c.root_ctx();
+            let i = ctx.add_port(PortSpec::input("i", 1)).unwrap();
+            let t = ctx.wire("t", 1);
+            ctx.inv(i, t).unwrap();
+        }
+        let flat = ipd_hdl::FlatNetlist::build(&c).unwrap();
+        let routing = ipd_estimate::route(
+            &flat,
+            &ipd_techlib::DelayModel::virtex(),
+            &ipd_estimate::RouterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(route_grid(&routing), "(no routed nets)\n");
     }
 }

@@ -12,6 +12,8 @@
 //! - [`hierarchy_tree`] — the full design tree with statistics.
 //! - [`layout_grid`] / [`layout_summary`] / [`fit_report`] — CLB-grid
 //!   occupancy from relative placement.
+//! - [`route_grid`] / [`route_dump`] — channel-occupancy overlay and
+//!   per-net route listings from the global router.
 //! - [`waveform_text`] — recorded simulation traces.
 //!
 //! # Example
@@ -42,6 +44,6 @@ mod schematic;
 mod wave;
 
 pub use hierarchy::hierarchy_tree;
-pub use layout::{fit_report, layout_grid, layout_summary, LayoutSummary};
+pub use layout::{fit_report, layout_grid, layout_summary, route_dump, route_grid, LayoutSummary};
 pub use schematic::{schematic_svg, schematic_text};
 pub use wave::waveform_text;
