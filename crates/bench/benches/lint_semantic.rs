@@ -1,0 +1,140 @@
+//! X13 — semantic-lint cost: wall time for the SAT-backed semantic
+//! tier (`Linter::with_oracle`) over the largest KCM in the simulator
+//! sweep, versus the structural tier on the same circuit. The semantic
+//! tier runs a constant/equality/never-X oracle query per candidate on
+//! top of everything the structural tier does, so it cannot be free —
+//! the X13 acceptance shape is semantic ≤ 25× structural on kcm_w16.
+//!
+//! Measured figures, in lint passes per second. Both tiers measure a
+//! full `run(&circuit)` — flatten included, exactly the X6
+//! `lint_full` methodology and exactly what `ipd-lint` executes:
+//!
+//! * `lint_structural` — the default structural pass suite on kcm_w16.
+//! * `lint_semantic` — the semantic tier on the same circuit:
+//!   structural re-derivation, SAT confirmation of every dead/constant
+//!   claim, dual-rail never-X refinement, redundant-logic and
+//!   unreachable-state mining.
+//! * `zoo_semantic` — the semantic tier across all ten example-zoo
+//!   designs (the CI semantic gate's workload).
+//!
+//! `IPD_BENCH_FAST=1` shrinks repeat counts and skips the 25×
+//! assertion (CI smoke). The run always writes a flat JSON summary
+//! (`IPD_BENCH_OUT`, default `BENCH_lint.json`) with `*_pps` keys for
+//! `bench_gate` to compare against the committed baseline.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use ipd_bench::full_width_kcm;
+use ipd_hdl::Circuit;
+use ipd_lint::{LintConfig, Linter, OracleOptions};
+
+struct Run {
+    label: String,
+    passes: usize,
+    passes_per_sec: f64,
+}
+
+/// Times `repeats` passes of `body` (after one warmup pass); `body`
+/// returns the number of lint passes it performed.
+fn measure<F: FnMut() -> usize>(label: &str, repeats: usize, mut body: F) -> Run {
+    let passes = body();
+    let start = Instant::now();
+    let mut total = 0usize;
+    for _ in 0..repeats {
+        total += body();
+    }
+    let wall = start.elapsed();
+    Run {
+        label: label.to_owned(),
+        passes,
+        passes_per_sec: total as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+fn write_json(runs: &[Run]) {
+    let path = std::env::var("IPD_BENCH_OUT").unwrap_or_else(|_| "BENCH_lint.json".to_owned());
+    let mut out = String::from("{\n");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  \"{label}_pps\": {pps:.2}{comma}\n",
+            label = run.label,
+            pps = run.passes_per_sec,
+        ));
+    }
+    out.push_str("}\n");
+    let mut file = std::fs::File::create(&path).expect("create bench JSON");
+    file.write_all(out.as_bytes()).expect("write bench JSON");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let fast = std::env::var_os("IPD_BENCH_FAST").is_some();
+    let repeats = if fast { 2 } else { 10 };
+
+    let kcm_w16 =
+        Circuit::from_generator(&full_width_kcm(-12345, 16, true)).expect("kcm elaborates");
+    let prims = kcm_w16.primitive_count();
+
+    let zoo = ipd_modgen::example_zoo();
+
+    let structural = Linter::new();
+    let semantic = Linter::with_oracle(LintConfig::new(), OracleOptions::default());
+
+    let mut runs = Vec::new();
+
+    runs.push(measure("lint_structural", repeats, || {
+        let report = structural.run(&kcm_w16).expect("structural lint runs");
+        assert!(report.is_clean(), "kcm_w16 must stay clean:\n{report}");
+        1
+    }));
+
+    runs.push(measure("lint_semantic", repeats, || {
+        let report = semantic.run(&kcm_w16).expect("semantic lint runs");
+        assert!(report.is_clean(), "kcm_w16 must stay clean:\n{report}");
+        1
+    }));
+
+    runs.push(measure("zoo_semantic", repeats, || {
+        for (name, circuit) in &zoo {
+            let report = semantic.run(circuit).expect("semantic lint runs");
+            assert!(report.is_clean(), "{name} must stay clean:\n{report}");
+        }
+        zoo.len()
+    }));
+
+    println!("=== X13: semantic-lint walltime ===");
+    println!(
+        "mode                     : {}",
+        if fast { "fast" } else { "full" }
+    );
+    println!("workload                 : kcm_w16 ({prims} primitives)");
+    println!("{:<26} {:>7} {:>14}", "run", "passes", "passes/s");
+    for run in &runs {
+        println!(
+            "{:<26} {:>7} {:>14.2}",
+            run.label, run.passes, run.passes_per_sec
+        );
+    }
+
+    let structural_wall = 1.0 / runs[0].passes_per_sec.max(1e-9);
+    let semantic_wall = 1.0 / runs[1].passes_per_sec.max(1e-9);
+    let ratio = semantic_wall / structural_wall.max(1e-12);
+    println!("semantic vs structural   : {ratio:.1}x");
+
+    write_json(&runs);
+
+    // The X13 acceptance claim, asserted only under full measurement
+    // runs: the semantic tier on kcm_w16 costs at most 25× the
+    // structural tier on the same netlist.
+    if !fast {
+        assert!(
+            ratio <= 25.0,
+            "kcm_w16 semantic lint ({:.2} ms) must stay within 25x the \
+             structural tier ({:.2} ms), got {ratio:.1}x",
+            semantic_wall * 1e3,
+            structural_wall * 1e3,
+        );
+    }
+}

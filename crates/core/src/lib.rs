@@ -106,7 +106,9 @@ pub use remote::{
     delivery_endpoint_name, endpoints as delivery_endpoints, DeliveryClient, DeliveryService,
     RemoteLintReport, RemoteSealedDesign, RunningDelivery,
 };
-pub use seal::{bundle_key, seal, seal_design, seal_design_timed, unseal, SealedDesign};
+pub use seal::{
+    bundle_key, seal, seal_design, seal_design_semantic, seal_design_timed, unseal, SealedDesign,
+};
 pub use session::AppletSession;
 pub use sha::{hmac_sha256, sha256, sha256_parts, to_hex};
 pub use store::{

@@ -204,7 +204,11 @@ mod tests {
 
     #[test]
     fn obfuscation_hides_structure() {
-        let clear = kcm_circuit();
+        // The FIR instantiates KCM children, so the clear netlist is
+        // hierarchical (the KCM alone is a flat carry-chain design).
+        let clear =
+            Circuit::from_generator(&ipd_modgen::FirFilter::new(vec![-2, 5, 9], 6).unwrap())
+                .unwrap();
         let hidden = obfuscate(&clear).unwrap();
         assert!(clear.depth() > 2, "original is hierarchical");
         assert_eq!(hidden.depth(), 2, "obfuscated is flat");

@@ -9,7 +9,7 @@
 //! crypto substrate.
 
 use ipd_hdl::Circuit;
-use ipd_lint::{LintConfig, LintReport, Linter, TimingConstraints};
+use ipd_lint::{LintConfig, LintReport, Linter, OracleOptions, TimingConstraints};
 
 use crate::error::CoreError;
 use crate::license::License;
@@ -133,6 +133,39 @@ pub fn seal_design_timed(
         Some(t) => Linter::with_timing(config.clone(), t.clone()),
         None => Linter::with_config(config.clone()),
     };
+    let report = linter.run(circuit)?;
+    if report.error_count() > 0 {
+        return Err(CoreError::LintRejected {
+            errors: report.error_count(),
+            summary: report.summary(),
+        });
+    }
+    let edif = ipd_netlist::NetlistFormat::Edif.generate(circuit)?;
+    Ok(SealedDesign {
+        sealed: seal(edif.as_bytes(), key, nonce),
+        report,
+    })
+}
+
+/// [`seal_design`] with the semantic lint tier enabled: the linter
+/// runs [`Linter::with_oracle`], so the shipped report records the
+/// proof tier of every finding — structural claims are SAT-confirmed
+/// or retracted, refutations carry simulator-replayed witnesses, and
+/// the customer can audit *how strongly* each check was established,
+/// not just that it ran. Unwaived errors block sealing exactly as in
+/// the structural path.
+///
+/// # Errors
+///
+/// As for [`seal_design`].
+pub fn seal_design_semantic(
+    circuit: &Circuit,
+    config: &LintConfig,
+    opts: OracleOptions,
+    key: &[u8; 32],
+    nonce: u64,
+) -> Result<SealedDesign, CoreError> {
+    let linter = Linter::with_oracle(config.clone(), opts);
     let report = linter.run(circuit)?;
     if report.error_count() > 0 {
         return Err(CoreError::LintRejected {
@@ -338,6 +371,37 @@ mod tests {
         assert!(sealed.report().is_clean());
         // Without constraints the timed entry point is plain seal_design.
         seal_design(&slow, &LintConfig::new(), &key, 7).expect("untimed");
+    }
+
+    #[test]
+    fn seal_design_semantic_records_proof_tiers() {
+        use ipd_techlib::LogicCtx;
+        let key = key();
+        // A LUT whose init ignores one input is semantically constant
+        // only when the init is uniform; here it's a live AND of two
+        // inputs plus a structurally-dead inverter, so the semantic
+        // report carries a SAT-proved dead-logic warning.
+        let mut c = ipd_hdl::Circuit::new("sem");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(ipd_hdl::PortSpec::input("a", 1)).unwrap();
+        let b = ctx.add_port(ipd_hdl::PortSpec::input("b", 1)).unwrap();
+        let y = ctx.add_port(ipd_hdl::PortSpec::output("y", 1)).unwrap();
+        let dead = ctx.wire("dead", 1);
+        ctx.and2(a, b, y).unwrap();
+        ctx.inv(a, dead).unwrap();
+        let sealed =
+            seal_design_semantic(&c, &LintConfig::new(), OracleOptions::default(), &key, 8)
+                .expect("warnings do not block sealing");
+        let dead_diag = sealed
+            .report()
+            .by_rule("dead-logic")
+            .next()
+            .expect("dead inverter reported");
+        assert_eq!(dead_diag.proof, ipd_lint::ProofTier::Proved);
+        assert!(sealed.report().to_json().contains("\"proof\": \"proved\""));
+        // The payload still unseals like any other sealed design.
+        let plain = unseal(sealed.bytes(), &key).expect("unseal");
+        assert!(String::from_utf8(plain).unwrap().starts_with("(edif"));
     }
 
     #[test]

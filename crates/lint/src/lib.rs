@@ -54,15 +54,18 @@
 #![warn(missing_docs)]
 
 mod config;
+mod dontcare;
 mod model;
 mod pass;
 pub mod passes;
 mod report;
 
 pub use config::{LintConfig, LintLevel, Waiver};
+pub use dontcare::{extract_dont_cares, DontCareEntry, DontCareReport};
 pub use ipd_estimate::TimingConstraints;
 pub use ipd_hdl::Severity;
+pub use ipd_verify::OracleOptions;
 pub use model::{CombNode, LintModel, SeqElem};
 pub use pass::{default_passes, lint, rule_catalog, Linter, Pass, PassCtx, RuleInfo};
-pub use passes::{x_reachable, EquivPass, TimingPass};
-pub use report::{LintDiag, LintReport, REPORT_SCHEMA_VERSION};
+pub use passes::{x_reachable, EquivPass, SemanticPass, TimingPass};
+pub use report::{LintDiag, LintReport, ProofTier, REPORT_SCHEMA_VERSION};

@@ -10,7 +10,7 @@ use ipd_techlib::DelayModel;
 use crate::config::LintConfig;
 use crate::model::LintModel;
 use crate::passes;
-use crate::report::{LintDiag, LintReport};
+use crate::report::{LintDiag, LintReport, ProofTier};
 
 /// Catalog entry for one rule a pass can fire.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +55,19 @@ impl<'c> PassCtx<'c> {
         object: impl Into<String>,
         message: impl Into<String>,
     ) {
+        self.emit_proof(rule, default, object, message, ProofTier::Structural);
+    }
+
+    /// [`PassCtx::emit`] with an explicit proof tier — used by the
+    /// semantic pass family to record how strongly a finding is backed.
+    pub fn emit_proof(
+        &mut self,
+        rule: &'static str,
+        default: Severity,
+        object: impl Into<String>,
+        message: impl Into<String>,
+        proof: ProofTier,
+    ) {
         let Some(severity) = self.config.severity_for(rule, default) else {
             return;
         };
@@ -69,6 +82,7 @@ impl<'c> PassCtx<'c> {
             object,
             message: message.into(),
             waived,
+            proof,
         });
     }
 
@@ -142,6 +156,29 @@ impl Linter {
         linter
     }
 
+    /// A linter with the semantic tier enabled: the structural
+    /// `dead-logic`/`constant-logic`/`x-reachable` passes are replaced
+    /// by [`passes::SemanticPass`], which re-derives the structural
+    /// findings and upgrades them with SAT proofs from an
+    /// `ipd-verify` [`Oracle`](ipd_verify::Oracle) — confirming or
+    /// dropping each claim, catching semantically-constant and
+    /// redundant nodes structure alone misses, and adding bounded
+    /// state-reachability findings. Every refutation ships a witness
+    /// replayed through both simulation engines.
+    #[must_use]
+    pub fn with_oracle(config: LintConfig, opts: ipd_verify::OracleOptions) -> Self {
+        let passes: Vec<Box<dyn Pass>> = vec![
+            Box::new(passes::ModelPass),
+            Box::new(passes::SeedRulesPass),
+            Box::new(passes::CombLoopPass),
+            Box::new(passes::CdcPass),
+            Box::new(passes::FloatConstPass::floating_only()),
+            Box::new(passes::FanoutPass),
+            Box::new(passes::SemanticPass::new(opts)),
+        ];
+        Linter { config, passes }
+    }
+
     /// A linter running only the given passes — for focused re-checks
     /// of a single rule family, or benchmarking one analysis.
     #[must_use]
@@ -194,7 +231,7 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(passes::CombLoopPass),
         Box::new(passes::CdcPass),
         Box::new(passes::DeadLogicPass),
-        Box::new(passes::FloatConstPass),
+        Box::new(passes::FloatConstPass::default()),
         Box::new(passes::XPropPass),
         Box::new(passes::FanoutPass),
     ]
@@ -211,6 +248,9 @@ pub fn rule_catalog() -> Vec<RuleInfo> {
     )));
     all.push(Box::new(passes::EquivPass::new(
         FlatNetlist::build(&Circuit::new("golden")).expect("empty design flattens"),
+    )));
+    all.push(Box::new(passes::SemanticPass::new(
+        ipd_verify::OracleOptions::default(),
     )));
     all.iter().flat_map(|p| p.rules().iter().copied()).collect()
 }

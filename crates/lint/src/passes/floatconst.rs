@@ -16,7 +16,25 @@ use crate::model::LintModel;
 use crate::pass::{Pass, PassCtx, RuleInfo};
 
 /// Flags floating instance inputs and provably constant gates.
-pub struct FloatConstPass;
+#[derive(Default)]
+pub struct FloatConstPass {
+    /// When set, skip the structural `constant-logic` analysis — the
+    /// semantic tier re-derives it with SAT confirmation, so running
+    /// both would duplicate findings.
+    skip_constants: bool,
+}
+
+impl FloatConstPass {
+    /// The variant run under [`crate::Linter::with_oracle`]: only the
+    /// `floating-input` check, leaving `constant-logic` to the
+    /// semantic pass (which confirms or retracts each claim).
+    #[must_use]
+    pub fn floating_only() -> Self {
+        FloatConstPass {
+            skip_constants: true,
+        }
+    }
+}
 
 const FLOATCONST_RULES: &[RuleInfo] = &[
     RuleInfo {
@@ -31,7 +49,7 @@ const FLOATCONST_RULES: &[RuleInfo] = &[
     },
 ];
 
-fn is_buffer(kind: PrimKind) -> bool {
+pub(crate) fn is_buffer(kind: PrimKind) -> bool {
     matches!(
         kind,
         PrimKind::Buf | PrimKind::Bufg | PrimKind::Ibuf | PrimKind::Obuf
@@ -70,6 +88,9 @@ impl Pass for FloatConstPass {
             }
         }
 
+        if self.skip_constants {
+            return;
+        }
         let value = model.const_values();
         for node in model.comb_nodes() {
             let Some(kind) = node.kind else { continue };

@@ -10,8 +10,9 @@ mod comb_loop;
 mod dead;
 mod equiv;
 mod fanout;
-mod floatconst;
+pub(crate) mod floatconst;
 mod seed;
+mod semantic;
 mod timing;
 mod xprop;
 
@@ -22,6 +23,7 @@ pub use equiv::EquivPass;
 pub use fanout::FanoutPass;
 pub use floatconst::FloatConstPass;
 pub use seed::SeedRulesPass;
+pub use semantic::SemanticPass;
 pub use timing::TimingPass;
 pub use xprop::{x_reachable, XPropPass};
 

@@ -13,8 +13,50 @@ use ipd_hdl::Severity;
 /// Version of the JSON report schema emitted by
 /// [`LintReport::to_json`]. Bumped whenever a field is added, removed
 /// or renamed, so downstream consumers can detect incompatible
-/// reports instead of mis-parsing them.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// reports instead of mis-parsing them. Version 3 added the `proof`
+/// field (the semantic-lint proof tier).
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
+
+/// How strongly a finding is backed: the proof ladder.
+///
+/// Structural findings come from graph heuristics alone. The semantic
+/// tier upgrades them: `Proved` means a SAT proof closed over every
+/// input and reachable-state assignment, `RefutedWithWitness` means
+/// the *safe* direction was disproved and the finding ships a
+/// simulator-replayed witness vector, and `BudgetExhausted` means the
+/// solver ran out of conflicts — the structural claim stands,
+/// unconfirmed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProofTier {
+    /// Graph-structural evidence only (the pre-semantic default).
+    #[default]
+    Structural,
+    /// SAT-proved over all inputs and cut states.
+    Proved,
+    /// The safe claim was refuted; a replay-confirmed witness exists.
+    RefutedWithWitness,
+    /// The SAT budget ran out; the structural claim is unconfirmed.
+    BudgetExhausted,
+}
+
+impl ProofTier {
+    /// The stable identifier used in text and JSON reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProofTier::Structural => "structural",
+            ProofTier::Proved => "proved",
+            ProofTier::RefutedWithWitness => "refuted-with-witness",
+            ProofTier::BudgetExhausted => "budget-exhausted",
+        }
+    }
+}
+
+impl fmt::Display for ProofTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// One diagnostic produced by a lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +71,8 @@ pub struct LintDiag {
     pub message: String,
     /// Waiver reason when the diagnostic was waived, else `None`.
     pub waived: Option<String>,
+    /// How strongly the finding is backed (the proof ladder).
+    pub proof: ProofTier,
 }
 
 impl fmt::Display for LintDiag {
@@ -38,13 +82,19 @@ impl fmt::Display for LintDiag {
                 f,
                 "waived {} [{}] {}: {} (waiver: {reason})",
                 self.severity, self.rule, self.object, self.message
-            ),
+            )?,
             None => write!(
                 f,
                 "{} [{}] {}: {}",
                 self.severity, self.rule, self.object, self.message
-            ),
+            )?,
         }
+        // Structural is the historical default: omitting it keeps
+        // pre-semantic golden outputs byte-identical.
+        if self.proof != ProofTier::Structural {
+            write!(f, " (proof: {})", self.proof)?;
+        }
+        Ok(())
     }
 }
 
@@ -162,11 +212,12 @@ fn push_diag_array(out: &mut String, diags: &[LintDiag]) {
         }
         out.push_str("\n    {");
         out.push_str(&format!(
-            "\"severity\": \"{}\", \"rule\": \"{}\", \"object\": \"{}\", \"message\": \"{}\"",
+            "\"severity\": \"{}\", \"rule\": \"{}\", \"object\": \"{}\", \"message\": \"{}\", \"proof\": \"{}\"",
             d.severity,
             d.rule,
             json_escape(&d.object),
-            json_escape(&d.message)
+            json_escape(&d.message),
+            d.proof
         ));
         if let Some(reason) = &d.waived {
             out.push_str(&format!(", \"waiver\": \"{}\"", json_escape(reason)));
@@ -217,7 +268,25 @@ mod tests {
             object: object.to_owned(),
             message: format!("problem at {object}"),
             waived: None,
+            proof: ProofTier::Structural,
         }
+    }
+
+    #[test]
+    fn proof_tier_renders_in_text_and_json() {
+        let mut r = LintReport::default();
+        let mut d = diag(Severity::Warning, "dead-logic", "top/u1");
+        d.proof = ProofTier::Proved;
+        r.push(d);
+        r.push(diag(Severity::Warning, "dead-logic", "top/u2"));
+        r.finish();
+        let text = r.to_string();
+        assert!(text.contains("top/u1: problem at top/u1 (proof: proved)"));
+        assert!(!text.contains("top/u2: problem at top/u2 (proof:"));
+        let json = r.to_json();
+        assert!(json.contains("\"proof\": \"proved\""));
+        assert!(json.contains("\"proof\": \"structural\""));
+        assert!(json.contains("\"schema_version\": 3"));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! diagnostic ordering. If this test fails, either restore the format
 //! or bump `REPORT_SCHEMA_VERSION` and update the expectation.
 
-use ipd_hdl::{Circuit, PortSpec, Primitive};
-use ipd_lint::{LintConfig, Linter, REPORT_SCHEMA_VERSION};
+use ipd_hdl::{Circuit, PortSpec, Primitive, Signal};
+use ipd_lint::{LintConfig, Linter, OracleOptions, REPORT_SCHEMA_VERSION};
+use ipd_techlib::LogicCtx;
 
 /// A fixture with several findings across rules and severities: a
 /// floating LUT input (X-propagation), dead logic, and a waived rule.
@@ -57,6 +58,107 @@ fn json_report_leads_with_schema_version() {
     assert!(
         json.starts_with(&expected),
         "report must lead with the schema version tag:\n{json}"
+    );
+}
+
+/// A design whose only X source is masked by a semantically-constant
+/// AND input: cheap budgets exhaust on it, large budgets discharge it.
+fn masked_fixture() -> Circuit {
+    let mut c = Circuit::new("masked");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 3)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    // Parity twice — as a chain and as one LUT — then XOR: always 0.
+    let p01 = ctx.wire("p01", 1);
+    ctx.xor2(Signal::bit_of(a, 0), Signal::bit_of(a, 1), p01)
+        .unwrap();
+    let chain = ctx.wire("chain", 1);
+    ctx.xor2(p01, Signal::bit_of(a, 2), chain).unwrap();
+    let tree = ctx.wire("tree", 1);
+    ctx.lut(
+        0b1001_0110,
+        &[
+            Signal::bit_of(a, 0),
+            Signal::bit_of(a, 1),
+            Signal::bit_of(a, 2),
+        ],
+        tree,
+    )
+    .unwrap();
+    let zero = ctx.wire("zero", 1);
+    ctx.xor2(chain, tree, zero).unwrap();
+    let floating = ctx.wire("floating", 1);
+    ctx.and2(zero, floating, y).unwrap();
+    c
+}
+
+#[test]
+fn semantic_json_report_is_bit_stable_across_runs() {
+    let circuit = fixture();
+    let linter = Linter::with_oracle(LintConfig::new(), OracleOptions::default());
+    let first = linter.run(&circuit).unwrap().to_json();
+    for _ in 0..5 {
+        assert_eq!(linter.run(&circuit).unwrap().to_json(), first);
+    }
+}
+
+#[test]
+fn proof_tiers_render_in_json() {
+    // The shared fixture carries a real X leak: the never-X claim is
+    // refuted and ships its witness tier through JSON.
+    let json = Linter::with_oracle(LintConfig::new(), OracleOptions::default())
+        .run(&fixture())
+        .unwrap()
+        .to_json();
+    assert!(
+        json.contains("\"proof\": \"refuted-with-witness\""),
+        "witness tier missing:\n{json}"
+    );
+
+    // A fully driven design with a dead leaf: the oracle discharges
+    // the structural claim at the proved tier.
+    let mut driven = Circuit::new("driven");
+    {
+        let mut ctx = driven.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        let dead = ctx.wire("dead", 1);
+        ctx.inv(a, dead).unwrap();
+        ctx.buffer(a, y).unwrap();
+    }
+    let proved = Linter::with_oracle(LintConfig::new(), OracleOptions::default())
+        .run(&driven)
+        .unwrap()
+        .to_json();
+    assert!(
+        proved.contains("\"proof\": \"proved\""),
+        "proved tier missing:\n{proved}"
+    );
+
+    // Structural-only runs render the default tier explicitly: the
+    // field is always present so consumers never branch on absence.
+    let structural = Linter::new().run(&fixture()).unwrap().to_json();
+    assert!(
+        structural.contains("\"proof\": \"structural\""),
+        "structural tier missing:\n{structural}"
+    );
+
+    // A one-conflict budget cannot discharge the masked X cone: the
+    // claim is kept at the budget-exhausted tier (Unknown, never
+    // silently flipped), and that tier round-trips through JSON.
+    let starved = Linter::with_oracle(
+        LintConfig::new(),
+        OracleOptions {
+            conflict_budget: 1,
+            ..OracleOptions::default()
+        },
+    )
+    .run(&masked_fixture())
+    .unwrap()
+    .to_json();
+    assert!(
+        starved.contains("\"proof\": \"budget-exhausted\""),
+        "budget-exhausted tier missing:\n{starved}"
     );
 }
 

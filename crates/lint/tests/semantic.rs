@@ -1,0 +1,698 @@
+//! The semantic lint tier, validated against the structural tier and
+//! both simulation engines.
+//!
+//! The contract under test: semantic lint never *invents* structural
+//! findings (every `dead-logic`/`constant-logic`/`x-reachable` object
+//! it reports, the structural tier reports too — except the
+//! semantically-constant nets it newly proves), never *keeps* a
+//! finding both simulators contradict, and never *drops* one they
+//! confirm. Budget exhaustion must degrade verdicts to `Unknown`
+//! (finding kept at `budget-exhausted`), never flip them.
+
+use ipd_hdl::{Circuit, FlatNetlist, Logic, PortSpec, Signal};
+use ipd_lint::{extract_dont_cares, LintConfig, LintReport, Linter, OracleOptions, ProofTier};
+use ipd_sim::{BatchSimulator, CompiledSimulator};
+use ipd_techlib::LogicCtx;
+use ipd_testutil::XorShift64;
+
+fn semantic_report(c: &Circuit) -> LintReport {
+    Linter::with_oracle(LintConfig::new(), OracleOptions::default())
+        .run(c)
+        .unwrap()
+}
+
+fn structural_report(c: &Circuit) -> LintReport {
+    Linter::new().run(c).unwrap()
+}
+
+/// (object, message) pairs of one rule, for set comparisons.
+fn keys(report: &LintReport, rule: &str) -> Vec<(String, String)> {
+    report
+        .by_rule(rule)
+        .map(|d| (d.object.clone(), d.message.clone()))
+        .collect()
+}
+
+// ---------------------------------------------------------------- zoo audit
+
+/// The structural rules audited against the oracle across every
+/// example generator: no retractions (a retraction would mean a
+/// structural false positive shipped for years), no redundant or
+/// unreachable-state noise (the generators were fixed until the only
+/// surviving semantic findings are SAT-mined stuck nets from sparse
+/// value sets, which structure cannot see), and every mined constant
+/// differentially confirmed in both engines.
+#[test]
+fn zoo_semantic_agrees_with_structural_and_stays_clean() {
+    let mut rng = XorShift64::new(0x0200_5eed);
+    for (name, circuit) in ipd_modgen::example_zoo() {
+        let structural = structural_report(&circuit);
+        let semantic = semantic_report(&circuit);
+        for rule in ["dead-logic", "constant-logic", "x-reachable"] {
+            let s = keys(&structural, rule);
+            let m: Vec<_> = keys(&semantic, rule)
+                .into_iter()
+                .filter(|(_, msg)| !msg.contains("semantically stuck"))
+                .collect();
+            // Structural claims survive (confirmed or budget-kept) and
+            // refinement only ever removes x-reachable findings.
+            if rule == "x-reachable" {
+                for k in &m {
+                    assert!(s.contains(k), "{name}: semantic invented x finding {k:?}");
+                }
+            } else {
+                assert_eq!(s, m, "{name}: {rule} disagreement");
+            }
+        }
+        // The delivered examples carry no actionable waste and no
+        // unproven noise: semantic lint may only add fully proved
+        // mined constants on top of the (empty) structural report.
+        assert!(semantic.is_clean(), "{name}:\n{semantic}");
+        assert_eq!(
+            semantic.by_rule("redundant-logic").count(),
+            0,
+            "{name}:\n{semantic}"
+        );
+        assert_eq!(
+            semantic.by_rule("unreachable-state").count(),
+            0,
+            "{name}:\n{semantic}"
+        );
+        let mined: Vec<(String, Logic)> = semantic
+            .diags()
+            .iter()
+            .map(|d| {
+                assert_eq!(d.rule, "constant-logic", "{name}: {d}");
+                assert_eq!(d.proof, ProofTier::Proved, "{name}: {d}");
+                assert!(d.message.contains("semantically stuck"), "{name}: {d}");
+                let net = d
+                    .message
+                    .strip_prefix("output net ")
+                    .and_then(|m| m.split(' ').next())
+                    .expect("message names the net")
+                    .to_owned();
+                let v = if d.message.contains("stuck at 1") {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                };
+                (net, v)
+            })
+            .collect();
+        if mined.is_empty() {
+            continue;
+        }
+        // Differential confirmation: both engines hold every mined
+        // constant at its proved value under random driven stimulus.
+        let flat = FlatNetlist::build(&circuit).unwrap();
+        let has_clk = flat
+            .ports()
+            .iter()
+            .any(|p| p.name == "clk" && p.dir == ipd_hdl::PortDir::Input);
+        let lanes = 4;
+        let (mut batch, mut comp) = if has_clk {
+            (
+                BatchSimulator::with_clock(&circuit, "clk", lanes).unwrap(),
+                CompiledSimulator::with_clock(&circuit, "clk", lanes).unwrap(),
+            )
+        } else {
+            (
+                BatchSimulator::new(&circuit, lanes).unwrap(),
+                CompiledSimulator::new(&circuit, lanes).unwrap(),
+            )
+        };
+        for _ in 0..4 {
+            for port in flat.ports() {
+                if port.dir != ipd_hdl::PortDir::Input || port.name == "clk" {
+                    continue;
+                }
+                for lane in 0..lanes {
+                    let v = rng.next_u64() & ((1u64 << port.nets.len().min(63)) - 1);
+                    batch.set_u64_lane(&port.name, lane, v).unwrap();
+                    comp.set_u64_lane(&port.name, lane, v).unwrap();
+                }
+            }
+            if has_clk {
+                batch.cycle(1).unwrap();
+                comp.cycle(1).unwrap();
+            }
+            for (net, expect) in &mined {
+                for lane in 0..lanes {
+                    assert_eq!(
+                        batch.peek_net_lane(net, lane).unwrap(),
+                        *expect,
+                        "{name}: batch disagrees on mined constant {net}"
+                    );
+                    assert_eq!(
+                        comp.peek_net_lane(net, lane).unwrap(),
+                        *expect,
+                        "{name}: compiled disagrees on mined constant {net}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- carry-chain confirmation
+
+/// `a + 0` carry chain: the structural evaluator claims both MUXCY
+/// carries stuck at 0 (correctly — both data inputs are the rail).
+/// The audit requires the oracle to *confirm* these, not retract
+/// them: a retraction here would be a carry-chain false positive.
+fn add_zero_chain() -> Circuit {
+    let mut c = Circuit::new("addz");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 2)).unwrap();
+    let s = ctx.add_port(PortSpec::output("s", 3)).unwrap();
+    let zero = ctx.wire("zero", 1);
+    ctx.gnd(zero).unwrap();
+    let mut carry: Signal = zero.into();
+    for bit in 0..2u32 {
+        let p = ctx.wire(&format!("p{bit}"), 1);
+        ctx.xor2(Signal::bit_of(a, bit), zero, p).unwrap();
+        ctx.xorcy(carry.clone(), p, Signal::bit_of(s, bit)).unwrap();
+        let co: Signal = if bit == 1 {
+            Signal::bit_of(s, 2)
+        } else {
+            ctx.wire(&format!("co{bit}"), 1).into()
+        };
+        ctx.muxcy(carry, zero, p, co.clone()).unwrap();
+        carry = co;
+    }
+    c
+}
+
+#[test]
+fn carry_chain_constants_are_confirmed_not_retracted() {
+    let c = add_zero_chain();
+    let structural = structural_report(&c);
+    let semantic = semantic_report(&c);
+    let s = keys(&structural, "constant-logic");
+    let m = keys(&semantic, "constant-logic");
+    assert_eq!(s.len(), 2, "both carry muxes claimed:\n{structural}");
+    assert_eq!(s, m, "no retraction, no loss");
+    for d in semantic.by_rule("constant-logic") {
+        assert_eq!(d.proof, ProofTier::Proved, "{d}");
+    }
+    // Both engines agree the carries are stuck at 0 under stimulus.
+    let flat = FlatNetlist::build(&c).unwrap();
+    let carry_nets: Vec<String> = flat
+        .nets()
+        .iter()
+        .filter(|n| n.name.ends_with("/co0") || n.name.ends_with("/s[2]"))
+        .map(|n| n.name.clone())
+        .collect();
+    assert_eq!(carry_nets.len(), 2);
+    let lanes = 4;
+    let mut batch = BatchSimulator::new(&c, lanes).unwrap();
+    let mut comp = CompiledSimulator::new(&c, lanes).unwrap();
+    for lane in 0..lanes {
+        batch.set_u64_lane("a", lane, lane as u64).unwrap();
+        comp.set_u64_lane("a", lane, lane as u64).unwrap();
+    }
+    for net in &carry_nets {
+        for lane in 0..lanes {
+            assert_eq!(batch.peek_net_lane(net, lane).unwrap(), Logic::Zero);
+            assert_eq!(comp.peek_net_lane(net, lane).unwrap(), Logic::Zero);
+        }
+    }
+}
+
+// ---------------------------------------------- semantically-constant nets
+
+/// `w ^ w` is structurally "varying" (its input varies) but
+/// semantically stuck at 0 — exactly the class the signature-mining
+/// path must catch and structure alone cannot.
+#[test]
+fn semantically_constant_xor_is_mined_and_proved() {
+    let mut c = Circuit::new("selfx");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let w = ctx.wire("w", 1);
+    ctx.and2(a, b, w).unwrap();
+    ctx.xor2(w, w, y).unwrap();
+    let structural = structural_report(&c);
+    assert_eq!(
+        keys(&structural, "constant-logic"),
+        vec![],
+        "structure alone must miss it"
+    );
+    let semantic = semantic_report(&c);
+    let diag = semantic
+        .by_rule("constant-logic")
+        .next()
+        .expect("mined constant");
+    assert_eq!(diag.proof, ProofTier::Proved);
+    assert!(diag.message.contains("semantically stuck at 0"), "{diag}");
+    // Both engines: y never leaves 0.
+    let lanes = 4;
+    let mut batch = BatchSimulator::new(&c, lanes).unwrap();
+    let mut comp = CompiledSimulator::new(&c, lanes).unwrap();
+    for lane in 0..lanes {
+        batch.set_u64_lane("a", lane, (lane & 1) as u64).unwrap();
+        batch.set_u64_lane("b", lane, (lane >> 1) as u64).unwrap();
+        comp.set_u64_lane("a", lane, (lane & 1) as u64).unwrap();
+        comp.set_u64_lane("b", lane, (lane >> 1) as u64).unwrap();
+        assert_eq!(batch.peek_net_lane("selfx/y", lane).unwrap(), Logic::Zero);
+        assert_eq!(comp.peek_net_lane("selfx/y", lane).unwrap(), Logic::Zero);
+    }
+}
+
+// ------------------------------------------------- RAM async-read X audit
+
+/// RAM16X1 with `we` grounded and a floating `d`: the structural
+/// X-taint sweeps through the sequential element (its data input is
+/// undriven) and flags the read output — but no write ever commits,
+/// so the output only ever reads the known init word. The semantic
+/// tier must refine the false positive away, and both simulators
+/// must agree the output never goes X.
+fn ram_never_written() -> Circuit {
+    let mut c = Circuit::new("ramnx");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+    let addr = ctx.add_port(PortSpec::input("addr", 4)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    let zero = ctx.wire("zero", 1);
+    ctx.gnd(zero).unwrap();
+    ctx.ram16x1(0xBEEF, clk, zero, floating, addr, y).unwrap();
+    c
+}
+
+#[test]
+fn ram_async_read_x_false_positive_is_refined_away() {
+    let c = ram_never_written();
+    let structural = structural_report(&c);
+    assert_eq!(
+        keys(&structural, "x-reachable").len(),
+        1,
+        "the structural false positive this audit pins:\n{structural}"
+    );
+    let semantic = semantic_report(&c);
+    assert_eq!(
+        keys(&semantic, "x-reachable"),
+        vec![],
+        "proved never-X, so the finding must be dropped:\n{semantic}"
+    );
+    // Differential confirmation in both engines, across cycles.
+    let lanes = 4;
+    let mut batch = BatchSimulator::with_clock(&c, "clk", lanes).unwrap();
+    let mut comp = CompiledSimulator::with_clock(&c, "clk", lanes).unwrap();
+    let mut rng = XorShift64::new(0x5eed);
+    for _ in 0..6 {
+        for lane in 0..lanes {
+            let a = rng.next_u64() & 0xF;
+            batch.set_u64_lane("addr", lane, a).unwrap();
+            comp.set_u64_lane("addr", lane, a).unwrap();
+        }
+        batch.cycle(1).unwrap();
+        comp.cycle(1).unwrap();
+        for lane in 0..lanes {
+            let vb = batch.peek_net_lane("ramnx/y", lane).unwrap();
+            let vc = comp.peek_net_lane("ramnx/y", lane).unwrap();
+            assert!(vb.is_driven(), "batch saw X on never-written RAM read");
+            assert_eq!(vb, vc, "engines disagree");
+        }
+    }
+}
+
+// ------------------------------------------ refuted X with replayed witness
+
+#[test]
+fn real_x_leak_keeps_finding_with_witness_tier() {
+    let mut c = Circuit::new("leak");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    ctx.xor2(a, floating, y).unwrap();
+    let semantic = semantic_report(&c);
+    let diag = semantic
+        .by_rule("x-reachable")
+        .next()
+        .expect("the leak is real and must be kept");
+    assert_eq!(diag.object, "y[0]");
+    // The oracle replayed its witness through both engines before this
+    // tier could be assigned; re-confirm independently here.
+    assert_eq!(diag.proof, ProofTier::RefutedWithWitness);
+    let mut batch = BatchSimulator::new(&c, 1).unwrap();
+    batch.set_u64_lane("a", 0, 0).unwrap();
+    assert!(!batch.peek_net_lane("leak/y", 0).unwrap().is_driven());
+    let mut comp = CompiledSimulator::new(&c, 1).unwrap();
+    comp.set_u64_lane("a", 0, 0).unwrap();
+    assert!(!comp.peek_net_lane("leak/y", 0).unwrap().is_driven());
+}
+
+// --------------------------------------------------- budget exhaustion
+
+/// `y = floating & (parity_chain(i) ^ parity_tree(i))`. The mask is
+/// identically 0, so `y` never carries X — but proving that requires
+/// a real SAT proof of 6-input parity equivalence. With the default
+/// budget the finding is refined away; with a 1-conflict budget the
+/// verdict must degrade to `Unknown` and the structural claim must
+/// survive at `budget-exhausted` — never flip to a wrong answer.
+fn masked_x_parity() -> Circuit {
+    let mut c = Circuit::new("pmask");
+    let mut ctx = c.root_ctx();
+    let i = ctx.add_port(PortSpec::input("i", 6)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let floating = ctx.wire("floating", 1);
+    // Chain parity.
+    let mut chain: Signal = Signal::bit_of(i, 0);
+    for bit in 1..6u32 {
+        let w = ctx.wire(&format!("ch{bit}"), 1);
+        ctx.xor2(chain, Signal::bit_of(i, bit), w).unwrap();
+        chain = w.into();
+    }
+    // Tree parity (different shape, same function).
+    let mut level: Vec<Signal> = (0..3)
+        .map(|k| {
+            let w = ctx.wire(&format!("t0_{k}"), 1);
+            ctx.xor2(Signal::bit_of(i, 2 * k), Signal::bit_of(i, 2 * k + 1), w)
+                .unwrap();
+            w.into()
+        })
+        .collect();
+    let t1 = ctx.wire("t1", 1);
+    ctx.xor2(level[0].clone(), level[1].clone(), t1).unwrap();
+    let tree = ctx.wire("tree", 1);
+    ctx.xor2(t1, level.pop().unwrap(), tree).unwrap();
+    let mask = ctx.wire("mask", 1);
+    ctx.xor2(chain, tree, mask).unwrap();
+    ctx.and2(floating, mask, y).unwrap();
+    c
+}
+
+#[test]
+fn budget_exhaustion_keeps_claim_as_unknown_never_wrong() {
+    let c = masked_x_parity();
+    assert_eq!(
+        keys(&structural_report(&c), "x-reachable").len(),
+        1,
+        "structure taints the masked output"
+    );
+
+    // Default budget: the parity-equivalence proof closes and the
+    // false positive is refined away.
+    let refined = semantic_report(&c);
+    assert_eq!(keys(&refined, "x-reachable"), vec![], "{refined}");
+    // Both engines: y never X under driven stimulus.
+    let lanes = 8;
+    let mut batch = BatchSimulator::new(&c, lanes).unwrap();
+    let mut comp = CompiledSimulator::new(&c, lanes).unwrap();
+    let mut rng = XorShift64::new(0xabc);
+    for _ in 0..4 {
+        for lane in 0..lanes {
+            let v = rng.next_u64() & 0x3F;
+            batch.set_u64_lane("i", lane, v).unwrap();
+            comp.set_u64_lane("i", lane, v).unwrap();
+        }
+        for lane in 0..lanes {
+            assert_eq!(batch.peek_net_lane("pmask/y", lane).unwrap(), Logic::Zero);
+            assert_eq!(comp.peek_net_lane("pmask/y", lane).unwrap(), Logic::Zero);
+        }
+    }
+
+    // One-conflict budget: Unknown, claim kept, tier recorded.
+    let opts = OracleOptions {
+        conflict_budget: 1,
+        ..OracleOptions::default()
+    };
+    let starved = Linter::with_oracle(LintConfig::new(), opts)
+        .run(&c)
+        .unwrap();
+    let diag = starved
+        .by_rule("x-reachable")
+        .next()
+        .expect("budget exhaustion must keep the structural claim");
+    assert_eq!(diag.proof, ProofTier::BudgetExhausted);
+    assert!(
+        starved
+            .to_json()
+            .contains("\"proof\": \"budget-exhausted\""),
+        "Unknown verdicts must be visible in the JSON report"
+    );
+}
+
+// ----------------------------------------------------- unreachable state
+
+/// q0 toggles, q1 delays q0, q2 loads `q0 & q1` — which is never 1 in
+/// any reachable state, so q2 is stuck at its power-on 0.
+fn stuck_state_machine() -> Circuit {
+    let mut c = Circuit::new("onehot");
+    let mut ctx = c.root_ctx();
+    let clk = ctx.add_port(PortSpec::input("clk", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let q0 = ctx.wire("q0", 1);
+    let q1 = ctx.wire("q1", 1);
+    let q2 = ctx.wire("q2", 1);
+    let nq0 = ctx.wire("nq0", 1);
+    let a01 = ctx.wire("a01", 1);
+    ctx.inv(q0, nq0).unwrap();
+    ctx.and2(q0, q1, a01).unwrap();
+    ctx.fd(clk, nq0, q0).unwrap();
+    ctx.fd(clk, q0, q1).unwrap();
+    ctx.fd(clk, a01, q2).unwrap();
+    ctx.or3(q0, q1, q2, y).unwrap();
+    c
+}
+
+#[test]
+fn stuck_register_bit_reported_as_unreachable_state() {
+    let semantic = semantic_report(&stuck_state_machine());
+    let diags: Vec<_> = semantic.by_rule("unreachable-state").collect();
+    assert_eq!(diags.len(), 1, "{semantic}");
+    assert!(diags[0].object.ends_with("/fd_3"), "{}", diags[0].object);
+    assert!(
+        diags[0]
+            .message
+            .contains("stuck at 0 across all 3 reachable state(s)"),
+        "{}",
+        diags[0].message
+    );
+    assert_eq!(diags[0].proof, ProofTier::Proved);
+    // The simulators agree: q2 never rises over a long run.
+    let c = stuck_state_machine();
+    let mut batch = BatchSimulator::with_clock(&c, "clk", 1).unwrap();
+    for _ in 0..16 {
+        batch.cycle(1).unwrap();
+        assert_eq!(batch.peek_net_lane("onehot/q2", 0).unwrap(), Logic::Zero);
+    }
+    // A full-period machine (every state reachable) reports nothing.
+    let gray = Circuit::from_generator(&ipd_modgen::GrayCounter::new(4)).unwrap();
+    let report = semantic_report(&gray);
+    assert_eq!(report.by_rule("unreachable-state").count(), 0, "{report}");
+}
+
+// ------------------------------------------------------- redundant logic
+
+/// Three implementations of `a & b`: the original, a duplicate, and a
+/// complemented LUT (NAND) — plus one genuinely distinct gate.
+fn duplicated_gates() -> Circuit {
+    let mut c = Circuit::new("dup");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 4)).unwrap();
+    ctx.and2(a, b, Signal::bit_of(y, 0)).unwrap();
+    ctx.and2(a, b, Signal::bit_of(y, 1)).unwrap();
+    // LUT2 init 0x7: NAND — the complement of bit 0.
+    ctx.lut(0x7, &[a.into(), b.into()], Signal::bit_of(y, 2))
+        .unwrap();
+    ctx.or2(a, b, Signal::bit_of(y, 3)).unwrap();
+    c
+}
+
+#[test]
+fn duplicate_and_complemented_gates_are_flagged() {
+    let semantic = semantic_report(&duplicated_gates());
+    let diags: Vec<_> = semantic.by_rule("redundant-logic").collect();
+    assert_eq!(diags.len(), 2, "{semantic}");
+    let messages: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("y[1] is SAT-equivalent to net dup/y[0]")
+                && !m.contains("complemented")),
+        "{messages:?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("y[2] is SAT-equivalent to net dup/y[0] (complemented)")),
+        "{messages:?}"
+    );
+    for d in &diags {
+        assert_eq!(d.proof, ProofTier::Proved);
+    }
+    // The OR gate is genuinely distinct and must not be flagged.
+    assert!(!messages.iter().any(|m| m.contains("y[3]")), "{messages:?}");
+}
+
+#[test]
+fn waivers_apply_to_semantic_rules() {
+    let mut config = LintConfig::new();
+    config.waive(
+        "redundant-logic",
+        "dup/*",
+        "duplication is deliberate redundancy",
+    );
+    config.waive("unreachable-state", "*", "power-on lockout bit");
+    let report = Linter::with_oracle(config, OracleOptions::default())
+        .run(&duplicated_gates())
+        .unwrap();
+    assert_eq!(report.by_rule("redundant-logic").count(), 0);
+    assert_eq!(report.waived().len(), 2, "{report}");
+    for w in report.waived() {
+        assert_eq!(w.proof, ProofTier::Proved, "waived diags keep their tier");
+    }
+}
+
+// ---------------------------------------------------- dead logic upgrade
+
+#[test]
+fn dead_leaf_is_proved_unobservable() {
+    let mut c = Circuit::new("deadp");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let dead = ctx.wire("dead", 1);
+    ctx.buffer(a, y).unwrap();
+    ctx.inv(a, dead).unwrap();
+    let semantic = semantic_report(&c);
+    let diag = semantic
+        .by_rule("dead-logic")
+        .next()
+        .expect("dead inverter");
+    assert_eq!(diag.object, "deadp/inv");
+    assert_eq!(diag.proof, ProofTier::Proved);
+}
+
+// ------------------------------------------- random DAG differential sweep
+
+/// Random loop-free gate networks: every Proved constant-logic
+/// verdict must agree with both engines under random driven stimulus.
+#[test]
+fn random_dag_constant_verdicts_agree_with_both_engines() {
+    ipd_testutil::check_n("semantic constants vs simulators", 8, |rng| {
+        let mut c = Circuit::new("dag");
+        let mut ctx = c.root_ctx();
+        let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+        let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+        let mut nets: Vec<Signal> = vec![a.into(), b.into()];
+        let gates = 4 + rng.index(10);
+        for g in 0..gates {
+            let out = ctx.wire(&format!("w{g}"), 1);
+            let x = nets[rng.index(nets.len())].clone();
+            let y = nets[rng.index(nets.len())].clone();
+            match rng.index(3) {
+                0 => ctx.and2(x, y, out).unwrap(),
+                1 => ctx.xor2(x, y, out).unwrap(),
+                _ => ctx.or2(x, y, out).unwrap(),
+            };
+            nets.push(out.into());
+        }
+        let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+        ctx.buffer(nets.last().unwrap().clone(), y).unwrap();
+
+        let semantic = semantic_report(&c);
+        let claims: Vec<(String, Logic)> = semantic
+            .by_rule("constant-logic")
+            .map(|d| {
+                assert_eq!(
+                    d.proof,
+                    ProofTier::Proved,
+                    "random DAGs have no budget outs"
+                );
+                let msg = &d.message;
+                let net = msg
+                    .strip_prefix("output net ")
+                    .and_then(|m| m.split(' ').next())
+                    .expect("message names the net")
+                    .to_owned();
+                let at = msg.find("stuck at ").expect("message names the value");
+                let v = match msg.as_bytes()[at + "stuck at ".len()] {
+                    b'0' => Logic::Zero,
+                    b'1' => Logic::One,
+                    other => panic!("unexpected constant {other}"),
+                };
+                (net, v)
+            })
+            .collect();
+        if claims.is_empty() {
+            return;
+        }
+        let lanes = 4;
+        let mut batch = BatchSimulator::new(&c, lanes).unwrap();
+        let mut comp = CompiledSimulator::new(&c, lanes).unwrap();
+        for round in 0..4u64 {
+            for lane in 0..lanes {
+                let v = rng.next_u64();
+                batch.set_u64_lane("a", lane, v & 1).unwrap();
+                batch.set_u64_lane("b", lane, (v >> 1) & 1).unwrap();
+                comp.set_u64_lane("a", lane, v & 1).unwrap();
+                comp.set_u64_lane("b", lane, (v >> 1) & 1).unwrap();
+            }
+            for (net, expect) in &claims {
+                for lane in 0..lanes {
+                    assert_eq!(
+                        batch.peek_net_lane(net, lane).unwrap(),
+                        *expect,
+                        "batch disagrees on {net} round {round}"
+                    );
+                    assert_eq!(
+                        comp.peek_net_lane(net, lane).unwrap(),
+                        *expect,
+                        "compiled disagrees on {net} round {round}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+// ------------------------------------------------------ don't-care artifact
+
+#[test]
+fn dont_care_report_is_deterministic_and_names_odc_nets() {
+    // n = b | k; y = b & n. When b = 0, flipping n changes nothing:
+    // n's ODC set is exactly the b=0 minterms.
+    let mut c = Circuit::new("dc");
+    let mut ctx = c.root_ctx();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let k = ctx.add_port(PortSpec::input("k", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 1)).unwrap();
+    let n = ctx.wire("n", 1);
+    ctx.or2(b, k, n).unwrap();
+    ctx.and2(b, n, y).unwrap();
+    let flat = FlatNetlist::build(&c).unwrap();
+    let report = extract_dont_cares(&flat, OracleOptions::default(), 0).unwrap();
+    let entry = report
+        .nodes
+        .iter()
+        .find(|e| e.net == "dc/n")
+        .expect("or-gate output present");
+    let odc = entry.odc.as_ref().expect("odc extracted");
+    assert!(odc.complete);
+    let b_idx = odc.inputs.iter().position(|i| i == "dc/b").unwrap();
+    for m in 0..4u16 {
+        let b_zero = m & (1 << b_idx) == 0;
+        assert_eq!(
+            odc.minterms.contains(&m),
+            b_zero,
+            "minterm {m} classification"
+        );
+    }
+    // Deterministic serialization across fresh extractions.
+    let again = extract_dont_cares(&flat, OracleOptions::default(), 0).unwrap();
+    assert_eq!(report.to_json(), again.to_json());
+    assert!(report.to_json().contains("\"design\": \"dc\""));
+    assert!(report.skipped == 0);
+    // The cap is honored and reported, never silent.
+    let capped = extract_dont_cares(&flat, OracleOptions::default(), 1).unwrap();
+    assert_eq!(capped.nodes.len(), 1);
+    assert!(capped.skipped >= 1);
+}

@@ -21,8 +21,6 @@
 use ipd_hdl::{CellCtx, Result, Rloc, Signal, WireId};
 use ipd_techlib::LogicCtx;
 
-use crate::add::RippleAdder;
-
 /// A lazily created constant rail: the wire and its `GND`/`VCC` driver
 /// materialize on first use, so designs that never need the constant
 /// don't carry a dead primitive.
@@ -73,18 +71,32 @@ impl ConstRail {
 
 /// A partial numeric value under reduction.
 ///
-/// `bits` holds one single-bit signal per bit, LSB first; the numeric
-/// value lies in `[lo, hi]` and is scaled by `2^shift` relative to the
-/// final result. Bits below `dead_low` are placeholders: the consumer
-/// guarantees they are never read, so reduction and pipeline stages
-/// generate no logic for them.
+/// `bits` holds one entry per bit, LSB first: `Some(signal)` for a live
+/// bit, `None` for a bit that is *provably zero* (a constant table
+/// entry, a zero-extension position, a degenerate adder output). The
+/// numeric value lies in `[lo, hi]` and is scaled by `2^shift` relative
+/// to the final result. Bits below `dead_low` are placeholders: the
+/// consumer guarantees they are never read, so reduction and pipeline
+/// stages generate no logic for them.
+///
+/// Keeping zero bits symbolic (rather than tapping a materialized
+/// `GND`) matters for lint cleanliness: [`combine`] aliases degenerate
+/// positions away without reading any rail, so an eager tap whose every
+/// consumer got aliased would leave a driven-but-never-read `GND`
+/// behind — a dead-logic finding. The rail only materializes when a
+/// real cell input finally needs it ([`PartialValue::bit`]).
 #[derive(Debug, Clone)]
 pub(crate) struct PartialValue {
-    pub bits: Vec<Signal>,
+    pub bits: Vec<Option<Signal>>,
     pub lo: i128,
     pub hi: i128,
     pub shift: u32,
     pub dead_low: u32,
+}
+
+/// Wraps the per-bit signals of a fully live wire for [`PartialValue`].
+pub(crate) fn live_bits(bits: Vec<Signal>) -> Vec<Option<Signal>> {
+    bits.into_iter().map(Some).collect()
 }
 
 impl PartialValue {
@@ -97,17 +109,19 @@ impl PartialValue {
     }
 
     /// The `k`-th bit with implicit sign extension; `None` when the bit
-    /// needs the zero rail (unsigned extension beyond the stored bits).
+    /// is provably zero (a symbolic zero entry, or unsigned extension
+    /// beyond the stored bits).
     fn bit_opt(&self, k: u32) -> Option<Signal> {
         match self.bits.get(k as usize) {
-            Some(sig) => Some(sig.clone()),
-            None if self.is_signed() => self.bits.last().cloned(),
+            Some(entry) => entry.clone(),
+            None if self.is_signed() => self.bits.last().cloned().flatten(),
             None => None,
         }
     }
 
     /// The `k`-th bit with implicit extension: sign bit repetition for
-    /// signed values, the (lazily created) shared zero for unsigned.
+    /// signed values, the (lazily created) shared zero for provably
+    /// zero bits.
     pub(crate) fn bit(&self, k: u32, ctx: &mut CellCtx<'_>, zero: &mut ZeroRail) -> Result<Signal> {
         match self.bit_opt(k) {
             Some(sig) => Ok(sig),
@@ -166,8 +180,10 @@ pub(crate) fn combine(
     let lo = a.lo + (b.lo << d);
     let hi = a.hi + (b.hi << d);
     let rw = width_for(lo, hi);
-    let (result, mut bits) = wire_bits(ctx, label, rw);
-    // Pass-through of the low bits; placeholder bits alias instead.
+    let (result, base) = wire_bits(ctx, label, rw);
+    let mut bits = live_bits(base);
+    // Pass-through of the low bits; placeholder and provably-zero bits
+    // alias instead.
     let pass = d.min(rw);
     let dead_low = a.dead_low.min(pass);
     for k in 0..pass {
@@ -175,31 +191,88 @@ pub(crate) fn combine(
             bits[k as usize] = a.bits[k as usize].clone();
             continue;
         }
-        let src = a.bit(k, ctx, zero)?;
-        ctx.buffer(src, Signal::bit_of(result, k))?;
+        match a.bit_opt(k) {
+            Some(src) => {
+                ctx.buffer(src, Signal::bit_of(result, k))?;
+            }
+            None => bits[k as usize] = None,
+        }
     }
-    // Carry-chain addition of the overlap.
+    // Carry-chain addition of the overlap, built inline so constant
+    // rail taps (partial-product bits of a constant with trailing or
+    // interior zeros, and zero extension above an operand's width)
+    // degenerate to pass-throughs instead of adder cells. A position
+    // where one operand is the zero rail and the carry is provably
+    // zero adds nothing: building MUXCY/XORCY/LUT cells there ships
+    // semantically-stuck carries and pass-through propagate LUTs
+    // straight into a lint finding.
     if rw > d {
         let aw = rw - d;
-        let mut in_a = Vec::with_capacity(aw as usize);
-        let mut in_b = Vec::with_capacity(aw as usize);
+        let place = |ctx: &mut CellCtx<'_>, cell, k: u32| {
+            if let Some(loc) = adder_loc {
+                ctx.set_rloc(cell, Rloc::new(loc.row + (k / 2) as i32, loc.col));
+            }
+        };
+        // `None` = the carry into the next position is provably zero.
+        let mut carry: Option<Signal> = None;
         for k in 0..aw {
-            in_a.push(a.bit(d + k, ctx, zero)?);
-            in_b.push(b.bit(k, ctx, zero)?);
-        }
-        let sum = Signal::slice_of(result, rw - 1, d);
-        let adder = RippleAdder::new(aw);
-        let inst = ctx.instantiate(
-            &adder,
-            &format!("{label}_add"),
-            &[
-                ("a", Signal::concat(in_a)),
-                ("b", Signal::concat(in_b)),
-                ("s", sum),
-            ],
-        )?;
-        if let Some(loc) = adder_loc {
-            ctx.set_rloc(inst, loc);
+            let ak = a.bit_opt(d + k);
+            let bk = b.bit_opt(k);
+            let out = Signal::bit_of(result, d + k);
+            let carry_needed = k + 1 < aw;
+            match (ak, bk, carry.take()) {
+                // 0 + 0: the sum is the incoming carry (or provably
+                // zero); the carry out is provably zero again.
+                (None, None, None) => bits[(d + k) as usize] = None,
+                (None, None, Some(ci)) => bits[(d + k) as usize] = Some(ci),
+                // live + 0, no carry: pure pass-through.
+                (None, Some(bk), None) => bits[(d + k) as usize] = Some(bk),
+                (Some(ak), None, None) => bits[(d + k) as usize] = Some(ak),
+                // live + 0 with a live carry: the live bit is its own
+                // propagate — no LUT, and the carry regenerates only
+                // while the live bit holds (di = the zero rail, the one
+                // place the rail is genuinely read).
+                (None, Some(live), Some(ci)) | (Some(live), None, Some(ci)) => {
+                    let x = ctx.xorcy(ci.clone(), live.clone(), out)?;
+                    place(ctx, x, k);
+                    if carry_needed {
+                        let co = ctx.wire(&format!("{label}_c{}", k + 1), 1);
+                        let rail = zero.get(ctx)?;
+                        let m = ctx.muxcy(ci, rail, live, co)?;
+                        place(ctx, m, k);
+                        carry = Some(co.into());
+                    }
+                }
+                // live + live, carry provably zero: the half-sum LUT
+                // drives the result directly (an XORCY against zero
+                // would be a pass-through), and the first carry is
+                // generate-only.
+                (Some(ak), Some(bk), None) => {
+                    let l = ctx.lut(0b0110, &[ak.clone(), bk], out.clone())?;
+                    place(ctx, l, k);
+                    if carry_needed {
+                        let co = ctx.wire(&format!("{label}_c{}", k + 1), 1);
+                        let rail = zero.get(ctx)?;
+                        let m = ctx.muxcy(rail, ak, out, co)?;
+                        place(ctx, m, k);
+                        carry = Some(co.into());
+                    }
+                }
+                // The full-adder position.
+                (Some(ak), Some(bk), Some(ci)) => {
+                    let p = ctx.wire(&format!("{label}_p{k}"), 1);
+                    let l = ctx.lut(0b0110, &[ak.clone(), bk], p)?;
+                    place(ctx, l, k);
+                    let x = ctx.xorcy(ci.clone(), p, out)?;
+                    place(ctx, x, k);
+                    if carry_needed {
+                        let co = ctx.wire(&format!("{label}_c{}", k + 1), 1);
+                        let m = ctx.muxcy(ci, ak, p, co)?;
+                        place(ctx, m, k);
+                        carry = Some(co.into());
+                    }
+                }
+            }
         }
     }
     Ok(PartialValue {
@@ -234,12 +307,18 @@ pub(crate) fn register_at(
     label: &str,
     col: Option<i32>,
 ) -> Result<PartialValue> {
-    let (reg, mut bits) = wire_bits(ctx, label, value.width());
+    let (reg, base) = wire_bits(ctx, label, value.width());
+    let mut bits = live_bits(base);
     for (k, src) in value.bits.iter().enumerate() {
         if (k as u32) < value.dead_low {
             bits[k] = src.clone();
             continue;
         }
+        // A provably-zero bit stays zero across a stage: no flip-flop.
+        let Some(src) = src else {
+            bits[k] = None;
+            continue;
+        };
         let fd = ctx.fd(clk, src.clone(), Signal::bit_of(reg, k as u32))?;
         if let Some(col) = col {
             ctx.set_rloc(fd, Rloc::new(k as i32 / 2, col));

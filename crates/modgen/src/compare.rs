@@ -106,7 +106,14 @@ impl Generator for Comparator {
                 }
                 match self.op {
                     CompareOp::Eq => ctx.buffer(ci, o)?,
-                    _ => ctx.inv(ci, o)?,
+                    // Invert on the chain's own XORCY against the one
+                    // rail: free fabric, where a LUT inverter is a
+                    // redundant (complemented) copy of the carry net.
+                    _ => {
+                        let one = ctx.wire("one", 1);
+                        ctx.vcc(one)?;
+                        ctx.xorcy(ci, one, o)?
+                    }
                 };
             }
             CompareOp::Lt | CompareOp::Ge => {
@@ -128,7 +135,11 @@ impl Generator for Comparator {
                 }
                 match self.op {
                     CompareOp::Ge => ctx.buffer(ci, o)?,
-                    _ => ctx.inv(ci, o)?,
+                    _ => {
+                        let one = ctx.wire("one", 1);
+                        ctx.vcc(one)?;
+                        ctx.xorcy(ci, one, o)?
+                    }
                 };
             }
         }

@@ -144,7 +144,17 @@ impl Generator for Counter {
             }
         }
         // State: q' = rst ? 0 : load ? d : ce ? next : q, via FDRE +
-        // input muxing. FDRE gives sync reset and CE directly.
+        // input muxing. FDRE gives sync reset and CE directly. CE must
+        // also fire on load; one shared OR drives every FDRE enable
+        // (a per-bit copy would be provably redundant logic).
+        let en: Signal = if self.loadable {
+            let load = ctx.port("load")?;
+            let en = ctx.wire("en", 1);
+            ctx.or2(ce, load, en)?;
+            en.into()
+        } else {
+            ce.into()
+        };
         for bit in 0..self.width {
             let d_in: Signal = if self.loadable {
                 let load = ctx.port("load")?;
@@ -160,16 +170,7 @@ impl Generator for Counter {
             } else {
                 Signal::bit_of(next, bit)
             };
-            // CE must also fire on load.
-            let en: Signal = if self.loadable {
-                let load = ctx.port("load")?;
-                let en = ctx.wire(&format!("en{bit}"), 1);
-                ctx.or2(ce, load, en)?;
-                en.into()
-            } else {
-                ce.into()
-            };
-            let ff = ctx.fdre(clk, en, rst, d_in, Signal::bit_of(q, bit))?;
+            let ff = ctx.fdre(clk, en.clone(), rst, d_in, Signal::bit_of(q, bit))?;
             place_column(ctx, ff, bit);
         }
         ctx.set_property("generator", "counter");

@@ -167,9 +167,19 @@ impl Generator for FirFilter {
         // asked for the truncated top bits only — `(c × x) >> tz` is
         // exact — and the shift is restored arithmetically. This keeps
         // constant-zero product bits (and the stuck-at carries they
-        // would feed) out of the accumulation chain.
-        let mut products = Vec::new();
+        // would feed) out of the accumulation chain. In transposed
+        // form every multiplier reads the *current* sample, so equal
+        // coefficients — the norm in symmetric filters — share one
+        // KCM instance instead of building SAT-identical copies.
+        let mut products: Vec<PartialValue> = Vec::new();
+        let mut shared: std::collections::BTreeMap<i64, PartialValue> =
+            std::collections::BTreeMap::new();
+        let mut bands_used = 0i32;
         for (k, &c) in self.coefficients.iter().enumerate() {
+            if let Some(v) = shared.get(&c) {
+                products.push(v.clone());
+                continue;
+            }
             let full = KcmMultiplier::new(c, self.input_width, 1)
                 .signed(true)
                 .full_product_width();
@@ -186,15 +196,18 @@ impl Generator for FirFilter {
                 &format!("kcm{k}"),
                 &[("multiplicand", x.into()), ("product", p.into())],
             )?;
-            ctx.set_rloc(inst, Rloc::new(0, k as i32 * band));
+            ctx.set_rloc(inst, Rloc::new(0, bands_used * band));
+            bands_used += 1;
             let (a, b) = (i128::from(c) * x_lo, i128::from(c) * x_hi);
-            products.push(PartialValue {
-                bits: (0..w).map(|i| Signal::bit_of(p, i)).collect(),
+            let value = PartialValue {
+                bits: (0..w).map(|i| Some(Signal::bit_of(p, i))).collect(),
                 lo: a.min(b) >> tz,
                 hi: a.max(b) >> tz,
                 shift: tz,
                 dead_low: 0,
-            });
+            };
+            shared.insert(c, value.clone());
+            products.push(value);
         }
 
         // Transposed accumulation chain, last tap first; each tap's

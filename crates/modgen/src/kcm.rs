@@ -12,7 +12,8 @@ use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
 use crate::bitsum::{
-    reduce_tree, register_at, tree_levels, width_for, wire_bits, ConstRail, PartialValue, ZeroRail,
+    live_bits, reduce_tree, register_at, tree_levels, width_for, wire_bits, ConstRail,
+    PartialValue, ZeroRail,
 };
 
 /// Maximum multiplicand width accepted by the generator.
@@ -324,7 +325,8 @@ impl Generator for KcmMultiplier {
             let (v_a, v_b) = (k * d_lo, k * d_hi);
             let (lo, hi) = (v_a.min(v_b), v_a.max(v_b));
             let pp_width = width_for(lo, hi);
-            let (pp, mut bits) = wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
+            let (pp, base) = wire_bits(ctx, &format!("pp{digit_index}"), pp_width);
+            let mut bits = live_bits(base);
             let pp_dead_low = if digit_index == 0 { dead_low } else { 0 };
             // One LUT per product bit: truth table over digit values.
             let inputs: Vec<Signal> = (0..dwidth).map(|i| Signal::bit_of(x, offset + i)).collect();
@@ -351,18 +353,66 @@ impl Generator for KcmMultiplier {
                     }
                 }
                 // A table bit that never varies (e.g. low bits of a
-                // constant with trailing zeros) is a rail tap, not a
-                // LUT: a LUT computing a constant is wasted area and a
-                // lint finding.
+                // constant with trailing zeros) is not a LUT: a LUT
+                // computing a constant is wasted area and a lint
+                // finding. Zero bits stay symbolic — the reduction
+                // aliases them away without ever touching a rail.
                 if init == 0 {
-                    bits[out_bit as usize] = zero.get(ctx)?;
+                    bits[out_bit as usize] = None;
                     continue;
                 }
                 if init == all_ones {
-                    bits[out_bit as usize] = one.get(ctx)?;
+                    bits[out_bit as usize] = Some(one.get(ctx)?);
                     continue;
                 }
-                let lut = ctx.lut(init, &inputs, Signal::bit_of(pp, out_bit))?;
+                // Shrink the table to its true support: product bits
+                // often depend on a strict subset of the digit (bit 0
+                // of an odd constant's product is the digit LSB
+                // verbatim), and a LUT re-computing a wire it was
+                // handed is redundant logic under SAT equivalence.
+                let support: Vec<u32> = (0..dwidth)
+                    .filter(|&i| {
+                        (0..(1u32 << dwidth))
+                            .any(|pat| (init >> pat) & 1 != (init >> (pat ^ (1 << i))) & 1)
+                    })
+                    .collect();
+                if support.len() == 1 {
+                    let var = inputs[support[0] as usize].clone();
+                    // The table over one live variable is identity or
+                    // complement; identity is a plain wire.
+                    if (init >> (1u32 << support[0])) & 1 == 1 {
+                        bits[out_bit as usize] = Some(var);
+                    } else {
+                        let inv = ctx.inv(var, Signal::bit_of(pp, out_bit))?;
+                        ctx.set_rloc(
+                            inv,
+                            ipd_hdl::Rloc::new((out_bit / 2) as i32, digit_index as i32),
+                        );
+                    }
+                    continue;
+                }
+                let (red_init, red_inputs) = if support.len() < dwidth as usize {
+                    let mut red = 0u16;
+                    for rpat in 0..(1u32 << support.len()) {
+                        let mut pat = 0u32;
+                        for (ri, &i) in support.iter().enumerate() {
+                            if (rpat >> ri) & 1 == 1 {
+                                pat |= 1 << i;
+                            }
+                        }
+                        if (init >> pat) & 1 == 1 {
+                            red |= 1 << rpat;
+                        }
+                    }
+                    let red_inputs: Vec<Signal> = support
+                        .iter()
+                        .map(|&i| inputs[i as usize].clone())
+                        .collect();
+                    (red, red_inputs)
+                } else {
+                    (init, inputs.clone())
+                };
+                let lut = ctx.lut(red_init, &red_inputs, Signal::bit_of(pp, out_bit))?;
                 // Relative placement: digit banks in columns, bits in
                 // rows, two bits per slice row.
                 ctx.set_rloc(

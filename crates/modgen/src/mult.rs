@@ -4,7 +4,9 @@
 use ipd_hdl::{CellCtx, Generator, HdlError, PortSpec, Result, Signal};
 use ipd_techlib::LogicCtx;
 
-use crate::bitsum::{reduce_tree, register, width_for, wire_bits, PartialValue, ZeroRail};
+use crate::bitsum::{
+    live_bits, reduce_tree, register, width_for, wire_bits, PartialValue, ZeroRail,
+};
 
 /// An unsigned array multiplier: `p = a × b`, built from `MULT_AND`
 /// partial-product rows summed on carry chains. The general-purpose
@@ -122,7 +124,7 @@ impl Generator for ArrayMultiplier {
                 ctx.set_rloc(g, ipd_hdl::Rloc::new((j / 2) as i32, i as i32));
             }
             let mut value = PartialValue {
-                bits,
+                bits: live_bits(bits),
                 lo: 0,
                 hi: a_max,
                 shift: i,

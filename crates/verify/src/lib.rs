@@ -33,6 +33,7 @@ pub mod cec;
 pub mod equiv;
 mod error;
 pub mod lower;
+pub mod oracle;
 pub mod replay;
 pub mod sat;
 
@@ -42,5 +43,8 @@ pub use equiv::{
     check_equiv, Counterexample, EquivConfig, EquivReport, EquivVerdict, StateAssign, StateMatch,
 };
 pub use error::VerifyError;
-pub use lower::{lower_into, OutId, OutputFn};
+pub use lower::{lower_design, lower_into, LoweredDesign, OutId, OutputFn};
+pub use oracle::{
+    CubeList, Oracle, OracleOptions, OracleStats, ReachSet, Verdict, Witness, WitnessCheck,
+};
 pub use sat::{SatLit, SatResult, Solver};

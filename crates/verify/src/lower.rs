@@ -65,6 +65,18 @@ pub struct OutputFn {
     pub lit: Lit,
 }
 
+/// A fully lowered design: the checked boundary functions plus the
+/// literal of every internal net, so per-net analyses (the semantic
+/// lint oracle) can query arbitrary cones, not just the boundary.
+#[derive(Debug, Clone)]
+pub struct LoweredDesign {
+    /// Primary outputs, then next-state functions in leaf order.
+    pub outputs: Vec<OutputFn>,
+    /// Per-net AIG literal, indexed by `NetId::index`. `None` for
+    /// nets nothing drives (legal as long as nothing reads them).
+    pub net_lit: Vec<Option<Lit>>,
+}
+
 /// Lowers one design into `aig`. `port_lit` maps non-clock input
 /// port bits to shared input literals; `state_lit` maps this design's
 /// own state paths (bit by bit) to shared input literals. Returns the
@@ -83,6 +95,59 @@ pub fn lower_into(
     port_lit: &HashMap<(String, usize), Lit>,
     state_lit: &HashMap<(String, usize), Lit>,
 ) -> Result<Vec<OutputFn>, VerifyError> {
+    Ok(lower_design(aig, graph, design, port_lit, state_lit)?.outputs)
+}
+
+/// As [`lower_into`], but also returns the full per-net literal map.
+///
+/// # Errors
+///
+/// As [`lower_into`].
+pub fn lower_design(
+    aig: &mut Aig,
+    graph: &NetlistGraph,
+    design: &str,
+    port_lit: &HashMap<(String, usize), Lit>,
+    state_lit: &HashMap<(String, usize), Lit>,
+) -> Result<LoweredDesign, VerifyError> {
+    lower_impl(aig, graph, design, port_lit, state_lit, None)
+}
+
+/// Re-lowers a design with one net's value complemented at its
+/// driving point — the observability transform: an output function
+/// changes between this lowering and the original exactly when the
+/// flipped net is observable at that output. Returns the boundary
+/// function literals in the same order as [`lower_design`].
+///
+/// # Errors
+///
+/// As [`lower_into`].
+pub(crate) fn lower_flipped(
+    aig: &mut Aig,
+    graph: &NetlistGraph,
+    design: &str,
+    port_lit: &HashMap<(String, usize), Lit>,
+    state_lit: &HashMap<(String, usize), Lit>,
+    flip: NetId,
+) -> Result<Vec<OutputFn>, VerifyError> {
+    Ok(lower_impl(aig, graph, design, port_lit, state_lit, Some(flip))?.outputs)
+}
+
+fn lower_impl(
+    aig: &mut Aig,
+    graph: &NetlistGraph,
+    design: &str,
+    port_lit: &HashMap<(String, usize), Lit>,
+    state_lit: &HashMap<(String, usize), Lit>,
+    flip: Option<NetId>,
+) -> Result<LoweredDesign, VerifyError> {
+    let place = |net: NetId, lit: Lit| {
+        if flip == Some(net) {
+            !lit
+        } else {
+            lit
+        }
+    };
     if !graph.levelized() {
         return Err(VerifyError::CombLoop {
             design: design.to_owned(),
@@ -96,14 +161,17 @@ pub fn lower_into(
     let mut net_lit: Vec<Option<Lit>> = vec![None; graph.net_count];
     // Constant rails.
     for &(net, v) in &graph.const_drives {
-        net_lit[net.index()] = Some(match v {
-            Logic::One => TRUE,
-            _ => FALSE,
-        });
+        net_lit[net.index()] = Some(place(
+            net,
+            match v {
+                Logic::One => TRUE,
+                _ => FALSE,
+            },
+        ));
     }
     // Clock nets are held at 0 between active edges in every engine.
     for &net in &graph.clock_nets {
-        net_lit[net.index()] = Some(FALSE);
+        net_lit[net.index()] = Some(place(net, FALSE));
     }
     // Primary-input bits.
     for port in &graph.ports {
@@ -120,14 +188,14 @@ pub fn lower_into(
                 .ok_or_else(|| VerifyError::PortMismatch {
                     detail: format!("no shared input for {}[{}]", port.name, bit),
                 })?;
-            net_lit[net.index()] = Some(lit);
+            net_lit[net.index()] = Some(place(net, lit));
         }
     }
     // Flip-flop outputs read the state variable.
     for elem in &graph.seq {
         if let SeqKind::Ff { q, .. } = elem.kind {
             let lit = state_bit(state_lit, &elem.path, 0)?;
-            net_lit[q.index()] = Some(lit);
+            net_lit[q.index()] = Some(place(q, lit));
         }
     }
     // Combinational cones in levelized order.
@@ -140,7 +208,7 @@ pub fn lower_into(
                 mux_word(aig, &ins, &word)
             }
         };
-        net_lit[node.output.index()] = Some(out);
+        net_lit[node.output.index()] = Some(place(node.output, out));
     }
     // Checked functions: primary outputs first…
     let mut outputs = Vec::new();
@@ -230,7 +298,7 @@ pub fn lower_into(
             }
         }
     }
-    Ok(outputs)
+    Ok(LoweredDesign { outputs, net_lit })
 }
 
 fn state_bit(

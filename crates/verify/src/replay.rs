@@ -18,6 +18,7 @@ use ipd_sim::{BatchSimulator, CompiledSimulator, SimError};
 use crate::equiv::{Counterexample, EquivConfig, StateAssign};
 use crate::error::VerifyError;
 use crate::lower::OutId;
+use crate::oracle::{Witness, WitnessCheck};
 
 /// The simulator surface replay needs, so both engines run the exact
 /// same script.
@@ -29,6 +30,7 @@ trait ReplaySim {
     fn memory_lane(&self, path: &str, lane: usize) -> Option<LogicVec>;
     fn set_ff_lane(&mut self, path: &str, lane: usize, value: Logic) -> bool;
     fn set_memory_lane(&mut self, path: &str, lane: usize, value: &LogicVec) -> bool;
+    fn peek_net_lane(&mut self, net: &str, lane: usize) -> Result<Logic, SimError>;
 }
 
 macro_rules! impl_replay_sim {
@@ -59,6 +61,9 @@ macro_rules! impl_replay_sim {
             }
             fn set_memory_lane(&mut self, path: &str, lane: usize, value: &LogicVec) -> bool {
                 <$t>::set_memory_lane(self, path, lane, value)
+            }
+            fn peek_net_lane(&mut self, net: &str, lane: usize) -> Result<Logic, SimError> {
+                <$t>::peek_net_lane(self, net, lane)
             }
         }
     };
@@ -184,6 +189,127 @@ fn replay_one(
     };
     if observed != Logic::from_bool(expected) {
         return Err(disagree(format!("{observed:?}")));
+    }
+    Ok(())
+}
+
+/// Confirms an [`Oracle`](crate::Oracle) witness against both engines
+/// on the same design: inputs set, state forced, the claimed net (and
+/// its partner, for equality refutations) peeked.
+///
+/// # Errors
+///
+/// [`VerifyError::OracleDisagreement`] when either engine observes a
+/// value other than the witness's prediction; [`VerifyError::Sim`]
+/// when replay itself cannot run.
+pub(crate) fn confirm_witness(
+    flat: &FlatNetlist,
+    clock: Option<&str>,
+    w: &Witness,
+) -> Result<(), VerifyError> {
+    let mut batch = BatchSimulator::from_flat(flat, clock, 1)?;
+    replay_witness(&mut batch, "batch", w)?;
+    let mut compiled = CompiledSimulator::from_flat(flat, clock, 1)?;
+    replay_witness(&mut compiled, "compiled", w)?;
+    Ok(())
+}
+
+/// Two observations agree when equal — or when an expected `X`
+/// meets any undriven value (the engines distinguish `X`/`Z`, the
+/// dual-rail encoding only tracks known/unknown).
+fn witness_agrees(expected: Logic, observed: Logic) -> bool {
+    if expected.is_driven() {
+        observed == expected
+    } else {
+        !observed.is_driven()
+    }
+}
+
+fn apply_witness(sim: &mut dyn ReplaySim, w: &Witness) -> Result<(), VerifyError> {
+    for (port, value) in &w.inputs {
+        sim.set_lane(port, 0, value)?;
+    }
+    for (path, value) in &w.state {
+        let forced = if value.width() == 1 {
+            sim.set_ff_lane(path, 0, value.bit(0))
+        } else {
+            sim.set_memory_lane(path, 0, value)
+        };
+        if !forced {
+            return Err(VerifyError::OracleDisagreement {
+                oracle: "replay".into(),
+                function: w.net.clone(),
+                expected: "forcible state".into(),
+                observed: format!("state back door refused '{path}'"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn replay_witness(sim: &mut dyn ReplaySim, oracle: &str, w: &Witness) -> Result<(), VerifyError> {
+    let disagree = |expected: String, observed: String| VerifyError::OracleDisagreement {
+        oracle: oracle.to_owned(),
+        function: w.net.clone(),
+        expected,
+        observed,
+    };
+    match &w.check {
+        WitnessCheck::NetEquals { value } => {
+            apply_witness(sim, w)?;
+            let observed = sim.peek_net_lane(&w.net, 0)?;
+            if !witness_agrees(*value, observed) {
+                return Err(disagree(format!("{value:?}"), format!("{observed:?}")));
+            }
+        }
+        WitnessCheck::NetToggles {
+            port,
+            bit,
+            low,
+            high,
+        } => {
+            for (phase, expected) in [(Logic::Zero, *low), (Logic::One, *high)] {
+                apply_witness(sim, w)?;
+                let mut v = w
+                    .inputs
+                    .iter()
+                    .find(|(p, _)| p == port)
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| {
+                        disagree(
+                            format!("input port '{port}'"),
+                            "missing from witness".into(),
+                        )
+                    })?;
+                v.set_bit(*bit, phase);
+                sim.set_lane(port, 0, &v)?;
+                let observed = sim.peek_net_lane(&w.net, 0)?;
+                if !witness_agrees(expected, observed) {
+                    return Err(disagree(
+                        format!("{expected:?} with {port}[{bit}]={phase:?}"),
+                        format!("{observed:?}"),
+                    ));
+                }
+            }
+        }
+        WitnessCheck::NetsDiffer {
+            other,
+            value,
+            other_value,
+        } => {
+            apply_witness(sim, w)?;
+            let observed = sim.peek_net_lane(&w.net, 0)?;
+            if !witness_agrees(*value, observed) {
+                return Err(disagree(format!("{value:?}"), format!("{observed:?}")));
+            }
+            let observed_other = sim.peek_net_lane(other, 0)?;
+            if !witness_agrees(*other_value, observed_other) {
+                return Err(disagree(
+                    format!("{other_value:?} on '{other}'"),
+                    format!("{observed_other:?}"),
+                ));
+            }
+        }
     }
     Ok(())
 }

@@ -24,7 +24,7 @@ fn figure3_full_session() {
 
     // Estimates panel.
     let area = session.estimate_area().expect("area");
-    assert!(area.total.luts >= 20, "KCM uses partial-product LUTs");
+    assert!(area.total.luts >= 16, "KCM uses partial-product LUTs");
     let timing = session.estimate_timing().expect("timing");
     assert!(timing.fmax_mhz > 10.0 && timing.fmax_mhz < 1000.0);
 
@@ -32,7 +32,7 @@ fn figure3_full_session() {
     let schematic = session.schematic().expect("schematic");
     assert!(schematic.contains("port multiplicand"));
     let hierarchy = session.hierarchy().expect("hierarchy");
-    assert!(hierarchy.contains("add_w"), "adder children visible");
+    assert!(hierarchy.contains("muxcy"), "carry-chain adders visible");
     let layout = session.layout().expect("layout");
     assert!(layout.contains("layout: rows"));
 

@@ -1,0 +1,107 @@
+//! The semantic-lint CI gate fixtures: a committed EDIF carrying
+//! SAT-provable redundant logic that structural lint cannot see, and
+//! the committed `redundant.lintrc` raising `redundant-logic` to error
+//! severity so `ipd-lint --semantic` refuses it.
+//!
+//! CI runs both directions of the gate as shell steps:
+//!
+//! ```text
+//! ipd-lint --semantic --examples                 # must exit 0
+//! ipd-lint --semantic --config tests/fixtures/redundant.lintrc \
+//!          tests/fixtures/redundant.edif         # must exit 1
+//! ```
+//!
+//! This test keeps the committed fixture honest from inside the test
+//! suite: the EDIF must reparse, the lintrc must parse, and the
+//! semantic tier must still find the planted redundancies at the
+//! proved tier. Regenerate the EDIF after an intentional change to
+//! the EDIF writer with:
+//!
+//! ```text
+//! IPD_REGEN_GOLDEN=1 cargo test --test semantic_gate
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use ipd::hdl::{Circuit, PortSpec, Signal};
+use ipd::lint::{LintConfig, Linter, OracleOptions, ProofTier};
+use ipd::techlib::LogicCtx;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The planted design: `y[1]` duplicates `y[0]` exactly, `y[2]` is its
+/// complement behind a NAND LUT, and `y[3]` is live non-redundant
+/// logic. Structural lint sees four healthy gates; only SAT
+/// equivalence exposes the first two.
+fn redundant_design() -> Circuit {
+    let mut c = Circuit::new("dup");
+    let mut ctx = c.root_ctx();
+    let a = ctx.add_port(PortSpec::input("a", 1)).unwrap();
+    let b = ctx.add_port(PortSpec::input("b", 1)).unwrap();
+    let y = ctx.add_port(PortSpec::output("y", 4)).unwrap();
+    let w0 = ctx.wire("y0", 1);
+    ctx.and2(a, b, w0).unwrap();
+    ctx.buffer(w0, Signal::bit_of(y, 0)).unwrap();
+    let w1 = ctx.wire("y1", 1);
+    ctx.and2(a, b, w1).unwrap();
+    ctx.buffer(w1, Signal::bit_of(y, 1)).unwrap();
+    let w2 = ctx.wire("y2", 1);
+    ctx.lut(0b0111, &[a.into(), b.into()], w2).unwrap();
+    ctx.buffer(w2, Signal::bit_of(y, 2)).unwrap();
+    let w3 = ctx.wire("y3", 1);
+    ctx.or2(a, b, w3).unwrap();
+    ctx.buffer(w3, Signal::bit_of(y, 3)).unwrap();
+    c
+}
+
+#[test]
+fn committed_redundant_fixture_fails_semantic_lint() {
+    let edif_path = fixture_dir().join("redundant.edif");
+    if std::env::var_os("IPD_REGEN_GOLDEN").is_some() {
+        let edif = ipd::netlist::NetlistFormat::Edif
+            .generate(&redundant_design())
+            .expect("netlist");
+        fs::write(&edif_path, edif).unwrap();
+    }
+    let text = fs::read_to_string(&edif_path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {}: {e}\n\
+             regenerate with IPD_REGEN_GOLDEN=1 cargo test --test semantic_gate",
+            edif_path.display()
+        )
+    });
+    let circuit = ipd::netlist::read_edif(&text).expect("fixture parses");
+
+    let lintrc = fs::read_to_string(fixture_dir().join("redundant.lintrc"))
+        .expect("committed lintrc present");
+    let config = LintConfig::parse(&lintrc).expect("committed lintrc parses");
+
+    // Structural lint sees nothing: the gate only trips semantically.
+    let structural = Linter::with_config(config.clone())
+        .run(&circuit)
+        .expect("structural lint runs");
+    assert_eq!(
+        structural.error_count(),
+        0,
+        "fixture must be structurally clean:\n{structural}"
+    );
+
+    let report = Linter::with_oracle(config, OracleOptions::default())
+        .run(&circuit)
+        .expect("semantic lint runs");
+    let redundant: Vec<_> = report.by_rule("redundant-logic").collect();
+    assert!(
+        redundant.len() >= 2,
+        "fixture must carry the planted duplicate and complement:\n{report}"
+    );
+    for diag in &redundant {
+        assert_eq!(diag.proof, ProofTier::Proved, "{diag}");
+    }
+    assert!(
+        report.error_count() > 0,
+        "lintrc must raise redundant-logic to error severity:\n{report}"
+    );
+}
